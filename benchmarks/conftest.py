@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each figure benchmark regenerates its figure's data (reduced sweep sizes
+so the suite finishes in minutes) and attaches the rendered table to the
+benchmark record via ``extra_info`` — run with ``--benchmark-verbose`` or
+inspect the JSON export to see the reproduced series.  Full-size sweeps:
+``python -m repro.experiments all``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive end-to-end runner with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture(scope="session")
+def attach_table():
+    """Store a rendered experiment table on the benchmark record."""
+
+    def _attach(benchmark, result):
+        benchmark.extra_info["experiment"] = result.experiment
+        benchmark.extra_info["table"] = result.render()
+        return result
+
+    return _attach

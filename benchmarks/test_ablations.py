@@ -1,0 +1,198 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation regenerates a small slice of the evaluation under a
+modified design and asserts the direction of the effect:
+
+* window size m (sensitivity vs. resolution),
+* multi-testing step k (cost of extra rounds),
+* calibration sample count (ε stability),
+* distance function choice (L1 vs. KS),
+* window alignment ("recent" vs. the literal "oldest" reading).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.adversary.periodic import periodic_attack_history
+from repro.core.calibration import ThresholdCalibrator
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+
+
+def _detection_rate(test_, window, trials=80, seed=0):
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(trials):
+        trace = periodic_attack_history(800, window, seed=rng)
+        hits += not test_.test(trace).passed
+    return hits / trials
+
+
+def _false_positive_rate(test_, trials=80, seed=1):
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(trials):
+        honest = generate_honest_outcomes(800, 0.95, seed=rng)
+        hits += not test_.test(honest).passed
+    return hits / trials
+
+
+def test_ablation_window_size(benchmark):
+    """Larger windows resolve the distribution better: more detections."""
+
+    def sweep():
+        rates = {}
+        for m in (5, 10, 20):
+            test_ = SingleBehaviorTest(BehaviorTestConfig(window_size=m))
+            rates[m] = _detection_rate(test_, window=40)
+        return rates
+
+    rates = run_once(benchmark, sweep)
+    benchmark.extra_info["detection_by_window_size"] = rates
+    assert rates[20] >= rates[5]
+
+
+def test_ablation_multi_step(benchmark):
+    """A finer multi-testing step tests more suffixes: more work."""
+    import time
+
+    outcomes = generate_honest_outcomes(20_000, 0.95, seed=2)
+
+    def sweep():
+        timings = {}
+        for step in (50, 200, 1000):
+            test_ = MultiBehaviorTest(BehaviorTestConfig(multi_step=step))
+            test_.test(outcomes)  # warm calibration
+            start = time.perf_counter()
+            test_.test(outcomes)
+            timings[step] = time.perf_counter() - start
+        return timings
+
+    timings = run_once(benchmark, sweep)
+    benchmark.extra_info["seconds_by_step"] = timings
+    assert timings[50] > timings[1000]
+
+
+def test_ablation_calibration_sets(benchmark):
+    """More Monte-Carlo sets stabilize ε (spread across reseeds shrinks)."""
+
+    def spread(n_sets):
+        values = [
+            ThresholdCalibrator(n_sets=n_sets, seed=s).threshold(10, 50, 0.95)
+            for s in range(8)
+        ]
+        return max(values) - min(values)
+
+    def sweep():
+        return {n: spread(n) for n in (50, 400, 3200)}
+
+    spreads = run_once(benchmark, sweep)
+    benchmark.extra_info["epsilon_spread_by_sets"] = spreads
+    assert spreads[3200] < spreads[50]
+
+
+def test_ablation_distance_choice(benchmark):
+    """The scheme works under other distances too; L1 is the paper's pick."""
+
+    def sweep():
+        rates = {}
+        for distance in ("l1", "ks", "l2"):
+            test_ = SingleBehaviorTest(BehaviorTestConfig(distance=distance))
+            rates[distance] = {
+                "detection": _detection_rate(test_, window=20, trials=60),
+                "false_positive": _false_positive_rate(test_, trials=60),
+            }
+        return rates
+
+    rates = run_once(benchmark, sweep)
+    benchmark.extra_info["rates_by_distance"] = rates
+    for distance, r in rates.items():
+        assert r["false_positive"] <= 0.2, distance
+        assert r["detection"] >= 0.3, distance
+
+
+def test_ablation_window_alignment(benchmark):
+    """'recent' vs 'oldest' alignment: same honest pass rates, but only
+    'recent' guarantees the newest transactions are always inside a
+    window — measurably better at catching a fresh burst in a history
+    whose length is not a window multiple."""
+
+    def sweep():
+        rates = {}
+        rng = np.random.default_rng(9)
+        for align in ("recent", "oldest"):
+            test_ = SingleBehaviorTest(BehaviorTestConfig(align=align))
+            detected = 0
+            for _ in range(60):
+                # 395 honest + 9 trailing bads: with m=10 the 'oldest'
+                # alignment drops 4 of the bads out of the windowed region
+                trace = np.concatenate(
+                    [
+                        generate_honest_outcomes(395, 0.95, seed=rng),
+                        np.zeros(9, dtype=np.int8),
+                    ]
+                )
+                detected += not test_.test(trace).passed
+            rates[align] = detected / 60
+        return rates
+
+    rates = run_once(benchmark, sweep)
+    benchmark.extra_info["detection_by_alignment"] = rates
+    assert rates["recent"] >= rates["oldest"]
+
+
+def test_ablation_segmented_screen_vs_strategic_attacker(benchmark):
+    """The flexibility/strength trade-off of the dynamic-p extension.
+
+    Segmented testing clears honest drift (see the dynamic-extension
+    tests) but, against a *strategic* attacker, its willingness to treat
+    a rate change as a new regime costs adversarial strength: the imposed
+    attack cost lands near the single test's, well below multi-testing's.
+    """
+    from repro.adversary.strategic import StrategicAttacker
+    from repro.core.calibration import ThresholdCalibrator
+    from repro.core.segmented import SegmentedBehaviorTest
+    from repro.trust.average import AverageTrust
+
+    def sweep():
+        calibrator = ThresholdCalibrator(seed=2008)
+        costs = {}
+        for name, make in [
+            ("single", lambda: SingleBehaviorTest(calibrator=calibrator)),
+            ("multi", lambda: MultiBehaviorTest(calibrator=calibrator)),
+            ("segmented", lambda: SegmentedBehaviorTest(calibrator=calibrator)),
+        ]:
+            attacker = StrategicAttacker(AverageTrust(), make(), max_steps=8000)
+            costs[name] = float(
+                np.mean([attacker.run(800, seed=s).cost for s in range(3)])
+            )
+        return costs
+
+    costs = run_once(benchmark, sweep)
+    benchmark.extra_info["attack_cost_by_screen"] = costs
+    assert costs["multi"] > costs["segmented"]
+    assert costs["multi"] > costs["single"]
+
+
+def test_ablation_refit_gap(benchmark):
+    """Calibrating against B(m, p) without refitting p_hat (the paper's
+    construction) is conservative: observed distances of honest players
+    sit well below ε because the test refits p_hat to the sample."""
+
+    test_ = SingleBehaviorTest(BehaviorTestConfig())
+
+    def measure():
+        margins = []
+        rng = np.random.default_rng(5)
+        for _ in range(60):
+            verdict = test_.test(generate_honest_outcomes(800, 0.95, seed=rng))
+            margins.append(verdict.distance / verdict.threshold)
+        return float(np.mean(margins))
+
+    mean_ratio = run_once(benchmark, measure)
+    benchmark.extra_info["mean_distance_over_threshold"] = mean_ratio
+    assert mean_ratio < 0.8  # honest players pass with a comfortable margin

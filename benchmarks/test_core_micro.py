@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the hot paths behind every experiment.
+
+These are not figures from the paper; they guard the constants that make
+the strategic-attacker loops tractable (one behavior test per simulated
+transaction, plus a look-ahead).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ThresholdCalibrator
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.feedback.history import TransactionHistory
+from repro.stats.binomial import binomial_pmf
+from repro.trust.weighted import WeightedTrust
+
+CONFIG = BehaviorTestConfig()
+CALIBRATOR = ThresholdCalibrator(seed=2008)
+HISTORY_N = 1000
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return generate_honest_outcomes(HISTORY_N, 0.95, seed=1)
+
+
+def test_single_behavior_test_1k(benchmark, outcomes):
+    test_ = SingleBehaviorTest(CONFIG, CALIBRATOR)
+    test_.test(outcomes)
+    benchmark(test_.test, outcomes)
+
+
+def test_multi_behavior_test_1k(benchmark, outcomes):
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR)
+    test_.test(outcomes)
+    benchmark(test_.test, outcomes)
+
+
+def test_threshold_calibration_cold(benchmark):
+    """One uncached Monte-Carlo calibration (400 sample sets)."""
+
+    def calibrate():
+        calibrator = ThresholdCalibrator(n_sets=400, seed=3)
+        return calibrator.threshold(10, 100, 0.95)
+
+    benchmark(calibrate)
+
+
+def test_threshold_calibration_cached(benchmark):
+    CALIBRATOR.threshold(10, 100, 0.95)
+    benchmark(CALIBRATOR.threshold, 10, 100, 0.95)
+
+
+def test_binomial_pmf(benchmark):
+    benchmark(binomial_pmf, 10, 0.95)
+
+
+def test_history_append_and_speculate(benchmark):
+    history = TransactionHistory.from_outcomes([1] * 100)
+
+    def step():
+        with history.speculate(0):
+            pass
+        history.append_outcome(1)
+
+    benchmark(step)
+
+
+def test_trust_tracker_update(benchmark):
+    tracker = WeightedTrust(0.5).tracker()
+    benchmark(tracker.update, 1)
+
+
+def test_collusion_reorder_10k_feedbacks(benchmark):
+    """The issuer-grouped reordering dominates collusion-resilient testing."""
+    from repro.core.collusion import reordered_outcomes
+    from repro.feedback.records import Feedback, Rating
+
+    rng = np.random.default_rng(4)
+    feedbacks = [
+        Feedback(
+            time=float(t),
+            server="s",
+            client=f"c{int(rng.integers(0, 200))}",
+            rating=Rating.POSITIVE if rng.random() < 0.95 else Rating.NEGATIVE,
+        )
+        for t in range(10_000)
+    ]
+    outcomes = benchmark(reordered_outcomes, feedbacks)
+    assert outcomes.size == 10_000
+
+
+def test_changepoint_detection_100k(benchmark):
+    """Binary segmentation must stay linear-ish for ecosystem-scale histories."""
+    from repro.stats.changepoint import detect_change_points
+
+    trace = np.concatenate(
+        [
+            generate_honest_outcomes(50_000, 0.95, seed=5),
+            generate_honest_outcomes(50_000, 0.8, seed=6),
+        ]
+    )
+    splits = benchmark(detect_change_points, trace)
+    assert len(splits) >= 1
+    assert abs(splits[0] - 50_000) < 2_000
+

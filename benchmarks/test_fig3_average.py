@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 3 (attacker cost sweep, average trust function).
+
+Also asserts the figure's qualitative shape so a regression in any layer
+(test, calibrator, attacker) fails the bench rather than silently
+producing a wrong figure.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+PREPS = (100, 400, 800)
+
+
+def test_fig3_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark, run_fig3, prep_sizes=PREPS, n_seeds=2, base_seed=2008
+    )
+    attach_table(benchmark, result)
+
+    rows = {r["prep_size"]: r for r in result.rows}
+    # bare average trust: hibernating attacks become free with long preps
+    assert rows[800]["none"] == 0.0
+    # both schemes impose positive cost where the bare function charges none
+    assert rows[800]["scheme1"] > 0
+    assert rows[800]["scheme2"] > 0
+    # multi-testing dominates single testing on long preparation histories
+    assert rows[800]["scheme2"] >= rows[800]["scheme1"]

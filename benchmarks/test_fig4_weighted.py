@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 4 (attacker cost sweep, weighted trust function)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig4
+
+PREPS = (100, 400, 800)
+
+
+def test_fig4_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark, run_fig4, prep_sizes=PREPS, n_seeds=2, base_seed=2008
+    )
+    attach_table(benchmark, result)
+
+    rows = {r["prep_size"]: r for r in result.rows}
+    # bare EWMA(0.5): a periodic attack at ~2-3 goods per bad, flat in prep
+    assert 40 <= rows[100]["none"] <= 75
+    assert 40 <= rows[800]["none"] <= 75
+    # the behavior tests never make attacks cheaper, and multi-testing
+    # imposes the highest cost on long preparation histories
+    assert rows[800]["scheme2"] >= rows[800]["none"]
+    assert rows[800]["scheme2"] >= rows[800]["scheme1"] - 5

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 5 (collusion, average trust function)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+PREPS = (100, 400, 800)
+
+
+def test_fig5_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark, run_fig5, prep_sizes=PREPS, n_seeds=2, base_seed=2008
+    )
+    attach_table(benchmark, result)
+
+    rows = {r["prep_size"]: r for r in result.rows}
+    for prep in PREPS:
+        # without behavior testing, colluders cover the whole campaign
+        assert rows[prep]["none"] == 0.0
+        # collusion-resilient testing forces real service to real clients
+        assert rows[prep]["scheme2"] > 0
+    # multi-testing keeps the attacker expensive even with a long prep
+    assert rows[800]["scheme2"] > rows[800]["none"]

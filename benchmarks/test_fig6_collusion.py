@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 6 (collusion, weighted trust function)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig6
+
+PREPS = (100, 400, 800)
+
+
+def test_fig6_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark, run_fig6, prep_sizes=PREPS, n_seeds=2, base_seed=2008
+    )
+    attach_table(benchmark, result)
+
+    rows = {r["prep_size"]: r for r in result.rows}
+    for prep in PREPS:
+        # fake positives rebuild the EWMA for free after each cheat
+        assert rows[prep]["none"] == 0.0
+        assert rows[prep]["scheme1"] > 0
+        assert rows[prep]["scheme2"] > 0

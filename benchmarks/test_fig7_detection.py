@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 7 (detection rate vs. attack window size)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+WINDOWS = (10, 20, 40, 80)
+
+
+def test_fig7_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark,
+        run_fig7,
+        attack_windows=WINDOWS,
+        trials=120,
+        base_seed=2008,
+    )
+    attach_table(benchmark, result)
+
+    rates = dict(zip(result.column("attack_window"), result.column("single_detection_rate")))
+    # tight attack windows force an under-dispersed pattern: caught
+    assert rates[10] >= 0.9
+    # detection decays monotonically (modulo sampling noise) toward the
+    # binomial limit as the window grows — the paper's headline curve
+    assert rates[10] > rates[40] > rates[80] - 0.05
+    assert rates[80] < 0.5

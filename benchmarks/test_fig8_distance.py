@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 8 (ε threshold vs. history size)."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig8
+
+SIZES = (100, 200, 400, 800, 1600, 3200)
+
+
+def test_fig8_regeneration(benchmark, attach_table):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        history_sizes=SIZES,
+        calibration_sets=1500,
+        base_seed=2008,
+    )
+    attach_table(benchmark, result)
+
+    eps = result.column("epsilon_p0.95")
+    # strictly decreasing across a 32x history range
+    assert all(a > b for a, b in zip(eps, eps[1:]))
+    # fast convergence: the paper's observation — by a few thousand
+    # transactions the threshold is a fraction of its small-history value
+    assert eps[-1] < eps[0] / 3

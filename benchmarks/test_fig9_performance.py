@@ -1,0 +1,63 @@
+"""Benchmark: regenerate Fig. 9 (behavior-testing running time).
+
+This is the paper's performance figure, so here the pytest-benchmark
+timings *are* the result: single testing and optimized multi-testing are
+timed directly on large histories, and the naive O(n^2) multi-testing
+scheme on a smaller one for the scaling contrast.
+"""
+
+import pytest
+
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.experiments.common import make_shared_calibrator
+
+CONFIG = BehaviorTestConfig(multi_step=1000)
+CALIBRATOR = make_shared_calibrator(CONFIG)
+LARGE = 400_000
+SMALL = 40_000
+
+
+@pytest.fixture(scope="module")
+def large_history():
+    return generate_honest_outcomes(LARGE, 0.95, seed=2008)
+
+
+@pytest.fixture(scope="module")
+def small_history():
+    return generate_honest_outcomes(SMALL, 0.95, seed=2008)
+
+
+def test_fig9_single_testing_large_history(benchmark, large_history):
+    test_ = SingleBehaviorTest(CONFIG, CALIBRATOR)
+    test_.test(large_history)  # warm the threshold cache
+    verdict = benchmark(test_.test, large_history)
+    assert verdict.passed
+
+
+def test_fig9_multi_testing_optimized_large_history(benchmark, large_history):
+    # NOTE: multi-testing runs ~n/k 95%-confidence rounds, so an honest
+    # history of this length legitimately fails a round now and then; the
+    # benches assert the work was done, not the (chance-dependent) verdict.
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR, strategy="optimized", collect_all=True)
+    test_.test(large_history)
+    report = benchmark(test_.test, large_history)
+    assert report.n_rounds >= 1
+
+
+def test_fig9_multi_testing_naive_small_history(benchmark, small_history):
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR, strategy="naive", collect_all=True)
+    test_.test(small_history)
+    report = benchmark(test_.test, small_history)
+    assert report.n_rounds >= 1
+
+
+def test_fig9_multi_testing_optimized_small_history(benchmark, small_history):
+    # same size as the naive bench: the head-to-head the paper's O(n)
+    # optimization claims to win
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR, strategy="optimized", collect_all=True)
+    test_.test(small_history)
+    report = benchmark(test_.test, small_history)
+    assert report.n_rounds >= 1

@@ -1,0 +1,68 @@
+"""Benchmarks for the decentralized substrate: lookup cost and gossip convergence.
+
+Not figures from the paper — these quantify the substrate the paper's
+availability assumption rests on: O(log n) DHT lookups and exponential
+gossip convergence, so assessing a server stays cheap at P2P scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.p2p.chord import ChordRing
+from repro.p2p.gossip import GossipAggregator
+
+
+@pytest.fixture(scope="module")
+def ring_64():
+    ring = ChordRing(seed=3)
+    for i in range(64):
+        ring.add_node(f"node-{i}")
+    return ring
+
+
+def test_chord_lookup_64_nodes(benchmark, ring_64):
+    keys = [f"server-{i}" for i in range(50)]
+
+    def lookups():
+        return [ring_64.lookup(k).hops for k in keys]
+
+    hops = benchmark(lookups)
+    mean_hops = float(np.mean(hops))
+    benchmark.extra_info["mean_hops"] = mean_hops
+    # O(log n): 64 nodes -> ~log2(64) = 6 expected, generous bound
+    assert mean_hops <= 8
+
+
+def test_chord_put_get_roundtrip(benchmark, ring_64):
+    counter = iter(range(10_000_000))
+
+    def roundtrip():
+        key = f"rt-{next(counter)}"
+        ring_64.put(key, "value")
+        return ring_64.get(key)
+
+    values = benchmark(roundtrip)
+    assert "value" in values
+
+
+def test_chord_ring_construction(benchmark):
+    def build():
+        ring = ChordRing(seed=4)
+        for i in range(24):
+            ring.add_node(f"n{i}")
+        return ring
+
+    ring = benchmark.pedantic(build, iterations=1, rounds=1)
+    assert len(ring.nodes) == 24
+
+
+def test_gossip_convergence_rounds(benchmark):
+    """Rounds to 1% agreement for 256 peers — should be ~tens, not hundreds."""
+
+    def converge():
+        agg = GossipAggregator(np.random.default_rng(5).random(256), seed=5)
+        return agg.run_until(tolerance=0.01, max_rounds=500)
+
+    rounds = benchmark.pedantic(converge, iterations=1, rounds=3)
+    benchmark.extra_info["rounds_to_1pct"] = rounds
+    assert rounds < 100

@@ -1,0 +1,62 @@
+"""Benchmark: ROC sweep of the behavior tests + camouflage residual.
+
+Quantifies the scheme-selection question the paper leaves to the
+deployment: multi-testing buys detection power (higher AUC on the
+periodic workload) at the cost of more false alarms per assessment, and
+no scheme constrains a perfectly camouflaged attacker below the trust
+threshold — the paper's conclusion, asserted.
+"""
+
+from conftest import run_once
+
+from repro.adversary.periodic import periodic_attack_history
+from repro.analysis import auc, max_sustainable_cheat_rate, roc_curve
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+
+
+def _honest(rng):
+    return generate_honest_outcomes(800, 0.95, seed=rng)
+
+
+def _attack(rng):
+    return periodic_attack_history(800, 30, seed=rng)
+
+
+def test_roc_single_vs_multi(benchmark):
+    def sweep():
+        scores = {}
+        for name, factory in [
+            ("single", lambda cfg: SingleBehaviorTest(cfg)),
+            ("multi", lambda cfg: MultiBehaviorTest(cfg)),
+        ]:
+            points = roc_curve(
+                _honest,
+                _attack,
+                test_factory=factory,
+                confidences=(0.7, 0.9, 0.95, 0.99),
+                trials=50,
+                seed=11,
+            )
+            scores[name] = auc(points)
+        return scores
+
+    scores = run_once(benchmark, sweep)
+    benchmark.extra_info["auc"] = scores
+    assert scores["single"] > 0.55  # far better than chance
+    assert scores["multi"] >= scores["single"] - 0.05
+
+
+def test_camouflage_saturates_trust_cap(benchmark):
+    def measure():
+        test = MultiBehaviorTest()
+        return max_sustainable_cheat_rate(
+            test, history_length=800, trials=20, precision=0.02, seed=12
+        )
+
+    rate = run_once(benchmark, measure)
+    benchmark.extra_info["max_cheat_rate"] = rate
+    # the paper's conclusion: an iid attacker is statistically honest; the
+    # binding constraint is the trust threshold (0.9 -> 0.1 cheat cap)
+    assert rate >= 0.07

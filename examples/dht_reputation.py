@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fully decentralized deployment: DHT feedback storage + gossip reputation.
+
+The paper assumes a server's complete feedback record is retrievable
+even without a central server.  This example runs the whole pipeline
+with no central component:
+
+1. feedback about two servers (one honest, one hibernating attacker) is
+   written into a Chord ring of 12 storage nodes, replicated 3x;
+2. a storage node is *crashed* mid-way; nothing is lost;
+3. the two-phase assessment runs over histories materialized from the
+   DHT, flagging the attacker;
+4. independently, 30 peers gossip their local feedback summaries and
+   every peer converges to the same average reputation — the phase-2
+   signal, decentralized.
+
+Run:  python examples/dht_reputation.py
+"""
+
+import numpy as np
+
+from repro import (
+    AverageTrust,
+    Feedback,
+    MultiBehaviorTest,
+    Rating,
+    TwoPhaseAssessor,
+    generate_honest_outcomes,
+)
+from repro.p2p import ChordRing, DistributedFeedbackStore, ReputationGossip
+
+
+def build_traces(seed=17):
+    honest = generate_honest_outcomes(600, 0.95, seed=seed)
+    attacker = np.concatenate(
+        [np.ones(560, dtype=np.int8), np.zeros(40, dtype=np.int8)]
+    )
+    return {"tidy-mirrors": honest, "trapdoor-cdn": attacker}
+
+
+def main() -> None:
+    ring = ChordRing(replicas=3, seed=1)
+    for i in range(12):
+        ring.add_node(f"storage-{i}")
+    store = DistributedFeedbackStore(ring=ring)
+
+    traces = build_traces()
+    for server, outcomes in traces.items():
+        for t, outcome in enumerate(outcomes):
+            store.record(
+                Feedback(
+                    time=float(t),
+                    server=server,
+                    client=f"peer-{t % 30}",
+                    rating=Rating.POSITIVE if outcome else Rating.NEGATIVE,
+                )
+            )
+    print(f"stored {sum(len(v) for v in traces.values())} feedbacks "
+          f"across {len(ring.nodes)} nodes "
+          f"({ring.network.stats.messages} messages)")
+
+    # crash the node responsible for the attacker's feedback
+    victim = ring.responsible_node("feedback/trapdoor-cdn")
+    ring.remove_node(victim, graceful=False)
+    print(f"crashed {victim}; replicas keep the data available\n")
+
+    assessor = TwoPhaseAssessor(MultiBehaviorTest(), AverageTrust(), trust_threshold=0.9)
+    for server in traces:
+        history = store.history(server)
+        result = assessor.assess(history)
+        print(f"{server:15s} n={len(history):4d}  -> {result.status.value}")
+
+    # gossip: every peer learns the average reputation without the DHT
+    print("\npush-pull gossip (30 peers, no central aggregation):")
+    gossip = ReputationGossip(n_peers=30, seed=2)
+    for server, outcomes in traces.items():
+        for t, outcome in enumerate(outcomes):
+            gossip.record_feedback(t % 30, server, int(outcome))
+    gossip.run_rounds(30)
+    for server in traces:
+        truth = gossip.global_reputation(server)
+        spread = gossip.estimation_spread(server)
+        print(f"  {server:15s} global={truth:.3f}  max peer error={spread:.4f}")
+    print("\nNote the two servers are indistinguishable by reputation alone —")
+    print("both ratios are ~0.93-0.95 — which is exactly why phase 1 above")
+    print("had to screen the transaction *pattern*, not the ratio.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Collusion ring: how much does a fake-feedback ring really save?
+
+Reproduces the Sec. 5.2 setting interactively: an attacker with a
+five-member colluder ring (out of 100 potential clients) wants to cheat
+20 victims while keeping its reputation above 0.9.  We run the campaign
+under three defenses and report the attacker's *real* cost — good
+services delivered to non-colluders — plus how large a genuine supporter
+base each defense forces it to build.
+
+Run:  python examples/p2p_collusion_ring.py
+"""
+
+from repro import (
+    AverageTrust,
+    CollusionResilientMultiTest,
+    CollusionResilientTest,
+)
+from repro.adversary import ColludingStrategicAttacker
+
+
+def main() -> None:
+    prep_size = 400
+    defenses = [
+        ("average trust only", None),
+        ("+ collusion-resilient single test", CollusionResilientTest()),
+        ("+ collusion-resilient multi test", CollusionResilientMultiTest()),
+    ]
+
+    print(f"attacker prep: {prep_size} colluder-backed transactions; goal: 20 cheats")
+    print(f"{'defense':36s} {'real goods':>10s} {'fake fb':>8s} "
+          f"{'supporters':>10s} {'goal?':>6s}")
+    print("-" * 76)
+    for name, test in defenses:
+        attacker = ColludingStrategicAttacker(
+            AverageTrust(),
+            test,
+            trust_threshold=0.9,
+            n_clients=100,
+            n_colluders=5,
+            target_bads=20,
+        )
+        result = attacker.run(prep_size, seed=2008)
+        print(
+            f"{name:36s} {result.good_transactions:>10d} "
+            f"{result.colluder_feedbacks:>8d} "
+            f"{int(result.extra['supporter_base']):>10d} "
+            f"{'yes' if result.reached_goal else 'NO':>6s}"
+        )
+
+    print()
+    print("Without behavior testing the ring makes the campaign free: every")
+    print("trust-value dip is patched with a fabricated positive.  The")
+    print("collusion-resilient tests group feedback by issuer before testing,")
+    print("so fabricated positives pile into a few huge groups and stop")
+    print("covering for the victims' negatives — the attacker is forced to")
+    print("serve real clients, i.e. to behave like an honest player.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: screen a server's history before trusting its reputation.
+
+Builds two servers with the *same* 95% positive-feedback ratio — one
+honest, one a hibernating attacker saving all its bad transactions for
+the end — and shows why a trust function alone cannot tell them apart,
+while the paper's two-phase assessment can.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AverageTrust,
+    MultiBehaviorTest,
+    SingleBehaviorTest,
+    TransactionHistory,
+    TwoPhaseAssessor,
+    generate_honest_outcomes,
+)
+
+
+def main() -> None:
+    rng_seed = 42
+    n = 1000
+
+    # An honest player: outcomes are iid Bernoulli(0.95) — the bad ones
+    # are scattered, caused by factors outside the server's control.
+    honest = TransactionHistory.from_outcomes(
+        generate_honest_outcomes(n, 0.95, seed=rng_seed), server="alice"
+    )
+
+    # A hibernating attacker with the *same* overall ratio: it behaved
+    # perfectly for 950 transactions, then cheated 50 clients in a row.
+    attack_trace = np.concatenate(
+        [np.ones(n - 50, dtype=np.int8), np.zeros(50, dtype=np.int8)]
+    )
+    attacker = TransactionHistory.from_outcomes(attack_trace, server="mallory")
+
+    trust = AverageTrust()
+    print("Phase-2-only view (what a bare trust function sees):")
+    print(f"  alice   trust = {trust.score(honest):.3f}")
+    print(f"  mallory trust = {trust.score(attacker):.3f}")
+    print("  -> indistinguishable.\n")
+
+    for name, test in [
+        ("single behavior test (Scheme 1)", SingleBehaviorTest()),
+        ("multi behavior testing (Scheme 2)", MultiBehaviorTest()),
+    ]:
+        assessor = TwoPhaseAssessor(test, trust, trust_threshold=0.9)
+        print(f"Two-phase assessment with {name}:")
+        for history in (honest, attacker):
+            verdict = assessor.assess(history)
+            trust_str = (
+                f"trust={verdict.trust_value:.3f}"
+                if verdict.trust_value is not None
+                else "trust not computed"
+            )
+            print(f"  {history.server:8s} -> {verdict.status.value:10s} ({trust_str})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Trust-function shootout inside a live reputation ecosystem.
+
+Runs the same mixed population (honest servers + a hibernating and a
+periodic attacker, both entering with an established 500-transaction
+reputation) under four different phase-2 trust functions, with and
+without the phase-1 behavior screen, using the full simulation engine:
+clients arrive per the paper's probabilistic model, assess servers, and
+transact only on a TRUSTED verdict.
+
+The quantities of interest are the attacker harm that reached clients
+(bad transactions served by the two attackers) and the honest servers'
+throughput — a good screen cuts the former without collapsing the
+latter.  Because every client request triggers a fresh assessment, the
+screen here runs multi-testing at 99% confidence with a coarse suffix
+schedule; the paper's default (95%, step 50) maximizes one-shot
+detection instead (see examples/detection_tuning.py for the trade-off).
+
+Run:  python examples/trust_function_shootout.py   (takes ~a minute)
+"""
+
+from repro import BehaviorTestConfig, MultiBehaviorTest, TwoPhaseAssessor, make_trust_function
+from repro.simulation import ScenarioConfig, build_simulation
+
+SCREEN_CONFIG = BehaviorTestConfig(confidence=0.99, multi_step=200, min_windows=10)
+
+
+def run_ecosystem(trust_name: str, screened: bool, seed: int = 11) -> dict:
+    trust_kwargs = {"lam": 0.5} if trust_name == "weighted" else {}
+    assessor = TwoPhaseAssessor(
+        MultiBehaviorTest(SCREEN_CONFIG) if screened else None,
+        make_trust_function(trust_name, **trust_kwargs),
+        trust_threshold=0.9,
+    )
+    config = ScenarioConfig(
+        n_honest_servers=4,
+        n_hibernating=1,
+        n_periodic=1,
+        n_clients=30,
+        attack_prep=500,
+        attack_bads=80,
+        periodic_window=20,
+        prior_history_size=300,
+        bootstrap_transactions=0,
+        exploration=0.02,
+    )
+    simulation = build_simulation(config, assessor, seed=seed)
+    metrics = simulation.run(80)
+    attacker_bad = honest_txns = 0
+    for server_id, server_metrics in metrics.per_server.items():
+        if server_id.startswith(("hibernating", "periodic")):
+            attacker_bad += server_metrics.bad_transactions
+        else:
+            honest_txns += server_metrics.transactions
+    return {
+        "attacker_bad": attacker_bad,
+        "honest_txns": honest_txns,
+        "suspicious_refusals": int(metrics.summary()["refusals_suspicious"]),
+    }
+
+
+def main() -> None:
+    print(f"{'trust function':15s} {'screen':>7s} {'attacker bad txns':>18s} "
+          f"{'honest txns':>12s} {'refusals':>9s}")
+    print("-" * 66)
+    for trust_name in ("average", "weighted", "beta", "decay"):
+        for screened in (False, True):
+            stats = run_ecosystem(trust_name, screened)
+            print(
+                f"{trust_name:15s} {'yes' if screened else 'no':>7s} "
+                f"{stats['attacker_bad']:>18d} {stats['honest_txns']:>12d} "
+                f"{stats['suspicious_refusals']:>9d}"
+            )
+    print()
+    print("'attacker bad txns' is the harm that reached clients from the two")
+    print("attackers; 'refusals' counts requests the behavior screen rejected.")
+    print("The screen cuts attacker harm for every trust function while the")
+    print("honest servers keep transacting — the paper's composition claim:")
+    print("phase 1 complements, rather than replaces, phase 2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline evaluation environment has setuptools but not `wheel`, so the
+PEP 660 editable path is unavailable; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — reproduction of "On the Modeling of Honest Players in Reputation
+Systems" (Qing Zhang, Wei Wei, Ting Yu; ICDCS 2008 / JCST 2009).
+
+The package implements the paper's two-phase trust assessment — a
+statistical screen of a server's transaction history against the
+honest-player binomial model, followed by a conventional trust function —
+together with everything the evaluation needs: trust-function baselines,
+attack models, a P2P client-arrival simulation, and runners for every
+figure in the paper (see :mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import (
+        SingleBehaviorTest, MultiBehaviorTest, TwoPhaseAssessor,
+        AverageTrust, TransactionHistory, generate_honest_outcomes,
+    )
+
+    history = TransactionHistory.from_outcomes(
+        generate_honest_outcomes(500, 0.95, seed=42)
+    )
+    assessor = TwoPhaseAssessor(MultiBehaviorTest(), AverageTrust(),
+                                trust_threshold=0.9)
+    print(assessor.assess(history).status)
+"""
+
+from .core import (
+    Assessment,
+    AssessmentStatus,
+    BehaviorTestConfig,
+    BehaviorVerdict,
+    CategorizedBehaviorTest,
+    CollusionResilientMultiTest,
+    CollusionResilientTest,
+    HonestPlayerModel,
+    MultiBehaviorTest,
+    MultinomialBehaviorTest,
+    MultiTestReport,
+    SegmentedBehaviorTest,
+    SingleBehaviorTest,
+    TemporalBehaviorTest,
+    ThresholdCalibrator,
+    TwoPhaseAssessor,
+    generate_honest_outcomes,
+)
+from .feedback import BAD, GOOD, Feedback, FeedbackLedger, Rating, TransactionHistory
+from .trust import (
+    AverageTrust,
+    TrustGuardTrust,
+    BetaReputationTrust,
+    DecayTrust,
+    EigenTrust,
+    PeerTrust,
+    TrustFunction,
+    WeightedTrust,
+    make_trust_function,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assessment",
+    "AssessmentStatus",
+    "BehaviorTestConfig",
+    "BehaviorVerdict",
+    "CategorizedBehaviorTest",
+    "CollusionResilientMultiTest",
+    "CollusionResilientTest",
+    "HonestPlayerModel",
+    "MultiBehaviorTest",
+    "MultinomialBehaviorTest",
+    "MultiTestReport",
+    "SegmentedBehaviorTest",
+    "SingleBehaviorTest",
+    "TemporalBehaviorTest",
+    "ThresholdCalibrator",
+    "TwoPhaseAssessor",
+    "generate_honest_outcomes",
+    "BAD",
+    "GOOD",
+    "Feedback",
+    "FeedbackLedger",
+    "Rating",
+    "TransactionHistory",
+    "AverageTrust",
+    "TrustGuardTrust",
+    "BetaReputationTrust",
+    "DecayTrust",
+    "EigenTrust",
+    "PeerTrust",
+    "TrustFunction",
+    "WeightedTrust",
+    "make_trust_function",
+    "__version__",
+]

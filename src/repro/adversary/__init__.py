@@ -1,0 +1,28 @@
+"""Adversary models: the attacks the paper's schemes are measured against."""
+
+from .base import AttackCampaignResult
+from .cheat_and_run import CheatAndRunAttacker, CheatAndRunOutcome
+from .collusion import ColludingStrategicAttacker
+from .hibernating import HibernatingAttacker, HibernatingRun, hibernating_attack_history
+from .oracle import AssessmentOracle
+from .periodic import PeriodicRun, TrustDrivenPeriodicAttacker, periodic_attack_history
+from .strategic import StrategicAttacker
+from .sybil import SybilAttacker, SybilIdentity, sybil_campaign_cost
+
+__all__ = [
+    "AttackCampaignResult",
+    "CheatAndRunAttacker",
+    "CheatAndRunOutcome",
+    "ColludingStrategicAttacker",
+    "HibernatingAttacker",
+    "HibernatingRun",
+    "hibernating_attack_history",
+    "AssessmentOracle",
+    "PeriodicRun",
+    "TrustDrivenPeriodicAttacker",
+    "periodic_attack_history",
+    "StrategicAttacker",
+    "SybilAttacker",
+    "SybilIdentity",
+    "sybil_campaign_cost",
+]

@@ -1,0 +1,66 @@
+"""Common types for adversary models.
+
+The paper evaluates its schemes by their *cost to attackers*: the number
+of good transactions an attacker is forced to provide in order to finish
+``M`` bad ones while staying acceptable to clients (Sec. 5).  Every
+attack driver in this package reports an :class:`AttackCampaignResult`
+with exactly that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["AttackCampaignResult"]
+
+
+@dataclass(frozen=True)
+class AttackCampaignResult:
+    """Outcome of one attack campaign.
+
+    Attributes
+    ----------
+    bad_transactions:
+        Successful bad transactions conducted in the attack phase.
+    good_transactions:
+        *Real* good services delivered in the attack phase — the paper's
+        cost metric.  In collusion scenarios this counts goods delivered
+        to non-colluders only ("the true cost for the attacker").
+    colluder_feedbacks:
+        Fake positive feedbacks obtained from colluders during the attack
+        phase (zero for non-collusion attackers).
+    prep_transactions:
+        Size of the preparation history the campaign started from.
+    steps:
+        Simulation steps consumed by the attack phase.
+    reached_goal:
+        True when the attacker finished all ``M`` intended bad
+        transactions within the step budget.
+    idle_steps:
+        Steps in which the attacker performed no transaction (collusion
+        scenarios where no feasible action existed).
+    extra:
+        Free-form per-campaign diagnostics (final trust, flag counts, ...).
+    """
+
+    bad_transactions: int
+    good_transactions: int
+    prep_transactions: int
+    steps: int
+    reached_goal: bool
+    colluder_feedbacks: int = 0
+    idle_steps: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> int:
+        """The paper's strength metric: real goods needed for the campaign."""
+        return self.good_transactions
+
+    @property
+    def goods_per_attack(self) -> float:
+        """Average real goods per successful bad transaction."""
+        if self.bad_transactions == 0:
+            return float("inf") if self.good_transactions else 0.0
+        return self.good_transactions / self.bad_transactions

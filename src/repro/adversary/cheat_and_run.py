@@ -1,0 +1,76 @@
+"""Cheat-and-run attacks (Sec. 3.1).
+
+An attacker conducts one bad transaction after a few honest ones — or
+immediately upon joining — then leaves the system forever.  The paper
+explicitly scopes these out: no reputation mechanism can prevent the
+first bad transaction of a short-lived identity; the defense is to make
+identities expensive (certified IDs, membership fees).  We model both the
+attack and that economic counter-measure so the scoping claim is itself
+testable: under a positive joining cost, cheat-and-run has negative
+expected profit once the cost exceeds the per-cheat gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["CheatAndRunAttacker", "CheatAndRunOutcome"]
+
+
+@dataclass(frozen=True)
+class CheatAndRunOutcome:
+    """Economics of one cheat-and-run identity."""
+
+    outcomes: np.ndarray
+    cheats: int
+    joining_cost: float
+    gain_per_cheat: float
+
+    @property
+    def profit(self) -> float:
+        """Attacker profit: cheat gains minus the identity's joining cost."""
+        return self.cheats * self.gain_per_cheat - self.joining_cost
+
+
+class CheatAndRunAttacker:
+    """Join, perform ``warmup`` honest transactions, cheat once, vanish."""
+
+    def __init__(
+        self,
+        warmup: int = 3,
+        joining_cost: float = 1.0,
+        gain_per_cheat: float = 1.0,
+        warmup_honesty: float = 1.0,
+    ):
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        if joining_cost < 0:
+            raise ValueError(f"joining_cost must be non-negative, got {joining_cost}")
+        if gain_per_cheat <= 0:
+            raise ValueError(f"gain_per_cheat must be positive, got {gain_per_cheat}")
+        if not 0.0 <= warmup_honesty <= 1.0:
+            raise ValueError(f"warmup_honesty must lie in [0, 1], got {warmup_honesty}")
+        self._warmup = warmup
+        self._joining_cost = joining_cost
+        self._gain = gain_per_cheat
+        self._warmup_honesty = warmup_honesty
+
+    def run(self, *, seed: SeedLike = None) -> CheatAndRunOutcome:
+        """Generate one identity's trace and its campaign economics."""
+        rng = make_rng(seed)
+        warmup = (rng.random(self._warmup) < self._warmup_honesty).astype(np.int8)
+        outcomes = np.concatenate([warmup, np.zeros(1, dtype=np.int8)])
+        return CheatAndRunOutcome(
+            outcomes=outcomes,
+            cheats=1,
+            joining_cost=self._joining_cost,
+            gain_per_cheat=self._gain,
+        )
+
+    def breakeven_joining_cost(self) -> float:
+        """Joining cost above which a fresh identity per cheat loses money."""
+        return self._gain

@@ -1,0 +1,185 @@
+"""The colluding strategic attacker (Sec. 5.2).
+
+Setup, following the paper's experiment: a population of ``n_clients``
+potential clients of which ``n_colluders`` collude with the attacker.
+During the preparation phase the attacker transacts only with its
+colluders, who fabricate feedback mimicking an honest player of
+trustworthiness ``prep_honesty`` (0.95).  During the attack phase, each
+step offers three actions:
+
+* **cheat** a requesting non-colluder client (the goal: ``target_bads``
+  of these),
+* **serve** a requesting non-colluder client well (the real cost), or
+* **colluder help** — a fabricated positive feedback, costing nothing.
+
+Clients arrive per the probabilistic model of
+:mod:`repro.simulation.arrival` (``a1 = 0.5``, ``a2 = 0.9``, ``a3 = 0.2``).
+The attacker knows the deployed trust function and behavior test and
+picks its action by look-ahead:
+
+1. cheat if the victim would accept now *and* the post-cheat history
+   still passes the behavior screen;
+2. otherwise, if trust is below the client threshold, rebuild it the
+   free way (colluder help) when the screen tolerates it;
+3. otherwise the behavior screen is what blocks cheating — fabricated
+   positives land in the already-large colluder groups and do not fix the
+   issuer-grouped distribution, so the attacker must grow its supporter
+   base: serve a real client.
+
+Reported cost counts only goods delivered to non-colluders — "the true
+cost for the attacker to achieve his goal".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.two_phase import BehaviorTestProtocol
+from ..feedback.history import TransactionHistory
+from ..feedback.records import Feedback, Rating
+from ..simulation.arrival import ArrivalModel, ClientStateTable
+from ..stats.rng import SeedLike, make_rng
+from ..trust.base import TrustFunction
+from .base import AttackCampaignResult
+from .oracle import AssessmentOracle
+
+__all__ = ["ColludingStrategicAttacker"]
+
+_SERVER_ID = "attacker"
+
+
+class ColludingStrategicAttacker:
+    """Defense-aware attacker with a colluder ring."""
+
+    def __init__(
+        self,
+        trust_function: TrustFunction,
+        behavior_test: Optional[BehaviorTestProtocol],
+        trust_threshold: float = 0.9,
+        n_clients: int = 100,
+        n_colluders: int = 5,
+        arrival: ArrivalModel = ArrivalModel(),
+        prep_honesty: float = 0.95,
+        target_bads: int = 20,
+        max_steps: int = 50_000,
+    ):
+        if not 0 < n_colluders < n_clients:
+            raise ValueError(
+                f"need 0 < n_colluders < n_clients, got {n_colluders}/{n_clients}"
+            )
+        if not 0.0 <= prep_honesty <= 1.0:
+            raise ValueError(f"prep_honesty must lie in [0, 1], got {prep_honesty}")
+        if target_bads <= 0:
+            raise ValueError(f"target_bads must be positive, got {target_bads}")
+        self._trust_function = trust_function
+        self._behavior_test = behavior_test
+        self._threshold = trust_threshold
+        self._arrival = arrival
+        self._prep_honesty = prep_honesty
+        self._target_bads = target_bads
+        self._max_steps = max_steps
+        self._colluders = [f"colluder-{i}" for i in range(n_colluders)]
+        self._ordinary = [f"client-{i}" for i in range(n_clients - n_colluders)]
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, prep_size: int, *, seed: SeedLike = None) -> AttackCampaignResult:
+        """One full campaign: colluder-only prep, then the attack phase."""
+        rng = make_rng(seed)
+        history = self._prepare(prep_size, rng)
+        oracle = AssessmentOracle(
+            self._trust_function,
+            self._behavior_test,
+            trust_threshold=self._threshold,
+            history=history,
+        )
+        states = ClientStateTable(self._ordinary, self._arrival)
+
+        time = float(prep_size)
+        bads = goods = helps = idles = 0
+        steps = 0
+        colluder_cursor = prep_size  # keeps round-robin going from the prep
+        while bads < self._target_bads and steps < self._max_steps:
+            steps += 1
+            time += 1.0
+            reputation = min(max(oracle.trust_value, 0.0), 1.0)
+            requesters = states.sample_requesters(reputation, seed=rng)
+            victim = (
+                str(rng.choice(requesters)) if requesters else None
+            )
+
+            if victim is not None and self._cheat_is_feasible(oracle, victim, time):
+                oracle.record_feedback(self._feedback(time, victim, Rating.NEGATIVE))
+                states.record_service(victim, 0)
+                bads += 1
+                continue
+
+            if oracle.trust_value < self._threshold:
+                helper = self._colluders[colluder_cursor % len(self._colluders)]
+                fb = self._feedback(time, helper, Rating.POSITIVE, authentic=False)
+                if oracle.behavior_passes_after_feedback(fb):
+                    oracle.record_feedback(fb)
+                    colluder_cursor += 1
+                    helps += 1
+                    continue
+                # the screen rejects even a fabricated positive: fall through
+                # to real service, the only remaining lever
+
+            if victim is not None:
+                oracle.record_feedback(self._feedback(time, victim, Rating.POSITIVE))
+                states.record_service(victim, 1)
+                goods += 1
+                continue
+
+            # Nobody requested and colluder help is useless or rejected.
+            idles += 1
+
+        return AttackCampaignResult(
+            bad_transactions=bads,
+            good_transactions=goods,
+            prep_transactions=prep_size,
+            steps=steps,
+            reached_goal=(bads == self._target_bads),
+            colluder_feedbacks=helps,
+            idle_steps=idles,
+            extra={
+                "final_trust": oracle.trust_value,
+                "supporter_base": float(len(oracle.history.supporter_base())),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _prepare(self, prep_size: int, rng) -> TransactionHistory:
+        """Colluder-only preparation mimicking an honest 0.95 player."""
+        history = TransactionHistory(_SERVER_ID)
+        for i in range(prep_size):
+            helper = self._colluders[i % len(self._colluders)]
+            rating = Rating.POSITIVE if rng.random() < self._prep_honesty else Rating.NEGATIVE
+            history.append_feedback(
+                self._feedback(float(i), helper, rating, authentic=False)
+            )
+        return history
+
+    def _cheat_is_feasible(
+        self, oracle: AssessmentOracle, victim: str, time: float
+    ) -> bool:
+        """Victim accepts now, and the post-cheat history stays unflagged."""
+        if oracle.trust_value < self._threshold:
+            return False
+        if not oracle.behavior_passes():
+            return False
+        bad = self._feedback(time, victim, Rating.NEGATIVE)
+        return oracle.behavior_passes_after_feedback(bad)
+
+    @staticmethod
+    def _feedback(
+        time: float, client: str, rating: Rating, *, authentic: bool = True
+    ) -> Feedback:
+        return Feedback(
+            time=time,
+            server=_SERVER_ID,
+            client=client,
+            rating=rating,
+            authentic=authentic,
+        )

@@ -1,0 +1,111 @@
+"""Hibernating attacks (Sec. 3).
+
+The attacker behaves well until its trust value reaches a *cover
+reputation* ``T1``, then launches consecutive attacks against its targets.
+Against a bare trust function a long enough preparation phase lets it run
+its whole campaign without the trust value ever crossing the client
+threshold; the behavior tests exist precisely to break this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+from ..trust.base import TrustFunction
+
+__all__ = ["hibernating_attack_history", "HibernatingRun", "HibernatingAttacker"]
+
+
+def hibernating_attack_history(
+    prep_size: int,
+    n_attacks: int,
+    *,
+    prep_honesty: float = 0.95,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """The simplest hibernating trace: honest prep, then a pure bad burst."""
+    if prep_size < 0:
+        raise ValueError(f"prep_size must be non-negative, got {prep_size}")
+    if n_attacks < 0:
+        raise ValueError(f"n_attacks must be non-negative, got {n_attacks}")
+    rng = make_rng(seed)
+    prep = (rng.random(prep_size) < prep_honesty).astype(np.int8)
+    return np.concatenate([prep, np.zeros(n_attacks, dtype=np.int8)])
+
+
+@dataclass(frozen=True)
+class HibernatingRun:
+    """Trace of a trust-aware hibernating campaign."""
+
+    outcomes: np.ndarray
+    bad_transactions: int
+    good_transactions: int
+    cover_reached_at: int  # prep transactions needed to reach the cover reputation
+
+
+class HibernatingAttacker:
+    """Build cover reputation ``T1``, then cheat while trust stays acceptable.
+
+    Unlike the bare-burst generator, this attacker only cheats while the
+    trust value the victim sees stays at or above ``client_threshold``
+    (an attack below it would simply be refused), rebuilding in between —
+    the behavior the Fig. 3 "Average" curve exhibits.
+    """
+
+    def __init__(
+        self,
+        trust_function: TrustFunction,
+        cover_reputation: float = 0.95,
+        client_threshold: float = 0.9,
+        target_bads: int = 20,
+        max_steps: int = 100_000,
+    ):
+        if not 0.0 <= client_threshold <= cover_reputation <= 1.0:
+            raise ValueError(
+                "need 0 <= client_threshold <= cover_reputation <= 1, got "
+                f"{client_threshold} / {cover_reputation}"
+            )
+        if target_bads <= 0:
+            raise ValueError(f"target_bads must be positive, got {target_bads}")
+        self._trust_function = trust_function
+        self._cover = cover_reputation
+        self._threshold = client_threshold
+        self._target_bads = target_bads
+        self._max_steps = max_steps
+
+    def run(self, prep_outcomes: np.ndarray) -> HibernatingRun:
+        """Extend the cover to T1, then cheat whenever the victim would accept."""
+        tracker = self._trust_function.tracker()
+        outcomes = list(np.asarray(prep_outcomes, dtype=np.int8))
+        tracker.update_many(prep_outcomes)
+
+        # Phase 0: extend the cover until T1 is reached.
+        cover_goods = 0
+        steps = 0
+        while tracker.value < self._cover and steps < self._max_steps:
+            steps += 1
+            tracker.update(1)
+            outcomes.append(1)
+            cover_goods += 1
+
+        bads = 0
+        goods = 0
+        while bads < self._target_bads and steps < self._max_steps:
+            steps += 1
+            if tracker.value >= self._threshold:
+                tracker.update(0)
+                outcomes.append(0)
+                bads += 1
+            else:
+                tracker.update(1)
+                outcomes.append(1)
+                goods += 1
+        return HibernatingRun(
+            outcomes=np.asarray(outcomes, dtype=np.int8),
+            bad_transactions=bads,
+            good_transactions=goods,
+            cover_reached_at=cover_goods,
+        )

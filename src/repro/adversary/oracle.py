@@ -1,0 +1,113 @@
+"""The attacker's view of the defense — an assessment oracle.
+
+The paper's strategic attackers "are aware of the trust functions as well
+as the behavior testing algorithms" (Sec. 5.1): before each transaction
+they evaluate what the defense would conclude if the next transaction
+were bad.  :class:`AssessmentOracle` packages that knowledge:
+
+* the server's history (shared, append-only),
+* an incremental trust tracker kept in sync with the history, and
+* the behavior test (or ``None`` when the defense is a bare trust
+  function).
+
+The oracle is also what *clients* consult in the drivers — attacker and
+clients see the same public information, which is the paper's threat
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.two_phase import BehaviorTestProtocol
+from ..feedback.history import TransactionHistory
+from ..feedback.records import Feedback
+from ..trust.base import TrustFunction
+
+__all__ = ["AssessmentOracle"]
+
+
+class AssessmentOracle:
+    """Incremental two-phase assessment over one server's live history."""
+
+    def __init__(
+        self,
+        trust_function: TrustFunction,
+        behavior_test: Optional[BehaviorTestProtocol],
+        trust_threshold: float = 0.9,
+        history: Optional[TransactionHistory] = None,
+    ):
+        if not 0.0 <= trust_threshold <= 1.0:
+            raise ValueError(
+                f"trust_threshold must lie in [0, 1], got {trust_threshold}"
+            )
+        self._trust_function = trust_function
+        self._behavior_test = behavior_test
+        self._threshold = trust_threshold
+        self._history = history if history is not None else TransactionHistory()
+        self._tracker = trust_function.tracker()
+        self._tracker.update_many(self._history.outcomes())
+
+    # ------------------------------------------------------------------ #
+    # state
+
+    @property
+    def history(self) -> TransactionHistory:
+        return self._history
+
+    @property
+    def trust_threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def trust_value(self) -> float:
+        """Current (phase 2) trust value."""
+        return self._tracker.value
+
+    def behavior_passes(self) -> bool:
+        """Does the current history pass the behavior test (phase 1)?"""
+        if self._behavior_test is None:
+            return True
+        return self._behavior_test.test(self._history).passed
+
+    def client_accepts(self) -> bool:
+        """Would a threshold-``t`` client transact with the server now?
+
+        The two-phase client check of Fig. 2: behavior screen first, then
+        the trust threshold.
+        """
+        return self.trust_value >= self._threshold and self.behavior_passes()
+
+    # ------------------------------------------------------------------ #
+    # what-if queries (the attacker's look-ahead)
+
+    def trust_after(self, outcome: int) -> float:
+        """Trust value if ``outcome`` were appended (no mutation)."""
+        return self._tracker.peek(outcome)
+
+    def behavior_passes_after(self, outcome: int) -> bool:
+        """Would the history still pass phase 1 after ``outcome``?"""
+        if self._behavior_test is None:
+            return True
+        with self._history.speculate(outcome) as hypothetical:
+            return self._behavior_test.test(hypothetical).passed
+
+    def behavior_passes_after_feedback(self, feedback: Feedback) -> bool:
+        """Feedback-level what-if (needed by collusion-resilient tests)."""
+        if self._behavior_test is None:
+            return True
+        with self._history.speculate_feedback(feedback) as hypothetical:
+            return self._behavior_test.test(hypothetical).passed
+
+    # ------------------------------------------------------------------ #
+    # mutation
+
+    def record_outcome(self, outcome: int) -> None:
+        """Commit a bare transaction outcome."""
+        self._history.append_outcome(outcome)
+        self._tracker.update(outcome)
+
+    def record_feedback(self, feedback: Feedback) -> None:
+        """Commit a full feedback record."""
+        self._history.append_feedback(feedback)
+        self._tracker.update(feedback.outcome)

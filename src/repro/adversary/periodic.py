@@ -1,0 +1,136 @@
+"""Periodic attacks (Sec. 3 "Periodic Attacks" and the Fig. 7 workload).
+
+A periodic attacker alternates between attacking and rebuilding
+reputation.  Two forms are provided:
+
+* :func:`periodic_attack_history` — the Fig. 7 workload generator: the
+  attacker keeps its reputation at ``honesty`` while launching
+  ``attack_rate * N`` bad transactions within every attack window of
+  ``N`` transactions.  Bad positions are drawn uniformly at random inside
+  each window: deterministic placement (e.g. always at the window start)
+  is trivially caught at every ``N`` — the interesting question, and the
+  paper's, is how detection degrades as the *randomized* pattern
+  approaches genuine binomial behavior for large ``N``.
+* :class:`TrustDrivenPeriodicAttacker` — the classic form from Sec. 3:
+  cheat until trust drops to ``low_water``, rebuild to ``high_water``,
+  repeat.  Used to characterize bare trust functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+from ..trust.base import TrustFunction
+
+__all__ = ["periodic_attack_history", "TrustDrivenPeriodicAttacker", "PeriodicRun"]
+
+
+def periodic_attack_history(
+    n: int,
+    attack_window: int,
+    *,
+    attack_rate: float = 0.1,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Generate a periodic attacker's outcome sequence of length ``n``.
+
+    Every full window of ``attack_window`` transactions contains exactly
+    ``round(attack_rate * attack_window)`` bad transactions at uniformly
+    random positions; a trailing partial window gets a proportional share.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if attack_window <= 0:
+        raise ValueError(f"attack_window must be positive, got {attack_window}")
+    if not 0.0 <= attack_rate <= 1.0:
+        raise ValueError(f"attack_rate must lie in [0, 1], got {attack_rate}")
+    rng = make_rng(seed)
+    outcomes = np.ones(n, dtype=np.int8)
+    bads_per_window = int(round(attack_rate * attack_window))
+    start = 0
+    while start < n:
+        end = min(start + attack_window, n)
+        span = end - start
+        n_bads = (
+            bads_per_window
+            if span == attack_window
+            else int(round(attack_rate * span))
+        )
+        n_bads = min(n_bads, span)
+        if n_bads > 0:
+            positions = rng.choice(span, size=n_bads, replace=False)
+            outcomes[start + positions] = 0
+        start = end
+    return outcomes
+
+
+@dataclass(frozen=True)
+class PeriodicRun:
+    """Trace of a trust-driven periodic campaign."""
+
+    outcomes: np.ndarray
+    bad_transactions: int
+    good_transactions: int
+    attack_bursts: int
+
+
+class TrustDrivenPeriodicAttacker:
+    """Cheat down to ``low_water``, rebuild to ``high_water``, repeat."""
+
+    def __init__(
+        self,
+        trust_function: TrustFunction,
+        high_water: float = 0.9,
+        low_water: float = 0.85,
+        target_bads: int = 20,
+        max_steps: int = 100_000,
+    ):
+        if not 0.0 <= low_water < high_water <= 1.0:
+            raise ValueError(
+                f"need 0 <= low_water < high_water <= 1, got "
+                f"{low_water} / {high_water}"
+            )
+        if target_bads <= 0:
+            raise ValueError(f"target_bads must be positive, got {target_bads}")
+        self._trust_function = trust_function
+        self._high = high_water
+        self._low = low_water
+        self._target_bads = target_bads
+        self._max_steps = max_steps
+
+    def run(self, prep_outcomes: np.ndarray) -> PeriodicRun:
+        """Run the cheat/rebuild cycle until the target number of bads."""
+        tracker = self._trust_function.tracker()
+        outcomes = list(np.asarray(prep_outcomes, dtype=np.int8))
+        tracker.update_many(prep_outcomes)
+        bads = 0
+        goods = 0
+        bursts = 0
+        attacking = False
+        steps = 0
+        while bads < self._target_bads and steps < self._max_steps:
+            steps += 1
+            if attacking:
+                # keep cheating while trust stays above the low-water mark
+                if tracker.peek(0) >= self._low:
+                    tracker.update(0)
+                    outcomes.append(0)
+                    bads += 1
+                    continue
+                attacking = False
+            if tracker.value >= self._high:
+                attacking = True
+                bursts += 1
+                continue  # next step starts the burst
+            tracker.update(1)
+            outcomes.append(1)
+            goods += 1
+        return PeriodicRun(
+            outcomes=np.asarray(outcomes, dtype=np.int8),
+            bad_transactions=bads,
+            good_transactions=goods,
+            attack_bursts=bursts,
+        )

@@ -1,0 +1,118 @@
+"""The strategic attacker of Sec. 5.1.
+
+The attacker has fully prepared: a history of ``prep_size`` transactions
+conducted as an honest player with trustworthiness ``prep_honesty``
+(0.95 in the paper).  Its goal is ``target_bads`` (20) successful bad
+transactions.  It knows the deployed trust function and behavior test and
+decides each next transaction by look-ahead:
+
+* assume the next transaction is bad and consider the resulting history
+  H'; if H' is still consistent with the honest-player model *and* the
+  trust value shown to the victim meets the client threshold, cheat;
+* otherwise provide a good service (the cost the experiments measure).
+
+Trust-threshold reading: the paper's prose applies the threshold "to the
+trust value computed from H'", but under the weighted function a bad
+transaction always drops trust to ``(1 - lambda) * R <= 0.5``, which would
+make cheating impossible — contradicting Fig. 4's finite costs and its
+"2~3 good transactions after each bad one" observation.  We therefore
+check the threshold against the *pre-transaction* trust value, i.e. what
+the victim client sees when it decides to transact (see DESIGN.md §3.1).
+The behavior-test part of the look-ahead does use H', exactly as written.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.model import generate_honest_outcomes
+from ..core.two_phase import BehaviorTestProtocol
+from ..feedback.history import TransactionHistory
+from ..stats.rng import SeedLike, make_rng
+from ..trust.base import TrustFunction
+from .base import AttackCampaignResult
+from .oracle import AssessmentOracle
+
+__all__ = ["StrategicAttacker"]
+
+
+class StrategicAttacker:
+    """Defense-aware attacker for the non-collusion experiments."""
+
+    def __init__(
+        self,
+        trust_function: TrustFunction,
+        behavior_test: Optional[BehaviorTestProtocol],
+        trust_threshold: float = 0.9,
+        prep_honesty: float = 0.95,
+        target_bads: int = 20,
+        max_steps: int = 100_000,
+    ):
+        if not 0.0 <= prep_honesty <= 1.0:
+            raise ValueError(f"prep_honesty must lie in [0, 1], got {prep_honesty}")
+        if target_bads <= 0:
+            raise ValueError(f"target_bads must be positive, got {target_bads}")
+        if max_steps <= 0:
+            raise ValueError(f"max_steps must be positive, got {max_steps}")
+        self._trust_function = trust_function
+        self._behavior_test = behavior_test
+        self._threshold = trust_threshold
+        self._prep_honesty = prep_honesty
+        self._target_bads = target_bads
+        self._max_steps = max_steps
+
+    def run(self, prep_size: int, *, seed: SeedLike = None) -> AttackCampaignResult:
+        """Run one campaign starting from a fresh preparation history."""
+        rng = make_rng(seed)
+        prep = generate_honest_outcomes(prep_size, self._prep_honesty, seed=rng)
+        return self.run_from_history(prep, prep_size=prep_size)
+
+    def run_from_history(
+        self, prep_outcomes: np.ndarray, *, prep_size: Optional[int] = None
+    ) -> AttackCampaignResult:
+        """Run one campaign from an explicit preparation history."""
+        history = TransactionHistory.from_outcomes(np.asarray(prep_outcomes))
+        oracle = AssessmentOracle(
+            self._trust_function,
+            self._behavior_test,
+            trust_threshold=self._threshold,
+            history=history,
+        )
+        bads = 0
+        goods = 0
+        steps = 0
+        while bads < self._target_bads and steps < self._max_steps:
+            steps += 1
+            if self._cheat_is_feasible(oracle):
+                oracle.record_outcome(0)
+                bads += 1
+            else:
+                oracle.record_outcome(1)
+                goods += 1
+        return AttackCampaignResult(
+            bad_transactions=bads,
+            good_transactions=goods,
+            prep_transactions=(
+                prep_size if prep_size is not None else int(np.asarray(prep_outcomes).size)
+            ),
+            steps=steps,
+            reached_goal=(bads == self._target_bads),
+            extra={"final_trust": oracle.trust_value},
+        )
+
+    def _cheat_is_feasible(self, oracle: AssessmentOracle) -> bool:
+        """Can the attacker cheat *now* without losing acceptability?
+
+        Three conditions: the victim's trust check passes on the current
+        history, the current history passes the behavior screen (else no
+        client transacts at all), and the post-cheat history H' still
+        passes the screen (the attacker's own conservativeness — it never
+        walks into a flag).
+        """
+        if oracle.trust_value < self._threshold:
+            return False
+        if not oracle.behavior_passes():
+            return False
+        return oracle.behavior_passes_after(0)

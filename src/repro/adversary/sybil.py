@@ -1,0 +1,121 @@
+"""Sybil / whitewashing attacks against per-identity behavior testing.
+
+The paper scopes out cheat-and-run (Sec. 3.1): short-lived identities
+defeat any history-based mechanism, and the defense is economic —
+joining costs.  The *sybil* generalization splits one attacker across
+many identities so that each identity's history stays too short (or too
+clean) to judge:
+
+* each sybil performs ``warmup`` good transactions, then ``cheats_each``
+  bad ones, then is abandoned;
+* with per-identity histories below the behavior test's minimum, every
+  sybil individually passes (via the ``on_insufficient`` policy) — the
+  screen is structurally blind here;
+* the economics decide: a campaign of ``target_bads`` cheats needs
+  ``ceil(target_bads / cheats_each)`` identities, so the attacker's cost
+  is ``identities * joining_cost + warmup-goods``, which the defender
+  tunes via the joining cost.
+
+:func:`sybil_campaign_cost` computes that cost curve — the quantitative
+form of the paper's "increase the cost of joining a system" argument.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["SybilIdentity", "SybilAttacker", "sybil_campaign_cost"]
+
+
+@dataclass(frozen=True)
+class SybilIdentity:
+    """One disposable identity's full transaction history."""
+
+    name: str
+    outcomes: np.ndarray
+
+    @property
+    def cheats(self) -> int:
+        return int((self.outcomes == 0).sum())
+
+    @property
+    def warmup_goods(self) -> int:
+        return int(self.outcomes.sum())
+
+
+class SybilAttacker:
+    """Splits a cheating campaign across disposable identities."""
+
+    def __init__(
+        self,
+        warmup: int = 5,
+        cheats_each: int = 1,
+        warmup_honesty: float = 1.0,
+    ):
+        if warmup < 0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        if cheats_each <= 0:
+            raise ValueError(f"cheats_each must be positive, got {cheats_each}")
+        if not 0.0 <= warmup_honesty <= 1.0:
+            raise ValueError(f"warmup_honesty must lie in [0, 1], got {warmup_honesty}")
+        self._warmup = warmup
+        self._cheats_each = cheats_each
+        self._warmup_honesty = warmup_honesty
+
+    @property
+    def identity_length(self) -> int:
+        """Transactions per identity before it is abandoned."""
+        return self._warmup + self._cheats_each
+
+    def identities_needed(self, target_bads: int) -> int:
+        """How many disposable identities a campaign of ``target_bads`` needs."""
+        if target_bads <= 0:
+            raise ValueError(f"target_bads must be positive, got {target_bads}")
+        return math.ceil(target_bads / self._cheats_each)
+
+    def run(self, target_bads: int, *, seed: SeedLike = None) -> List[SybilIdentity]:
+        """Generate the identity histories of a full campaign."""
+        rng = make_rng(seed)
+        identities = []
+        remaining = target_bads
+        index = 0
+        while remaining > 0:
+            cheats = min(self._cheats_each, remaining)
+            warmup = (rng.random(self._warmup) < self._warmup_honesty).astype(np.int8)
+            outcomes = np.concatenate([warmup, np.zeros(cheats, dtype=np.int8)])
+            identities.append(SybilIdentity(name=f"sybil-{index}", outcomes=outcomes))
+            remaining -= cheats
+            index += 1
+        return identities
+
+
+def sybil_campaign_cost(
+    target_bads: int,
+    joining_cost: float,
+    *,
+    warmup: int = 5,
+    cheats_each: int = 1,
+    good_service_cost: float = 1.0,
+) -> float:
+    """Total attacker cost of a sybil campaign.
+
+    ``identities * joining_cost + total-warmup-goods * good_service_cost``.
+    Setting this against the gain per cheat gives the joining cost a
+    system must charge for sybil attacks to be unprofitable — the paper's
+    certified-ID / membership-fee recommendation, quantified.
+    """
+    if joining_cost < 0:
+        raise ValueError(f"joining_cost must be non-negative, got {joining_cost}")
+    if good_service_cost < 0:
+        raise ValueError(
+            f"good_service_cost must be non-negative, got {good_service_cost}"
+        )
+    attacker = SybilAttacker(warmup=warmup, cheats_each=cheats_each)
+    identities = attacker.identities_needed(target_bads)
+    return identities * joining_cost + identities * warmup * good_service_cost

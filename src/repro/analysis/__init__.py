@@ -1,0 +1,24 @@
+"""Analysis toolkit: ROC sweeps and sustainable-cheat-rate measurement."""
+
+from .cheat_rate import (
+    CamouflageAttacker,
+    SustainablePoint,
+    max_sustainable_cheat_rate,
+    sustainable_profile,
+)
+from .roc import OperatingPoint, auc, measure_operating_point, roc_curve
+from .sampling import CoveragePoint, detection_vs_coverage, subsample_outcomes
+
+__all__ = [
+    "CamouflageAttacker",
+    "SustainablePoint",
+    "max_sustainable_cheat_rate",
+    "sustainable_profile",
+    "OperatingPoint",
+    "auc",
+    "measure_operating_point",
+    "roc_curve",
+    "CoveragePoint",
+    "detection_vs_coverage",
+    "subsample_outcomes",
+]

@@ -1,0 +1,131 @@
+"""Maximum sustainable cheat rate — quantifying the paper's closing point.
+
+Fig. 7's tail and the paper's conclusion make the same argument: an
+attacker that spreads its bad transactions thinly enough to keep passing
+the behavior test "can be regarded as an honest player".  The natural
+quantitative question a deployment asks is: **how much cheating can a
+camouflaged attacker sustain without being flagged?**
+
+:class:`CamouflageAttacker` is the strongest pattern-level adversary
+against the windowed test: it places bad transactions iid at rate ``r``,
+so its window counts are *genuinely* ``B(m, 1-r)``-distributed — there
+is no pattern left to detect, only the rate itself.  The defense's grip
+on it comes from phase 2: the trust threshold bounds ``r`` from above.
+
+:func:`max_sustainable_cheat_rate` bisects ``r`` to the largest value a
+given test still passes with at least ``target_pass_rate`` probability,
+and :func:`sustainable_profile` tabulates it across history lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = [
+    "CamouflageAttacker",
+    "max_sustainable_cheat_rate",
+    "sustainable_profile",
+    "SustainablePoint",
+]
+
+
+class CamouflageAttacker:
+    """Cheats iid at rate ``r`` — statistically an honest player of p = 1-r."""
+
+    def __init__(self, cheat_rate: float):
+        if not 0.0 <= cheat_rate <= 1.0:
+            raise ValueError(f"cheat_rate must lie in [0, 1], got {cheat_rate}")
+        self._rate = cheat_rate
+
+    @property
+    def cheat_rate(self) -> float:
+        return self._rate
+
+    def history(self, n: int, *, seed: SeedLike = None) -> np.ndarray:
+        """An ``n``-transaction history with iid bads at the cheat rate."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = make_rng(seed)
+        return (rng.random(n) >= self._rate).astype(np.int8)
+
+    def expected_bads(self, n: int) -> float:
+        """Expected number of bad transactions in an ``n``-transaction history."""
+        return self._rate * n
+
+
+def _pass_rate(test, rate: float, n: int, trials: int, rng) -> float:
+    attacker = CamouflageAttacker(rate)
+    passes = sum(test.test(attacker.history(n, seed=rng)).passed for _ in range(trials))
+    return passes / trials
+
+
+def max_sustainable_cheat_rate(
+    test,
+    *,
+    history_length: int = 800,
+    target_pass_rate: float = 0.9,
+    trust_threshold: float = 0.9,
+    trials: int = 40,
+    precision: float = 0.01,
+    seed: SeedLike = 0,
+) -> float:
+    """Largest iid cheat rate ``test`` tolerates (bisection).
+
+    The search is capped at ``1 - trust_threshold``: above that, phase 2
+    rejects the attacker regardless of the behavior test, so higher rates
+    are not "sustainable" in the paper's sense even if the pattern test
+    passes.  A camouflaged attacker is *expected* to saturate this cap —
+    that is the paper's point, and the interesting output is when a test
+    pins the rate *below* it.
+    """
+    if history_length <= 0:
+        raise ValueError(f"history_length must be positive, got {history_length}")
+    if not 0.0 < target_pass_rate <= 1.0:
+        raise ValueError(f"target_pass_rate must lie in (0, 1], got {target_pass_rate}")
+    if precision <= 0:
+        raise ValueError(f"precision must be positive, got {precision}")
+    rng = make_rng(seed)
+    cap = 1.0 - trust_threshold
+    if _pass_rate(test, cap, history_length, trials, rng) >= target_pass_rate:
+        return cap
+    lo, hi = 0.0, cap  # pass rate is (statistically) decreasing in the rate
+    while hi - lo > precision:
+        mid = 0.5 * (lo + hi)
+        if _pass_rate(test, mid, history_length, trials, rng) >= target_pass_rate:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+@dataclass(frozen=True)
+class SustainablePoint:
+    history_length: int
+    max_cheat_rate: float
+
+    @property
+    def bads_per_hundred(self) -> float:
+        return 100.0 * self.max_cheat_rate
+
+
+def sustainable_profile(
+    test,
+    *,
+    history_lengths: Sequence[int] = (200, 400, 800, 1600),
+    **kwargs,
+) -> List[SustainablePoint]:
+    """``max_sustainable_cheat_rate`` across history lengths."""
+    return [
+        SustainablePoint(
+            history_length=n,
+            max_cheat_rate=max_sustainable_cheat_rate(
+                test, history_length=n, **kwargs
+            ),
+        )
+        for n in history_lengths
+    ]

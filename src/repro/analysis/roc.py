@@ -1,0 +1,131 @@
+"""ROC analysis of behavior tests.
+
+The paper reports detection rate at one operating point (95%
+confidence).  A deployment has to *choose* that point, trading missed
+attacks against false alarms on honest players.  This module sweeps the
+confidence knob and produces the standard receiver-operating-
+characteristic summary:
+
+* :func:`measure_operating_point` — (false-positive rate, detection
+  rate) of a test configuration against paired honest/attack workload
+  generators;
+* :func:`roc_curve` — the full curve over a confidence grid;
+* :func:`auc` — area under the curve (trapezoidal, with the (0,0)/(1,1)
+  anchors), a single-number comparison between schemes, window sizes or
+  distance functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.calibration import ThresholdCalibrator
+from ..core.config import BehaviorTestConfig
+from ..core.testing import SingleBehaviorTest
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["OperatingPoint", "measure_operating_point", "roc_curve", "auc"]
+
+WorkloadGen = Callable[[np.random.Generator], np.ndarray]
+TestFactory = Callable[[BehaviorTestConfig], object]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point of the ROC curve."""
+
+    confidence: float
+    false_positive_rate: float
+    detection_rate: float
+
+    @property
+    def youden_j(self) -> float:
+        """Youden's J = TPR - FPR; the usual scalar for picking a point."""
+        return self.detection_rate - self.false_positive_rate
+
+
+def measure_operating_point(
+    test,
+    honest_gen: WorkloadGen,
+    attack_gen: WorkloadGen,
+    *,
+    trials: int = 100,
+    confidence: float = float("nan"),
+    seed: SeedLike = None,
+) -> OperatingPoint:
+    """FPR/TPR of ``test`` against paired workload generators.
+
+    ``test`` is anything with ``.test(outcomes) -> verdict-with-.passed``;
+    the generators receive a shared RNG and return outcome sequences.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    rng = make_rng(seed)
+    false_positives = 0
+    detections = 0
+    for _ in range(trials):
+        if not test.test(honest_gen(rng)).passed:
+            false_positives += 1
+        if not test.test(attack_gen(rng)).passed:
+            detections += 1
+    return OperatingPoint(
+        confidence=confidence,
+        false_positive_rate=false_positives / trials,
+        detection_rate=detections / trials,
+    )
+
+
+def roc_curve(
+    honest_gen: WorkloadGen,
+    attack_gen: WorkloadGen,
+    *,
+    config: BehaviorTestConfig = BehaviorTestConfig(),
+    test_factory: Optional[TestFactory] = None,
+    confidences: Sequence[float] = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 0.999),
+    trials: int = 100,
+    seed: SeedLike = 0,
+) -> List[OperatingPoint]:
+    """Sweep the confidence level; returns points ordered by confidence.
+
+    ``test_factory`` builds the behavior test from a config (default:
+    :class:`SingleBehaviorTest`), so the same sweep runs over multi or
+    collusion-resilient variants.
+    """
+    if not confidences:
+        raise ValueError("need at least one confidence level")
+    if any(not 0.0 < c < 1.0 for c in confidences):
+        raise ValueError(f"confidences must lie in (0, 1), got {confidences}")
+    factory = test_factory or (lambda cfg: SingleBehaviorTest(cfg))
+    rng = make_rng(seed)
+    points = []
+    for confidence in sorted(confidences):
+        test = factory(config.with_(confidence=confidence))
+        points.append(
+            measure_operating_point(
+                test,
+                honest_gen,
+                attack_gen,
+                trials=trials,
+                confidence=confidence,
+                seed=rng,
+            )
+        )
+    return points
+
+
+def auc(points: Sequence[OperatingPoint]) -> float:
+    """Trapezoidal area under the ROC curve, anchored at (0,0) and (1,1).
+
+    Duplicate FPR values are averaged (ROC staircases produce them).
+    """
+    if not points:
+        raise ValueError("need at least one operating point")
+    xs = np.asarray([p.false_positive_rate for p in points] + [0.0, 1.0])
+    ys = np.asarray([p.detection_rate for p in points] + [0.0, 1.0])
+    # lexicographic (x, then y) order so ties at the same FPR are traversed
+    # bottom-up — equal-x segments then contribute zero area, as they must
+    order = np.lexsort((ys, xs))
+    return float(np.trapezoid(ys[order], xs[order]))

@@ -1,0 +1,196 @@
+"""``repro-assess`` — two-phase trust assessment from the command line.
+
+Reads a feedback file (CSV or JSONL, see :mod:`repro.feedback.io`),
+groups it by server, runs the configured behavior test plus trust
+function on each, and prints one line per server:
+
+    $ repro-assess feedback.csv --test multi --trust average --threshold 0.9
+    server           n     trust  verdict
+    alice          612     0.953  trusted
+    mallory        540     0.950  SUSPICIOUS (distance 1.13 > eps 0.34)
+
+Exit code is 0 when no server is flagged, 2 when at least one is — so
+the tool drops into shell pipelines and CI checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .core.collusion import CollusionResilientMultiTest, CollusionResilientTest
+from .core.config import BehaviorTestConfig
+from .core.multi_testing import MultiBehaviorTest
+from .core.testing import SingleBehaviorTest
+from .core.two_phase import TwoPhaseAssessor
+from .core.verdict import AssessmentStatus, BehaviorVerdict, MultiTestReport
+from .feedback.history import TransactionHistory
+from .feedback.io import read_feedback_csv, read_feedback_jsonl
+from .feedback.records import Feedback
+from .trust.registry import available_trust_functions, make_trust_function
+
+__all__ = ["main", "build_parser"]
+
+_TEST_CHOICES = ("none", "single", "multi", "collusion", "collusion-multi")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-assess",
+        description="Two-phase trust assessment of servers in a feedback log",
+    )
+    parser.add_argument("feedback_file", type=Path, help="CSV or JSONL feedback log")
+    parser.add_argument(
+        "--test",
+        choices=_TEST_CHOICES,
+        default="multi",
+        help="phase-1 behavior test (default: multi)",
+    )
+    parser.add_argument(
+        "--trust",
+        choices=[n for n in available_trust_functions() if n not in ("peertrust", "eigentrust", "htrust")],
+        default="average",
+        help="phase-2 trust function (default: average)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.9, help="client trust threshold"
+    )
+    parser.add_argument(
+        "--window", type=int, default=10, help="behavior-test window size m"
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=0.95, help="threshold confidence level"
+    )
+    parser.add_argument(
+        "--server",
+        action="append",
+        default=None,
+        help="assess only this server (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: table)",
+    )
+    return parser
+
+
+def _load(path: Path) -> List[Feedback]:
+    if path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
+        return read_feedback_jsonl(path)
+    return read_feedback_csv(path)
+
+
+def _make_test(name: str, config: BehaviorTestConfig):
+    if name == "none":
+        return None
+    if name == "single":
+        return SingleBehaviorTest(config)
+    if name == "multi":
+        return MultiBehaviorTest(config)
+    if name == "collusion":
+        return CollusionResilientTest(config)
+    return CollusionResilientMultiTest(config)
+
+
+def _failure_detail(behavior) -> str:
+    if isinstance(behavior, BehaviorVerdict):
+        return f"(distance {behavior.distance:.2f} > eps {behavior.threshold:.2f})"
+    if isinstance(behavior, MultiTestReport) and behavior.first_failure:
+        length, verdict = behavior.first_failure
+        return (
+            f"(suffix {length}: distance {verdict.distance:.2f} > "
+            f"eps {verdict.threshold:.2f})"
+        )
+    return ""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`): exit quietly
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
+
+
+def _run(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        feedbacks = _load(args.feedback_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not feedbacks:
+        print("error: no feedback records found", file=sys.stderr)
+        return 1
+
+    by_server: Dict[str, List[Feedback]] = defaultdict(list)
+    for fb in feedbacks:
+        by_server[fb.server].append(fb)
+    servers = args.server if args.server else sorted(by_server)
+    unknown = [s for s in servers if s not in by_server]
+    if unknown:
+        print(f"error: no feedback for server(s) {unknown}", file=sys.stderr)
+        return 1
+
+    config = BehaviorTestConfig(window_size=args.window, confidence=args.confidence)
+    assessor = TwoPhaseAssessor(
+        _make_test(args.test, config),
+        make_trust_function(args.trust),
+        trust_threshold=args.threshold,
+    )
+
+    rows = []
+    any_suspicious = False
+    for server in servers:
+        history = TransactionHistory.from_feedbacks(by_server[server])
+        result = assessor.assess(history)
+        any_suspicious = any_suspicious or result.status is AssessmentStatus.SUSPICIOUS
+        rows.append((server, len(history), result))
+
+    if args.format == "json":
+        import json
+
+        payload = [
+            {
+                "server": server,
+                "transactions": n,
+                "status": result.status.value,
+                "trust": result.trust_value,
+                "detail": (
+                    _failure_detail(result.behavior)
+                    if result.status is AssessmentStatus.SUSPICIOUS
+                    else ""
+                ),
+            }
+            for server, n, result in rows
+        ]
+        print(json.dumps(payload, indent=2))
+        return 2 if any_suspicious else 0
+
+    width = max(len("server"), *(len(s) for s in servers))
+    print(f"{'server':{width}s}  {'n':>6s}  {'trust':>7s}  verdict")
+    for server, n, result in rows:
+        if result.status is AssessmentStatus.SUSPICIOUS:
+            verdict = f"SUSPICIOUS {_failure_detail(result.behavior)}".rstrip()
+            trust_text = "-"
+        else:
+            verdict = result.status.value
+            trust_text = f"{result.trust_value:.3f}"
+        print(f"{server:{width}s}  {n:>6d}  {trust_text:>7s}  {verdict}")
+
+    return 2 if any_suspicious else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: honest-player modeling and behavior testing."""
+
+from .calibration import ThresholdCalibrator
+from .categories import CategorizedBehaviorTest, CategoryReport
+from .collusion import (
+    CollusionResilientMultiTest,
+    CollusionResilientTest,
+    reorder_by_issuer,
+    reordered_outcomes,
+)
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .model import FittedWindowModel, HonestPlayerModel, generate_honest_outcomes
+from .multi_testing import MultiBehaviorTest
+from .multinomial_testing import MultinomialBehaviorTest, MultinomialReport
+from .segmented import SegmentedBehaviorTest, SegmentedReport
+from .temporal import (
+    TemporalBehaviorTest,
+    TemporalReport,
+    hour_of_day_bucket,
+    weekday_weekend_bucket,
+)
+from .testing import SingleBehaviorTest
+from .two_phase import BehaviorTestProtocol, TwoPhaseAssessor
+from .verdict import Assessment, AssessmentStatus, BehaviorVerdict, MultiTestReport
+
+__all__ = [
+    "ThresholdCalibrator",
+    "CategorizedBehaviorTest",
+    "CategoryReport",
+    "CollusionResilientMultiTest",
+    "CollusionResilientTest",
+    "reorder_by_issuer",
+    "reordered_outcomes",
+    "DEFAULT_CONFIG",
+    "BehaviorTestConfig",
+    "FittedWindowModel",
+    "HonestPlayerModel",
+    "generate_honest_outcomes",
+    "MultiBehaviorTest",
+    "MultinomialBehaviorTest",
+    "MultinomialReport",
+    "SegmentedBehaviorTest",
+    "SegmentedReport",
+    "TemporalBehaviorTest",
+    "TemporalReport",
+    "hour_of_day_bucket",
+    "weekday_weekend_bucket",
+    "SingleBehaviorTest",
+    "BehaviorTestProtocol",
+    "TwoPhaseAssessor",
+    "Assessment",
+    "AssessmentStatus",
+    "BehaviorVerdict",
+    "MultiTestReport",
+]

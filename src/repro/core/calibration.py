@@ -1,0 +1,135 @@
+"""Empirical calibration of the distribution-distance threshold ε.
+
+Sec. 3.2: deriving the exact distribution of the L1 distance between an
+empirical window-count distribution and its generating binomial is
+complex, so the paper takes an empirical approach — generate many sample
+sets under ``B(m, p_hat)``, measure their distances, and pick ε as the
+value under which the configured fraction (95%) of null distances fall.
+
+The calibrator is the hot path of every experiment: the strategic
+attacker consults the behavior test before *each* transaction, and every
+consultation needs a threshold for the current ``(m, k, p_hat)``.  Two
+measures keep this cheap:
+
+* thresholds are cached keyed on ``(m, k, quantized p_hat)`` — ``p_hat``
+  moves slowly during an attack, so the hit rate is high; and
+* the Monte-Carlo itself draws whole sample sets as single multinomial
+  vectors (see :func:`repro.stats.bootstrap.null_l1_distances`), so one
+  calibration is a single vectorized numpy pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..stats.binomial import binomial_pmf
+from ..stats.bootstrap import percentile_threshold
+from ..stats.distances import get_distance
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["ThresholdCalibrator"]
+
+_CacheKey = Tuple[int, int, float]
+
+
+class ThresholdCalibrator:
+    """Monte-Carlo estimator of the ε threshold with memoization."""
+
+    def __init__(
+        self,
+        confidence: float = 0.95,
+        n_sets: int = 400,
+        distance: str = "l1",
+        p_quantum: float = 0.01,
+        seed: SeedLike = 12345,
+    ):
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+        if n_sets <= 0:
+            raise ValueError(f"n_sets must be positive, got {n_sets}")
+        if p_quantum < 0:
+            raise ValueError(f"p_quantum must be non-negative, got {p_quantum}")
+        self._confidence = confidence
+        self._n_sets = n_sets
+        self._distance_name = distance
+        self._distance = get_distance(distance)
+        self._p_quantum = p_quantum
+        self._rng = make_rng(seed)
+        self._cache: Dict[_CacheKey, float] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def confidence(self) -> float:
+        return self._confidence
+
+    @property
+    def distance_name(self) -> str:
+        return self._distance_name
+
+    @property
+    def cache_stats(self) -> Tuple[int, int]:
+        """``(hits, misses)`` of the threshold cache."""
+        return (self._hits, self._misses)
+
+    def quantize_p(self, p: float) -> float:
+        """``p`` snapped to the caching grid.
+
+        The grid never rounds a *non-degenerate* rate onto 0 or 1: the
+        null at p in {0, 1} is a point mass with ε = 0, which any history
+        that is merely *close* to all-good (p_hat = 0.996, say) would fail
+        forever — and an attacker or honest player adding good
+        transactions only gets closer to 1 without reaching it, a
+        permanent false flag.  Such rates snap to the innermost grid
+        point instead; exact 0/1 rates still calibrate degenerately.
+        """
+        if self._p_quantum == 0:
+            return float(p)
+        snapped = round(round(p / self._p_quantum) * self._p_quantum, 12)
+        if snapped >= 1.0 and p < 1.0:
+            return round(1.0 - self._p_quantum, 12)
+        if snapped <= 0.0 and p > 0.0:
+            return round(self._p_quantum, 12)
+        return snapped
+
+    def threshold(self, m: int, k: int, p_hat: float) -> float:
+        """ε for a test of ``k`` windows of size ``m`` at rate ``p_hat``."""
+        if m <= 0:
+            raise ValueError(f"window size m must be positive, got {m}")
+        if k <= 0:
+            raise ValueError(f"number of windows k must be positive, got {k}")
+        if not 0.0 <= p_hat <= 1.0:
+            raise ValueError(f"p_hat must lie in [0, 1], got {p_hat}")
+        p_key = self.quantize_p(p_hat)
+        key = (m, k, p_key)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        value = self._calibrate(m, k, p_key)
+        self._cache[key] = value
+        return value
+
+    def null_distances(
+        self, m: int, k: int, p: float, *, seed: Optional[SeedLike] = None
+    ) -> np.ndarray:
+        """The raw Monte-Carlo null distances (for diagnostics/plots)."""
+        pmf = binomial_pmf(m, p)
+        rng = self._rng if seed is None else make_rng(seed)
+        counts = rng.multinomial(k, pmf, size=self._n_sets).astype(np.float64)
+        empirical = counts / k
+        if self._distance_name == "l1":
+            # fast path: vectorized row-wise L1
+            return np.abs(empirical - pmf[None, :]).sum(axis=1)
+        return np.array([self._distance(row, pmf) for row in empirical])
+
+    # ------------------------------------------------------------------ #
+
+    def _calibrate(self, m: int, k: int, p: float) -> float:
+        distances = self.null_distances(m, k, p)
+        return percentile_threshold(distances, self._confidence)

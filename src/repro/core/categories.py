@@ -1,0 +1,110 @@
+"""Per-category behavior testing (Sec. 4's extension).
+
+A server may legitimately deliver different quality to different
+transaction categories — the paper's example is a US movie server that is
+good for North-American customers and poor for African ones because of
+network capacity, with neither group colluding.  Pooling such categories
+makes an honest server look dishonest (a mixture of two binomials is not
+a binomial).  The extension groups transactions by a category label and
+applies the behavior test within each category, where the
+constant-`p` assumption is plausible again.
+
+A category that fails may indicate either a manipulated category or an
+unmodeled quality factor — the paper points out that false alerts of this
+kind are themselves useful, surfacing factors worth modeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..feedback.history import TransactionHistory
+from ..feedback.records import Feedback
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .testing import SingleBehaviorTest
+from .verdict import BehaviorVerdict
+
+__all__ = ["CategoryReport", "CategorizedBehaviorTest"]
+
+_UNCATEGORIZED = "<uncategorized>"
+
+
+@dataclass(frozen=True)
+class CategoryReport:
+    """Per-category verdicts plus the aggregate decision.
+
+    ``passed`` is True iff every *judged* category passed (categories too
+    small to test follow the ``on_insufficient`` policy, like everywhere
+    else).
+    """
+
+    passed: bool
+    by_category: Tuple[Tuple[str, BehaviorVerdict], ...]
+
+    def verdict(self, category: str) -> BehaviorVerdict:
+        """The verdict of one category (KeyError if absent)."""
+        for name, verdict in self.by_category:
+            if name == category:
+                return verdict
+        raise KeyError(f"no verdict for category {category!r}")
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.by_category)
+
+    @property
+    def failing_categories(self) -> Tuple[str, ...]:
+        return tuple(name for name, v in self.by_category if not v.passed)
+
+
+class CategorizedBehaviorTest:
+    """Apply the single behavior test independently inside each category.
+
+    ``categories`` restricts testing to the categories a client cares
+    about (the paper's "if a user is in North Carolina, knowing the
+    server's service quality to customers in North America would
+    suffice"); ``None`` tests all categories present.
+    """
+
+    name = "categorized"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+        categories: Optional[Sequence[str]] = None,
+    ):
+        self._single = SingleBehaviorTest(config, calibrator)
+        self._categories = tuple(categories) if categories is not None else None
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._single.config
+
+    def test(self, history: TransactionHistory) -> CategoryReport:
+        """Judge each category of ``history`` independently."""
+        groups = self._group(history.feedbacks())
+        selected = (
+            {c: groups.get(c, []) for c in self._categories}
+            if self._categories is not None
+            else groups
+        )
+        by_category = []
+        for name in sorted(selected):
+            outcomes = np.asarray([fb.outcome for fb in selected[name]], dtype=np.int8)
+            by_category.append((name, self._single.test_outcomes(outcomes)))
+        passed = all(v.passed for _, v in by_category) if by_category else (
+            self._single.config.on_insufficient == "pass"
+        )
+        return CategoryReport(passed=passed, by_category=tuple(by_category))
+
+    @staticmethod
+    def _group(feedbacks: Sequence[Feedback]) -> Dict[str, list]:
+        groups: Dict[str, list] = {}
+        for fb in feedbacks:
+            groups.setdefault(fb.category or _UNCATEGORIZED, []).append(fb)
+        return groups

@@ -1,0 +1,159 @@
+"""Collusion-resilient behavior testing (Sec. 4).
+
+Colluders can fabricate the positive feedback an attacker needs to stay
+inside the honest-player model, so the plain tests are evadable at almost
+no cost.  The paper's counter-measure uses *feedback issuer patterns*
+instead of trying to identify specific colluders:
+
+1. group a server's feedbacks by issuing client;
+2. reorder the sequence so larger groups come first (frequent clients,
+   then occasional ones), keeping time order within each group;
+3. run the ordinary distribution test on the reordered outcomes.
+
+For an honest server the feedback distribution of frequent clients
+matches that of occasional clients, so the reordered sequence still looks
+binomial.  An attacker who cheats non-colluders while recycling a small
+colluder set produces a reordered sequence whose tail (the many
+small groups of one-off victims) is visibly worse than its head — the
+test fails, forcing the attacker to deliver real service to a growing
+supporter base.
+
+Multi-testing composes the same way (Sec. 4): choose the most recent
+``l - i*k`` transactions *by time*, then reorder and test that subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..feedback.history import TransactionHistory
+from ..feedback.records import EntityId, Feedback
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .testing import SingleBehaviorTest
+from .verdict import BehaviorVerdict, MultiTestReport
+
+__all__ = [
+    "reorder_by_issuer",
+    "reordered_outcomes",
+    "CollusionResilientTest",
+    "CollusionResilientMultiTest",
+]
+
+
+def reorder_by_issuer(feedbacks: Sequence[Feedback]) -> List[Feedback]:
+    """The paper's issuer-grouped reordering Q -> Q'.
+
+    Groups with more feedbacks appear before groups with fewer; inside a
+    group, feedbacks keep time order.  Ties between equal-sized groups
+    are broken by the time of the group's first feedback (deterministic,
+    so repeated assessments agree).
+    """
+    groups: Dict[EntityId, List[Feedback]] = {}
+    for fb in feedbacks:
+        groups.setdefault(fb.client, []).append(fb)
+    for fbs in groups.values():
+        fbs.sort(key=lambda f: f.time)
+    ordered_groups = sorted(
+        groups.values(), key=lambda fbs: (-len(fbs), fbs[0].time, fbs[0].client)
+    )
+    return [fb for fbs in ordered_groups for fb in fbs]
+
+
+def reordered_outcomes(feedbacks: Sequence[Feedback]) -> np.ndarray:
+    """Binary outcome vector of the issuer-grouped reordering."""
+    return np.asarray([fb.outcome for fb in reorder_by_issuer(feedbacks)], dtype=np.int8)
+
+
+def _feedbacks_of(history) -> List[Feedback]:
+    if isinstance(history, TransactionHistory):
+        return history.feedbacks()
+    return list(history)
+
+
+class CollusionResilientTest:
+    """Single behavior test on the issuer-grouped reordering."""
+
+    name = "collusion-single"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+    ):
+        self._single = SingleBehaviorTest(config, calibrator)
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._single.config
+
+    @property
+    def calibrator(self) -> ThresholdCalibrator:
+        return self._single.calibrator
+
+    def test(self, history) -> BehaviorVerdict:
+        """``history`` must carry feedback metadata (issuer identities)."""
+        return self._single.test_outcomes(reordered_outcomes(_feedbacks_of(history)))
+
+
+class CollusionResilientMultiTest:
+    """Multi-testing over time-recent subsets, each reordered before testing.
+
+    Unlike plain multi-testing, the reordering scrambles window
+    boundaries differently for every suffix, so the O(n) shared-window
+    optimization does not apply; each round re-tests from scratch.  The
+    suffix schedule (step ``k``, significance floor) matches Scheme 2.
+    """
+
+    name = "collusion-multi"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+        collect_all: bool = False,
+    ):
+        self._config = config
+        self._collect_all = collect_all
+        self._single = SingleBehaviorTest(config, calibrator)
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._config
+
+    @property
+    def calibrator(self) -> ThresholdCalibrator:
+        return self._single.calibrator
+
+    def suffix_lengths(self, n: int) -> List[int]:
+        """The multi-testing suffix schedule for an ``n``-feedback history."""
+        floor = self._config.min_transactions
+        lengths = []
+        length = n
+        while length >= floor:
+            lengths.append(length)
+            length -= self._config.multi_step
+        return lengths
+
+    def test(self, history) -> MultiTestReport:
+        """Judge every time-recent suffix after issuer-grouped reordering."""
+        feedbacks = _feedbacks_of(history)
+        lengths = self.suffix_lengths(len(feedbacks))
+        if not lengths:
+            verdict = BehaviorVerdict.insufficient_history(
+                passed=(self._config.on_insufficient == "pass"),
+                window_size=self._config.window_size,
+                n_considered=len(feedbacks),
+            )
+            return MultiTestReport(passed=verdict.passed, rounds=((len(feedbacks), verdict),))
+        rounds = []
+        for length in lengths:  # longest (full history) first, as in Sec. 4
+            recent = feedbacks[len(feedbacks) - length :]
+            verdict = self._single.test_outcomes(reordered_outcomes(recent))
+            rounds.append((length, verdict))
+            if not verdict.passed and not self._collect_all:
+                break
+        passed = all(v.passed for _, v in rounds)
+        return MultiTestReport(passed=passed, rounds=tuple(rounds))

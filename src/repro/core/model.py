@@ -1,0 +1,99 @@
+"""The statistical model of honest players (Sec. 3.1).
+
+An honest player's transaction outcomes are iid Bernoulli(p) trials —
+``p`` is the player's trustworthiness, shaped by factors outside its
+control — so the number of good transactions in a window of ``m``
+transactions follows ``B(m, p)``.  Since the true ``p`` is unknown, it is
+estimated from the history itself (``p_hat = sum(G_i) / n``, justified by
+Lemma 3.1 / Bernoulli's law of large numbers).
+
+:class:`HonestPlayerModel` bundles the windowing + estimation step; the
+result is a :class:`FittedWindowModel` that the tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..feedback.windows import window_counts
+from ..stats.binomial import binomial_pmf
+from ..stats.empirical import empirical_pmf
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["HonestPlayerModel", "FittedWindowModel", "generate_honest_outcomes"]
+
+
+@dataclass(frozen=True)
+class FittedWindowModel:
+    """A history summarized under the honest-player window model."""
+
+    window_size: int
+    n_windows: int
+    n_considered: int
+    p_hat: float
+    counts: np.ndarray  # per-window good counts, time order
+
+    def expected_pmf(self) -> np.ndarray:
+        """The null pmf ``B(m, p_hat)`` over support ``0..m``."""
+        return binomial_pmf(self.window_size, self.p_hat)
+
+    def observed_pmf(self) -> np.ndarray:
+        """Empirical pmf of the window counts over the same support."""
+        return empirical_pmf(self.counts, self.window_size + 1)
+
+
+class HonestPlayerModel:
+    """Windowed-binomial model of honest behavior."""
+
+    def __init__(self, window_size: int = 10, align: str = "recent"):
+        if window_size <= 0:
+            raise ValueError(f"window_size must be positive, got {window_size}")
+        self._m = window_size
+        self._align = align
+
+    @property
+    def window_size(self) -> int:
+        return self._m
+
+    def fit(self, outcomes: np.ndarray) -> FittedWindowModel:
+        """Window ``outcomes`` and estimate ``p_hat``.
+
+        Raises ``ValueError`` when fewer than one complete window exists
+        — callers decide separately what "too short" means (the tests use
+        their ``min_windows`` policy).
+        """
+        arr = np.asarray(outcomes)
+        counts = window_counts(arr, self._m, align=self._align)
+        k = counts.size
+        if k == 0:
+            raise ValueError(
+                f"history of {arr.size} transactions has no complete window "
+                f"of size {self._m}"
+            )
+        n_considered = k * self._m
+        p_hat = float(counts.sum()) / n_considered
+        return FittedWindowModel(
+            window_size=self._m,
+            n_windows=k,
+            n_considered=n_considered,
+            p_hat=p_hat,
+            counts=counts,
+        )
+
+
+def generate_honest_outcomes(
+    n: int, p: float, *, seed: SeedLike = None
+) -> np.ndarray:
+    """Synthesize an honest player's history: ``n`` iid Bernoulli(p) outcomes.
+
+    This is the generative counterpart of the model — used by experiments
+    to fabricate preparation phases and honest-population baselines.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    rng = make_rng(seed)
+    return (rng.random(n) < p).astype(np.int8)

@@ -1,0 +1,187 @@
+"""Multi-testing of server behavior — Scheme 2 (Sec. 3.3 and Sec. 5.5).
+
+A long history dilutes recent misbehavior, so the single test is prone to
+hibernating attacks.  Multi-testing re-runs the distribution test on
+progressively shorter *recent* suffixes: the full ``l`` transactions,
+then the most recent ``l - k``, ``l - 2k``, ... until too few windows
+remain.  An honest player's behavior follows the binomial model on every
+suffix, so any failing round flags the server.
+
+Two interchangeable implementations are provided:
+
+* ``strategy="naive"`` — re-window and re-estimate every suffix from
+  scratch: O(n^2 / k) work, the paper's unoptimized baseline;
+* ``strategy="optimized"`` — the paper's O(n) refinement: windows are
+  anchored at the newest transaction, so every suffix's windows are a
+  *suffix of the full window-count sequence*; walking from the shortest
+  suffix to the longest, each round extends an incremental histogram by
+  the few windows that entered and recomputes the O(m) distance.
+
+Both produce identical verdicts (asserted by the test suite); Fig. 9's
+performance experiment benchmarks the difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..feedback.windows import window_counts
+from ..stats.binomial import binomial_pmf
+from ..stats.empirical import IncrementalHistogram
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .testing import HistoryInput, SingleBehaviorTest, _extract_outcomes
+from .verdict import BehaviorVerdict, MultiTestReport
+
+__all__ = ["MultiBehaviorTest"]
+
+_STRATEGIES = ("optimized", "naive")
+
+
+class MultiBehaviorTest:
+    """Long- *and* short-term behavior testing over recent suffixes."""
+
+    name = "multi"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+        strategy: str = "optimized",
+        collect_all: bool = False,
+    ):
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"strategy must be one of {_STRATEGIES}, got {strategy!r}")
+        if config.align != "recent":
+            raise ValueError(
+                "multi-testing requires align='recent' so suffixes share "
+                "window boundaries (the basis of the O(n) optimization)"
+            )
+        self._config = config
+        self._strategy = strategy
+        self._collect_all = collect_all
+        self._calibrator = calibrator or ThresholdCalibrator(
+            confidence=config.confidence,
+            n_sets=config.calibration_sets,
+            distance=config.distance,
+            p_quantum=config.p_quantum,
+        )
+        self._single = SingleBehaviorTest(config, self._calibrator)
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._config
+
+    @property
+    def calibrator(self) -> ThresholdCalibrator:
+        return self._calibrator
+
+    @property
+    def strategy(self) -> str:
+        return self._strategy
+
+    def suffix_lengths(self, n: int) -> List[int]:
+        """Suffix lengths tested for a history of ``n`` transactions.
+
+        ``[n, n - k, n - 2k, ...]`` down to the statistical-significance
+        floor (``min_windows`` complete windows).
+        """
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        floor = self._config.min_transactions
+        lengths = []
+        length = n
+        while length >= floor:
+            lengths.append(length)
+            length -= self._config.multi_step
+        return lengths
+
+    def test(self, history: HistoryInput) -> MultiTestReport:
+        """Judge all suffixes; fails if any round fails."""
+        outcomes = _extract_outcomes(history)
+        lengths = self.suffix_lengths(int(outcomes.size))
+        if not lengths:
+            verdict = BehaviorVerdict.insufficient_history(
+                passed=(self._config.on_insufficient == "pass"),
+                window_size=self._config.window_size,
+                n_considered=int(outcomes.size),
+            )
+            return MultiTestReport(
+                passed=verdict.passed, rounds=((int(outcomes.size), verdict),)
+            )
+        if self._strategy == "naive":
+            rounds = self._run_naive(outcomes, lengths)
+        else:
+            rounds = self._run_optimized(outcomes, lengths)
+        passed = all(v.passed for _, v in rounds)
+        # Present rounds longest-first, the order the paper describes.
+        ordered = tuple(sorted(rounds, key=lambda pair: -pair[0]))
+        return MultiTestReport(passed=passed, rounds=ordered)
+
+    # ------------------------------------------------------------------ #
+    # naive O(n^2 / k): re-test every suffix from scratch
+
+    def _run_naive(
+        self, outcomes: np.ndarray, lengths: List[int]
+    ) -> List[Tuple[int, BehaviorVerdict]]:
+        rounds: List[Tuple[int, BehaviorVerdict]] = []
+        for length in lengths:
+            verdict = self._single.test_outcomes(outcomes[outcomes.size - length :])
+            rounds.append((length, verdict))
+            if not verdict.passed and not self._collect_all:
+                break
+        return rounds
+
+    # ------------------------------------------------------------------ #
+    # optimized O(n): shortest suffix first, extend an incremental histogram
+
+    def _run_optimized(
+        self, outcomes: np.ndarray, lengths: List[int]
+    ) -> List[Tuple[int, BehaviorVerdict]]:
+        m = self._config.window_size
+        counts = window_counts(outcomes, m, align="recent")
+        total_windows = counts.size
+        histogram = IncrementalHistogram(m + 1)
+        rounds: List[Tuple[int, BehaviorVerdict]] = []
+        windows_in = 0
+        last_verdict: Optional[BehaviorVerdict] = None
+        for length in reversed(lengths):  # shortest suffix first
+            want = length // m
+            if want > windows_in:
+                # the most recent `want` windows are counts[-want:];
+                # extend by the block that just entered consideration
+                new_block = counts[total_windows - want : total_windows - windows_in]
+                histogram.add_block(new_block)
+                windows_in = want
+                last_verdict = self._judge(histogram, length)
+            elif last_verdict is None:
+                last_verdict = self._judge(histogram, length)
+            # identical window set => identical verdict; reuse it
+            rounds.append((length, last_verdict))
+            if not last_verdict.passed and not self._collect_all:
+                break
+        return rounds
+
+    def _judge(self, histogram: IncrementalHistogram, length: int) -> BehaviorVerdict:
+        m = self._config.window_size
+        k = histogram.n_samples
+        p_hat = histogram.mean_rate(m)
+        expected = binomial_pmf(m, p_hat)
+        observed = histogram.pmf()
+        distance = float(np.abs(observed - expected).sum())
+        if self._config.distance != "l1":
+            from ..stats.distances import get_distance
+
+            distance = float(get_distance(self._config.distance)(observed, expected))
+        threshold = self._calibrator.threshold(m, k, p_hat)
+        return BehaviorVerdict(
+            passed=distance <= threshold,
+            distance=distance,
+            threshold=float(threshold),
+            p_hat=p_hat,
+            n_windows=k,
+            window_size=m,
+            n_considered=k * m,
+        )

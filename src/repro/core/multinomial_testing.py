@@ -1,0 +1,133 @@
+"""Multi-valued-feedback behavior testing (Sec. 3.1 extension).
+
+When ratings take values from a categorical domain (e.g. positive /
+neutral / negative), the honest-player window model generalizes from a
+binomial to a multinomial: a window of ``m`` transactions yields a
+category-count vector ``~ Multinomial(m, p)``.
+
+Testing the full joint distribution is data-hungry, so — following the
+paper's "build a statistical model for each dimension" suggestion — we
+test each category's *marginal* window-count distribution, which under
+the model is ``B(m, p_j)`` with ``p_j`` the category's estimated rate.
+To keep the overall confidence near the configured level despite testing
+``c`` marginals, each marginal is calibrated at the Šidák-corrected
+confidence ``confidence ** (1 / c)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..stats.binomial import binomial_pmf
+from ..stats.distances import get_distance
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .verdict import BehaviorVerdict
+
+__all__ = ["MultinomialReport", "MultinomialBehaviorTest"]
+
+
+@dataclass(frozen=True)
+class MultinomialReport:
+    """Per-category marginal verdicts plus the aggregate decision."""
+
+    passed: bool
+    by_category: Tuple[BehaviorVerdict, ...]
+    n_categories: int
+    insufficient: bool = False
+
+    @property
+    def worst_margin(self) -> float:
+        margins = [v.margin for v in self.by_category if not v.insufficient]
+        return min(margins) if margins else float("inf")
+
+
+class MultinomialBehaviorTest:
+    """Windowed marginal-binomial test for categorical ratings.
+
+    Input is a 1-D sequence of category indices in ``0..n_categories-1``
+    (time order).  ``n_categories`` fixes the rating domain — it cannot
+    be inferred from data because a category may legitimately never occur.
+    """
+
+    name = "multinomial"
+
+    def __init__(
+        self,
+        n_categories: int,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+    ):
+        if n_categories < 2:
+            raise ValueError(f"need at least 2 categories, got {n_categories}")
+        self._c = n_categories
+        self._config = config
+        self._distance = get_distance(config.distance)
+        # Šidák correction so the family-wise confidence stays near target.
+        per_category_confidence = config.confidence ** (1.0 / n_categories)
+        self._calibrator = calibrator or ThresholdCalibrator(
+            confidence=per_category_confidence,
+            n_sets=config.calibration_sets,
+            distance=config.distance,
+            p_quantum=config.p_quantum,
+        )
+
+    @property
+    def n_categories(self) -> int:
+        return self._c
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._config
+
+    def test(self, ratings: Sequence[int]) -> MultinomialReport:
+        """Judge a categorical rating sequence via its per-category marginals."""
+        arr = np.asarray(ratings, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("ratings must be a 1-D sequence of category indices")
+        if arr.size and (arr.min() < 0 or arr.max() >= self._c):
+            raise ValueError(f"category indices must lie in [0, {self._c - 1}]")
+        cfg = self._config
+        m = cfg.window_size
+        if arr.size < cfg.min_transactions:
+            verdict = BehaviorVerdict.insufficient_history(
+                passed=(cfg.on_insufficient == "pass"),
+                window_size=m,
+                n_considered=int(arr.size),
+            )
+            return MultinomialReport(
+                passed=verdict.passed,
+                by_category=(verdict,) * self._c,
+                n_categories=self._c,
+                insufficient=True,
+            )
+        k = arr.size // m
+        trimmed = arr[arr.size - k * m :] if cfg.align == "recent" else arr[: k * m]
+        windows = trimmed.reshape(k, m)
+        verdicts = []
+        for j in range(self._c):
+            counts = (windows == j).sum(axis=1)
+            p_hat = float(counts.sum()) / (k * m)
+            expected = binomial_pmf(m, p_hat)
+            observed = np.bincount(counts, minlength=m + 1) / k
+            distance = float(self._distance(observed, expected))
+            threshold = self._calibrator.threshold(m, k, p_hat)
+            verdicts.append(
+                BehaviorVerdict(
+                    passed=distance <= threshold,
+                    distance=distance,
+                    threshold=float(threshold),
+                    p_hat=p_hat,
+                    n_windows=k,
+                    window_size=m,
+                    n_considered=k * m,
+                )
+            )
+        return MultinomialReport(
+            passed=all(v.passed for v in verdicts),
+            by_category=tuple(verdicts),
+            n_categories=self._c,
+        )

@@ -1,0 +1,109 @@
+"""Segmented behavior testing — the "dynamic cases" extension (Sec. 3.1).
+
+An honest player's uncontrollable quality factor may *shift* (a changed
+ISP, a datacenter migration): the outcome sequence is then piecewise-
+stationary Bernoulli, which the static test misreads as inconsistency.
+:class:`SegmentedBehaviorTest`:
+
+1. locates rate change points with likelihood-based binary segmentation
+   (:mod:`repro.stats.changepoint`);
+2. runs the ordinary single behavior test *inside each stationary
+   segment*, where the constant-`p` assumption holds again.
+
+An honest drifting server passes (each regime is binomial at its own
+rate).  A manipulator does not get a free pass: the attacks the paper
+studies are non-binomial *within* a regime (bursts, regular periodicity),
+so the per-segment tests still catch them — and segmentation cannot
+"explain away" a bad burst as a regime of its own unless the burst is
+long enough to be, in effect, an openly bad server, which the trust
+phase then rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..stats.changepoint import Segment, segment_sequence
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .testing import HistoryInput, SingleBehaviorTest, _extract_outcomes
+from .verdict import BehaviorVerdict
+
+__all__ = ["SegmentedReport", "SegmentedBehaviorTest"]
+
+
+@dataclass(frozen=True)
+class SegmentedReport:
+    """Per-segment verdicts plus the aggregate decision."""
+
+    passed: bool
+    segments: Tuple[Segment, ...]
+    verdicts: Tuple[BehaviorVerdict, ...]
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def change_points(self) -> Tuple[int, ...]:
+        return tuple(seg.start for seg in self.segments[1:])
+
+    @property
+    def failing_segments(self) -> Tuple[Segment, ...]:
+        return tuple(
+            seg for seg, v in zip(self.segments, self.verdicts) if not v.passed
+        )
+
+
+class SegmentedBehaviorTest:
+    """Change-point segmentation composed with per-segment single testing."""
+
+    name = "segmented"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+        min_segment: int = 50,
+        penalty_scale: float = 3.0,
+    ):
+        if min_segment < config.min_transactions:
+            raise ValueError(
+                f"min_segment ({min_segment}) must be at least the test's "
+                f"minimum history ({config.min_transactions}); shorter "
+                "segments could never be judged"
+            )
+        self._single = SingleBehaviorTest(config, calibrator)
+        self._min_segment = min_segment
+        self._penalty_scale = penalty_scale
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._single.config
+
+    def segments(self, history: HistoryInput) -> Tuple[Segment, ...]:
+        """Just the detected stationary segments (diagnostics)."""
+        outcomes = _extract_outcomes(history)
+        return tuple(
+            segment_sequence(
+                outcomes,
+                min_segment=self._min_segment,
+                penalty_scale=self._penalty_scale,
+            )
+        )
+
+    def test(self, history: HistoryInput) -> SegmentedReport:
+        """Segment the history at detected rate changes and judge each segment."""
+        outcomes = np.asarray(_extract_outcomes(history))
+        segments = self.segments(outcomes)
+        verdicts = tuple(
+            self._single.test_outcomes(outcomes[seg.start : seg.end])
+            for seg in segments
+        )
+        passed = all(v.passed for v in verdicts) if verdicts else (
+            self._single.config.on_insufficient == "pass"
+        )
+        return SegmentedReport(passed=passed, segments=segments, verdicts=verdicts)

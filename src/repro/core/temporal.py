@@ -1,0 +1,116 @@
+"""Temporal behavior modeling (Sec. 3.1 extension).
+
+"The statistical model can also be temporal.  We may have different
+models for weekdays and weekends, or for the time 9am to 5pm and for
+other time intervals."  An honest file server that is overloaded every
+evening has two *different but individually consistent* Bernoulli rates;
+pooled into one test it looks inconsistent, split by time bucket each
+side follows its own binomial.
+
+:class:`TemporalBehaviorTest` partitions a feedback history by a
+user-supplied bucketing function over timestamps (weekday/weekend,
+business-hours, arbitrary), then applies the single behavior test inside
+every bucket.  Structure and policies mirror
+:class:`~repro.core.categories.CategorizedBehaviorTest` — a time bucket
+*is* a category derived from the timestamp rather than carried on the
+feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..feedback.history import TransactionHistory
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .testing import SingleBehaviorTest
+from .verdict import BehaviorVerdict
+
+__all__ = [
+    "TemporalReport",
+    "TemporalBehaviorTest",
+    "weekday_weekend_bucket",
+    "hour_of_day_bucket",
+]
+
+BucketFn = Callable[[float], str]
+
+_HOURS_PER_DAY = 24.0
+_DAYS_PER_WEEK = 7
+
+
+def weekday_weekend_bucket(time: float) -> str:
+    """Bucket timestamps (in hours) into ``weekday`` / ``weekend``.
+
+    Interprets ``time`` as hours since an epoch that starts on a Monday,
+    the convention used by the simulation clock.
+    """
+    day = int(time // _HOURS_PER_DAY) % _DAYS_PER_WEEK
+    return "weekend" if day >= 5 else "weekday"
+
+
+def hour_of_day_bucket(time: float, *, start: int = 9, end: int = 17) -> str:
+    """Bucket timestamps (in hours) into ``business`` / ``off-hours``."""
+    if not 0 <= start < end <= 24:
+        raise ValueError(f"need 0 <= start < end <= 24, got {start}/{end}")
+    hour = time % _HOURS_PER_DAY
+    return "business" if start <= hour < end else "off-hours"
+
+
+@dataclass(frozen=True)
+class TemporalReport:
+    """Per-bucket verdicts plus the aggregate decision."""
+
+    passed: bool
+    by_bucket: Tuple[Tuple[str, BehaviorVerdict], ...]
+
+    @property
+    def buckets(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.by_bucket)
+
+    @property
+    def failing_buckets(self) -> Tuple[str, ...]:
+        return tuple(name for name, v in self.by_bucket if not v.passed)
+
+    def verdict(self, bucket: str) -> BehaviorVerdict:
+        """The verdict of one time bucket (KeyError if absent)."""
+        for name, verdict in self.by_bucket:
+            if name == bucket:
+                return verdict
+        raise KeyError(f"no verdict for bucket {bucket!r}")
+
+
+class TemporalBehaviorTest:
+    """Single behavior test applied within each time bucket."""
+
+    name = "temporal"
+
+    def __init__(
+        self,
+        bucket_fn: BucketFn = weekday_weekend_bucket,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+    ):
+        self._bucket_fn = bucket_fn
+        self._single = SingleBehaviorTest(config, calibrator)
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._single.config
+
+    def test(self, history: TransactionHistory) -> TemporalReport:
+        """``history`` must carry feedback metadata (timestamps)."""
+        buckets = {}
+        for fb in history.feedbacks():
+            buckets.setdefault(self._bucket_fn(fb.time), []).append(fb.outcome)
+        by_bucket = []
+        for name in sorted(buckets):
+            outcomes = np.asarray(buckets[name], dtype=np.int8)
+            by_bucket.append((name, self._single.test_outcomes(outcomes)))
+        passed = all(v.passed for _, v in by_bucket) if by_bucket else (
+            self._single.config.on_insufficient == "pass"
+        )
+        return TemporalReport(passed=passed, by_bucket=tuple(by_bucket))

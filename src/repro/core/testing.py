@@ -1,0 +1,100 @@
+"""Single behavior testing — Scheme 1 (Sec. 3.2, Fig. 2).
+
+Break the history into ``k = floor(n/m)`` windows, count the good
+transactions ``G_i`` per window, estimate ``p_hat = sum(G_i) / n`` and
+check whether the empirical distribution of the ``G_i`` is within L1
+distance ε of ``B(m, p_hat)``, with ε calibrated empirically at the
+configured confidence level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..feedback.history import TransactionHistory
+from ..stats.distances import get_distance
+from .calibration import ThresholdCalibrator
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .model import HonestPlayerModel
+from .verdict import BehaviorVerdict
+
+__all__ = ["SingleBehaviorTest"]
+
+HistoryInput = Union[TransactionHistory, np.ndarray, list, tuple]
+
+
+def _extract_outcomes(history: HistoryInput) -> np.ndarray:
+    if isinstance(history, TransactionHistory):
+        return history.outcomes()
+    arr = np.asarray(history)
+    if arr.ndim != 1:
+        raise ValueError("history must be a TransactionHistory or 1-D outcomes")
+    return arr
+
+
+class SingleBehaviorTest:
+    """The paper's single distribution-distance behavior test.
+
+    A shared :class:`ThresholdCalibrator` may be supplied so several
+    tests (e.g. single and multi in the same experiment) reuse one
+    threshold cache.
+    """
+
+    name = "single"
+
+    def __init__(
+        self,
+        config: BehaviorTestConfig = DEFAULT_CONFIG,
+        calibrator: Optional[ThresholdCalibrator] = None,
+    ):
+        self._config = config
+        self._model = HonestPlayerModel(config.window_size, align=config.align)
+        self._distance = get_distance(config.distance)
+        self._calibrator = calibrator or ThresholdCalibrator(
+            confidence=config.confidence,
+            n_sets=config.calibration_sets,
+            distance=config.distance,
+            p_quantum=config.p_quantum,
+        )
+
+    @property
+    def config(self) -> BehaviorTestConfig:
+        return self._config
+
+    @property
+    def calibrator(self) -> ThresholdCalibrator:
+        return self._calibrator
+
+    def test(self, history: HistoryInput) -> BehaviorVerdict:
+        """Judge a whole history (most recent behavior included)."""
+        return self.test_outcomes(_extract_outcomes(history))
+
+    def test_outcomes(self, outcomes: np.ndarray) -> BehaviorVerdict:
+        """Judge a bare 0/1 outcome vector."""
+        cfg = self._config
+        n = int(np.asarray(outcomes).size)
+        if n < cfg.min_transactions:
+            return BehaviorVerdict.insufficient_history(
+                passed=(cfg.on_insufficient == "pass"),
+                window_size=cfg.window_size,
+                n_considered=n,
+            )
+        fitted = self._model.fit(outcomes)
+        threshold = self._calibrator.threshold(
+            fitted.window_size, fitted.n_windows, fitted.p_hat
+        )
+        distance = self._distance(fitted.observed_pmf(), fitted.expected_pmf())
+        return BehaviorVerdict(
+            passed=distance <= threshold,
+            distance=float(distance),
+            threshold=float(threshold),
+            p_hat=fitted.p_hat,
+            n_windows=fitted.n_windows,
+            window_size=fitted.window_size,
+            n_considered=fitted.n_considered,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SingleBehaviorTest(m={self._config.window_size})"

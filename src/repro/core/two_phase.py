@@ -1,0 +1,120 @@
+"""The two-phase trust assessment framework (Fig. 1 / Fig. 2).
+
+Phase 1 screens the server's transaction history against the
+honest-player model; only when it passes is a conventional trust function
+applied (phase 2).  A failing phase 1 raises the "destination peer is
+suspicious" alert and short-circuits — the trust value of an entity whose
+history the model cannot explain is meaningless.
+
+Any behavior test exposing ``test(history) -> verdict-with-.passed``
+works as phase 1 (single, multi, collusion-resilient, categorized,
+multinomial); any :class:`~repro.trust.base.TrustFunction` or
+:class:`~repro.trust.base.LedgerTrustFunction` works as phase 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Union
+
+from ..feedback.history import TransactionHistory
+from ..feedback.ledger import FeedbackLedger
+from ..trust.base import LedgerTrustFunction, TrustFunction
+from .verdict import Assessment, AssessmentStatus
+
+__all__ = ["BehaviorTestProtocol", "TwoPhaseAssessor"]
+
+
+class BehaviorTestProtocol(Protocol):
+    """Anything usable as phase 1."""
+
+    def test(self, history):  # pragma: no cover - structural type only
+        """Judge a history; the result must expose a boolean ``passed``."""
+        ...
+
+
+class TwoPhaseAssessor:
+    """Behavior screening composed with a trust function.
+
+    Parameters
+    ----------
+    behavior_test:
+        Phase-1 screen; ``None`` disables screening (reduces the assessor
+        to the bare trust function — the comparison baseline in all the
+        paper's experiments).
+    trust_function:
+        Phase-2 trust computation (history-based or ledger-based).
+    trust_threshold:
+        The client's acceptance threshold over trust values (paper: 0.9).
+    """
+
+    def __init__(
+        self,
+        behavior_test: Optional[BehaviorTestProtocol],
+        trust_function: Union[TrustFunction, LedgerTrustFunction],
+        trust_threshold: float = 0.9,
+    ):
+        if not 0.0 <= trust_threshold <= 1.0:
+            raise ValueError(
+                f"trust_threshold must lie in [0, 1], got {trust_threshold}"
+            )
+        self._behavior_test = behavior_test
+        self._trust_function = trust_function
+        self._threshold = trust_threshold
+
+    @property
+    def trust_threshold(self) -> float:
+        return self._threshold
+
+    @property
+    def behavior_test(self) -> Optional[BehaviorTestProtocol]:
+        return self._behavior_test
+
+    @property
+    def trust_function(self):
+        return self._trust_function
+
+    def assess(
+        self,
+        history: TransactionHistory,
+        *,
+        ledger: Optional[FeedbackLedger] = None,
+    ) -> Assessment:
+        """Run both phases on a server's history.
+
+        ``ledger`` is required when phase 2 is a ledger-based scheme
+        (PeerTrust, EigenTrust).
+        """
+        behavior = None
+        if self._behavior_test is not None:
+            behavior = self._behavior_test.test(history)
+            if not behavior.passed:
+                return Assessment(
+                    status=AssessmentStatus.SUSPICIOUS,
+                    trust_value=None,
+                    behavior=behavior,
+                    server=history.server,
+                )
+        trust_value = self._trust_value(history, ledger)
+        status = (
+            AssessmentStatus.TRUSTED
+            if trust_value >= self._threshold
+            else AssessmentStatus.UNTRUSTED
+        )
+        return Assessment(
+            status=status,
+            trust_value=trust_value,
+            behavior=behavior,
+            server=history.server,
+        )
+
+    def _trust_value(
+        self, history: TransactionHistory, ledger: Optional[FeedbackLedger]
+    ) -> float:
+        if isinstance(self._trust_function, LedgerTrustFunction):
+            if ledger is None:
+                raise ValueError(
+                    f"{type(self._trust_function).__name__} needs the system "
+                    "ledger; pass ledger=..."
+                )
+            return self._trust_function.score_server(history.server, ledger)
+        return self._trust_function.score(history)

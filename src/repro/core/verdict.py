@@ -1,0 +1,117 @@
+"""Result objects returned by the behavior tests and the two-phase assessor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "BehaviorVerdict",
+    "MultiTestReport",
+    "AssessmentStatus",
+    "Assessment",
+]
+
+
+@dataclass(frozen=True)
+class BehaviorVerdict:
+    """Outcome of one distribution-distance behavior test.
+
+    ``insufficient`` marks histories too short to judge; in that case
+    ``passed`` reflects the configured ``on_insufficient`` policy and the
+    numeric fields are zero.
+    """
+
+    passed: bool
+    distance: float
+    threshold: float
+    p_hat: float
+    n_windows: int
+    window_size: int
+    n_considered: int
+    insufficient: bool = False
+
+    @property
+    def margin(self) -> float:
+        """``threshold - distance``; negative means the test failed."""
+        return self.threshold - self.distance
+
+    @classmethod
+    def insufficient_history(
+        cls, *, passed: bool, window_size: int, n_considered: int
+    ) -> "BehaviorVerdict":
+        return cls(
+            passed=passed,
+            distance=0.0,
+            threshold=0.0,
+            p_hat=0.0,
+            n_windows=0,
+            window_size=window_size,
+            n_considered=n_considered,
+            insufficient=True,
+        )
+
+
+@dataclass(frozen=True)
+class MultiTestReport:
+    """Outcome of multi-testing: one verdict per suffix length.
+
+    ``rounds`` holds ``(suffix_length, verdict)`` pairs ordered from the
+    longest suffix (the full history) to the shortest tested; ``passed``
+    is True iff every round passed (any failure indicates a potentially
+    suspicious server, Sec. 3.3).
+    """
+
+    passed: bool
+    rounds: Tuple[Tuple[int, BehaviorVerdict], ...]
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def first_failure(self) -> Optional[Tuple[int, BehaviorVerdict]]:
+        """The longest-suffix round that failed, if any."""
+        for length, verdict in self.rounds:
+            if not verdict.passed:
+                return (length, verdict)
+        return None
+
+    @property
+    def worst_margin(self) -> float:
+        """Smallest ``threshold - distance`` across judged rounds."""
+        margins = [
+            v.margin for _, v in self.rounds if not v.insufficient
+        ]
+        return min(margins) if margins else float("inf")
+
+
+class AssessmentStatus(Enum):
+    """Terminal states of the two-phase assessment (Fig. 2)."""
+
+    #: behavior test failed — "Destination peer is suspicious"
+    SUSPICIOUS = "suspicious"
+    #: behavior test passed and the trust value meets the client threshold
+    TRUSTED = "trusted"
+    #: behavior test passed but trust value is below the client threshold
+    UNTRUSTED = "untrusted"
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """Full two-phase result handed back to the client."""
+
+    status: AssessmentStatus
+    trust_value: Optional[float]
+    behavior: object  # BehaviorVerdict or MultiTestReport
+    server: str = field(default="server")
+
+    @property
+    def accepted(self) -> bool:
+        """Would a client with the configured threshold transact?"""
+        return self.status is AssessmentStatus.TRUSTED
+
+    @property
+    def suspicious(self) -> bool:
+        return self.status is AssessmentStatus.SUSPICIOUS

@@ -1,0 +1,52 @@
+"""Experiment harness: one runner per figure of the paper's evaluation."""
+
+from typing import Callable, Dict
+
+from .common import ExperimentResult
+from .extensions import run_ext_cheat_rate, run_ext_roc, run_ext_sybil
+from .fig3_average import run_fig3
+from .matrix import run_ext_matrix
+from .fig4_weighted import run_fig4
+from .fig5_collusion_average import run_fig5
+from .fig6_collusion_weighted import run_fig6
+from .fig7_detection_rate import run_fig7
+from .fig8_distance import run_fig8
+from .fig9_performance import run_fig9
+from .report import EXPECTED_SHAPES, render_report, result_to_markdown
+from .svgplot import render_svg, write_svg
+
+__all__ = [
+    "ExperimentResult",
+    "run_ext_cheat_rate",
+    "run_ext_roc",
+    "run_ext_matrix",
+    "run_ext_sybil",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "EXPECTED_SHAPES",
+    "render_report",
+    "result_to_markdown",
+    "render_svg",
+    "write_svg",
+    "RUNNERS",
+]
+
+#: name -> runner, the CLI's dispatch table
+RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "ext-roc": run_ext_roc,
+    "ext-cheat-rate": run_ext_cheat_rate,
+    "ext-sybil": run_ext_sybil,
+    "ext-matrix": run_ext_matrix,
+}

@@ -1,0 +1,141 @@
+"""Shared driver for the attacker-cost experiments (Figs. 3-6).
+
+All four figures sweep the preparation-history size and measure the
+number of (real) good transactions a strategic attacker needs to finish
+20 bad ones, under three defenses: the bare trust function, the trust
+function + single behavior testing (Scheme 1), and the trust function +
+multi behavior testing (Scheme 2).  Figures 5/6 repeat the sweep with a
+colluder ring and the collusion-resilient variants of the schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..adversary.collusion import ColludingStrategicAttacker
+from ..adversary.strategic import StrategicAttacker
+from ..core.calibration import ThresholdCalibrator
+from ..core.collusion import CollusionResilientMultiTest, CollusionResilientTest
+from ..core.config import BehaviorTestConfig
+from ..core.multi_testing import MultiBehaviorTest
+from ..core.testing import SingleBehaviorTest
+from ..trust.base import TrustFunction
+from .common import (
+    PAPER_CONFIG,
+    PAPER_PREP_HONESTY,
+    PAPER_TARGET_BADS,
+    PAPER_TRUST_THRESHOLD,
+    ExperimentResult,
+    make_shared_calibrator,
+    mean_over_seeds,
+)
+
+__all__ = [
+    "SCHEME_NONE",
+    "SCHEME_SINGLE",
+    "SCHEME_MULTI",
+    "standard_schemes",
+    "collusion_schemes",
+    "attack_cost_sweep",
+    "collusion_cost_sweep",
+]
+
+SCHEME_NONE = "none"
+SCHEME_SINGLE = "scheme1"
+SCHEME_MULTI = "scheme2"
+
+SchemeFactory = Callable[[BehaviorTestConfig, ThresholdCalibrator], Optional[object]]
+
+
+def standard_schemes() -> Dict[str, SchemeFactory]:
+    """The Fig. 3/4 defenses: bare, +single testing, +multi testing."""
+    return {
+        SCHEME_NONE: lambda cfg, cal: None,
+        SCHEME_SINGLE: lambda cfg, cal: SingleBehaviorTest(cfg, cal),
+        SCHEME_MULTI: lambda cfg, cal: MultiBehaviorTest(cfg, cal),
+    }
+
+
+def collusion_schemes() -> Dict[str, SchemeFactory]:
+    """The Fig. 5/6 defenses: bare, +collusion-resilient single / multi."""
+    return {
+        SCHEME_NONE: lambda cfg, cal: None,
+        SCHEME_SINGLE: lambda cfg, cal: CollusionResilientTest(cfg, cal),
+        SCHEME_MULTI: lambda cfg, cal: CollusionResilientMultiTest(cfg, cal),
+    }
+
+
+def attack_cost_sweep(
+    result: ExperimentResult,
+    trust_factory: Callable[[], TrustFunction],
+    *,
+    prep_sizes: Sequence[int],
+    n_seeds: int = 5,
+    base_seed: int = 2008,
+    config: BehaviorTestConfig = PAPER_CONFIG,
+    trust_threshold: float = PAPER_TRUST_THRESHOLD,
+    prep_honesty: float = PAPER_PREP_HONESTY,
+    target_bads: int = PAPER_TARGET_BADS,
+    max_steps: int = 20_000,
+) -> ExperimentResult:
+    """Fill ``result`` with the Fig. 3/4 sweep for one trust function."""
+    calibrator = make_shared_calibrator(config)
+    schemes = standard_schemes()
+    for prep in prep_sizes:
+        row: Dict[str, object] = {"prep_size": prep}
+        for name, factory in schemes.items():
+            attacker = StrategicAttacker(
+                trust_factory(),
+                factory(config, calibrator),
+                trust_threshold=trust_threshold,
+                prep_honesty=prep_honesty,
+                target_bads=target_bads,
+                max_steps=max_steps,
+            )
+            costs = [
+                attacker.run(prep, seed=base_seed + 7919 * s).cost
+                for s in range(n_seeds)
+            ]
+            row[name] = mean_over_seeds(costs)
+        result.add_row(**row)
+    return result
+
+
+def collusion_cost_sweep(
+    result: ExperimentResult,
+    trust_factory: Callable[[], TrustFunction],
+    *,
+    prep_sizes: Sequence[int],
+    n_seeds: int = 3,
+    base_seed: int = 2008,
+    config: BehaviorTestConfig = PAPER_CONFIG,
+    trust_threshold: float = PAPER_TRUST_THRESHOLD,
+    prep_honesty: float = PAPER_PREP_HONESTY,
+    target_bads: int = PAPER_TARGET_BADS,
+    n_clients: int = 100,
+    n_colluders: int = 5,
+    max_steps: int = 20_000,
+) -> ExperimentResult:
+    """Fill ``result`` with the Fig. 5/6 collusion sweep."""
+    calibrator = make_shared_calibrator(config)
+    schemes = collusion_schemes()
+    for prep in prep_sizes:
+        row: Dict[str, object] = {"prep_size": prep}
+        for name, factory in schemes.items():
+            attacker = ColludingStrategicAttacker(
+                trust_factory(),
+                factory(config, calibrator),
+                trust_threshold=trust_threshold,
+                n_clients=n_clients,
+                n_colluders=n_colluders,
+                prep_honesty=prep_honesty,
+                target_bads=target_bads,
+                max_steps=max_steps,
+            )
+            costs = [
+                attacker.run(prep, seed=base_seed + 6007 * s).cost
+                for s in range(n_seeds)
+            ]
+            row[name] = mean_over_seeds(costs)
+        result.add_row(**row)
+    return result

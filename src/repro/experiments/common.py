@@ -1,0 +1,103 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every ``fig*`` module exposes ``run_figN(...) -> ExperimentResult``: a
+self-describing table of the series the paper's figure plots, plus notes
+recording parameters.  The CLI and EXPERIMENTS.md are generated from
+these objects, and the benchmark suite calls the same entry points with
+``quick=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.calibration import ThresholdCalibrator
+from ..core.config import BehaviorTestConfig
+
+__all__ = [
+    "ExperimentResult",
+    "make_shared_calibrator",
+    "mean_over_seeds",
+    "PAPER_CONFIG",
+    "PAPER_TRUST_THRESHOLD",
+    "PAPER_PREP_HONESTY",
+    "PAPER_TARGET_BADS",
+]
+
+#: The paper's experimental constants (Sec. 5.1).
+PAPER_CONFIG = BehaviorTestConfig()  # window m = 10, 95% confidence
+PAPER_TRUST_THRESHOLD = 0.9
+PAPER_PREP_HONESTY = 0.95
+PAPER_TARGET_BADS = 20
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced figure, as the table of points it plots.
+
+    ``columns`` names the fields of each row dict; the first column is
+    the x axis.  ``render()`` produces the aligned text table the CLI
+    prints and EXPERIMENTS.md embeds.
+    """
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values) -> None:
+        """Append one row; every declared column must be present."""
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns {missing}")
+        self.rows.append({c: values[c] for c in self.columns})
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}; have {self.columns}")
+        return [row[name] for row in self.rows]
+
+    def render(self) -> str:
+        """The aligned plain-text table (title, notes, header, rows)."""
+        header = f"{self.experiment}: {self.title}"
+        lines = [header, "=" * len(header)]
+        if self.notes:
+            lines.append(self.notes)
+        widths = {
+            c: max(len(c), *(len(_fmt(row[c])) for row in self.rows)) if self.rows else len(c)
+            for c in self.columns
+        }
+        lines.append("  ".join(c.rjust(widths[c]) for c in self.columns))
+        lines.append("  ".join("-" * widths[c] for c in self.columns))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row[c]).rjust(widths[c]) for c in self.columns))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def make_shared_calibrator(config: BehaviorTestConfig) -> ThresholdCalibrator:
+    """One calibrator for all schemes in an experiment (shared ε cache)."""
+    return ThresholdCalibrator(
+        confidence=config.confidence,
+        n_sets=config.calibration_sets,
+        distance=config.distance,
+        p_quantum=config.p_quantum,
+    )
+
+
+def mean_over_seeds(values: Sequence[float]) -> float:
+    """Mean of per-seed measurements (the smoothing the figures need)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one measurement")
+    return float(arr.mean())

@@ -1,0 +1,59 @@
+"""Fig. 4 — cost of attackers when varying initial histories: weighted function.
+
+Same sweep as Fig. 3 with the EWMA trust function (lambda = 0.5).
+
+Expected shape (paper): the bare weighted function forces a periodic
+attack — after each bad transaction the attacker needs 2~3 good ones to
+climb back over the 0.9 threshold, so its cost is flat (~40-60) and
+independent of the prep size; Scheme 1 adds cost for small preps but
+loses its grip as the prep grows; Scheme 2's cost stays high regardless
+of prep size.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional, Sequence
+
+from ..trust.weighted import WeightedTrust
+from .attack_cost import attack_cost_sweep
+from .common import ExperimentResult
+from .fig3_average import PREP_SIZES, QUICK_PREP_SIZES
+
+__all__ = ["run_fig4", "PAPER_LAMBDA"]
+
+PAPER_LAMBDA = 0.5
+
+
+def run_fig4(
+    *,
+    prep_sizes: Optional[Sequence[int]] = None,
+    n_seeds: int = 5,
+    base_seed: int = 2008,
+    lam: float = PAPER_LAMBDA,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Reproduce Fig. 4."""
+    if prep_sizes is None:
+        prep_sizes = QUICK_PREP_SIZES if quick else PREP_SIZES
+    if quick:
+        n_seeds = min(n_seeds, 2)
+    result = ExperimentResult(
+        experiment="fig4",
+        title=(
+            f"Cost of attackers vs. initial history size "
+            f"(weighted trust function, lambda={lam})"
+        ),
+        columns=["prep_size", "none", "scheme1", "scheme2"],
+        notes=(
+            "cost = good transactions needed to finish 20 bad ones; "
+            f"prep honesty 0.95, trust threshold 0.9, mean of {n_seeds} seeds"
+        ),
+    )
+    return attack_cost_sweep(
+        result,
+        partial(WeightedTrust, lam),
+        prep_sizes=prep_sizes,
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+    )

@@ -1,0 +1,56 @@
+"""Fig. 5 — cost of attackers with collusion: average function.
+
+100 potential clients, 5 of them colluders; the attacker preps
+exclusively with colluders and, during the attack phase, chooses among
+cheating a client, serving a client well, and buying a fake positive
+from a colluder.  The y axis counts good transactions delivered to
+*non-colluders* — the attacker's true cost.
+
+Expected shape (paper): without behavior testing the cost is zero at
+every prep size (colluders cover everything); collusion-resilient
+Scheme 1's cost decays as the prep grows; collusion-resilient Scheme 2
+imposes an approximately constant, dominant cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..trust.average import AverageTrust
+from .attack_cost import collusion_cost_sweep
+from .common import ExperimentResult
+
+__all__ = ["run_fig5", "PREP_SIZES", "QUICK_PREP_SIZES"]
+
+PREP_SIZES = (100, 200, 300, 400, 500, 600, 700, 800)
+QUICK_PREP_SIZES = (100, 400, 800)
+
+
+def run_fig5(
+    *,
+    prep_sizes: Optional[Sequence[int]] = None,
+    n_seeds: int = 3,
+    base_seed: int = 2008,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Reproduce Fig. 5."""
+    if prep_sizes is None:
+        prep_sizes = QUICK_PREP_SIZES if quick else PREP_SIZES
+    if quick:
+        n_seeds = min(n_seeds, 2)
+    result = ExperimentResult(
+        experiment="fig5",
+        title="Cost of attackers with collusion vs. prep size (average trust function)",
+        columns=["prep_size", "none", "scheme1", "scheme2"],
+        notes=(
+            "cost = good transactions to non-colluders needed for 20 bad ones; "
+            f"100 clients / 5 colluders, a1=0.5 a2=0.9 a3=0.2, mean of {n_seeds} seeds"
+        ),
+    )
+    return collusion_cost_sweep(
+        result,
+        AverageTrust,
+        prep_sizes=prep_sizes,
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+    )

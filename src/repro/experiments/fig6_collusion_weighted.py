@@ -1,0 +1,55 @@
+"""Fig. 6 — cost of attackers with collusion: weighted function.
+
+Same collusion sweep as Fig. 5 under the EWMA trust function
+(lambda = 0.5).  The paper's observations carry over: colluders make the
+bare function free to game (after each cheat, 2~3 *fake* positives
+restore the trust value), collusion-resilient Scheme 1 decays with prep
+size, and collusion-resilient Scheme 2 imposes a near-constant cost.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Optional, Sequence
+
+from ..trust.weighted import WeightedTrust
+from .attack_cost import collusion_cost_sweep
+from .common import ExperimentResult
+from .fig4_weighted import PAPER_LAMBDA
+from .fig5_collusion_average import PREP_SIZES, QUICK_PREP_SIZES
+
+__all__ = ["run_fig6"]
+
+
+def run_fig6(
+    *,
+    prep_sizes: Optional[Sequence[int]] = None,
+    n_seeds: int = 3,
+    base_seed: int = 2008,
+    lam: float = PAPER_LAMBDA,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Reproduce Fig. 6."""
+    if prep_sizes is None:
+        prep_sizes = QUICK_PREP_SIZES if quick else PREP_SIZES
+    if quick:
+        n_seeds = min(n_seeds, 2)
+    result = ExperimentResult(
+        experiment="fig6",
+        title=(
+            "Cost of attackers with collusion vs. prep size "
+            f"(weighted trust function, lambda={lam})"
+        ),
+        columns=["prep_size", "none", "scheme1", "scheme2"],
+        notes=(
+            "cost = good transactions to non-colluders needed for 20 bad ones; "
+            f"100 clients / 5 colluders, a1=0.5 a2=0.9 a3=0.2, mean of {n_seeds} seeds"
+        ),
+    )
+    return collusion_cost_sweep(
+        result,
+        partial(WeightedTrust, lam),
+        prep_sizes=prep_sizes,
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+    )

@@ -1,0 +1,205 @@
+"""Dependency-free SVG line charts for experiment results.
+
+The evaluation figures are line charts; this module renders an
+:class:`~repro.experiments.common.ExperimentResult` into a standalone
+SVG (no matplotlib required — the reproduction environment is offline),
+so ``python -m repro.experiments all --svg-dir figs/`` regenerates the
+paper's figures as figures, not just tables.
+
+The renderer is deliberately small: linear axes, ticks, per-series
+polylines + markers, a legend.  NaN values (e.g. the naive-multi column
+of Fig. 9 at large sizes) break the polyline, matching how such gaps are
+plotted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .common import ExperimentResult
+
+__all__ = ["render_svg", "write_svg"]
+
+# a colorblind-friendly cycle (Okabe-Ito)
+_COLORS = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00")
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 24, 48, 56
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not (
+        isinstance(value, float) and math.isnan(value)
+    )
+
+
+def _ticks(low: float, high: float, target: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(target, 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if span / step <= target + 1:
+            break
+    first = math.ceil(low / step) * step
+    ticks = []
+    value = first
+    while value <= high + 1e-9 * span:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _format_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def render_svg(
+    result: ExperimentResult,
+    *,
+    x_column: Optional[str] = None,
+    series: Optional[Sequence[str]] = None,
+    log_x: bool = False,
+) -> str:
+    """Render the result as an SVG document string.
+
+    ``x_column`` defaults to the first column; ``series`` to every other
+    column.  ``log_x`` plots log10 of the x values (Fig. 9's size axis).
+    """
+    if not result.rows:
+        raise ValueError("cannot plot an empty result")
+    x_column = x_column or result.columns[0]
+    series = list(series) if series is not None else [
+        c for c in result.columns if c != x_column
+    ]
+    if not series:
+        raise ValueError("need at least one series column")
+
+    def x_of(row) -> float:
+        value = float(row[x_column])
+        if log_x:
+            if value <= 0:
+                raise ValueError("log_x requires positive x values")
+            return math.log10(value)
+        return value
+
+    xs = [x_of(row) for row in result.rows]
+    ys = [
+        float(row[c])
+        for row in result.rows
+        for c in series
+        if _is_number(row[c])
+    ]
+    if not ys:
+        raise ValueError("no numeric data points to plot")
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys + [0.0]), max(ys)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        if x_high == x_low:
+            return _MARGIN_L + plot_w / 2
+        return _MARGIN_L + (x - x_low) / (x_high - x_low) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + (1.0 - (y - y_low) / (y_high - y_low)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_escape(result.title)}</text>',
+    ]
+
+    # axes
+    x0, y0 = _MARGIN_L, _MARGIN_T + plot_h
+    parts.append(
+        f'<line x1="{x0}" y1="{y0}" x2="{x0 + plot_w}" y2="{y0}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{x0}" y1="{_MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>'
+    )
+    for tick in _ticks(x_low, x_high):
+        tx = px(tick)
+        label = _format_tick(10**tick if log_x else tick)
+        parts.append(f'<line x1="{tx}" y1="{y0}" x2="{tx}" y2="{y0 + 5}" stroke="black"/>')
+        parts.append(
+            f'<text x="{tx}" y="{y0 + 18}" text-anchor="middle">{label}</text>'
+        )
+    for tick in _ticks(y_low, y_high):
+        ty = py(tick)
+        parts.append(f'<line x1="{x0 - 5}" y1="{ty}" x2="{x0}" y2="{ty}" stroke="black"/>')
+        parts.append(
+            f'<line x1="{x0}" y1="{ty}" x2="{x0 + plot_w}" y2="{ty}" '
+            f'stroke="#dddddd"/>'
+        )
+        parts.append(
+            f'<text x="{x0 - 8}" y="{ty + 4}" text-anchor="end">{_format_tick(tick)}</text>'
+        )
+    parts.append(
+        f'<text x="{x0 + plot_w / 2}" y="{_HEIGHT - 14}" text-anchor="middle">'
+        f"{_escape(x_column)}</text>"
+    )
+
+    # series
+    for index, name in enumerate(series):
+        color = _COLORS[index % len(_COLORS)]
+        segments: List[List[Tuple[float, float]]] = [[]]
+        for row in result.rows:
+            value = row[name]
+            if _is_number(value):
+                segments[-1].append((px(x_of(row)), py(float(value))))
+            elif segments[-1]:
+                segments.append([])  # NaN: break the line
+        for segment in segments:
+            if len(segment) >= 2:
+                points = " ".join(f"{x:.1f},{y:.1f}" for x, y in segment)
+                parts.append(
+                    f'<polyline points="{points}" fill="none" stroke="{color}" '
+                    f'stroke-width="2"/>'
+                )
+            for x, y in segment:
+                parts.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" fill="{color}"/>'
+                )
+        # legend entry
+        ly = _MARGIN_T + 8 + index * 18
+        lx = _MARGIN_L + plot_w - 130
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 22}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 28}" y="{ly + 4}">{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(result: ExperimentResult, path, **kwargs) -> str:
+    """Render and write the SVG; returns the path written."""
+    document = render_svg(result, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return str(path)
+
+
+def _escape(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

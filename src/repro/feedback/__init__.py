@@ -1,0 +1,31 @@
+"""Feedback substrate: records, per-server histories, the system ledger."""
+
+from .history import TransactionHistory
+from .io import (
+    parse_rating,
+    read_feedback_csv,
+    read_feedback_jsonl,
+    write_feedback_csv,
+    write_feedback_jsonl,
+)
+from .ledger import FeedbackLedger
+from .records import BAD, GOOD, EntityId, Feedback, Rating
+from .windows import n_windows, usable_length, window_counts
+
+__all__ = [
+    "TransactionHistory",
+    "parse_rating",
+    "read_feedback_csv",
+    "read_feedback_jsonl",
+    "write_feedback_csv",
+    "write_feedback_jsonl",
+    "FeedbackLedger",
+    "BAD",
+    "GOOD",
+    "EntityId",
+    "Feedback",
+    "Rating",
+    "n_windows",
+    "usable_length",
+    "window_counts",
+]

@@ -1,0 +1,154 @@
+"""Feedback serialization: CSV and JSON-lines.
+
+Real deployments have feedback in flat files long before they have a
+reputation service; these readers/writers make the library usable on
+such data (and feed the ``repro-assess`` CLI).  Formats:
+
+* **CSV** with header ``time,server,client,rating[,category][,authentic]``;
+  ``rating`` accepts ``1/0``, ``positive/negative``, ``pos/neg``,
+  ``good/bad``, ``+/-`` (case-insensitive).
+* **JSONL**: one object per line with the same fields.
+
+Both readers validate eagerly and report the offending line number —
+silent row-skipping turns data bugs into wrong trust decisions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from .records import Feedback, Rating
+
+__all__ = [
+    "read_feedback_csv",
+    "write_feedback_csv",
+    "read_feedback_jsonl",
+    "write_feedback_jsonl",
+    "parse_rating",
+]
+
+PathLike = Union[str, Path]
+
+_POSITIVE_TOKENS = {"1", "positive", "pos", "good", "+", "true"}
+_NEGATIVE_TOKENS = {"0", "negative", "neg", "bad", "-", "false"}
+_REQUIRED_FIELDS = ("time", "server", "client", "rating")
+
+
+def parse_rating(token: object) -> Rating:
+    """Parse the many spellings of a binary rating."""
+    text = str(token).strip().lower()
+    if text in _POSITIVE_TOKENS:
+        return Rating.POSITIVE
+    if text in _NEGATIVE_TOKENS:
+        return Rating.NEGATIVE
+    raise ValueError(
+        f"unrecognized rating {token!r}; expected one of "
+        f"{sorted(_POSITIVE_TOKENS | _NEGATIVE_TOKENS)}"
+    )
+
+
+def _row_to_feedback(row: dict, line: int) -> Feedback:
+    missing = [f for f in _REQUIRED_FIELDS if row.get(f) in (None, "")]
+    if missing:
+        raise ValueError(f"line {line}: missing fields {missing}")
+    try:
+        time = float(row["time"])
+    except (TypeError, ValueError):
+        raise ValueError(f"line {line}: time {row['time']!r} is not a number") from None
+    try:
+        rating = parse_rating(row["rating"])
+    except ValueError as exc:
+        raise ValueError(f"line {line}: {exc}") from None
+    category = row.get("category") or None
+    authentic_raw = row.get("authentic")
+    if authentic_raw in (None, ""):
+        authentic = True
+    else:
+        authentic = str(authentic_raw).strip().lower() in ("1", "true", "yes")
+    return Feedback(
+        time=time,
+        server=str(row["server"]),
+        client=str(row["client"]),
+        rating=rating,
+        category=category,
+        authentic=authentic,
+    )
+
+
+def read_feedback_csv(path: PathLike) -> List[Feedback]:
+    """Load feedback records from a CSV file (see module docs for schema)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise ValueError(f"{path}: empty file (no header)")
+        missing = [f for f in _REQUIRED_FIELDS if f not in reader.fieldnames]
+        if missing:
+            raise ValueError(f"{path}: header missing columns {missing}")
+        return [
+            _row_to_feedback(row, line)
+            for line, row in enumerate(reader, start=2)
+        ]
+
+
+def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
+    """Write feedback records as CSV; returns the number written."""
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "server", "client", "rating", "category", "authentic"])
+        for fb in feedbacks:
+            writer.writerow(
+                [
+                    fb.time,
+                    fb.server,
+                    fb.client,
+                    int(fb.rating),
+                    fb.category or "",
+                    str(fb.authentic).lower(),
+                ]
+            )
+            count += 1
+    return count
+
+
+def read_feedback_jsonl(path: PathLike) -> List[Feedback]:
+    """Load feedback records from a JSON-lines file."""
+    feedbacks = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {line_number}: invalid JSON ({exc})") from None
+            if not isinstance(row, dict):
+                raise ValueError(f"line {line_number}: expected an object")
+            feedbacks.append(_row_to_feedback(row, line_number))
+    return feedbacks
+
+
+def write_feedback_jsonl(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
+    """Write feedback records as JSON-lines; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for fb in feedbacks:
+            handle.write(
+                json.dumps(
+                    {
+                        "time": fb.time,
+                        "server": fb.server,
+                        "client": fb.client,
+                        "rating": int(fb.rating),
+                        "category": fb.category,
+                        "authentic": fb.authentic,
+                    }
+                )
+                + "\n"
+            )
+            count += 1
+    return count

@@ -1,0 +1,111 @@
+"""System-wide feedback ledger.
+
+The paper assumes "all the transaction feedbacks are available for trust
+assessment (e.g., through a central server as in online auction
+communities, or through special data organization schemes in P2P
+systems)".  :class:`FeedbackLedger` plays that role for the simulation:
+a logically centralized, append-only store indexed by server and by
+client, from which per-server :class:`TransactionHistory` objects and the
+feedback graph (used by the EigenTrust baseline) are derived.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .history import TransactionHistory
+from .records import EntityId, Feedback, Rating
+
+__all__ = ["FeedbackLedger"]
+
+
+class FeedbackLedger:
+    """Append-only store of every feedback issued in the system."""
+
+    def __init__(self) -> None:
+        self._all: List[Feedback] = []
+        self._by_server: Dict[EntityId, List[Feedback]] = defaultdict(list)
+        self._by_client: Dict[EntityId, List[Feedback]] = defaultdict(list)
+        self._histories: Dict[EntityId, TransactionHistory] = {}
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def record(self, feedback: Feedback) -> None:
+        """Append one feedback; times per server must be non-decreasing."""
+        history = self._histories.get(feedback.server)
+        if history is None:
+            history = TransactionHistory(feedback.server)
+            self._histories[feedback.server] = history
+        history.append_feedback(feedback)  # validates ordering & server id
+        self._all.append(feedback)
+        self._by_server[feedback.server].append(feedback)
+        self._by_client[feedback.client].append(feedback)
+
+    def record_many(self, feedbacks: Iterable[Feedback]) -> None:
+        """Append a batch of feedback records in order."""
+        for fb in feedbacks:
+            self.record(fb)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def servers(self) -> Set[EntityId]:
+        """All servers with at least one feedback."""
+        return set(self._by_server)
+
+    def clients(self) -> Set[EntityId]:
+        """All clients that issued at least one feedback."""
+        return set(self._by_client)
+
+    def feedbacks_for_server(self, server: EntityId) -> List[Feedback]:
+        """All feedbacks issued about ``server``, in time order."""
+        return list(self._by_server.get(server, ()))
+
+    def feedbacks_by_client(self, client: EntityId) -> List[Feedback]:
+        """All feedbacks issued *by* ``client``, in time order."""
+        return list(self._by_client.get(client, ()))
+
+    def history(self, server: EntityId) -> TransactionHistory:
+        """The live :class:`TransactionHistory` of ``server``.
+
+        The returned object is the ledger's own history (not a copy):
+        trust assessment reads it in place, which is how a central
+        reputation server would serve queries.
+        """
+        try:
+            return self._histories[server]
+        except KeyError:
+            raise KeyError(f"no feedback recorded for server {server!r}") from None
+
+    def last_interaction(
+        self, server: EntityId, client: EntityId
+    ) -> Optional[Feedback]:
+        """Most recent feedback from ``client`` about ``server``, if any."""
+        for fb in reversed(self._by_server.get(server, ())):
+            if fb.client == client:
+                return fb
+        return None
+
+    def interaction_counts(self, server: EntityId) -> Dict[EntityId, int]:
+        """Number of feedbacks per issuing client for ``server``."""
+        counts: Dict[EntityId, int] = defaultdict(int)
+        for fb in self._by_server.get(server, ()):
+            counts[fb.client] += 1
+        return dict(counts)
+
+    def feedback_graph(self) -> Dict[Tuple[EntityId, EntityId], Tuple[int, int]]:
+        """Aggregate ``(client, server) -> (n_positive, n_negative)`` edges.
+
+        This is the local-trust matrix input of graph-based reputation
+        schemes such as EigenTrust.
+        """
+        edges: Dict[Tuple[EntityId, EntityId], List[int]] = defaultdict(lambda: [0, 0])
+        for fb in self._all:
+            cell = edges[(fb.client, fb.server)]
+            if fb.rating is Rating.POSITIVE:
+                cell[0] += 1
+            else:
+                cell[1] += 1
+        return {pair: (pos, neg) for pair, (pos, neg) in edges.items()}

@@ -1,0 +1,88 @@
+"""Feedback and transaction records.
+
+The paper's abstract reputation model (Sec. 2): entities interact through
+uni-directional transactions between a server and a client; after each
+transaction the client issues a feedback ``(t, s, c, r)`` with ``t`` the
+time, ``s`` the server, ``c`` the client and ``r`` the rating.  Binary
+ratings are the paper's default; a categorical rating value is provided
+for the multinomial extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["Rating", "Feedback", "EntityId", "GOOD", "BAD"]
+
+EntityId = str
+
+
+class Rating(IntEnum):
+    """Binary feedback rating.
+
+    Integer-valued so a sequence of ratings doubles as the 0/1 outcome
+    vector the statistical model consumes (1 = good transaction).
+    """
+
+    NEGATIVE = 0
+    POSITIVE = 1
+
+    @property
+    def is_good(self) -> bool:
+        return self is Rating.POSITIVE
+
+    @classmethod
+    def from_outcome(cls, outcome: int) -> "Rating":
+        if outcome not in (0, 1):
+            raise ValueError(f"binary outcome must be 0 or 1, got {outcome!r}")
+        return cls.POSITIVE if outcome else cls.NEGATIVE
+
+
+GOOD = Rating.POSITIVE
+BAD = Rating.NEGATIVE
+
+
+@dataclass(frozen=True, order=True)
+class Feedback:
+    """A single feedback tuple ``(t, s, c, r)``.
+
+    ``time`` is a logical timestamp (simulation step or epoch seconds);
+    ordering is by time first, which matches how histories are stored.
+    ``category`` optionally tags the transaction for per-category testing
+    (Sec. 4's North-America/Africa example); ``authentic`` records ground
+    truth in simulations — ``False`` marks a colluder-fabricated feedback,
+    information the *defender never sees* but metrics and tests use.
+    """
+
+    time: float
+    server: EntityId = field(compare=False)
+    client: EntityId = field(compare=False)
+    rating: Rating = field(compare=False)
+    category: Optional[str] = field(default=None, compare=False)
+    authentic: bool = field(default=True, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rating, Rating):
+            raise TypeError(f"rating must be a Rating, got {type(self.rating).__name__}")
+        if not self.server:
+            raise ValueError("server id must be non-empty")
+        if not self.client:
+            raise ValueError("client id must be non-empty")
+
+    @property
+    def outcome(self) -> int:
+        """1 for a good transaction, 0 for a bad one."""
+        return int(self.rating)
+
+    def replace_rating(self, rating: Rating) -> "Feedback":
+        """A copy of this feedback with a different rating."""
+        return Feedback(
+            time=self.time,
+            server=self.server,
+            client=self.client,
+            rating=rating,
+            category=self.category,
+            authentic=self.authentic,
+        )

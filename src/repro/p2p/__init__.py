@@ -1,0 +1,35 @@
+"""Decentralized substrate: simulated network, Chord DHT, gossip aggregation.
+
+The paper assumes a server's full feedback record is retrievable even in
+a P2P deployment (citing P-Grid for storage and gossip protocols for
+aggregation).  This package supplies both halves so that assumption is
+implemented rather than assumed:
+
+* :class:`ChordRing` / :class:`DistributedFeedbackStore` — structured-
+  overlay feedback storage with replication and O(log n)-hop lookups;
+* :class:`ReputationGossip` — push-pull averaging that converges every
+  peer's reputation estimate to the global average trust value.
+"""
+
+from .chord import ChordNode, ChordRing, LookupResult, in_interval, key_of
+from .gossip import GossipAggregator, ReputationGossip, push_pull_round
+from .network import NetworkStats, NodeUnreachable, SimulatedNetwork
+from .store import DistributedFeedbackStore
+from .unstructured import SearchResult, UnstructuredOverlay
+
+__all__ = [
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "in_interval",
+    "key_of",
+    "GossipAggregator",
+    "ReputationGossip",
+    "push_pull_round",
+    "NetworkStats",
+    "NodeUnreachable",
+    "SimulatedNetwork",
+    "DistributedFeedbackStore",
+    "SearchResult",
+    "UnstructuredOverlay",
+]

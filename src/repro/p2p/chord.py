@@ -1,0 +1,445 @@
+"""A Chord-style structured overlay for decentralized feedback storage.
+
+The paper's trust assessment assumes all feedback about a server can be
+retrieved; in a decentralized deployment that job falls to a P2P data
+organization scheme (the paper cites P-Grid).  This module implements
+the canonical alternative, a Chord ring (Stoica et al.):
+
+* node and data ids live on a ``2^m`` identifier circle (SHA-1 based);
+* the node *responsible* for a key is the first node clockwise from it;
+* each node keeps a successor list (fault tolerance), a predecessor
+  pointer, and a finger table giving O(log n)-hop lookups;
+* data is replicated on the ``r`` nodes succeeding the responsible one,
+  so single-node crashes lose nothing.
+
+Lookups are *iterative*: the initiating node queries fingers over the
+simulated network, so hop counts equal message counts and the O(log n)
+claim is assertable in tests.  Ring maintenance follows Chord's
+``stabilize``/``notify``/``fix_fingers`` protocol, driven in rounds by
+:class:`ChordRing` (the test-harness view of the deployment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..stats.rng import SeedLike, make_rng
+from .network import NodeUnreachable, SimulatedNetwork
+
+__all__ = ["key_of", "in_interval", "ChordNode", "ChordRing", "LookupResult"]
+
+DEFAULT_M_BITS = 16
+
+
+def key_of(name: str, m_bits: int = DEFAULT_M_BITS) -> int:
+    """Hash an arbitrary name onto the identifier circle."""
+    digest = hashlib.sha1(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << m_bits)
+
+
+def in_interval(x: int, left: int, right: int, *, inclusive_right: bool = False) -> bool:
+    """Is ``x`` in the circular interval ``(left, right)`` / ``(left, right]``?
+
+    On a ring the interval may wrap; ``left == right`` denotes the full
+    circle (a single-node ring owns everything).
+    """
+    if left == right:
+        return True  # full circle: a single-node ring owns every key
+    if left < right:
+        return (left < x < right) or (inclusive_right and x == right)
+    return (x > left) or (x < right) or (inclusive_right and x == right)
+
+
+class LookupResult(Tuple[str, int]):
+    """``(node_name, hops)`` returned by lookups."""
+
+    __slots__ = ()
+
+    def __new__(cls, node: str, hops: int):
+        return super().__new__(cls, (node, hops))
+
+    @property
+    def node(self) -> str:
+        return self[0]
+
+    @property
+    def hops(self) -> int:
+        return self[1]
+
+
+class ChordNode:
+    """One overlay node: ring pointers, finger table, replicated storage."""
+
+    def __init__(self, name: str, network: SimulatedNetwork, m_bits: int, replicas: int):
+        self.name = name
+        self.node_id = key_of(name, m_bits)
+        self._network = network
+        self._m = m_bits
+        self._replicas = replicas
+        self.successors: List[str] = [name]  # successor list, self when alone
+        self.predecessor: Optional[str] = None
+        self.fingers: List[str] = [name] * m_bits
+        self.storage: Dict[int, List[Any]] = {}
+        network.register(name, self._handle)
+
+    # ------------------------------------------------------------------ #
+    # public queries
+
+    @property
+    def successor(self) -> str:
+        return self.successors[0]
+
+    def responsible_for(self, key: int) -> bool:
+        """Does this node own ``key``? (first node clockwise from the key)"""
+        if self.predecessor is None:
+            return True
+        pred_id = key_of(self.predecessor, self._m)
+        return in_interval(key, pred_id, self.node_id, inclusive_right=True)
+
+    def find_successor(self, key: int, *, max_hops: int = 64) -> LookupResult:
+        """Iterative lookup: walk fingers until the owner is found."""
+        current = self.name
+        hops = 0
+        while hops <= max_hops:
+            info = self._rpc(current, "lookup_step", {"key": key})
+            if info is None:  # dropped or dead: fall back to our successor list
+                current = self._next_alive_successor(exclude=current)
+                hops += 1
+                continue
+            if info["done"]:
+                return LookupResult(info["node"], hops)
+            next_node = info["node"]
+            if next_node == current:  # safety: no progress possible
+                return LookupResult(current, hops)
+            current = next_node
+            hops += 1
+        raise RuntimeError(f"lookup for key {key} exceeded {max_hops} hops")
+
+    # ------------------------------------------------------------------ #
+    # ring maintenance (Chord's join / stabilize / notify / fix_fingers)
+
+    def join(self, bootstrap: str, *, attempts: int = 5) -> None:
+        """Join the ring known to ``bootstrap`` (retrying dropped RPCs)."""
+        result = None
+        for _ in range(attempts):
+            result = self._rpc(bootstrap, "find_successor_rpc", {"key": self.node_id})
+            if result is not None:
+                break
+            if not self._network.is_alive(bootstrap):
+                break
+        if result is None:
+            raise NodeUnreachable(bootstrap)
+        self.successors = [result["node"]]
+        self.predecessor = None
+
+    def stabilize(self) -> None:
+        """Verify the successor, adopt a closer one, and notify it."""
+        successor = self._first_alive_successor()
+        pred_of_succ = self._rpc(successor, "get_predecessor", {})
+        if pred_of_succ and pred_of_succ.get("node"):
+            candidate = pred_of_succ["node"]
+            if candidate != self.name and self._network.is_alive(candidate):
+                cid = key_of(candidate, self._m)
+                sid = key_of(successor, self._m)
+                if in_interval(cid, self.node_id, sid):
+                    successor = candidate
+        self._rebuild_successor_list(successor)
+        self._rpc(successor, "notify", {"node": self.name})
+
+    def fix_fingers(self) -> None:
+        """Recompute the finger table with fresh lookups."""
+        for i in range(self._m):
+            target = (self.node_id + (1 << i)) % (1 << self._m)
+            try:
+                self.fingers[i] = self.find_successor(target).node
+            except (RuntimeError, NodeUnreachable):
+                self.fingers[i] = self.successor
+
+    def leave(self) -> None:
+        """Graceful departure: hand storage to the successor, detach."""
+        if self.successor != self.name and self._network.is_alive(self.successor):
+            for key, values in self.storage.items():
+                for value in values:
+                    self._rpc(self.successor, "store", {"key": key, "value": value})
+        self._network.unregister(self.name)
+
+    # ------------------------------------------------------------------ #
+    # data operations
+
+    def put(self, key: int, value: Any) -> str:
+        """Store ``value`` under ``key`` on its owner + replicas; returns owner."""
+        owner = self.find_successor(key).node
+        self._rpc_retry(owner, "store_replicated", {"key": key, "value": value})
+        return owner
+
+    def get(self, key: int) -> List[Any]:
+        """Fetch all values under ``key`` from its owner (replica fallback)."""
+        owner = self.find_successor(key).node
+        reply = self._rpc_retry(owner, "fetch", {"key": key})
+        if reply is not None:
+            return list(reply["values"])
+        # owner unreachable/dropped: try the owner's replica set via ours
+        for replica in self.successors[: self._replicas]:
+            reply = self._rpc(replica, "fetch", {"key": key})
+            if reply is not None and reply["values"]:
+                return list(reply["values"])
+        return []
+
+    # ------------------------------------------------------------------ #
+    # RPC handling
+
+    def _handle(self, message_type: str, payload: Dict[str, Any]) -> Any:
+        if message_type == "lookup_step":
+            return self._lookup_step(payload["key"])
+        if message_type == "find_successor_rpc":
+            result = self.find_successor(payload["key"])
+            return {"node": result.node}
+        if message_type == "get_predecessor":
+            return {"node": self.predecessor}
+        if message_type == "get_successor":
+            return {"node": self.successor}
+        if message_type == "notify":
+            self._notify(payload["node"])
+            return {}
+        if message_type == "store":
+            bucket = self.storage.setdefault(payload["key"], [])
+            # idempotent append: hand-overs and at-least-once retries may
+            # deliver the same value more than once
+            if payload["value"] not in bucket:
+                bucket.append(payload["value"])
+            return {}
+        if message_type == "store_replicated":
+            key, value = payload["key"], payload["value"]
+            bucket = self.storage.setdefault(key, [])
+            if value not in bucket:
+                bucket.append(value)
+            for replica in self.successors[: self._replicas - 1]:
+                if replica != self.name:
+                    self._rpc(replica, "store", {"key": key, "value": value})
+            return {}
+        if message_type == "fetch":
+            return {"values": list(self.storage.get(payload["key"], []))}
+        raise ValueError(f"unknown message type {message_type!r}")
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _lookup_step(self, key: int) -> Dict[str, Any]:
+        successor = self._first_alive_successor()
+        sid = key_of(successor, self._m)
+        if in_interval(key, self.node_id, sid, inclusive_right=True):
+            return {"done": True, "node": successor}
+        return {"done": False, "node": self._closest_preceding(key)}
+
+    def _closest_preceding(self, key: int) -> str:
+        for finger in reversed(self.fingers):
+            if finger == self.name or not self._network.is_alive(finger):
+                continue
+            fid = key_of(finger, self._m)
+            if in_interval(fid, self.node_id, key):
+                return finger
+        return self._first_alive_successor()
+
+    def _notify(self, candidate: str) -> None:
+        if candidate == self.name:
+            return
+        adopted = False
+        if self.predecessor is None or not self._network.is_alive(self.predecessor):
+            self.predecessor = candidate
+            adopted = True
+        else:
+            pid = key_of(self.predecessor, self._m)
+            cid = key_of(candidate, self._m)
+            if in_interval(cid, pid, self.node_id):
+                self.predecessor = candidate
+                adopted = True
+        if adopted:
+            self._hand_over_upstream_keys()
+
+    def _hand_over_upstream_keys(self) -> None:
+        """Copy keys this node no longer owns to the new predecessor.
+
+        When a node joins between P and S, the keys in (old-P, new-P]
+        stop being S's: without this transfer a lookup routed to the new
+        owner finds nothing (data is not lost, just unreachable).  The
+        copy cascades — if the predecessor does not own a key either, its
+        own next notify pushes it further upstream.  The local copy is
+        kept as a replica; readers deduplicate.
+        """
+        predecessor = self.predecessor
+        if predecessor is None or not self._network.is_alive(predecessor):
+            return
+        pid = key_of(predecessor, self._m)
+        for key, values in list(self.storage.items()):
+            if in_interval(key, pid, self.node_id, inclusive_right=True):
+                continue  # still ours
+            for value in values:
+                self._rpc(predecessor, "store", {"key": key, "value": value})
+
+    def _first_alive_successor(self) -> str:
+        for succ in self.successors:
+            if succ == self.name or self._network.is_alive(succ):
+                return succ
+        return self.name
+
+    def _next_alive_successor(self, exclude: str) -> str:
+        for succ in self.successors:
+            if succ != exclude and (succ == self.name or self._network.is_alive(succ)):
+                return succ
+        return self.name
+
+    def _rebuild_successor_list(self, first: str) -> None:
+        chain = [first]
+        current = first
+        for _ in range(self._replicas):
+            reply = self._rpc(current, "get_successor", {})
+            if reply is None:
+                break
+            nxt = reply["node"]
+            if nxt in chain or nxt == self.name:
+                break
+            chain.append(nxt)
+            current = nxt
+        self.successors = chain
+
+    def _rpc_retry(
+        self, dst: str, message_type: str, payload: Dict[str, Any], attempts: int = 4
+    ) -> Any:
+        """Retry an idempotent-enough RPC across message drops.
+
+        ``store_replicated`` retries can duplicate a value on a replica;
+        readers deduplicate (see DistributedFeedbackStore), which is the
+        usual at-least-once trade-off.
+        """
+        for _ in range(attempts):
+            reply = self._rpc(dst, message_type, payload)
+            if reply is not None:
+                return reply
+            if not self._network.is_alive(dst):
+                return None
+        return None
+
+    def _rpc(self, dst: str, message_type: str, payload: Dict[str, Any]) -> Any:
+        if dst == self.name:
+            return self._handle(message_type, payload)
+        try:
+            return self._network.send(dst, message_type, payload)
+        except NodeUnreachable:
+            return None
+
+
+class ChordRing:
+    """Deployment harness: builds and maintains a ring of ChordNodes."""
+
+    def __init__(
+        self,
+        network: Optional[SimulatedNetwork] = None,
+        m_bits: int = DEFAULT_M_BITS,
+        replicas: int = 3,
+        seed: SeedLike = None,
+    ):
+        if m_bits <= 0 or m_bits > 60:
+            raise ValueError(f"m_bits must lie in (0, 60], got {m_bits}")
+        if replicas <= 0:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.network = network or SimulatedNetwork()
+        self._m = m_bits
+        self._replicas = replicas
+        self._rng = make_rng(seed)
+        self.nodes: Dict[str, ChordNode] = {}
+
+    def add_node(self, name: str, *, stabilize_rounds: int = 3) -> ChordNode:
+        """Create a node, join it through a random member, repair the ring."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already in the ring")
+        new_id = key_of(name, self._m)
+        for existing in self.nodes:
+            if key_of(existing, self._m) == new_id:
+                # two names on one ring position make ownership intervals
+                # ill-defined; refuse loudly instead of corrupting routing
+                # (at 2^16 positions, birthday collisions are realistic —
+                # widen m_bits or rename the node)
+                raise ValueError(
+                    f"id collision: {name!r} and {existing!r} both hash to "
+                    f"{new_id} with m_bits={self._m}"
+                )
+        node = ChordNode(name, self.network, self._m, self._replicas)
+        if self.nodes:
+            bootstrap = self._random_member()
+            node.join(bootstrap)
+        self.nodes[name] = node
+        self.stabilize_all(rounds=stabilize_rounds)
+        return node
+
+    def remove_node(self, name: str, *, graceful: bool = True, stabilize_rounds: int = 3) -> None:
+        """Remove a node — gracefully (data handoff) or as a crash."""
+        node = self.nodes.pop(name, None)
+        if node is None:
+            raise KeyError(f"node {name!r} not in the ring")
+        if graceful:
+            node.leave()
+        else:
+            self.network.unregister(name)
+        self.stabilize_all(rounds=stabilize_rounds)
+        if not graceful and self.nodes:
+            # a crash dropped one copy of everything the victim held;
+            # restore the replication factor while the ring is healthy
+            self.repair_replication()
+
+    def stabilize_all(self, rounds: int = 1) -> None:
+        """Run stabilize + fix_fingers on every node, ``rounds`` times."""
+        for _ in range(rounds):
+            for node in self.nodes.values():
+                node.stabilize()
+            for node in self.nodes.values():
+                node.fix_fingers()
+
+    def repair_replication(self) -> None:
+        """Re-push every owned key to its current replica set.
+
+        Crashes erode the replication factor (a dead replica is not
+        automatically replaced); deployments run this periodically — the
+        harness calls it after crash removals so durability holds across
+        repeated failures.  Idempotent: stores deduplicate.
+        """
+        for node in list(self.nodes.values()):
+            for key, values in list(node.storage.items()):
+                if not node.responsible_for(key):
+                    continue
+                for replica in node.successors[: self._replicas - 1]:
+                    if replica == node.name or not self.network.is_alive(replica):
+                        continue
+                    for value in values:
+                        self.network.send(replica, "store", {"key": key, "value": value})
+
+    def lookup(self, name_or_key) -> LookupResult:
+        """Find the owner of a key (string names are hashed first)."""
+        key = name_or_key if isinstance(name_or_key, int) else key_of(name_or_key, self._m)
+        return self._any_node().find_successor(key)
+
+    def put(self, name: str, value: Any) -> str:
+        """Store ``value`` under a string key; returns the owning node."""
+        return self._any_node().put(key_of(name, self._m), value)
+
+    def get(self, name: str) -> List[Any]:
+        """Fetch every value stored under a string key."""
+        return self._any_node().get(key_of(name, self._m))
+
+    def responsible_node(self, name: str) -> str:
+        """Ground truth owner, computed centrally (for tests)."""
+        key = key_of(name, self._m)
+        ids = sorted((key_of(n, self._m), n) for n in self.nodes)
+        for node_id, node_name in ids:
+            if node_id >= key:
+                return node_name
+        return ids[0][1]
+
+    def _any_node(self) -> ChordNode:
+        if not self.nodes:
+            raise RuntimeError("ring is empty")
+        return self.nodes[self._random_member()]
+
+    def _random_member(self) -> str:
+        names = sorted(self.nodes)
+        return names[int(self._rng.integers(0, len(names)))]

@@ -1,0 +1,197 @@
+"""Gossip-based reputation aggregation.
+
+Sec. 6 of the paper cites gossip protocols (Zhou & Hwang, IPDPS 2007) as
+the way unstructured P2P systems aggregate reputation without a central
+server.  This module implements the standard **push-pull averaging**
+primitive: every peer holds a local value; each round, peers pair up
+with random partners and both adopt the pair's average.  The vector of
+values converges exponentially fast to the global mean, which — when the
+local value is a (sum, count) feedback summary for a server — yields
+exactly the average trust function's output, decentralized.
+
+:class:`ReputationGossip` packages that: peers contribute their local
+feedback about each server, rounds of gossip run, and every peer ends up
+able to answer "what is server X's global reputation?" within a small
+error, no ledger required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["push_pull_round", "GossipAggregator", "ReputationGossip"]
+
+
+def push_pull_round(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """One synchronous push-pull averaging round over all peers.
+
+    Peers are matched in random disjoint pairs (one peer idles when the
+    population is odd); each pair averages.  Returns the new value
+    vector; the sum (and therefore the mean) is invariant.
+    """
+    values = np.asarray(values, dtype=np.float64).copy()
+    order = rng.permutation(values.size)
+    for i in range(0, values.size - 1, 2):
+        a, b = order[i], order[i + 1]
+        mean = 0.5 * (values[a] + values[b])
+        values[a] = mean
+        values[b] = mean
+    return values
+
+
+class GossipAggregator:
+    """Push-pull averaging of one scalar per peer."""
+
+    def __init__(self, initial_values: Sequence[float], seed: SeedLike = None):
+        values = np.asarray(list(initial_values), dtype=np.float64)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("need a non-empty 1-D vector of initial values")
+        self._values = values
+        self._rng = make_rng(seed)
+        self._rounds = 0
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    @property
+    def true_mean(self) -> float:
+        return float(self._values.mean())
+
+    def max_error(self) -> float:
+        """Worst-case distance of any peer's estimate from the mean."""
+        return float(np.abs(self._values - self._values.mean()).max())
+
+    def run_round(self) -> None:
+        """One synchronous push-pull averaging round."""
+        self._values = push_pull_round(self._values, self._rng)
+        self._rounds += 1
+
+    def run_until(self, tolerance: float, max_rounds: int = 1000) -> int:
+        """Gossip until every peer is within ``tolerance`` of the mean."""
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        while self.max_error() > tolerance:
+            if self._rounds >= max_rounds:
+                raise RuntimeError(
+                    f"did not converge to {tolerance} within {max_rounds} rounds"
+                )
+            self.run_round()
+        return self._rounds
+
+
+@dataclass
+class _Summary:
+    """A peer's local feedback summary about one server."""
+
+    positives: float = 0.0
+    total: float = 0.0
+
+
+class ReputationGossip:
+    """Decentralized average-reputation computation via paired gossip.
+
+    Each peer holds, per server, a (positives, total) summary of the
+    feedback *it* issued.  Gossiping the two components separately (sum
+    aggregation is implemented as mean aggregation times the fixed peer
+    count) converges every peer's ratio estimate to the global average
+    reputation — the decentralized counterpart of
+    :class:`repro.trust.average.AverageTrust`.
+    """
+
+    def __init__(self, n_peers: int, seed: SeedLike = None):
+        if n_peers < 2:
+            raise ValueError(f"need at least 2 peers, got {n_peers}")
+        self._n = n_peers
+        self._rng = make_rng(seed)
+        # per server: two vectors of per-peer local components
+        self._positives: Dict[str, np.ndarray] = {}
+        self._totals: Dict[str, np.ndarray] = {}
+        self._rounds = 0
+
+    @property
+    def n_peers(self) -> int:
+        return self._n
+
+    @property
+    def rounds(self) -> int:
+        return self._rounds
+
+    def servers(self) -> List[str]:
+        """Servers with at least one recorded feedback."""
+        return sorted(self._positives)
+
+    def record_feedback(self, peer: int, server: str, outcome: int) -> None:
+        """Peer ``peer`` locally records one transaction outcome for ``server``."""
+        if not 0 <= peer < self._n:
+            raise ValueError(f"peer index {peer} outside [0, {self._n})")
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        if server not in self._positives:
+            self._positives[server] = np.zeros(self._n)
+            self._totals[server] = np.zeros(self._n)
+        self._positives[server][peer] += outcome
+        self._totals[server][peer] += 1.0
+
+    def run_rounds(self, rounds: int) -> None:
+        """Run synchronous push-pull rounds over every tracked component."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            for server in self._positives:
+                # one shared pairing per round keeps components consistent
+                order = self._rng.permutation(self._n)
+                self._positives[server] = _paired_average(
+                    self._positives[server], order
+                )
+                self._totals[server] = _paired_average(self._totals[server], order)
+            self._rounds += 1
+
+    def estimate(self, peer: int, server: str) -> float:
+        """Peer ``peer``'s current estimate of ``server``'s reputation."""
+        if server not in self._positives:
+            raise KeyError(f"no feedback recorded for server {server!r}")
+        total = self._totals[server][peer]
+        if total <= 0:
+            return 0.0
+        return float(self._positives[server][peer] / total)
+
+    def global_reputation(self, server: str) -> float:
+        """Ground-truth average reputation (centralized, for comparison)."""
+        if server not in self._positives:
+            raise KeyError(f"no feedback recorded for server {server!r}")
+        total = self._totals[server].sum()
+        if total <= 0:
+            return 0.0
+        return float(self._positives[server].sum() / total)
+
+    def estimation_spread(self, server: str) -> float:
+        """Max disagreement between any peer's estimate and the truth."""
+        truth = self.global_reputation(server)
+        estimates = [
+            self.estimate(peer, server)
+            for peer in range(self._n)
+            if self._totals[server][peer] > 0
+        ]
+        if not estimates:
+            return 0.0
+        return float(max(abs(e - truth) for e in estimates))
+
+
+def _paired_average(values: np.ndarray, order: np.ndarray) -> np.ndarray:
+    updated = values.copy()
+    for i in range(0, order.size - 1, 2):
+        a, b = order[i], order[i + 1]
+        mean = 0.5 * (updated[a] + updated[b])
+        updated[a] = mean
+        updated[b] = mean
+    return updated

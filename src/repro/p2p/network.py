@@ -1,0 +1,110 @@
+"""Simulated message-passing network for the P2P substrate.
+
+The paper assumes transaction feedback is available "through special
+data organization schemes in P2P systems" (it cites P-Grid) and
+discusses gossip-based reputation aggregation as related work.  The
+:mod:`repro.p2p` package makes that assumption concrete; this module is
+its transport: a synchronous request/reply network with seeded,
+injectable unreliability (message drops) and per-message accounting, so
+overlay algorithms can be tested for both correctness and message
+complexity.
+
+The network is deliberately synchronous — a ``send`` delivers the
+request to the destination's handler and returns its reply — because
+the overlay protocols built on top (iterative Chord lookups, push-pull
+gossip rounds) are step-based; asynchrony would add machinery without
+changing what the paper needs from the substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["NetworkStats", "NodeUnreachable", "SimulatedNetwork"]
+
+Handler = Callable[[str, Dict[str, Any]], Any]
+
+
+class NodeUnreachable(Exception):
+    """Raised when sending to an id with no registered handler."""
+
+
+@dataclass
+class NetworkStats:
+    """Message accounting for complexity assertions in tests/benches."""
+
+    messages: int = 0
+    drops: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message_type: str, dropped: bool) -> None:
+        """Count one message (and its drop status)."""
+        self.messages += 1
+        self.by_type[message_type] = self.by_type.get(message_type, 0) + 1
+        if dropped:
+            self.drops += 1
+
+
+class SimulatedNetwork:
+    """Registry of node handlers with lossy synchronous delivery.
+
+    ``drop_rate`` is the probability that a request is lost; a dropped
+    request returns ``None`` to the sender (timeout semantics).  Replies
+    are never dropped separately — a lost reply is indistinguishable
+    from a lost request at this abstraction level.
+    """
+
+    def __init__(self, drop_rate: float = 0.0, seed: SeedLike = None):
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must lie in [0, 1), got {drop_rate}")
+        self._drop_rate = drop_rate
+        self._rng = make_rng(seed)
+        self._handlers: Dict[str, Handler] = {}
+        self._stats = NetworkStats()
+
+    @property
+    def stats(self) -> NetworkStats:
+        return self._stats
+
+    @property
+    def node_ids(self):
+        return set(self._handlers)
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach a node; its handler receives ``(message_type, payload)``."""
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Detach a node (crash/leave); later sends raise NodeUnreachable."""
+        if node_id not in self._handlers:
+            raise KeyError(f"node {node_id!r} not registered")
+        del self._handlers[node_id]
+
+    def send(
+        self, dst: str, message_type: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """Deliver a request and return the handler's reply.
+
+        Returns ``None`` when the message is dropped; raises
+        :class:`NodeUnreachable` when the destination does not exist —
+        callers distinguish "lossy" from "gone".
+        """
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise NodeUnreachable(dst)
+        dropped = self._drop_rate > 0 and self._rng.random() < self._drop_rate
+        self._stats.record(message_type, dropped)
+        if dropped:
+            return None
+        return handler(message_type, payload or {})
+
+    def is_alive(self, node_id: str) -> bool:
+        """Is a handler currently registered under ``node_id``?"""
+        return node_id in self._handlers

@@ -1,0 +1,76 @@
+"""DHT-backed feedback storage.
+
+The glue between the overlay and the trust layer: a
+:class:`DistributedFeedbackStore` exposes the subset of the
+:class:`~repro.feedback.ledger.FeedbackLedger` interface the behavior
+tests and trust functions consume, but keeps every feedback in the Chord
+ring, keyed by the server it concerns.  Retrieving a server's history is
+one DHT ``get`` (plus replica fallbacks), which is exactly the paper's
+"special data organization schemes in P2P systems" assumption made
+executable: the same two-phase assessment runs unchanged whether the
+store is a central ledger or this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..feedback.history import TransactionHistory
+from ..feedback.records import EntityId, Feedback
+from .chord import ChordRing
+
+__all__ = ["DistributedFeedbackStore"]
+
+_KEY_PREFIX = "feedback/"
+
+
+class DistributedFeedbackStore:
+    """Feedback persistence on a Chord ring, queryable per server."""
+
+    def __init__(self, ring: Optional[ChordRing] = None, n_nodes: int = 8):
+        if ring is None:
+            ring = ChordRing(seed=0)
+            for i in range(n_nodes):
+                ring.add_node(f"storage-{i}")
+        if not ring.nodes:
+            raise ValueError("the ring must contain at least one node")
+        self._ring = ring
+        self._servers: Set[EntityId] = set()
+
+    @property
+    def ring(self) -> ChordRing:
+        return self._ring
+
+    def servers(self) -> Set[EntityId]:
+        """Servers with at least one recorded feedback (local index)."""
+        return set(self._servers)
+
+    def record(self, feedback: Feedback) -> str:
+        """Store one feedback in the DHT; returns the owning node."""
+        self._servers.add(feedback.server)
+        return self._ring.put(_KEY_PREFIX + feedback.server, feedback)
+
+    def record_many(self, feedbacks) -> None:
+        """Store a batch of feedback records."""
+        for fb in feedbacks:
+            self.record(fb)
+
+    def feedbacks_for_server(self, server: EntityId) -> List[Feedback]:
+        """All stored feedback about ``server``, time-ordered.
+
+        Replication means a value can surface more than once after a
+        failover; duplicates are removed before ordering.
+        """
+        raw = self._ring.get(_KEY_PREFIX + server)
+        unique = {
+            (fb.time, fb.client, fb.rating, fb.category, fb.authentic): fb
+            for fb in raw
+        }
+        return sorted(unique.values(), key=lambda fb: fb.time)
+
+    def history(self, server: EntityId) -> TransactionHistory:
+        """Materialize a server's :class:`TransactionHistory` from the DHT."""
+        feedbacks = self.feedbacks_for_server(server)
+        if not feedbacks:
+            raise KeyError(f"no feedback stored for server {server!r}")
+        return TransactionHistory.from_feedbacks(feedbacks)

@@ -1,0 +1,186 @@
+"""Unstructured overlay: flooding and random-walk feedback search.
+
+The paper's motivating systems include Gnutella-style resource-sharing
+networks, which have no DHT: peers hold their *own* feedback locally and
+queries spread over a random overlay.  This module provides that
+substrate as the contrast case to :mod:`repro.p2p.chord`:
+
+* :class:`UnstructuredOverlay` — a connected random ``degree``-regular-ish
+  graph of peers, each holding the feedback it issued;
+* **flooding** search: a TTL-bounded breadth-first query, complete within
+  its horizon but O(degree^TTL) messages;
+* **random-walk** search: ``k`` walkers of bounded length, O(k·len)
+  messages but probabilistic coverage.
+
+The trade-off (flooding finds everything but costs orders of magnitude
+more messages) is exactly the argument for structured storage, asserted
+by the test suite and benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from ..feedback.records import EntityId, Feedback
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["SearchResult", "UnstructuredOverlay"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Feedback gathered by a query, plus its cost."""
+
+    feedbacks: Tuple[Feedback, ...]
+    messages: int
+    peers_reached: int
+
+
+class UnstructuredOverlay:
+    """Random overlay of peers, each storing its locally issued feedback."""
+
+    def __init__(self, n_peers: int, degree: int = 4, seed: SeedLike = None):
+        if n_peers < 2:
+            raise ValueError(f"need at least 2 peers, got {n_peers}")
+        if not 1 <= degree < n_peers:
+            raise ValueError(f"degree must lie in [1, n_peers), got {degree}")
+        self._rng = make_rng(seed)
+        self._peers = [f"peer-{i}" for i in range(n_peers)]
+        self._neighbors: Dict[str, Set[str]] = {p: set() for p in self._peers}
+        self._local: Dict[str, List[Feedback]] = {p: [] for p in self._peers}
+        self._build_graph(degree)
+
+    # ------------------------------------------------------------------ #
+    # topology
+
+    def _build_graph(self, degree: int) -> None:
+        """A connected random graph: ring backbone + random chords."""
+        n = len(self._peers)
+        for i in range(n):  # ring guarantees connectivity
+            self._link(self._peers[i], self._peers[(i + 1) % n])
+        attempts = 0
+        while attempts < 20 * n:
+            if all(len(nbrs) >= degree for nbrs in self._neighbors.values()):
+                break
+            a, b = self._rng.choice(n, size=2, replace=False)
+            self._link(self._peers[int(a)], self._peers[int(b)])
+            attempts += 1
+
+    def _link(self, a: str, b: str) -> None:
+        if a != b:
+            self._neighbors[a].add(b)
+            self._neighbors[b].add(a)
+
+    @property
+    def peers(self) -> List[str]:
+        return list(self._peers)
+
+    def neighbors(self, peer: str) -> Set[str]:
+        """The peer's overlay neighbors."""
+        try:
+            return set(self._neighbors[peer])
+        except KeyError:
+            raise KeyError(f"unknown peer {peer!r}") from None
+
+    def is_connected(self) -> bool:
+        """Whole-overlay reachability check (sanity invariant)."""
+        seen = {self._peers[0]}
+        frontier = deque(seen)
+        while frontier:
+            for nxt in self._neighbors[frontier.popleft()]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self._peers)
+
+    # ------------------------------------------------------------------ #
+    # data
+
+    def record(self, peer: str, feedback: Feedback) -> None:
+        """Store a feedback at the peer that issued it."""
+        if peer not in self._local:
+            raise KeyError(f"unknown peer {peer!r}")
+        self._local[peer].append(feedback)
+
+    def total_feedback_about(self, server: EntityId) -> int:
+        """Ground truth count across all peers (for coverage assertions)."""
+        return sum(
+            sum(1 for fb in items if fb.server == server)
+            for items in self._local.values()
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def flood_query(self, origin: str, server: EntityId, *, ttl: int = 4) -> SearchResult:
+        """TTL-bounded flooding: complete within the horizon, expensive.
+
+        Message count models one query message per edge traversal (the
+        Gnutella cost), not per unique peer.
+        """
+        if origin not in self._local:
+            raise KeyError(f"unknown peer {origin!r}")
+        if ttl < 0:
+            raise ValueError(f"ttl must be non-negative, got {ttl}")
+        visited = {origin}
+        frontier = deque([(origin, ttl)])
+        messages = 0
+        gathered: List[Feedback] = [
+            fb for fb in self._local[origin] if fb.server == server
+        ]
+        while frontier:
+            peer, budget = frontier.popleft()
+            if budget == 0:
+                continue
+            for neighbor in self._neighbors[peer]:
+                messages += 1  # the query travels this edge regardless
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                gathered.extend(
+                    fb for fb in self._local[neighbor] if fb.server == server
+                )
+                frontier.append((neighbor, budget - 1))
+        return SearchResult(
+            feedbacks=tuple(sorted(gathered, key=lambda fb: fb.time)),
+            messages=messages,
+            peers_reached=len(visited),
+        )
+
+    def random_walk_query(
+        self,
+        origin: str,
+        server: EntityId,
+        *,
+        walkers: int = 4,
+        walk_length: int = 20,
+        seed: SeedLike = None,
+    ) -> SearchResult:
+        """``walkers`` independent random walks: cheap, probabilistic coverage."""
+        if origin not in self._local:
+            raise KeyError(f"unknown peer {origin!r}")
+        if walkers <= 0 or walk_length <= 0:
+            raise ValueError("walkers and walk_length must be positive")
+        rng = self._rng if seed is None else make_rng(seed)
+        visited = {origin}
+        messages = 0
+        for _ in range(walkers):
+            current = origin
+            for _ in range(walk_length):
+                neighbors = sorted(self._neighbors[current])
+                current = neighbors[int(rng.integers(0, len(neighbors)))]
+                messages += 1
+                visited.add(current)
+        gathered = [
+            fb
+            for peer in visited
+            for fb in self._local[peer]
+            if fb.server == server
+        ]
+        return SearchResult(
+            feedbacks=tuple(sorted(gathered, key=lambda fb: fb.time)),
+            messages=messages,
+            peers_reached=len(visited),
+        )

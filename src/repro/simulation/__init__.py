@@ -1,0 +1,37 @@
+"""P2P reputation-ecosystem simulation substrate."""
+
+from .arrival import ArrivalModel, ClientExperience, ClientStateTable
+from .engine import ReputationSimulation
+from .metrics import ServerMetrics, SimulationMetrics
+from .scenario import ScenarioConfig, build_simulation
+from .server import (
+    DriftingHonestBehavior,
+    HonestBehavior,
+    ScriptedBehavior,
+    ServerBehavior,
+)
+from .workloads import (
+    diurnal_feedback_history,
+    diurnal_quality,
+    zipf_client_weights,
+    zipf_feedback_history,
+)
+
+__all__ = [
+    "ArrivalModel",
+    "ClientExperience",
+    "ClientStateTable",
+    "ReputationSimulation",
+    "ServerMetrics",
+    "SimulationMetrics",
+    "ScenarioConfig",
+    "build_simulation",
+    "DriftingHonestBehavior",
+    "HonestBehavior",
+    "ScriptedBehavior",
+    "ServerBehavior",
+    "diurnal_feedback_history",
+    "diurnal_quality",
+    "zipf_client_weights",
+    "zipf_feedback_history",
+]

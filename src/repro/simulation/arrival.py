@@ -1,0 +1,129 @@
+"""Probabilistic client-arrival model (Sec. 5.2).
+
+Whether a client requests service from a server in a given step depends
+on the server's current reputation ``p`` and the client's own last
+experience with that server:
+
+* never served before:   requests with probability ``a1 * p``
+* last service was good: requests with probability ``a2 * p``
+* last service was bad:  requests with probability ``a3 * p``
+
+The paper's experiments use ``a1 = 0.5``, ``a2 = 0.9``, ``a3 = 0.2``:
+satisfied customers return eagerly, cheated ones mostly do not, and the
+stream of first-time customers scales with reputation — which is exactly
+why an honest server's supporter base keeps growing while a colluder-fed
+attacker's does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..feedback.records import EntityId
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = ["ClientExperience", "ArrivalModel", "ClientStateTable"]
+
+
+class ClientExperience(Enum):
+    """A client's most recent experience with a particular server."""
+
+    NEVER_SERVED = "never"
+    RECENT_GOOD = "good"
+    RECENT_BAD = "bad"
+
+
+@dataclass(frozen=True)
+class ArrivalModel:
+    """The three-coefficient request-probability model."""
+
+    a1: float = 0.5  # never served
+    a2: float = 0.9  # recently received a good service
+    a3: float = 0.2  # recently received a bad service
+
+    def __post_init__(self) -> None:
+        for name, value in (("a1", self.a1), ("a2", self.a2), ("a3", self.a3)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+    def coefficient(self, experience: ClientExperience) -> float:
+        """The arrival coefficient (a1/a2/a3) for a client experience state."""
+        if experience is ClientExperience.NEVER_SERVED:
+            return self.a1
+        if experience is ClientExperience.RECENT_GOOD:
+            return self.a2
+        return self.a3
+
+    def request_probability(
+        self, experience: ClientExperience, reputation: float
+    ) -> float:
+        """Probability the client requests service this step."""
+        if not 0.0 <= reputation <= 1.0:
+            raise ValueError(f"reputation must lie in [0, 1], got {reputation}")
+        return self.coefficient(experience) * reputation
+
+
+class ClientStateTable:
+    """Tracks every client's last experience with one server.
+
+    Also answers the per-step arrival sample: which clients request
+    service given the server's current reputation.
+    """
+
+    def __init__(self, clients: Sequence[EntityId], model: ArrivalModel):
+        if not clients:
+            raise ValueError("need at least one client")
+        if len(set(clients)) != len(clients):
+            raise ValueError("client ids must be unique")
+        self._model = model
+        self._clients: List[EntityId] = list(clients)
+        self._experience: Dict[EntityId, ClientExperience] = {
+            c: ClientExperience.NEVER_SERVED for c in clients
+        }
+
+    @property
+    def clients(self) -> List[EntityId]:
+        return list(self._clients)
+
+    def experience(self, client: EntityId) -> ClientExperience:
+        """The client's most recent experience with this server."""
+        try:
+            return self._experience[client]
+        except KeyError:
+            raise KeyError(f"unknown client {client!r}") from None
+
+    def record_service(self, client: EntityId, outcome: int) -> None:
+        """Update a client's state after it received a service."""
+        if client not in self._experience:
+            raise KeyError(f"unknown client {client!r}")
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        self._experience[client] = (
+            ClientExperience.RECENT_GOOD if outcome else ClientExperience.RECENT_BAD
+        )
+
+    def sample_requesters(
+        self, reputation: float, *, seed: SeedLike = None
+    ) -> List[EntityId]:
+        """Clients requesting service this step (independent Bernoullis)."""
+        rng = make_rng(seed)
+        reputation = min(max(reputation, 0.0), 1.0)
+        probs = np.array(
+            [
+                self._model.request_probability(self._experience[c], reputation)
+                for c in self._clients
+            ]
+        )
+        draws = rng.random(len(self._clients))
+        return [c for c, p, u in zip(self._clients, probs, draws) if u < p]
+
+    def counts_by_experience(self) -> Dict[ClientExperience, int]:
+        """How many clients sit in each state (diagnostics/metrics)."""
+        counts = {e: 0 for e in ClientExperience}
+        for experience in self._experience.values():
+            counts[experience] += 1
+        return counts

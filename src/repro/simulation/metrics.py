@@ -1,0 +1,80 @@
+"""Metrics collected by the ecosystem simulation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["ServerMetrics", "SimulationMetrics"]
+
+
+@dataclass
+class ServerMetrics:
+    """Per-server counters over a simulation run."""
+
+    transactions: int = 0
+    good_transactions: int = 0
+    requests: int = 0
+    refusals_trust: int = 0  # client refused: trust below threshold
+    refusals_suspicious: int = 0  # client refused: behavior test failed
+
+    @property
+    def bad_transactions(self) -> int:
+        return self.transactions - self.good_transactions
+
+    @property
+    def satisfaction_rate(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.good_transactions / self.transactions
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of client requests that led to a transaction."""
+        if self.requests == 0:
+            return 0.0
+        return self.transactions / self.requests
+
+
+@dataclass
+class SimulationMetrics:
+    """Whole-run counters plus the per-server breakdown."""
+
+    steps: int = 0
+    per_server: Dict[str, ServerMetrics] = field(
+        default_factory=lambda: defaultdict(ServerMetrics)
+    )
+
+    def server(self, server_id: str) -> ServerMetrics:
+        """The (auto-created) per-server counters for ``server_id``."""
+        return self.per_server[server_id]
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(m.transactions for m in self.per_server.values())
+
+    @property
+    def total_good(self) -> int:
+        return sum(m.good_transactions for m in self.per_server.values())
+
+    @property
+    def overall_satisfaction(self) -> float:
+        total = self.total_transactions
+        if total == 0:
+            return 0.0
+        return self.total_good / total
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dict (handy for experiment tables and tests)."""
+        return {
+            "steps": float(self.steps),
+            "transactions": float(self.total_transactions),
+            "satisfaction": self.overall_satisfaction,
+            "refusals_suspicious": float(
+                sum(m.refusals_suspicious for m in self.per_server.values())
+            ),
+            "refusals_trust": float(
+                sum(m.refusals_trust for m in self.per_server.values())
+            ),
+        }

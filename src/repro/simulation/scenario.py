@@ -1,0 +1,111 @@
+"""Reproducible ecosystem scenarios.
+
+A :class:`ScenarioConfig` is a declarative description of a mixed
+population — honest players with a range of trustworthiness values plus
+scripted attackers — from which :func:`build_simulation` assembles a
+ready-to-run :class:`~repro.simulation.engine.ReputationSimulation`.
+Examples and integration tests share these builders so the populations
+they discuss are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..adversary.hibernating import hibernating_attack_history
+from ..adversary.periodic import periodic_attack_history
+from ..core.two_phase import TwoPhaseAssessor
+from ..stats.rng import SeedLike, derive_seed, make_rng
+from .arrival import ArrivalModel
+from .engine import ReputationSimulation
+from .server import HonestBehavior, ScriptedBehavior, ServerBehavior
+
+__all__ = ["ScenarioConfig", "build_simulation"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Declarative population mix for an ecosystem run.
+
+    ``honest_p_range`` draws each honest server's trustworthiness
+    uniformly from the interval; attackers get scripted traces generated
+    from the paper's attack models.
+    """
+
+    n_honest_servers: int = 8
+    honest_p_range: Tuple[float, float] = (0.85, 0.99)
+    n_hibernating: int = 0
+    n_periodic: int = 0
+    n_clients: int = 50
+    attack_prep: int = 400
+    attack_bads: int = 40
+    periodic_window: int = 20
+    periodic_length: int = 800
+    prior_history_size: int = 300
+    bootstrap_transactions: int = 100
+    exploration: float = 0.02
+    arrival: ArrivalModel = field(default_factory=ArrivalModel)
+
+    def __post_init__(self) -> None:
+        if self.n_honest_servers < 0 or self.n_hibernating < 0 or self.n_periodic < 0:
+            raise ValueError("population counts must be non-negative")
+        if self.n_honest_servers + self.n_hibernating + self.n_periodic == 0:
+            raise ValueError("scenario needs at least one server")
+        low, high = self.honest_p_range
+        if not 0.0 <= low <= high <= 1.0:
+            raise ValueError(f"honest_p_range must be ordered within [0,1], got {self.honest_p_range}")
+        if self.n_clients <= 0:
+            raise ValueError("need at least one client")
+        if not 0.0 <= self.exploration <= 1.0:
+            raise ValueError(f"exploration must lie in [0, 1], got {self.exploration}")
+
+
+def build_simulation(
+    config: ScenarioConfig,
+    assessor: TwoPhaseAssessor,
+    *,
+    seed: SeedLike = None,
+) -> ReputationSimulation:
+    """Assemble the simulation described by ``config``."""
+    rng = make_rng(seed)
+    servers: Dict[str, ServerBehavior] = {}
+    priors: Dict[str, np.ndarray] = {}
+    low, high = config.honest_p_range
+    for i in range(config.n_honest_servers):
+        p = float(rng.uniform(low, high))
+        name = f"honest-{i}"
+        servers[name] = HonestBehavior(p)
+        if config.prior_history_size:
+            priors[name] = (
+                rng.random(config.prior_history_size) < p
+            ).astype(np.int8)
+    for i in range(config.n_hibernating):
+        # The attacker *enters* with an established honest-looking
+        # reputation (the paper's preparation phase) and its live
+        # behavior is the attack burst, then permanent good service.
+        name = f"hibernating-{i}"
+        priors[name] = (rng.random(config.attack_prep) < 0.95).astype(np.int8)
+        servers[name] = ScriptedBehavior(np.zeros(config.attack_bads, dtype=np.int8))
+    for i in range(config.n_periodic):
+        name = f"periodic-{i}"
+        priors[name] = (rng.random(config.attack_prep) < 0.95).astype(np.int8)
+        trace = periodic_attack_history(
+            config.periodic_length,
+            config.periodic_window,
+            seed=derive_seed(rng),
+        )
+        servers[name] = ScriptedBehavior(trace)
+    clients: List[str] = [f"client-{i}" for i in range(config.n_clients)]
+    return ReputationSimulation(
+        servers=servers,
+        clients=clients,
+        assessor=assessor,
+        arrival=config.arrival,
+        bootstrap_transactions=config.bootstrap_transactions,
+        exploration=config.exploration,
+        prior_histories=priors,
+        seed=derive_seed(rng),
+    )

@@ -1,0 +1,99 @@
+"""Server behavior models for the ecosystem simulation.
+
+Behaviors generate transaction outcomes; they know nothing about
+reputations or clients.  The honest model is the paper's iid Bernoulli
+player; the drifting variant exercises the "dynamic p" extension of
+Sec. 3.1; the scripted behavior replays a pre-generated attack trace
+(hibernating / periodic) inside the ecosystem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ServerBehavior",
+    "HonestBehavior",
+    "DriftingHonestBehavior",
+    "ScriptedBehavior",
+]
+
+
+class ServerBehavior(Protocol):
+    """Source of transaction outcomes for one server."""
+
+    def next_outcome(self, rng: np.random.Generator) -> int:
+        """The outcome (1 good / 0 bad) of the server's next transaction."""
+        ...  # pragma: no cover - structural type only
+
+
+class HonestBehavior:
+    """Iid Bernoulli(p) outcomes — the honest player of Sec. 3.1."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        self._p = p
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def next_outcome(self, rng: np.random.Generator) -> int:
+        """Draw one Bernoulli(p) outcome."""
+        return int(rng.random() < self._p)
+
+
+class DriftingHonestBehavior:
+    """Honest player whose uncontrollable quality factor drifts over time.
+
+    ``p_of_t`` maps the transaction index to the success probability —
+    e.g. workload-dependent network conditions in a file-sharing system
+    (the paper's own example of a factor that varies across periods).
+    """
+
+    def __init__(self, p_of_t: Callable[[int], float]):
+        self._p_of_t = p_of_t
+        self._t = 0
+
+    def next_outcome(self, rng: np.random.Generator) -> int:
+        """Draw one Bernoulli(p_of_t(t)) outcome and advance the clock."""
+        p = self._p_of_t(self._t)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p_of_t({self._t}) = {p} outside [0, 1]")
+        self._t += 1
+        return int(rng.random() < p)
+
+
+class ScriptedBehavior:
+    """Replays a fixed outcome sequence (attack traces, regression cases).
+
+    Once the script is exhausted the behavior keeps emitting the
+    ``tail`` outcome (default: good), so long simulations do not crash.
+    """
+
+    def __init__(self, outcomes: Sequence[int], tail: int = 1):
+        arr = np.asarray(outcomes, dtype=np.int8)
+        if arr.ndim != 1:
+            raise ValueError("outcomes must be 1-D")
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ValueError("outcomes must be binary (0/1)")
+        if tail not in (0, 1):
+            raise ValueError(f"tail must be 0 or 1, got {tail}")
+        self._script = arr
+        self._tail = tail
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= self._script.size
+
+    def next_outcome(self, rng: np.random.Generator) -> int:
+        """Replay the next scripted outcome (the tail once exhausted)."""
+        if self._cursor < self._script.size:
+            outcome = int(self._script[self._cursor])
+            self._cursor += 1
+            return outcome
+        return self._tail

@@ -1,0 +1,130 @@
+"""Synthetic workload generators for realistic ecosystem scenarios.
+
+The paper's experiments use uniform client populations; real marketplaces
+are skewed.  These generators produce the two skews that matter for
+behavior testing and feed the examples/tests:
+
+* **Zipf client activity** — a few heavy buyers, a long tail of one-time
+  clients.  This is the regime where the collusion-resilient reordering
+  earns its keep: group sizes are heterogeneous even without collusion,
+  and an honest server must still look binomial under the reorder.
+* **Diurnal service quality** — an honest server whose success rate
+  follows a daily load curve (Sec. 3.1's "network condition ... may vary
+  during different time periods"), the workload for temporal testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..feedback.records import Feedback, Rating
+from ..stats.rng import SeedLike, make_rng
+
+__all__ = [
+    "zipf_client_weights",
+    "zipf_feedback_history",
+    "diurnal_quality",
+    "diurnal_feedback_history",
+]
+
+
+def zipf_client_weights(n_clients: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalized Zipf activity weights: client `i` ∝ ``1 / (i+1)^s``."""
+    if n_clients <= 0:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    weights = 1.0 / np.power(np.arange(1, n_clients + 1, dtype=np.float64), exponent)
+    return weights / weights.sum()
+
+
+def zipf_feedback_history(
+    n: int,
+    server: str,
+    *,
+    p: float = 0.95,
+    n_clients: int = 100,
+    exponent: float = 1.1,
+    seed: SeedLike = None,
+) -> List[Feedback]:
+    """An honest server's feedback from a Zipf-skewed client population."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    rng = make_rng(seed)
+    weights = zipf_client_weights(n_clients, exponent)
+    clients = rng.choice(n_clients, size=n, p=weights)
+    outcomes = rng.random(n) < p
+    return [
+        Feedback(
+            time=float(t),
+            server=server,
+            client=f"client-{int(clients[t])}",
+            rating=Rating.POSITIVE if outcomes[t] else Rating.NEGATIVE,
+        )
+        for t in range(n)
+    ]
+
+
+def diurnal_quality(
+    base: float = 0.97,
+    dip: float = 0.25,
+    peak_hour: float = 20.0,
+    width: float = 3.0,
+) -> Callable[[float], float]:
+    """A daily load curve: quality dips around the evening peak.
+
+    Returns ``p(t)`` for ``t`` in hours: a Gaussian-shaped dip of depth
+    ``dip`` centered at ``peak_hour`` (circularly), floored at 0.
+    """
+    if not 0.0 <= base <= 1.0:
+        raise ValueError(f"base must lie in [0, 1], got {base}")
+    if not 0.0 <= dip <= base:
+        raise ValueError(f"dip must lie in [0, base], got {dip}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+
+    def p_of_t(time_hours: float) -> float:
+        hour = time_hours % 24.0
+        delta = min(abs(hour - peak_hour), 24.0 - abs(hour - peak_hour))
+        return max(base - dip * float(np.exp(-0.5 * (delta / width) ** 2)), 0.0)
+
+    return p_of_t
+
+
+def diurnal_feedback_history(
+    n: int,
+    server: str,
+    *,
+    quality: Optional[Callable[[float], float]] = None,
+    transactions_per_hour: float = 1.0,
+    n_clients: int = 50,
+    seed: SeedLike = None,
+) -> List[Feedback]:
+    """An honest server under a daily quality curve (time in hours)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if transactions_per_hour <= 0:
+        raise ValueError(
+            f"transactions_per_hour must be positive, got {transactions_per_hour}"
+        )
+    rng = make_rng(seed)
+    p_of_t = quality or diurnal_quality()
+    feedbacks = []
+    for t in range(n):
+        time_hours = t / transactions_per_hour
+        p = p_of_t(time_hours)
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"quality({time_hours}) = {p} outside [0, 1]")
+        feedbacks.append(
+            Feedback(
+                time=time_hours,
+                server=server,
+                client=f"client-{int(rng.integers(0, n_clients))}",
+                rating=Rating.POSITIVE if rng.random() < p else Rating.NEGATIVE,
+            )
+        )
+    return feedbacks

@@ -1,0 +1,90 @@
+"""Statistics substrate: distributions, distances and hypothesis tests.
+
+Everything in this package is application-agnostic; the reputation-
+specific policy lives in :mod:`repro.core`.
+"""
+
+from .binomial import (
+    BinomialDistribution,
+    binomial_cdf,
+    binomial_pmf,
+    estimate_p,
+    sample_window_counts,
+)
+from .confidence import (
+    TrustEstimate,
+    clopper_pearson_interval,
+    trust_with_confidence,
+    wilson_interval,
+)
+from .changepoint import (
+    Segment,
+    bernoulli_segment_cost,
+    detect_change_points,
+    segment_sequence,
+)
+from .bootstrap import batch_histograms, null_l1_distances, percentile_threshold
+from .distances import (
+    DISTANCES,
+    chi_square_statistic,
+    get_distance,
+    ks_distance,
+    l1_distance,
+    l2_distance,
+    total_variation,
+)
+from .empirical import IncrementalHistogram, counts_histogram, empirical_pmf
+from .hypothesis import (
+    TestOutcome,
+    block_frequency_test,
+    chi_square_gof_test,
+    exact_binomial_test,
+    runs_test,
+)
+from .multinomial import MultinomialModel, category_marginals, estimate_category_probs
+from .rng import SeedLike, derive_seed, make_rng, spawn
+from .sequences import approximate_entropy_test, cusum_test, serial_test
+
+__all__ = [
+    "BinomialDistribution",
+    "binomial_cdf",
+    "binomial_pmf",
+    "estimate_p",
+    "sample_window_counts",
+    "TrustEstimate",
+    "clopper_pearson_interval",
+    "trust_with_confidence",
+    "wilson_interval",
+    "Segment",
+    "bernoulli_segment_cost",
+    "detect_change_points",
+    "segment_sequence",
+    "batch_histograms",
+    "null_l1_distances",
+    "percentile_threshold",
+    "DISTANCES",
+    "chi_square_statistic",
+    "get_distance",
+    "ks_distance",
+    "l1_distance",
+    "l2_distance",
+    "total_variation",
+    "IncrementalHistogram",
+    "counts_histogram",
+    "empirical_pmf",
+    "TestOutcome",
+    "block_frequency_test",
+    "chi_square_gof_test",
+    "exact_binomial_test",
+    "runs_test",
+    "MultinomialModel",
+    "category_marginals",
+    "estimate_category_probs",
+    "approximate_entropy_test",
+    "cusum_test",
+    "serial_test",
+    "SeedLike",
+    "derive_seed",
+    "make_rng",
+    "spawn",
+]

@@ -1,0 +1,154 @@
+"""Change-point detection on Bernoulli outcome sequences.
+
+Sec. 3.1 assumes a *static* success probability "for simplicity" and
+notes the techniques "can be easily extended to handle dynamic cases".
+The extension needs one new primitive: locating the points where an
+honest player's uncontrollable quality factor shifted (a new ISP, a
+hardware upgrade), so each stationary segment can be tested against its
+own binomial.
+
+We implement the standard likelihood-based **binary segmentation**: the
+cost of a segment is its Bernoulli negative log-likelihood under the
+segment's MLE rate; a split is accepted when the likelihood gain exceeds
+a BIC-style penalty ``penalty_scale * log(n)``.  Cumulative sums make
+each scan O(n), and recursion depth is bounded by the number of detected
+changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["Segment", "bernoulli_segment_cost", "detect_change_points", "segment_sequence"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal stationary stretch ``[start, end)`` with its MLE rate."""
+
+    start: int
+    end: int
+    p_hat: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def bernoulli_segment_cost(n_good: int, n_total: int) -> float:
+    """Negative log-likelihood of a Bernoulli segment at its MLE.
+
+    ``-(k ln(k/n) + (n-k) ln((n-k)/n))``; degenerate all-good/all-bad
+    segments cost 0 (a perfectly explained segment).
+    """
+    if n_total < 0 or not 0 <= n_good <= n_total:
+        raise ValueError(f"need 0 <= n_good <= n_total, got {n_good}/{n_total}")
+    if n_total == 0 or n_good == 0 or n_good == n_total:
+        return 0.0
+    k = float(n_good)
+    n = float(n_total)
+    return -(k * np.log(k / n) + (n - k) * np.log((n - k) / n))
+
+
+def detect_change_points(
+    outcomes: np.ndarray,
+    *,
+    min_segment: int = 50,
+    penalty_scale: float = 3.0,
+) -> List[int]:
+    """Indices where the underlying Bernoulli rate changes.
+
+    Returns a sorted list of split positions (each in ``(0, n)``); an
+    empty list means the sequence looks stationary.  ``min_segment``
+    stops the recursion from chasing noise in short stretches;
+    ``penalty_scale`` trades sensitivity against false splits (BIC uses
+    ~0.5 per parameter — the default 3.0 is deliberately conservative so
+    honest noise is not segmented).
+    """
+    arr = np.asarray(outcomes)
+    if arr.ndim != 1:
+        raise ValueError("outcomes must be 1-D")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ValueError("outcomes must be binary (0/1)")
+    if min_segment < 2:
+        raise ValueError(f"min_segment must be >= 2, got {min_segment}")
+    if penalty_scale <= 0:
+        raise ValueError(f"penalty_scale must be positive, got {penalty_scale}")
+    n = arr.size
+    if n < 2 * min_segment:
+        return []
+    prefix = np.concatenate(([0], np.cumsum(arr, dtype=np.int64)))
+    penalty = penalty_scale * np.log(n)
+    splits: List[int] = []
+    _bisect(prefix, 0, n, min_segment, penalty, splits)
+    return sorted(splits)
+
+
+def segment_sequence(
+    outcomes: np.ndarray,
+    *,
+    min_segment: int = 50,
+    penalty_scale: float = 3.0,
+) -> List[Segment]:
+    """Stationary segments of ``outcomes`` with their MLE rates."""
+    arr = np.asarray(outcomes)
+    boundaries = detect_change_points(
+        arr, min_segment=min_segment, penalty_scale=penalty_scale
+    )
+    edges = [0] + boundaries + [arr.size]
+    segments = []
+    for start, end in zip(edges, edges[1:]):
+        if end > start:
+            chunk = arr[start:end]
+            segments.append(
+                Segment(start=start, end=end, p_hat=float(chunk.mean()))
+            )
+    return segments
+
+
+def _bisect(
+    prefix: np.ndarray,
+    lo: int,
+    hi: int,
+    min_segment: int,
+    penalty: float,
+    splits: List[int],
+) -> None:
+    """Recursively split ``[lo, hi)`` where the likelihood gain warrants it."""
+    n = hi - lo
+    if n < 2 * min_segment:
+        return
+    total_good = int(prefix[hi] - prefix[lo])
+    whole_cost = bernoulli_segment_cost(total_good, n)
+
+    candidates = np.arange(lo + min_segment, hi - min_segment + 1)
+    if candidates.size == 0:
+        return
+    left_good = prefix[candidates] - prefix[lo]
+    left_n = candidates - lo
+    right_good = total_good - left_good
+    right_n = hi - candidates
+    left_cost = _vector_cost(left_good, left_n)
+    right_cost = _vector_cost(right_good, right_n)
+    gains = whole_cost - (left_cost + right_cost)
+    best = int(np.argmax(gains))
+    if gains[best] <= penalty:
+        return
+    split = int(candidates[best])
+    splits.append(split)
+    _bisect(prefix, lo, split, min_segment, penalty, splits)
+    _bisect(prefix, split, hi, min_segment, penalty, splits)
+
+
+def _vector_cost(good: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`bernoulli_segment_cost` over candidate splits."""
+    good = good.astype(np.float64)
+    total = total.astype(np.float64)
+    bad = total - good
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term_good = np.where(good > 0, good * np.log(good / total), 0.0)
+        term_bad = np.where(bad > 0, bad * np.log(bad / total), 0.0)
+    return -(term_good + term_bad)

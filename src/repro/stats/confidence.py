@@ -1,0 +1,120 @@
+"""Confidence intervals for trust values.
+
+A trust value is an estimate of the server's success probability; a
+client comparing it to a threshold should know how much evidence backs
+it.  Two standard binomial-proportion intervals are provided:
+
+* :func:`wilson_interval` — the Wilson score interval, well-behaved for
+  the extreme proportions reputations live at (p̂ near 1);
+* :func:`clopper_pearson_interval` — the exact (conservative) interval.
+
+:func:`trust_with_confidence` applies them to a transaction history and
+also answers the client's actual question: *is the trust value above my
+threshold at this confidence?* — i.e., compare the interval's lower
+bound, not the point estimate, against the threshold (a server with 10/10
+good transactions is not "0.95-confidently above 0.9").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+from scipy import stats as _sps
+
+__all__ = ["TrustEstimate", "wilson_interval", "clopper_pearson_interval", "trust_with_confidence"]
+
+
+def _validate(n_good: int, n_total: int, confidence: float) -> None:
+    if n_total <= 0:
+        raise ValueError(f"n_total must be positive, got {n_total}")
+    if not 0 <= n_good <= n_total:
+        raise ValueError(f"need 0 <= n_good <= n_total, got {n_good}/{n_total}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+
+
+def wilson_interval(
+    n_good: int, n_total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    _validate(n_good, n_total, confidence)
+    z = float(_sps.norm.ppf(0.5 + confidence / 2.0))
+    p_hat = n_good / n_total
+    denom = 1.0 + z * z / n_total
+    center = (p_hat + z * z / (2 * n_total)) / denom
+    margin = (
+        z
+        * np.sqrt(p_hat * (1 - p_hat) / n_total + z * z / (4 * n_total * n_total))
+        / denom
+    )
+    return (max(center - margin, 0.0), min(center + margin, 1.0))
+
+
+def clopper_pearson_interval(
+    n_good: int, n_total: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Exact (Clopper–Pearson) interval for a binomial proportion."""
+    _validate(n_good, n_total, confidence)
+    alpha = 1.0 - confidence
+    lower = (
+        0.0
+        if n_good == 0
+        else float(_sps.beta.ppf(alpha / 2, n_good, n_total - n_good + 1))
+    )
+    upper = (
+        1.0
+        if n_good == n_total
+        else float(_sps.beta.ppf(1 - alpha / 2, n_good + 1, n_total - n_good))
+    )
+    return (lower, upper)
+
+
+@dataclass(frozen=True)
+class TrustEstimate:
+    """A trust value with its evidence-backed interval."""
+
+    point: float
+    lower: float
+    upper: float
+    n: int
+    confidence: float
+
+    def confidently_above(self, threshold: float) -> bool:
+        """Is the *lower bound* above the client's threshold?"""
+        return self.lower >= threshold
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def trust_with_confidence(
+    history,
+    confidence: float = 0.95,
+    method: str = "wilson",
+) -> TrustEstimate:
+    """Average-trust estimate of a history with its interval.
+
+    ``history`` is a :class:`~repro.feedback.history.TransactionHistory`
+    or a 0/1 sequence; ``method`` is ``"wilson"`` or ``"clopper-pearson"``.
+    """
+    outcomes = (
+        history.outcomes() if hasattr(history, "outcomes") else np.asarray(history)
+    )
+    n = int(outcomes.size)
+    if n == 0:
+        raise ValueError("cannot estimate trust from an empty history")
+    good = int(np.sum(outcomes))
+    if method == "wilson":
+        lower, upper = wilson_interval(good, n, confidence)
+    elif method == "clopper-pearson":
+        lower, upper = clopper_pearson_interval(good, n, confidence)
+    else:
+        raise ValueError(
+            f"method must be 'wilson' or 'clopper-pearson', got {method!r}"
+        )
+    return TrustEstimate(
+        point=good / n, lower=lower, upper=upper, n=n, confidence=confidence
+    )

@@ -1,0 +1,95 @@
+"""Distribution distances over a shared finite support.
+
+The paper uses the L1 norm between the empirical window-count
+distribution and the theoretical binomial as its test statistic
+(Sec. 3.2).  We implement L1 plus a few companions (total variation, L2,
+Kolmogorov–Smirnov, chi-square) so the distance is a pluggable choice in
+the test configuration and ablations can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "l1_distance",
+    "total_variation",
+    "l2_distance",
+    "ks_distance",
+    "chi_square_statistic",
+    "DISTANCES",
+    "get_distance",
+]
+
+DistanceFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _check(p: np.ndarray, q: np.ndarray) -> None:
+    p = np.asarray(p)
+    q = np.asarray(q)
+    if p.shape != q.shape:
+        raise ValueError(f"distributions must share a support: {p.shape} vs {q.shape}")
+    if p.ndim != 1:
+        raise ValueError("distributions must be 1-D pmf vectors")
+
+
+def l1_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``sum_i |p_i - q_i|`` — the paper's test statistic.
+
+    Ranges over [0, 2]; 0 means identical, 2 means disjoint supports.
+    """
+    _check(p, q)
+    return float(np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance, i.e. half the L1 distance."""
+    return 0.5 * l1_distance(p, q)
+
+
+def l2_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance between pmf vectors."""
+    _check(p, q)
+    diff = np.asarray(p) - np.asarray(q)
+    return float(np.sqrt((diff * diff).sum()))
+
+
+def ks_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Kolmogorov–Smirnov distance: max absolute cdf gap."""
+    _check(p, q)
+    return float(np.abs(np.cumsum(p) - np.cumsum(q)).max())
+
+
+def chi_square_statistic(p: np.ndarray, q: np.ndarray) -> float:
+    """Pearson chi-square divergence of ``p`` from reference ``q``.
+
+    Support points where the reference has (numerically) zero mass but
+    the empirical distribution does not would make the statistic infinite;
+    we clamp the reference at a tiny floor so the statistic stays finite
+    and very large instead, which is what a threshold test needs.
+    """
+    _check(p, q)
+    q_safe = np.maximum(np.asarray(q, dtype=np.float64), 1e-12)
+    diff = np.asarray(p) - q_safe
+    return float((diff * diff / q_safe).sum())
+
+
+DISTANCES: Dict[str, DistanceFn] = {
+    "l1": l1_distance,
+    "tv": total_variation,
+    "l2": l2_distance,
+    "ks": ks_distance,
+    "chi2": chi_square_statistic,
+}
+
+
+def get_distance(name: str) -> DistanceFn:
+    """Look up a distance function by name (``l1`` is the paper's choice)."""
+    try:
+        return DISTANCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown distance {name!r}; available: {sorted(DISTANCES)}"
+        ) from None

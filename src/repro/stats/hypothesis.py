@@ -1,0 +1,167 @@
+"""Classical hypothesis tests on binary transaction sequences.
+
+The paper contrasts its distribution-distance test with textbook
+hypothesis testing (Sec. 6): most classical tests assume the distribution
+parameters are known, which does not hold here.  We implement the
+classical alternatives anyway — they serve as comparison baselines in the
+ablation benchmarks and as sanity checks in the test suite:
+
+* exact binomial test (known ``p``),
+* chi-square goodness-of-fit of window counts against ``B(m, p)``,
+* Wald–Wolfowitz runs test (order sensitivity with unknown ``p``),
+* NIST SP 800-22-style block-frequency test (the pseudo-random-sequence
+  testing the paper cites as related work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _sps
+
+from .binomial import binomial_pmf
+
+__all__ = [
+    "TestOutcome",
+    "exact_binomial_test",
+    "chi_square_gof_test",
+    "runs_test",
+    "block_frequency_test",
+]
+
+
+@dataclass(frozen=True)
+class TestOutcome:
+    """Result of a classical hypothesis test.
+
+    ``passed`` is True when the null hypothesis ("the sequence is
+    consistent with an honest player") is *not* rejected at ``alpha``.
+    """
+
+    # not a pytest test class, despite the Test* name
+    __test__ = False
+
+    statistic: float
+    p_value: float
+    alpha: float
+
+    @property
+    def passed(self) -> bool:
+        return self.p_value >= self.alpha
+
+
+def exact_binomial_test(
+    n_good: int, n_total: int, p: float, *, alpha: float = 0.05
+) -> TestOutcome:
+    """Two-sided exact binomial test of ``n_good`` successes in ``n_total``.
+
+    Requires the true ``p`` — exactly the knowledge the paper points out
+    is unavailable in practice, which is why this test cannot replace the
+    distribution-distance scheme.  Kept as a baseline.
+    """
+    if not 0 <= n_good <= n_total:
+        raise ValueError(f"need 0 <= n_good <= n_total, got {n_good}/{n_total}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    result = _sps.binomtest(n_good, n_total, p, alternative="two-sided")
+    return TestOutcome(statistic=float(n_good), p_value=float(result.pvalue), alpha=alpha)
+
+
+def chi_square_gof_test(
+    window_counts: np.ndarray, m: int, p: float, *, alpha: float = 0.05
+) -> TestOutcome:
+    """Chi-square goodness of fit of window counts against ``B(m, p)``.
+
+    Bins with expected count below 1 are pooled into their neighbor to
+    keep the chi-square approximation usable on small samples.
+    """
+    counts = np.asarray(window_counts, dtype=np.int64)
+    if counts.size == 0:
+        raise ValueError("need at least one window count")
+    k = counts.size
+    observed = np.bincount(counts, minlength=m + 1).astype(np.float64)
+    expected = binomial_pmf(m, p) * k
+
+    # Pool sparse bins from both tails toward the center.
+    obs_pooled, exp_pooled = _pool_bins(observed, expected, min_expected=1.0)
+    dof = max(len(obs_pooled) - 1, 1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        stat = float(((obs_pooled - exp_pooled) ** 2 / exp_pooled).sum())
+    p_value = float(_sps.chi2.sf(stat, dof))
+    return TestOutcome(statistic=stat, p_value=p_value, alpha=alpha)
+
+
+def runs_test(outcomes: np.ndarray, *, alpha: float = 0.05) -> TestOutcome:
+    """Wald–Wolfowitz runs test for randomness of a binary sequence.
+
+    Unlike the binomial tests this is order-sensitive and does not need
+    ``p``: under H0 the number of runs given ``n1`` ones and ``n0`` zeros
+    is asymptotically normal.  Periodic attacks produce too *few* runs
+    (bad transactions clumped together), which this test picks up.
+    """
+    seq = np.asarray(outcomes).astype(np.int64)
+    if seq.size < 2:
+        raise ValueError("runs test needs at least two outcomes")
+    if not np.isin(seq, (0, 1)).all():
+        raise ValueError("outcomes must be binary (0/1)")
+    n1 = int(seq.sum())
+    n0 = int(seq.size - n1)
+    if n1 == 0 or n0 == 0:
+        # Degenerate: a constant sequence has exactly one run and carries
+        # no evidence against randomness of a (degenerate) coin.
+        return TestOutcome(statistic=1.0, p_value=1.0, alpha=alpha)
+    runs = int(1 + np.count_nonzero(seq[1:] != seq[:-1]))
+    n = n0 + n1
+    mean = 2.0 * n0 * n1 / n + 1.0
+    var = 2.0 * n0 * n1 * (2.0 * n0 * n1 - n) / (n * n * (n - 1.0))
+    if var <= 0:
+        return TestOutcome(statistic=float(runs), p_value=1.0, alpha=alpha)
+    z = (runs - mean) / np.sqrt(var)
+    p_value = float(2.0 * _sps.norm.sf(abs(z)))
+    return TestOutcome(statistic=float(z), p_value=p_value, alpha=alpha)
+
+
+def block_frequency_test(
+    outcomes: np.ndarray, block_size: int, *, alpha: float = 0.05
+) -> TestOutcome:
+    """NIST SP 800-22-style block-frequency test generalized to bias ``p``.
+
+    The NIST suite assumes p = 0.5; reputations are heavily biased toward
+    good transactions, so we use the plug-in estimate ``p_hat`` and a
+    chi-square statistic over per-block success proportions.  This is the
+    closest classical analogue to the paper's windowed scheme.
+    """
+    seq = np.asarray(outcomes).astype(np.float64)
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    n_blocks = seq.size // block_size
+    if n_blocks < 1:
+        raise ValueError("sequence shorter than a single block")
+    trimmed = seq[: n_blocks * block_size]
+    p_hat = float(trimmed.mean())
+    if p_hat in (0.0, 1.0):
+        return TestOutcome(statistic=0.0, p_value=1.0, alpha=alpha)
+    block_means = trimmed.reshape(n_blocks, block_size).mean(axis=1)
+    stat = float(
+        block_size * ((block_means - p_hat) ** 2).sum() / (p_hat * (1.0 - p_hat))
+    )
+    p_value = float(_sps.chi2.sf(stat, n_blocks - 1))
+    return TestOutcome(statistic=stat, p_value=p_value, alpha=alpha)
+
+
+def _pool_bins(observed: np.ndarray, expected: np.ndarray, min_expected: float):
+    """Pool sparse leading/trailing bins until all expectations are usable."""
+    obs = list(observed)
+    exp = list(expected)
+    # pool from the left
+    while len(exp) > 1 and exp[0] < min_expected:
+        exp[1] += exp[0]
+        obs[1] += obs[0]
+        del exp[0], obs[0]
+    # pool from the right
+    while len(exp) > 1 and exp[-1] < min_expected:
+        exp[-2] += exp[-1]
+        obs[-2] += obs[-1]
+        del exp[-1], obs[-1]
+    return np.asarray(obs, dtype=np.float64), np.asarray(exp, dtype=np.float64)

@@ -1,0 +1,90 @@
+"""Multinomial window model for multi-valued feedback.
+
+Sec. 3.1 of the paper notes that non-binary feedback ("positive /
+neutral / negative", star ratings, ...) is handled by replacing the
+binomial window distribution with a multinomial one.  This module
+implements that extension: a window of ``m`` transactions with
+per-category probabilities ``p_1..p_c`` yields a category-count vector
+distributed ``Multinomial(m, p)``.
+
+Comparing a full joint multinomial empirically is data-hungry, so —
+mirroring the paper's per-dimension suggestion — the behavior test
+compares each category's *marginal* count distribution, which is
+``B(m, p_j)``, and aggregates the per-category L1 distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .binomial import binomial_pmf
+from .rng import SeedLike, make_rng
+
+__all__ = ["MultinomialModel", "category_marginals", "estimate_category_probs"]
+
+
+@dataclass(frozen=True)
+class MultinomialModel:
+    """``Multinomial(m, probs)`` over window category counts."""
+
+    m: int
+    probs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ValueError(f"window size m must be positive, got {self.m}")
+        p = np.asarray(self.probs, dtype=np.float64)
+        if p.ndim != 1 or p.size < 2:
+            raise ValueError("need at least two category probabilities")
+        if (p < 0).any() or not np.isclose(p.sum(), 1.0, atol=1e-9):
+            raise ValueError(f"probs must be non-negative and sum to 1, got {self.probs}")
+
+    @property
+    def n_categories(self) -> int:
+        return len(self.probs)
+
+    def marginal_pmfs(self) -> np.ndarray:
+        """Stack of per-category marginal pmfs, shape ``(c, m + 1)``.
+
+        The marginal count of category ``j`` in a multinomial window is
+        binomial ``B(m, p_j)``.
+        """
+        return np.stack([binomial_pmf(self.m, pj) for pj in self.probs])
+
+    def sample(self, k: int, *, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``k`` window count vectors, shape ``(k, c)``."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        rng = make_rng(seed)
+        return rng.multinomial(self.m, np.asarray(self.probs), size=k)
+
+
+def category_marginals(window_counts: np.ndarray, m: int) -> np.ndarray:
+    """Per-category empirical marginal pmfs from count vectors.
+
+    ``window_counts`` has shape ``(k, c)`` — one row per window, one
+    column per feedback category; each row sums to ``m``.  Returns shape
+    ``(c, m + 1)``.
+    """
+    counts = np.asarray(window_counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("window_counts must be 2-D (windows x categories)")
+    if (counts.sum(axis=1) != m).any():
+        raise ValueError(f"every window row must sum to the window size {m}")
+    k, c = counts.shape
+    marginals = np.empty((c, m + 1), dtype=np.float64)
+    for j in range(c):
+        marginals[j] = np.bincount(counts[:, j], minlength=m + 1) / k
+    return marginals
+
+
+def estimate_category_probs(window_counts: np.ndarray, m: int) -> np.ndarray:
+    """MLE of category probabilities: pooled counts over pooled trials."""
+    counts = np.asarray(window_counts, dtype=np.int64)
+    if counts.ndim != 2 or counts.size == 0:
+        raise ValueError("window_counts must be a non-empty 2-D array")
+    totals = counts.sum(axis=0).astype(np.float64)
+    return totals / (m * counts.shape[0])

@@ -1,0 +1,58 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in this library (simulators, attackers,
+calibrators) takes an explicit random source so that experiments are
+reproducible end to end.  This module centralizes the conventions:
+
+* the canonical generator type is :class:`numpy.random.Generator`;
+* any function that accepts a ``seed`` argument accepts an ``int``, an
+  existing ``Generator`` (returned unchanged), or ``None`` (fresh
+  OS-entropy generator);
+* independent sub-streams are derived with :func:`spawn` so that two
+  components seeded from the same experiment seed never share a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+__all__ = ["SeedLike", "make_rng", "spawn", "derive_seed"]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an ``int`` (deterministic stream), an existing
+    ``Generator`` (returned as-is, so callers can thread one generator
+    through a pipeline), or ``None`` (non-deterministic).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses the bit-generator's ``spawn`` support when available and falls
+    back to seeding children from fresh 64-bit draws otherwise.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    try:
+        return [np.random.Generator(bg) for bg in rng.bit_generator.spawn(count)]
+    except AttributeError:  # very old numpy without SeedSequence spawning
+        return [np.random.default_rng(int(rng.integers(0, 2**63))) for _ in range(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit integer seed from ``rng``.
+
+    Useful when a deterministic integer must be stored (e.g. in a
+    scenario record) and later replayed.
+    """
+    return int(rng.integers(0, 2**63))

@@ -1,0 +1,132 @@
+"""NIST SP 800-22-style randomness tests on binary transaction sequences.
+
+The paper (Sec. 3.1) notes that testing whether a transaction sequence
+is "random enough" shares structure with pseudo-random sequence testing
+and cites the NIST statistical test suite — but that suite assumes a
+known bias (p = 0.5 for cryptographic bits), which reputations do not
+have.  This module adapts the suite's classic order-sensitive tests to a
+plug-in bias ``p_hat``:
+
+* :func:`serial_test` — over-/under-representation of length-2 patterns;
+* :func:`approximate_entropy_test` — regularity of m-bit patterns;
+* :func:`cusum_test` — maximal excursion of the centered random walk
+  (detects drifts and bursts regardless of windowing).
+
+They complement the paper's windowed distribution test as baselines: the
+test suite and the ablation benches compare which manipulation patterns
+each statistic notices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _sps
+
+from .hypothesis import TestOutcome
+
+__all__ = ["serial_test", "approximate_entropy_test", "cusum_test"]
+
+
+def _validate_binary(outcomes: np.ndarray, minimum: int) -> np.ndarray:
+    seq = np.asarray(outcomes)
+    if seq.ndim != 1:
+        raise ValueError("outcomes must be 1-D")
+    if seq.size < minimum:
+        raise ValueError(f"need at least {minimum} outcomes, got {seq.size}")
+    if not np.isin(seq, (0, 1)).all():
+        raise ValueError("outcomes must be binary (0/1)")
+    return seq.astype(np.int64)
+
+
+def _pattern_counts(seq: np.ndarray, m: int) -> np.ndarray:
+    """Counts of all 2^m overlapping patterns (with wraparound, as NIST)."""
+    n = seq.size
+    extended = np.concatenate([seq, seq[: m - 1]]) if m > 1 else seq
+    index = np.zeros(n, dtype=np.int64)
+    for j in range(m):
+        index = (index << 1) | extended[j : j + n]
+    return np.bincount(index, minlength=1 << m).astype(np.float64)
+
+
+def serial_test(outcomes: np.ndarray, *, alpha: float = 0.05) -> TestOutcome:
+    """Generalized serial test on overlapping pairs.
+
+    Under iid Bernoulli(p) the four patterns 00/01/10/11 occur with
+    probabilities (1-p)^2, p(1-p), p(1-p), p^2; the chi-square statistic
+    compares observed pattern counts against those expectations with the
+    plug-in ``p_hat``.  One degree of freedom is spent on estimating p,
+    leaving 2.
+    """
+    seq = _validate_binary(outcomes, minimum=16)
+    n = seq.size
+    p_hat = float(seq.mean())
+    if p_hat in (0.0, 1.0):
+        return TestOutcome(statistic=0.0, p_value=1.0, alpha=alpha)
+    counts = _pattern_counts(seq, 2)
+    q = 1.0 - p_hat
+    expected = np.array([q * q, q * p_hat, p_hat * q, p_hat * p_hat]) * n
+    stat = float(((counts - expected) ** 2 / expected).sum())
+    p_value = float(_sps.chi2.sf(stat, df=2))
+    return TestOutcome(statistic=stat, p_value=p_value, alpha=alpha)
+
+
+def approximate_entropy_test(
+    outcomes: np.ndarray, m: int = 2, *, alpha: float = 0.05
+) -> TestOutcome:
+    """Approximate-entropy test (ApEn), bias-generalized.
+
+    Compares the empirical entropy rate of (m+1)-patterns given
+    m-patterns against the maximum possible for the observed bias; too
+    *regular* sequences (periodic manipulation) have low ApEn.  The
+    statistic ``2n(ln-max-entropy - ApEn)`` is approximately chi-square
+    with ``2^m`` degrees of freedom.
+    """
+    if m < 1 or m > 8:
+        raise ValueError(f"pattern length m must lie in [1, 8], got {m}")
+    seq = _validate_binary(outcomes, minimum=max(64, 1 << (m + 3)))
+    n = seq.size
+    p_hat = float(seq.mean())
+    if p_hat in (0.0, 1.0):
+        return TestOutcome(statistic=0.0, p_value=1.0, alpha=alpha)
+
+    def phi(block: int) -> float:
+        counts = _pattern_counts(seq, block)
+        freqs = counts[counts > 0] / n
+        return float((freqs * np.log(freqs)).sum())
+
+    ap_en = phi(m) - phi(m + 1)  # estimated conditional entropy
+    # maximal conditional entropy for an iid source with this bias
+    max_entropy = -(p_hat * np.log(p_hat) + (1 - p_hat) * np.log(1 - p_hat))
+    stat = max(2.0 * n * (max_entropy - ap_en), 0.0)
+    p_value = float(_sps.chi2.sf(stat, df=1 << m))
+    return TestOutcome(statistic=stat, p_value=p_value, alpha=alpha)
+
+
+def cusum_test(outcomes: np.ndarray, *, alpha: float = 0.05) -> TestOutcome:
+    """Cumulative-sums test: maximal excursion of the centered walk.
+
+    Center each outcome by the plug-in mean and normalize by the sample
+    standard deviation; under iid behavior the maximal partial-sum
+    excursion follows the NIST cusum distribution.  Hibernating attacks
+    (all bads clumped at one end) produce extreme excursions even when
+    the overall ratio is unremarkable.
+    """
+    seq = _validate_binary(outcomes, minimum=32)
+    n = seq.size
+    p_hat = float(seq.mean())
+    sigma = np.sqrt(p_hat * (1.0 - p_hat))
+    if sigma == 0.0:
+        return TestOutcome(statistic=0.0, p_value=1.0, alpha=alpha)
+    walk = np.cumsum(seq - p_hat) / sigma
+    z = float(np.abs(walk).max())
+    # NIST SP 800-22 cusum p-value (series truncated at |k| <= 25)
+    sqrt_n = np.sqrt(n)
+    ks = np.arange(-25, 26)
+    term1 = _sps.norm.cdf((4 * ks + 1) * z / sqrt_n) - _sps.norm.cdf(
+        (4 * ks - 1) * z / sqrt_n
+    )
+    term2 = _sps.norm.cdf((4 * ks + 3) * z / sqrt_n) - _sps.norm.cdf(
+        (4 * ks + 1) * z / sqrt_n
+    )
+    p_value = float(min(max(1.0 - term1.sum() + term2.sum(), 0.0), 1.0))
+    return TestOutcome(statistic=z, p_value=p_value, alpha=alpha)

@@ -1,0 +1,40 @@
+"""Trust-function library: the paper's baselines and related-work schemes."""
+
+from .average import AverageTracker, AverageTrust
+from .base import HistoryLike, LedgerTrustFunction, TrustFunction, TrustTracker
+from .beta import BetaReputationTrust, BetaTracker
+from .decay import DecayTracker, DecayTrust
+from .eigentrust import EigenTrust
+from .htrust import HTrust, h_index
+from .peertrust import PeerTrust
+from .registry import (
+    available_trust_functions,
+    make_trust_function,
+    register_trust_function,
+)
+from .trustguard import TrustGuardTracker, TrustGuardTrust
+from .weighted import WeightedTracker, WeightedTrust
+
+__all__ = [
+    "AverageTracker",
+    "AverageTrust",
+    "HistoryLike",
+    "LedgerTrustFunction",
+    "TrustFunction",
+    "TrustTracker",
+    "BetaReputationTrust",
+    "BetaTracker",
+    "DecayTracker",
+    "DecayTrust",
+    "EigenTrust",
+    "HTrust",
+    "h_index",
+    "PeerTrust",
+    "available_trust_functions",
+    "make_trust_function",
+    "register_trust_function",
+    "TrustGuardTracker",
+    "TrustGuardTrust",
+    "WeightedTracker",
+    "WeightedTrust",
+]

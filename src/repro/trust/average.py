@@ -1,0 +1,70 @@
+"""The average trust function — the paper's first baseline.
+
+Trust is the ratio of good transactions to all transactions.  Despite its
+simplicity, the paper notes (citing Liang & Shi) that in systems with
+heavy dynamics the average function is often the most cost-effective
+choice, which is why it anchors the Fig. 3/Fig. 5 experiments.
+"""
+
+from __future__ import annotations
+
+from .base import HistoryLike, TrustFunction, TrustTracker, _as_outcomes
+
+__all__ = ["AverageTrust", "AverageTracker"]
+
+
+class AverageTracker(TrustTracker):
+    """Counting accumulator: trust = good / total."""
+
+    __slots__ = ("_n", "_n_good", "_prior")
+
+    def __init__(self, prior: float):
+        self._n = 0
+        self._n_good = 0
+        self._prior = prior
+
+    @property
+    def value(self) -> float:
+        if self._n == 0:
+            return self._prior
+        return self._n_good / self._n
+
+    def update(self, outcome: int) -> None:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        self._n += 1
+        self._n_good += outcome
+
+    def peek(self, outcome: int) -> float:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        return (self._n_good + outcome) / (self._n + 1)
+
+    def copy(self) -> "AverageTracker":
+        clone = AverageTracker(self._prior)
+        clone._n = self._n
+        clone._n_good = self._n_good
+        return clone
+
+
+class AverageTrust(TrustFunction):
+    """``trust = n_good / n``; ``prior`` is returned for empty histories."""
+
+    name = "average"
+
+    def __init__(self, prior: float = 0.5):
+        if not 0.0 <= prior <= 1.0:
+            raise ValueError(f"prior must lie in [0, 1], got {prior}")
+        self._prior = prior
+
+    def tracker(self) -> AverageTracker:
+        return AverageTracker(self._prior)
+
+    def score(self, history: HistoryLike) -> float:
+        outcomes = _as_outcomes(history)
+        if outcomes.size == 0:
+            return self._prior
+        return float(outcomes.sum()) / outcomes.size
+
+    def __repr__(self) -> str:
+        return f"AverageTrust(prior={self._prior})"

@@ -1,0 +1,106 @@
+"""Trust-function interface.
+
+The paper defines a trust function as a mapping from feedback sets to a
+trust value in ``T = [0, 1]``, interpreted as the predicted probability
+that the next transaction with the server is satisfactory (Sec. 2).
+
+Two evaluation modes are provided:
+
+* :meth:`TrustFunction.score` — compute the trust value of a whole
+  :class:`~repro.feedback.history.TransactionHistory` (or a bare outcome
+  vector) from scratch; and
+* :meth:`TrustFunction.tracker` — an incremental accumulator with O(1)
+  :meth:`TrustTracker.update` per transaction and a constant-time
+  :meth:`TrustTracker.peek`, which the strategic attacker uses to ask
+  "what would my trust be after one more good/bad transaction?" tens of
+  thousands of times without rescoring the history.
+
+Some reputation schemes (PeerTrust, EigenTrust) need more than the
+server's own history; they implement :class:`LedgerTrustFunction` and are
+scored against the system-wide :class:`~repro.feedback.ledger.FeedbackLedger`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Union
+
+import numpy as np
+
+from ..feedback.history import TransactionHistory
+from ..feedback.ledger import FeedbackLedger
+from ..feedback.records import EntityId
+
+__all__ = ["HistoryLike", "TrustFunction", "TrustTracker", "LedgerTrustFunction"]
+
+HistoryLike = Union[TransactionHistory, np.ndarray, list, tuple]
+
+
+def _as_outcomes(history: HistoryLike) -> np.ndarray:
+    if isinstance(history, TransactionHistory):
+        return history.outcomes()
+    arr = np.asarray(history)
+    if arr.ndim != 1:
+        raise ValueError("history must be 1-D outcomes or a TransactionHistory")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise ValueError("outcomes must be binary (0/1)")
+    return arr.astype(np.int8)
+
+
+class TrustTracker(ABC):
+    """Incremental trust accumulator for one server."""
+
+    @property
+    @abstractmethod
+    def value(self) -> float:
+        """Current trust value in [0, 1]."""
+
+    @abstractmethod
+    def update(self, outcome: int) -> None:
+        """Fold in the outcome (1 good / 0 bad) of one more transaction."""
+
+    @abstractmethod
+    def peek(self, outcome: int) -> float:
+        """Trust value *if* ``outcome`` were appended, without mutating."""
+
+    @abstractmethod
+    def copy(self) -> "TrustTracker":
+        """Independent copy (for branching what-if explorations)."""
+
+    def update_many(self, outcomes) -> None:
+        """Fold in a whole outcome sequence, oldest first."""
+        for outcome in np.asarray(outcomes).ravel():
+            self.update(int(outcome))
+
+
+class TrustFunction(ABC):
+    """A trust function over a single server's transaction history."""
+
+    #: short identifier used by the registry and experiment configs
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def tracker(self) -> TrustTracker:
+        """Fresh incremental accumulator (empty history)."""
+
+    def score(self, history: HistoryLike) -> float:
+        """Trust value of the full history (replays it through a tracker).
+
+        Subclasses with a closed form override this for speed.
+        """
+        tracker = self.tracker()
+        tracker.update_many(_as_outcomes(history))
+        return tracker.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class LedgerTrustFunction(ABC):
+    """A reputation scheme that scores a server against the whole ledger."""
+
+    name: ClassVar[str] = "abstract-ledger"
+
+    @abstractmethod
+    def score_server(self, server: EntityId, ledger: FeedbackLedger) -> float:
+        """Trust value of ``server`` given every feedback in the system."""

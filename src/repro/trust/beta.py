@@ -1,0 +1,83 @@
+"""Beta reputation (Jøsang & Ismail, Bled 2002).
+
+A Bayesian baseline from the related work: with ``r`` positive and ``s``
+negative feedbacks, trust is the expectation of the Beta(r + 1, s + 1)
+posterior, ``(r + 1) / (r + s + 2)``.  An optional forgetting factor
+discounts old evidence multiplicatively, which is the standard mechanism
+the paper's Sec. 6 groups with time-decay schemes.
+"""
+
+from __future__ import annotations
+
+from .base import HistoryLike, TrustFunction, TrustTracker, _as_outcomes
+
+__all__ = ["BetaReputationTrust", "BetaTracker"]
+
+
+class BetaTracker(TrustTracker):
+    """Discounted positive/negative evidence accumulator."""
+
+    __slots__ = ("_r", "_s", "_forgetting")
+
+    def __init__(self, forgetting: float):
+        self._r = 0.0
+        self._s = 0.0
+        self._forgetting = forgetting
+
+    @property
+    def value(self) -> float:
+        return (self._r + 1.0) / (self._r + self._s + 2.0)
+
+    @property
+    def evidence(self) -> tuple:
+        """Current (discounted) positive/negative evidence pair."""
+        return (self._r, self._s)
+
+    def update(self, outcome: int) -> None:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        self._r = self._forgetting * self._r + outcome
+        self._s = self._forgetting * self._s + (1 - outcome)
+
+    def peek(self, outcome: int) -> float:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        r = self._forgetting * self._r + outcome
+        s = self._forgetting * self._s + (1 - outcome)
+        return (r + 1.0) / (r + s + 2.0)
+
+    def copy(self) -> "BetaTracker":
+        clone = BetaTracker(self._forgetting)
+        clone._r = self._r
+        clone._s = self._s
+        return clone
+
+
+class BetaReputationTrust(TrustFunction):
+    """``E[Beta(r + 1, s + 1)]`` with multiplicative forgetting.
+
+    ``forgetting = 1.0`` (default) keeps all evidence — the pure Bayesian
+    estimate; values below 1 emphasize recent behavior like the weighted
+    function does.
+    """
+
+    name = "beta"
+
+    def __init__(self, forgetting: float = 1.0):
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must lie in (0, 1], got {forgetting}")
+        self._forgetting = forgetting
+
+    def tracker(self) -> BetaTracker:
+        return BetaTracker(self._forgetting)
+
+    def score(self, history: HistoryLike) -> float:
+        outcomes = _as_outcomes(history)
+        if self._forgetting == 1.0:
+            r = float(outcomes.sum())
+            s = float(outcomes.size - r)
+            return (r + 1.0) / (r + s + 2.0)
+        return super().score(outcomes)
+
+    def __repr__(self) -> str:
+        return f"BetaReputationTrust(forgetting={self._forgetting})"

@@ -1,0 +1,95 @@
+"""Time-decay-weighted trust.
+
+Sec. 6 of the paper surveys schemes that assign time-based weights
+``w_i`` to each feedback with ``sum(w_i) = 1`` so recent feedback counts
+more (Ray & Chakraborty; Huynh et al.; Selçuk et al.).  This module
+implements the canonical geometric-weight member of that family over
+transaction *indices* (ages), which subsumes the EWMA as the special case
+where the normalization is dropped.
+
+    trust = sum_i gamma^{n-1-i} f_i / sum_i gamma^{n-1-i}
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import HistoryLike, TrustFunction, TrustTracker, _as_outcomes
+
+__all__ = ["DecayTrust", "DecayTracker"]
+
+
+class DecayTracker(TrustTracker):
+    """Normalized geometric-decay accumulator.
+
+    Maintains ``num = sum gamma^{age} f`` and ``den = sum gamma^{age}``;
+    an update ages every previous feedback by one step, which is a single
+    multiplication on each aggregate.
+    """
+
+    __slots__ = ("_gamma", "_num", "_den", "_prior")
+
+    def __init__(self, gamma: float, prior: float):
+        self._gamma = gamma
+        self._num = 0.0
+        self._den = 0.0
+        self._prior = prior
+
+    @property
+    def value(self) -> float:
+        if self._den == 0.0:
+            return self._prior
+        return self._num / self._den
+
+    def update(self, outcome: int) -> None:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        self._num = self._gamma * self._num + outcome
+        self._den = self._gamma * self._den + 1.0
+
+    def peek(self, outcome: int) -> float:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        return (self._gamma * self._num + outcome) / (self._gamma * self._den + 1.0)
+
+    def copy(self) -> "DecayTracker":
+        clone = DecayTracker(self._gamma, self._prior)
+        clone._num = self._num
+        clone._den = self._den
+        return clone
+
+
+class DecayTrust(TrustFunction):
+    """Normalized geometric time-decay trust.
+
+    ``gamma`` close to 1 approaches the average function; small ``gamma``
+    approaches last-transaction-only.  ``gamma = 1`` is exactly the
+    average function and is allowed.
+    """
+
+    name = "decay"
+
+    def __init__(self, gamma: float = 0.98, prior: float = 0.5):
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must lie in (0, 1], got {gamma}")
+        if not 0.0 <= prior <= 1.0:
+            raise ValueError(f"prior must lie in [0, 1], got {prior}")
+        self._gamma = gamma
+        self._prior = prior
+
+    def tracker(self) -> DecayTracker:
+        return DecayTracker(self._gamma, self._prior)
+
+    def score(self, history: HistoryLike) -> float:
+        outcomes = _as_outcomes(history).astype(np.float64)
+        n = outcomes.size
+        if n == 0:
+            return self._prior
+        weights = self._gamma ** np.arange(n - 1, -1, -1)
+        den = float(weights.sum())
+        if den == 0.0:  # extreme underflow: only the newest items survive
+            return float(outcomes[-1])
+        return float(weights @ outcomes) / den
+
+    def __repr__(self) -> str:
+        return f"DecayTrust(gamma={self._gamma}, prior={self._prior})"

@@ -1,0 +1,103 @@
+"""EigenTrust (Kamvar, Schlosser & Garcia-Molina, WWW 2003).
+
+The graph-based reputation baseline the paper cites as [3]: each peer's
+local trust in another is derived from their direct transactions, local
+trust vectors are normalized, and the global trust vector is the
+stationary distribution of the resulting stochastic matrix, computed by
+power iteration with a restart toward pre-trusted peers:
+
+    t_{k+1} = (1 - a) C^T t_k + a p
+
+where ``C`` is the row-normalized local trust matrix, ``p`` the
+pre-trusted distribution, and ``a`` the restart weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..feedback.ledger import FeedbackLedger
+from ..feedback.records import EntityId
+from .base import LedgerTrustFunction
+
+__all__ = ["EigenTrust"]
+
+
+class EigenTrust(LedgerTrustFunction):
+    """Global trust by power iteration over the feedback graph.
+
+    ``score_server`` returns the server's global trust normalized by the
+    maximum component so the result lies in [0, 1] and is comparable with
+    threshold-based clients.  Use :meth:`global_trust` for the raw
+    stationary distribution.
+    """
+
+    name = "eigentrust"
+
+    def __init__(
+        self,
+        restart: float = 0.15,
+        pretrusted: Optional[Iterable[EntityId]] = None,
+        max_iterations: int = 200,
+        tolerance: float = 1e-10,
+    ):
+        if not 0.0 <= restart < 1.0:
+            raise ValueError(f"restart must lie in [0, 1), got {restart}")
+        if max_iterations <= 0:
+            raise ValueError("max_iterations must be positive")
+        self._restart = restart
+        self._pretrusted = set(pretrusted) if pretrusted else None
+        self._max_iterations = max_iterations
+        self._tolerance = tolerance
+
+    def global_trust(self, ledger: FeedbackLedger) -> Dict[EntityId, float]:
+        """The full stationary trust distribution over all entities."""
+        entities = sorted(ledger.servers() | ledger.clients())
+        if not entities:
+            return {}
+        index = {e: i for i, e in enumerate(entities)}
+        n = len(entities)
+
+        local = np.zeros((n, n), dtype=np.float64)
+        for (client, server), (pos, neg) in ledger.feedback_graph().items():
+            # EigenTrust's s_ij = max(pos - neg, 0)
+            local[index[client], index[server]] = max(pos - neg, 0)
+
+        pretrusted = self._pretrusted_vector(entities, index, n)
+        # Row-normalize; rows with no outgoing trust fall back to the
+        # pre-trusted distribution (the standard EigenTrust fix-up).
+        row_sums = local.sum(axis=1, keepdims=True)
+        matrix = np.where(row_sums > 0, local / np.maximum(row_sums, 1e-300), pretrusted)
+
+        trust = pretrusted.copy()
+        for _ in range(self._max_iterations):
+            updated = (1.0 - self._restart) * (matrix.T @ trust) + self._restart * pretrusted
+            if np.abs(updated - trust).sum() < self._tolerance:
+                trust = updated
+                break
+            trust = updated
+        return {entity: float(trust[index[entity]]) for entity in entities}
+
+    def score_server(self, server: EntityId, ledger: FeedbackLedger) -> float:
+        trust = self.global_trust(ledger)
+        if server not in trust:
+            return 0.0
+        peak = max(trust.values())
+        if peak <= 0.0:
+            return 0.0
+        return trust[server] / peak
+
+    def _pretrusted_vector(
+        self, entities: List[EntityId], index: Dict[EntityId, int], n: int
+    ) -> np.ndarray:
+        vector = np.zeros(n, dtype=np.float64)
+        if self._pretrusted:
+            members = [e for e in entities if e in self._pretrusted]
+            if members:
+                for e in members:
+                    vector[index[e]] = 1.0 / len(members)
+                return vector
+        vector[:] = 1.0 / n
+        return vector

@@ -1,0 +1,70 @@
+"""H-Trust (Zhao & Li, ICDCS Workshops 2008) — h-index reputation.
+
+A related-work baseline the paper cites as [21]: inspired by the
+h-index, a server's reputation is the largest ``h`` such that at least
+``h`` of its rating *sources* gave it an aggregate score of at least
+``h``.  Combining the evidence score with the number of distinct
+referrals providing it makes the scheme "robust and lightweight": a
+single enthusiastic client (or colluder) cannot push the index above 1
+on its own — breadth of support is required, the same intuition the
+paper's supporter-base argument builds on.
+
+We implement the per-server h-index over client satisfaction scores
+(each client contributes its count of positive feedbacks for the
+server), normalized by the maximum attainable index so the result lands
+in the trust domain [0, 1].  It is a ledger scheme: it needs to know who
+issued what, not just the outcome sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..feedback.ledger import FeedbackLedger
+from ..feedback.records import EntityId, Rating
+from .base import LedgerTrustFunction
+
+__all__ = ["HTrust", "h_index"]
+
+
+def h_index(scores: List[int]) -> int:
+    """The largest ``h`` with at least ``h`` scores >= ``h``."""
+    if any(s < 0 for s in scores):
+        raise ValueError("scores must be non-negative")
+    ordered = sorted(scores, reverse=True)
+    h = 0
+    for rank, score in enumerate(ordered, start=1):
+        if score >= rank:
+            h = rank
+        else:
+            break
+    return h
+
+
+class HTrust(LedgerTrustFunction):
+    """h-index over per-client positive-feedback counts, normalized to [0, 1].
+
+    ``saturation`` is the index treated as full trust: an honest server
+    with ``saturation`` distinct clients each having ``saturation``
+    positive experiences scores 1.0.  Raw ratios (phase-2 style) are
+    deliberately not used — breadth of the supporter base is the signal.
+    """
+
+    name = "htrust"
+
+    def __init__(self, saturation: int = 10):
+        if saturation <= 0:
+            raise ValueError(f"saturation must be positive, got {saturation}")
+        self._saturation = saturation
+
+    def raw_index(self, server: EntityId, ledger: FeedbackLedger) -> int:
+        """The unnormalized h-index of the server's supporter scores."""
+        positives: Dict[EntityId, int] = {}
+        for fb in ledger.feedbacks_for_server(server):
+            if fb.rating is Rating.POSITIVE:
+                positives[fb.client] = positives.get(fb.client, 0) + 1
+        return h_index(list(positives.values()))
+
+    def score_server(self, server: EntityId, ledger: FeedbackLedger) -> float:
+        """Normalized h-index, clamped to [0, 1]."""
+        return min(self.raw_index(server, ledger) / self._saturation, 1.0)

@@ -1,0 +1,66 @@
+"""Registry of trust functions, keyed by short name.
+
+Experiment configurations and the CLI refer to trust functions by name
+(``"average"``, ``"weighted"``, ...); the registry maps those names to
+factories so new functions plug in without touching the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from .average import AverageTrust
+from .base import LedgerTrustFunction, TrustFunction
+from .beta import BetaReputationTrust
+from .decay import DecayTrust
+from .eigentrust import EigenTrust
+from .htrust import HTrust
+from .peertrust import PeerTrust
+from .trustguard import TrustGuardTrust
+from .weighted import WeightedTrust
+
+__all__ = ["make_trust_function", "register_trust_function", "available_trust_functions"]
+
+AnyTrust = Union[TrustFunction, LedgerTrustFunction]
+
+_FACTORIES: Dict[str, Callable[..., AnyTrust]] = {
+    AverageTrust.name: AverageTrust,
+    WeightedTrust.name: WeightedTrust,
+    BetaReputationTrust.name: BetaReputationTrust,
+    DecayTrust.name: DecayTrust,
+    PeerTrust.name: PeerTrust,
+    TrustGuardTrust.name: TrustGuardTrust,
+    EigenTrust.name: EigenTrust,
+    HTrust.name: HTrust,
+}
+
+
+def make_trust_function(name: str, **kwargs) -> AnyTrust:
+    """Instantiate a registered trust function.
+
+    Keyword arguments are forwarded to the constructor, e.g.
+    ``make_trust_function("weighted", lam=0.5)``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trust function {name!r}; available: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_trust_function(name: str, factory: Callable[..., AnyTrust]) -> None:
+    """Register a custom trust function under ``name``.
+
+    Re-registering an existing name is an error — shadowing a baseline
+    silently would corrupt experiment comparisons.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"trust function {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def available_trust_functions() -> list:
+    """Sorted list of registered names."""
+    return sorted(_FACTORIES)

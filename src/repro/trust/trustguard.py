@@ -1,0 +1,176 @@
+"""TrustGuard-style PID trust (Srivatsa, Xiong & Liu, WWW 2005).
+
+The paper cites TrustGuard as the representative attempt to harden trust
+*functions* against strategic oscillation — the same attacks the
+honest-player screen targets, approached from inside phase 2.  Its core
+is a PID controller over the reputation signal: the trust value combines
+the current behavior (proportional), the long-term history (integral)
+and the recent trend (derivative), so oscillating attackers are
+penalized for the downswings that a plain average forgives.
+
+    T_t = alpha * R_t + beta * avg(R_1..R_t) + gamma * max(-dR_t, 0)-penalty
+
+where ``R_t`` is the fraction of good transactions in reporting period
+``t``.  We implement the standard discrete form with the derivative term
+*subtracting* on downward trends only (an upswing should not be
+rewarded faster than the average builds).  With ``beta = 1`` and
+``alpha = gamma = 0`` this reduces to the average trust function over
+period summaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .base import TrustFunction, TrustTracker
+
+__all__ = ["TrustGuardTrust", "TrustGuardTracker"]
+
+
+class TrustGuardTracker(TrustTracker):
+    """PID accumulator over fixed-size reporting periods."""
+
+    __slots__ = (
+        "_alpha",
+        "_beta",
+        "_gamma",
+        "_period",
+        "_current_good",
+        "_current_n",
+        "_sum_rates",
+        "_n_periods",
+        "_last_rate",
+        "_prior",
+    )
+
+    def __init__(self, alpha: float, beta: float, gamma: float, period: int, prior: float):
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._period = period
+        self._current_good = 0
+        self._current_n = 0
+        self._sum_rates = 0.0
+        self._n_periods = 0
+        self._last_rate = prior
+        self._prior = prior
+
+    # -- the PID combination ------------------------------------------- #
+
+    def _value_from(self, current_good, current_n, sum_rates, n_periods, last_rate):
+        # proportional: the (possibly partial) current period
+        if current_n > 0:
+            proportional = current_good / current_n
+        elif n_periods > 0:
+            proportional = last_rate
+        else:
+            proportional = self._prior
+        # integral: average over completed periods (prior before any)
+        integral = sum_rates / n_periods if n_periods > 0 else self._prior
+        # derivative: penalize only downward movement of the rate
+        derivative_penalty = max(last_rate - proportional, 0.0)
+        value = (
+            self._alpha * proportional
+            + self._beta * integral
+            - self._gamma * derivative_penalty
+        )
+        return min(max(value, 0.0), 1.0)
+
+    @property
+    def value(self) -> float:
+        return self._value_from(
+            self._current_good,
+            self._current_n,
+            self._sum_rates,
+            self._n_periods,
+            self._last_rate,
+        )
+
+    def update(self, outcome: int) -> None:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        self._current_good += outcome
+        self._current_n += 1
+        if self._current_n == self._period:
+            rate = self._current_good / self._period
+            self._sum_rates += rate
+            self._n_periods += 1
+            self._last_rate = rate
+            self._current_good = 0
+            self._current_n = 0
+
+    def peek(self, outcome: int) -> float:
+        if outcome not in (0, 1):
+            raise ValueError(f"outcome must be 0 or 1, got {outcome!r}")
+        good = self._current_good + outcome
+        n = self._current_n + 1
+        if n == self._period:
+            rate = good / self._period
+            return self._value_from(
+                0, 0, self._sum_rates + rate, self._n_periods + 1, rate
+            )
+        return self._value_from(
+            good, n, self._sum_rates, self._n_periods, self._last_rate
+        )
+
+    def copy(self) -> "TrustGuardTracker":
+        clone = TrustGuardTracker(
+            self._alpha, self._beta, self._gamma, self._period, self._prior
+        )
+        clone._current_good = self._current_good
+        clone._current_n = self._current_n
+        clone._sum_rates = self._sum_rates
+        clone._n_periods = self._n_periods
+        clone._last_rate = self._last_rate
+        return clone
+
+
+class TrustGuardTrust(TrustFunction):
+    """PID-controlled trust over reporting periods of ``period`` transactions.
+
+    ``alpha + beta`` should be ~1 so the steady-state range stays [0, 1];
+    ``gamma`` scales the penalty for downward reputation swings — the
+    anti-oscillation knob.
+    """
+
+    name = "trustguard"
+
+    def __init__(
+        self,
+        alpha: float = 0.4,
+        beta: float = 0.6,
+        gamma: float = 0.4,
+        period: int = 10,
+        prior: float = 0.5,
+    ):
+        for label, value in (("alpha", alpha), ("beta", beta), ("gamma", gamma)):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        if alpha + beta <= 0:
+            raise ValueError("alpha + beta must be positive")
+        if alpha + beta > 1.0 + 1e-9:
+            raise ValueError(
+                f"alpha + beta must not exceed 1 (keeps trust in [0, 1]), "
+                f"got {alpha + beta}"
+            )
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= prior <= 1.0:
+            raise ValueError(f"prior must lie in [0, 1], got {prior}")
+        self._alpha = alpha
+        self._beta = beta
+        self._gamma = gamma
+        self._period = period
+        self._prior = prior
+
+    def tracker(self) -> TrustGuardTracker:
+        return TrustGuardTracker(
+            self._alpha, self._beta, self._gamma, self._period, self._prior
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TrustGuardTrust(alpha={self._alpha}, beta={self._beta}, "
+            f"gamma={self._gamma}, period={self._period})"
+        )

@@ -1,0 +1,112 @@
+"""Tests for repro.adversary.collusion — the Sec. 5.2 attacker."""
+
+import pytest
+
+from repro.adversary.collusion import ColludingStrategicAttacker
+from repro.core.collusion import CollusionResilientMultiTest, CollusionResilientTest
+from repro.trust.average import AverageTrust
+from repro.trust.weighted import WeightedTrust
+
+
+class TestWithoutBehaviorTesting:
+    def test_collusion_makes_attacks_free(self):
+        # paper: "the attacker can achieve his attacking goal without
+        # providing any good services to the clients"
+        attacker = ColludingStrategicAttacker(AverageTrust(), None, target_bads=20)
+        result = attacker.run(300, seed=1)
+        assert result.reached_goal
+        assert result.cost == 0
+
+    def test_weighted_function_also_free_with_colluders(self):
+        attacker = ColludingStrategicAttacker(WeightedTrust(0.5), None, target_bads=20)
+        result = attacker.run(300, seed=2)
+        assert result.reached_goal
+        assert result.cost == 0
+        # fake positives were needed to re-climb after each cheat
+        assert result.colluder_feedbacks > 0
+
+
+class TestWithCollusionResilientTesting:
+    def test_single_test_forces_real_service(
+        self, paper_config, shared_calibrator
+    ):
+        attacker = ColludingStrategicAttacker(
+            AverageTrust(),
+            CollusionResilientTest(paper_config, shared_calibrator),
+            target_bads=20,
+        )
+        result = attacker.run(300, seed=3)
+        assert result.reached_goal
+        assert result.cost > 0
+
+    def test_supporter_base_forced_to_grow(self, paper_config, shared_calibrator):
+        bare = ColludingStrategicAttacker(AverageTrust(), None, target_bads=20)
+        screened = ColludingStrategicAttacker(
+            AverageTrust(),
+            CollusionResilientMultiTest(paper_config, shared_calibrator),
+            target_bads=20,
+        )
+        base_bare = bare.run(300, seed=4).extra["supporter_base"]
+        base_screened = screened.run(300, seed=4).extra["supporter_base"]
+        # without testing, only the 5 colluders support the attacker
+        assert base_bare <= 5
+        assert base_screened > base_bare
+
+    def test_multi_test_costs_at_least_single_test(
+        self, paper_config, shared_calibrator
+    ):
+        import numpy as np
+
+        single_costs, multi_costs = [], []
+        for seed in range(3):
+            single = ColludingStrategicAttacker(
+                AverageTrust(),
+                CollusionResilientTest(paper_config, shared_calibrator),
+                target_bads=20,
+            )
+            multi = ColludingStrategicAttacker(
+                AverageTrust(),
+                CollusionResilientMultiTest(paper_config, shared_calibrator),
+                target_bads=20,
+            )
+            single_costs.append(single.run(600, seed=seed).cost)
+            multi_costs.append(multi.run(600, seed=seed).cost)
+        assert np.mean(multi_costs) >= np.mean(single_costs)
+
+
+class TestAccounting:
+    def test_prep_history_is_colluder_only(self):
+        attacker = ColludingStrategicAttacker(AverageTrust(), None, target_bads=1)
+        result = attacker.run(250, seed=5)
+        assert result.prep_transactions == 250
+
+    def test_step_budget(self):
+        attacker = ColludingStrategicAttacker(
+            AverageTrust(), None, target_bads=1000, max_steps=50
+        )
+        result = attacker.run(100, seed=6)
+        assert not result.reached_goal
+        assert result.steps == 50
+
+    def test_action_counts_add_up(self):
+        attacker = ColludingStrategicAttacker(AverageTrust(), None, target_bads=10)
+        result = attacker.run(200, seed=7)
+        total_actions = (
+            result.bad_transactions
+            + result.good_transactions
+            + result.colluder_feedbacks
+            + result.idle_steps
+        )
+        assert total_actions == result.steps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ColludingStrategicAttacker(AverageTrust(), None, n_colluders=0)
+        with pytest.raises(ValueError):
+            ColludingStrategicAttacker(
+                AverageTrust(), None, n_clients=5, n_colluders=5
+            )
+        with pytest.raises(ValueError):
+            ColludingStrategicAttacker(AverageTrust(), None, prep_honesty=-0.1)
+        with pytest.raises(ValueError):
+            ColludingStrategicAttacker(AverageTrust(), None, target_bads=0)

@@ -1,0 +1,163 @@
+"""Tests for the trace-generating attackers (periodic, hibernating, cheat-and-run)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.cheat_and_run import CheatAndRunAttacker
+from repro.adversary.hibernating import (
+    HibernatingAttacker,
+    hibernating_attack_history,
+)
+from repro.adversary.periodic import (
+    TrustDrivenPeriodicAttacker,
+    periodic_attack_history,
+)
+from repro.core.model import generate_honest_outcomes
+from repro.trust.average import AverageTrust
+from repro.trust.weighted import WeightedTrust
+
+
+class TestPeriodicHistory:
+    def test_exact_bads_per_window(self):
+        trace = periodic_attack_history(800, 40, attack_rate=0.1, seed=1)
+        for start in range(0, 800, 40):
+            window = trace[start : start + 40]
+            assert (window == 0).sum() == 4
+
+    def test_partial_trailing_window_proportional(self):
+        trace = periodic_attack_history(450, 100, attack_rate=0.1, seed=2)
+        assert (trace[400:] == 0).sum() == 5  # round(0.1 * 50)
+
+    def test_positions_randomized(self):
+        a = periodic_attack_history(400, 40, seed=3)
+        b = periodic_attack_history(400, 40, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_by_seed(self):
+        np.testing.assert_array_equal(
+            periodic_attack_history(200, 20, seed=5),
+            periodic_attack_history(200, 20, seed=5),
+        )
+
+    def test_overall_rate(self):
+        trace = periodic_attack_history(8000, 80, attack_rate=0.1, seed=6)
+        assert trace.mean() == pytest.approx(0.9, abs=0.01)
+
+    def test_zero_rate_all_good(self):
+        assert periodic_attack_history(100, 10, attack_rate=0.0, seed=7).all()
+
+    def test_full_rate_all_bad(self):
+        assert not periodic_attack_history(100, 10, attack_rate=1.0, seed=8).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_attack_history(-1, 10)
+        with pytest.raises(ValueError):
+            periodic_attack_history(100, 0)
+        with pytest.raises(ValueError):
+            periodic_attack_history(100, 10, attack_rate=1.5)
+
+
+class TestTrustDrivenPeriodic:
+    def test_reaches_goal_and_oscillates(self):
+        prep = generate_honest_outcomes(300, 0.95, seed=9)
+        attacker = TrustDrivenPeriodicAttacker(AverageTrust(), target_bads=20)
+        run = attacker.run(prep)
+        assert run.bad_transactions == 20
+        assert run.attack_bursts >= 1
+        assert run.outcomes.size == 300 + run.bad_transactions + run.good_transactions
+
+    def test_trust_never_below_low_water_during_attack(self):
+        prep = generate_honest_outcomes(300, 0.95, seed=10)
+        attacker = TrustDrivenPeriodicAttacker(
+            AverageTrust(), high_water=0.9, low_water=0.85, target_bads=10
+        )
+        run = attacker.run(prep)
+        tracker = AverageTrust().tracker()
+        tracker.update_many(run.outcomes[:300])
+        for outcome in run.outcomes[300:]:
+            tracker.update(int(outcome))
+            assert tracker.value >= 0.85 - 1e-9
+
+    def test_weighted_function_bursts_are_single_bads(self):
+        prep = generate_honest_outcomes(200, 0.98, seed=11)
+        attacker = TrustDrivenPeriodicAttacker(
+            WeightedTrust(0.5), high_water=0.9, low_water=0.5, target_bads=5
+        )
+        run = attacker.run(prep)
+        attack = run.outcomes[200:]
+        # EWMA(0.5): one bad drops trust to ~0.5, ending the burst
+        assert not ((attack[:-1] == 0) & (attack[1:] == 0)).any()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrustDrivenPeriodicAttacker(AverageTrust(), high_water=0.8, low_water=0.9)
+        with pytest.raises(ValueError):
+            TrustDrivenPeriodicAttacker(AverageTrust(), target_bads=0)
+
+
+class TestHibernating:
+    def test_history_layout(self):
+        trace = hibernating_attack_history(100, 20, seed=12)
+        assert trace.size == 120
+        assert (trace[100:] == 0).all()
+        assert trace[:100].mean() > 0.8
+
+    def test_zero_sizes(self):
+        assert hibernating_attack_history(0, 0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hibernating_attack_history(-1, 5)
+        with pytest.raises(ValueError):
+            hibernating_attack_history(5, -1)
+
+    def test_attacker_builds_cover_then_cheats(self):
+        prep = generate_honest_outcomes(100, 0.9, seed=13)
+        attacker = HibernatingAttacker(
+            AverageTrust(), cover_reputation=0.95, target_bads=10
+        )
+        run = attacker.run(prep)
+        assert run.bad_transactions == 10
+        assert run.cover_reached_at > 0  # had to extend the cover to 0.95
+
+    def test_long_cover_allows_consecutive_attacks(self):
+        prep = generate_honest_outcomes(1000, 0.99, seed=14)
+        attacker = HibernatingAttacker(
+            AverageTrust(), cover_reputation=0.99, client_threshold=0.9, target_bads=20
+        )
+        run = attacker.run(prep)
+        # with a strong enough cover all 20 attacks run back to back
+        assert run.good_transactions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HibernatingAttacker(AverageTrust(), cover_reputation=0.8, client_threshold=0.9)
+        with pytest.raises(ValueError):
+            HibernatingAttacker(AverageTrust(), target_bads=0)
+
+
+class TestCheatAndRun:
+    def test_trace_shape(self):
+        outcome = CheatAndRunAttacker(warmup=3).run(seed=15)
+        assert outcome.outcomes.size == 4
+        assert outcome.outcomes[-1] == 0
+        assert outcome.cheats == 1
+
+    def test_profit_economics(self):
+        cheap_identity = CheatAndRunAttacker(joining_cost=0.1, gain_per_cheat=1.0)
+        assert cheap_identity.run(seed=16).profit > 0
+        expensive_identity = CheatAndRunAttacker(joining_cost=2.0, gain_per_cheat=1.0)
+        assert expensive_identity.run(seed=17).profit < 0
+
+    def test_breakeven(self):
+        attacker = CheatAndRunAttacker(gain_per_cheat=3.0)
+        assert attacker.breakeven_joining_cost() == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheatAndRunAttacker(warmup=-1)
+        with pytest.raises(ValueError):
+            CheatAndRunAttacker(gain_per_cheat=0.0)
+        with pytest.raises(ValueError):
+            CheatAndRunAttacker(warmup_honesty=2.0)

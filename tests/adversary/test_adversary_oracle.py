@@ -1,0 +1,126 @@
+"""Tests for repro.adversary.oracle."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.oracle import AssessmentOracle
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+from repro.trust.average import AverageTrust
+from repro.trust.weighted import WeightedTrust
+
+
+def _oracle(outcomes, trust_fn=None, behavior=None, threshold=0.9):
+    history = TransactionHistory.from_outcomes(np.asarray(outcomes))
+    return AssessmentOracle(
+        trust_fn or AverageTrust(),
+        behavior,
+        trust_threshold=threshold,
+        history=history,
+    )
+
+
+class TestTrustTracking:
+    def test_initial_trust_matches_history(self):
+        oracle = _oracle([1, 1, 1, 0])
+        assert oracle.trust_value == pytest.approx(0.75)
+
+    def test_record_updates_history_and_trust(self):
+        oracle = _oracle([1, 1])
+        oracle.record_outcome(0)
+        assert len(oracle.history) == 3
+        assert oracle.trust_value == pytest.approx(2 / 3)
+
+    def test_trust_after_is_pure(self):
+        oracle = _oracle([1, 1, 1])
+        peeked = oracle.trust_after(0)
+        assert peeked == pytest.approx(0.75)
+        assert oracle.trust_value == pytest.approx(1.0)
+        assert len(oracle.history) == 3
+
+    def test_weighted_tracker_integration(self):
+        oracle = _oracle([1] * 50, trust_fn=WeightedTrust(0.5))
+        before = oracle.trust_value
+        assert oracle.trust_after(0) == pytest.approx(before / 2)
+
+    def test_empty_history_default(self):
+        oracle = AssessmentOracle(AverageTrust(), None)
+        assert len(oracle.history) == 0
+        assert oracle.trust_value == pytest.approx(0.5)  # the prior
+
+
+class TestBehaviorQueries:
+    def test_no_test_always_passes(self):
+        oracle = _oracle(np.tile([0] + [1] * 9, 50))
+        assert oracle.behavior_passes()
+        assert oracle.behavior_passes_after(0)
+
+    def test_with_test_flags_manipulation(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        oracle = _oracle(np.tile([0] + [1] * 9, 50), behavior=test_)
+        assert not oracle.behavior_passes()
+
+    def test_behavior_passes_after_restores_history(
+        self, paper_config, shared_calibrator
+    ):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        outcomes = generate_honest_outcomes(300, 0.95, seed=1)
+        oracle = _oracle(outcomes, behavior=test_)
+        before = len(oracle.history)
+        oracle.behavior_passes_after(0)
+        oracle.behavior_passes_after(1)
+        assert len(oracle.history) == before
+
+    def test_client_accepts_combines_both_phases(
+        self, paper_config, shared_calibrator
+    ):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        honest = _oracle(
+            generate_honest_outcomes(300, 0.95, seed=2), behavior=test_
+        )
+        assert honest.client_accepts()
+        low_quality = _oracle(
+            generate_honest_outcomes(300, 0.7, seed=3), behavior=test_
+        )
+        assert not low_quality.client_accepts()  # trust below threshold
+        manipulator = _oracle(np.tile([0] + [1] * 9, 50), behavior=test_)
+        assert not manipulator.client_accepts()  # flagged
+
+
+class TestFeedbackLevel:
+    def test_record_and_speculate_feedback(self, paper_config, shared_calibrator):
+        from repro.core.collusion import CollusionResilientTest
+
+        history = TransactionHistory("srv")
+        rng = np.random.default_rng(4)
+        for t in range(200):
+            history.append_feedback(
+                Feedback(
+                    time=float(t),
+                    server="srv",
+                    client=f"c{t % 10}",
+                    rating=Rating.POSITIVE if rng.random() < 0.95 else Rating.NEGATIVE,
+                )
+            )
+        oracle = AssessmentOracle(
+            AverageTrust(),
+            CollusionResilientTest(paper_config, shared_calibrator),
+            history=history,
+        )
+        bad = Feedback(
+            time=201.0, server="srv", client="victim", rating=Rating.NEGATIVE
+        )
+        n_before = len(oracle.history)
+        oracle.behavior_passes_after_feedback(bad)
+        assert len(oracle.history) == n_before
+        oracle.record_feedback(bad)
+        assert len(oracle.history) == n_before + 1
+        assert oracle.trust_value == pytest.approx(history.p_hat)
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            AssessmentOracle(AverageTrust(), None, trust_threshold=1.5)

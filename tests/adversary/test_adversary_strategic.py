@@ -1,0 +1,149 @@
+"""Tests for repro.adversary.strategic — the Sec. 5.1 attacker."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.strategic import StrategicAttacker
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.trust.average import AverageTrust
+from repro.trust.weighted import WeightedTrust
+
+
+class TestBareAverageTrust:
+    def test_long_prep_makes_attacks_free(self):
+        # paper: with >400 prep transactions, 20 consecutive attacks cost 0
+        attacker = StrategicAttacker(AverageTrust(), None)
+        result = attacker.run(800, seed=1)
+        assert result.reached_goal
+        assert result.cost == 0
+
+    def test_short_prep_costs_roughly_nine_goods_per_attack(self):
+        # steady state of the 0.9 threshold: ~9 good transactions per bad
+        attacker = StrategicAttacker(AverageTrust(), None)
+        result = attacker.run(100, seed=2)
+        assert result.reached_goal
+        assert 80 <= result.cost <= 160
+
+    def test_cost_decreases_with_prep(self):
+        attacker = StrategicAttacker(AverageTrust(), None)
+        costs = [attacker.run(prep, seed=3).cost for prep in (100, 200, 400)]
+        assert costs[0] > costs[1] > costs[2] == 0
+
+
+class TestBareWeightedTrust:
+    def test_no_two_consecutive_bads(self):
+        # paper: under EWMA(0.5) a bad transaction halves trust, so the
+        # attacker can never cheat twice in a row
+        attacker = StrategicAttacker(WeightedTrust(0.5), None)
+        result = attacker.run(300, seed=4)
+        assert result.reached_goal
+        outcomes = np.asarray(
+            StrategicAttackerTrace.trace(WeightedTrust(0.5), None, 300, seed=4)
+        )
+        attack_phase = outcomes[300:]
+        assert not ((attack_phase[:-1] == 0) & (attack_phase[1:] == 0)).any()
+
+    def test_cost_independent_of_prep(self):
+        attacker = StrategicAttacker(WeightedTrust(0.5), None)
+        costs = [attacker.run(prep, seed=5).cost for prep in (100, 400, 800)]
+        assert max(costs) - min(costs) <= 10  # flat, ~2-3 goods per bad
+
+    def test_two_to_three_goods_per_bad(self):
+        attacker = StrategicAttacker(WeightedTrust(0.5), None)
+        result = attacker.run(400, seed=6)
+        assert 2.0 <= result.goods_per_attack <= 3.5
+
+
+class StrategicAttackerTrace:
+    """Helper reproducing the attack-phase outcome sequence."""
+
+    @staticmethod
+    def trace(trust_fn, behavior, prep, seed):
+        from repro.core.model import generate_honest_outcomes
+        from repro.feedback.history import TransactionHistory
+        from repro.adversary.oracle import AssessmentOracle
+
+        prep_outcomes = generate_honest_outcomes(prep, 0.95, seed=seed)
+        attacker = StrategicAttacker(trust_fn, behavior)
+        result = attacker.run_from_history(prep_outcomes)
+        # replay to extract outcomes: rebuild the same decisions
+        history = TransactionHistory.from_outcomes(prep_outcomes)
+        oracle = AssessmentOracle(trust_fn, behavior, history=history)
+        outcomes = list(prep_outcomes)
+        bads = 0
+        while bads < 20 and len(outcomes) - prep < result.steps:
+            feasible = (
+                oracle.trust_value >= 0.9
+                and oracle.behavior_passes()
+                and oracle.behavior_passes_after(0)
+            )
+            outcome = 0 if feasible else 1
+            bads += outcome == 0
+            oracle.record_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+
+class TestWithBehaviorTesting:
+    def test_scheme1_raises_cost_over_bare_function(
+        self, paper_config, shared_calibrator
+    ):
+        bare = StrategicAttacker(AverageTrust(), None)
+        screened = StrategicAttacker(
+            AverageTrust(), SingleBehaviorTest(paper_config, shared_calibrator)
+        )
+        assert screened.run(600, seed=7).cost > bare.run(600, seed=7).cost
+
+    def test_scheme2_dominates_scheme1_at_long_preps(
+        self, paper_config, shared_calibrator
+    ):
+        single = StrategicAttacker(
+            AverageTrust(), SingleBehaviorTest(paper_config, shared_calibrator)
+        )
+        multi = StrategicAttacker(
+            AverageTrust(), MultiBehaviorTest(paper_config, shared_calibrator)
+        )
+        costs_single = np.mean([single.run(800, seed=s).cost for s in range(3)])
+        costs_multi = np.mean([multi.run(800, seed=s).cost for s in range(3)])
+        assert costs_multi > costs_single
+
+    def test_attack_never_leaves_history_flagged(
+        self, paper_config, shared_calibrator
+    ):
+        # the attacker's conservative look-ahead means its final history
+        # still passes the deployed test
+        test_ = MultiBehaviorTest(paper_config, shared_calibrator)
+        attacker = StrategicAttacker(AverageTrust(), test_)
+        result = attacker.run(400, seed=8)
+        assert result.reached_goal
+        assert result.extra["final_trust"] >= 0.9 - 0.05
+
+
+class TestResultAccounting:
+    def test_step_budget_respected(self):
+        attacker = StrategicAttacker(AverageTrust(), None, max_steps=10)
+        result = attacker.run(50, seed=9)
+        assert result.steps == 10
+        assert not result.reached_goal
+
+    def test_counts_add_up(self):
+        attacker = StrategicAttacker(AverageTrust(), None)
+        result = attacker.run(200, seed=10)
+        assert result.bad_transactions + result.good_transactions == result.steps
+        assert result.prep_transactions == 200
+
+    def test_goods_per_attack_metric(self):
+        attacker = StrategicAttacker(AverageTrust(), None)
+        result = attacker.run(100, seed=11)
+        assert result.goods_per_attack == pytest.approx(
+            result.good_transactions / result.bad_transactions
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StrategicAttacker(AverageTrust(), None, prep_honesty=1.5)
+        with pytest.raises(ValueError):
+            StrategicAttacker(AverageTrust(), None, target_bads=0)
+        with pytest.raises(ValueError):
+            StrategicAttacker(AverageTrust(), None, max_steps=0)

@@ -1,0 +1,96 @@
+"""Tests for repro.adversary.sybil."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.sybil import SybilAttacker, sybil_campaign_cost
+from repro.core.config import BehaviorTestConfig
+from repro.core.testing import SingleBehaviorTest
+
+
+class TestSybilAttacker:
+    def test_campaign_covers_target(self):
+        attacker = SybilAttacker(warmup=5, cheats_each=2)
+        identities = attacker.run(20, seed=1)
+        assert sum(i.cheats for i in identities) == 20
+        assert len(identities) == 10
+
+    def test_partial_last_identity(self):
+        attacker = SybilAttacker(warmup=3, cheats_each=3)
+        identities = attacker.run(7, seed=2)
+        assert [i.cheats for i in identities] == [3, 3, 1]
+
+    def test_identities_needed(self):
+        assert SybilAttacker(cheats_each=3).identities_needed(7) == 3
+        assert SybilAttacker(cheats_each=1).identities_needed(5) == 5
+
+    def test_identity_layout(self):
+        attacker = SybilAttacker(warmup=4, cheats_each=1, warmup_honesty=1.0)
+        identity = attacker.run(1, seed=3)[0]
+        np.testing.assert_array_equal(identity.outcomes, [1, 1, 1, 1, 0])
+        assert identity.warmup_goods == 4
+
+    def test_unique_names(self):
+        identities = SybilAttacker().run(8, seed=4)
+        assert len({i.name for i in identities}) == len(identities)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SybilAttacker(warmup=-1)
+        with pytest.raises(ValueError):
+            SybilAttacker(cheats_each=0)
+        with pytest.raises(ValueError):
+            SybilAttacker(warmup_honesty=1.5)
+        with pytest.raises(ValueError):
+            SybilAttacker().identities_needed(0)
+
+
+class TestScreenBlindness:
+    def test_short_identities_evade_behavior_testing(
+        self, paper_config, shared_calibrator
+    ):
+        # the structural point: every sybil history is below the test's
+        # minimum, so the "pass" insufficient-policy waves them through —
+        # history-based screening cannot touch this attack
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        identities = SybilAttacker(warmup=5, cheats_each=1).run(20, seed=5)
+        for identity in identities:
+            verdict = test_.test(identity.outcomes)
+            assert verdict.insufficient
+            assert verdict.passed
+
+    def test_fail_policy_blocks_them_but_also_all_newcomers(
+        self, shared_calibrator
+    ):
+        config = BehaviorTestConfig(on_insufficient="fail")
+        test_ = SingleBehaviorTest(config, shared_calibrator)
+        identity = SybilAttacker().run(1, seed=6)[0]
+        assert not test_.test(identity.outcomes).passed
+        # ...which is exactly the trade-off the paper discusses: a genuine
+        # newcomer with the same short history is rejected too
+        assert not test_.test(np.ones(6, dtype=np.int8)).passed
+
+
+class TestEconomics:
+    def test_cost_scales_with_identities(self):
+        cheap = sybil_campaign_cost(20, joining_cost=0.0, warmup=5)
+        priced = sybil_campaign_cost(20, joining_cost=3.0, warmup=5)
+        assert priced == cheap + 20 * 3.0
+
+    def test_batching_cheats_reduces_identities(self):
+        one_each = sybil_campaign_cost(20, joining_cost=5.0, cheats_each=1)
+        batched = sybil_campaign_cost(20, joining_cost=5.0, cheats_each=4)
+        assert batched < one_each
+
+    def test_breakeven_reasoning(self):
+        # gain 1 per cheat, 1 cheat per identity, warmup cost 5: the
+        # attack is unprofitable once joining cost exceeds gain - warmup
+        gain_per_cheat = 10.0
+        cost = sybil_campaign_cost(20, joining_cost=6.0, warmup=5)
+        assert cost > 20 * gain_per_cheat - 1  # 220 > 199: unprofitable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sybil_campaign_cost(20, joining_cost=-1.0)
+        with pytest.raises(ValueError):
+            sybil_campaign_cost(20, joining_cost=1.0, good_service_cost=-1.0)

@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.cheat_rate."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cheat_rate import (
+    CamouflageAttacker,
+    max_sustainable_cheat_rate,
+    sustainable_profile,
+)
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+
+
+class TestCamouflageAttacker:
+    def test_history_rate(self):
+        attacker = CamouflageAttacker(0.2)
+        history = attacker.history(20_000, seed=1)
+        bad_rate = 1.0 - history.mean()
+        assert bad_rate == pytest.approx(0.2, abs=0.01)
+
+    def test_expected_bads(self):
+        assert CamouflageAttacker(0.1).expected_bads(500) == pytest.approx(50)
+
+    def test_deterministic_by_seed(self):
+        attacker = CamouflageAttacker(0.3)
+        np.testing.assert_array_equal(
+            attacker.history(100, seed=2), attacker.history(100, seed=2)
+        )
+
+    def test_zero_rate_is_perfect_server(self):
+        assert CamouflageAttacker(0.0).history(100, seed=3).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CamouflageAttacker(1.5)
+        with pytest.raises(ValueError):
+            CamouflageAttacker(0.1).history(-1)
+
+    def test_camouflage_passes_behavior_tests(
+        self, paper_config, shared_calibrator
+    ):
+        # the paper's closing argument: iid cheating at the honest rate IS
+        # honest behavior statistically — both schemes must pass it most
+        # of the time
+        attacker = CamouflageAttacker(0.05)
+        single = SingleBehaviorTest(paper_config, shared_calibrator)
+        passes = sum(
+            single.test(attacker.history(800, seed=s)).passed for s in range(20)
+        )
+        assert passes >= 17
+
+
+class TestMaxSustainableCheatRate:
+    def test_saturates_trust_cap_for_single_test(
+        self, paper_config, shared_calibrator
+    ):
+        # a perfectly camouflaged attacker is indistinguishable from an
+        # honest 0.9 player, so the binding constraint is phase 2's 0.9
+        # threshold: the sustainable rate should reach the 0.1 cap
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        rate = max_sustainable_cheat_rate(
+            test_, history_length=600, trials=15, precision=0.02, seed=1
+        )
+        assert rate == pytest.approx(0.1, abs=0.021)
+
+    def test_rate_bounded_by_cap(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        rate = max_sustainable_cheat_rate(
+            test_,
+            history_length=400,
+            trust_threshold=0.95,
+            trials=10,
+            precision=0.02,
+            seed=2,
+        )
+        assert rate <= 0.05 + 1e-9
+
+    def test_profile_shape(self, paper_config, shared_calibrator):
+        test_ = MultiBehaviorTest(paper_config, shared_calibrator)
+        profile = sustainable_profile(
+            test_,
+            history_lengths=(200, 400),
+            trials=8,
+            precision=0.05,
+            seed=3,
+        )
+        assert [p.history_length for p in profile] == [200, 400]
+        for point in profile:
+            assert 0.0 <= point.max_cheat_rate <= 0.1 + 1e-9
+            assert point.bads_per_hundred == pytest.approx(
+                100 * point.max_cheat_rate
+            )
+
+    def test_validation(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        with pytest.raises(ValueError):
+            max_sustainable_cheat_rate(test_, history_length=0)
+        with pytest.raises(ValueError):
+            max_sustainable_cheat_rate(test_, target_pass_rate=0.0)
+        with pytest.raises(ValueError):
+            max_sustainable_cheat_rate(test_, precision=0.0)

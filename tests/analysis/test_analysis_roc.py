@@ -1,0 +1,112 @@
+"""Tests for repro.analysis.roc."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.periodic import periodic_attack_history
+from repro.analysis.roc import OperatingPoint, auc, measure_operating_point, roc_curve
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+
+
+def _honest_gen(rng):
+    return generate_honest_outcomes(600, 0.95, seed=rng)
+
+
+def _attack_gen(rng):
+    return periodic_attack_history(600, 20, seed=rng)
+
+
+class TestOperatingPoint:
+    def test_youden_j(self):
+        point = OperatingPoint(0.95, false_positive_rate=0.1, detection_rate=0.8)
+        assert point.youden_j == pytest.approx(0.7)
+
+    def test_measure_rates_in_unit_interval(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        point = measure_operating_point(
+            test_, _honest_gen, _attack_gen, trials=30, seed=1
+        )
+        assert 0.0 <= point.false_positive_rate <= 1.0
+        assert 0.0 <= point.detection_rate <= 1.0
+
+    def test_detects_obvious_attack_workload(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        point = measure_operating_point(
+            test_, _honest_gen, _attack_gen, trials=40, seed=2
+        )
+        assert point.detection_rate > point.false_positive_rate
+
+    def test_honest_fpr_tracks_alpha(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        point = measure_operating_point(
+            test_, _honest_gen, _attack_gen, trials=100, seed=3
+        )
+        assert point.false_positive_rate <= 0.15  # ~5% expected at 95% conf
+
+    def test_trials_validation(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        with pytest.raises(ValueError):
+            measure_operating_point(test_, _honest_gen, _attack_gen, trials=0)
+
+
+class TestRocCurve:
+    def test_points_ordered_by_confidence(self):
+        points = roc_curve(
+            _honest_gen, _attack_gen, confidences=(0.9, 0.5, 0.99), trials=15, seed=4
+        )
+        assert [p.confidence for p in points] == [0.5, 0.9, 0.99]
+
+    def test_lower_confidence_more_alarms(self):
+        points = roc_curve(
+            _honest_gen, _attack_gen, confidences=(0.5, 0.99), trials=60, seed=5
+        )
+        lenient, strict = points[0], points[1]
+        assert lenient.false_positive_rate >= strict.false_positive_rate
+        assert lenient.detection_rate >= strict.detection_rate
+
+    def test_custom_test_factory(self, shared_calibrator):
+        from repro.core.multi_testing import MultiBehaviorTest
+
+        points = roc_curve(
+            _honest_gen,
+            _attack_gen,
+            test_factory=lambda cfg: MultiBehaviorTest(cfg),
+            confidences=(0.95,),
+            trials=10,
+            seed=6,
+        )
+        assert len(points) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve(_honest_gen, _attack_gen, confidences=())
+        with pytest.raises(ValueError):
+            roc_curve(_honest_gen, _attack_gen, confidences=(1.0,))
+
+
+class TestAuc:
+    def test_perfect_classifier(self):
+        points = [OperatingPoint(0.95, 0.0, 1.0)]
+        assert auc(points) == pytest.approx(1.0)
+
+    def test_random_classifier(self):
+        points = [
+            OperatingPoint(0.9, fpr, fpr) for fpr in (0.2, 0.5, 0.8)
+        ]
+        assert auc(points) == pytest.approx(0.5)
+
+    def test_real_curve_beats_chance(self):
+        points = roc_curve(
+            _honest_gen,
+            _attack_gen,
+            confidences=(0.5, 0.8, 0.95, 0.99),
+            trials=40,
+            seed=7,
+        )
+        assert auc(points) > 0.6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            auc([])

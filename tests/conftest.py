@@ -1,0 +1,42 @@
+"""Shared fixtures and hypothesis settings for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core import BehaviorTestConfig, ThresholdCalibrator
+
+# Keep property-based tests fast and deterministic-ish in CI: the default
+# 100 examples x many properties would dominate the suite's runtime.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> BehaviorTestConfig:
+    """The paper's default behavior-test configuration (m=10, 95%)."""
+    return BehaviorTestConfig()
+
+
+@pytest.fixture(scope="session")
+def shared_calibrator(paper_config) -> ThresholdCalibrator:
+    """One session-wide calibrator so tests share the ε cache."""
+    return ThresholdCalibrator(
+        confidence=paper_config.confidence,
+        n_sets=paper_config.calibration_sets,
+        distance=paper_config.distance,
+        p_quantum=paper_config.p_quantum,
+        seed=999,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

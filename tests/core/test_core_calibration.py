@@ -1,0 +1,140 @@
+"""Tests for repro.core.calibration (the ε threshold estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ThresholdCalibrator
+from repro.stats.binomial import sample_window_counts
+from repro.stats.distances import l1_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.binomial import binomial_pmf
+
+
+class TestThreshold:
+    def test_positive_and_bounded(self):
+        cal = ThresholdCalibrator(seed=1)
+        eps = cal.threshold(10, 50, 0.95)
+        assert 0.0 < eps < 2.0
+
+    def test_decreases_with_more_windows(self):
+        # the Fig. 8 mechanism: more windows -> tighter threshold
+        cal = ThresholdCalibrator(n_sets=1000, seed=2)
+        assert cal.threshold(10, 320, 0.95) < cal.threshold(10, 10, 0.95)
+
+    def test_honest_samples_pass_at_roughly_the_confidence(self):
+        # ~95% of honest sample sets should fall under the 95% threshold
+        cal = ThresholdCalibrator(n_sets=2000, seed=3)
+        m, k, p = 10, 40, 0.9
+        eps = cal.threshold(m, k, p)
+        pmf = binomial_pmf(m, p)
+        passes = 0
+        trials = 400
+        rng = np.random.default_rng(4)
+        for _ in range(trials):
+            counts = sample_window_counts(m, p, k, seed=rng)
+            d = l1_distance(empirical_pmf(counts, m + 1), pmf)
+            passes += d <= eps
+        assert passes / trials == pytest.approx(0.95, abs=0.05)
+
+    def test_degenerate_p_gives_zero_threshold(self):
+        cal = ThresholdCalibrator(seed=5)
+        assert cal.threshold(10, 20, 1.0) == pytest.approx(0.0)
+        assert cal.threshold(10, 20, 0.0) == pytest.approx(0.0)
+
+    def test_higher_confidence_gives_larger_threshold(self):
+        strict = ThresholdCalibrator(confidence=0.90, n_sets=2000, seed=6)
+        lenient = ThresholdCalibrator(confidence=0.99, n_sets=2000, seed=6)
+        assert lenient.threshold(10, 30, 0.9) >= strict.threshold(10, 30, 0.9)
+
+    def test_validation(self):
+        cal = ThresholdCalibrator(seed=7)
+        with pytest.raises(ValueError):
+            cal.threshold(0, 10, 0.9)
+        with pytest.raises(ValueError):
+            cal.threshold(10, 0, 0.9)
+        with pytest.raises(ValueError):
+            cal.threshold(10, 10, 1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(confidence=1.5)
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(n_sets=0)
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(p_quantum=-1)
+        with pytest.raises(KeyError):
+            ThresholdCalibrator(distance="nope")
+
+
+class TestCaching:
+    def test_cache_hits_on_repeat(self):
+        cal = ThresholdCalibrator(seed=8)
+        first = cal.threshold(10, 25, 0.95)
+        second = cal.threshold(10, 25, 0.95)
+        assert first == second
+        hits, misses = cal.cache_stats
+        assert hits == 1 and misses == 1
+
+    def test_quantization_shares_entries(self):
+        cal = ThresholdCalibrator(p_quantum=0.01, seed=9)
+        a = cal.threshold(10, 25, 0.948)
+        b = cal.threshold(10, 25, 0.952)
+        assert a == b  # both snap to 0.95
+        assert cal.cache_stats == (1, 1)
+
+    def test_quantize_p(self):
+        cal = ThresholdCalibrator(p_quantum=0.01)
+        assert cal.quantize_p(0.948) == pytest.approx(0.95)
+        assert cal.quantize_p(0.944) == pytest.approx(0.94)
+
+    def test_near_degenerate_p_never_snaps_to_point_mass(self):
+        # regression: p_hat = 0.996 must NOT calibrate against the p = 1.0
+        # point mass (epsilon = 0), which would flag nearly-perfect honest
+        # servers forever (found via a deadlocked Fig. 6 campaign)
+        cal = ThresholdCalibrator(p_quantum=0.01, seed=20)
+        assert cal.quantize_p(0.996) == pytest.approx(0.99)
+        assert cal.quantize_p(0.004) == pytest.approx(0.01)
+        assert cal.quantize_p(1.0) == pytest.approx(1.0)
+        assert cal.quantize_p(0.0) == pytest.approx(0.0)
+        assert cal.threshold(10, 100, 0.9999) > 0.0
+
+    def test_nearly_perfect_honest_server_passes(self):
+        # end-to-end regression for the same bug
+        from repro.core.testing import SingleBehaviorTest
+        from repro.core.model import generate_honest_outcomes
+
+        test_ = SingleBehaviorTest()
+        outcomes = generate_honest_outcomes(2000, 0.998, seed=21)
+        assert 0 < (2000 - outcomes.sum()) < 20  # nearly, but not exactly, perfect
+        assert test_.test(outcomes).passed
+
+    def test_zero_quantum_disables_snapping(self):
+        cal = ThresholdCalibrator(p_quantum=0.0, seed=10)
+        cal.threshold(10, 25, 0.948)
+        cal.threshold(10, 25, 0.952)
+        assert cal.cache_stats == (0, 2)
+
+    def test_different_k_are_separate_entries(self):
+        cal = ThresholdCalibrator(seed=11)
+        cal.threshold(10, 25, 0.95)
+        cal.threshold(10, 26, 0.95)
+        assert cal.cache_stats == (0, 2)
+
+
+class TestNullDistances:
+    def test_shape(self):
+        cal = ThresholdCalibrator(n_sets=123, seed=12)
+        assert cal.null_distances(10, 30, 0.9).shape == (123,)
+
+    def test_seeded_reproducibility(self):
+        cal = ThresholdCalibrator(n_sets=50, seed=13)
+        a = cal.null_distances(10, 30, 0.9, seed=99)
+        b = cal.null_distances(10, 30, 0.9, seed=99)
+        np.testing.assert_array_equal(a, b)
+
+    def test_non_l1_distance_path(self):
+        cal = ThresholdCalibrator(n_sets=50, distance="ks", seed=14)
+        distances = cal.null_distances(10, 30, 0.9)
+        assert distances.shape == (50,)
+        assert (distances >= 0).all() and (distances <= 1).all()
+        assert cal.threshold(10, 30, 0.9) > 0

@@ -1,0 +1,53 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, BehaviorTestConfig
+
+
+class TestDefaults:
+    def test_paper_settings(self):
+        assert DEFAULT_CONFIG.window_size == 10
+        assert DEFAULT_CONFIG.confidence == 0.95
+        assert DEFAULT_CONFIG.distance == "l1"
+        assert DEFAULT_CONFIG.align == "recent"
+
+    def test_min_transactions(self):
+        assert DEFAULT_CONFIG.min_transactions == 40
+        assert BehaviorTestConfig(window_size=5, min_windows=3).min_transactions == 15
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_size": 0},
+            {"confidence": 0.0},
+            {"confidence": 1.0},
+            {"calibration_sets": 0},
+            {"min_windows": 0},
+            {"multi_step": 0},
+            {"p_quantum": -0.01},
+            {"align": "center"},
+            {"on_insufficient": "explode"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BehaviorTestConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.window_size = 5
+
+
+class TestWith:
+    def test_with_replaces_field(self):
+        changed = DEFAULT_CONFIG.with_(window_size=20)
+        assert changed.window_size == 20
+        assert changed.confidence == DEFAULT_CONFIG.confidence
+        assert DEFAULT_CONFIG.window_size == 10
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_(confidence=2.0)

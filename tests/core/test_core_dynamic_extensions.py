@@ -1,0 +1,194 @@
+"""Tests for the dynamic-behavior extensions: temporal and segmented testing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.segmented import SegmentedBehaviorTest
+from repro.core.temporal import (
+    TemporalBehaviorTest,
+    hour_of_day_bucket,
+    weekday_weekend_bucket,
+)
+from repro.core.testing import SingleBehaviorTest
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+
+
+def _temporal_history(n, p_of_time, seed):
+    rng = np.random.default_rng(seed)
+    feedbacks = []
+    for t in range(n):
+        hours = float(t)
+        feedbacks.append(
+            Feedback(
+                time=hours,
+                server="s",
+                client=f"c{t % 9}",
+                rating=(
+                    Rating.POSITIVE
+                    if rng.random() < p_of_time(hours)
+                    else Rating.NEGATIVE
+                ),
+            )
+        )
+    return TransactionHistory.from_feedbacks(feedbacks)
+
+
+class TestBuckets:
+    def test_weekday_weekend_bucket(self):
+        assert weekday_weekend_bucket(0.0) == "weekday"  # Monday 00:00
+        assert weekday_weekend_bucket(4 * 24.0) == "weekday"  # Friday
+        assert weekday_weekend_bucket(5 * 24.0) == "weekend"  # Saturday
+        assert weekday_weekend_bucket(6 * 24.0 + 23) == "weekend"  # Sunday night
+        assert weekday_weekend_bucket(7 * 24.0) == "weekday"  # wraps to Monday
+
+    def test_hour_of_day_bucket(self):
+        assert hour_of_day_bucket(10.0) == "business"
+        assert hour_of_day_bucket(8.99) == "off-hours"
+        assert hour_of_day_bucket(17.0) == "off-hours"
+        assert hour_of_day_bucket(24.0 + 12) == "business"  # next day noon
+
+    def test_hour_bucket_validation(self):
+        with pytest.raises(ValueError):
+            hour_of_day_bucket(1.0, start=10, end=9)
+
+
+class TestTemporalBehaviorTest:
+    def test_weekday_weekend_server_passes_temporal_fails_pooled(
+        self, paper_config, shared_calibrator
+    ):
+        # honest server with weekend congestion: two regimes, each iid
+        def p_of_time(hours):
+            return 0.97 if weekday_weekend_bucket(hours) == "weekday" else 0.6
+
+        history = _temporal_history(1400, p_of_time, seed=1)
+        pooled = SingleBehaviorTest(paper_config, shared_calibrator)
+        temporal = TemporalBehaviorTest(
+            weekday_weekend_bucket, paper_config, shared_calibrator
+        )
+        assert not pooled.test(history.outcomes()).passed
+        report = temporal.test(history)
+        assert report.passed
+        assert set(report.buckets) == {"weekday", "weekend"}
+
+    def test_manipulation_within_bucket_still_caught(
+        self, paper_config, shared_calibrator
+    ):
+        # deterministic periodic cheating confined to weekdays
+        feedbacks = []
+        i = 0
+        for t in range(1400):
+            hours = float(t)
+            if weekday_weekend_bucket(hours) == "weekday":
+                good = i % 10 != 0
+                i += 1
+            else:
+                good = True
+            feedbacks.append(
+                Feedback(
+                    time=hours,
+                    server="s",
+                    client=f"c{t % 9}",
+                    rating=Rating.POSITIVE if good else Rating.NEGATIVE,
+                )
+            )
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        temporal = TemporalBehaviorTest(
+            weekday_weekend_bucket, paper_config, shared_calibrator
+        )
+        report = temporal.test(history)
+        assert not report.passed
+        assert report.failing_buckets == ("weekday",)
+        assert report.verdict("weekend").passed
+
+    def test_unknown_bucket_lookup(self, paper_config, shared_calibrator):
+        history = _temporal_history(200, lambda h: 0.95, seed=2)
+        report = TemporalBehaviorTest(
+            weekday_weekend_bucket, paper_config, shared_calibrator
+        ).test(history)
+        with pytest.raises(KeyError):
+            report.verdict("holiday")
+
+    def test_custom_bucket_fn(self, paper_config, shared_calibrator):
+        history = _temporal_history(300, lambda h: 0.95, seed=3)
+        report = TemporalBehaviorTest(
+            lambda t: "all", paper_config, shared_calibrator
+        ).test(history)
+        assert report.buckets == ("all",)
+
+
+class TestSegmentedBehaviorTest:
+    def test_drifting_honest_server(self, paper_config, shared_calibrator):
+        drift = np.concatenate(
+            [
+                generate_honest_outcomes(500, 0.95, seed=4),
+                generate_honest_outcomes(500, 0.75, seed=5),
+            ]
+        )
+        pooled = SingleBehaviorTest(paper_config, shared_calibrator)
+        segmented = SegmentedBehaviorTest(paper_config, shared_calibrator)
+        assert not pooled.test(drift).passed  # mixture is not binomial
+        report = segmented.test(drift)
+        assert report.passed
+        assert report.n_segments == 2
+        assert abs(report.change_points[0] - 500) < 60
+
+    def test_stationary_server_single_segment(self, paper_config, shared_calibrator):
+        outcomes = generate_honest_outcomes(900, 0.92, seed=6)
+        report = SegmentedBehaviorTest(paper_config, shared_calibrator).test(outcomes)
+        assert report.n_segments == 1
+        assert report.passed
+
+    def test_manipulation_not_explained_away(self, paper_config, shared_calibrator):
+        # periodic manipulation inside a stationary regime still fails
+        trace = np.concatenate(
+            [
+                generate_honest_outcomes(400, 0.95, seed=7),
+                np.tile([0] + [1] * 9, 30),
+            ]
+        )
+        report = SegmentedBehaviorTest(paper_config, shared_calibrator).test(trace)
+        assert not report.passed
+        assert len(report.failing_segments) >= 1
+
+    def test_segments_helper(self, paper_config, shared_calibrator):
+        drift = np.concatenate(
+            [
+                generate_honest_outcomes(500, 0.95, seed=8),
+                generate_honest_outcomes(500, 0.7, seed=9),
+            ]
+        )
+        segments = SegmentedBehaviorTest(paper_config, shared_calibrator).segments(drift)
+        assert len(segments) == 2
+        assert segments[0].p_hat > segments[1].p_hat
+
+    def test_accepts_history_object(self, paper_config, shared_calibrator):
+        history = TransactionHistory.from_outcomes(
+            generate_honest_outcomes(400, 0.9, seed=10)
+        )
+        assert SegmentedBehaviorTest(paper_config, shared_calibrator).test(history).passed
+
+    def test_min_segment_must_cover_test_floor(self, paper_config):
+        with pytest.raises(ValueError, match="min_segment"):
+            SegmentedBehaviorTest(paper_config, min_segment=20)
+
+    def test_two_phase_integration(self, paper_config, shared_calibrator):
+        from repro.core.two_phase import TwoPhaseAssessor
+        from repro.core.verdict import AssessmentStatus
+        from repro.trust.average import AverageTrust
+
+        drift = np.concatenate(
+            [
+                generate_honest_outcomes(600, 0.98, seed=11),
+                generate_honest_outcomes(600, 0.92, seed=12),
+            ]
+        )
+        assessor = TwoPhaseAssessor(
+            SegmentedBehaviorTest(paper_config, shared_calibrator),
+            AverageTrust(),
+            trust_threshold=0.9,
+        )
+        history = TransactionHistory.from_outcomes(drift)
+        assert assessor.assess(history).status is AssessmentStatus.TRUSTED

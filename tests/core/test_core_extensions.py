@@ -1,0 +1,163 @@
+"""Tests for the Sec. 3.1 / Sec. 4 extensions: categorized and multinomial tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import CategorizedBehaviorTest
+from repro.core.config import BehaviorTestConfig
+from repro.core.multinomial_testing import MultinomialBehaviorTest
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+
+
+def _fb(t, category, good=True):
+    return Feedback(
+        time=float(t),
+        server="s",
+        client=f"c{t % 9}",
+        rating=Rating.POSITIVE if good else Rating.NEGATIVE,
+        category=category,
+    )
+
+
+def _mixed_quality_history(n_per_category, p_by_category, seed):
+    """An honest server whose quality differs by category (NA vs AF)."""
+    rng = np.random.default_rng(seed)
+    feedbacks = []
+    t = 0
+    for _ in range(n_per_category):
+        for category, p in p_by_category.items():
+            feedbacks.append(_fb(t, category, good=bool(rng.random() < p)))
+            t += 1
+    return TransactionHistory.from_feedbacks(feedbacks)
+
+
+class TestCategorizedBehaviorTest:
+    def test_mixture_fails_pooled_but_passes_per_category(
+        self, paper_config, shared_calibrator
+    ):
+        # The paper's US-movie-server example: good for NA, poor for AF.
+        # Pooled, the mixture of two binomials is not a binomial; split by
+        # category, each side is honest.
+        from repro.core.testing import SingleBehaviorTest
+
+        history = _mixed_quality_history(400, {"NA": 0.98, "AF": 0.35}, seed=1)
+        pooled = SingleBehaviorTest(paper_config, shared_calibrator)
+        assert not pooled.test(history.outcomes()).passed
+
+        per_category = CategorizedBehaviorTest(paper_config, shared_calibrator)
+        report = per_category.test(history)
+        assert report.passed
+        assert set(report.categories) == {"NA", "AF"}
+
+    def test_manipulated_category_flagged(self, paper_config, shared_calibrator):
+        rng = np.random.default_rng(2)
+        feedbacks = []
+        t = 0
+        for _ in range(300):
+            feedbacks.append(_fb(t, "NA", good=bool(rng.random() < 0.95)))
+            t += 1
+        # the EU category is a deterministic periodic manipulation
+        for i in range(300):
+            feedbacks.append(_fb(t, "EU", good=(i % 10 != 0)))
+            t += 1
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        report = CategorizedBehaviorTest(paper_config, shared_calibrator).test(history)
+        assert not report.passed
+        assert report.failing_categories == ("EU",)
+        assert report.verdict("NA").passed
+
+    def test_category_filter(self, paper_config, shared_calibrator):
+        history = _mixed_quality_history(200, {"NA": 0.95, "AF": 0.4}, seed=3)
+        only_na = CategorizedBehaviorTest(
+            paper_config, shared_calibrator, categories=["NA"]
+        )
+        report = only_na.test(history)
+        assert report.categories == ("NA",)
+
+    def test_uncategorized_feedback_grouped(self, paper_config, shared_calibrator):
+        rng = np.random.default_rng(4)
+        feedbacks = [
+            Feedback(
+                time=float(t),
+                server="s",
+                client=f"c{t % 5}",
+                rating=Rating.POSITIVE if rng.random() < 0.95 else Rating.NEGATIVE,
+            )
+            for t in range(200)
+        ]
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        report = CategorizedBehaviorTest(paper_config, shared_calibrator).test(history)
+        assert report.categories == ("<uncategorized>",)
+
+    def test_unknown_category_lookup_raises(self, paper_config, shared_calibrator):
+        history = _mixed_quality_history(100, {"NA": 0.9}, seed=5)
+        report = CategorizedBehaviorTest(paper_config, shared_calibrator).test(history)
+        with pytest.raises(KeyError):
+            report.verdict("MARS")
+
+    def test_small_categories_follow_insufficient_policy(
+        self, paper_config, shared_calibrator
+    ):
+        history = _mixed_quality_history(10, {"NA": 0.9, "AF": 0.5}, seed=6)
+        report = CategorizedBehaviorTest(paper_config, shared_calibrator).test(history)
+        assert report.passed  # both categories too small, policy is "pass"
+        assert all(v.insufficient for _, v in report.by_category)
+
+
+class TestMultinomialBehaviorTest:
+    @staticmethod
+    def _categorical(n, probs, seed):
+        rng = np.random.default_rng(seed)
+        return rng.choice(len(probs), size=n, p=probs)
+
+    def test_honest_multivalued_server_passes(self):
+        test_ = MultinomialBehaviorTest(n_categories=3)
+        ratings = self._categorical(800, [0.8, 0.15, 0.05], seed=1)
+        report = test_.test(ratings)
+        assert report.passed
+        assert report.n_categories == 3
+        assert len(report.by_category) == 3
+
+    def test_manipulated_pattern_fails(self):
+        # deterministic cycle: every window has identical composition —
+        # far too regular for a multinomial
+        test_ = MultinomialBehaviorTest(n_categories=3)
+        ratings = np.tile([0] * 8 + [1] + [2], 60)
+        assert not test_.test(ratings).passed
+
+    def test_never_occurring_category_is_fine(self):
+        test_ = MultinomialBehaviorTest(n_categories=3)
+        ratings = self._categorical(600, [0.9, 0.1, 0.0], seed=2)
+        assert test_.test(ratings).passed
+
+    def test_insufficient_history(self):
+        test_ = MultinomialBehaviorTest(n_categories=3)
+        report = test_.test([0, 1, 2, 0])
+        assert report.insufficient
+        assert report.passed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultinomialBehaviorTest(n_categories=1)
+        test_ = MultinomialBehaviorTest(n_categories=3)
+        with pytest.raises(ValueError):
+            test_.test(np.array([0, 3] * 50))
+        with pytest.raises(ValueError):
+            test_.test(np.ones((2, 50), dtype=int))
+
+    def test_binary_case_agrees_with_single_test_direction(
+        self, paper_config, shared_calibrator
+    ):
+        # with 2 categories, category-1 marginal == the binary window count
+        test_ = MultinomialBehaviorTest(n_categories=2)
+        honest = self._categorical(600, [0.05, 0.95], seed=3)
+        periodic = np.tile([0] + [1] * 9, 60)
+        assert test_.test(honest).passed
+        assert not test_.test(periodic).passed
+
+    def test_sidak_correction_applied(self):
+        config = BehaviorTestConfig(confidence=0.95)
+        test_ = MultinomialBehaviorTest(n_categories=4, config=config)
+        expected = 0.95 ** (1.0 / 4)
+        assert test_._calibrator.confidence == pytest.approx(expected)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.model (the honest-player window model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import HonestPlayerModel, generate_honest_outcomes
+from repro.stats.binomial import binomial_pmf
+
+
+class TestGenerateHonestOutcomes:
+    def test_length_and_binary(self):
+        outcomes = generate_honest_outcomes(500, 0.95, seed=1)
+        assert outcomes.shape == (500,)
+        assert set(np.unique(outcomes)) <= {0, 1}
+
+    def test_rate_close_to_p(self):
+        outcomes = generate_honest_outcomes(50_000, 0.9, seed=2)
+        assert outcomes.mean() == pytest.approx(0.9, abs=0.01)
+
+    def test_deterministic_by_seed(self):
+        np.testing.assert_array_equal(
+            generate_honest_outcomes(50, 0.7, seed=3),
+            generate_honest_outcomes(50, 0.7, seed=3),
+        )
+
+    def test_degenerate_rates(self):
+        assert generate_honest_outcomes(20, 1.0, seed=4).sum() == 20
+        assert generate_honest_outcomes(20, 0.0, seed=4).sum() == 0
+
+    def test_zero_length(self):
+        assert generate_honest_outcomes(0, 0.5).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_honest_outcomes(-1, 0.5)
+        with pytest.raises(ValueError):
+            generate_honest_outcomes(10, 1.5)
+
+
+class TestHonestPlayerModel:
+    def test_fit_basic(self):
+        model = HonestPlayerModel(10)
+        outcomes = np.concatenate([np.ones(10), np.zeros(5), np.ones(5)]).astype(int)
+        fitted = model.fit(outcomes)
+        assert fitted.n_windows == 2
+        assert fitted.n_considered == 20
+        assert fitted.p_hat == pytest.approx(0.75)
+        np.testing.assert_array_equal(fitted.counts, [10, 5])
+
+    def test_fit_recent_alignment(self):
+        model = HonestPlayerModel(10, align="recent")
+        # 15 outcomes: the oldest 5 are dropped
+        outcomes = np.concatenate([np.zeros(5), np.ones(10)]).astype(int)
+        fitted = model.fit(outcomes)
+        assert fitted.n_windows == 1
+        assert fitted.p_hat == pytest.approx(1.0)
+
+    def test_fit_too_short_raises(self):
+        with pytest.raises(ValueError):
+            HonestPlayerModel(10).fit(np.ones(9, dtype=int))
+
+    def test_expected_pmf(self):
+        fitted = HonestPlayerModel(10).fit(generate_honest_outcomes(100, 0.9, seed=5))
+        np.testing.assert_allclose(
+            fitted.expected_pmf(), binomial_pmf(10, fitted.p_hat)
+        )
+
+    def test_observed_pmf_normalized(self):
+        fitted = HonestPlayerModel(10).fit(generate_honest_outcomes(200, 0.9, seed=6))
+        pmf = fitted.observed_pmf()
+        assert pmf.shape == (11,)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            HonestPlayerModel(0)
+
+    @given(
+        n=st.integers(min_value=10, max_value=400),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_p_hat_matches_windowed_mean(self, n, p):
+        outcomes = generate_honest_outcomes(n, p, seed=42)
+        model = HonestPlayerModel(10)
+        fitted = model.fit(outcomes)
+        k = n // 10
+        windowed = outcomes[n - k * 10 :]
+        assert fitted.p_hat == pytest.approx(windowed.mean())
+
+    def test_p_hat_converges_to_true_p(self):
+        # Lemma 3.1: with enough transactions p_hat approximates p
+        fitted = HonestPlayerModel(10).fit(
+            generate_honest_outcomes(100_000, 0.87, seed=7)
+        )
+        assert fitted.p_hat == pytest.approx(0.87, abs=0.005)

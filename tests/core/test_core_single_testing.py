@@ -1,0 +1,127 @@
+"""Tests for repro.core.testing (Scheme 1, the single behavior test)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+from repro.feedback.history import TransactionHistory
+
+
+@pytest.fixture()
+def test_(paper_config, shared_calibrator):
+    return SingleBehaviorTest(paper_config, shared_calibrator)
+
+
+class TestHonestPlayers:
+    def test_honest_history_passes(self, test_):
+        assert test_.test(generate_honest_outcomes(800, 0.95, seed=1)).passed
+
+    @pytest.mark.parametrize("p", [0.99, 0.95, 0.9, 0.8, 0.5])
+    def test_honest_pass_rate_tracks_confidence(self, test_, p):
+        passes = sum(
+            test_.test(generate_honest_outcomes(600, p, seed=100 + s)).passed
+            for s in range(40)
+        )
+        # 95% confidence: expect ~2 failures in 40; allow generous slack
+        assert passes >= 33
+
+    def test_perfect_server_passes(self, test_):
+        verdict = test_.test(np.ones(500, dtype=np.int8))
+        assert verdict.passed
+        assert verdict.p_hat == 1.0
+        assert verdict.distance == pytest.approx(0.0)
+
+    def test_always_bad_server_is_consistent_too(self, test_):
+        # a 0%-quality server is *consistent*; it fails the trust phase,
+        # not the behavior phase
+        assert test_.test(np.zeros(500, dtype=np.int8)).passed
+
+    def test_accepts_history_object_and_list(self, test_):
+        outcomes = generate_honest_outcomes(100, 0.9, seed=2)
+        assert test_.test(TransactionHistory.from_outcomes(outcomes)).passed
+        assert test_.test(list(outcomes)).passed
+
+
+class TestAttackers:
+    def test_regular_periodic_pattern_detected(self, test_):
+        # exactly one bad per window, deterministic: under-dispersed
+        trace = np.tile([0] + [1] * 9, 60)
+        verdict = test_.test(trace)
+        assert not verdict.passed
+        assert verdict.distance > verdict.threshold
+
+    def test_big_burst_in_short_history_detected(self, test_):
+        trace = np.concatenate(
+            [generate_honest_outcomes(160, 0.95, seed=3), np.zeros(40, dtype=np.int8)]
+        )
+        assert not test_.test(trace).passed
+
+    def test_hibernating_with_long_history_evades_single_test(self, test_):
+        # the paper's motivation for multi-testing: the same burst hides
+        # inside a long enough preparation history
+        trace = np.concatenate(
+            [generate_honest_outcomes(4000, 0.95, seed=4), np.zeros(20, dtype=np.int8)]
+        )
+        assert test_.test(trace).passed
+
+    def test_oscillating_blocks_detected(self, test_):
+        # 10 good, 10 bad alternating: bimodal window counts
+        trace = np.tile([1] * 10 + [0] * 10, 30)
+        assert not test_.test(trace).passed
+
+
+class TestVerdictContents:
+    def test_fields(self, test_):
+        outcomes = generate_honest_outcomes(205, 0.9, seed=5)
+        verdict = test_.test(outcomes)
+        assert verdict.window_size == 10
+        assert verdict.n_windows == 20
+        assert verdict.n_considered == 200
+        assert 0.0 <= verdict.p_hat <= 1.0
+        assert verdict.threshold > 0
+        assert not verdict.insufficient
+        assert verdict.margin == pytest.approx(verdict.threshold - verdict.distance)
+
+    def test_insufficient_history_defaults_to_pass(self, test_):
+        verdict = test_.test(np.ones(39, dtype=np.int8))
+        assert verdict.insufficient
+        assert verdict.passed
+        assert verdict.n_windows == 0
+
+    def test_insufficient_history_fail_policy(self, shared_calibrator):
+        config = BehaviorTestConfig(on_insufficient="fail")
+        test_ = SingleBehaviorTest(config, shared_calibrator)
+        verdict = test_.test(np.ones(39, dtype=np.int8))
+        assert verdict.insufficient
+        assert not verdict.passed
+
+    def test_empty_history_is_insufficient(self, test_):
+        verdict = test_.test(np.array([], dtype=np.int8))
+        assert verdict.insufficient
+
+    def test_rejects_2d_input(self, test_):
+        with pytest.raises(ValueError):
+            test_.test(np.ones((4, 10)))
+
+
+class TestConfigurationEffects:
+    def test_custom_window_size(self, shared_calibrator):
+        config = BehaviorTestConfig(window_size=20)
+        test_ = SingleBehaviorTest(config)
+        verdict = test_.test(generate_honest_outcomes(400, 0.9, seed=6))
+        assert verdict.window_size == 20
+        assert verdict.n_windows == 20
+
+    def test_alternative_distance(self):
+        config = BehaviorTestConfig(distance="l2")
+        test_ = SingleBehaviorTest(config)
+        honest = generate_honest_outcomes(600, 0.95, seed=7)
+        periodic = np.tile([0] + [1] * 9, 60)
+        assert test_.test(honest).passed
+        assert not test_.test(periodic).passed
+
+    def test_shared_calibrator_is_used(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        assert test_.calibrator is shared_calibrator

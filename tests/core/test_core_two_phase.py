@@ -1,0 +1,108 @@
+"""Tests for repro.core.two_phase (the Fig. 1 / Fig. 2 framework)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.core.verdict import AssessmentStatus
+from repro.feedback.history import TransactionHistory
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+from repro.trust.average import AverageTrust
+from repro.trust.eigentrust import EigenTrust
+
+
+@pytest.fixture()
+def assessor(paper_config, shared_calibrator):
+    return TwoPhaseAssessor(
+        SingleBehaviorTest(paper_config, shared_calibrator),
+        AverageTrust(),
+        trust_threshold=0.9,
+    )
+
+
+def _history(outcomes, server="s"):
+    return TransactionHistory.from_outcomes(np.asarray(outcomes), server=server)
+
+
+class TestStatuses:
+    def test_honest_high_quality_is_trusted(self, assessor):
+        history = _history(generate_honest_outcomes(500, 0.97, seed=1))
+        result = assessor.assess(history)
+        assert result.status is AssessmentStatus.TRUSTED
+        assert result.accepted
+        assert result.trust_value == pytest.approx(history.p_hat)
+
+    def test_honest_low_quality_is_untrusted_not_suspicious(self, assessor):
+        # consistent but mediocre: phase 1 passes, phase 2 rejects
+        history = _history(generate_honest_outcomes(500, 0.7, seed=2))
+        result = assessor.assess(history)
+        assert result.status is AssessmentStatus.UNTRUSTED
+        assert not result.accepted
+        assert result.trust_value is not None
+
+    def test_manipulator_is_suspicious_and_short_circuits(self, assessor):
+        trace = np.tile([0] + [1] * 9, 60)  # regular periodic, ratio 0.9
+        result = assessor.assess(_history(trace))
+        assert result.status is AssessmentStatus.SUSPICIOUS
+        assert result.suspicious
+        assert result.trust_value is None  # Fig. 2: abort before phase 2
+        assert not result.behavior.passed
+
+    def test_server_id_propagates(self, assessor):
+        history = _history(generate_honest_outcomes(200, 0.95, seed=3), server="alice")
+        assert assessor.assess(history).server == "alice"
+
+
+class TestNoScreenBaseline:
+    def test_none_behavior_test_reduces_to_trust_function(self):
+        assessor = TwoPhaseAssessor(None, AverageTrust(), trust_threshold=0.9)
+        trace = np.tile([0] + [1] * 9, 60)
+        result = assessor.assess(_history(trace))
+        # the bare trust function happily trusts the manipulator
+        assert result.status is AssessmentStatus.TRUSTED
+        assert result.behavior is None
+
+
+class TestLedgerTrustIntegration:
+    def test_ledger_scheme_requires_ledger(self, paper_config, shared_calibrator):
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(paper_config, shared_calibrator), EigenTrust()
+        )
+        history = _history(generate_honest_outcomes(100, 0.95, seed=4))
+        with pytest.raises(ValueError, match="ledger"):
+            assessor.assess(history)
+
+    def test_ledger_scheme_end_to_end(self, paper_config, shared_calibrator):
+        ledger = FeedbackLedger()
+        rng = np.random.default_rng(5)
+        for t in range(200):
+            ledger.record(
+                Feedback(
+                    time=float(t),
+                    server="s",
+                    client=f"c{t % 7}",
+                    rating=Rating.POSITIVE if rng.random() < 0.95 else Rating.NEGATIVE,
+                )
+            )
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(paper_config, shared_calibrator),
+            EigenTrust(),
+            trust_threshold=0.5,
+        )
+        result = assessor.assess(ledger.history("s"), ledger=ledger)
+        assert result.status in (AssessmentStatus.TRUSTED, AssessmentStatus.UNTRUSTED)
+        assert result.trust_value is not None
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            TwoPhaseAssessor(None, AverageTrust(), trust_threshold=1.5)
+
+    def test_properties(self, assessor):
+        assert assessor.trust_threshold == 0.9
+        assert isinstance(assessor.trust_function, AverageTrust)
+        assert assessor.behavior_test is not None

@@ -1,0 +1,108 @@
+"""Tests for repro.core.verdict result objects."""
+
+import pytest
+
+from repro.core.verdict import (
+    Assessment,
+    AssessmentStatus,
+    BehaviorVerdict,
+    MultiTestReport,
+)
+
+
+def _verdict(passed=True, distance=0.1, threshold=0.3):
+    return BehaviorVerdict(
+        passed=passed,
+        distance=distance,
+        threshold=threshold,
+        p_hat=0.9,
+        n_windows=10,
+        window_size=10,
+        n_considered=100,
+    )
+
+
+class TestBehaviorVerdict:
+    def test_margin(self):
+        assert _verdict(distance=0.1, threshold=0.3).margin == pytest.approx(0.2)
+        assert _verdict(passed=False, distance=0.5, threshold=0.3).margin < 0
+
+    def test_insufficient_constructor(self):
+        v = BehaviorVerdict.insufficient_history(
+            passed=True, window_size=10, n_considered=7
+        )
+        assert v.insufficient
+        assert v.passed
+        assert v.n_windows == 0
+        assert v.n_considered == 7
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _verdict().passed = False
+
+
+class TestMultiTestReport:
+    def test_first_failure_longest_first(self):
+        rounds = (
+            (300, _verdict(passed=True)),
+            (250, _verdict(passed=False, distance=0.9)),
+            (200, _verdict(passed=False, distance=0.8)),
+        )
+        report = MultiTestReport(passed=False, rounds=rounds)
+        length, verdict = report.first_failure
+        assert length == 250
+        assert verdict.distance == 0.9
+
+    def test_first_failure_none_when_passing(self):
+        report = MultiTestReport(passed=True, rounds=((100, _verdict()),))
+        assert report.first_failure is None
+
+    def test_worst_margin_skips_insufficient(self):
+        rounds = (
+            (100, _verdict(distance=0.1, threshold=0.3)),
+            (
+                50,
+                BehaviorVerdict.insufficient_history(
+                    passed=True, window_size=10, n_considered=30
+                ),
+            ),
+        )
+        report = MultiTestReport(passed=True, rounds=rounds)
+        assert report.worst_margin == pytest.approx(0.2)
+
+    def test_worst_margin_all_insufficient(self):
+        rounds = (
+            (
+                30,
+                BehaviorVerdict.insufficient_history(
+                    passed=True, window_size=10, n_considered=30
+                ),
+            ),
+        )
+        assert MultiTestReport(passed=True, rounds=rounds).worst_margin == float("inf")
+
+    def test_n_rounds(self):
+        report = MultiTestReport(passed=True, rounds=((1, _verdict()), (2, _verdict())))
+        assert report.n_rounds == 2
+
+
+class TestAssessment:
+    def test_accepted_only_when_trusted(self):
+        for status, accepted in [
+            (AssessmentStatus.TRUSTED, True),
+            (AssessmentStatus.UNTRUSTED, False),
+            (AssessmentStatus.SUSPICIOUS, False),
+        ]:
+            a = Assessment(status=status, trust_value=0.95, behavior=None)
+            assert a.accepted is accepted
+
+    def test_suspicious_flag(self):
+        a = Assessment(
+            status=AssessmentStatus.SUSPICIOUS, trust_value=None, behavior=None
+        )
+        assert a.suspicious
+
+    def test_status_values(self):
+        assert AssessmentStatus.SUSPICIOUS.value == "suspicious"
+        assert AssessmentStatus.TRUSTED.value == "trusted"
+        assert AssessmentStatus.UNTRUSTED.value == "untrusted"

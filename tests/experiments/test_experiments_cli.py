@@ -1,0 +1,35 @@
+"""Tests for the experiments CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_experiment(self, capsys):
+        assert main(["fig8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "history_size" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "tables.txt"
+        assert main(["fig8", "--quick", "--out", str(target)]) == 0
+        capsys.readouterr()
+        content = target.read_text()
+        assert "fig8" in content
+
+    def test_out_file_appends(self, tmp_path, capsys):
+        target = tmp_path / "tables.txt"
+        main(["fig8", "--quick", "--out", str(target)])
+        main(["fig8", "--quick", "--out", str(target)])
+        capsys.readouterr()
+        assert target.read_text().count("fig8:") == 2
+
+    def test_custom_seed(self, capsys):
+        assert main(["fig8", "--quick", "--seed", "123"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

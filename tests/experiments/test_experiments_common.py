@@ -1,0 +1,80 @@
+"""Tests for repro.experiments.common."""
+
+import pytest
+
+from repro.experiments.common import (
+    PAPER_CONFIG,
+    PAPER_PREP_HONESTY,
+    PAPER_TARGET_BADS,
+    PAPER_TRUST_THRESHOLD,
+    ExperimentResult,
+    make_shared_calibrator,
+    mean_over_seeds,
+)
+
+
+class TestPaperConstants:
+    def test_values_match_the_paper(self):
+        assert PAPER_CONFIG.window_size == 10
+        assert PAPER_CONFIG.confidence == 0.95
+        assert PAPER_TRUST_THRESHOLD == 0.9
+        assert PAPER_PREP_HONESTY == 0.95
+        assert PAPER_TARGET_BADS == 20
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="figX",
+            title="A test table",
+            columns=["x", "y"],
+            notes="note line",
+        )
+
+    def test_add_row_and_column(self):
+        result = self._result()
+        result.add_row(x=1, y=2.0)
+        result.add_row(x=2, y=4.0)
+        assert result.column("x") == [1, 2]
+        assert result.column("y") == [2.0, 4.0]
+
+    def test_add_row_missing_column_raises(self):
+        with pytest.raises(ValueError, match="y"):
+            self._result().add_row(x=1)
+
+    def test_extra_keys_ignored_in_order(self):
+        result = self._result()
+        result.add_row(y=2.0, x=1, z=99)
+        assert list(result.rows[0]) == ["x", "y"]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            self._result().column("zzz")
+
+    def test_render_contains_everything(self):
+        result = self._result()
+        result.add_row(x=10, y=0.123456)
+        text = result.render()
+        assert "figX" in text
+        assert "A test table" in text
+        assert "note line" in text
+        assert "10" in text
+        assert "0.1235" in text  # 4 significant digits
+
+    def test_render_empty_table(self):
+        text = self._result().render()
+        assert "x" in text and "y" in text
+
+
+class TestHelpers:
+    def test_mean_over_seeds(self):
+        assert mean_over_seeds([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_over_seeds_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_over_seeds([])
+
+    def test_make_shared_calibrator_mirrors_config(self):
+        calibrator = make_shared_calibrator(PAPER_CONFIG)
+        assert calibrator.confidence == PAPER_CONFIG.confidence
+        assert calibrator.distance_name == PAPER_CONFIG.distance

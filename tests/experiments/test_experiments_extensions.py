@@ -1,0 +1,89 @@
+"""Tests for the extension experiment runners (ext-roc / ext-cheat-rate / ext-sybil)."""
+
+import pytest
+
+from repro.experiments import RUNNERS
+from repro.experiments.extensions import (
+    run_ext_cheat_rate,
+    run_ext_roc,
+    run_ext_sybil,
+)
+
+
+class TestRegistration:
+    def test_extensions_registered_in_cli(self):
+        assert {"ext-roc", "ext-cheat-rate", "ext-sybil"} <= set(RUNNERS)
+
+    def test_cli_runs_extension(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["ext-sybil", "--quick"]) == 0
+        assert "joining_cost" in capsys.readouterr().out
+
+
+class TestExtRoc:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_roc(confidences=(0.7, 0.95), trials=30, base_seed=5)
+
+    def test_columns_and_rows(self, result):
+        assert result.columns == [
+            "confidence",
+            "single_fpr",
+            "single_tpr",
+            "multi_fpr",
+            "multi_tpr",
+        ]
+        assert len(result.rows) == 2
+
+    def test_rates_are_probabilities(self, result):
+        for row in result.rows:
+            for column in result.columns[1:]:
+                assert 0.0 <= row[column] <= 1.0
+
+    def test_auc_recorded_in_notes(self, result):
+        assert "AUC single=" in result.notes
+        assert "multi=" in result.notes
+
+    def test_stricter_confidence_fewer_alarms(self, result):
+        lenient, strict = result.rows[0], result.rows[-1]
+        assert lenient["single_fpr"] >= strict["single_fpr"]
+
+
+class TestExtCheatRate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_cheat_rate(
+            history_lengths=(200, 400), trials=8, base_seed=5
+        )
+
+    def test_rates_bounded_by_trust_cap(self, result):
+        for row in result.rows:
+            assert row["trust_cap"] == pytest.approx(0.1)
+            assert 0.0 <= row["single"] <= 0.1 + 1e-9
+            assert 0.0 <= row["multi"] <= 0.1 + 1e-9
+
+    def test_camouflage_saturates_cap(self, result):
+        # the paper's conclusion: iid cheating is statistically honest
+        assert result.rows[-1]["single"] >= 0.07
+
+
+class TestExtSybil:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_sybil()
+
+    def test_cost_monotone_in_fee(self, result):
+        costs = result.column("campaign_cost")
+        assert costs == sorted(costs)
+
+    def test_profitability_flips_once(self, result):
+        flags = [row["profitable"] == "True" for row in result.rows]
+        # profitable at low fees, unprofitable at high ones, one crossover
+        assert flags[0] is True
+        assert flags[-1] is False
+        assert sum(1 for a, b in zip(flags, flags[1:]) if a != b) == 1
+
+    def test_gain_constant(self, result):
+        gains = set(result.column("campaign_gain"))
+        assert len(gains) == 1

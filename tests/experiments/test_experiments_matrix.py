@@ -1,0 +1,72 @@
+"""Tests for the ext-matrix capstone experiment."""
+
+import pytest
+
+from repro.experiments import RUNNERS
+from repro.experiments.matrix import ATTACK_WORKLOADS, run_ext_matrix
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "ext-matrix" in RUNNERS
+
+    def test_workload_catalog(self):
+        assert "honest (false alarms)" in ATTACK_WORKLOADS
+        assert "hibernating, long cover" in ATTACK_WORKLOADS
+        assert "camouflage (iid 10%)" in ATTACK_WORKLOADS
+
+
+class TestMatrix:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_matrix(trials=40, base_seed=13)
+
+    def _row(self, result, workload):
+        for row in result.rows:
+            if row["workload"] == workload:
+                return row
+        raise AssertionError(f"missing row {workload!r}")
+
+    def test_all_workloads_present(self, result):
+        assert {row["workload"] for row in result.rows} == set(ATTACK_WORKLOADS)
+
+    def test_rates_are_probabilities(self, result):
+        for row in result.rows:
+            for scheme in ("single", "multi"):
+                assert 0.0 <= row[scheme] <= 1.0
+
+    def test_honest_false_alarms_low(self, result):
+        row = self._row(result, "honest (false alarms)")
+        assert row["single"] <= 0.15
+        assert row["multi"] <= 0.25
+
+    def test_regular_periodic_always_caught(self, result):
+        row = self._row(result, "regular periodic")
+        assert row["single"] == 1.0
+        assert row["multi"] == 1.0
+
+    def test_long_cover_separates_the_schemes(self, result):
+        # THE paper result in one row: dilution defeats the single test,
+        # multi-testing's recent suffixes are immune to it
+        row = self._row(result, "hibernating, long cover")
+        assert row["single"] <= 0.5
+        assert row["multi"] >= 0.9
+
+    def test_camouflage_slips_both(self, result):
+        row = self._row(result, "camouflage (iid 10%)")
+        assert row["single"] <= 0.2
+        assert row["multi"] <= 0.4
+
+    def test_workload_filter(self):
+        result = run_ext_matrix(
+            trials=10, workloads=["regular periodic"], base_seed=13
+        )
+        assert len(result.rows) == 1
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_ext_matrix(workloads=["quantum woo"])
+
+    def test_quick_mode(self):
+        result = run_ext_matrix(quick=True, base_seed=13)
+        assert len(result.rows) == len(ATTACK_WORKLOADS)

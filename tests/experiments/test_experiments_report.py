@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.report."""
+
+import pytest
+
+from repro.experiments import RUNNERS
+from repro.experiments.common import ExperimentResult
+from repro.experiments.report import (
+    EXPECTED_SHAPES,
+    render_report,
+    result_to_markdown,
+)
+
+
+def _result():
+    result = ExperimentResult(
+        experiment="fig8",
+        title="A | tricky title",
+        columns=["x", "y"],
+        notes="some | notes",
+    )
+    result.add_row(x=1, y=0.123456)
+    result.add_row(x=2, y=0.5)
+    return result
+
+
+class TestResultToMarkdown:
+    def test_section_structure(self):
+        md = result_to_markdown(_result())
+        assert md.startswith("## fig8:")
+        assert "*Expected shape:*" in md  # fig8 has a registered shape
+        assert "| x | y |" in md
+        assert "| 1 | 0.1235 |" in md
+        assert "| 2 | 0.5 |" in md
+
+    def test_pipes_escaped(self):
+        md = result_to_markdown(_result())
+        assert "A \\| tricky title" in md
+        assert "some \\| notes" in md
+
+    def test_unknown_experiment_has_no_shape_line(self):
+        result = ExperimentResult(experiment="figX", title="t", columns=["a"])
+        result.add_row(a=1)
+        assert "*Expected shape:*" not in result_to_markdown(result)
+
+    def test_all_runners_have_expected_shapes(self):
+        assert set(EXPECTED_SHAPES) == set(RUNNERS)
+        for shape in EXPECTED_SHAPES.values():
+            assert shape.strip()
+
+
+class TestRenderReport:
+    def test_document_structure(self):
+        doc = render_report([_result(), _result()], title="My report", preamble="intro")
+        assert doc.startswith("# My report")
+        assert "intro" in doc
+        assert doc.count("## fig8:") == 2
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            render_report([])
+
+
+class TestCliMarkdownFlag:
+    def test_markdown_file_written(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        target = tmp_path / "report.md"
+        assert main(["fig8", "--quick", "--markdown", str(target)]) == 0
+        capsys.readouterr()
+        content = target.read_text()
+        assert content.startswith("# Reproduced evaluation figures")
+        assert "## fig8:" in content
+        assert "|---|" in content

@@ -1,0 +1,150 @@
+"""Smoke + shape tests for the figure runners (quick mode).
+
+These assert the *qualitative* claims each figure makes, on reduced
+sweeps so the whole module stays fast.  Full-size sweeps live in
+``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import RUNNERS, run_fig3, run_fig4, run_fig7, run_fig8, run_fig9
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        figures = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+        extensions = {"ext-roc", "ext-cheat-rate", "ext-sybil", "ext-matrix"}
+        assert set(RUNNERS) == figures | extensions
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(prep_sizes=(100, 400, 800), n_seeds=2, base_seed=7)
+
+    def test_columns(self, result):
+        assert result.columns == ["prep_size", "none", "scheme1", "scheme2"]
+
+    def test_bare_average_free_at_long_preps(self, result):
+        costs = dict(zip(result.column("prep_size"), result.column("none")))
+        assert costs[400] == 0.0
+        assert costs[800] == 0.0
+        assert costs[100] > 50
+
+    def test_schemes_impose_cost_at_long_preps(self, result):
+        rows = {r["prep_size"]: r for r in result.rows}
+        assert rows[800]["scheme1"] > rows[800]["none"]
+        assert rows[800]["scheme2"] > rows[800]["none"]
+
+    def test_scheme2_at_least_scheme1_at_long_preps(self, result):
+        rows = {r["prep_size"]: r for r in result.rows}
+        assert rows[800]["scheme2"] >= rows[800]["scheme1"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(prep_sizes=(100, 800), n_seeds=2, base_seed=7)
+
+    def test_bare_weighted_cost_flat_and_positive(self, result):
+        costs = result.column("none")
+        # ~2-3 goods per bad * 20 bads, independent of prep size
+        assert all(40 <= c <= 75 for c in costs)
+        assert abs(costs[0] - costs[-1]) <= 15
+
+    def test_schemes_do_not_reduce_cost(self, result):
+        for row in result.rows:
+            assert row["scheme2"] >= row["none"] - 5
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(attack_windows=(10, 40, 80), trials=60, base_seed=7)
+
+    def test_detection_decreases_with_window_size(self, result):
+        rates = result.column("single_detection_rate")
+        assert rates[0] > rates[-1]
+
+    def test_small_window_nearly_always_detected(self, result):
+        assert result.column("single_detection_rate")[0] >= 0.9
+
+    def test_multi_at_least_as_sensitive(self, result):
+        singles = result.column("single_detection_rate")
+        multis = result.column("multi_detection_rate")
+        assert all(m >= s - 0.1 for s, m in zip(singles, multis))
+
+    def test_rates_are_probabilities(self, result):
+        for col in ("single_detection_rate", "multi_detection_rate"):
+            assert all(0.0 <= r <= 1.0 for r in result.column(col))
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(
+            history_sizes=(100, 400, 1600), calibration_sets=800, base_seed=7
+        )
+
+    def test_epsilon_decreases_with_history(self, result):
+        for column in ("epsilon_p0.95", "epsilon_p0.90"):
+            eps = result.column(column)
+            assert eps[0] > eps[1] > eps[2]
+
+    def test_epsilon_positive(self, result):
+        assert all(e > 0 for e in result.column("epsilon_p0.95"))
+
+    def test_convergence_rate_roughly_sqrt(self, result):
+        # quadrupling the history should roughly halve epsilon
+        eps = result.column("epsilon_p0.95")
+        assert eps[1] / eps[0] == pytest.approx(0.5, abs=0.2)
+
+    def test_rejects_too_small_history(self):
+        with pytest.raises(ValueError):
+            run_fig8(history_sizes=(5,))
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(
+            history_sizes=(20_000, 80_000),
+            naive_sizes=(20_000,),
+            repeats=1,
+            base_seed=7,
+        )
+
+    def test_columns_and_rows(self, result):
+        assert result.columns == [
+            "history_size",
+            "single_s",
+            "multi_optimized_s",
+            "multi_naive_s",
+        ]
+        assert len(result.rows) == 2
+
+    def test_single_test_is_fast(self, result):
+        assert all(t < 1.0 for t in result.column("single_s"))
+
+    def test_naive_only_timed_where_requested(self, result):
+        rows = {r["history_size"]: r for r in result.rows}
+        assert not np.isnan(rows[20_000]["multi_naive_s"])
+        assert np.isnan(rows[80_000]["multi_naive_s"])
+
+    def test_optimized_scales_subquadratically(self, result):
+        times = dict(zip(result.column("history_size"), result.column("multi_optimized_s")))
+        # 4x history should cost far less than 16x time
+        assert times[80_000] < times[20_000] * 12
+
+
+class TestQuickMode:
+    @pytest.mark.parametrize("name", ["fig5", "fig6"])
+    def test_collusion_runners_smoke(self, name):
+        result = RUNNERS[name](
+            prep_sizes=(100,), n_seeds=1, base_seed=7
+        )
+        assert result.columns == ["prep_size", "none", "scheme1", "scheme2"]
+        row = result.rows[0]
+        assert row["none"] == 0.0  # colluders make the bare function free
+        assert row["scheme2"] > 0.0

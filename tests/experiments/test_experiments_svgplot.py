@@ -1,0 +1,107 @@
+"""Tests for the dependency-free SVG renderer."""
+
+import math
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.svgplot import render_svg, write_svg
+
+
+def _result(rows=None):
+    result = ExperimentResult(
+        experiment="figX",
+        title='Cost & <shape> "test"',
+        columns=["prep", "none", "scheme1"],
+    )
+    for prep, a, b in rows or [(100, 50.0, 60.0), (200, 10.0, 55.0), (400, 0.0, 52.0)]:
+        result.add_row(prep=prep, none=a, scheme1=b)
+    return result
+
+
+class TestRenderSvg:
+    def test_valid_xml(self):
+        document = render_svg(_result())
+        xml.dom.minidom.parseString(document)  # raises on malformed XML
+
+    def test_title_escaped(self):
+        document = render_svg(_result())
+        assert "&amp;" in document and "&lt;shape&gt;" in document
+        assert "<shape>" not in document
+
+    def test_series_and_legend_present(self):
+        document = render_svg(_result())
+        assert document.count("<polyline") == 2
+        assert ">none</text>" in document
+        assert ">scheme1</text>" in document
+
+    def test_markers_match_points(self):
+        document = render_svg(_result())
+        assert document.count("<circle") == 6  # 3 rows x 2 series
+
+    def test_nan_breaks_the_line(self):
+        result = _result(
+            rows=[
+                (100, 1.0, 2.0),
+                (200, float("nan"), 2.0),
+                (400, 3.0, 2.0),
+                (800, 4.0, 2.0),
+            ]
+        )
+        document = render_svg(result)
+        # series 'none' splits into a lone point + a 3-point segment,
+        # so only one polyline for it (plus one for scheme1)
+        assert document.count("<polyline") == 2
+        assert document.count("<circle") == 7
+
+    def test_explicit_series_selection(self):
+        document = render_svg(_result(), series=["none"])
+        assert document.count("<polyline") == 1
+
+    def test_log_x(self):
+        result = ExperimentResult(
+            experiment="fig9", title="t", columns=["n", "seconds"]
+        )
+        for n, s in [(10_000, 0.001), (100_000, 0.01), (800_000, 0.08)]:
+            result.add_row(n=n, seconds=s)
+        document = render_svg(result, log_x=True)
+        xml.dom.minidom.parseString(document)
+        assert "10000" in document  # tick labels back-transformed
+
+    def test_log_x_rejects_nonpositive(self):
+        result = ExperimentResult(experiment="f", title="t", columns=["x", "y"])
+        result.add_row(x=0, y=1.0)
+        result.add_row(x=1, y=1.0)
+        with pytest.raises(ValueError):
+            render_svg(result, log_x=True)
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            render_svg(ExperimentResult(experiment="f", title="t", columns=["x", "y"]))
+
+    def test_all_nan_rejected(self):
+        result = ExperimentResult(experiment="f", title="t", columns=["x", "y"])
+        result.add_row(x=1, y=float("nan"))
+        with pytest.raises(ValueError):
+            render_svg(result)
+
+
+class TestWriteSvg:
+    def test_writes_file(self, tmp_path):
+        target = tmp_path / "fig.svg"
+        path = write_svg(_result(), target)
+        assert path == str(target)
+        xml.dom.minidom.parse(str(target))
+
+
+class TestCliSvgDir:
+    def test_svg_dir_flag(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        out_dir = tmp_path / "figs"
+        assert main(["fig8", "--quick", "--svg-dir", str(out_dir)]) == 0
+        capsys.readouterr()
+        target = out_dir / "fig8.svg"
+        assert target.exists()
+        xml.dom.minidom.parse(str(target))

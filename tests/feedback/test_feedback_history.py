@@ -1,0 +1,205 @@
+"""Tests for repro.feedback.history."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+
+
+def _fb(t, client="c", rating=Rating.POSITIVE, server="s"):
+    return Feedback(time=float(t), server=server, client=client, rating=rating)
+
+
+class TestConstruction:
+    def test_from_outcomes(self):
+        h = TransactionHistory.from_outcomes([1, 0, 1, 1], server="srv")
+        assert len(h) == 4
+        assert h.n_good == 3
+        assert h.n_bad == 1
+        assert h.server == "srv"
+        np.testing.assert_array_equal(h.outcomes(), [1, 0, 1, 1])
+
+    def test_from_outcomes_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            TransactionHistory.from_outcomes([1, 2])
+
+    def test_from_outcomes_rejects_2d(self):
+        with pytest.raises(ValueError):
+            TransactionHistory.from_outcomes(np.ones((2, 2)))
+
+    def test_from_feedbacks_sorts_by_time(self):
+        h = TransactionHistory.from_feedbacks(
+            [_fb(3, rating=Rating.NEGATIVE), _fb(1), _fb(2)]
+        )
+        np.testing.assert_array_equal(h.outcomes(), [1, 1, 0])
+
+    def test_from_feedbacks_rejects_mixed_servers(self):
+        with pytest.raises(ValueError):
+            TransactionHistory.from_feedbacks([_fb(1, server="a"), _fb(2, server="b")])
+
+    def test_from_feedbacks_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TransactionHistory.from_feedbacks([])
+
+    def test_empty_server_id_rejected(self):
+        with pytest.raises(ValueError):
+            TransactionHistory("")
+
+
+class TestAppend:
+    def test_append_outcome(self):
+        h = TransactionHistory()
+        h.append_outcome(1)
+        h.append_outcome(0)
+        assert len(h) == 2 and h.n_good == 1
+
+    def test_append_outcome_validation(self):
+        with pytest.raises(ValueError):
+            TransactionHistory().append_outcome(2)
+
+    def test_append_many_grows_buffer(self):
+        h = TransactionHistory()
+        for i in range(1000):
+            h.append_outcome(i % 2)
+        assert len(h) == 1000
+        assert h.n_good == 500
+
+    def test_append_feedback_requires_matching_server(self):
+        h = TransactionHistory("s")
+        with pytest.raises(ValueError):
+            h.append_feedback(_fb(1, server="other"))
+
+    def test_append_feedback_requires_time_order(self):
+        h = TransactionHistory("s")
+        h.append_feedback(_fb(5))
+        with pytest.raises(ValueError):
+            h.append_feedback(_fb(4))
+
+    def test_cannot_mix_bare_and_feedback(self):
+        h = TransactionHistory("s")
+        h.append_outcome(1)
+        with pytest.raises(ValueError):
+            h.append_feedback(_fb(1))
+
+    def test_p_hat(self):
+        h = TransactionHistory.from_outcomes([1, 1, 1, 0])
+        assert h.p_hat == pytest.approx(0.75)
+
+    def test_p_hat_empty_raises(self):
+        with pytest.raises(ValueError):
+            TransactionHistory().p_hat
+
+
+class TestMetadata:
+    def test_has_feedback_metadata(self):
+        h = TransactionHistory.from_feedbacks([_fb(1), _fb(2)])
+        assert h.has_feedback_metadata
+        assert len(h.feedbacks()) == 2
+
+    def test_bare_history_has_no_metadata(self):
+        h = TransactionHistory.from_outcomes([1, 0])
+        assert not h.has_feedback_metadata
+        with pytest.raises(ValueError):
+            h.feedbacks()
+
+    def test_group_by_client(self):
+        h = TransactionHistory.from_feedbacks(
+            [_fb(1, "a"), _fb(2, "b"), _fb(3, "a")]
+        )
+        groups = h.group_by_client()
+        assert set(groups) == {"a", "b"}
+        assert [f.time for f in groups["a"]] == [1.0, 3.0]
+
+    def test_supporter_base(self):
+        h = TransactionHistory.from_feedbacks(
+            [_fb(1, "a"), _fb(2, "b", rating=Rating.NEGATIVE), _fb(3, "c")]
+        )
+        assert h.supporter_base() == {"a", "c"}
+
+    def test_last_time(self):
+        h = TransactionHistory.from_feedbacks([_fb(1), _fb(9)])
+        assert h.last_time() == 9.0
+        assert TransactionHistory.from_outcomes([1]).last_time() == 0.0
+
+
+class TestViews:
+    def test_suffix_outcomes(self):
+        h = TransactionHistory.from_outcomes([1, 1, 0, 0, 1])
+        np.testing.assert_array_equal(h.suffix_outcomes(2), [0, 1])
+        np.testing.assert_array_equal(h.suffix_outcomes(99), [1, 1, 0, 0, 1])
+        assert h.suffix_outcomes(0).size == 0
+
+    def test_suffix_feedbacks(self):
+        h = TransactionHistory.from_feedbacks([_fb(1, "a"), _fb(2, "b"), _fb(3, "c")])
+        assert [f.client for f in h.suffix_feedbacks(2)] == ["b", "c"]
+
+    def test_outcomes_read_only(self):
+        h = TransactionHistory.from_outcomes([1, 0])
+        with pytest.raises(ValueError):
+            h.outcomes()[0] = 0
+
+    def test_window_counts_delegates(self):
+        h = TransactionHistory.from_outcomes([1] * 10 + [0] * 10)
+        np.testing.assert_array_equal(h.window_counts(10), [10, 0])
+
+    def test_copy_independent(self):
+        h = TransactionHistory.from_outcomes([1, 0])
+        clone = h.copy()
+        clone.append_outcome(1)
+        assert len(h) == 2 and len(clone) == 3
+
+
+class TestSpeculate:
+    def test_speculate_appends_then_rolls_back(self):
+        h = TransactionHistory.from_outcomes([1, 1])
+        with h.speculate(0) as hypothetical:
+            assert len(hypothetical) == 3
+            assert hypothetical.n_bad == 1
+            np.testing.assert_array_equal(hypothetical.outcomes(), [1, 1, 0])
+        assert len(h) == 2
+        assert h.n_bad == 0
+
+    def test_speculate_rolls_back_on_exception(self):
+        h = TransactionHistory.from_outcomes([1, 1])
+        with pytest.raises(RuntimeError):
+            with h.speculate(0):
+                raise RuntimeError("boom")
+        assert len(h) == 2 and h.n_good == 2
+
+    def test_speculate_validation(self):
+        h = TransactionHistory.from_outcomes([1])
+        with pytest.raises(ValueError):
+            with h.speculate(7):
+                pass
+
+    def test_speculate_feedback_roundtrip(self):
+        h = TransactionHistory.from_feedbacks([_fb(1, "a")])
+        with h.speculate_feedback(_fb(2, "b", rating=Rating.NEGATIVE)) as hyp:
+            assert len(hyp) == 2
+            assert hyp.has_feedback_metadata
+            assert hyp.feedbacks()[-1].client == "b"
+        assert len(h) == 1
+        assert h.n_good == 1
+        assert [f.client for f in h.feedbacks()] == ["a"]
+
+    def test_nested_speculation(self):
+        h = TransactionHistory.from_outcomes([1] * 5)
+        with h.speculate(0):
+            with h.speculate(0) as inner:
+                assert inner.n_bad == 2
+            assert h.n_bad == 1
+        assert h.n_bad == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=50))
+    def test_property_speculation_is_invisible(self, bits):
+        h = TransactionHistory.from_outcomes(bits)
+        before = h.outcomes().copy()
+        with h.speculate(0):
+            pass
+        with h.speculate(1):
+            pass
+        np.testing.assert_array_equal(h.outcomes(), before)
+        assert h.n_good == int(np.sum(bits))

@@ -1,0 +1,119 @@
+"""Tests for repro.feedback.io (CSV / JSONL serialization)."""
+
+import pytest
+
+from repro.feedback.io import (
+    parse_rating,
+    read_feedback_csv,
+    read_feedback_jsonl,
+    write_feedback_csv,
+    write_feedback_jsonl,
+)
+from repro.feedback.records import Feedback, Rating
+
+
+def _sample_feedbacks():
+    return [
+        Feedback(time=1.0, server="s1", client="c1", rating=Rating.POSITIVE),
+        Feedback(
+            time=2.5,
+            server="s1",
+            client="c2",
+            rating=Rating.NEGATIVE,
+            category="NA",
+            authentic=False,
+        ),
+        Feedback(time=3.0, server="s2", client="c1", rating=Rating.POSITIVE),
+    ]
+
+
+class TestParseRating:
+    @pytest.mark.parametrize(
+        "token", ["1", "positive", "POS", "good", "+", "true", 1]
+    )
+    def test_positive_spellings(self, token):
+        assert parse_rating(token) is Rating.POSITIVE
+
+    @pytest.mark.parametrize("token", ["0", "negative", "NEG", "bad", "-", 0])
+    def test_negative_spellings(self, token):
+        assert parse_rating(token) is Rating.NEGATIVE
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unrecognized rating"):
+            parse_rating("meh")
+
+
+class TestCsvRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        originals = _sample_feedbacks()
+        assert write_feedback_csv(path, originals) == 3
+        loaded = read_feedback_csv(path)
+        assert loaded == originals
+
+    def test_minimal_header_accepted(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("time,server,client,rating\n1,s,c,positive\n")
+        loaded = read_feedback_csv(path)
+        assert len(loaded) == 1
+        assert loaded[0].authentic  # defaults applied
+        assert loaded[0].category is None
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("time,server,rating\n1,s,1\n")
+        with pytest.raises(ValueError, match="client"):
+            read_feedback_csv(path)
+
+    def test_bad_time_reports_line(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("time,server,client,rating\nnope,s,c,1\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_feedback_csv(path)
+
+    def test_bad_rating_reports_line(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("time,server,client,rating\n1,s,c,1\n2,s,c,maybe\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_feedback_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_feedback_csv(path)
+
+    def test_missing_value_rejected(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        path.write_text("time,server,client,rating\n1,,c,1\n")
+        with pytest.raises(ValueError, match="server"):
+            read_feedback_csv(path)
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        originals = _sample_feedbacks()
+        assert write_feedback_jsonl(path, originals) == 3
+        assert read_feedback_jsonl(path) == originals
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        path.write_text(
+            '{"time": 1, "server": "s", "client": "c", "rating": 1}\n'
+            "\n"
+            '{"time": 2, "server": "s", "client": "c", "rating": 0}\n'
+        )
+        assert len(read_feedback_jsonl(path)) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        path.write_text('{"time": 1, "server": "s", "client": "c", "rating": 1}\n{oops\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_feedback_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="expected an object"):
+            read_feedback_jsonl(path)

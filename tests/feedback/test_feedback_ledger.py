@@ -1,0 +1,78 @@
+"""Tests for repro.feedback.ledger."""
+
+import pytest
+
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+
+
+def _fb(t, server="s1", client="c1", rating=Rating.POSITIVE):
+    return Feedback(time=float(t), server=server, client=client, rating=rating)
+
+
+@pytest.fixture()
+def ledger():
+    led = FeedbackLedger()
+    led.record_many(
+        [
+            _fb(1, "s1", "c1"),
+            _fb(2, "s1", "c2", Rating.NEGATIVE),
+            _fb(3, "s2", "c1"),
+            _fb(4, "s1", "c1"),
+        ]
+    )
+    return led
+
+
+class TestRecord:
+    def test_len(self, ledger):
+        assert len(ledger) == 4
+
+    def test_servers_and_clients(self, ledger):
+        assert ledger.servers() == {"s1", "s2"}
+        assert ledger.clients() == {"c1", "c2"}
+
+    def test_per_server_time_order_enforced(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.record(_fb(0, "s1"))
+
+    def test_independent_servers_allow_interleaved_times(self, ledger):
+        ledger.record(_fb(3.5, "s2"))  # earlier than s1's last, fine for s2
+        assert len(ledger.feedbacks_for_server("s2")) == 2
+
+
+class TestQueries:
+    def test_feedbacks_for_server(self, ledger):
+        times = [f.time for f in ledger.feedbacks_for_server("s1")]
+        assert times == [1.0, 2.0, 4.0]
+
+    def test_feedbacks_by_client(self, ledger):
+        servers = [f.server for f in ledger.feedbacks_by_client("c1")]
+        assert servers == ["s1", "s2", "s1"]
+
+    def test_unknown_server_returns_empty(self, ledger):
+        assert ledger.feedbacks_for_server("nope") == []
+
+    def test_history_is_live(self, ledger):
+        history = ledger.history("s1")
+        assert len(history) == 3
+        ledger.record(_fb(9, "s1"))
+        assert len(history) == 4  # same object, updated in place
+
+    def test_history_unknown_raises(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.history("nope")
+
+    def test_last_interaction(self, ledger):
+        fb = ledger.last_interaction("s1", "c1")
+        assert fb.time == 4.0
+        assert ledger.last_interaction("s1", "c3") is None
+
+    def test_interaction_counts(self, ledger):
+        assert ledger.interaction_counts("s1") == {"c1": 2, "c2": 1}
+
+    def test_feedback_graph(self, ledger):
+        graph = ledger.feedback_graph()
+        assert graph[("c1", "s1")] == (2, 0)
+        assert graph[("c2", "s1")] == (0, 1)
+        assert graph[("c1", "s2")] == (1, 0)

@@ -1,0 +1,74 @@
+"""Tests for repro.feedback.records."""
+
+import pytest
+
+from repro.feedback.records import BAD, GOOD, Feedback, Rating
+
+
+class TestRating:
+    def test_integer_values(self):
+        assert int(Rating.POSITIVE) == 1
+        assert int(Rating.NEGATIVE) == 0
+
+    def test_is_good(self):
+        assert Rating.POSITIVE.is_good
+        assert not Rating.NEGATIVE.is_good
+
+    def test_aliases(self):
+        assert GOOD is Rating.POSITIVE
+        assert BAD is Rating.NEGATIVE
+
+    def test_from_outcome(self):
+        assert Rating.from_outcome(1) is Rating.POSITIVE
+        assert Rating.from_outcome(0) is Rating.NEGATIVE
+
+    def test_from_outcome_invalid(self):
+        with pytest.raises(ValueError):
+            Rating.from_outcome(2)
+
+
+class TestFeedback:
+    def _fb(self, **overrides):
+        base = dict(time=1.0, server="s", client="c", rating=Rating.POSITIVE)
+        base.update(overrides)
+        return Feedback(**base)
+
+    def test_outcome(self):
+        assert self._fb().outcome == 1
+        assert self._fb(rating=Rating.NEGATIVE).outcome == 0
+
+    def test_ordering_by_time(self):
+        early = self._fb(time=1.0)
+        late = self._fb(time=2.0)
+        assert early < late
+        assert sorted([late, early]) == [early, late]
+
+    def test_default_flags(self):
+        fb = self._fb()
+        assert fb.authentic
+        assert fb.category is None
+
+    def test_category_and_authenticity(self):
+        fb = self._fb(category="NA", authentic=False)
+        assert fb.category == "NA"
+        assert not fb.authentic
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            self._fb().rating = Rating.NEGATIVE
+
+    def test_replace_rating(self):
+        fb = self._fb(category="EU", authentic=False)
+        flipped = fb.replace_rating(Rating.NEGATIVE)
+        assert flipped.rating is Rating.NEGATIVE
+        assert flipped.category == "EU"
+        assert not flipped.authentic
+        assert fb.rating is Rating.POSITIVE  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            self._fb(rating=1)
+        with pytest.raises(ValueError):
+            self._fb(server="")
+        with pytest.raises(ValueError):
+            self._fb(client="")

@@ -1,0 +1,97 @@
+"""Direct tests of the ChordNode-level API (the ring harness aside)."""
+
+import pytest
+
+from repro.p2p.chord import ChordNode, ChordRing, LookupResult, key_of
+from repro.p2p.network import SimulatedNetwork
+
+
+@pytest.fixture()
+def pair():
+    """Two nodes joined by hand, stabilized manually."""
+    network = SimulatedNetwork()
+    a = ChordNode("alpha", network, m_bits=16, replicas=2)
+    b = ChordNode("beta", network, m_bits=16, replicas=2)
+    b.join("alpha")
+    for _ in range(3):
+        a.stabilize()
+        b.stabilize()
+        a.fix_fingers()
+        b.fix_fingers()
+    return network, a, b
+
+
+class TestLookupResult:
+    def test_tuple_and_accessors(self):
+        result = LookupResult("node-1", 3)
+        assert result == ("node-1", 3)
+        assert result.node == "node-1"
+        assert result.hops == 3
+
+
+class TestNodeApi:
+    def test_manual_join_links_the_pair(self, pair):
+        _, a, b = pair
+        assert a.successor == "beta"
+        assert b.successor == "alpha"
+        assert a.predecessor == "beta"
+        assert b.predecessor == "alpha"
+
+    def test_responsible_for_partitions_key_space(self, pair):
+        _, a, b = pair
+        for key in (0, 1000, 30000, 65535):
+            assert a.responsible_for(key) != b.responsible_for(key)
+
+    def test_find_successor_agrees_with_responsibility(self, pair):
+        _, a, b = pair
+        for key in (7, 12345, 54321):
+            owner = a.find_successor(key).node
+            owner_node = a if owner == "alpha" else b
+            assert owner_node.responsible_for(key)
+
+    def test_put_get_via_either_node(self, pair):
+        _, a, b = pair
+        key = key_of("some-server", 16)
+        a.put(key, "from-a")
+        b.put(key, "from-b")
+        assert set(a.get(key)) == {"from-a", "from-b"}
+        assert set(b.get(key)) == {"from-a", "from-b"}
+
+    def test_leave_hands_data_to_successor(self, pair):
+        network, a, b = pair
+        key = key_of("record", 16)
+        a.storage[key] = ["precious"]
+        a.leave()
+        assert not network.is_alive("alpha")
+        assert "precious" in b.storage.get(key, [])
+
+    def test_lone_node_owns_everything(self):
+        network = SimulatedNetwork()
+        solo = ChordNode("solo", network, m_bits=16, replicas=2)
+        assert solo.responsible_for(0)
+        assert solo.responsible_for(65535)
+        assert solo.find_successor(1234).node == "solo"
+
+    def test_unknown_message_type_rejected(self, pair):
+        network, _, _ = pair
+        with pytest.raises(ValueError, match="unknown message type"):
+            network.send("alpha", "frobnicate", {})
+
+
+class TestRepairReplication:
+    def test_restores_replica_count(self):
+        ring = ChordRing(replicas=3, seed=9)
+        for i in range(8):
+            ring.add_node(f"n{i}")
+        ring.put("key", "v")
+        key = key_of("key", 16)
+        # wipe all replicas except the owner
+        owner = ring.responsible_node("key")
+        for name, node in ring.nodes.items():
+            if name != owner:
+                node.storage.pop(key, None)
+        ring.repair_replication()
+        holders = [
+            name for name, node in ring.nodes.items() if "v" in node.storage.get(key, [])
+        ]
+        assert len(holders) >= 2

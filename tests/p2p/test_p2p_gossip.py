@@ -1,0 +1,131 @@
+"""Tests for repro.p2p.gossip."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.gossip import GossipAggregator, ReputationGossip, push_pull_round
+
+
+class TestPushPullRound:
+    def test_mean_invariant(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(101)  # odd count: one peer idles
+        updated = push_pull_round(values, rng)
+        assert updated.mean() == pytest.approx(values.mean())
+
+    def test_variance_decreases(self):
+        rng = np.random.default_rng(2)
+        values = rng.random(100)
+        updated = push_pull_round(values, rng)
+        assert updated.var() < values.var()
+
+    def test_input_not_mutated(self):
+        rng = np.random.default_rng(3)
+        values = np.array([0.0, 1.0])
+        push_pull_round(values, rng)
+        np.testing.assert_array_equal(values, [0.0, 1.0])
+
+
+class TestGossipAggregator:
+    def test_converges_to_mean(self):
+        agg = GossipAggregator([0.0] * 50 + [1.0] * 50, seed=4)
+        rounds = agg.run_until(tolerance=0.01)
+        assert rounds < 60
+        assert agg.max_error() <= 0.01
+        assert agg.true_mean == pytest.approx(0.5)
+
+    def test_exponential_convergence(self):
+        agg = GossipAggregator(np.random.default_rng(5).random(128), seed=5)
+        errors = []
+        for _ in range(20):
+            errors.append(agg.max_error())
+            agg.run_round()
+        # error after 20 rounds is a small fraction of the initial error
+        assert agg.max_error() < errors[0] / 10
+
+    def test_uniform_values_converged_immediately(self):
+        agg = GossipAggregator([0.7] * 10, seed=6)
+        assert agg.run_until(tolerance=1e-9) == 0
+
+    def test_non_convergence_raises(self):
+        agg = GossipAggregator([0.0, 1.0, 0.5], seed=7)
+        with pytest.raises(RuntimeError):
+            agg.run_until(tolerance=1e-15, max_rounds=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipAggregator([])
+        agg = GossipAggregator([1.0, 2.0])
+        with pytest.raises(ValueError):
+            agg.run_until(tolerance=0.0)
+
+
+class TestReputationGossip:
+    def _populated(self, seed=8):
+        rng = np.random.default_rng(seed)
+        gossip = ReputationGossip(n_peers=40, seed=seed)
+        # each peer reports a few transactions with the 0.9-quality server
+        for peer in range(40):
+            for _ in range(5):
+                gossip.record_feedback(peer, "srv", int(rng.random() < 0.9))
+        return gossip
+
+    def test_global_reputation_is_average(self):
+        gossip = ReputationGossip(n_peers=4, seed=9)
+        gossip.record_feedback(0, "s", 1)
+        gossip.record_feedback(1, "s", 1)
+        gossip.record_feedback(2, "s", 0)
+        gossip.record_feedback(3, "s", 0)
+        assert gossip.global_reputation("s") == pytest.approx(0.5)
+
+    def test_estimates_converge_to_global(self):
+        gossip = self._populated()
+        gossip.run_rounds(30)
+        assert gossip.estimation_spread("srv") < 0.02
+
+    def test_rounds_reduce_spread(self):
+        gossip = self._populated(seed=10)
+        before = gossip.estimation_spread("srv")
+        gossip.run_rounds(15)
+        assert gossip.estimation_spread("srv") < before
+
+    def test_matches_average_trust_function(self):
+        from repro.trust.average import AverageTrust
+
+        rng = np.random.default_rng(11)
+        gossip = ReputationGossip(n_peers=20, seed=11)
+        outcomes = []
+        for t in range(200):
+            outcome = int(rng.random() < 0.85)
+            outcomes.append(outcome)
+            gossip.record_feedback(t % 20, "srv", outcome)
+        gossip.run_rounds(40)
+        centralized = AverageTrust().score(outcomes)
+        assert gossip.global_reputation("srv") == pytest.approx(centralized)
+        assert gossip.estimate(0, "srv") == pytest.approx(centralized, abs=0.02)
+
+    def test_multiple_servers_tracked_independently(self):
+        gossip = ReputationGossip(n_peers=10, seed=12)
+        for peer in range(10):
+            gossip.record_feedback(peer, "good", 1)
+            gossip.record_feedback(peer, "bad", 0)
+        assert gossip.servers() == ["bad", "good"]
+        assert gossip.global_reputation("good") == 1.0
+        assert gossip.global_reputation("bad") == 0.0
+
+    def test_unknown_server_raises(self):
+        with pytest.raises(KeyError):
+            ReputationGossip(n_peers=2).estimate(0, "nope")
+        with pytest.raises(KeyError):
+            ReputationGossip(n_peers=2).global_reputation("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReputationGossip(n_peers=1)
+        gossip = ReputationGossip(n_peers=3)
+        with pytest.raises(ValueError):
+            gossip.record_feedback(5, "s", 1)
+        with pytest.raises(ValueError):
+            gossip.record_feedback(0, "s", 2)
+        with pytest.raises(ValueError):
+            gossip.run_rounds(-1)

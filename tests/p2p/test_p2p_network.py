@@ -1,0 +1,88 @@
+"""Tests for repro.p2p.network."""
+
+import pytest
+
+from repro.p2p.network import NodeUnreachable, SimulatedNetwork
+
+
+def _echo_handler(name):
+    def handler(message_type, payload):
+        return {"node": name, "type": message_type, "payload": payload}
+
+    return handler
+
+
+class TestRegistration:
+    def test_register_and_send(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        reply = net.send("a", "ping", {"x": 1})
+        assert reply == {"node": "a", "type": "ping", "payload": {"x": 1}}
+
+    def test_duplicate_registration_rejected(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        with pytest.raises(ValueError):
+            net.register("a", _echo_handler("a"))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork().register("", _echo_handler(""))
+
+    def test_unregister(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        net.unregister("a")
+        assert not net.is_alive("a")
+        with pytest.raises(NodeUnreachable):
+            net.send("a", "ping")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(KeyError):
+            SimulatedNetwork().unregister("ghost")
+
+    def test_node_ids(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        net.register("b", _echo_handler("b"))
+        assert net.node_ids == {"a", "b"}
+
+
+class TestDelivery:
+    def test_unknown_destination_raises(self):
+        with pytest.raises(NodeUnreachable):
+            SimulatedNetwork().send("ghost", "ping")
+
+    def test_default_payload_empty_dict(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        assert net.send("a", "ping")["payload"] == {}
+
+    def test_drop_rate_zero_never_drops(self):
+        net = SimulatedNetwork(drop_rate=0.0, seed=1)
+        net.register("a", _echo_handler("a"))
+        assert all(net.send("a", "ping") is not None for _ in range(100))
+        assert net.stats.drops == 0
+
+    def test_drop_rate_approximated(self):
+        net = SimulatedNetwork(drop_rate=0.3, seed=2)
+        net.register("a", _echo_handler("a"))
+        results = [net.send("a", "ping") for _ in range(2000)]
+        drop_fraction = sum(r is None for r in results) / 2000
+        assert 0.25 <= drop_fraction <= 0.35
+        assert net.stats.drops == sum(r is None for r in results)
+
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(drop_rate=1.0)
+
+
+class TestStats:
+    def test_message_accounting(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        net.send("a", "ping")
+        net.send("a", "ping")
+        net.send("a", "store")
+        assert net.stats.messages == 3
+        assert net.stats.by_type == {"ping": 2, "store": 1}

@@ -1,0 +1,136 @@
+"""Tests for repro.p2p.store — DHT-backed feedback storage end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.core.verdict import AssessmentStatus
+from repro.feedback.records import Feedback, Rating
+from repro.p2p.chord import ChordRing
+from repro.p2p.network import SimulatedNetwork
+from repro.p2p.store import DistributedFeedbackStore
+from repro.trust.average import AverageTrust
+
+
+def _fb(t, server="shop", client=None, good=True):
+    return Feedback(
+        time=float(t),
+        server=server,
+        client=client or f"c{t % 7}",
+        rating=Rating.POSITIVE if good else Rating.NEGATIVE,
+    )
+
+
+class TestBasics:
+    def test_default_ring_construction(self):
+        store = DistributedFeedbackStore(n_nodes=4)
+        assert len(store.ring.nodes) == 4
+
+    def test_record_and_retrieve_ordered(self):
+        store = DistributedFeedbackStore(n_nodes=4)
+        store.record(_fb(3))
+        store.record(_fb(1))
+        store.record(_fb(2, good=False))
+        feedbacks = store.feedbacks_for_server("shop")
+        assert [f.time for f in feedbacks] == [1.0, 2.0, 3.0]
+
+    def test_servers_index(self):
+        store = DistributedFeedbackStore(n_nodes=4)
+        store.record(_fb(1, server="a"))
+        store.record(_fb(2, server="b"))
+        assert store.servers() == {"a", "b"}
+
+    def test_history_materialization(self):
+        store = DistributedFeedbackStore(n_nodes=4)
+        store.record_many([_fb(t, good=(t % 4 != 0)) for t in range(40)])
+        history = store.history("shop")
+        assert len(history) == 40
+        assert history.has_feedback_metadata
+
+    def test_missing_server(self):
+        store = DistributedFeedbackStore(n_nodes=2)
+        assert store.feedbacks_for_server("ghost") == []
+        with pytest.raises(KeyError):
+            store.history("ghost")
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedFeedbackStore(ring=ChordRing())
+
+
+class TestDistribution:
+    def test_different_servers_land_on_different_nodes(self):
+        store = DistributedFeedbackStore(n_nodes=8)
+        owners = {store.record(_fb(1, server=f"server-{i}")) for i in range(30)}
+        assert len(owners) > 1  # load is actually spread
+
+    def test_survives_owner_crash(self):
+        ring = ChordRing(replicas=3, seed=1)
+        for i in range(8):
+            ring.add_node(f"n{i}")
+        store = DistributedFeedbackStore(ring=ring)
+        for t in range(20):
+            store.record(_fb(t))
+        owner = ring.responsible_node("feedback/shop")
+        ring.remove_node(owner, graceful=False, stabilize_rounds=4)
+        assert len(store.feedbacks_for_server("shop")) == 20
+
+    def test_deduplicates_replica_reads(self):
+        store = DistributedFeedbackStore(n_nodes=4)
+        fb = _fb(1)
+        store.record(fb)
+        # simulate an at-least-once duplicate write
+        store.ring.put("feedback/shop", fb)
+        assert len(store.feedbacks_for_server("shop")) == 1
+
+    def test_lossy_network_roundtrip(self):
+        ring = ChordRing(
+            network=SimulatedNetwork(drop_rate=0.05, seed=2), replicas=3, seed=2
+        )
+        for i in range(6):
+            ring.add_node(f"n{i}")
+        store = DistributedFeedbackStore(ring=ring)
+        for t in range(30):
+            store.record(_fb(t))
+        assert len(store.feedbacks_for_server("shop")) == 30
+
+
+class TestTwoPhaseOverDht:
+    def test_assessment_identical_to_central_ledger(
+        self, paper_config, shared_calibrator
+    ):
+        """The paper's availability assumption, made executable: the same
+        two-phase assessment over a central ledger and over the DHT."""
+        outcomes = generate_honest_outcomes(300, 0.95, seed=3)
+        feedbacks = [
+            _fb(t, good=bool(outcome)) for t, outcome in enumerate(outcomes)
+        ]
+
+        store = DistributedFeedbackStore(n_nodes=6)
+        store.record_many(feedbacks)
+
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(paper_config, shared_calibrator),
+            AverageTrust(),
+            trust_threshold=0.9,
+        )
+        from repro.feedback.history import TransactionHistory
+
+        central = assessor.assess(TransactionHistory.from_feedbacks(feedbacks))
+        distributed = assessor.assess(store.history("shop"))
+        assert central.status == distributed.status
+        assert central.trust_value == pytest.approx(distributed.trust_value)
+
+    def test_attacker_flagged_through_dht(self, paper_config, shared_calibrator):
+        trace = np.tile([0] + [1] * 9, 40)
+        store = DistributedFeedbackStore(n_nodes=5)
+        store.record_many(
+            [_fb(t, good=bool(outcome)) for t, outcome in enumerate(trace)]
+        )
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(paper_config, shared_calibrator), AverageTrust()
+        )
+        assert store.history("shop").p_hat == pytest.approx(0.9)
+        assert assessor.assess(store.history("shop")).status is AssessmentStatus.SUSPICIOUS

@@ -1,0 +1,147 @@
+"""Tests for repro.p2p.unstructured (flooding / random-walk feedback search)."""
+
+import pytest
+
+from repro.feedback.records import Feedback, Rating
+from repro.p2p.unstructured import UnstructuredOverlay
+
+
+def _fb(t, server="srv", client="c"):
+    return Feedback(
+        time=float(t), server=server, client=client, rating=Rating.POSITIVE
+    )
+
+
+def _populated(n_peers=40, n_feedbacks=60, seed=1):
+    overlay = UnstructuredOverlay(n_peers, degree=4, seed=seed)
+    peers = overlay.peers
+    for t in range(n_feedbacks):
+        overlay.record(peers[t % n_peers], _fb(t, client=f"c{t}"))
+    return overlay
+
+
+class TestTopology:
+    def test_connected(self):
+        for seed in range(5):
+            assert UnstructuredOverlay(30, degree=3, seed=seed).is_connected()
+
+    def test_degree_reached(self):
+        overlay = UnstructuredOverlay(50, degree=5, seed=2)
+        degrees = [len(overlay.neighbors(p)) for p in overlay.peers]
+        assert min(degrees) >= 5
+
+    def test_neighbors_symmetric(self):
+        overlay = UnstructuredOverlay(20, degree=3, seed=3)
+        for peer in overlay.peers:
+            for neighbor in overlay.neighbors(peer):
+                assert peer in overlay.neighbors(neighbor)
+
+    def test_no_self_loops(self):
+        overlay = UnstructuredOverlay(20, degree=3, seed=4)
+        for peer in overlay.peers:
+            assert peer not in overlay.neighbors(peer)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnstructuredOverlay(1)
+        with pytest.raises(ValueError):
+            UnstructuredOverlay(10, degree=0)
+        with pytest.raises(ValueError):
+            UnstructuredOverlay(10, degree=10)
+        with pytest.raises(KeyError):
+            UnstructuredOverlay(5).neighbors("ghost")
+
+
+class TestFlooding:
+    def test_large_ttl_finds_everything(self):
+        overlay = _populated()
+        result = overlay.flood_query(overlay.peers[0], "srv", ttl=40)
+        assert len(result.feedbacks) == overlay.total_feedback_about("srv")
+        assert result.peers_reached == len(overlay.peers)
+
+    def test_results_time_ordered(self):
+        overlay = _populated()
+        result = overlay.flood_query(overlay.peers[0], "srv", ttl=40)
+        times = [fb.time for fb in result.feedbacks]
+        assert times == sorted(times)
+
+    def test_ttl_zero_is_local_only(self):
+        overlay = _populated()
+        result = overlay.flood_query(overlay.peers[0], "srv", ttl=0)
+        assert result.peers_reached == 1
+        assert result.messages == 0
+
+    def test_coverage_grows_with_ttl(self):
+        overlay = _populated(n_peers=60)
+        origin = overlay.peers[0]
+        reached = [
+            overlay.flood_query(origin, "srv", ttl=ttl).peers_reached
+            for ttl in (1, 2, 4)
+        ]
+        assert reached[0] < reached[1] < reached[2]
+
+    def test_filters_by_server(self):
+        overlay = UnstructuredOverlay(10, degree=3, seed=5)
+        overlay.record("peer-0", _fb(1, server="a"))
+        overlay.record("peer-1", _fb(2, server="b"))
+        result = overlay.flood_query("peer-0", "a", ttl=10)
+        assert len(result.feedbacks) == 1
+        assert result.feedbacks[0].server == "a"
+
+    def test_validation(self):
+        overlay = _populated(n_peers=5)
+        with pytest.raises(KeyError):
+            overlay.flood_query("ghost", "srv")
+        with pytest.raises(ValueError):
+            overlay.flood_query("peer-0", "srv", ttl=-1)
+
+
+class TestRandomWalks:
+    def test_partial_but_nonzero_coverage(self):
+        overlay = _populated(n_peers=60)
+        result = overlay.random_walk_query(
+            overlay.peers[0], "srv", walkers=4, walk_length=15, seed=6
+        )
+        assert 1 < result.peers_reached < len(overlay.peers)
+        assert 0 < len(result.feedbacks) <= overlay.total_feedback_about("srv")
+
+    def test_message_budget_exact(self):
+        overlay = _populated(n_peers=30)
+        result = overlay.random_walk_query(
+            overlay.peers[0], "srv", walkers=3, walk_length=10, seed=7
+        )
+        assert result.messages == 30
+
+    def test_more_walkers_more_coverage(self):
+        overlay = _populated(n_peers=80)
+        origin = overlay.peers[0]
+        few = overlay.random_walk_query(origin, "srv", walkers=1, walk_length=10, seed=8)
+        many = overlay.random_walk_query(origin, "srv", walkers=16, walk_length=10, seed=8)
+        assert many.peers_reached > few.peers_reached
+
+    def test_validation(self):
+        overlay = _populated(n_peers=5)
+        with pytest.raises(ValueError):
+            overlay.random_walk_query("peer-0", "srv", walkers=0)
+        with pytest.raises(KeyError):
+            overlay.random_walk_query("ghost", "srv")
+
+
+class TestCostContrast:
+    def test_flooding_complete_but_costlier_than_walks(self):
+        # the structured-vs-unstructured argument: full coverage via
+        # flooding costs far more messages than a bounded walk budget
+        overlay = _populated(n_peers=100, n_feedbacks=100)
+        origin = overlay.peers[0]
+        flood = overlay.flood_query(origin, "srv", ttl=100)
+        walk = overlay.random_walk_query(
+            origin, "srv", walkers=4, walk_length=10, seed=9
+        )
+        assert len(flood.feedbacks) == overlay.total_feedback_about("srv")
+        assert flood.messages > 5 * walk.messages
+        assert len(walk.feedbacks) < len(flood.feedbacks)
+
+    def test_record_validation(self):
+        overlay = UnstructuredOverlay(4, degree=2, seed=10)
+        with pytest.raises(KeyError):
+            overlay.record("ghost", _fb(1))

@@ -1,0 +1,105 @@
+"""Tests for repro.simulation.arrival."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.arrival import ArrivalModel, ClientExperience, ClientStateTable
+
+
+class TestArrivalModel:
+    def test_paper_defaults(self):
+        model = ArrivalModel()
+        assert (model.a1, model.a2, model.a3) == (0.5, 0.9, 0.2)
+
+    def test_coefficients_by_experience(self):
+        model = ArrivalModel()
+        assert model.coefficient(ClientExperience.NEVER_SERVED) == 0.5
+        assert model.coefficient(ClientExperience.RECENT_GOOD) == 0.9
+        assert model.coefficient(ClientExperience.RECENT_BAD) == 0.2
+
+    def test_request_probability_scales_with_reputation(self):
+        model = ArrivalModel()
+        assert model.request_probability(
+            ClientExperience.RECENT_GOOD, 0.5
+        ) == pytest.approx(0.45)
+        assert model.request_probability(ClientExperience.RECENT_GOOD, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalModel(a1=1.5)
+        with pytest.raises(ValueError):
+            ArrivalModel().request_probability(ClientExperience.NEVER_SERVED, 1.5)
+
+
+class TestClientStateTable:
+    def test_initial_state_never_served(self):
+        table = ClientStateTable(["a", "b"], ArrivalModel())
+        assert table.experience("a") is ClientExperience.NEVER_SERVED
+
+    def test_record_service_transitions(self):
+        table = ClientStateTable(["a"], ArrivalModel())
+        table.record_service("a", 1)
+        assert table.experience("a") is ClientExperience.RECENT_GOOD
+        table.record_service("a", 0)
+        assert table.experience("a") is ClientExperience.RECENT_BAD
+
+    def test_unknown_client_raises(self):
+        table = ClientStateTable(["a"], ArrivalModel())
+        with pytest.raises(KeyError):
+            table.experience("zzz")
+        with pytest.raises(KeyError):
+            table.record_service("zzz", 1)
+
+    def test_invalid_outcome(self):
+        table = ClientStateTable(["a"], ArrivalModel())
+        with pytest.raises(ValueError):
+            table.record_service("a", 2)
+
+    def test_duplicate_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ClientStateTable(["a", "a"], ArrivalModel())
+
+    def test_empty_clients_rejected(self):
+        with pytest.raises(ValueError):
+            ClientStateTable([], ArrivalModel())
+
+    def test_sample_requesters_rates(self):
+        # 1000 never-served clients, reputation 0.9: expect ~a1*0.9 = 45%
+        clients = [f"c{i}" for i in range(1000)]
+        table = ClientStateTable(clients, ArrivalModel())
+        requesters = table.sample_requesters(0.9, seed=1)
+        assert 0.40 <= len(requesters) / 1000 <= 0.50
+
+    def test_cheated_clients_mostly_stay_away(self):
+        clients = [f"c{i}" for i in range(1000)]
+        table = ClientStateTable(clients, ArrivalModel())
+        for c in clients:
+            table.record_service(c, 0)
+        requesters = table.sample_requesters(0.9, seed=2)
+        assert 0.13 <= len(requesters) / 1000 <= 0.23  # ~a3 * 0.9 = 18%
+
+    def test_zero_reputation_no_requests(self):
+        table = ClientStateTable(["a", "b", "c"], ArrivalModel())
+        assert table.sample_requesters(0.0, seed=3) == []
+
+    def test_reputation_clamped(self):
+        table = ClientStateTable(["a"], ArrivalModel())
+        # out-of-range reputations are clamped rather than erroring (trust
+        # functions can emit tiny float drift)
+        table.sample_requesters(1.0 + 1e-12, seed=4)
+
+    def test_counts_by_experience(self):
+        table = ClientStateTable(["a", "b", "c"], ArrivalModel())
+        table.record_service("a", 1)
+        table.record_service("b", 0)
+        counts = table.counts_by_experience()
+        assert counts[ClientExperience.RECENT_GOOD] == 1
+        assert counts[ClientExperience.RECENT_BAD] == 1
+        assert counts[ClientExperience.NEVER_SERVED] == 1
+
+    def test_deterministic_sampling(self):
+        clients = [f"c{i}" for i in range(50)]
+        table = ClientStateTable(clients, ArrivalModel())
+        assert table.sample_requesters(0.8, seed=9) == table.sample_requesters(
+            0.8, seed=9
+        )

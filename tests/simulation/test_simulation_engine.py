@@ -1,0 +1,229 @@
+"""Tests for repro.simulation.engine and repro.simulation.scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.core.verdict import AssessmentStatus
+from repro.simulation.engine import ReputationSimulation
+from repro.simulation.scenario import ScenarioConfig, build_simulation
+from repro.simulation.server import HonestBehavior, ScriptedBehavior
+from repro.trust.average import AverageTrust
+from repro.trust.eigentrust import EigenTrust
+
+
+def _assessor(screen=None, threshold=0.9):
+    return TwoPhaseAssessor(screen, AverageTrust(), trust_threshold=threshold)
+
+
+def _simulation(**overrides):
+    defaults = dict(
+        servers={"srv": HonestBehavior(0.95)},
+        clients=["c1", "c2", "c3"],
+        assessor=_assessor(),
+        bootstrap_transactions=50,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ReputationSimulation(**defaults)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _simulation(servers={})
+        with pytest.raises(ValueError):
+            _simulation(clients=[])
+        with pytest.raises(ValueError):
+            _simulation(clients=["srv"])  # id used as both roles
+        with pytest.raises(ValueError):
+            _simulation(bootstrap_transactions=-1)
+        with pytest.raises(ValueError):
+            _simulation(exploration=1.5)
+
+    def test_bootstrap_seeds_history(self):
+        sim = _simulation(bootstrap_transactions=30)
+        assert len(sim.ledger.history("srv")) == 30
+
+    def test_prior_histories_seed_ledger(self):
+        prior = np.ones(100, dtype=np.int8)
+        sim = _simulation(
+            bootstrap_transactions=0, prior_histories={"srv": prior}
+        )
+        history = sim.ledger.history("srv")
+        assert len(history) == 100
+        assert history.p_hat == 1.0
+
+    def test_prior_history_unknown_server_rejected(self):
+        with pytest.raises(ValueError):
+            _simulation(prior_histories={"ghost": [1, 0]})
+
+    def test_prior_history_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            _simulation(prior_histories={"srv": [1, 2]})
+
+
+class TestDynamics:
+    def test_honest_server_transacts(self):
+        sim = _simulation()
+        metrics = sim.run(30)
+        assert metrics.steps == 30
+        assert metrics.server("srv").transactions > 0
+        assert metrics.overall_satisfaction > 0.8
+
+    def test_reputation_of_matches_trust_function(self):
+        sim = _simulation()
+        sim.run(5)
+        history = sim.ledger.history("srv")
+        assert sim.reputation_of("srv") == pytest.approx(history.p_hat)
+
+    def test_reputation_of_unknown_server_is_zero(self):
+        sim = _simulation(bootstrap_transactions=0)
+        assert sim.reputation_of("srv") == 0.0
+
+    def test_bad_server_gets_trust_refusals(self):
+        sim = _simulation(
+            servers={"bad": HonestBehavior(0.3)}, bootstrap_transactions=60
+        )
+        metrics = sim.run(30)
+        assert metrics.server("bad").refusals_trust > 0
+        assert metrics.server("bad").transactions == 0
+
+    def test_screen_blocks_scripted_burst(
+        self, paper_config, shared_calibrator
+    ):
+        burst = ScriptedBehavior(np.zeros(500, dtype=np.int8))
+        prior = (np.random.default_rng(7).random(400) < 0.95).astype(np.int8)
+        screened = ReputationSimulation(
+            servers={"attacker": burst},
+            clients=[f"c{i}" for i in range(20)],
+            assessor=_assessor(SingleBehaviorTest(paper_config, shared_calibrator)),
+            bootstrap_transactions=0,
+            prior_histories={"attacker": prior},
+            seed=2,
+        )
+        metrics = screened.run(40)
+        served_bads = metrics.server("attacker").bad_transactions
+        assert metrics.server("attacker").refusals_suspicious > 0
+        # the screen caps the burst well below what the trust threshold
+        # alone would allow (~ 400*0.05/0.1 = 20+ bads before trust dips)
+        assert served_bads < 40
+
+    def test_assess_helper(self):
+        sim = _simulation()
+        sim.run(2)
+        assessment = sim.assess("srv")
+        assert assessment.status in (
+            AssessmentStatus.TRUSTED,
+            AssessmentStatus.UNTRUSTED,
+            AssessmentStatus.SUSPICIOUS,
+        )
+
+    def test_ledger_trust_function_integration(self):
+        sim = _simulation(
+            assessor=TwoPhaseAssessor(None, EigenTrust(), trust_threshold=0.1)
+        )
+        metrics = sim.run(5)
+        assert metrics.server("srv").transactions > 0
+
+    def test_run_validation(self):
+        with pytest.raises(ValueError):
+            _simulation().run(-1)
+
+    def test_deterministic_with_seed(self):
+        a = _simulation(seed=42).run(20).summary()
+        b = _simulation(seed=42).run(20).summary()
+        assert a == b
+
+
+class TestDhtBackedEcosystem:
+    """The full ecosystem running over the decentralized feedback store."""
+
+    def _dht_store(self, n_nodes=6, seed=11):
+        from repro.p2p import ChordRing, DistributedFeedbackStore
+
+        ring = ChordRing(replicas=3, seed=seed)
+        for i in range(n_nodes):
+            ring.add_node(f"storage-{i}")
+        return DistributedFeedbackStore(ring=ring)
+
+    def test_runs_and_serves_clients(self):
+        sim = _simulation(
+            feedback_store=self._dht_store(), bootstrap_transactions=50
+        )
+        metrics = sim.run(15)
+        assert metrics.server("srv").transactions > 0
+        assert metrics.overall_satisfaction > 0.8
+
+    def test_attacker_flagged_over_dht(self, paper_config, shared_calibrator):
+        burst = ScriptedBehavior(np.zeros(300, dtype=np.int8))
+        prior = (np.random.default_rng(12).random(400) < 0.95).astype(np.int8)
+        sim = ReputationSimulation(
+            servers={"attacker": burst},
+            clients=[f"c{i}" for i in range(15)],
+            assessor=_assessor(SingleBehaviorTest(paper_config, shared_calibrator)),
+            bootstrap_transactions=0,
+            prior_histories={"attacker": prior},
+            feedback_store=self._dht_store(seed=13),
+            seed=14,
+        )
+        metrics = sim.run(25)
+        assert metrics.server("attacker").refusals_suspicious > 0
+
+    def test_feedback_actually_lives_in_the_ring(self):
+        store = self._dht_store()
+        sim = _simulation(feedback_store=store, bootstrap_transactions=40)
+        sim.run(5)
+        stored = sum(
+            len(values)
+            for node in store.ring.nodes.values()
+            for values in node.storage.values()
+        )
+        assert stored >= len(store.feedbacks_for_server("srv"))
+
+    def test_ledger_trust_functions_require_central_store(self):
+        with pytest.raises(ValueError, match="FeedbackLedger"):
+            _simulation(
+                assessor=TwoPhaseAssessor(None, EigenTrust(), trust_threshold=0.5),
+                feedback_store=self._dht_store(),
+            )
+
+
+class TestScenario:
+    def test_build_population(self):
+        config = ScenarioConfig(
+            n_honest_servers=2, n_hibernating=1, n_periodic=1, n_clients=10
+        )
+        sim = build_simulation(config, _assessor(), seed=3)
+        servers = {
+            s for s in sim.ledger.servers()
+        }  # priors mean every server has history
+        assert {"honest-0", "honest-1", "hibernating-0", "periodic-0"} <= servers
+
+    def test_prior_histories_established(self):
+        config = ScenarioConfig(
+            n_honest_servers=1, n_hibernating=1, n_clients=10,
+            attack_prep=200, prior_history_size=150, bootstrap_transactions=0,
+        )
+        sim = build_simulation(config, _assessor(), seed=4)
+        assert len(sim.ledger.history("hibernating-0")) == 200
+        assert len(sim.ledger.history("honest-0")) == 150
+        # the hibernating prior looks honest (the cover reputation)
+        assert sim.ledger.history("hibernating-0").p_hat > 0.9
+
+    def test_scenario_deterministic(self):
+        config = ScenarioConfig(n_honest_servers=2, n_clients=8)
+        a = build_simulation(config, _assessor(), seed=5).run(10).summary()
+        b = build_simulation(config, _assessor(), seed=5).run(10).summary()
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_honest_servers=0, n_hibernating=0, n_periodic=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(honest_p_range=(0.9, 0.5))
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_clients=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(exploration=-0.1)

@@ -1,0 +1,102 @@
+"""Tests for repro.simulation.server and repro.simulation.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import ServerMetrics, SimulationMetrics
+from repro.simulation.server import (
+    DriftingHonestBehavior,
+    HonestBehavior,
+    ScriptedBehavior,
+)
+
+
+class TestHonestBehavior:
+    def test_rate(self):
+        rng = np.random.default_rng(1)
+        behavior = HonestBehavior(0.8)
+        outcomes = [behavior.next_outcome(rng) for _ in range(5000)]
+        assert np.mean(outcomes) == pytest.approx(0.8, abs=0.02)
+
+    def test_degenerate(self):
+        rng = np.random.default_rng(2)
+        assert HonestBehavior(1.0).next_outcome(rng) == 1
+        assert HonestBehavior(0.0).next_outcome(rng) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HonestBehavior(1.5)
+
+
+class TestDriftingBehavior:
+    def test_time_varying_rate(self):
+        rng = np.random.default_rng(3)
+        behavior = DriftingHonestBehavior(lambda t: 1.0 if t < 10 else 0.0)
+        outcomes = [behavior.next_outcome(rng) for _ in range(20)]
+        assert outcomes[:10] == [1] * 10
+        assert outcomes[10:] == [0] * 10
+
+    def test_invalid_p_of_t(self):
+        rng = np.random.default_rng(4)
+        behavior = DriftingHonestBehavior(lambda t: 2.0)
+        with pytest.raises(ValueError):
+            behavior.next_outcome(rng)
+
+
+class TestScriptedBehavior:
+    def test_replays_script_then_tail(self):
+        rng = np.random.default_rng(5)
+        behavior = ScriptedBehavior([0, 1, 0], tail=1)
+        assert [behavior.next_outcome(rng) for _ in range(5)] == [0, 1, 0, 1, 1]
+        assert behavior.exhausted
+
+    def test_custom_tail(self):
+        rng = np.random.default_rng(6)
+        behavior = ScriptedBehavior([1], tail=0)
+        behavior.next_outcome(rng)
+        assert behavior.next_outcome(rng) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScriptedBehavior([0, 2])
+        with pytest.raises(ValueError):
+            ScriptedBehavior([[0], [1]])
+        with pytest.raises(ValueError):
+            ScriptedBehavior([1], tail=5)
+
+
+class TestMetrics:
+    def test_server_metrics_derived_values(self):
+        m = ServerMetrics(transactions=10, good_transactions=7, requests=20)
+        assert m.bad_transactions == 3
+        assert m.satisfaction_rate == pytest.approx(0.7)
+        assert m.acceptance_rate == pytest.approx(0.5)
+
+    def test_zero_division_guards(self):
+        m = ServerMetrics()
+        assert m.satisfaction_rate == 0.0
+        assert m.acceptance_rate == 0.0
+
+    def test_simulation_metrics_aggregation(self):
+        metrics = SimulationMetrics()
+        metrics.server("a").transactions = 5
+        metrics.server("a").good_transactions = 5
+        metrics.server("b").transactions = 5
+        metrics.server("b").good_transactions = 3
+        assert metrics.total_transactions == 10
+        assert metrics.total_good == 8
+        assert metrics.overall_satisfaction == pytest.approx(0.8)
+
+    def test_summary_keys(self):
+        metrics = SimulationMetrics()
+        summary = metrics.summary()
+        assert set(summary) == {
+            "steps",
+            "transactions",
+            "satisfaction",
+            "refusals_suspicious",
+            "refusals_trust",
+        }
+
+    def test_empty_satisfaction_zero(self):
+        assert SimulationMetrics().overall_satisfaction == 0.0

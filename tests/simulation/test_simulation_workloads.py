@@ -1,0 +1,121 @@
+"""Tests for repro.simulation.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.collusion import CollusionResilientTest
+from repro.core.temporal import TemporalBehaviorTest, hour_of_day_bucket
+from repro.feedback.history import TransactionHistory
+from repro.simulation.workloads import (
+    diurnal_feedback_history,
+    diurnal_quality,
+    zipf_client_weights,
+    zipf_feedback_history,
+)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_client_weights(50)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) <= 0).all()
+
+    def test_skew_increases_with_exponent(self):
+        flat = zipf_client_weights(50, exponent=0.5)
+        steep = zipf_client_weights(50, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_client_weights(0)
+        with pytest.raises(ValueError):
+            zipf_client_weights(10, exponent=0)
+
+
+class TestZipfHistory:
+    def test_basic_shape(self):
+        feedbacks = zipf_feedback_history(500, "srv", seed=1)
+        assert len(feedbacks) == 500
+        assert all(fb.server == "srv" for fb in feedbacks)
+        rate = np.mean([fb.outcome for fb in feedbacks])
+        assert rate == pytest.approx(0.95, abs=0.03)
+
+    def test_activity_is_skewed(self):
+        feedbacks = zipf_feedback_history(2000, "srv", n_clients=100, seed=2)
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        sizes = sorted(
+            (len(v) for v in history.group_by_client().values()), reverse=True
+        )
+        # the heaviest client dwarfs the median one
+        assert sizes[0] > 10 * sizes[len(sizes) // 2]
+
+    def test_honest_zipf_passes_collusion_resilient_test(
+        self, paper_config, shared_calibrator
+    ):
+        # the key property: heterogeneous group sizes alone (no collusion)
+        # must NOT trip the issuer-grouped reordering test
+        test_ = CollusionResilientTest(paper_config, shared_calibrator)
+        passes = 0
+        for s in range(10):
+            feedbacks = zipf_feedback_history(800, "srv", seed=100 + s)
+            history = TransactionHistory.from_feedbacks(feedbacks)
+            passes += test_.test(history).passed
+        assert passes >= 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_feedback_history(-1, "srv")
+        with pytest.raises(ValueError):
+            zipf_feedback_history(10, "srv", p=1.5)
+
+
+class TestDiurnalQuality:
+    def test_dip_at_peak_hour(self):
+        quality = diurnal_quality(base=0.97, dip=0.3, peak_hour=20.0)
+        assert quality(20.0) == pytest.approx(0.67)
+        assert quality(8.0) > 0.95  # far from the peak
+
+    def test_circular_distance(self):
+        quality = diurnal_quality(peak_hour=23.0, width=2.0)
+        # 1am is 2 hours from 11pm across midnight
+        assert quality(1.0) < quality(11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_quality(base=1.5)
+        with pytest.raises(ValueError):
+            diurnal_quality(base=0.5, dip=0.6)
+        with pytest.raises(ValueError):
+            diurnal_quality(width=0)
+
+
+class TestDiurnalHistory:
+    def test_quality_tracks_curve(self):
+        feedbacks = diurnal_feedback_history(
+            5000, "srv", transactions_per_hour=10, seed=3
+        )
+        peak = [fb.outcome for fb in feedbacks if 19 <= fb.time % 24 < 21]
+        calm = [fb.outcome for fb in feedbacks if 6 <= fb.time % 24 < 10]
+        assert np.mean(peak) < np.mean(calm)
+
+    def test_temporal_test_separates_buckets(self, paper_config, shared_calibrator):
+        # business/off-hours bucketing with an off-hours-dipping server:
+        # each bucket individually honest
+        quality = diurnal_quality(base=0.97, dip=0.35, peak_hour=21.0, width=2.0)
+        feedbacks = diurnal_feedback_history(
+            2400, "srv", quality=quality, transactions_per_hour=2, seed=4
+        )
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        temporal = TemporalBehaviorTest(
+            hour_of_day_bucket, paper_config, shared_calibrator
+        )
+        report = temporal.test(history)
+        assert set(report.buckets) == {"business", "off-hours"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_feedback_history(-1, "srv")
+        with pytest.raises(ValueError):
+            diurnal_feedback_history(10, "srv", transactions_per_hour=0)
+        with pytest.raises(ValueError):
+            diurnal_feedback_history(10, "srv", quality=lambda t: 2.0)

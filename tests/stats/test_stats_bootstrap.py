@@ -1,0 +1,88 @@
+"""Tests for repro.stats.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binomial import binomial_pmf
+from repro.stats.bootstrap import (
+    batch_histograms,
+    null_l1_distances,
+    percentile_threshold,
+)
+
+
+class TestBatchHistograms:
+    def test_matches_per_row_bincount(self):
+        rng = np.random.default_rng(0)
+        samples = rng.integers(0, 11, size=(30, 17))
+        result = batch_histograms(samples, 11)
+        expected = np.stack([np.bincount(row, minlength=11) for row in samples])
+        np.testing.assert_array_equal(result, expected)
+
+    def test_row_sums_equal_k(self):
+        samples = np.random.default_rng(1).integers(0, 5, size=(10, 8))
+        assert (batch_histograms(samples, 5).sum(axis=1) == 8).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_histograms(np.array([1, 2, 3]), 5)  # not 2-D
+        with pytest.raises(ValueError):
+            batch_histograms(np.array([[5]]), 5)  # out of support
+        with pytest.raises(ValueError):
+            batch_histograms(np.empty((3, 0), dtype=int), 5)  # zero draws
+
+
+class TestNullL1Distances:
+    def test_shape_and_range(self):
+        pmf = binomial_pmf(10, 0.9)
+        distances = null_l1_distances(pmf, k=50, n_sets=200, seed=1)
+        assert distances.shape == (200,)
+        assert (distances >= 0).all() and (distances <= 2.0).all()
+
+    def test_deterministic_by_seed(self):
+        pmf = binomial_pmf(10, 0.9)
+        a = null_l1_distances(pmf, 20, 50, seed=7)
+        b = null_l1_distances(pmf, 20, 50, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_concentration_with_more_windows(self):
+        # More windows per set -> empirical pmf closer to truth -> smaller
+        # typical distances.  This is the mechanism behind Fig. 8.
+        pmf = binomial_pmf(10, 0.95)
+        small_k = null_l1_distances(pmf, 10, 400, seed=2).mean()
+        large_k = null_l1_distances(pmf, 320, 400, seed=3).mean()
+        assert large_k < small_k / 2
+
+    def test_point_mass_pmf_gives_zero_distances(self):
+        pmf = binomial_pmf(10, 1.0)  # all mass at 10
+        distances = null_l1_distances(pmf, 25, 50, seed=4)
+        np.testing.assert_allclose(distances, 0.0)
+
+    def test_validation(self):
+        pmf = binomial_pmf(10, 0.9)
+        with pytest.raises(ValueError):
+            null_l1_distances(pmf, 0, 10)
+        with pytest.raises(ValueError):
+            null_l1_distances(pmf, 10, 0)
+        with pytest.raises(ValueError):
+            null_l1_distances(np.array([1.0]), 10, 10)
+
+
+class TestPercentileThreshold:
+    def test_simple_quantile(self):
+        distances = np.arange(101, dtype=float)  # 0..100
+        assert percentile_threshold(distances, 0.95) == pytest.approx(95.0)
+
+    def test_covers_requested_fraction(self):
+        rng = np.random.default_rng(5)
+        distances = rng.random(10_000)
+        threshold = percentile_threshold(distances, 0.95)
+        assert (distances <= threshold).mean() == pytest.approx(0.95, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile_threshold(np.array([]), 0.95)
+        with pytest.raises(ValueError):
+            percentile_threshold(np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            percentile_threshold(np.array([1.0]), 0.0)

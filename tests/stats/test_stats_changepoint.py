@@ -1,0 +1,146 @@
+"""Tests for repro.stats.changepoint."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.model import generate_honest_outcomes
+from repro.stats.changepoint import (
+    Segment,
+    bernoulli_segment_cost,
+    detect_change_points,
+    segment_sequence,
+)
+
+
+class TestSegmentCost:
+    def test_degenerate_segments_cost_zero(self):
+        assert bernoulli_segment_cost(0, 100) == 0.0
+        assert bernoulli_segment_cost(100, 100) == 0.0
+        assert bernoulli_segment_cost(0, 0) == 0.0
+
+    def test_maximal_at_half(self):
+        # entropy is maximal at p = 0.5
+        assert bernoulli_segment_cost(50, 100) > bernoulli_segment_cost(90, 100)
+
+    def test_known_value(self):
+        # n * H(0.5) = 100 * ln 2
+        assert bernoulli_segment_cost(50, 100) == pytest.approx(100 * np.log(2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernoulli_segment_cost(5, 4)
+        with pytest.raises(ValueError):
+            bernoulli_segment_cost(-1, 4)
+
+
+class TestDetection:
+    def test_single_clear_change_found(self):
+        seq = np.concatenate(
+            [
+                generate_honest_outcomes(500, 0.95, seed=1),
+                generate_honest_outcomes(500, 0.70, seed=2),
+            ]
+        )
+        cps = detect_change_points(seq)
+        assert len(cps) == 1
+        assert abs(cps[0] - 500) < 60
+
+    def test_two_changes_found(self):
+        seq = np.concatenate(
+            [
+                generate_honest_outcomes(400, 0.95, seed=3),
+                generate_honest_outcomes(400, 0.60, seed=4),
+                generate_honest_outcomes(400, 0.90, seed=5),
+            ]
+        )
+        cps = detect_change_points(seq)
+        assert len(cps) == 2
+        assert abs(cps[0] - 400) < 80
+        assert abs(cps[1] - 800) < 80
+
+    @pytest.mark.parametrize("p", [0.95, 0.9, 0.5])
+    def test_stationary_sequence_not_split(self, p):
+        false_splits = sum(
+            bool(detect_change_points(generate_honest_outcomes(1000, p, seed=s)))
+            for s in range(10)
+        )
+        assert false_splits <= 1  # conservative penalty: rare false positives
+
+    def test_short_sequence_never_split(self):
+        assert detect_change_points(np.ones(80, dtype=np.int8)) == []
+
+    def test_min_segment_respected(self):
+        seq = np.concatenate(
+            [np.ones(60, dtype=np.int8), np.zeros(500, dtype=np.int8)]
+        )
+        cps = detect_change_points(seq, min_segment=100)
+        assert all(cp >= 100 and cp <= seq.size - 100 for cp in cps)
+
+    def test_penalty_scale_controls_sensitivity(self):
+        seq = np.concatenate(
+            [
+                generate_honest_outcomes(300, 0.92, seed=6),
+                generate_honest_outcomes(300, 0.84, seed=7),
+            ]
+        )
+        lenient = detect_change_points(seq, penalty_scale=0.5)
+        strict = detect_change_points(seq, penalty_scale=20.0)
+        assert len(lenient) >= len(strict)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_change_points(np.array([0, 2, 1]))
+        with pytest.raises(ValueError):
+            detect_change_points(np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            detect_change_points(np.ones(100, dtype=np.int8), min_segment=1)
+        with pytest.raises(ValueError):
+            detect_change_points(np.ones(100, dtype=np.int8), penalty_scale=0)
+
+
+class TestSegmentSequence:
+    def test_segments_partition_the_sequence(self):
+        seq = np.concatenate(
+            [
+                generate_honest_outcomes(500, 0.95, seed=8),
+                generate_honest_outcomes(500, 0.65, seed=9),
+            ]
+        )
+        segments = segment_sequence(seq)
+        assert segments[0].start == 0
+        assert segments[-1].end == seq.size
+        for left, right in zip(segments, segments[1:]):
+            assert left.end == right.start
+
+    def test_segment_rates_match_regimes(self):
+        seq = np.concatenate(
+            [
+                generate_honest_outcomes(600, 0.95, seed=10),
+                generate_honest_outcomes(600, 0.70, seed=11),
+            ]
+        )
+        segments = segment_sequence(seq)
+        assert len(segments) == 2
+        assert segments[0].p_hat == pytest.approx(0.95, abs=0.04)
+        assert segments[1].p_hat == pytest.approx(0.70, abs=0.05)
+
+    def test_stationary_gives_single_segment(self):
+        seq = generate_honest_outcomes(800, 0.9, seed=12)
+        segments = segment_sequence(seq)
+        assert len(segments) == 1
+        assert segments[0] == Segment(0, 800, p_hat=float(seq.mean()))
+
+    def test_segment_length_property(self):
+        assert Segment(10, 25, 0.5).length == 15
+
+    @given(
+        p=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_segments_cover_everything_once(self, p, seed):
+        seq = generate_honest_outcomes(300, p, seed=seed)
+        segments = segment_sequence(seq, min_segment=50)
+        covered = sum(s.length for s in segments)
+        assert covered == 300

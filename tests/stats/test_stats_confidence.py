@@ -1,0 +1,109 @@
+"""Tests for repro.stats.confidence (binomial-proportion intervals)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.feedback.history import TransactionHistory
+from repro.stats.confidence import (
+    TrustEstimate,
+    clopper_pearson_interval,
+    trust_with_confidence,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lower, upper = wilson_interval(95, 100)
+        assert lower < 0.95 < upper
+
+    def test_narrows_with_evidence(self):
+        narrow = wilson_interval(950, 1000)
+        wide = wilson_interval(95, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_extreme_proportions_stay_in_unit_interval(self):
+        lower, upper = wilson_interval(100, 100)
+        assert 0.0 <= lower <= upper <= 1.0
+        lower, upper = wilson_interval(0, 100)
+        assert 0.0 <= lower <= upper <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=1.0)
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        good=st.integers(min_value=0, max_value=500),
+        confidence=st.floats(min_value=0.5, max_value=0.999),
+    )
+    def test_property_valid_interval(self, n, good, confidence):
+        good = min(good, n)
+        lower, upper = wilson_interval(good, n, confidence)
+        assert 0.0 <= lower <= upper <= 1.0
+        assert lower <= good / n + 1e-12
+        assert upper >= good / n - 1e-12
+
+
+class TestClopperPearson:
+    def test_exact_coverage_property(self):
+        # CP is conservative: empirical coverage >= nominal
+        rng = np.random.default_rng(1)
+        p, n, trials = 0.9, 50, 400
+        covered = 0
+        for _ in range(trials):
+            good = int(rng.binomial(n, p))
+            lower, upper = clopper_pearson_interval(good, n, 0.9)
+            covered += lower <= p <= upper
+        assert covered / trials >= 0.9
+
+    def test_wider_than_wilson(self):
+        wilson = wilson_interval(90, 100)
+        cp = clopper_pearson_interval(90, 100)
+        assert (cp[1] - cp[0]) >= (wilson[1] - wilson[0]) - 1e-9
+
+    def test_degenerate_edges(self):
+        assert clopper_pearson_interval(0, 20)[0] == 0.0
+        assert clopper_pearson_interval(20, 20)[1] == 1.0
+
+
+class TestTrustWithConfidence:
+    def test_short_perfect_history_not_confidently_trusted(self):
+        # the paper's "short histories are high-risk" point, quantified:
+        # 10/10 good transactions do NOT establish >= 0.9 trust at 95%
+        estimate = trust_with_confidence(np.ones(10, dtype=int))
+        assert estimate.point == 1.0
+        assert not estimate.confidently_above(0.9)
+
+    def test_long_good_history_confidently_trusted(self):
+        outcomes = np.ones(500, dtype=int)
+        outcomes[::50] = 0  # 2% failures
+        estimate = trust_with_confidence(outcomes)
+        assert estimate.confidently_above(0.9)
+
+    def test_accepts_history_object(self):
+        history = TransactionHistory.from_outcomes([1] * 60 + [0] * 4)
+        estimate = trust_with_confidence(history)
+        assert estimate.n == 64
+        assert estimate.point == pytest.approx(60 / 64)
+
+    def test_methods_agree_on_ordering(self):
+        wilson = trust_with_confidence(np.ones(30, dtype=int), method="wilson")
+        cp = trust_with_confidence(np.ones(30, dtype=int), method="clopper-pearson")
+        assert cp.lower <= wilson.lower  # CP is more conservative
+
+    def test_width(self):
+        estimate = TrustEstimate(point=0.9, lower=0.85, upper=0.94, n=100, confidence=0.95)
+        assert estimate.width == pytest.approx(0.09)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trust_with_confidence(np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            trust_with_confidence(np.ones(5, dtype=int), method="bayes")

@@ -1,0 +1,103 @@
+"""Tests for repro.stats.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.distances import (
+    DISTANCES,
+    chi_square_statistic,
+    get_distance,
+    ks_distance,
+    l1_distance,
+    l2_distance,
+    total_variation,
+)
+
+
+def _pmf_strategy(size=6):
+    return (
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+        .filter(lambda xs: sum(xs) > 0)
+        .map(lambda xs: np.asarray(xs) / np.sum(xs))
+    )
+
+
+class TestL1:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert l1_distance(p, p) == 0.0
+
+    def test_disjoint_is_two(self):
+        assert l1_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert l1_distance([0.5, 0.5], [0.25, 0.75]) == pytest.approx(0.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            l1_distance([0.5, 0.5], [1.0])
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            l1_distance(np.eye(2), np.eye(2))
+
+    @given(p=_pmf_strategy(), q=_pmf_strategy())
+    def test_property_symmetric_and_bounded(self, p, q):
+        d = l1_distance(p, q)
+        assert d == pytest.approx(l1_distance(q, p))
+        assert 0.0 <= d <= 2.0 + 1e-9
+
+    @given(p=_pmf_strategy(), q=_pmf_strategy(), r=_pmf_strategy())
+    def test_property_triangle_inequality(self, p, q, r):
+        assert l1_distance(p, r) <= l1_distance(p, q) + l1_distance(q, r) + 1e-9
+
+
+class TestOthers:
+    def test_tv_is_half_l1(self):
+        p = np.array([0.1, 0.4, 0.5])
+        q = np.array([0.3, 0.3, 0.4])
+        assert total_variation(p, q) == pytest.approx(0.5 * l1_distance(p, q))
+
+    def test_l2_known_value(self):
+        assert l2_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(np.sqrt(2))
+
+    def test_ks_known_value(self):
+        # cdf gaps: |0.5-0.25| = 0.25 at the first point
+        assert ks_distance([0.5, 0.5], [0.25, 0.75]) == pytest.approx(0.25)
+
+    def test_chi2_zero_on_identical(self):
+        p = np.array([0.2, 0.8])
+        assert chi_square_statistic(p, p) == pytest.approx(0.0)
+
+    def test_chi2_finite_on_zero_reference(self):
+        value = chi_square_statistic([0.5, 0.5], [1.0, 0.0])
+        assert np.isfinite(value)
+        assert value > 1e6  # huge, but usable in threshold comparisons
+
+    @given(p=_pmf_strategy(), q=_pmf_strategy())
+    def test_property_ks_bounded_by_tv(self, p, q):
+        # KS distance never exceeds total variation
+        assert ks_distance(p, q) <= total_variation(p, q) + 1e-9
+
+    @given(p=_pmf_strategy(), q=_pmf_strategy())
+    def test_property_all_nonnegative(self, p, q):
+        for fn in DISTANCES.values():
+            assert fn(p, q) >= 0.0
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_distance("l1") is l1_distance
+
+    def test_all_registered(self):
+        assert set(DISTANCES) == {"l1", "tv", "l2", "ks", "chi2"}
+
+    def test_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="l1"):
+            get_distance("wasserstein")

@@ -1,0 +1,109 @@
+"""Tests for repro.stats.empirical."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.empirical import IncrementalHistogram, counts_histogram, empirical_pmf
+
+
+class TestCountsHistogram:
+    def test_basic(self):
+        hist = counts_histogram([0, 1, 1, 3], 5)
+        np.testing.assert_array_equal(hist, [1, 2, 0, 1, 0])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(counts_histogram([], 3), [0, 0, 0])
+
+    def test_out_of_support_raises(self):
+        with pytest.raises(ValueError):
+            counts_histogram([5], 5)
+        with pytest.raises(ValueError):
+            counts_histogram([-1], 5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=100))
+    def test_property_total_preserved(self, samples):
+        hist = counts_histogram(samples, 11)
+        assert hist.sum() == len(samples)
+
+
+class TestEmpiricalPmf:
+    def test_normalized(self):
+        pmf = empirical_pmf([2, 2, 4], 5)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[2] == pytest.approx(2 / 3)
+
+    def test_zero_samples_raise(self):
+        with pytest.raises(ValueError):
+            empirical_pmf([], 4)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=60))
+    def test_property_valid_pmf(self, samples):
+        pmf = empirical_pmf(samples, 8)
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0)
+
+
+class TestIncrementalHistogram:
+    def test_add_and_pmf(self):
+        hist = IncrementalHistogram(4)
+        for v in (0, 1, 1, 3):
+            hist.add(v)
+        assert hist.n_samples == 4
+        assert hist.total_value == 5
+        np.testing.assert_allclose(hist.pmf(), [0.25, 0.5, 0.0, 0.25])
+
+    def test_add_block_matches_add(self):
+        a = IncrementalHistogram(11)
+        b = IncrementalHistogram(11)
+        values = np.random.default_rng(0).integers(0, 11, size=200)
+        a.add_many(values)
+        b.add_block(values)
+        np.testing.assert_array_equal(a.histogram(), b.histogram())
+        assert a.total_value == b.total_value
+        assert a.n_samples == b.n_samples
+
+    def test_add_block_empty_noop(self):
+        hist = IncrementalHistogram(3)
+        hist.add_block(np.array([], dtype=np.int64))
+        assert hist.n_samples == 0
+
+    def test_mean_rate(self):
+        hist = IncrementalHistogram(11)
+        hist.add_many([9, 10, 8, 9])  # 36 goods over 4 windows of 10
+        assert hist.mean_rate(10) == pytest.approx(0.9)
+
+    def test_out_of_support_raises(self):
+        hist = IncrementalHistogram(4)
+        with pytest.raises(ValueError):
+            hist.add(4)
+        with pytest.raises(ValueError):
+            hist.add(-1)
+        with pytest.raises(ValueError):
+            hist.add_block(np.array([4]))
+
+    def test_pmf_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            IncrementalHistogram(4).pmf()
+        with pytest.raises(ValueError):
+            IncrementalHistogram(4).mean_rate(10)
+
+    def test_histogram_returns_copy(self):
+        hist = IncrementalHistogram(3)
+        hist.add(1)
+        snapshot = hist.histogram()
+        hist.add(1)
+        assert snapshot[1] == 1.0  # unchanged
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            IncrementalHistogram(0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=80)
+    )
+    def test_property_matches_batch_histogram(self, values):
+        hist = IncrementalHistogram(11)
+        hist.add_many(values)
+        np.testing.assert_array_equal(hist.histogram(), counts_histogram(values, 11))

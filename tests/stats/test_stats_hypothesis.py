@@ -1,0 +1,110 @@
+"""Tests for repro.stats.hypothesis (classical tests)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binomial import sample_window_counts
+from repro.stats.hypothesis import (
+    TestOutcome,
+    block_frequency_test,
+    chi_square_gof_test,
+    exact_binomial_test,
+    runs_test,
+)
+
+
+class TestOutcomeSemantics:
+    def test_passed_threshold(self):
+        assert TestOutcome(0.0, p_value=0.05, alpha=0.05).passed
+        assert not TestOutcome(0.0, p_value=0.049, alpha=0.05).passed
+
+
+class TestExactBinomial:
+    def test_consistent_sample_passes(self):
+        outcome = exact_binomial_test(95, 100, 0.95)
+        assert outcome.passed
+
+    def test_inconsistent_sample_fails(self):
+        outcome = exact_binomial_test(50, 100, 0.95)
+        assert not outcome.passed
+        assert outcome.p_value < 1e-10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_binomial_test(5, 4, 0.5)
+        with pytest.raises(ValueError):
+            exact_binomial_test(1, 4, 1.5)
+
+
+class TestChiSquareGof:
+    def test_honest_windows_pass(self):
+        counts = sample_window_counts(10, 0.9, 200, seed=1)
+        assert chi_square_gof_test(counts, 10, 0.9).passed
+
+    def test_wrong_p_fails(self):
+        counts = sample_window_counts(10, 0.9, 200, seed=1)
+        assert not chi_square_gof_test(counts, 10, 0.5).passed
+
+    def test_constant_windows_fail(self):
+        # every window exactly 9/10: far too concentrated for B(10, 0.9)
+        counts = np.full(100, 9)
+        assert not chi_square_gof_test(counts, 10, 0.9).passed
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            chi_square_gof_test(np.array([], dtype=int), 10, 0.9)
+
+
+class TestRunsTest:
+    def test_random_sequences_mostly_pass(self):
+        # alpha = 0.05, so individual random sequences fail ~5% of the time;
+        # assert the aggregate false-positive rate instead of one draw.
+        rng = np.random.default_rng(0)
+        passes = sum(
+            runs_test((rng.random(2000) < 0.5).astype(int)).passed
+            for _ in range(40)
+        )
+        assert passes >= 34  # ~5% expected failures, allow slack
+
+    def test_clumped_sequence_fails(self):
+        # all bad transactions at the end (hibernating pattern): too few runs
+        seq = np.concatenate([np.ones(500, dtype=int), np.zeros(500, dtype=int)])
+        assert not runs_test(seq).passed
+
+    def test_alternating_sequence_fails(self):
+        # strictly alternating: far too many runs
+        seq = np.tile([0, 1], 500)
+        assert not runs_test(seq).passed
+
+    def test_constant_sequence_degenerate_pass(self):
+        assert runs_test(np.ones(50, dtype=int)).passed
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            runs_test(np.array([1]))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            runs_test(np.array([0, 2, 1]))
+
+
+class TestBlockFrequency:
+    def test_honest_sequence_passes(self):
+        rng = np.random.default_rng(5)
+        seq = (rng.random(1000) < 0.95).astype(int)
+        assert block_frequency_test(seq, 10).passed
+
+    def test_burst_sequence_fails(self):
+        seq = np.concatenate([np.ones(900, dtype=int), np.zeros(100, dtype=int)])
+        assert not block_frequency_test(seq, 10).passed
+
+    def test_degenerate_constant_passes(self):
+        assert block_frequency_test(np.ones(100, dtype=int), 10).passed
+
+    def test_short_sequence_raises(self):
+        with pytest.raises(ValueError):
+            block_frequency_test(np.ones(5, dtype=int), 10)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            block_frequency_test(np.ones(100, dtype=int), 0)

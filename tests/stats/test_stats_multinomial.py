@@ -1,0 +1,82 @@
+"""Tests for repro.stats.multinomial."""
+
+import numpy as np
+import pytest
+
+from repro.stats.binomial import binomial_pmf
+from repro.stats.multinomial import (
+    MultinomialModel,
+    category_marginals,
+    estimate_category_probs,
+)
+
+
+class TestMultinomialModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultinomialModel(0, (0.5, 0.5))
+        with pytest.raises(ValueError):
+            MultinomialModel(10, (0.5,))
+        with pytest.raises(ValueError):
+            MultinomialModel(10, (0.5, 0.6))
+        with pytest.raises(ValueError):
+            MultinomialModel(10, (-0.1, 1.1))
+
+    def test_n_categories(self):
+        assert MultinomialModel(10, (0.7, 0.2, 0.1)).n_categories == 3
+
+    def test_marginal_pmfs_are_binomials(self):
+        model = MultinomialModel(10, (0.7, 0.2, 0.1))
+        marginals = model.marginal_pmfs()
+        assert marginals.shape == (3, 11)
+        for j, pj in enumerate((0.7, 0.2, 0.1)):
+            np.testing.assert_allclose(marginals[j], binomial_pmf(10, pj))
+
+    def test_sample_rows_sum_to_m(self):
+        model = MultinomialModel(10, (0.8, 0.15, 0.05))
+        draws = model.sample(50, seed=1)
+        assert draws.shape == (50, 3)
+        assert (draws.sum(axis=1) == 10).all()
+
+    def test_sample_deterministic(self):
+        model = MultinomialModel(6, (0.5, 0.5))
+        np.testing.assert_array_equal(model.sample(5, seed=2), model.sample(5, seed=2))
+
+    def test_sample_negative_raises(self):
+        with pytest.raises(ValueError):
+            MultinomialModel(6, (0.5, 0.5)).sample(-1)
+
+
+class TestCategoryMarginals:
+    def test_basic(self):
+        windows = np.array([[8, 2], [10, 0]])
+        marginals = category_marginals(windows, 10)
+        assert marginals.shape == (2, 11)
+        assert marginals[0, 8] == pytest.approx(0.5)
+        assert marginals[0, 10] == pytest.approx(0.5)
+        assert marginals[1, 2] == pytest.approx(0.5)
+        assert marginals[1, 0] == pytest.approx(0.5)
+
+    def test_row_sum_validation(self):
+        with pytest.raises(ValueError):
+            category_marginals(np.array([[5, 4]]), 10)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            category_marginals(np.array([1, 2, 3]), 6)
+
+
+class TestEstimateCategoryProbs:
+    def test_recovers_generator_probs(self):
+        model = MultinomialModel(10, (0.75, 0.20, 0.05))
+        windows = model.sample(5000, seed=3)
+        probs = estimate_category_probs(windows, 10)
+        np.testing.assert_allclose(probs, (0.75, 0.20, 0.05), atol=0.01)
+
+    def test_sums_to_one(self):
+        windows = MultinomialModel(8, (0.6, 0.4)).sample(40, seed=4)
+        assert estimate_category_probs(windows, 8).sum() == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_category_probs(np.empty((0, 2)), 10)

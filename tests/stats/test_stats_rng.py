@@ -1,0 +1,67 @@
+"""Tests for repro.stats.rng."""
+
+import numpy as np
+import pytest
+
+from repro.stats.rng import derive_seed, make_rng, spawn
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_threading_one_generator_advances_state(self):
+        gen = make_rng(11)
+        first = make_rng(gen).random()
+        second = make_rng(gen).random()
+        assert first != second  # same stream, consumed sequentially
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(make_rng(5), 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_spawn_children_are_independent_streams(self):
+        children = spawn(make_rng(5), 2)
+        a = children[0].random(8)
+        b = children[1].random(8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic_given_parent_seed(self):
+        a = spawn(make_rng(9), 3)[1].random(4)
+        b = spawn(make_rng(9), 3)[1].random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_zero(self):
+        assert spawn(make_rng(5), 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(5), -1)
+
+
+class TestDeriveSeed:
+    def test_range(self):
+        seed = derive_seed(make_rng(1))
+        assert 0 <= seed < 2**63
+
+    def test_deterministic(self):
+        assert derive_seed(make_rng(4)) == derive_seed(make_rng(4))
+
+    def test_usable_as_seed(self):
+        seed = derive_seed(make_rng(2))
+        assert isinstance(make_rng(seed), np.random.Generator)

@@ -1,0 +1,114 @@
+"""Tests for repro.stats.sequences (NIST-style randomness tests)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import generate_honest_outcomes
+from repro.stats.sequences import approximate_entropy_test, cusum_test, serial_test
+
+ALL_TESTS = [serial_test, approximate_entropy_test, cusum_test]
+
+
+def _honest(n=1000, p=0.95, seed=1):
+    return generate_honest_outcomes(n, p, seed=seed)
+
+
+def _periodic(n=1000):
+    return np.tile([0] + [1] * 9, n // 10)
+
+
+def _hibernating(n=1000, bads=50):
+    return np.concatenate(
+        [np.ones(n - bads, dtype=np.int8), np.zeros(bads, dtype=np.int8)]
+    )
+
+
+class TestHonestBehavior:
+    @pytest.mark.parametrize("test_fn", ALL_TESTS, ids=lambda f: f.__name__)
+    def test_honest_sequences_mostly_pass(self, test_fn):
+        passes = sum(
+            test_fn(_honest(seed=100 + s)).passed for s in range(30)
+        )
+        assert passes >= 25  # ~5% rejection expected at alpha = 0.05
+
+    @pytest.mark.parametrize("test_fn", ALL_TESTS, ids=lambda f: f.__name__)
+    def test_biased_but_random_passes(self, test_fn):
+        # the whole point of the bias generalization: p != 0.5 is fine
+        assert test_fn(_honest(p=0.8, seed=2)).passed
+
+    @pytest.mark.parametrize("test_fn", ALL_TESTS, ids=lambda f: f.__name__)
+    def test_degenerate_sequences_pass(self, test_fn):
+        assert test_fn(np.ones(200, dtype=np.int8)).passed
+        assert test_fn(np.zeros(200, dtype=np.int8)).passed
+
+
+class TestAttackPatterns:
+    def test_serial_catches_regular_periodicity(self):
+        assert not serial_test(_periodic()).passed
+
+    def test_apen_catches_regular_periodicity(self):
+        assert not approximate_entropy_test(_periodic()).passed
+
+    def test_cusum_catches_hibernating_burst(self):
+        assert not cusum_test(_hibernating()).passed
+
+    def test_serial_catches_hibernating_burst(self):
+        assert not serial_test(_hibernating()).passed
+
+    def test_cusum_blind_to_evenly_spread_periodicity(self):
+        # the centered walk of a perfectly regular 1-in-10 pattern never
+        # drifts: cusum cannot see it (why the paper needs the windowed
+        # distribution test, not just excursion statistics)
+        assert cusum_test(_periodic()).passed
+
+    def test_alternating_blocks_caught_by_pattern_tests(self):
+        blocks = np.tile([1] * 10 + [0] * 10, 50)
+        assert not serial_test(blocks).passed
+        assert not approximate_entropy_test(blocks).passed
+        # cusum only sees *drift*: a balanced oscillation keeps the walk
+        # near zero, so it passes — every statistic has blind spots, the
+        # argument for the paper's windowed distribution test
+        assert cusum_test(blocks).passed
+
+
+class TestValidation:
+    @pytest.mark.parametrize("test_fn", ALL_TESTS, ids=lambda f: f.__name__)
+    def test_rejects_non_binary(self, test_fn):
+        with pytest.raises(ValueError):
+            test_fn(np.array([0, 1, 2] * 100))
+
+    @pytest.mark.parametrize("test_fn", ALL_TESTS, ids=lambda f: f.__name__)
+    def test_rejects_2d(self, test_fn):
+        with pytest.raises(ValueError):
+            test_fn(np.ones((10, 100), dtype=np.int8))
+
+    def test_minimum_lengths_enforced(self):
+        with pytest.raises(ValueError):
+            serial_test(np.ones(8, dtype=np.int8))
+        with pytest.raises(ValueError):
+            cusum_test(np.ones(16, dtype=np.int8))
+        with pytest.raises(ValueError):
+            approximate_entropy_test(np.ones(16, dtype=np.int8))
+
+    def test_apen_pattern_length_bounds(self):
+        with pytest.raises(ValueError):
+            approximate_entropy_test(_honest(), m=0)
+        with pytest.raises(ValueError):
+            approximate_entropy_test(_honest(), m=9)
+
+    def test_apen_longer_patterns_work(self):
+        assert approximate_entropy_test(_honest(seed=3), m=3).passed
+
+
+class TestStatisticalProperties:
+    def test_serial_pvalue_roughly_uniform_under_null(self):
+        # aggregate sanity: under H0 the p-value should not concentrate
+        p_values = [
+            serial_test(_honest(seed=200 + s)).p_value for s in range(40)
+        ]
+        assert 0.2 < float(np.mean(p_values)) < 0.8
+
+    def test_cusum_statistic_grows_with_burst_size(self):
+        small = cusum_test(_hibernating(bads=20)).statistic
+        large = cusum_test(_hibernating(bads=80)).statistic
+        assert large > small

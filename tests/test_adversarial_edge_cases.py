@@ -1,0 +1,118 @@
+"""Adversarial edge cases: where each defense layer ends and the next begins.
+
+Each test documents a *known boundary* of a scheme — not a bug, but the
+place where responsibility hands over to another mechanism (trust
+threshold, joining cost, ...).  Keeping these as executable facts stops
+future refactors from accidentally claiming more than the math delivers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.segmented import SegmentedBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.core.verdict import AssessmentStatus
+from repro.feedback.history import TransactionHistory
+from repro.trust.average import AverageTrust
+
+
+class TestSegmentationLaundering:
+    """A long constant-rate bad regime is *legitimized* by segmentation —
+    and that is fine, because the trust phase rejects it."""
+
+    def _laundered_history(self, seed=1):
+        # honest cover, then a long steady 50%-quality regime: iid within
+        # the regime, long enough to be its own segment
+        return np.concatenate(
+            [
+                generate_honest_outcomes(600, 0.97, seed=seed),
+                generate_honest_outcomes(300, 0.5, seed=seed + 1),
+            ]
+        )
+
+    def test_segmented_test_passes_the_laundered_history(
+        self, paper_config, shared_calibrator
+    ):
+        trace = self._laundered_history()
+        report = SegmentedBehaviorTest(paper_config, shared_calibrator).test(trace)
+        assert report.passed  # each regime is genuinely binomial
+        assert report.n_segments == 2
+
+    def test_trust_phase_catches_what_segmentation_legitimizes(
+        self, paper_config, shared_calibrator
+    ):
+        trace = self._laundered_history()
+        assessor = TwoPhaseAssessor(
+            SegmentedBehaviorTest(paper_config, shared_calibrator),
+            AverageTrust(),
+            trust_threshold=0.9,
+        )
+        result = assessor.assess(TransactionHistory.from_outcomes(trace))
+        # not suspicious — openly bad; the threshold does the rejecting
+        assert result.status is AssessmentStatus.UNTRUSTED
+
+    def test_plain_multi_testing_flags_the_same_history(
+        self, paper_config, shared_calibrator
+    ):
+        # the static schemes treat the regime change itself as suspicious:
+        # stricter on attackers, but also the source of the false alarms
+        # on honest drift that motivated segmentation
+        trace = self._laundered_history()
+        assert not MultiBehaviorTest(paper_config, shared_calibrator).test(trace).passed
+
+
+class TestWindowBoundaryGaming:
+    def test_one_bad_per_window_at_boundaries_detected(
+        self, paper_config, shared_calibrator
+    ):
+        # an attacker aware of m=10 spacing its bads exactly m apart still
+        # produces constant window counts — more regular than binomial
+        trace = np.tile([1] * 9 + [0], 60)
+        assert not SingleBehaviorTest(paper_config, shared_calibrator).test(trace).passed
+
+    def test_window_size_mismatch_does_not_blind_the_test(
+        self, shared_calibrator
+    ):
+        # attacker calibrated against m=10 regularity, defender uses m=7
+        config = BehaviorTestConfig(window_size=7)
+        test_ = SingleBehaviorTest(config)
+        trace = np.tile([1] * 9 + [0], 60)
+        assert not test_.test(trace).passed
+
+
+class TestTinyAndDegenerateInputs:
+    def test_history_of_exactly_min_transactions(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        verdict = test_.test(np.ones(paper_config.min_transactions, dtype=np.int8))
+        assert not verdict.insufficient
+        assert verdict.n_windows == paper_config.min_windows
+
+    def test_one_below_min_transactions(self, paper_config, shared_calibrator):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        verdict = test_.test(
+            np.ones(paper_config.min_transactions - 1, dtype=np.int8)
+        )
+        assert verdict.insufficient
+
+    def test_single_bad_in_otherwise_perfect_history(
+        self, paper_config, shared_calibrator
+    ):
+        # one blemish in 1000 transactions must never flag a server
+        trace = np.ones(1000, dtype=np.int8)
+        trace[500] = 0
+        assert SingleBehaviorTest(paper_config, shared_calibrator).test(trace).passed
+        assert MultiBehaviorTest(paper_config, shared_calibrator).test(trace).passed
+
+    def test_alternating_good_bad_detected(self, paper_config, shared_calibrator):
+        # p_hat = 0.5 but every window is exactly 5/10: zero variance
+        trace = np.tile([1, 0], 300)
+        assert not SingleBehaviorTest(paper_config, shared_calibrator).test(trace).passed
+
+    def test_maximum_variance_blocks_detected(self, paper_config, shared_calibrator):
+        # all-good and all-bad windows only: far over-dispersed
+        trace = np.tile([1] * 10 + [0] * 10, 30)
+        assert not SingleBehaviorTest(paper_config, shared_calibrator).test(trace).passed

@@ -1,0 +1,92 @@
+"""API-hygiene meta-tests: documentation and export consistency.
+
+A library deliverable is its public surface; these tests keep it honest:
+every public item is documented, every ``__all__`` name resolves, and
+the subpackages export what their ``__init__`` promises.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.stats",
+    "repro.feedback",
+    "repro.trust",
+    "repro.core",
+    "repro.adversary",
+    "repro.simulation",
+    "repro.p2p",
+    "repro.analysis",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_module_has_docstring(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_all_names_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        assert hasattr(module, "__all__"), f"{package_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_no_duplicate_exports(self, package_name):
+        module = importlib.import_module(package_name)
+        assert len(module.__all__) == len(set(module.__all__))
+
+    def test_public_classes_and_functions_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{package_name}: undocumented {undocumented}"
+
+
+def _documented_somewhere(cls, method_name: str) -> bool:
+    """Is the method documented on the class or any base it implements?
+
+    Overriding a documented interface method (TrustTracker.update,
+    ServerBehavior.next_outcome, ...) does not require restating the
+    contract — that would be noise, not documentation.
+    """
+    for base in cls.__mro__:
+        candidate = base.__dict__.get(method_name)
+        doc = getattr(candidate, "__doc__", None)
+        if doc and doc.strip():
+            return True
+    # typing.Protocol bases are not always in __mro__ views of functions;
+    # check declared protocol parents explicitly
+    for base in getattr(cls, "__bases__", ()):
+        candidate = getattr(base, method_name, None)
+        doc = getattr(candidate, "__doc__", None)
+        if doc and doc.strip():
+            return True
+    return False
+
+
+class TestPublicMethodDocs:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_methods_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited; documented on the parent
+                if not _documented_somewhere(obj, method_name):
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, f"{package_name}: undocumented {sorted(set(undocumented))}"

@@ -1,0 +1,85 @@
+"""Smoke tests: every example must run clean through the public API.
+
+Examples are documentation that executes; a broken one misleads every
+new user.  Each is run as a subprocess (exactly how users run them) and
+its key output lines are asserted.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamplesRun:
+    def test_every_example_is_covered_here(self):
+        covered = {
+            "quickstart.py",
+            "marketplace_screening.py",
+            "p2p_collusion_ring.py",
+            "trust_function_shootout.py",
+            "detection_tuning.py",
+            "dht_reputation.py",
+            "dynamic_servers.py",
+            "roc_tradeoffs.py",
+        }
+        assert set(ALL_EXAMPLES) == covered
+
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "alice" in out and "trusted" in out
+        assert "mallory" in out and "suspicious" in out
+
+    def test_marketplace_screening(self):
+        out = _run("marketplace_screening.py")
+        assert "attackers flagged by multi-testing" in out
+        assert "dans-discounts" in out
+
+    def test_p2p_collusion_ring(self):
+        out = _run("p2p_collusion_ring.py")
+        assert "average trust only" in out
+        assert "collusion-resilient" in out
+
+    def test_dht_reputation(self):
+        out = _run("dht_reputation.py")
+        assert "crashed" in out
+        assert "suspicious" in out
+        assert "push-pull gossip" in out
+
+    def test_dynamic_servers(self):
+        out = _run("dynamic_servers.py")
+        assert "migrated-mirror" in out
+        assert "segmented: ok" in out
+        assert "clockwork-cheat" in out
+
+    def test_detection_tuning(self):
+        out = _run("detection_tuning.py")
+        assert "false-pos" in out
+        assert "detection" in out
+
+    def test_roc_tradeoffs(self):
+        out = _run("roc_tradeoffs.py")
+        assert "AUC" in out
+        assert "max sustainable cheat rate" in out
+
+    @pytest.mark.slow
+    def test_trust_function_shootout(self):
+        out = _run("trust_function_shootout.py")
+        assert "attacker bad txns" in out
+        assert "average" in out and "weighted" in out

@@ -1,0 +1,193 @@
+"""End-to-end integration tests across packages.
+
+These exercise the paper's central claims through the public API only —
+the same calls a downstream user would make.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    AssessmentStatus,
+    AverageTrust,
+    BehaviorTestConfig,
+    CollusionResilientMultiTest,
+    FeedbackLedger,
+    Feedback,
+    MultiBehaviorTest,
+    Rating,
+    SingleBehaviorTest,
+    TransactionHistory,
+    TwoPhaseAssessor,
+    WeightedTrust,
+    generate_honest_outcomes,
+)
+from repro.adversary import (
+    ColludingStrategicAttacker,
+    StrategicAttacker,
+    periodic_attack_history,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_snippet(self):
+        history = TransactionHistory.from_outcomes(
+            generate_honest_outcomes(500, 0.95, seed=42)
+        )
+        assessor = TwoPhaseAssessor(
+            MultiBehaviorTest(), AverageTrust(), trust_threshold=0.9
+        )
+        assert assessor.assess(history).status is AssessmentStatus.TRUSTED
+
+
+class TestCentralClaim:
+    """Same ratio, different pattern: only the two-phase approach separates them."""
+
+    def test_trust_function_cannot_separate_but_screen_can(self):
+        n = 1000
+        honest = generate_honest_outcomes(n, 0.95, seed=1)
+        hibernating = np.concatenate(
+            [np.ones(n - 50, dtype=np.int8), np.zeros(50, dtype=np.int8)]
+        )
+        trust = AverageTrust()
+        assert trust.score(honest) == pytest.approx(trust.score(hibernating), abs=0.02)
+
+        screen = MultiBehaviorTest()
+        assert screen.test(honest).passed
+        assert not screen.test(hibernating).passed
+
+
+class TestAttackCostOrdering:
+    """The Fig. 3 story end to end: none <= scheme1 <= scheme2 at long preps."""
+
+    def test_cost_ordering_average_function(self):
+        prep = 800
+        costs = {}
+        for name, screen in [
+            ("none", None),
+            ("scheme1", SingleBehaviorTest()),
+            ("scheme2", MultiBehaviorTest()),
+        ]:
+            attacker = StrategicAttacker(AverageTrust(), screen)
+            costs[name] = np.mean(
+                [attacker.run(prep, seed=s).cost for s in range(3)]
+            )
+        assert costs["none"] == 0.0
+        assert costs["none"] < costs["scheme1"] <= costs["scheme2"]
+
+
+class TestCollusionStory:
+    def test_collusion_free_without_testing_costly_with(self):
+        bare = ColludingStrategicAttacker(WeightedTrust(0.5), None, target_bads=10)
+        screened = ColludingStrategicAttacker(
+            WeightedTrust(0.5), CollusionResilientMultiTest(), target_bads=10
+        )
+        assert bare.run(300, seed=2).cost == 0
+        assert screened.run(300, seed=2).cost > 0
+
+
+class TestDetectionMonotonicity:
+    def test_larger_attack_windows_harder_to_catch(self):
+        test_ = SingleBehaviorTest()
+        rng = np.random.default_rng(3)
+
+        def rate(window):
+            hits = 0
+            for _ in range(40):
+                trace = periodic_attack_history(800, window, seed=rng)
+                hits += not test_.test(trace).passed
+            return hits / 40
+
+        assert rate(10) > rate(80)
+
+
+class TestLedgerRoundTrip:
+    def test_ledger_to_assessment(self):
+        ledger = FeedbackLedger()
+        rng = np.random.default_rng(4)
+        for t in range(600):
+            ledger.record(
+                Feedback(
+                    time=float(t),
+                    server="shop",
+                    client=f"buyer-{int(rng.integers(0, 40))}",
+                    rating=Rating.POSITIVE if rng.random() < 0.96 else Rating.NEGATIVE,
+                )
+            )
+        assessor = TwoPhaseAssessor(
+            CollusionResilientMultiTest(), AverageTrust(), trust_threshold=0.9
+        )
+        result = assessor.assess(ledger.history("shop"), ledger=ledger)
+        assert result.status is AssessmentStatus.TRUSTED
+
+
+class TestUnstructuredOverlayAssessment:
+    """The Sec. 2 availability assumption on a Gnutella-style overlay."""
+
+    def _populated_overlay(self):
+        from repro.p2p import UnstructuredOverlay
+
+        overlay = UnstructuredOverlay(30, degree=4, seed=6)
+        honest = generate_honest_outcomes(600, 0.95, seed=7)
+        attack = np.tile([0] + [1] * 9, 60)
+        for server, outcomes in [("honest-srv", honest), ("cheat-srv", attack)]:
+            for t, outcome in enumerate(outcomes):
+                peer = overlay.peers[t % 30]
+                overlay.record(
+                    peer,
+                    Feedback(
+                        time=float(t),
+                        server=server,
+                        client=peer,
+                        rating=Rating.POSITIVE if outcome else Rating.NEGATIVE,
+                    ),
+                )
+        return overlay
+
+    def test_flooding_gathers_enough_to_assess(self):
+        overlay = self._populated_overlay()
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(), AverageTrust(), trust_threshold=0.9
+        )
+        verdicts = {}
+        for server in ("honest-srv", "cheat-srv"):
+            result = overlay.flood_query(overlay.peers[0], server, ttl=30)
+            history = TransactionHistory.from_feedbacks(result.feedbacks)
+            verdicts[server] = assessor.assess(history).status
+        assert verdicts["honest-srv"] is AssessmentStatus.TRUSTED
+        assert verdicts["cheat-srv"] is AssessmentStatus.SUSPICIOUS
+
+    def test_partial_random_walk_view_keeps_honest_trusted(self):
+        # partial visibility must never flip an honest server to
+        # suspicious (the thinned iid sequence is still iid)
+        overlay = self._populated_overlay()
+        result = overlay.random_walk_query(
+            overlay.peers[0], "honest-srv", walkers=2, walk_length=8, seed=9
+        )
+        assert result.peers_reached < 30  # genuinely partial view
+        assert 40 <= len(result.feedbacks) < 600
+        history = TransactionHistory.from_feedbacks(result.feedbacks)
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(), AverageTrust(), trust_threshold=0.9
+        )
+        assert assessor.assess(history).status is AssessmentStatus.TRUSTED
+
+
+class TestConfigPlumbing:
+    def test_custom_config_flows_through_two_phase(self):
+        config = BehaviorTestConfig(window_size=20, confidence=0.99)
+        screen = SingleBehaviorTest(config)
+        assessor = TwoPhaseAssessor(screen, AverageTrust())
+        history = TransactionHistory.from_outcomes(
+            generate_honest_outcomes(400, 0.95, seed=5)
+        )
+        result = assessor.assess(history)
+        assert result.behavior.window_size == 20

@@ -1,0 +1,176 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that span modules and would be awkward to pin with single
+examples: ring-interval algebra, serialization round-trips, reorder
+invariants, oracle/assessor consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adversary.oracle import AssessmentOracle
+from repro.core.collusion import reorder_by_issuer
+from repro.core.model import generate_honest_outcomes
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.core.verdict import AssessmentStatus
+from repro.feedback.history import TransactionHistory
+from repro.feedback.io import (
+    read_feedback_csv,
+    read_feedback_jsonl,
+    write_feedback_csv,
+    write_feedback_jsonl,
+)
+from repro.feedback.records import Feedback, Rating
+from repro.p2p.chord import in_interval
+from repro.trust.average import AverageTrust
+from repro.trust.weighted import WeightedTrust
+
+# ---------------------------------------------------------------------- #
+# strategies
+
+feedback_lists = st.lists(
+    st.builds(
+        Feedback,
+        time=st.integers(min_value=0, max_value=10_000).map(float),
+        server=st.just("srv"),
+        client=st.sampled_from([f"c{i}" for i in range(8)]),
+        rating=st.sampled_from([Rating.POSITIVE, Rating.NEGATIVE]),
+        category=st.sampled_from([None, "NA", "EU"]),
+        authentic=st.booleans(),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+outcome_arrays = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=1, max_size=120
+).map(lambda xs: np.asarray(xs, dtype=np.int8))
+
+
+class TestRingIntervalAlgebra:
+    @given(
+        x=st.integers(min_value=0, max_value=255),
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_open_interval_partitions_the_ring(self, x, a, b):
+        # for a != b, every x != a is in exactly one of (a, b] and (b, a]
+        if a == b:
+            return
+        in_first = in_interval(x, a, b, inclusive_right=True)
+        in_second = in_interval(x, b, a, inclusive_right=True)
+        if x == a:
+            # x == a is the excluded-left endpoint of (a, b] and the
+            # inclusive-right endpoint of (b, a]
+            assert in_second and not in_first
+        else:
+            assert in_first != in_second
+
+    @given(
+        x=st.integers(min_value=0, max_value=255),
+        a=st.integers(min_value=0, max_value=255),
+        b=st.integers(min_value=0, max_value=255),
+    )
+    def test_endpoints(self, x, a, b):
+        assert not in_interval(a, a, b) or a == b  # left endpoint excluded
+        if a != b:
+            assert in_interval(b, a, b, inclusive_right=True)
+            assert not in_interval(b, a, b, inclusive_right=False)
+
+
+class TestSerializationRoundTrips:
+    @given(feedbacks=feedback_lists)
+    def test_csv_roundtrip(self, tmp_path_factory, feedbacks):
+        path = tmp_path_factory.mktemp("io") / "fb.csv"
+        write_feedback_csv(path, feedbacks)
+        assert read_feedback_csv(path) == feedbacks
+
+    @given(feedbacks=feedback_lists)
+    def test_jsonl_roundtrip(self, tmp_path_factory, feedbacks):
+        path = tmp_path_factory.mktemp("io") / "fb.jsonl"
+        write_feedback_jsonl(path, feedbacks)
+        assert read_feedback_jsonl(path) == feedbacks
+
+
+class TestReorderInvariants:
+    @given(feedbacks=feedback_lists)
+    def test_permutation(self, feedbacks):
+        reordered = reorder_by_issuer(feedbacks)
+        assert sorted(map(id, reordered)) == sorted(map(id, feedbacks))
+
+    @given(feedbacks=feedback_lists)
+    def test_idempotent_on_group_structure(self, feedbacks):
+        once = reorder_by_issuer(feedbacks)
+        twice = reorder_by_issuer(once)
+        assert once == twice
+
+    @given(feedbacks=feedback_lists)
+    def test_groups_contiguous_and_sorted_by_size(self, feedbacks):
+        reordered = reorder_by_issuer(feedbacks)
+        # contiguity: each client's feedback forms one run
+        seen, previous = set(), None
+        sizes = []
+        run = 0
+        for fb in reordered:
+            if fb.client != previous:
+                assert fb.client not in seen
+                seen.add(fb.client)
+                if previous is not None:
+                    sizes.append(run)
+                run = 0
+                previous = fb.client
+            run += 1
+        sizes.append(run)
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestOracleConsistency:
+    @given(outcomes=outcome_arrays)
+    def test_oracle_trust_matches_direct_score(self, outcomes):
+        for fn in (AverageTrust(), WeightedTrust(0.5)):
+            oracle = AssessmentOracle(
+                fn, None, history=TransactionHistory.from_outcomes(outcomes)
+            )
+            assert oracle.trust_value == pytest.approx(fn.score(outcomes), abs=1e-9)
+
+    @given(
+        outcomes=outcome_arrays,
+        extra=st.lists(st.integers(min_value=0, max_value=1), max_size=10),
+    )
+    def test_oracle_stays_in_sync_through_updates(self, outcomes, extra):
+        fn = WeightedTrust(0.5)
+        oracle = AssessmentOracle(
+            fn, None, history=TransactionHistory.from_outcomes(outcomes)
+        )
+        for outcome in extra:
+            oracle.record_outcome(outcome)
+        combined = np.concatenate([outcomes, np.asarray(extra, dtype=np.int8)])
+        assert oracle.trust_value == pytest.approx(fn.score(combined), abs=1e-9)
+
+
+class TestAssessorConsistency:
+    @given(
+        p=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=40, max_value=300),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_status_is_function_of_verdict_and_trust(
+        self, paper_config, shared_calibrator, p, n, seed
+    ):
+        test_ = SingleBehaviorTest(paper_config, shared_calibrator)
+        assessor = TwoPhaseAssessor(test_, AverageTrust(), trust_threshold=0.9)
+        history = TransactionHistory.from_outcomes(
+            generate_honest_outcomes(n, p, seed=seed)
+        )
+        result = assessor.assess(history)
+        verdict = test_.test(history)
+        if not verdict.passed:
+            assert result.status is AssessmentStatus.SUSPICIOUS
+            assert result.trust_value is None
+        elif history.p_hat >= 0.9:
+            assert result.status is AssessmentStatus.TRUSTED
+        else:
+            assert result.status is AssessmentStatus.UNTRUSTED

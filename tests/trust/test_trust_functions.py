@@ -1,0 +1,213 @@
+"""Tests for the history-based trust functions (average/weighted/beta/decay)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.feedback.history import TransactionHistory
+from repro.trust.average import AverageTrust
+from repro.trust.beta import BetaReputationTrust
+from repro.trust.decay import DecayTrust
+from repro.trust.trustguard import TrustGuardTrust
+from repro.trust.weighted import WeightedTrust
+
+ALL_FUNCTIONS = [
+    AverageTrust(),
+    WeightedTrust(0.5),
+    WeightedTrust(0.1),
+    BetaReputationTrust(),
+    BetaReputationTrust(forgetting=0.95),
+    DecayTrust(gamma=0.98),
+    DecayTrust(gamma=1.0),
+    TrustGuardTrust(),
+    TrustGuardTrust(alpha=0.2, beta=0.8, gamma=0.6, period=5),
+]
+
+outcome_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=80)
+
+
+class TestAverageTrust:
+    def test_simple_ratio(self):
+        assert AverageTrust().score([1, 1, 1, 0]) == pytest.approx(0.75)
+
+    def test_empty_returns_prior(self):
+        assert AverageTrust(prior=0.3).score([]) == pytest.approx(0.3)
+
+    def test_accepts_history_object(self):
+        h = TransactionHistory.from_outcomes([1, 0])
+        assert AverageTrust().score(h) == pytest.approx(0.5)
+
+    def test_order_insensitive(self):
+        assert AverageTrust().score([1, 1, 0, 0]) == AverageTrust().score([0, 0, 1, 1])
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            AverageTrust(prior=1.5)
+
+    def test_peek(self):
+        tracker = AverageTrust().tracker()
+        tracker.update_many([1, 1, 1])
+        assert tracker.peek(0) == pytest.approx(0.75)
+        assert tracker.value == pytest.approx(1.0)  # peek did not mutate
+
+
+class TestWeightedTrust:
+    def test_recurrence(self):
+        # R = 0.5 initially; good: 0.75; bad: 0.375
+        tracker = WeightedTrust(0.5).tracker()
+        tracker.update(1)
+        assert tracker.value == pytest.approx(0.75)
+        tracker.update(0)
+        assert tracker.value == pytest.approx(0.375)
+
+    def test_bad_transaction_halves_trust(self):
+        # the paper's key observation for lambda = 0.5
+        tracker = WeightedTrust(0.5).tracker()
+        tracker.update_many([1] * 50)
+        before = tracker.value
+        tracker.update(0)
+        assert tracker.value == pytest.approx(before / 2)
+
+    def test_two_to_three_goods_recover_over_09(self):
+        # paper: "after each bad transaction, the attacker needs to conduct
+        # 2~3 good transactions to ensure its trust value to be over 0.9"
+        tracker = WeightedTrust(0.5).tracker()
+        tracker.update_many([1] * 50)
+        tracker.update(0)
+        goods = 0
+        while tracker.value < 0.9:
+            tracker.update(1)
+            goods += 1
+        assert goods in (2, 3)
+
+    def test_closed_form_matches_tracker(self):
+        outcomes = np.random.default_rng(0).integers(0, 2, size=100)
+        fn = WeightedTrust(0.3, initial=0.6)
+        tracker = fn.tracker()
+        tracker.update_many(outcomes)
+        assert fn.score(outcomes) == pytest.approx(tracker.value, abs=1e-12)
+
+    def test_order_sensitive(self):
+        fn = WeightedTrust(0.5)
+        assert fn.score([0, 1, 1]) > fn.score([1, 1, 0])
+
+    def test_lambda_one_is_last_outcome(self):
+        fn = WeightedTrust(1.0)
+        assert fn.score([0, 0, 1]) == pytest.approx(1.0)
+        assert fn.score([1, 1, 0]) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedTrust(0.0)
+        with pytest.raises(ValueError):
+            WeightedTrust(0.5, initial=-0.1)
+
+
+class TestBetaReputation:
+    def test_uniform_prior(self):
+        assert BetaReputationTrust().score([]) == pytest.approx(0.5)
+
+    def test_posterior_mean(self):
+        # 3 positive, 1 negative -> (3+1)/(4+2)
+        assert BetaReputationTrust().score([1, 1, 1, 0]) == pytest.approx(4 / 6)
+
+    def test_forgetting_weights_recent(self):
+        fn = BetaReputationTrust(forgetting=0.9)
+        assert fn.score([0] * 20 + [1] * 20) > fn.score([1] * 20 + [0] * 20)
+
+    def test_no_forgetting_order_insensitive(self):
+        fn = BetaReputationTrust()
+        assert fn.score([0, 1, 1]) == pytest.approx(fn.score([1, 1, 0]))
+
+    def test_evidence_exposed(self):
+        tracker = BetaReputationTrust().tracker()
+        tracker.update_many([1, 1, 0])
+        assert tracker.evidence == (2.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BetaReputationTrust(forgetting=0.0)
+
+
+class TestDecayTrust:
+    def test_gamma_one_equals_average(self):
+        outcomes = np.random.default_rng(1).integers(0, 2, size=60)
+        assert DecayTrust(gamma=1.0).score(outcomes) == pytest.approx(
+            AverageTrust().score(outcomes)
+        )
+
+    def test_recent_outcomes_weigh_more(self):
+        fn = DecayTrust(gamma=0.9)
+        assert fn.score([0] * 10 + [1] * 10) > fn.score([1] * 10 + [0] * 10)
+
+    def test_empty_returns_prior(self):
+        assert DecayTrust(prior=0.7).score([]) == pytest.approx(0.7)
+
+    def test_closed_form_matches_tracker(self):
+        outcomes = np.random.default_rng(2).integers(0, 2, size=120)
+        fn = DecayTrust(gamma=0.93)
+        tracker = fn.tracker()
+        tracker.update_many(outcomes)
+        assert fn.score(outcomes) == pytest.approx(tracker.value, abs=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayTrust(gamma=1.0001)
+        with pytest.raises(ValueError):
+            DecayTrust(gamma=0.9, prior=2.0)
+
+
+class TestCrossFunctionInvariants:
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    @given(outcomes=outcome_lists)
+    def test_property_score_in_unit_interval(self, fn, outcomes):
+        assert 0.0 <= fn.score(outcomes) <= 1.0
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    @given(outcomes=outcome_lists)
+    def test_property_tracker_matches_score(self, fn, outcomes):
+        tracker = fn.tracker()
+        tracker.update_many(outcomes)
+        assert tracker.value == pytest.approx(fn.score(outcomes), abs=1e-9)
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    @given(outcomes=outcome_lists)
+    def test_property_peek_equals_update(self, fn, outcomes):
+        tracker = fn.tracker()
+        tracker.update_many(outcomes)
+        for outcome in (0, 1):
+            peeked = tracker.peek(outcome)
+            clone = tracker.copy()
+            clone.update(outcome)
+            assert peeked == pytest.approx(clone.value, abs=1e-12)
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    def test_all_good_history_high_trust(self, fn):
+        assert fn.score([1] * 200) > 0.9
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    def test_all_bad_history_low_trust(self, fn):
+        assert fn.score([0] * 200) < 0.1
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    def test_copy_is_independent(self, fn):
+        tracker = fn.tracker()
+        tracker.update_many([1] * 10)
+        clone = tracker.copy()
+        clone.update(0)
+        tracker_value_after = tracker.value
+        clone.update(0)
+        assert tracker.value == tracker_value_after
+
+    @pytest.mark.parametrize("fn", ALL_FUNCTIONS, ids=lambda f: repr(f))
+    def test_update_rejects_non_binary(self, fn):
+        tracker = fn.tracker()
+        with pytest.raises(ValueError):
+            tracker.update(2)
+        with pytest.raises(ValueError):
+            tracker.peek(-1)
+
+    def test_score_rejects_non_binary_sequences(self):
+        with pytest.raises(ValueError):
+            AverageTrust().score([0, 1, 2])

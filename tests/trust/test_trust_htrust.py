@@ -1,0 +1,103 @@
+"""Tests for the H-Trust (h-index) reputation baseline."""
+
+import pytest
+
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+from repro.trust.htrust import HTrust, h_index
+
+
+def _ledger(entries):
+    """entries: iterable of (time, client, good) for server 's'."""
+    ledger = FeedbackLedger()
+    for t, client, good in entries:
+        ledger.record(
+            Feedback(
+                time=float(t),
+                server="s",
+                client=client,
+                rating=Rating.POSITIVE if good else Rating.NEGATIVE,
+            )
+        )
+    return ledger
+
+
+class TestHIndex:
+    def test_classic_examples(self):
+        assert h_index([]) == 0
+        assert h_index([0, 0]) == 0
+        assert h_index([1]) == 1
+        assert h_index([5, 4, 4, 2, 1]) == 3
+        assert h_index([10, 10, 10]) == 3
+        assert h_index([1, 1, 1, 1, 1]) == 1
+
+    def test_order_invariant(self):
+        assert h_index([1, 5, 2, 4, 4]) == h_index([5, 4, 4, 2, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            h_index([3, -1])
+
+
+class TestHTrust:
+    def test_breadth_required(self):
+        # one devoted client with 50 positives: index stays at 1
+        narrow = _ledger((t, "fan", True) for t in range(50))
+        # ten clients with 10 positives each: index 10
+        broad = _ledger(
+            (t, f"c{t % 10}", True) for t in range(100)
+        )
+        ht = HTrust(saturation=10)
+        assert ht.raw_index("s", narrow) == 1
+        assert ht.raw_index("s", broad) == 10
+        assert ht.score_server("s", narrow) == pytest.approx(0.1)
+        assert ht.score_server("s", broad) == pytest.approx(1.0)
+
+    def test_colluder_ring_capped_at_ring_size(self):
+        # 5 colluders pumping 100 fakes each: h-index cannot exceed 5 —
+        # the supporter-base intuition the paper builds its Sec. 4 on
+        ring = _ledger((t, f"colluder{t % 5}", True) for t in range(500))
+        assert HTrust(saturation=10).raw_index("s", ring) == 5
+
+    def test_negative_feedback_does_not_count(self):
+        mixed = _ledger(
+            [(0, "a", True), (1, "a", False), (2, "b", False), (3, "b", False)]
+        )
+        # a has 1 positive, b has 0 -> h = 1
+        assert HTrust().raw_index("s", mixed) == 1
+
+    def test_unknown_server_scores_zero(self):
+        assert HTrust().score_server("ghost", FeedbackLedger()) == 0.0
+
+    def test_score_clamped_to_one(self):
+        big = _ledger((t, f"c{t % 30}", True) for t in range(900))
+        assert HTrust(saturation=5).score_server("s", big) == 1.0
+
+    def test_registry(self):
+        from repro.trust.registry import make_trust_function
+
+        assert isinstance(make_trust_function("htrust", saturation=5), HTrust)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HTrust(saturation=0)
+
+    def test_two_phase_integration(self, paper_config, shared_calibrator):
+        import numpy as np
+
+        from repro.core.testing import SingleBehaviorTest
+        from repro.core.two_phase import TwoPhaseAssessor
+        from repro.core.verdict import AssessmentStatus
+
+        rng = np.random.default_rng(3)
+        ledger = _ledger(
+            (t, f"c{int(rng.integers(0, 20))}", bool(rng.random() < 0.95))
+            for t in range(400)
+        )
+        assessor = TwoPhaseAssessor(
+            SingleBehaviorTest(paper_config, shared_calibrator),
+            HTrust(saturation=10),
+            trust_threshold=0.9,
+        )
+        result = assessor.assess(ledger.history("s"), ledger=ledger)
+        assert result.status in (AssessmentStatus.TRUSTED, AssessmentStatus.UNTRUSTED)

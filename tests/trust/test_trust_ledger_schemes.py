@@ -1,0 +1,130 @@
+"""Tests for the ledger-based schemes (PeerTrust, EigenTrust) and the registry."""
+
+import pytest
+
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+from repro.trust import (
+    AverageTrust,
+    EigenTrust,
+    PeerTrust,
+    available_trust_functions,
+    make_trust_function,
+    register_trust_function,
+)
+
+
+def _fb(t, server, client, good=True):
+    return Feedback(
+        time=float(t),
+        server=server,
+        client=client,
+        rating=Rating.POSITIVE if good else Rating.NEGATIVE,
+    )
+
+
+def _build_ledger():
+    """Two servers: s-good (praised by everyone), s-bad (panned by everyone)."""
+    ledger = FeedbackLedger()
+    t = 0
+    for round_ in range(10):
+        for client in ("c1", "c2", "c3"):
+            t += 1
+            ledger.record(_fb(t, "s-good", client, good=True))
+            t += 1
+            ledger.record(_fb(t, "s-bad", client, good=False))
+    return ledger
+
+
+class TestPeerTrust:
+    def test_separates_good_from_bad(self):
+        ledger = _build_ledger()
+        pt = PeerTrust()
+        assert pt.score_server("s-good", ledger) > 0.9
+        assert pt.score_server("s-bad", ledger) < 0.1
+
+    def test_unknown_server_gets_prior(self):
+        assert PeerTrust(prior=0.4).score_server("nope", _build_ledger()) == 0.4
+
+    def test_unanimous_community_equals_average(self):
+        # when every client rates identically, credibilities are equal and
+        # PeerTrust reduces to the plain satisfaction ratio
+        ledger = FeedbackLedger()
+        t = 0
+        for client in ("c0", "c1", "c2"):
+            for outcome in (1, 1, 1, 0):
+                t += 1
+                ledger.record(_fb(t, "s", client, good=bool(outcome)))
+        expected = AverageTrust().score([1, 1, 1, 0])
+        assert PeerTrust().score_server("s", ledger) == pytest.approx(expected)
+
+    def test_dissenting_rater_downweighted(self):
+        # c-liar rates s-good negatively while three honest clients agree
+        # it is good; the liar's low credibility shrinks its impact, so
+        # PeerTrust stays above the raw average.
+        ledger = _build_ledger()
+        t = 1000
+        for _ in range(10):
+            t += 1
+            ledger.record(_fb(t, "s-good", "c-liar", good=False))
+        raw_average = 30 / 40  # 30 positives, 10 liar negatives
+        assert PeerTrust().score_server("s-good", ledger) > raw_average
+
+    def test_invalid_prior(self):
+        with pytest.raises(ValueError):
+            PeerTrust(prior=-0.1)
+
+
+class TestEigenTrust:
+    def test_global_trust_is_distribution(self):
+        trust = EigenTrust().global_trust(_build_ledger())
+        assert pytest.approx(sum(trust.values()), abs=1e-6) == 1.0
+        assert all(v >= 0 for v in trust.values())
+
+    def test_good_server_ranked_above_bad(self):
+        trust = EigenTrust().global_trust(_build_ledger())
+        assert trust["s-good"] > trust["s-bad"]
+
+    def test_score_normalized_to_unit_interval(self):
+        ledger = _build_ledger()
+        et = EigenTrust()
+        assert et.score_server("s-good", ledger) == pytest.approx(1.0)
+        assert 0.0 <= et.score_server("s-bad", ledger) <= 1.0
+
+    def test_unknown_server_scores_zero(self):
+        assert EigenTrust().score_server("nope", _build_ledger()) == 0.0
+
+    def test_empty_ledger(self):
+        assert EigenTrust().global_trust(FeedbackLedger()) == {}
+
+    def test_pretrusted_peers_bias_restart(self):
+        ledger = _build_ledger()
+        biased = EigenTrust(restart=0.5, pretrusted=["c1"]).global_trust(ledger)
+        uniform = EigenTrust(restart=0.5).global_trust(ledger)
+        assert biased["c1"] > uniform["c1"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EigenTrust(restart=1.0)
+        with pytest.raises(ValueError):
+            EigenTrust(max_iterations=0)
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        names = available_trust_functions()
+        assert {"average", "weighted", "beta", "decay", "peertrust", "eigentrust"} <= set(names)
+
+    def test_make_with_kwargs(self):
+        fn = make_trust_function("weighted", lam=0.25)
+        assert fn.lam == 0.25
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="average"):
+            make_trust_function("nope")
+
+    def test_register_custom_and_reject_duplicates(self):
+        register_trust_function("custom-for-test", AverageTrust)
+        assert isinstance(make_trust_function("custom-for-test"), AverageTrust)
+        with pytest.raises(ValueError):
+            register_trust_function("custom-for-test", AverageTrust)

@@ -1,0 +1,118 @@
+"""Tests for the TrustGuard-style PID trust function."""
+
+import numpy as np
+import pytest
+
+from repro.trust.average import AverageTrust
+from repro.trust.trustguard import TrustGuardTrust
+
+
+class TestSteadyStates:
+    def test_consistently_good_server(self):
+        assert TrustGuardTrust().score([1] * 300) == pytest.approx(1.0)
+
+    def test_consistently_bad_server(self):
+        assert TrustGuardTrust().score([0] * 300) == pytest.approx(0.0)
+
+    def test_empty_history_prior(self):
+        assert TrustGuardTrust(prior=0.5).score([]) == pytest.approx(0.5)
+
+    def test_honest_mid_quality(self):
+        rng = np.random.default_rng(1)
+        outcomes = (rng.random(1000) < 0.8).astype(int)
+        assert TrustGuardTrust().score(outcomes) == pytest.approx(0.8, abs=0.08)
+
+
+class TestAntiOscillation:
+    def test_downswing_punished_harder_than_average(self):
+        # after a bad burst the derivative penalty bites: TrustGuard drops
+        # far below what the forgiving average shows
+        prep = [1] * 500
+        burst = [0] * 10
+        trace = prep + burst
+        assert TrustGuardTrust().score(trace) < AverageTrust().score(trace) - 0.3
+
+    def test_recovery_is_gradual(self):
+        fn = TrustGuardTrust()
+        tracker = fn.tracker()
+        tracker.update_many([1] * 500 + [0] * 10)
+        dipped = tracker.value
+        tracker.update_many([1] * 10)  # one good period
+        assert tracker.value > dipped
+        assert tracker.value < 1.0  # the integral remembers the burst
+
+    def test_oscillator_dips_below_threshold_each_cycle(self):
+        # a 10-bad/90-good oscillator keeps ratio 0.9; TrustGuard's value
+        # right after each bad period falls well below 0.9
+        fn = TrustGuardTrust()
+        tracker = fn.tracker()
+        tracker.update_many([1] * 200)
+        tracker.update_many([0] * 10)
+        assert tracker.value < 0.75
+
+    def test_reduces_to_average_without_pid_terms(self):
+        fn = TrustGuardTrust(alpha=0.0, beta=1.0, gamma=0.0, period=10)
+        rng = np.random.default_rng(2)
+        outcomes = (rng.random(500) < 0.85).astype(int)
+        # integral over complete periods == average over those periods
+        expected = outcomes.reshape(50, 10).mean()
+        assert fn.score(outcomes) == pytest.approx(expected)
+
+
+class TestTrackerProtocol:
+    def test_peek_matches_update_mid_period(self):
+        tracker = TrustGuardTrust().tracker()
+        tracker.update_many([1] * 15)  # mid-period
+        peeked = tracker.peek(0)
+        clone = tracker.copy()
+        clone.update(0)
+        assert peeked == pytest.approx(clone.value)
+
+    def test_peek_matches_update_at_period_boundary(self):
+        tracker = TrustGuardTrust(period=10).tracker()
+        tracker.update_many([1] * 19)  # next update completes a period
+        for outcome in (0, 1):
+            clone = tracker.copy()
+            clone.update(outcome)
+            assert tracker.peek(outcome) == pytest.approx(clone.value)
+
+    def test_copy_independent(self):
+        tracker = TrustGuardTrust().tracker()
+        tracker.update_many([1] * 30)
+        clone = tracker.copy()
+        clone.update_many([0] * 30)
+        assert tracker.value > clone.value
+
+    def test_value_always_in_unit_interval(self):
+        rng = np.random.default_rng(3)
+        tracker = TrustGuardTrust(gamma=0.9).tracker()
+        for _ in range(500):
+            tracker.update(int(rng.random() < 0.5))
+            assert 0.0 <= tracker.value <= 1.0
+
+
+class TestValidation:
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            TrustGuardTrust(alpha=-0.1)
+        with pytest.raises(ValueError):
+            TrustGuardTrust(alpha=0.7, beta=0.7)
+        with pytest.raises(ValueError):
+            TrustGuardTrust(alpha=0.0, beta=0.0)
+        with pytest.raises(ValueError):
+            TrustGuardTrust(period=0)
+        with pytest.raises(ValueError):
+            TrustGuardTrust(prior=1.5)
+
+    def test_registry_integration(self):
+        from repro.trust.registry import make_trust_function
+
+        fn = make_trust_function("trustguard", period=5)
+        assert isinstance(fn, TrustGuardTrust)
+
+    def test_update_rejects_non_binary(self):
+        tracker = TrustGuardTrust().tracker()
+        with pytest.raises(ValueError):
+            tracker.update(2)
+        with pytest.raises(ValueError):
+            tracker.peek(-1)
