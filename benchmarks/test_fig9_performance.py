@@ -4,7 +4,12 @@ This is the paper's performance figure, so here the pytest-benchmark
 timings *are* the result: single testing and optimized multi-testing are
 timed directly on large histories, and the naive O(n^2) multi-testing
 scheme on a smaller one for the scaling contrast.
+
+Set ``BENCH_DIR`` to also emit a machine-readable ``BENCH_fig9.json``
+artifact (schema in ``repro.obs.bench``) from a quick fig9 sweep.
 """
+
+import os
 
 import pytest
 
@@ -61,3 +66,30 @@ def test_fig9_multi_testing_optimized_small_history(benchmark, small_history):
     test_.test(small_history)
     report = benchmark(test_.test, small_history)
     assert report.n_rounds >= 1
+
+
+def test_fig9_bench_artifact(tmp_path):
+    """A quick fig9 sweep leaves a schema-valid BENCH_fig9.json behind.
+
+    Writes into ``$BENCH_DIR`` when set (CI uploads it as an artifact),
+    otherwise into the test's tmp dir.
+    """
+    from repro import obs
+    from repro.experiments.fig9_performance import run_fig9
+
+    bench_dir = os.environ.get("BENCH_DIR") or str(tmp_path)
+    bench_path = os.path.join(bench_dir, "BENCH_fig9.json")
+    run_fig9(
+        history_sizes=(2_000,),
+        naive_sizes=(2_000,),
+        multi_step=500,
+        quick=True,
+        bench_path=bench_path,
+    )
+    payload = obs.read_bench_json(bench_path)  # raises if schema-invalid
+    assert payload["bench"] == "fig9"
+    assert {row["name"] for row in payload["results"]} == {
+        "single",
+        "multi_optimized",
+        "multi_naive",
+    }

@@ -32,11 +32,13 @@ cost for the attacker to achieve his goal".
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional
 
 from ..core.two_phase import BehaviorTestProtocol
 from ..feedback.history import TransactionHistory
 from ..feedback.records import Feedback, Rating
+from ..obs import runtime as _obs
 from ..simulation.arrival import ArrivalModel, ClientStateTable
 from ..stats.rng import SeedLike, make_rng
 from ..trust.base import TrustFunction
@@ -44,6 +46,10 @@ from .base import AttackCampaignResult
 from .oracle import AssessmentOracle
 
 __all__ = ["ColludingStrategicAttacker"]
+
+# Module-level logger (never the root logger): campaigns are long loops
+# and debug insight must be opt-in via the logging hierarchy.
+_log = logging.getLogger(__name__)
 
 _SERVER_ID = "attacker"
 
@@ -134,6 +140,21 @@ class ColludingStrategicAttacker:
             # Nobody requested and colluder help is useless or rejected.
             idles += 1
 
+        _log.debug(
+            "campaign done: prep=%d bads=%d/%d goods=%d helps=%d idles=%d steps=%d",
+            prep_size,
+            bads,
+            self._target_bads,
+            goods,
+            helps,
+            idles,
+            steps,
+        )
+        if _obs.enabled:
+            _obs.registry.inc("adversary.collusion.campaigns")
+            _obs.registry.inc("adversary.collusion.cheats", bads)
+            _obs.registry.inc("adversary.collusion.services", goods)
+            _obs.registry.inc("adversary.collusion.colluder_helps", helps)
         return AttackCampaignResult(
             bad_transactions=bads,
             good_transactions=goods,

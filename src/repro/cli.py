@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="output format (default: table)",
     )
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default=None,
+        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+    )
     return parser
 
 
@@ -125,6 +131,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        from . import obs
+
+        obs.configure_logging(args.log_level)
     try:
         feedbacks = _load(args.feedback_file)
     except (OSError, ValueError) as exc:

@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from ..stats.binomial import binomial_pmf
 from ..stats.bootstrap import percentile_threshold
 from ..stats.distances import get_distance
@@ -109,9 +110,14 @@ class ThresholdCalibrator:
         cached = self._cache.get(key)
         if cached is not None:
             self._hits += 1
+            if _obs.enabled:
+                _obs.registry.inc("core.calibration.cache_hits")
             return cached
         self._misses += 1
-        value = self._calibrate(m, k, p_key)
+        if _obs.enabled:
+            _obs.registry.inc("core.calibration.cache_misses")
+        with _obs.timer("core.calibration.seconds"):
+            value = self._calibrate(m, k, p_key)
         self._cache[key] = value
         return value
 

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..feedback.windows import window_counts
+from ..obs import runtime as _obs
 from ..stats.binomial import binomial_pmf
 from ..stats.empirical import IncrementalHistogram
 from .calibration import ThresholdCalibrator
@@ -111,11 +112,21 @@ class MultiBehaviorTest:
             return MultiTestReport(
                 passed=verdict.passed, rounds=((int(outcomes.size), verdict),)
             )
-        if self._strategy == "naive":
-            rounds = self._run_naive(outcomes, lengths)
-        else:
-            rounds = self._run_optimized(outcomes, lengths)
+        with _obs.timer("core.multi_testing.seconds", strategy=self._strategy):
+            if self._strategy == "naive":
+                rounds = self._run_naive(outcomes, lengths)
+            else:
+                rounds = self._run_optimized(outcomes, lengths)
         passed = all(v.passed for _, v in rounds)
+        if _obs.enabled:
+            _obs.registry.inc("core.multi_testing.runs", strategy=self._strategy)
+            _obs.registry.inc(
+                "core.multi_testing.rounds", len(rounds), strategy=self._strategy
+            )
+            if not passed and not self._collect_all and len(rounds) < len(lengths):
+                _obs.registry.inc(
+                    "core.multi_testing.early_stops", strategy=self._strategy
+                )
         # Present rounds longest-first, the order the paper describes.
         ordered = tuple(sorted(rounds, key=lambda pair: -pair[0]))
         return MultiTestReport(passed=passed, rounds=ordered)
@@ -126,9 +137,15 @@ class MultiBehaviorTest:
     def _run_naive(
         self, outcomes: np.ndarray, lengths: List[int]
     ) -> List[Tuple[int, BehaviorVerdict]]:
+        m = self._config.window_size
         rounds: List[Tuple[int, BehaviorVerdict]] = []
         for length in lengths:
             verdict = self._single.test_outcomes(outcomes[outcomes.size - length :])
+            if _obs.enabled:
+                # every round re-windows the whole suffix from scratch
+                _obs.registry.inc(
+                    "core.multi_testing.suffix_recomputed", length // m, strategy="naive"
+                )
             rounds.append((length, verdict))
             if not verdict.passed and not self._collect_all:
                 break
@@ -154,11 +171,28 @@ class MultiBehaviorTest:
                 # extend by the block that just entered consideration
                 new_block = counts[total_windows - want : total_windows - windows_in]
                 histogram.add_block(new_block)
+                if _obs.enabled:
+                    # window stats carried over from the previous round vs.
+                    # windows that actually had to be ingested this round
+                    _obs.registry.inc(
+                        "core.multi_testing.suffix_reuse",
+                        windows_in,
+                        strategy="optimized",
+                    )
+                    _obs.registry.inc(
+                        "core.multi_testing.suffix_recomputed",
+                        want - windows_in,
+                        strategy="optimized",
+                    )
                 windows_in = want
                 last_verdict = self._judge(histogram, length)
             elif last_verdict is None:
                 last_verdict = self._judge(histogram, length)
-            # identical window set => identical verdict; reuse it
+            elif _obs.enabled:
+                # identical window set => identical verdict; full reuse
+                _obs.registry.inc(
+                    "core.multi_testing.suffix_reuse", windows_in, strategy="optimized"
+                )
             rounds.append((length, last_verdict))
             if not last_verdict.passed and not self._collect_all:
                 break

@@ -14,6 +14,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..feedback.history import TransactionHistory
+from ..obs import runtime as _obs
 from ..stats.distances import get_distance
 from .calibration import ThresholdCalibrator
 from .config import DEFAULT_CONFIG, BehaviorTestConfig
@@ -76,18 +77,28 @@ class SingleBehaviorTest:
         cfg = self._config
         n = int(np.asarray(outcomes).size)
         if n < cfg.min_transactions:
+            if _obs.enabled:
+                _obs.registry.inc("core.testing.tests", test=self.name, result="insufficient")
             return BehaviorVerdict.insufficient_history(
                 passed=(cfg.on_insufficient == "pass"),
                 window_size=cfg.window_size,
                 n_considered=n,
             )
-        fitted = self._model.fit(outcomes)
-        threshold = self._calibrator.threshold(
-            fitted.window_size, fitted.n_windows, fitted.p_hat
-        )
-        distance = self._distance(fitted.observed_pmf(), fitted.expected_pmf())
+        with _obs.timer("core.testing.seconds"):
+            fitted = self._model.fit(outcomes)
+            threshold = self._calibrator.threshold(
+                fitted.window_size, fitted.n_windows, fitted.p_hat
+            )
+            distance = self._distance(fitted.observed_pmf(), fitted.expected_pmf())
+        passed = bool(distance <= threshold)
+        if _obs.enabled:
+            _obs.registry.inc(
+                "core.testing.tests",
+                test=self.name,
+                result="pass" if passed else "fail",
+            )
         return BehaviorVerdict(
-            passed=distance <= threshold,
+            passed=passed,
             distance=float(distance),
             threshold=float(threshold),
             p_hat=fitted.p_hat,

@@ -18,6 +18,7 @@ from typing import Optional, Protocol, Union
 
 from ..feedback.history import TransactionHistory
 from ..feedback.ledger import FeedbackLedger
+from ..obs import runtime as _obs
 from ..trust.base import LedgerTrustFunction, TrustFunction
 from .verdict import Assessment, AssessmentStatus
 
@@ -85,21 +86,31 @@ class TwoPhaseAssessor:
         (PeerTrust, EigenTrust).
         """
         behavior = None
+        if _obs.enabled:
+            _obs.registry.inc("core.two_phase.assessments")
         if self._behavior_test is not None:
-            behavior = self._behavior_test.test(history)
+            with _obs.timer("core.two_phase.phase1_seconds"):
+                behavior = self._behavior_test.test(history)
             if not behavior.passed:
+                if _obs.enabled:
+                    _obs.registry.inc("core.two_phase.phase1_rejections")
+                    _obs.registry.inc("core.two_phase.status", status="suspicious")
                 return Assessment(
                     status=AssessmentStatus.SUSPICIOUS,
                     trust_value=None,
                     behavior=behavior,
                     server=history.server,
                 )
-        trust_value = self._trust_value(history, ledger)
+        with _obs.timer("core.two_phase.phase2_seconds"):
+            trust_value = self._trust_value(history, ledger)
         status = (
             AssessmentStatus.TRUSTED
             if trust_value >= self._threshold
             else AssessmentStatus.UNTRUSTED
         )
+        if _obs.enabled:
+            _obs.registry.inc("core.two_phase.phase2_assessments")
+            _obs.registry.inc("core.two_phase.status", status=status.value)
         return Assessment(
             status=status,
             trust_value=trust_value,

@@ -10,10 +10,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
+import os
 import sys
 import time
 from typing import List, Optional
 
+from .. import obs
 from . import RUNNERS
 from .report import render_report
 
@@ -57,19 +60,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also render each figure as an SVG into this directory",
     )
+    parser.add_argument(
+        "--bench-dir",
+        type=str,
+        default=None,
+        help=(
+            "write machine-readable BENCH_<name>.json artifacts into this "
+            "directory (experiments that support benchmarking, e.g. fig9)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default=None,
+        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+    )
     args = parser.parse_args(argv)
+    if args.log_level:
+        obs.configure_logging(args.log_level)
+
+    if args.bench_dir:
+        os.makedirs(args.bench_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
     results = []
     for name in names:
+        runner = RUNNERS[name]
+        kwargs = {"quick": args.quick, "base_seed": args.seed}
+        if args.bench_dir and "bench_path" in inspect.signature(runner).parameters:
+            kwargs["bench_path"] = os.path.join(args.bench_dir, f"BENCH_{name}.json")
         started = time.perf_counter()
-        result = RUNNERS[name](quick=args.quick, base_seed=args.seed)
+        result = runner(**kwargs)
         elapsed = time.perf_counter() - started
         block = result.render() + f"\n({elapsed:.1f}s)\n"
         print(block)
         rendered.append(block)
         results.append(result)
+        if "bench_path" in kwargs:
+            print(f"wrote {kwargs['bench_path']}")
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))
@@ -77,8 +106,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.markdown, "w", encoding="utf-8") as handle:
             handle.write(render_report(results))
     if args.svg_dir:
-        import os
-
         from .svgplot import write_svg
 
         os.makedirs(args.svg_dir, exist_ok=True)

@@ -7,6 +7,14 @@ O(n^2).  We time all three; the naive variant is measured on smaller
 histories (its quadratic blow-up makes 800k pointless to wait for) so
 the scaling contrast is visible without hour-long runs.
 
+Timings flow through the :mod:`repro.obs` layer rather than ad-hoc
+``perf_counter`` calls: every measured call runs under an
+``experiments.fig9.test_seconds`` timer (labelled by scheme and history
+size), the whole sweep is covered by nested spans so a trace export
+shows where the wall time went, and ``bench_path=`` emits the
+machine-readable ``BENCH_fig9.json`` artifact (see
+:mod:`repro.obs.bench`) that CI uploads and future PRs diff against.
+
 Absolute milliseconds obviously differ from the paper's 2008 desktop —
 the reproduced claim is the *linear* scaling of the optimized schemes
 and the quadratic scaling of the naive one.
@@ -14,9 +22,10 @@ and the quadratic scaling of the naive one.
 
 from __future__ import annotations
 
-import time
-from typing import Optional, Sequence
+import contextlib
+from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..core.config import BehaviorTestConfig
 from ..core.model import generate_honest_outcomes
 from ..core.multi_testing import MultiBehaviorTest
@@ -28,6 +37,8 @@ __all__ = ["run_fig9", "HISTORY_SIZES", "NAIVE_HISTORY_SIZES"]
 HISTORY_SIZES = (100_000, 200_000, 400_000, 800_000)
 NAIVE_HISTORY_SIZES = (10_000, 20_000, 40_000)
 
+_TIMER_METRIC = "experiments.fig9.test_seconds"
+
 
 def run_fig9(
     *,
@@ -37,8 +48,14 @@ def run_fig9(
     repeats: int = 3,
     base_seed: int = 2008,
     quick: bool = False,
+    bench_path: Optional[str] = None,
 ) -> ExperimentResult:
-    """Reproduce Fig. 9 (seconds per behavior test)."""
+    """Reproduce Fig. 9 (seconds per behavior test).
+
+    When ``bench_path`` is given, a schema-validated ``BENCH_fig9.json``
+    (scheme → history size → mean/min seconds) is written there through
+    the :mod:`repro.obs.bench` layer.
+    """
     if history_sizes is None:
         history_sizes = (10_000, 50_000, 100_000) if quick else HISTORY_SIZES
     if naive_sizes is None:
@@ -70,31 +87,76 @@ def run_fig9(
             "naive multi-testing timed only at the sizes listed (O(n^2))"
         ),
     )
+
+    # Measure through the obs layer: reuse the ambient session when the
+    # caller already enabled collection (so its tracer sees our spans),
+    # otherwise activate a private scoped session just for this sweep.
+    if obs.is_enabled():
+        scope = contextlib.nullcontext(
+            obs.ObsSession(obs.get_registry(), obs.get_tracer())
+        )
+    else:
+        scope = obs.activate()
+
+    bench_rows: List[Dict[str, object]] = []
     naive_set = set(naive_sizes)
-    for n in sorted(set(history_sizes) | naive_set):
-        outcomes = generate_honest_outcomes(n, 0.95, seed=base_seed)
-        # Warm the threshold cache so timings measure the algorithms, not
-        # one-off Monte-Carlo calibrations.
-        single.test(outcomes)
-        multi_fast.test(outcomes)
-        row = {
-            "history_size": n,
-            "single_s": _best_time(lambda: single.test(outcomes), repeats),
-            "multi_optimized_s": _best_time(lambda: multi_fast.test(outcomes), repeats),
-            "multi_naive_s": (
-                _best_time(lambda: multi_naive.test(outcomes), repeats)
-                if n in naive_set
-                else float("nan")
-            ),
-        }
-        result.add_row(**row)
+    with scope as session:
+        registry = session.registry
+        with obs.span("experiments.fig9.run", quick=quick):
+            for n in sorted(set(history_sizes) | naive_set):
+                with obs.span("experiments.fig9.prepare", history_size=n):
+                    outcomes = generate_honest_outcomes(n, 0.95, seed=base_seed)
+                    # Warm the threshold cache so timings measure the
+                    # algorithms, not one-off Monte-Carlo calibrations.
+                    single.test(outcomes)
+                    multi_fast.test(outcomes)
+                schemes = [
+                    ("single", single.test),
+                    ("multi_optimized", multi_fast.test),
+                ]
+                if n in naive_set:
+                    schemes.append(("multi_naive", multi_naive.test))
+                row: Dict[str, Union[int, float]] = {
+                    "history_size": n,
+                    "multi_naive_s": float("nan"),
+                }
+                for scheme, fn in schemes:
+                    with obs.span(
+                        "experiments.fig9.measure", scheme=scheme, history_size=n
+                    ):
+                        for _ in range(max(repeats, 1)):
+                            with obs.timer(
+                                _TIMER_METRIC, scheme=scheme, history_size=n
+                            ):
+                                fn(outcomes)
+                    hist = registry.histogram(
+                        _TIMER_METRIC, scheme=scheme, history_size=n
+                    )
+                    row[f"{scheme}_s"] = hist.min
+                    bench_rows.append(
+                        {
+                            "name": scheme,
+                            "params": {"history_size": n},
+                            "stats": {
+                                "mean_s": hist.mean,
+                                "min_s": hist.min,
+                                "repeats": hist.count,
+                            },
+                        }
+                    )
+                result.add_row(**row)
+            if bench_path is not None:
+                with obs.span("experiments.fig9.export"):
+                    obs.write_bench_json(
+                        bench_path,
+                        "fig9",
+                        bench_rows,
+                        meta=obs.run_metadata(
+                            seed=base_seed,
+                            config=config,
+                            quick=quick,
+                            multi_step=multi_step,
+                            repeats=repeats,
+                        ),
+                    )
     return result
-
-
-def _best_time(fn, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(max(repeats, 1)):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best

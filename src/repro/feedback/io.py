@@ -17,10 +17,15 @@ from __future__ import annotations
 
 import csv
 import json
+import logging
 from pathlib import Path
 from typing import Iterable, List, Union
 
 from .records import Feedback, Rating
+
+# Module-level logger per library etiquette: never the root logger; the
+# application (or repro.obs.configure_logging) decides about handlers.
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "read_feedback_csv",
@@ -87,10 +92,12 @@ def read_feedback_csv(path: PathLike) -> List[Feedback]:
         missing = [f for f in _REQUIRED_FIELDS if f not in reader.fieldnames]
         if missing:
             raise ValueError(f"{path}: header missing columns {missing}")
-        return [
+        feedbacks = [
             _row_to_feedback(row, line)
             for line, row in enumerate(reader, start=2)
         ]
+    _log.debug("read %d feedback records from %s (csv)", len(feedbacks), path)
+    return feedbacks
 
 
 def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
@@ -111,6 +118,7 @@ def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
                 ]
             )
             count += 1
+    _log.debug("wrote %d feedback records to %s (csv)", count, path)
     return count
 
 
@@ -129,6 +137,7 @@ def read_feedback_jsonl(path: PathLike) -> List[Feedback]:
             if not isinstance(row, dict):
                 raise ValueError(f"line {line_number}: expected an object")
             feedbacks.append(_row_to_feedback(row, line_number))
+    _log.debug("read %d feedback records from %s (jsonl)", len(feedbacks), path)
     return feedbacks
 
 
@@ -151,4 +160,5 @@ def write_feedback_jsonl(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
                 + "\n"
             )
             count += 1
+    _log.debug("wrote %d feedback records to %s (jsonl)", count, path)
     return count

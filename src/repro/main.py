@@ -1,0 +1,88 @@
+"""``repro`` — the umbrella command line for the whole package.
+
+One front door over the existing entry points plus the observability
+tooling::
+
+    repro assess feedback.csv --test multi          # = repro-assess
+    repro experiments fig9 --quick                  # = repro-experiments
+    repro obs report BENCH_fig9.json                # render a bench artifact
+    repro obs report run_events.jsonl               # summarize an event log
+    repro --log-level DEBUG assess feedback.csv     # opt into repro.* logging
+
+``assess`` and ``experiments`` forward their remaining arguments
+verbatim to the dedicated parsers, so every flag documented there works
+here unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import obs
+from .cli import main as assess_main
+from .experiments.__main__ import main as experiments_main
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-phase trust assessment toolkit (honest-player modeling)",
+    )
+    parser.add_argument(
+        "--log-level",
+        type=str,
+        default=None,
+        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_assess = sub.add_parser(
+        "assess",
+        help="two-phase assessment of a feedback log (see repro-assess)",
+        add_help=False,
+    )
+    p_assess.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="regenerate the paper's figures (see repro-experiments)",
+        add_help=False,
+    )
+    p_exp.add_argument("rest", nargs=argparse.REMAINDER)
+
+    p_obs = sub.add_parser("obs", help="observability artifact tooling")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="render a BENCH_*.json or JSONL event log"
+    )
+    p_report.add_argument(
+        "artifact", help="path to a bench JSON or JSONL event-log file"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        obs.configure_logging(args.log_level)
+    if args.command == "assess":
+        return assess_main(args.rest)
+    if args.command == "experiments":
+        return experiments_main(args.rest)
+    # obs report
+    try:
+        print(obs.render_artifact(args.artifact))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

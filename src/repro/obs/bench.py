@@ -1,0 +1,119 @@
+"""The ``BENCH_*.json`` machine-readable benchmark artifact format.
+
+Every performance claim in this repository should leave behind a
+schema-stable artifact a later PR (or CI) can diff against.  The shape:
+
+.. code-block:: json
+
+    {
+      "bench": "fig9",
+      "schema_version": 1,
+      "meta": {"seed": 2008, "git_rev": "abc1234", "config_hash": "..."},
+      "results": [
+        {"name": "multi_optimized",
+         "params": {"history_size": 100000},
+         "stats": {"mean_s": 0.41, "min_s": 0.39, "repeats": 3}}
+      ]
+    }
+
+``name`` is the measured scheme/variant, ``params`` the sweep point, and
+``stats`` at least ``mean_s``/``min_s``/``repeats``.  The validator is
+deliberately strict about this core so trajectory tooling can rely on
+it, and silent about extra keys so future benches can extend it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "bench_payload",
+    "validate_bench_payload",
+    "write_bench_json",
+    "read_bench_json",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+_REQUIRED_STATS = ("mean_s", "min_s", "repeats")
+
+
+def bench_payload(
+    bench: str,
+    results: List[Dict[str, object]],
+    *,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble (and validate) a benchmark artifact payload."""
+    payload: Dict[str, object] = {
+        "bench": bench,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "results": list(results),
+    }
+    validate_bench_payload(payload)
+    return payload
+
+
+def validate_bench_payload(payload: object) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid bench artifact."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    for key in ("bench", "schema_version", "meta", "results"):
+        if key not in payload:
+            raise ValueError(f"bench payload missing key {key!r}")
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        raise ValueError("'bench' must be a non-empty string")
+    if payload["schema_version"] != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {payload['schema_version']!r}; "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload["meta"], dict):
+        raise ValueError("'meta' must be an object")
+    results = payload["results"]
+    if not isinstance(results, list) or not results:
+        raise ValueError("'results' must be a non-empty list")
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            raise ValueError(f"results[{i}] must be an object")
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            raise ValueError(f"results[{i}].name must be a non-empty string")
+        if not isinstance(row.get("params"), dict):
+            raise ValueError(f"results[{i}].params must be an object")
+        stats = row.get("stats")
+        if not isinstance(stats, dict):
+            raise ValueError(f"results[{i}].stats must be an object")
+        for stat in _REQUIRED_STATS:
+            value = stats.get(stat)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"results[{i}].stats.{stat} must be a number, got {value!r}"
+                )
+
+
+def write_bench_json(
+    path: PathLike,
+    bench: str,
+    results: List[Dict[str, object]],
+    *,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Validate and write a ``BENCH_<name>.json``; returns the payload."""
+    payload = bench_payload(bench, results, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
+    return payload
+
+
+def read_bench_json(path: PathLike) -> Dict[str, object]:
+    """Load and validate a benchmark artifact."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_bench_payload(payload)
+    return payload

@@ -1,0 +1,92 @@
+"""Exporters: render a registry as aligned text or Prometheus exposition.
+
+The text form is what ``repro obs report`` prints and humans read; the
+Prometheus form follows the text exposition conventions (sanitized
+``snake_case`` names with a ``repro_`` prefix, ``_total`` on counters,
+``_count``/``_sum`` plus ``quantile``-labelled samples for histograms)
+so a scrape-style pipeline can ingest run output unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .registry import MetricsRegistry
+
+__all__ = ["render_text", "render_prometheus"]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_HISTOGRAM_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_SANITIZER.sub("_", name)
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _text_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Human-readable listing: one aligned line per metric."""
+    rows: List[Tuple[str, str]] = []
+    for sample in registry.collect():
+        label = f"{sample.name}{_text_labels(sample.labels)}"
+        if sample.kind == "histogram":
+            s = sample.summary or {}
+            value = (
+                f"count={s['count']:.0f} sum={s['sum']:.6g} mean={s['mean']:.6g} "
+                f"min={s['min']:.6g} p50={s['p50']:.6g} p95={s['p95']:.6g} "
+                f"p99={s['p99']:.6g} max={s['max']:.6g}"
+            )
+        else:
+            value = f"{sample.value:.6g}"
+        rows.append((label, value))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text-exposition rendering of every metric."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for sample in registry.collect():
+        base = _prom_name(sample.name)
+        if sample.kind == "counter":
+            name = base + "_total"
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} counter")
+                seen_types[name] = "counter"
+            lines.append(f"{name}{_prom_labels(sample.labels)} {sample.value:.10g}")
+        elif sample.kind == "gauge":
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} gauge")
+                seen_types[base] = "gauge"
+            lines.append(f"{base}{_prom_labels(sample.labels)} {sample.value:.10g}")
+        else:  # histogram -> summary exposition
+            if base not in seen_types:
+                lines.append(f"# TYPE {base} summary")
+                seen_types[base] = "summary"
+            s = sample.summary or {}
+            for quantile, key in _HISTOGRAM_QUANTILES:
+                extra = 'quantile="%s"' % quantile
+                lines.append(
+                    f"{base}{_prom_labels(sample.labels, extra)} {s[key]:.10g}"
+                )
+            lines.append(f"{base}_sum{_prom_labels(sample.labels)} {s['sum']:.10g}")
+            lines.append(
+                f"{base}_count{_prom_labels(sample.labels)} {s['count']:.10g}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,112 @@
+"""Render observability artifacts (bench JSON, event logs) for humans.
+
+Backs the ``repro obs report`` CLI: given a ``BENCH_*.json`` or a JSONL
+event log it produces the aligned text a terminal wants, without the
+producer process having to stay alive.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .bench import read_bench_json
+from .events import read_events
+
+__all__ = ["render_bench", "render_event_log", "render_artifact"]
+
+PathLike = Union[str, Path]
+
+
+def render_bench(payload: Dict[str, object]) -> str:
+    """A validated bench payload as an aligned text table."""
+    results: List[Dict[str, object]] = payload["results"]  # type: ignore[assignment]
+    param_keys: List[str] = []
+    for row in results:
+        for key in row["params"]:  # type: ignore[union-attr]
+            if key not in param_keys:
+                param_keys.append(key)
+    header = ["name", *param_keys, "mean_s", "min_s", "repeats"]
+    table: List[List[str]] = [header]
+    for row in results:
+        stats: Dict[str, object] = row["stats"]  # type: ignore[assignment]
+        params: Dict[str, object] = row["params"]  # type: ignore[assignment]
+        table.append(
+            [
+                str(row["name"]),
+                *(str(params.get(k, "-")) for k in param_keys),
+                f"{float(stats['mean_s']):.6g}",
+                f"{float(stats['min_s']):.6g}",
+                f"{int(stats['repeats'])}",
+            ]
+        )
+    widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+    lines = [f"bench: {payload['bench']}  (schema v{payload['schema_version']})"]
+    meta = payload.get("meta") or {}
+    if meta:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"meta: {rendered}")
+    for j, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_event_log(events: List[Dict[str, object]]) -> str:
+    """Summarize a JSONL event log: run metadata, event counts, metrics."""
+    lines: List[str] = [f"{len(events)} events"]
+    for event in events:
+        if event.get("event") == "run_start":
+            interesting = {
+                k: v
+                for k, v in event.items()
+                if k not in ("event", "time") and v is not None
+            }
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+            lines.append(f"run_start: {rendered}")
+            break
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = str(event.get("event"))
+        counts[name] = counts.get(name, 0) + 1
+    width = max(len(name) for name in counts) if counts else 0
+    lines.append("event counts:")
+    for name in sorted(counts):
+        lines.append(f"  {name:<{width}}  {counts[name]}")
+    # the last metrics snapshot, if any, is the run's final word
+    for event in reversed(events):
+        metrics = event.get("metrics")
+        if isinstance(metrics, dict):
+            lines.append("final metrics snapshot:")
+            for name in sorted(metrics):
+                for entry in metrics[name]:
+                    labels = entry.get("labels") or {}
+                    label_text = (
+                        "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                        if labels
+                        else ""
+                    )
+                    if entry.get("kind") == "histogram":
+                        summary = entry.get("summary") or {}
+                        value = (
+                            f"count={summary.get('count')} mean={summary.get('mean')}"
+                        )
+                    else:
+                        value = str(entry.get("value"))
+                    lines.append(f"  {name}{label_text}  {value}")
+            break
+    return "\n".join(lines)
+
+
+def render_artifact(path: PathLike) -> str:
+    """Render a bench JSON or JSONL event log, inferring which it is."""
+    path = Path(path)
+    if path.suffix.lower() in (".jsonl", ".ndjson"):
+        return render_event_log(read_events(path))
+    try:
+        return render_bench(read_bench_json(path))
+    except (ValueError, json.JSONDecodeError):
+        # not a bench artifact; fall back to the event-log reader
+        return render_event_log(read_events(path))

@@ -1,0 +1,171 @@
+"""Global observability state and the hot-path entry points.
+
+The whole package reports through three module-level globals — the
+``enabled`` flag, the active :class:`~repro.obs.registry.MetricsRegistry`
+and the active :class:`~repro.obs.tracing.Tracer` — so instrumented code
+pays a single module-attribute read when observability is off:
+
+    from ..obs import runtime as _obs
+    ...
+    if _obs.enabled:
+        _obs.registry.inc("core.calibration.cache_hits")
+
+``span()``/``timer()`` follow the same discipline: the disabled path
+checks the flag and returns one shared no-op context manager before any
+allocation happens, so instrumenting a hot loop costs a branch, not an
+object.
+
+State is process-global and single-threaded by design (the simulation
+and experiments are synchronous); :func:`activate` scopes enablement to
+a ``with`` block and restores the previous state on exit, which is how
+the experiment runners capture timings without permanently flipping the
+global switch.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, NamedTuple, Optional
+
+from .registry import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "enabled",
+    "registry",
+    "tracer",
+    "is_enabled",
+    "get_registry",
+    "get_tracer",
+    "enable",
+    "disable",
+    "activate",
+    "span",
+    "timer",
+    "ObsSession",
+]
+
+#: Master switch — instrumented modules check this before any other work.
+enabled: bool = False
+
+#: The active registry every metric lands in.
+registry: MetricsRegistry = MetricsRegistry()
+
+#: The active tracer every finished span lands in.
+tracer: Tracer = Tracer()
+
+
+class ObsSession(NamedTuple):
+    """The registry/tracer pair an :func:`activate` block writes into."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+
+
+def is_enabled() -> bool:
+    """Is observability currently collecting?"""
+    return enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently active metrics registry."""
+    return registry
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer."""
+    return tracer
+
+
+def enable(
+    new_registry: Optional[MetricsRegistry] = None,
+    new_tracer: Optional[Tracer] = None,
+) -> ObsSession:
+    """Turn collection on, optionally swapping in fresh sinks."""
+    global enabled, registry, tracer
+    if new_registry is not None:
+        registry = new_registry
+    if new_tracer is not None:
+        tracer = new_tracer
+    enabled = True
+    return ObsSession(registry, tracer)
+
+
+def disable() -> None:
+    """Turn collection off (sinks keep their contents)."""
+    global enabled
+    enabled = False
+
+
+@contextmanager
+def activate(
+    new_registry: Optional[MetricsRegistry] = None,
+    new_tracer: Optional[Tracer] = None,
+) -> Iterator[ObsSession]:
+    """Collect within a ``with`` block, restoring prior state after.
+
+    Fresh sinks are created unless explicitly passed, so a scoped
+    capture never mixes its numbers into the ambient registry.
+    """
+    global enabled, registry, tracer
+    saved = (enabled, registry, tracer)
+    session = enable(
+        new_registry if new_registry is not None else MetricsRegistry(),
+        new_tracer if new_tracer is not None else Tracer(),
+    )
+    try:
+        yield session
+    finally:
+        enabled, registry, tracer = saved
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned when collection is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span; optionally doubles as a histogram timer."""
+
+    __slots__ = ("_name", "_labels", "_observe")
+
+    def __init__(self, name: str, labels: Dict[str, str], observe: bool):
+        self._name = name
+        self._labels = labels
+        self._observe = observe
+
+    def __enter__(self) -> "_LiveSpan":
+        tracer.begin(self._name, self._labels, time.perf_counter())
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        record = tracer.finish(time.perf_counter())
+        if self._observe:
+            registry.histogram(self._name, **self._labels).observe(record.duration)
+        return False
+
+
+def span(name: str, **labels: object):
+    """A traced region; a shared no-op (no allocation) when disabled."""
+    if not enabled:
+        return _NOOP
+    return _LiveSpan(name, {k: str(v) for k, v in labels.items()}, observe=False)
+
+
+def timer(name: str, **labels: object):
+    """Like :func:`span`, but also records the duration into the
+    histogram ``name`` so mean/min/p95 aggregate across calls."""
+    if not enabled:
+        return _NOOP
+    return _LiveSpan(name, {k: str(v) for k, v in labels.items()}, observe=True)

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..obs import runtime as _obs
 from ..stats.rng import SeedLike, make_rng
 
 __all__ = ["push_pull_round", "GossipAggregator", "ReputationGossip"]
@@ -41,6 +42,10 @@ def push_pull_round(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         mean = 0.5 * (values[a] + values[b])
         values[a] = mean
         values[b] = mean
+    if _obs.enabled:
+        _obs.registry.inc("p2p.gossip.rounds")
+        # push-pull: each matched pair exchanges one message in each direction
+        _obs.registry.inc("p2p.gossip.messages", 2 * (values.size // 2))
     return values
 
 
@@ -154,7 +159,11 @@ class ReputationGossip:
                     self._positives[server], order
                 )
                 self._totals[server] = _paired_average(self._totals[server], order)
+                if _obs.enabled:
+                    _obs.registry.inc("p2p.gossip.messages", 2 * (self._n // 2))
             self._rounds += 1
+            if _obs.enabled:
+                _obs.registry.inc("p2p.gossip.rounds")
 
     def estimate(self, peer: int, server: str) -> float:
         """Peer ``peer``'s current estimate of ``server``'s reputation."""

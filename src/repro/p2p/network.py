@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from ..obs import runtime as _obs
 from ..stats.rng import SeedLike, make_rng
 
 __all__ = ["NetworkStats", "NodeUnreachable", "SimulatedNetwork"]
@@ -46,6 +47,10 @@ class NetworkStats:
         self.by_type[message_type] = self.by_type.get(message_type, 0) + 1
         if dropped:
             self.drops += 1
+        if _obs.enabled:
+            _obs.registry.inc("p2p.network.messages", type=message_type)
+            if dropped:
+                _obs.registry.inc("p2p.network.drops", type=message_type)
 
 
 class SimulatedNetwork:

@@ -30,6 +30,7 @@ from ..core.two_phase import TwoPhaseAssessor
 from ..core.verdict import AssessmentStatus
 from ..feedback.ledger import FeedbackLedger
 from ..feedback.records import EntityId, Feedback, Rating
+from ..obs import runtime as _obs
 from ..stats.rng import SeedLike, make_rng
 from ..trust.base import LedgerTrustFunction
 from .arrival import ArrivalModel, ClientStateTable
@@ -151,10 +152,13 @@ class ReputationSimulation:
 
     def step(self) -> None:
         """One simulation step: arrivals, assessments, transactions."""
-        self._time += 1.0
-        self._metrics.steps += 1
-        for server_id, behavior in self._servers.items():
-            self._step_server(server_id, behavior)
+        with _obs.timer("simulation.step_seconds"):
+            self._time += 1.0
+            self._metrics.steps += 1
+            if _obs.enabled:
+                _obs.registry.inc("simulation.steps")
+            for server_id, behavior in self._servers.items():
+                self._step_server(server_id, behavior)
 
     # ------------------------------------------------------------------ #
 
@@ -166,6 +170,8 @@ class ReputationSimulation:
         stats = self._metrics.server(server_id)
         for client in requesters:
             stats.requests += 1
+            if _obs.enabled:
+                _obs.registry.inc("simulation.requests")
             if not self._client_accepts(server_id, stats):
                 continue
             outcome = behavior.next_outcome(self._rng)
@@ -179,6 +185,9 @@ class ReputationSimulation:
             self._states[server_id].record_service(client, outcome)
             stats.transactions += 1
             stats.good_transactions += outcome
+            if _obs.enabled:
+                _obs.registry.inc("simulation.transactions")
+                _obs.registry.inc("simulation.good_transactions", int(outcome))
 
     def _client_accepts(self, server_id: EntityId, stats) -> bool:
         if server_id not in self._ledger.servers():
@@ -196,8 +205,12 @@ class ReputationSimulation:
             return True  # a risk-tolerant client transacts anyway
         if assessment.status is AssessmentStatus.SUSPICIOUS:
             stats.refusals_suspicious += 1
+            if _obs.enabled:
+                _obs.registry.inc("simulation.refusals", reason="suspicious")
         else:
             stats.refusals_trust += 1
+            if _obs.enabled:
+                _obs.registry.inc("simulation.refusals", reason="trust")
         return False
 
     def _seed_prior_histories(self, prior_histories) -> None:

@@ -78,3 +78,20 @@ class SimulationMetrics:
                 sum(m.refusals_trust for m in self.per_server.values())
             ),
         }
+
+    def publish(self, registry=None, prefix: str = "simulation.totals") -> None:
+        """Bridge these counters into a :mod:`repro.obs` registry as gauges.
+
+        The engine already streams live counters into the active registry
+        while observability is enabled; this publishes the authoritative
+        end-of-run totals (e.g. for a run that collected with obs off, or
+        before an export), under ``<prefix>.<field>``.
+        """
+        if registry is None:
+            from ..obs import runtime as _obs
+
+            registry = _obs.registry
+        summary = self.summary()
+        for field_name, value in summary.items():
+            registry.set(f"{prefix}.{field_name}", value)
+        registry.set(f"{prefix}.servers", float(len(self.per_server)))

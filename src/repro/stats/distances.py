@@ -13,6 +13,8 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from ..obs import runtime as _obs
+
 __all__ = [
     "l1_distance",
     "total_variation",
@@ -41,6 +43,8 @@ def l1_distance(p: np.ndarray, q: np.ndarray) -> float:
     Ranges over [0, 2]; 0 means identical, 2 means disjoint supports.
     """
     _check(p, q)
+    if _obs.enabled:
+        _obs.registry.inc("stats.distances.evaluations", distance="l1")
     return float(np.abs(np.asarray(p) - np.asarray(q)).sum())
 
 
@@ -52,6 +56,8 @@ def total_variation(p: np.ndarray, q: np.ndarray) -> float:
 def l2_distance(p: np.ndarray, q: np.ndarray) -> float:
     """Euclidean distance between pmf vectors."""
     _check(p, q)
+    if _obs.enabled:
+        _obs.registry.inc("stats.distances.evaluations", distance="l2")
     diff = np.asarray(p) - np.asarray(q)
     return float(np.sqrt((diff * diff).sum()))
 
@@ -59,6 +65,8 @@ def l2_distance(p: np.ndarray, q: np.ndarray) -> float:
 def ks_distance(p: np.ndarray, q: np.ndarray) -> float:
     """Kolmogorov–Smirnov distance: max absolute cdf gap."""
     _check(p, q)
+    if _obs.enabled:
+        _obs.registry.inc("stats.distances.evaluations", distance="ks")
     return float(np.abs(np.cumsum(p) - np.cumsum(q)).max())
 
 
@@ -71,6 +79,8 @@ def chi_square_statistic(p: np.ndarray, q: np.ndarray) -> float:
     and very large instead, which is what a threshold test needs.
     """
     _check(p, q)
+    if _obs.enabled:
+        _obs.registry.inc("stats.distances.evaluations", distance="chi2")
     q_safe = np.maximum(np.asarray(q, dtype=np.float64), 1e-12)
     diff = np.asarray(p) - q_safe
     return float((diff * diff / q_safe).sum())

@@ -1,0 +1,15 @@
+"""Fixtures for the observability tests: always leave obs disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after():
+    """Guarantee test isolation: obs globals restored after every test."""
+    saved = (runtime.enabled, runtime.registry, runtime.tracer)
+    yield
+    runtime.enabled, runtime.registry, runtime.tracer = saved

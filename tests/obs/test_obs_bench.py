@@ -1,0 +1,78 @@
+"""The BENCH_*.json artifact format: write, validate, read, render."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+GOOD_ROW = {
+    "name": "multi_optimized",
+    "params": {"history_size": 1000},
+    "stats": {"mean_s": 0.5, "min_s": 0.4, "repeats": 3},
+}
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        payload = obs.write_bench_json(
+            path, "x", [GOOD_ROW], meta={"seed": 1, "git_rev": "abc"}
+        )
+        assert payload["schema_version"] == obs.BENCH_SCHEMA_VERSION
+        loaded = obs.read_bench_json(path)
+        assert loaded == json.loads(path.read_text())
+        assert loaded["results"][0]["stats"]["min_s"] == 0.4
+        assert loaded["meta"]["seed"] == 1
+
+    def test_render_bench_table(self):
+        payload = obs.bench_payload("x", [GOOD_ROW], meta={"seed": 1})
+        table = obs.render_bench(payload)
+        assert "multi_optimized" in table
+        assert "history_size" in table
+        assert "seed=1" in table
+
+
+class TestValidator:
+    def test_accepts_good_payload(self):
+        obs.validate_bench_payload(obs.bench_payload("x", [GOOD_ROW]))
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.pop("results"), "missing key"),
+            (lambda p: p.update(results=[]), "non-empty"),
+            (lambda p: p.update(schema_version=99), "schema_version"),
+            (lambda p: p.update(bench=""), "bench"),
+            (lambda p: p.update(meta=[]), "meta"),
+            (lambda p: p["results"][0].pop("name"), "name"),
+            (lambda p: p["results"][0].update(params="x"), "params"),
+            (lambda p: p["results"][0]["stats"].pop("min_s"), "min_s"),
+            (
+                lambda p: p["results"][0]["stats"].update(mean_s="fast"),
+                "mean_s",
+            ),
+            (
+                lambda p: p["results"][0]["stats"].update(repeats=True),
+                "repeats",
+            ),
+        ],
+    )
+    def test_rejects_malformed(self, mutate, message):
+        payload = {
+            "bench": "x",
+            "schema_version": obs.BENCH_SCHEMA_VERSION,
+            "meta": {},
+            "results": [json.loads(json.dumps(GOOD_ROW))],
+        }
+        mutate(payload)
+        with pytest.raises(ValueError, match=message):
+            obs.validate_bench_payload(payload)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            obs.validate_bench_payload([1, 2])
+
+    def test_extra_keys_tolerated(self):
+        payload = obs.bench_payload("x", [dict(GOOD_ROW, extra="fine")])
+        obs.validate_bench_payload(payload)

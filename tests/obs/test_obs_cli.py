@@ -1,0 +1,112 @@
+"""The ``repro`` umbrella CLI and the ``obs report`` subcommand."""
+
+import json
+import logging
+
+import pytest
+
+from repro import obs
+from repro.main import build_parser, main
+
+GOOD_ROW = {
+    "name": "single",
+    "params": {"history_size": 1000},
+    "stats": {"mean_s": 0.25, "min_s": 0.2, "repeats": 3},
+}
+
+
+@pytest.fixture()
+def bench_file(tmp_path):
+    path = tmp_path / "BENCH_fig9.json"
+    obs.write_bench_json(path, "fig9", [GOOD_ROW], meta={"seed": 2008})
+    return path
+
+
+@pytest.fixture()
+def events_file(tmp_path):
+    path = tmp_path / "run_events.jsonl"
+    reg = obs.MetricsRegistry()
+    reg.inc("core.two_phase.assessments", 4)
+    with obs.EventLog(path, run_meta=obs.run_metadata(seed=7)) as log:
+        log.emit("phase", name="calibration")
+        log.emit_metrics(reg)
+    return path
+
+
+class TestObsReport:
+    def test_reports_bench_artifact(self, bench_file, capsys):
+        assert main(["obs", "report", str(bench_file)]) == 0
+        out = capsys.readouterr().out
+        assert "bench: fig9" in out
+        assert "single" in out
+        assert "seed=2008" in out
+
+    def test_reports_event_log(self, events_file, capsys):
+        assert main(["obs", "report", str(events_file)]) == 0
+        out = capsys.readouterr().out
+        assert "run_start" in out
+        assert "seed=7" in out
+        assert "core.two_phase.assessments" in out
+
+    def test_missing_artifact_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_artifact_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"bench": "x"}), encoding="utf-8")
+        assert main(["obs", "report", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParserShape:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_forwarding_captures_remainder(self):
+        args = build_parser().parse_args(
+            ["experiments", "fig9", "--quick", "--seed", "5"]
+        )
+        assert args.command == "experiments"
+        assert args.rest == ["fig9", "--quick", "--seed", "5"]
+
+    def test_assess_remainder(self):
+        args = build_parser().parse_args(["assess", "feedback.csv", "--test", "multi"])
+        assert args.rest == ["feedback.csv", "--test", "multi"]
+
+
+class TestLogLevel:
+    def test_log_level_configures_repro_logger(self, bench_file):
+        logger = logging.getLogger("repro")
+        prior_level = logger.level
+        prior_handlers = list(logger.handlers)
+        try:
+            assert main(["--log-level", "DEBUG", "obs", "report", str(bench_file)]) == 0
+            assert logger.level == logging.DEBUG
+            assert any(
+                isinstance(h, logging.StreamHandler) for h in logger.handlers
+            )
+        finally:
+            logger.setLevel(prior_level)
+            for handler in logger.handlers[:]:
+                if handler not in prior_handlers:
+                    logger.removeHandler(handler)
+
+    def test_configure_logging_idempotent(self):
+        logger = logging.getLogger("repro.test_idempotent")
+        prior_handlers = list(logger.handlers)
+        try:
+            obs.configure_logging("INFO", logger_name="repro.test_idempotent")
+            obs.configure_logging("DEBUG", logger_name="repro.test_idempotent")
+            added = [h for h in logger.handlers if h not in prior_handlers]
+            assert len(added) == 1
+            assert logger.level == logging.DEBUG
+        finally:
+            for handler in logger.handlers[:]:
+                if handler not in prior_handlers:
+                    logger.removeHandler(handler)
+
+    def test_package_logger_has_null_handler(self):
+        logger = logging.getLogger("repro.obs")
+        assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)

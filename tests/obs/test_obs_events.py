@@ -1,0 +1,91 @@
+"""Structured event log: JSONL round-trip and run metadata."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.config import BehaviorTestConfig
+
+
+class TestRunMetadata:
+    def test_metadata_fields(self):
+        meta = obs.run_metadata(seed=2008, config=BehaviorTestConfig(), extra_key="v")
+        assert meta["seed"] == 2008
+        assert isinstance(meta["config_hash"], str) and len(meta["config_hash"]) == 12
+        assert meta["python"].count(".") == 2
+        assert meta["extra_key"] == "v"
+        assert "timestamp" in meta
+
+    def test_config_fingerprint_stable_and_discriminating(self):
+        a1 = obs.config_fingerprint(BehaviorTestConfig())
+        a2 = obs.config_fingerprint(BehaviorTestConfig())
+        b = obs.config_fingerprint(BehaviorTestConfig(window_size=20))
+        assert a1 == a2
+        assert a1 != b
+        assert obs.config_fingerprint(None) is None
+        assert obs.config_fingerprint({"k": 1}) == obs.config_fingerprint({"k": 1})
+
+    def test_git_revision_in_repo(self):
+        rev = obs.git_revision()
+        # inside this repository a short rev must come back
+        assert rev is None or (isinstance(rev, str) and len(rev) >= 7)
+
+
+class TestEventLogRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.EventLog(path, run_meta=obs.run_metadata(seed=1)) as log:
+            log.emit("phase", name="calibration", n=400)
+            log.emit("done", ok=True)
+        events = obs.read_events(path)
+        assert [e["event"] for e in events] == ["run_start", "phase", "done"]
+        assert events[0]["seed"] == 1
+        assert events[1]["name"] == "calibration"
+        assert events[1]["n"] == 400
+        assert events[2]["ok"] is True
+        assert all("time" in e for e in events)
+        # memory copy matches the file copy
+        assert [e["event"] for e in log.events] == [e["event"] for e in events]
+
+    def test_memory_only_log(self):
+        log = obs.EventLog()
+        log.emit("x", a=1)
+        assert log.path is None
+        assert log.events[0]["a"] == 1
+
+    def test_metrics_snapshot_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        reg = obs.MetricsRegistry()
+        reg.inc("c", 3, kind="k")
+        reg.observe("h", 0.5)
+        with obs.EventLog(path) as log:
+            log.emit_metrics(reg)
+        (event,) = obs.read_events(path)
+        assert event["event"] == "metrics"
+        assert event["metrics"]["c"][0]["value"] == 3.0
+        assert event["metrics"]["h"][0]["summary"]["count"] == 1.0
+
+    def test_crash_leaves_flushed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = obs.EventLog(path)
+        log.emit("one")
+        # no close(): the line must already be on disk
+        assert len(obs.read_events(path)) == 1
+        log.close()
+
+    def test_unserializable_fields_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with obs.EventLog(path) as log:
+            log.emit("odd", obj=object())
+        (event,) = obs.read_events(path)
+        assert "object object" in event["obj"]
+
+    def test_read_events_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="line 1"):
+            obs.read_events(path)
+        path.write_text(json.dumps({"no_event_key": 1}) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="not an event"):
+            obs.read_events(path)

@@ -1,0 +1,69 @@
+"""Exporter output formats: aligned text and Prometheus exposition."""
+
+import re
+
+from repro import obs
+
+
+def _populated_registry() -> obs.MetricsRegistry:
+    reg = obs.MetricsRegistry()
+    reg.inc("core.calibration.cache_hits", 7)
+    reg.inc("p2p.network.messages", 3, type="lookup")
+    reg.set("simulation.totals.steps", 50)
+    for v in (0.01, 0.02, 0.04):
+        reg.observe("core.testing.seconds", v)
+    return reg
+
+
+class TestTextExporter:
+    def test_contains_every_metric_line(self):
+        text = obs.render_text(_populated_registry())
+        assert "core.calibration.cache_hits" in text
+        assert "p2p.network.messages{type=lookup}  3" in text
+        assert "simulation.totals.steps" in text
+        assert re.search(r"core\.testing\.seconds\s+count=3", text)
+        assert "p95=" in text and "mean=" in text
+
+    def test_empty_registry(self):
+        assert "no metrics" in obs.render_text(obs.MetricsRegistry())
+
+
+class TestPrometheusExporter:
+    def test_counter_exposition(self):
+        out = obs.render_prometheus(_populated_registry())
+        assert "# TYPE repro_core_calibration_cache_hits_total counter" in out
+        assert "repro_core_calibration_cache_hits_total 7" in out
+        assert 'repro_p2p_network_messages_total{type="lookup"} 3' in out
+
+    def test_gauge_exposition(self):
+        out = obs.render_prometheus(_populated_registry())
+        assert "# TYPE repro_simulation_totals_steps gauge" in out
+        assert "repro_simulation_totals_steps 50" in out
+
+    def test_histogram_as_summary(self):
+        out = obs.render_prometheus(_populated_registry())
+        assert "# TYPE repro_core_testing_seconds summary" in out
+        assert 'repro_core_testing_seconds{quantile="0.5"}' in out
+        assert 'repro_core_testing_seconds{quantile="0.99"}' in out
+        assert "repro_core_testing_seconds_count 3" in out
+        assert re.search(r"repro_core_testing_seconds_sum 0\.0[67]", out)
+
+    def test_names_sanitized(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("weird-name.with chars!")
+        out = obs.render_prometheus(reg)
+        sample_lines = [l for l in out.splitlines() if not l.startswith("#")]
+        for line in sample_lines:
+            name = line.split("{")[0].split(" ")[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), name
+
+    def test_type_comment_emitted_once_per_name(self):
+        reg = obs.MetricsRegistry()
+        reg.inc("msgs", 1, type="a")
+        reg.inc("msgs", 1, type="b")
+        out = obs.render_prometheus(reg)
+        assert out.count("# TYPE repro_msgs_total counter") == 1
+        assert out.count("repro_msgs_total{") == 2
+
+    def test_empty_registry(self):
+        assert obs.render_prometheus(obs.MetricsRegistry()) == ""

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.p2p",
     "repro.analysis",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
