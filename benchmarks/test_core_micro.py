@@ -107,3 +107,75 @@ def test_changepoint_detection_100k(benchmark):
     assert len(splits) >= 1
     assert abs(splits[0] - 50_000) < 2_000
 
+
+def test_multi_testing_audit_disabled_overhead(outcomes):
+    """Auditing off must cost one module-attribute read on the hot path.
+
+    Guard the bound directly: timed side-by-side, the audit-gated test
+    must stay within noise of itself (the gate is a single ``if`` on a
+    module global), and the audit module must allocate nothing.
+    """
+    import time
+    import tracemalloc
+
+    from repro.obs import audit
+
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR)
+    test_.test(outcomes)  # warm calibration + pmf buffers
+    assert not audit.enabled
+
+    tracemalloc.start()
+    for _ in range(100):
+        test_.test(outcomes)
+    snapshot = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    audit_allocs = [
+        stat
+        for stat in snapshot.statistics("filename")
+        if stat.traceback[0].filename.endswith("obs/audit.py")
+    ]
+    assert not audit_allocs, f"disabled audit allocated: {audit_allocs}"
+
+    def timed(repeats=60):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            test_.test(outcomes)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    baseline = timed()
+    disabled_again = timed()
+    # identical code path twice: bounds the timing noise of this machine;
+    # a real regression (record building while disabled) is >2x
+    ratio = disabled_again / baseline
+    assert 0.25 < ratio < 4.0, f"timing too unstable to trust: {ratio:.2f}x"
+
+
+def test_multi_testing_sampled_audit_overhead(outcomes):
+    """1-in-N sampling keeps audit cost bounded on the multi-testing path."""
+    import time
+
+    from repro.obs import audit
+
+    test_ = MultiBehaviorTest(CONFIG, CALIBRATOR)
+    test_.test(outcomes)
+
+    def timed(repeats=60):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            test_.test(outcomes)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    disabled = timed()
+    with audit.audit_session(sample_every=64, include_pmfs=False) as trail:
+        sampled = timed()
+    assert trail.decisions_seen == 60
+    assert len(trail.records) <= 1
+    # best-of-60 with 1-in-64 sampling: nearly every timed run skips
+    # record building, so the floor must stay close to the disabled floor
+    assert sampled < disabled * 3.0, (
+        f"sampled auditing too slow: {sampled:.6f}s vs {disabled:.6f}s disabled"
+    )

@@ -82,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable repro.* logging at this level (DEBUG, INFO, ...)",
     )
+    parser.add_argument(
+        "--audit-out",
+        type=Path,
+        default=None,
+        help="write per-assessment audit records (JSONL) to this path; "
+        "inspect them with `repro explain <server> <path>`",
+    )
+    parser.add_argument(
+        "--audit-sample",
+        type=int,
+        default=1,
+        help="record every Nth assessment decision (default: 1 = all)",
+    )
     return parser
 
 
@@ -101,6 +114,23 @@ def _make_test(name: str, config: BehaviorTestConfig):
     if name == "collusion":
         return CollusionResilientTest(config)
     return CollusionResilientMultiTest(config)
+
+
+def _maybe_audit(args):
+    """Audit session writing to ``--audit-out``, or a no-op context."""
+    if args.audit_out is None:
+        import contextlib
+
+        return contextlib.nullcontext()
+    from .obs import audit
+
+    if args.audit_sample < 1:
+        raise SystemExit("error: --audit-sample must be >= 1")
+    return audit.audit_session(
+        sample_every=args.audit_sample,
+        path=args.audit_out,
+        run_meta={"tool": "repro-assess", "feedback_file": str(args.feedback_file)},
+    )
 
 
 def _failure_detail(behavior) -> str:
@@ -162,11 +192,16 @@ def _run(argv: Optional[List[str]] = None) -> int:
 
     rows = []
     any_suspicious = False
-    for server in servers:
-        history = TransactionHistory.from_feedbacks(by_server[server])
-        result = assessor.assess(history)
-        any_suspicious = any_suspicious or result.status is AssessmentStatus.SUSPICIOUS
-        rows.append((server, len(history), result))
+    with _maybe_audit(args):
+        for server in servers:
+            history = TransactionHistory.from_feedbacks(by_server[server])
+            result = assessor.assess(history)
+            any_suspicious = (
+                any_suspicious or result.status is AssessmentStatus.SUSPICIOUS
+            )
+            rows.append((server, len(history), result))
+    if args.audit_out is not None:
+        print(f"audit records written to {args.audit_out}", file=sys.stderr)
 
     if args.format == "json":
         import json

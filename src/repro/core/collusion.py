@@ -30,6 +30,7 @@ import numpy as np
 
 from ..feedback.history import TransactionHistory
 from ..feedback.records import EntityId, Feedback
+from ..obs import audit as _audit
 from .calibration import ThresholdCalibrator
 from .config import DEFAULT_CONFIG, BehaviorTestConfig
 from .testing import SingleBehaviorTest
@@ -83,7 +84,9 @@ class CollusionResilientTest:
         config: BehaviorTestConfig = DEFAULT_CONFIG,
         calibrator: Optional[ThresholdCalibrator] = None,
     ):
-        self._single = SingleBehaviorTest(config, calibrator)
+        # this test's audit record carries the reorder trace; the inner
+        # single test must not emit a duplicate, reorder-blind record
+        self._single = SingleBehaviorTest(config, calibrator, emit_audit=False)
 
     @property
     def config(self) -> BehaviorTestConfig:
@@ -95,7 +98,25 @@ class CollusionResilientTest:
 
     def test(self, history) -> BehaviorVerdict:
         """``history`` must carry feedback metadata (issuer identities)."""
-        return self._single.test_outcomes(reordered_outcomes(_feedbacks_of(history)))
+        feedbacks = _feedbacks_of(history)
+        reordered = reordered_outcomes(feedbacks)
+        if not _audit.enabled:
+            return self._single.test_outcomes(reordered)
+        with _audit.trail.decision_scope(server=getattr(history, "server", None)):
+            verdict = self._single.test_outcomes(reordered)
+            trail = _audit.trail
+            if trail.want_record():
+                trail.emit(
+                    _audit.single_test_record(
+                        self.name,
+                        config=self.config,
+                        outcomes=reordered,
+                        verdict=verdict,
+                        reorder=_audit.reorder_trace(feedbacks),
+                        include_pmfs=trail.include_pmfs,
+                    )
+                )
+        return verdict
 
 
 class CollusionResilientMultiTest:
@@ -117,7 +138,7 @@ class CollusionResilientMultiTest:
     ):
         self._config = config
         self._collect_all = collect_all
-        self._single = SingleBehaviorTest(config, calibrator)
+        self._single = SingleBehaviorTest(config, calibrator, emit_audit=False)
 
     @property
     def config(self) -> BehaviorTestConfig:
@@ -140,6 +161,14 @@ class CollusionResilientMultiTest:
     def test(self, history) -> MultiTestReport:
         """Judge every time-recent suffix after issuer-grouped reordering."""
         feedbacks = _feedbacks_of(history)
+        if _audit.enabled:
+            with _audit.trail.decision_scope(
+                server=getattr(history, "server", None)
+            ) as sampled:
+                return self._test(feedbacks, audited=sampled)
+        return self._test(feedbacks, audited=False)
+
+    def _test(self, feedbacks: List[Feedback], *, audited: bool) -> MultiTestReport:
         lengths = self.suffix_lengths(len(feedbacks))
         if not lengths:
             verdict = BehaviorVerdict.insufficient_history(
@@ -147,13 +176,39 @@ class CollusionResilientMultiTest:
                 window_size=self._config.window_size,
                 n_considered=len(feedbacks),
             )
-            return MultiTestReport(passed=verdict.passed, rounds=((len(feedbacks), verdict),))
+            report = MultiTestReport(
+                passed=verdict.passed, rounds=((len(feedbacks), verdict),)
+            )
+            if audited:
+                self._emit_audit(feedbacks, report, [None])
+            return report
         rounds = []
+        round_outcomes = []  # per-round reordered vectors, for the audit record
         for length in lengths:  # longest (full history) first, as in Sec. 4
             recent = feedbacks[len(feedbacks) - length :]
-            verdict = self._single.test_outcomes(reordered_outcomes(recent))
+            reordered = reordered_outcomes(recent)
+            verdict = self._single.test_outcomes(reordered)
             rounds.append((length, verdict))
+            if audited:
+                round_outcomes.append(reordered)
             if not verdict.passed and not self._collect_all:
                 break
         passed = all(v.passed for _, v in rounds)
-        return MultiTestReport(passed=passed, rounds=tuple(rounds))
+        report = MultiTestReport(passed=passed, rounds=tuple(rounds))
+        if audited:
+            self._emit_audit(feedbacks, report, round_outcomes)
+        return report
+
+    def _emit_audit(self, feedbacks, report, round_outcomes) -> None:
+        trail = _audit.trail
+        trail.emit(
+            _audit.multi_test_record(
+                self.name,
+                config=self._config,
+                outcomes=[fb.outcome for fb in feedbacks],
+                report=report,
+                round_outcomes=round_outcomes,
+                reorder=_audit.reorder_trace(feedbacks),
+                include_pmfs=trail.include_pmfs,
+            )
+        )

@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..feedback.windows import window_counts
+from ..obs import audit as _audit
 from ..obs import runtime as _obs
 from ..stats.binomial import binomial_pmf
 from ..stats.empirical import IncrementalHistogram
@@ -69,7 +70,9 @@ class MultiBehaviorTest:
             distance=config.distance,
             p_quantum=config.p_quantum,
         )
-        self._single = SingleBehaviorTest(config, self._calibrator)
+        # the naive strategy re-runs this internally; the multi record is
+        # the audit source of truth, so the inner test stays silent
+        self._single = SingleBehaviorTest(config, self._calibrator, emit_audit=False)
 
     @property
     def config(self) -> BehaviorTestConfig:
@@ -101,7 +104,29 @@ class MultiBehaviorTest:
 
     def test(self, history: HistoryInput) -> MultiTestReport:
         """Judge all suffixes; fails if any round fails."""
-        outcomes = _extract_outcomes(history)
+        if _audit.enabled:
+            server = getattr(history, "server", None)
+            with _audit.trail.decision_scope(server=server):
+                return self._test_audited(_extract_outcomes(history))
+        return self._test(_extract_outcomes(history))
+
+    def _test_audited(self, outcomes: np.ndarray) -> MultiTestReport:
+        report = self._test(outcomes)
+        trail = _audit.trail
+        if trail.want_record():
+            trail.emit(
+                _audit.multi_test_record(
+                    self.name,
+                    config=self._config,
+                    outcomes=outcomes,
+                    report=report,
+                    strategy=self._strategy,
+                    include_pmfs=trail.include_pmfs,
+                )
+            )
+        return report
+
+    def _test(self, outcomes: np.ndarray) -> MultiTestReport:
         lengths = self.suffix_lengths(int(outcomes.size))
         if not lengths:
             verdict = BehaviorVerdict.insufficient_history(

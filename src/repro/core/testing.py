@@ -14,6 +14,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..feedback.history import TransactionHistory
+from ..obs import audit as _audit
 from ..obs import runtime as _obs
 from ..stats.distances import get_distance
 from .calibration import ThresholdCalibrator
@@ -49,10 +50,15 @@ class SingleBehaviorTest:
         self,
         config: BehaviorTestConfig = DEFAULT_CONFIG,
         calibrator: Optional[ThresholdCalibrator] = None,
+        *,
+        emit_audit: bool = True,
     ):
         self._config = config
         self._model = HonestPlayerModel(config.window_size, align=config.align)
         self._distance = get_distance(config.distance)
+        # Composite tests (multi, collusion-resilient) run this test as an
+        # internal round and emit their own, richer audit record instead.
+        self._emit_audit = emit_audit
         self._calibrator = calibrator or ThresholdCalibrator(
             confidence=config.confidence,
             n_sets=config.calibration_sets,
@@ -70,6 +76,10 @@ class SingleBehaviorTest:
 
     def test(self, history: HistoryInput) -> BehaviorVerdict:
         """Judge a whole history (most recent behavior included)."""
+        if _audit.enabled and self._emit_audit:
+            server = getattr(history, "server", None)
+            with _audit.trail.decision_scope(server=server):
+                return self.test_outcomes(_extract_outcomes(history))
         return self.test_outcomes(_extract_outcomes(history))
 
     def test_outcomes(self, outcomes: np.ndarray) -> BehaviorVerdict:
@@ -79,11 +89,13 @@ class SingleBehaviorTest:
         if n < cfg.min_transactions:
             if _obs.enabled:
                 _obs.registry.inc("core.testing.tests", test=self.name, result="insufficient")
-            return BehaviorVerdict.insufficient_history(
+            verdict = BehaviorVerdict.insufficient_history(
                 passed=(cfg.on_insufficient == "pass"),
                 window_size=cfg.window_size,
                 n_considered=n,
             )
+            self._audit(outcomes, verdict)
+            return verdict
         with _obs.timer("core.testing.seconds"):
             fitted = self._model.fit(outcomes)
             threshold = self._calibrator.threshold(
@@ -97,7 +109,7 @@ class SingleBehaviorTest:
                 test=self.name,
                 result="pass" if passed else "fail",
             )
-        return BehaviorVerdict(
+        verdict = BehaviorVerdict(
             passed=passed,
             distance=float(distance),
             threshold=float(threshold),
@@ -105,6 +117,24 @@ class SingleBehaviorTest:
             n_windows=fitted.n_windows,
             window_size=fitted.window_size,
             n_considered=fitted.n_considered,
+        )
+        self._audit(outcomes, verdict)
+        return verdict
+
+    def _audit(self, outcomes: np.ndarray, verdict: BehaviorVerdict) -> None:
+        if not (_audit.enabled and self._emit_audit):
+            return
+        trail = _audit.trail
+        if not trail.want_record():
+            return
+        trail.emit(
+            _audit.single_test_record(
+                self.name,
+                config=self._config,
+                outcomes=outcomes,
+                verdict=verdict,
+                include_pmfs=trail.include_pmfs,
+            )
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

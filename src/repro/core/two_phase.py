@@ -18,6 +18,7 @@ from typing import Optional, Protocol, Union
 
 from ..feedback.history import TransactionHistory
 from ..feedback.ledger import FeedbackLedger
+from ..obs import audit as _audit
 from ..obs import runtime as _obs
 from ..trust.base import LedgerTrustFunction, TrustFunction
 from .verdict import Assessment, AssessmentStatus
@@ -85,6 +86,20 @@ class TwoPhaseAssessor:
         ``ledger`` is required when phase 2 is a ledger-based scheme
         (PeerTrust, EigenTrust).
         """
+        if _audit.enabled:
+            # One decision scope per assessment: the nested behavior-test
+            # record and this assessment record are sampled together and
+            # share the server identity.
+            with _audit.trail.decision_scope(server=history.server):
+                assessment = self._assess(history, ledger)
+                if _audit.trail.want_record():
+                    self._emit_audit(assessment)
+                return assessment
+        return self._assess(history, ledger)
+
+    def _assess(
+        self, history: TransactionHistory, ledger: Optional[FeedbackLedger]
+    ) -> Assessment:
         behavior = None
         if _obs.enabled:
             _obs.registry.inc("core.two_phase.assessments")
@@ -116,6 +131,36 @@ class TwoPhaseAssessor:
             trust_value=trust_value,
             behavior=behavior,
             server=history.server,
+        )
+
+    def _emit_audit(self, assessment: Assessment) -> None:
+        """Phase-2 score provenance: who scored, what value, which gate."""
+        trail = _audit.trail
+        # The behavior test emitted its record inside this scope just
+        # before; summarize it rather than duplicating the rounds.
+        behavior_record = None
+        if trail.records:
+            last = trail.records[-1]
+            if (
+                last.get("kind") == "behavior_test"
+                and last.get("server") == assessment.server
+            ):
+                behavior_record = last
+        provenance = getattr(self._trust_function, "provenance", None)
+        trust_name = (
+            provenance()["name"]
+            if callable(provenance)
+            else type(self._trust_function).__name__
+        )
+        trail.emit(
+            _audit.assessment_record(
+                server=assessment.server,
+                status=assessment.status.value,
+                trust_value=assessment.trust_value,
+                trust_threshold=self._threshold,
+                trust_function=trust_name,
+                behavior_record=behavior_record,
+            )
         )
 
     def _trust_value(

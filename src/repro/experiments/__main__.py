@@ -70,6 +70,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--audit-dir",
+        type=str,
+        default=None,
+        help=(
+            "write decision-audit AUDIT_<name>.jsonl logs into this "
+            "directory (experiments that support auditing, e.g. fig5-fig7); "
+            "inspect with `repro explain <server> <log>`"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         type=str,
         default=None,
@@ -81,6 +91,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.bench_dir:
         os.makedirs(args.bench_dir, exist_ok=True)
+    if args.audit_dir:
+        os.makedirs(args.audit_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
@@ -90,6 +102,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {"quick": args.quick, "base_seed": args.seed}
         if args.bench_dir and "bench_path" in inspect.signature(runner).parameters:
             kwargs["bench_path"] = os.path.join(args.bench_dir, f"BENCH_{name}.json")
+        if args.audit_dir and "audit_path" in inspect.signature(runner).parameters:
+            kwargs["audit_path"] = os.path.join(args.audit_dir, f"AUDIT_{name}.jsonl")
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -99,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         results.append(result)
         if "bench_path" in kwargs:
             print(f"wrote {kwargs['bench_path']}")
+        if "audit_path" in kwargs:
+            print(f"wrote {kwargs['audit_path']}")
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))

@@ -10,6 +10,7 @@ colluder ring and the collusion-resilient variants of the schemes.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..adversary.collusion import ColludingStrategicAttacker
@@ -19,6 +20,7 @@ from ..core.collusion import CollusionResilientMultiTest, CollusionResilientTest
 from ..core.config import BehaviorTestConfig
 from ..core.multi_testing import MultiBehaviorTest
 from ..core.testing import SingleBehaviorTest
+from ..obs import audit as _audit
 from ..trust.base import TrustFunction
 from .common import (
     PAPER_CONFIG,
@@ -39,6 +41,70 @@ __all__ = [
     "attack_cost_sweep",
     "collusion_cost_sweep",
 ]
+
+#: Default decision-sampling rate for ``audit_path=`` runs.  The
+#: strategic attacker's look-ahead probes the behavior test thousands of
+#: times per run, so full auditing would swamp the log; 1-in-64 keeps a
+#: representative rejection-reason sample at negligible cost.
+AUDIT_SAMPLE_EVERY = 64
+
+
+class _AuditedTest:
+    """Wrap a behavior test so every look-ahead probe carries context.
+
+    Each ``test()`` call opens its own top-level decision scope: one
+    sampling decision per probe, tagged with the defense scheme and prep
+    size so the rejection-reason breakdown can attribute records.
+    """
+
+    def __init__(self, inner, **context):
+        self._inner = inner
+        self._context = context
+
+    def test(self, history):
+        with _audit.trail.decision_scope(**self._context):
+            return self._inner.test(history)
+
+
+@contextlib.contextmanager
+def _maybe_audit(experiment: str, audit_path: Optional[str], sample_every: int):
+    if audit_path is None:
+        yield None
+        return
+    with _audit.audit_session(
+        sample_every=sample_every,
+        path=audit_path,
+        run_meta={"experiment": experiment},
+        include_pmfs=False,
+    ) as trail:
+        yield trail
+
+
+def _append_audit_notes(result: ExperimentResult, records) -> None:
+    """Per-scheme rejection-reason breakdown from the sampled audit log."""
+    by_scheme: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        if record.get("kind") != "behavior_test":
+            continue
+        context = record.get("context") or {}
+        scheme = str(context.get("scheme", "?"))
+        entry = by_scheme.setdefault(scheme, {"tests": 0, "rejections": 0, "reasons": {}})
+        entry["tests"] += 1
+        if not record.get("passed"):
+            entry["rejections"] += 1
+            reason = record.get("reason") or "unknown"
+            entry["reasons"][reason] = entry["reasons"].get(reason, 0) + 1
+    for scheme in sorted(by_scheme):
+        entry = by_scheme[scheme]
+        reasons = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(entry["reasons"].items(), key=lambda kv: -kv[1])
+        )
+        result.notes += (
+            f"\naudit[{scheme}]: {entry['rejections']}/{entry['tests']} sampled "
+            f"look-ahead tests rejected"
+            + (f" ({reasons})" if reasons else "")
+        )
 
 SCHEME_NONE = "none"
 SCHEME_SINGLE = "scheme1"
@@ -77,27 +143,41 @@ def attack_cost_sweep(
     prep_honesty: float = PAPER_PREP_HONESTY,
     target_bads: int = PAPER_TARGET_BADS,
     max_steps: int = 20_000,
+    audit_path: Optional[str] = None,
+    audit_sample: int = AUDIT_SAMPLE_EVERY,
 ) -> ExperimentResult:
     """Fill ``result`` with the Fig. 3/4 sweep for one trust function."""
     calibrator = make_shared_calibrator(config)
     schemes = standard_schemes()
-    for prep in prep_sizes:
-        row: Dict[str, object] = {"prep_size": prep}
-        for name, factory in schemes.items():
-            attacker = StrategicAttacker(
-                trust_factory(),
-                factory(config, calibrator),
-                trust_threshold=trust_threshold,
-                prep_honesty=prep_honesty,
-                target_bads=target_bads,
-                max_steps=max_steps,
-            )
-            costs = [
-                attacker.run(prep, seed=base_seed + 7919 * s).cost
-                for s in range(n_seeds)
-            ]
-            row[name] = mean_over_seeds(costs)
-        result.add_row(**row)
+    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail:
+        for prep in prep_sizes:
+            row: Dict[str, object] = {"prep_size": prep}
+            for name, factory in schemes.items():
+                test = factory(config, calibrator)
+                if trail is not None and test is not None:
+                    test = _AuditedTest(
+                        test,
+                        server=f"{name}-prep{prep}",
+                        scheme=name,
+                        adversary="strategic",
+                        prep_size=prep,
+                    )
+                attacker = StrategicAttacker(
+                    trust_factory(),
+                    test,
+                    trust_threshold=trust_threshold,
+                    prep_honesty=prep_honesty,
+                    target_bads=target_bads,
+                    max_steps=max_steps,
+                )
+                costs = [
+                    attacker.run(prep, seed=base_seed + 7919 * s).cost
+                    for s in range(n_seeds)
+                ]
+                row[name] = mean_over_seeds(costs)
+            result.add_row(**row)
+        if trail is not None:
+            _append_audit_notes(result, trail.records)
     return result
 
 
@@ -115,27 +195,41 @@ def collusion_cost_sweep(
     n_clients: int = 100,
     n_colluders: int = 5,
     max_steps: int = 20_000,
+    audit_path: Optional[str] = None,
+    audit_sample: int = AUDIT_SAMPLE_EVERY,
 ) -> ExperimentResult:
     """Fill ``result`` with the Fig. 5/6 collusion sweep."""
     calibrator = make_shared_calibrator(config)
     schemes = collusion_schemes()
-    for prep in prep_sizes:
-        row: Dict[str, object] = {"prep_size": prep}
-        for name, factory in schemes.items():
-            attacker = ColludingStrategicAttacker(
-                trust_factory(),
-                factory(config, calibrator),
-                trust_threshold=trust_threshold,
-                n_clients=n_clients,
-                n_colluders=n_colluders,
-                prep_honesty=prep_honesty,
-                target_bads=target_bads,
-                max_steps=max_steps,
-            )
-            costs = [
-                attacker.run(prep, seed=base_seed + 6007 * s).cost
-                for s in range(n_seeds)
-            ]
-            row[name] = mean_over_seeds(costs)
-        result.add_row(**row)
+    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail:
+        for prep in prep_sizes:
+            row: Dict[str, object] = {"prep_size": prep}
+            for name, factory in schemes.items():
+                test = factory(config, calibrator)
+                if trail is not None and test is not None:
+                    test = _AuditedTest(
+                        test,
+                        server=f"{name}-prep{prep}",
+                        scheme=name,
+                        adversary="colluding-strategic",
+                        prep_size=prep,
+                    )
+                attacker = ColludingStrategicAttacker(
+                    trust_factory(),
+                    test,
+                    trust_threshold=trust_threshold,
+                    n_clients=n_clients,
+                    n_colluders=n_colluders,
+                    prep_honesty=prep_honesty,
+                    target_bads=target_bads,
+                    max_steps=max_steps,
+                )
+                costs = [
+                    attacker.run(prep, seed=base_seed + 6007 * s).cost
+                    for s in range(n_seeds)
+                ]
+                row[name] = mean_over_seeds(costs)
+            result.add_row(**row)
+        if trail is not None:
+            _append_audit_notes(result, trail.records)
     return result

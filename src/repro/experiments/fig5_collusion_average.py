@@ -32,6 +32,7 @@ def run_fig5(
     n_seeds: int = 3,
     base_seed: int = 2008,
     quick: bool = False,
+    audit_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 5."""
     if prep_sizes is None:
@@ -53,4 +54,5 @@ def run_fig5(
         prep_sizes=prep_sizes,
         n_seeds=n_seeds,
         base_seed=base_seed,
+        audit_path=audit_path,
     )

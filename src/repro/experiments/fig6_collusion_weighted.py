@@ -28,6 +28,7 @@ def run_fig6(
     base_seed: int = 2008,
     lam: float = PAPER_LAMBDA,
     quick: bool = False,
+    audit_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 6."""
     if prep_sizes is None:
@@ -52,4 +53,5 @@ def run_fig6(
         prep_sizes=prep_sizes,
         n_seeds=n_seeds,
         base_seed=base_seed,
+        audit_path=audit_path,
     )

@@ -17,11 +17,13 @@ an honest player effectively *is* one.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import contextlib
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..adversary.periodic import periodic_attack_history
 from ..core.multi_testing import MultiBehaviorTest
 from ..core.testing import SingleBehaviorTest
+from ..obs import audit as _audit
 from ..stats.rng import make_rng
 from .common import PAPER_CONFIG, ExperimentResult, make_shared_calibrator
 
@@ -38,8 +40,15 @@ def run_fig7(
     attack_rate: float = 0.1,
     base_seed: int = 2008,
     quick: bool = False,
+    audit_path: Optional[str] = None,
 ) -> ExperimentResult:
-    """Reproduce Fig. 7 (plus a multi-testing series as a bonus)."""
+    """Reproduce Fig. 7 (plus a multi-testing series as a bonus).
+
+    ``audit_path`` writes an audit record for every behavior test to a
+    JSONL log (no sampling: Fig. 7's point *is* the per-trial verdict)
+    and appends an audit-derived detection breakdown to the notes — the
+    two countings must agree, which the test suite asserts.
+    """
     if attack_windows is None:
         attack_windows = ATTACK_WINDOWS
     if quick:
@@ -61,20 +70,58 @@ def run_fig7(
             f"{1 - attack_rate:.2f}"
         ),
     )
-    for window in attack_windows:
-        single_hits = 0
-        multi_hits = 0
-        for _ in range(trials):
-            trace = periodic_attack_history(
-                history_length, window, attack_rate=attack_rate, seed=rng
-            )
-            if not single.test(trace).passed:
-                single_hits += 1
-            if not multi.test(trace).passed:
-                multi_hits += 1
-        result.add_row(
-            attack_window=window,
-            single_detection_rate=single_hits / trials,
-            multi_detection_rate=multi_hits / trials,
+    if audit_path is None:
+        scope = contextlib.nullcontext()
+    else:
+        scope = _audit.audit_session(
+            path=audit_path,
+            run_meta={"experiment": "fig7", "trials": trials},
+            include_pmfs=False,
         )
+    with scope as trail:
+        for window in attack_windows:
+            single_hits = 0
+            multi_hits = 0
+            for _ in range(trials):
+                trace = periodic_attack_history(
+                    history_length, window, attack_rate=attack_rate, seed=rng
+                )
+                single_hits += not _tested(single, trace, window, trail).passed
+                multi_hits += not _tested(multi, trace, window, trail).passed
+            result.add_row(
+                attack_window=window,
+                single_detection_rate=single_hits / trials,
+                multi_detection_rate=multi_hits / trials,
+            )
+        if trail is not None:
+            for line in _audit_breakdown(trail.records):
+                result.notes += "\n" + line
     return result
+
+
+def _tested(test, trace, window: int, trail):
+    if trail is None:
+        return test.test(trace)
+    with _audit.trail.decision_scope(
+        server=f"periodic-w{window}", adversary=f"periodic-w{window}"
+    ):
+        return test.test(trace)
+
+
+def _audit_breakdown(records) -> Sequence[str]:
+    """Detection counts per (adversary class, test) from audit records."""
+    counts: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for record in records:
+        if record.get("kind") != "behavior_test":
+            continue
+        context = record.get("context") or {}
+        key = (str(context.get("adversary", "?")), str(record.get("test", "?")))
+        entry = counts.setdefault(key, {"tests": 0, "detections": 0})
+        entry["tests"] += 1
+        entry["detections"] += not record.get("passed")
+    lines = []
+    for (adversary, test), entry in sorted(counts.items()):
+        lines.append(
+            f"audit[{adversary}/{test}]: {entry['detections']}/{entry['tests']} detected"
+        )
+    return lines

@@ -140,6 +140,8 @@ def run_fig9(
                             "stats": {
                                 "mean_s": hist.mean,
                                 "min_s": hist.min,
+                                # tail latency, preferred by `repro obs diff`
+                                "p95_s": hist.p95,
                                 "repeats": hist.count,
                             },
                         }

@@ -7,6 +7,9 @@ tooling::
     repro experiments fig9 --quick                  # = repro-experiments
     repro obs report BENCH_fig9.json                # render a bench artifact
     repro obs report run_events.jsonl               # summarize an event log
+    repro obs diff baseline.json candidate.json     # bench regression gate
+    repro obs validate run_audit.jsonl              # schema-check audit records
+    repro explain mallory run_audit.jsonl           # why was this server rejected?
     repro --log-level DEBUG assess feedback.csv     # opt into repro.* logging
 
 ``assess`` and ``experiments`` forward their remaining arguments
@@ -58,11 +61,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser("obs", help="observability artifact tooling")
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
     p_report = obs_sub.add_parser(
-        "report", help="render a BENCH_*.json or JSONL event log"
+        "report", help="render a BENCH_*.json, JSONL event log, or artifact directory"
     )
     p_report.add_argument(
-        "artifact", help="path to a bench JSON or JSONL event-log file"
+        "artifact", help="path to a bench JSON, JSONL event log, or directory"
     )
+    p_diff = obs_sub.add_parser(
+        "diff", help="compare two bench artifacts; exit 2 on regression"
+    )
+    p_diff.add_argument("baseline", help="baseline BENCH_*.json")
+    p_diff.add_argument("candidate", help="candidate BENCH_*.json")
+    p_diff.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="tolerated fractional slowdown per benchmark (default: 0.20)",
+    )
+    p_validate = obs_sub.add_parser(
+        "validate", help="schema-validate every audit record in a JSONL log"
+    )
+    p_validate.add_argument("artifact", help="path to a JSONL event log")
+
+    p_explain = sub.add_parser(
+        "explain", help="explain a server's latest audit verdict from a JSONL log"
+    )
+    p_explain.add_argument("server", help="server id to explain")
+    p_explain.add_argument("audit_log", help="JSONL event log containing audit records")
     return parser
 
 
@@ -75,12 +99,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         return assess_main(args.rest)
     if args.command == "experiments":
         return experiments_main(args.rest)
+    if args.command == "explain":
+        return _explain(args.server, args.audit_log)
+    if args.obs_command == "diff":
+        return _obs_diff(args.baseline, args.candidate, args.max_regression)
+    if args.obs_command == "validate":
+        return _obs_validate(args.artifact)
     # obs report
     try:
         print(obs.render_artifact(args.artifact))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _explain(server: str, audit_log: str) -> int:
+    try:
+        records = obs.read_audit_jsonl(audit_log)
+        print(obs.explain_server(records, server))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _obs_diff(baseline: str, candidate: str, max_regression: float) -> int:
+    import json
+
+    try:
+        with open(baseline, "r", encoding="utf-8") as fh:
+            base_payload = json.load(fh)
+        with open(candidate, "r", encoding="utf-8") as fh:
+            cand_payload = json.load(fh)
+        diff = obs.compare_bench_payloads(
+            base_payload, cand_payload, max_regression=max_regression
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(obs.render_bench_diff(diff))
+    return 0 if diff["ok"] else 2
+
+
+def _obs_validate(artifact: str) -> int:
+    try:
+        records = obs.read_audit_jsonl(artifact)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"error: no audit records in {artifact}", file=sys.stderr)
+        return 1
+    print(f"{artifact}: {len(records)} audit record(s), all valid")
     return 0
 
 

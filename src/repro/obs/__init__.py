@@ -31,10 +31,24 @@ from __future__ import annotations
 
 import logging
 
+from .audit import (
+    AUDIT_SCHEMA_VERSION,
+    AuditTrail,
+    audit_session,
+    disable_audit,
+    enable_audit,
+    explain_server,
+    read_audit_jsonl,
+    render_audit_summary,
+    summarize_records,
+    validate_audit_record,
+)
 from .bench import (
     BENCH_SCHEMA_VERSION,
     bench_payload,
+    compare_bench_payloads,
     read_bench_json,
+    render_bench_diff,
     validate_bench_payload,
     write_bench_json,
 )
@@ -87,9 +101,21 @@ def configure_logging(level: str = "INFO", logger_name: str = "repro") -> None:
 
 
 __all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "AuditTrail",
+    "audit_session",
+    "disable_audit",
+    "enable_audit",
+    "explain_server",
+    "read_audit_jsonl",
+    "render_audit_summary",
+    "summarize_records",
+    "validate_audit_record",
     "BENCH_SCHEMA_VERSION",
     "bench_payload",
+    "compare_bench_payloads",
     "read_bench_json",
+    "render_bench_diff",
     "validate_bench_payload",
     "write_bench_json",
     "EventLog",

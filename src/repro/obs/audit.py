@@ -1,0 +1,903 @@
+"""Decision provenance for the two-phase trust pipeline.
+
+A phase-1 rejection used to be a bare boolean; this module turns every
+behavior test and two-phase assessment into an inspectable *audit
+record*: the inputs (history length, window size ``m``, ``p_hat``),
+every multi-testing suffix round with its empirical window distribution,
+reference binomial, distance value and the calibrated ε it was compared
+against, the collusion-resilient issuer reordering when one was applied,
+and the final verdict with a machine-readable rejection reason.
+
+Like the metrics layer (:mod:`repro.obs.runtime`), auditing is **off by
+default** and gated by one module-level flag so the hot paths pay a
+single attribute read when it is disabled::
+
+    from ..obs import audit as _audit
+    ...
+    if _audit.enabled:
+        trail = _audit.trail
+        if trail.want_record():
+            trail.emit(_audit.single_test_record(...))
+
+Records are plain dicts (schema v1, validated by
+:func:`validate_audit_record`), flow through the :class:`EventLog` JSONL
+sink as ``audit`` events with full run provenance, and are queryable
+after the fact: :func:`read_audit_jsonl` closes the round trip,
+:func:`summarize_records` aggregates rejection-reason histograms and
+distance-vs-ε margin distributions, and :func:`explain_server` renders
+the human-readable "why was this server rejected" report behind the
+``repro explain`` CLI.
+
+Overhead is bounded two ways: **sampling** (``sample_every=N`` records
+one in N decisions; a decision is one two-phase assessment or one
+directly-invoked behavior test, and everything nested inside it is
+sampled coherently) and a **capacity cap** on in-memory retention.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .events import EventLog, read_events, run_metadata
+
+__all__ = [
+    "AUDIT_SCHEMA_VERSION",
+    "REASON_INSUFFICIENT",
+    "REASON_DISTANCE",
+    "REASON_SUFFIX_DISTANCE",
+    "REASON_LOW_TRUST",
+    "AuditTrail",
+    "enabled",
+    "trail",
+    "enable_audit",
+    "disable_audit",
+    "audit_session",
+    "single_test_record",
+    "multi_test_record",
+    "assessment_record",
+    "reorder_trace",
+    "reason_for_verdict",
+    "reason_for_report",
+    "validate_audit_record",
+    "read_audit_jsonl",
+    "summarize_records",
+    "render_audit_summary",
+    "explain_server",
+]
+
+AUDIT_SCHEMA_VERSION = 1
+
+#: Machine-readable rejection reasons.
+REASON_INSUFFICIENT = "insufficient_history"
+REASON_DISTANCE = "distance_exceeds_epsilon"
+REASON_SUFFIX_DISTANCE = "suffix_distance_exceeds_epsilon"
+REASON_LOW_TRUST = "trust_below_threshold"
+
+_KINDS = ("behavior_test", "assessment")
+_STATUSES = ("trusted", "untrusted", "suspicious")
+
+#: Issuer-reordering traces keep at most this many group sizes / issuers.
+_REORDER_TOP = 20
+
+
+class AuditTrail:
+    """Collects audit records, with sampling and bounded retention.
+
+    Parameters
+    ----------
+    sample_every:
+        Record one in this many decisions (1 = every decision).  A
+        *decision* is one :meth:`decision_scope` entry at depth zero, or
+        one bare ``want_record()`` call outside any scope; everything
+        nested inside a scope shares its sampling outcome, so a sampled
+        assessment always carries its behavior-test record and vice
+        versa.
+    event_log:
+        Optional :class:`~repro.obs.events.EventLog`; every record is
+        additionally emitted as an ``audit`` event (JSONL sink).
+    capacity:
+        In-memory retention cap; older records are dropped (counted in
+        :attr:`dropped`) once exceeded.  The event log, if any, still
+        sees every record.
+    include_pmfs:
+        Whether per-round empirical/expected pmfs are embedded in the
+        records (the bulkiest part of a record; disable for large
+        in-memory sweeps that only need reasons and margins).
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 1,
+        *,
+        event_log: Optional[EventLog] = None,
+        capacity: int = 100_000,
+        include_pmfs: bool = True,
+    ):
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.sample_every = sample_every
+        self.include_pmfs = include_pmfs
+        self._capacity = capacity
+        self._event_log = event_log
+        self._records: List[Dict[str, object]] = []
+        self._dropped = 0
+        self._tick = 0
+        self._scope_depth = 0
+        self._scope_sampled = False
+        self._context_stack: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------ #
+    # sampling and scoping
+
+    def _roll(self) -> bool:
+        self._tick += 1
+        if self.sample_every <= 1:
+            return True
+        return (self._tick - 1) % self.sample_every == 0
+
+    @property
+    def decisions_seen(self) -> int:
+        """Decisions observed so far (recorded or sampled out)."""
+        return self._tick
+
+    def want_record(self) -> bool:
+        """Should the current decision be captured?
+
+        Inside a :meth:`decision_scope` this returns the scope's sampling
+        outcome (no new roll); outside, each call is its own decision.
+        """
+        if self._scope_depth:
+            return self._scope_sampled
+        return self._roll()
+
+    @contextmanager
+    def decision_scope(self, **context: object) -> Iterator[bool]:
+        """Group nested records into one sampled decision.
+
+        Context fields (e.g. ``server=...``, ``step=...``) are merged
+        into every record emitted within the scope; inner scopes override
+        outer ones key-by-key.  Yields whether the decision is sampled.
+        """
+        if self._scope_depth == 0:
+            self._scope_sampled = self._roll()
+        self._scope_depth += 1
+        self._context_stack.append(
+            {k: v for k, v in context.items() if v is not None}
+        )
+        try:
+            yield self._scope_sampled
+        finally:
+            self._context_stack.pop()
+            self._scope_depth -= 1
+
+    def scope_context(self) -> Dict[str, object]:
+        """The merged context of all open scopes (inner wins)."""
+        merged: Dict[str, object] = {}
+        for layer in self._context_stack:
+            merged.update(layer)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # emission and retrieval
+
+    def emit(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Stamp scope context onto ``record``, store and sink it."""
+        context = self.scope_context()
+        server = context.pop("server", None)
+        if record.get("server") in (None, "") and server is not None:
+            record["server"] = str(server)
+        if record.get("server") in (None, ""):
+            record["server"] = "unknown"
+        if context:
+            extra = dict(context)
+            extra.update(record.get("context") or {})
+            record["context"] = extra
+        self._records.append(record)
+        if len(self._records) > self._capacity:
+            del self._records[0]
+            self._dropped += 1
+        if self._event_log is not None:
+            self._event_log.emit("audit", **record)
+        return record
+
+    @property
+    def records(self) -> List[Dict[str, object]]:
+        """Every retained record, in emission order."""
+        return list(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the capacity cap."""
+        return self._dropped
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate the retained records (see :func:`summarize_records`)."""
+        return summarize_records(self._records)
+
+    def explain(self, server: str) -> str:
+        """Human-readable report for one server's retained records."""
+        return explain_server(self._records, server)
+
+
+# Default trail is capacity-capped and samples everything; replaced by
+# enable_audit()/audit_session().
+enabled: bool = False
+trail: AuditTrail = AuditTrail()
+
+
+def enable_audit(new_trail: Optional[AuditTrail] = None) -> AuditTrail:
+    """Turn decision auditing on, optionally swapping in a fresh trail."""
+    global enabled, trail
+    if new_trail is not None:
+        trail = new_trail
+    enabled = True
+    return trail
+
+
+def disable_audit() -> None:
+    """Turn decision auditing off (the trail keeps its records)."""
+    global enabled
+    enabled = False
+
+
+@contextmanager
+def audit_session(
+    sample_every: int = 1,
+    *,
+    path: Optional[object] = None,
+    run_meta: Optional[Dict[str, object]] = None,
+    capacity: int = 100_000,
+    include_pmfs: bool = True,
+) -> Iterator[AuditTrail]:
+    """Audit within a ``with`` block, restoring prior state on exit.
+
+    ``path`` adds a JSONL sink (opened with a ``run_start`` provenance
+    header — pass ``run_meta=obs.run_metadata(seed=..., config=...)`` or
+    let the session stamp a bare one).
+    """
+    global enabled, trail
+    saved = (enabled, trail)
+    event_log = None
+    if path is not None:
+        event_log = EventLog(path, run_meta=run_meta or run_metadata())
+    session_trail = AuditTrail(
+        sample_every,
+        event_log=event_log,
+        capacity=capacity,
+        include_pmfs=include_pmfs,
+    )
+    enable_audit(session_trail)
+    try:
+        yield session_trail
+    finally:
+        enabled, trail = saved
+        if event_log is not None:
+            event_log.close()
+
+
+# ---------------------------------------------------------------------- #
+# record builders (called from the hot paths only on sampled decisions)
+
+
+def reason_for_verdict(verdict) -> Optional[str]:
+    """Machine-readable rejection reason of a single-test verdict."""
+    if verdict.passed:
+        return None
+    if verdict.insufficient:
+        return REASON_INSUFFICIENT
+    return REASON_DISTANCE
+
+
+def reason_for_report(report) -> Optional[str]:
+    """Machine-readable rejection reason of a multi-test report."""
+    if report.passed:
+        return None
+    failure = report.first_failure
+    if failure is not None and failure[1].insufficient:
+        return REASON_INSUFFICIENT
+    return REASON_SUFFIX_DISTANCE
+
+
+def _config_inputs(config, n: int, **extra: object) -> Dict[str, object]:
+    inputs: Dict[str, object] = {
+        "n": int(n),
+        "window_size": int(config.window_size),
+        "min_transactions": int(config.min_transactions),
+        "confidence": float(config.confidence),
+        "distance": str(config.distance),
+        "multi_step": int(config.multi_step),
+    }
+    inputs.update(extra)
+    return inputs
+
+
+def _round_entry(
+    suffix_length: int,
+    verdict,
+    *,
+    observed_pmf=None,
+    expected_pmf=None,
+) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "suffix_length": int(suffix_length),
+        "n_windows": int(verdict.n_windows),
+        "p_hat": float(verdict.p_hat),
+        "distance": float(verdict.distance),
+        "epsilon": float(verdict.threshold),
+        "margin": float(verdict.margin),
+        "passed": bool(verdict.passed),
+        "insufficient": bool(verdict.insufficient),
+    }
+    if observed_pmf is not None:
+        entry["observed_pmf"] = [round(float(x), 9) for x in observed_pmf]
+    if expected_pmf is not None:
+        entry["expected_pmf"] = [round(float(x), 9) for x in expected_pmf]
+    return entry
+
+
+def _suffix_pmfs(
+    outcomes, verdict, align: str = "recent"
+) -> Tuple[Optional[object], Optional[object]]:
+    """Recompute one suffix round's empirical and reference pmfs.
+
+    Uses the verdict's own ``p_hat`` so the reference binomial in the
+    record is exactly the one the test compared against.
+    """
+    if verdict.insufficient or verdict.n_windows == 0:
+        return None, None
+    # Function-level imports keep obs.audit importable before the stats
+    # package (which itself instruments through repro.obs.runtime).
+    from ..feedback.windows import window_counts
+    from ..stats.binomial import binomial_pmf
+    from ..stats.empirical import empirical_pmf
+
+    m = verdict.window_size
+    counts = window_counts(outcomes, m, align=align)
+    observed = empirical_pmf(counts, m + 1)
+    expected = binomial_pmf(m, verdict.p_hat)
+    return observed, expected
+
+
+def single_test_record(
+    test_name: str,
+    *,
+    config,
+    outcomes,
+    verdict,
+    server: Optional[str] = None,
+    reorder: Optional[Dict[str, object]] = None,
+    include_pmfs: bool = True,
+) -> Dict[str, object]:
+    """Audit record of one single behavior test."""
+    n = int(len(outcomes))
+    observed = expected = None
+    if include_pmfs:
+        observed, expected = _suffix_pmfs(
+            outcomes, verdict, align=getattr(config, "align", "recent")
+        )
+    record: Dict[str, object] = {
+        "schema_version": AUDIT_SCHEMA_VERSION,
+        "kind": "behavior_test",
+        "test": test_name,
+        "server": server,
+        "passed": bool(verdict.passed),
+        "reason": reason_for_verdict(verdict),
+        "inputs": _config_inputs(config, n),
+        "rounds": [
+            _round_entry(n, verdict, observed_pmf=observed, expected_pmf=expected)
+        ],
+        "failing_suffix": None if verdict.passed else n,
+        "reorder": reorder,
+    }
+    return record
+
+
+def multi_test_record(
+    test_name: str,
+    *,
+    config,
+    outcomes,
+    report,
+    server: Optional[str] = None,
+    strategy: Optional[str] = None,
+    reorder: Optional[Dict[str, object]] = None,
+    round_outcomes: Optional[Sequence] = None,
+    include_pmfs: bool = True,
+) -> Dict[str, object]:
+    """Audit record of one multi-testing run (every judged suffix round).
+
+    ``round_outcomes`` optionally supplies the per-round outcome vector
+    (the collusion-resilient variant reorders each suffix differently);
+    by default round ``(length, verdict)`` is recomputed from the most
+    recent ``length`` entries of ``outcomes``.
+    """
+    import numpy as np
+
+    arr = np.asarray(outcomes)
+    n = int(arr.size)
+    rounds = []
+    for i, (length, verdict) in enumerate(report.rounds):
+        observed = expected = None
+        if include_pmfs:
+            if round_outcomes is not None:
+                suffix = round_outcomes[i]
+            else:
+                suffix = arr[n - int(length):]
+            observed, expected = _suffix_pmfs(suffix, verdict)
+        rounds.append(
+            _round_entry(length, verdict, observed_pmf=observed, expected_pmf=expected)
+        )
+    failure = report.first_failure
+    extra = {"rounds_tested": len(report.rounds)}
+    if strategy is not None:
+        extra["strategy"] = strategy
+    record: Dict[str, object] = {
+        "schema_version": AUDIT_SCHEMA_VERSION,
+        "kind": "behavior_test",
+        "test": test_name,
+        "server": server,
+        "passed": bool(report.passed),
+        "reason": reason_for_report(report),
+        "inputs": _config_inputs(config, n, **extra),
+        "rounds": rounds,
+        "failing_suffix": None if failure is None else int(failure[0]),
+        "reorder": reorder,
+    }
+    return record
+
+
+def assessment_record(
+    *,
+    server: Optional[str],
+    status: str,
+    trust_value: Optional[float],
+    trust_threshold: float,
+    trust_function: str,
+    behavior_record: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Audit record of one two-phase assessment (Fig. 2 terminal state)."""
+    if status == "trusted":
+        reason: Optional[str] = None
+    elif status == "untrusted":
+        reason = REASON_LOW_TRUST
+    elif behavior_record is not None:
+        reason = behavior_record.get("reason") or REASON_SUFFIX_DISTANCE
+    else:
+        reason = REASON_SUFFIX_DISTANCE
+    behavior_summary = None
+    if behavior_record is not None:
+        behavior_summary = {
+            "test": behavior_record.get("test"),
+            "passed": behavior_record.get("passed"),
+            "reason": behavior_record.get("reason"),
+            "failing_suffix": behavior_record.get("failing_suffix"),
+        }
+        failing = _failing_round(behavior_record)
+        if failing is not None:
+            behavior_summary["distance"] = failing["distance"]
+            behavior_summary["epsilon"] = failing["epsilon"]
+    return {
+        "schema_version": AUDIT_SCHEMA_VERSION,
+        "kind": "assessment",
+        "server": server,
+        "status": status,
+        "accepted": status == "trusted",
+        "reason": reason,
+        "trust": {
+            "function": trust_function,
+            "value": None if trust_value is None else float(trust_value),
+            "threshold": float(trust_threshold),
+        },
+        "behavior": behavior_summary,
+    }
+
+
+def reorder_trace(feedbacks) -> Dict[str, object]:
+    """Provenance of the issuer-grouped reordering Q -> Q' (Sec. 4).
+
+    Group sizes are reported in the reordered (descending) order; only
+    the largest ``_REORDER_TOP`` groups name their issuers, keeping the
+    record bounded for supporter bases of thousands of clients.
+    """
+    groups: Dict[object, int] = {}
+    first_seen: Dict[object, float] = {}
+    for fb in feedbacks:
+        groups[fb.client] = groups.get(fb.client, 0) + 1
+        if fb.client not in first_seen:
+            first_seen[fb.client] = fb.time
+    ordered = sorted(
+        groups.items(), key=lambda kv: (-kv[1], first_seen[kv[0]], str(kv[0]))
+    )
+    return {
+        "n_feedbacks": int(len(feedbacks)),
+        "n_groups": int(len(ordered)),
+        "group_sizes": [int(size) for _, size in ordered[:_REORDER_TOP]],
+        "issuers": [str(client) for client, _ in ordered[:_REORDER_TOP]],
+        "truncated": len(ordered) > _REORDER_TOP,
+    }
+
+
+def _failing_round(record: Dict[str, object]) -> Optional[Dict[str, object]]:
+    """The round matching the record's failing suffix, if any."""
+    failing = record.get("failing_suffix")
+    if failing is None:
+        return None
+    for entry in record.get("rounds") or []:
+        if entry.get("suffix_length") == failing:
+            return entry
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# schema validation and the JSONL round trip
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid audit record: {message}")
+
+
+def validate_audit_record(record: object) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid v1 audit record.
+
+    Strict about the core keys downstream tooling relies on, silent
+    about extras (``context``, event-envelope keys), mirroring the bench
+    artifact validator.
+    """
+    _require(isinstance(record, dict), "must be a JSON object")
+    assert isinstance(record, dict)
+    _require(
+        record.get("schema_version") == AUDIT_SCHEMA_VERSION,
+        f"schema_version must be {AUDIT_SCHEMA_VERSION}",
+    )
+    kind = record.get("kind")
+    _require(kind in _KINDS, f"kind must be one of {_KINDS}, got {kind!r}")
+    server = record.get("server")
+    _require(
+        isinstance(server, str) and bool(server), "server must be a non-empty string"
+    )
+    reason = record.get("reason")
+    _require(
+        reason is None or (isinstance(reason, str) and bool(reason)),
+        "reason must be null or a non-empty string",
+    )
+    if kind == "behavior_test":
+        _require(
+            isinstance(record.get("test"), str) and bool(record["test"]),
+            "test must be a non-empty string",
+        )
+        _require(isinstance(record.get("passed"), bool), "passed must be a boolean")
+        _require(bool(record["passed"]) == (reason is None), "passed and reason disagree")
+        inputs = record.get("inputs")
+        _require(isinstance(inputs, dict), "inputs must be an object")
+        assert isinstance(inputs, dict)
+        for key in ("n", "window_size", "min_transactions"):
+            value = inputs.get(key)
+            _require(
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+                f"inputs.{key} must be a non-negative integer",
+            )
+        rounds = record.get("rounds")
+        _require(isinstance(rounds, list) and bool(rounds), "rounds must be non-empty")
+        assert isinstance(rounds, list)
+        for i, entry in enumerate(rounds):
+            _require(isinstance(entry, dict), f"rounds[{i}] must be an object")
+            for key in ("suffix_length", "n_windows"):
+                value = entry.get(key)
+                _require(
+                    isinstance(value, int)
+                    and not isinstance(value, bool)
+                    and value >= 0,
+                    f"rounds[{i}].{key} must be a non-negative integer",
+                )
+            for key in ("p_hat", "distance", "epsilon", "margin"):
+                value = entry.get(key)
+                _require(
+                    isinstance(value, (int, float)) and not isinstance(value, bool),
+                    f"rounds[{i}].{key} must be a number",
+                )
+            _require(
+                isinstance(entry.get("passed"), bool),
+                f"rounds[{i}].passed must be a boolean",
+            )
+        failing = record.get("failing_suffix")
+        _require(
+            failing is None
+            or (isinstance(failing, int) and not isinstance(failing, bool)),
+            "failing_suffix must be null or an integer",
+        )
+        if not record["passed"]:
+            _require(failing is not None, "a failed test must name its failing suffix")
+        reorder = record.get("reorder")
+        if reorder is not None:
+            _require(isinstance(reorder, dict), "reorder must be null or an object")
+            for key in ("n_groups", "n_feedbacks"):
+                value = reorder.get(key)
+                _require(
+                    isinstance(value, int) and not isinstance(value, bool),
+                    f"reorder.{key} must be an integer",
+                )
+            _require(
+                isinstance(reorder.get("group_sizes"), list),
+                "reorder.group_sizes must be a list",
+            )
+    else:  # assessment
+        status = record.get("status")
+        _require(
+            status in _STATUSES, f"status must be one of {_STATUSES}, got {status!r}"
+        )
+        _require(isinstance(record.get("accepted"), bool), "accepted must be a boolean")
+        _require(
+            record["accepted"] == (status == "trusted"),
+            "accepted and status disagree",
+        )
+        trust = record.get("trust")
+        _require(isinstance(trust, dict), "trust must be an object")
+        assert isinstance(trust, dict)
+        _require(
+            isinstance(trust.get("function"), str) and bool(trust["function"]),
+            "trust.function must be a non-empty string",
+        )
+        value = trust.get("value")
+        _require(
+            value is None
+            or (isinstance(value, (int, float)) and not isinstance(value, bool)),
+            "trust.value must be null or a number",
+        )
+        threshold = trust.get("threshold")
+        _require(
+            isinstance(threshold, (int, float)) and not isinstance(threshold, bool),
+            "trust.threshold must be a number",
+        )
+
+
+def read_audit_jsonl(path) -> List[Dict[str, object]]:
+    """Load and validate the audit records of a JSONL event log.
+
+    Non-audit events (``run_start``, metric snapshots) are skipped; a
+    malformed audit record raises ``ValueError`` with its line context.
+    """
+    records = []
+    for i, event in enumerate(read_events(path)):
+        if event.get("event") != "audit":
+            continue
+        # strip the event envelope so the round trip returns exactly
+        # what AuditTrail.emit() recorded
+        record = {k: v for k, v in event.items() if k not in ("event", "time")}
+        try:
+            validate_audit_record(record)
+        except ValueError as exc:
+            raise ValueError(f"audit record {i}: {exc}") from None
+        records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------- #
+# aggregation and rendering
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(int(q * (len(sorted_values) - 1) + 0.5), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def summarize_records(records: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Per-run aggregate: reason histogram, margins, per-test/class breakdowns.
+
+    ``margins`` summarizes the worst (smallest) ``ε - distance`` margin
+    of every behavior test — negative margins are rejections, small
+    positive ones are borderline honest players.
+    """
+    reasons: Dict[str, int] = {}
+    by_test: Dict[str, Dict[str, int]] = {}
+    by_class: Dict[str, Dict[str, int]] = {}
+    statuses: Dict[str, int] = {}
+    margins: List[float] = []
+    n_behavior = n_assessment = 0
+    for record in records:
+        reason = record.get("reason")
+        if reason:
+            reasons[str(reason)] = reasons.get(str(reason), 0) + 1
+        adversary = (record.get("context") or {}).get("adversary")
+        if record.get("kind") == "behavior_test":
+            n_behavior += 1
+            test = str(record.get("test"))
+            bucket = by_test.setdefault(test, {"tests": 0, "rejections": 0})
+            bucket["tests"] += 1
+            bucket["rejections"] += 0 if record.get("passed") else 1
+            if adversary is not None:
+                cls = by_class.setdefault(
+                    str(adversary), {"tests": 0, "detections": 0}
+                )
+                cls["tests"] += 1
+                cls["detections"] += 0 if record.get("passed") else 1
+            round_margins = [
+                float(entry["margin"])
+                for entry in record.get("rounds") or []
+                if not entry.get("insufficient")
+            ]
+            if round_margins:
+                margins.append(min(round_margins))
+        else:
+            n_assessment += 1
+            status = str(record.get("status"))
+            statuses[status] = statuses.get(status, 0) + 1
+    margins.sort()
+    margin_summary: Dict[str, object] = {"n": len(margins)}
+    if margins:
+        margin_summary.update(
+            min=margins[0],
+            max=margins[-1],
+            mean=sum(margins) / len(margins),
+            p05=_percentile(margins, 0.05),
+            p50=_percentile(margins, 0.50),
+            negative=sum(1 for m in margins if m < 0),
+        )
+    return {
+        "n_records": len(records),
+        "n_behavior_tests": n_behavior,
+        "n_assessments": n_assessment,
+        "reasons": reasons,
+        "statuses": statuses,
+        "by_test": by_test,
+        "by_adversary_class": by_class,
+        "margins": margin_summary,
+    }
+
+
+def render_audit_summary(summary: Dict[str, object]) -> str:
+    """An aggregate summary as aligned text (``repro obs report``)."""
+    lines = [
+        "audit summary: "
+        f"{summary['n_records']} records "
+        f"({summary['n_behavior_tests']} behavior tests, "
+        f"{summary['n_assessments']} assessments)"
+    ]
+    reasons: Dict[str, int] = summary.get("reasons") or {}  # type: ignore[assignment]
+    if reasons:
+        lines.append("rejection reasons:")
+        width = max(len(name) for name in reasons)
+        for name in sorted(reasons, key=lambda k: (-reasons[k], k)):
+            lines.append(f"  {name:<{width}}  {reasons[name]}")
+    statuses: Dict[str, int] = summary.get("statuses") or {}  # type: ignore[assignment]
+    if statuses:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+        lines.append(f"assessment statuses: {rendered}")
+    by_test: Dict[str, Dict[str, int]] = summary.get("by_test") or {}  # type: ignore[assignment]
+    for test in sorted(by_test):
+        bucket = by_test[test]
+        lines.append(
+            f"  test {test}: {bucket['rejections']}/{bucket['tests']} rejected"
+        )
+    by_class: Dict[str, Dict[str, int]] = summary.get("by_adversary_class") or {}  # type: ignore[assignment]
+    for cls in sorted(by_class):
+        bucket = by_class[cls]
+        rate = bucket["detections"] / bucket["tests"] if bucket["tests"] else 0.0
+        lines.append(
+            f"  adversary {cls}: {bucket['detections']}/{bucket['tests']} "
+            f"detected ({rate:.1%})"
+        )
+    margins: Dict[str, object] = summary.get("margins") or {}  # type: ignore[assignment]
+    if margins.get("n"):
+        lines.append(
+            "margin (epsilon - distance): "
+            f"min={margins['min']:.4f} p05={margins['p05']:.4f} "
+            f"p50={margins['p50']:.4f} mean={margins['mean']:.4f} "
+            f"({margins['negative']}/{margins['n']} negative)"
+        )
+    return "\n".join(lines)
+
+
+def explain_server(
+    records: Sequence[Dict[str, object]], server: str
+) -> str:
+    """The "why was this server rejected" report for ``repro explain``.
+
+    Walks the server's records newest-first, leading with the latest
+    assessment (if any) and the latest behavior test, naming the exact
+    failing suffix, its distance, and the ε it was compared against.
+    """
+    mine = [r for r in records if r.get("server") == server]
+    if not mine:
+        known = sorted({str(r.get("server")) for r in records})
+        raise ValueError(
+            f"no audit records for server {server!r}; "
+            f"servers present: {', '.join(known) if known else '(none)'}"
+        )
+    lines = [f"server: {server}  ({len(mine)} audit records)"]
+    latest_assessment = next(
+        (r for r in reversed(mine) if r.get("kind") == "assessment"), None
+    )
+    latest_behavior = next(
+        (r for r in reversed(mine) if r.get("kind") == "behavior_test"), None
+    )
+    if latest_assessment is not None:
+        trust: Dict[str, object] = latest_assessment.get("trust") or {}  # type: ignore[assignment]
+        status = str(latest_assessment.get("status")).upper()
+        value = trust.get("value")
+        value_text = "-" if value is None else f"{float(value):.4f}"  # type: ignore[arg-type]
+        lines.append(
+            f"latest assessment: {status} "
+            f"(trust={value_text}, threshold={trust.get('threshold')}, "
+            f"function={trust.get('function')})"
+        )
+        if latest_assessment.get("reason"):
+            lines.append(f"  reason: {latest_assessment['reason']}")
+    if latest_behavior is not None:
+        lines.extend(_explain_behavior(latest_behavior))
+    earlier_rejections = sum(
+        1
+        for r in mine
+        if r is not latest_behavior
+        and r.get("kind") == "behavior_test"
+        and not r.get("passed")
+    )
+    if earlier_rejections:
+        lines.append(f"history: {earlier_rejections} earlier behavior-test rejection(s)")
+    return "\n".join(lines)
+
+
+def _explain_behavior(record: Dict[str, object]) -> List[str]:
+    inputs: Dict[str, object] = record.get("inputs") or {}  # type: ignore[assignment]
+    verdict = "PASSED" if record.get("passed") else "REJECTED"
+    lines = [
+        f"behavior test: {record.get('test')} -> {verdict} "
+        f"(n={inputs.get('n')}, m={inputs.get('window_size')}, "
+        f"{len(record.get('rounds') or [])} suffix round(s))"
+    ]
+    failing = _failing_round(record)
+    if failing is not None:
+        lines.append(
+            f"  failing suffix: most recent {failing['suffix_length']} transactions "
+            f"({failing['n_windows']} windows, p_hat={failing['p_hat']:.4f})"
+        )
+        lines.append(
+            f"  L1 distance {failing['distance']:.6f} > "
+            f"epsilon {failing['epsilon']:.6f} "
+            f"(margin {failing['margin']:.6f})"
+        )
+        if "observed_pmf" in failing:
+            lines.append(
+                "  observed window distribution: "
+                + _pmf_text(failing["observed_pmf"])  # type: ignore[arg-type]
+            )
+            lines.append(
+                "  reference binomial B(m, p_hat): "
+                + _pmf_text(failing["expected_pmf"])  # type: ignore[arg-type]
+            )
+    elif not record.get("passed"):
+        lines.append(f"  reason: {record.get('reason')}")
+    else:
+        rounds: List[Dict[str, object]] = record.get("rounds") or []  # type: ignore[assignment]
+        judged = [r for r in rounds if not r.get("insufficient")]
+        if judged:
+            worst = min(judged, key=lambda r: float(r["margin"]))  # type: ignore[arg-type]
+            lines.append(
+                f"  closest call: suffix {worst['suffix_length']} at "
+                f"distance {float(worst['distance']):.6f} vs "  # type: ignore[arg-type]
+                f"epsilon {float(worst['epsilon']):.6f} "  # type: ignore[arg-type]
+                f"(margin {float(worst['margin']):.6f})"  # type: ignore[arg-type]
+            )
+    reorder: Optional[Dict[str, object]] = record.get("reorder")  # type: ignore[assignment]
+    if reorder:
+        sizes = reorder.get("group_sizes") or []
+        shown = ", ".join(str(s) for s in sizes)
+        suffix = ", ..." if reorder.get("truncated") else ""
+        lines.append(
+            f"  issuer reordering applied: {reorder.get('n_groups')} groups over "
+            f"{reorder.get('n_feedbacks')} feedbacks; sizes [{shown}{suffix}]"
+        )
+    context = record.get("context")
+    if context:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))  # type: ignore[union-attr]
+        lines.append(f"  context: {rendered}")
+    return lines
+
+
+def _pmf_text(pmf) -> str:
+    return "[" + ", ".join(f"{float(x):.3f}" for x in pmf) + "]"

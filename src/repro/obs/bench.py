@@ -34,6 +34,8 @@ __all__ = [
     "validate_bench_payload",
     "write_bench_json",
     "read_bench_json",
+    "compare_bench_payloads",
+    "render_bench_diff",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -117,3 +119,126 @@ def read_bench_json(path: PathLike) -> Dict[str, object]:
         payload = json.load(handle)
     validate_bench_payload(payload)
     return payload
+
+
+# ---------------------------------------------------------------------- #
+# regression gating: diff two artifacts of the same bench
+
+#: Which stat the regression gate compares, in preference order — tail
+#: latency when the artifact carries it, mean otherwise.
+_GATE_STATS = ("p95_s", "mean_s")
+
+
+def _row_key(row: Dict[str, object]) -> str:
+    return json.dumps(
+        {"name": row["name"], "params": row["params"]}, sort_keys=True, default=repr
+    )
+
+
+def compare_bench_payloads(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    *,
+    max_regression: float = 0.20,
+) -> Dict[str, object]:
+    """Diff two bench artifacts; flag rows regressing past the gate.
+
+    Rows are matched on ``(name, params)``; the compared stat is the
+    first of ``p95_s`` / ``mean_s`` present in *both* rows.  A row
+    *regresses* when ``candidate > baseline * (1 + max_regression)``.
+    Rows present on only one side are listed but never gate.
+    """
+    if max_regression < 0:
+        raise ValueError(f"max_regression must be non-negative, got {max_regression}")
+    validate_bench_payload(baseline)
+    validate_bench_payload(candidate)
+    if baseline["bench"] != candidate["bench"]:
+        raise ValueError(
+            f"cannot diff different benches: "
+            f"{baseline['bench']!r} vs {candidate['bench']!r}"
+        )
+    base_rows = {_row_key(row): row for row in baseline["results"]}  # type: ignore[index]
+    cand_rows = {_row_key(row): row for row in candidate["results"]}  # type: ignore[index]
+    rows: List[Dict[str, object]] = []
+    regressions: List[Dict[str, object]] = []
+    for key in base_rows:
+        if key not in cand_rows:
+            continue
+        base_stats: Dict[str, object] = base_rows[key]["stats"]  # type: ignore[index]
+        cand_stats: Dict[str, object] = cand_rows[key]["stats"]  # type: ignore[index]
+        stat = next(
+            (s for s in _GATE_STATS if s in base_stats and s in cand_stats), None
+        )
+        if stat is None:
+            continue
+        base_value = float(base_stats[stat])  # type: ignore[arg-type]
+        cand_value = float(cand_stats[stat])  # type: ignore[arg-type]
+        ratio = cand_value / base_value if base_value > 0 else float("inf")
+        entry = {
+            "name": base_rows[key]["name"],
+            "params": base_rows[key]["params"],
+            "stat": stat,
+            "baseline": base_value,
+            "candidate": cand_value,
+            "ratio": ratio,
+            "regressed": ratio > 1.0 + max_regression,
+        }
+        rows.append(entry)
+        if entry["regressed"]:
+            regressions.append(entry)
+    return {
+        "bench": baseline["bench"],
+        "max_regression": max_regression,
+        "rows": rows,
+        "regressions": regressions,
+        "only_in_baseline": [
+            json.loads(k) for k in sorted(base_rows) if k not in cand_rows
+        ],
+        "only_in_candidate": [
+            json.loads(k) for k in sorted(cand_rows) if k not in base_rows
+        ],
+        "ok": not regressions,
+    }
+
+
+def render_bench_diff(diff: Dict[str, object]) -> str:
+    """A :func:`compare_bench_payloads` result as an aligned text table."""
+    rows: List[Dict[str, object]] = diff["rows"]  # type: ignore[assignment]
+    header = ["name", "params", "stat", "baseline", "candidate", "ratio", ""]
+    table = [header]
+    for row in rows:
+        params: Dict[str, object] = row["params"]  # type: ignore[assignment]
+        table.append(
+            [
+                str(row["name"]),
+                ",".join(f"{k}={v}" for k, v in sorted(params.items())) or "-",
+                str(row["stat"]),
+                f"{float(row['baseline']):.6g}",  # type: ignore[arg-type]
+                f"{float(row['candidate']):.6g}",  # type: ignore[arg-type]
+                f"{float(row['ratio']):.3f}x",  # type: ignore[arg-type]
+                "REGRESSED" if row["regressed"] else "ok",
+            ]
+        )
+    widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+    threshold_pct = float(diff["max_regression"]) * 100  # type: ignore[arg-type]
+    lines = [
+        f"bench diff: {diff['bench']}  "
+        f"(gate: >{threshold_pct:.0f}% regression fails)"
+    ]
+    for j, line in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    for side in ("only_in_baseline", "only_in_candidate"):
+        extra: List[str] = diff.get(side) or []  # type: ignore[assignment]
+        if extra:
+            lines.append(f"{side.replace('_', ' ')}: {len(extra)} row(s) unmatched")
+    regressions: List[Dict[str, object]] = diff["regressions"]  # type: ignore[assignment]
+    if regressions:
+        lines.append(
+            f"FAIL: {len(regressions)} row(s) regressed past "
+            f"{threshold_pct:.0f}%"
+        )
+    else:
+        lines.append("OK: no regressions past the gate")
+    return "\n".join(lines)

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
+from .audit import render_audit_summary, summarize_records, validate_audit_record
 from .bench import read_bench_json
 from .events import read_events
 
@@ -97,12 +98,42 @@ def render_event_log(events: List[Dict[str, object]]) -> str:
                         value = str(entry.get("value"))
                     lines.append(f"  {name}{label_text}  {value}")
             break
+    audit_records = [e for e in events if e.get("event") == "audit"]
+    if audit_records:
+        valid = []
+        for record in audit_records:
+            try:
+                validate_audit_record(record)
+            except ValueError:
+                continue
+            valid.append(record)
+        if valid:
+            lines.append(render_audit_summary(summarize_records(valid)))
+        if len(valid) != len(audit_records):
+            lines.append(
+                f"warning: {len(audit_records) - len(valid)} malformed audit "
+                "record(s) skipped (run `repro obs validate` for details)"
+            )
     return "\n".join(lines)
 
 
 def render_artifact(path: PathLike) -> str:
-    """Render a bench JSON or JSONL event log, inferring which it is."""
+    """Render a bench JSON or JSONL event log, inferring which it is.
+
+    A directory is scanned for ``BENCH_*.json`` and ``*.jsonl`` /
+    ``*.ndjson`` artifacts; pointing at a directory holding none is a
+    clear error rather than a traceback.
+    """
     path = Path(path)
+    if path.is_dir():
+        artifacts = sorted(path.glob("BENCH_*.json")) + sorted(
+            p for ext in ("*.jsonl", "*.ndjson") for p in path.glob(ext)
+        )
+        if not artifacts:
+            raise ValueError(
+                f"no observability artifacts (BENCH_*.json or *.jsonl) in {path}"
+            )
+        return "\n\n".join(render_artifact(p) for p in artifacts)
     if path.suffix.lower() in (".jsonl", ".ndjson"):
         return render_event_log(read_events(path))
     try:

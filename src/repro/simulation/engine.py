@@ -30,6 +30,7 @@ from ..core.two_phase import TwoPhaseAssessor
 from ..core.verdict import AssessmentStatus
 from ..feedback.ledger import FeedbackLedger
 from ..feedback.records import EntityId, Feedback, Rating
+from ..obs import audit as _audit
 from ..obs import runtime as _obs
 from ..stats.rng import SeedLike, make_rng
 from ..trust.base import LedgerTrustFunction
@@ -172,7 +173,7 @@ class ReputationSimulation:
             stats.requests += 1
             if _obs.enabled:
                 _obs.registry.inc("simulation.requests")
-            if not self._client_accepts(server_id, stats):
+            if not self._client_accepts(server_id, client, stats):
                 continue
             outcome = behavior.next_outcome(self._rng)
             feedback = Feedback(
@@ -189,16 +190,28 @@ class ReputationSimulation:
                 _obs.registry.inc("simulation.transactions")
                 _obs.registry.inc("simulation.good_transactions", int(outcome))
 
-    def _client_accepts(self, server_id: EntityId, stats) -> bool:
+    def _client_accepts(self, server_id: EntityId, client: EntityId, stats) -> bool:
         if server_id not in self._ledger.servers():
             # no history at all: the paper's position is that fresh
             # servers are a high-risk group needing other mechanisms; we
             # let the first transactions through so histories can form.
             return True
-        assessment = self._assessor.assess(
-            self._ledger.history(server_id),
-            ledger=self._ledger if isinstance(self._ledger, FeedbackLedger) else None,
-        )
+        ledger = self._ledger if isinstance(self._ledger, FeedbackLedger) else None
+        if _audit.enabled:
+            # Outermost decision scope: the assessor's nested scope joins
+            # this one, so the per-tick routing context (who asked, when)
+            # lands on every record and sampling counts one decision per
+            # routed request — the knob that keeps long runs bounded.
+            with _audit.trail.decision_scope(
+                step=int(self._time), client=str(client), server=str(server_id)
+            ):
+                assessment = self._assessor.assess(
+                    self._ledger.history(server_id), ledger=ledger
+                )
+        else:
+            assessment = self._assessor.assess(
+                self._ledger.history(server_id), ledger=ledger
+            )
         if assessment.status is AssessmentStatus.TRUSTED:
             return True
         if self._exploration and self._rng.random() < self._exploration:

@@ -92,6 +92,15 @@ class TrustFunction(ABC):
         tracker.update_many(_as_outcomes(history))
         return tracker.value
 
+    def provenance(self) -> dict:
+        """Identity of this trust scheme for audit records.
+
+        Subclasses with tunable parameters should extend the dict with
+        whatever a reader needs to reproduce the score (decay factors,
+        priors, window lengths, ...).
+        """
+        return {"name": self.name, "class": type(self).__name__, "mode": "history"}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -104,3 +113,7 @@ class LedgerTrustFunction(ABC):
     @abstractmethod
     def score_server(self, server: EntityId, ledger: FeedbackLedger) -> float:
         """Trust value of ``server`` given every feedback in the system."""
+
+    def provenance(self) -> dict:
+        """Identity of this trust scheme for audit records."""
+        return {"name": self.name, "class": type(self).__name__, "mode": "ledger"}

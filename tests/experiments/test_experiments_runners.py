@@ -148,3 +148,53 @@ class TestQuickMode:
         row = result.rows[0]
         assert row["none"] == 0.0  # colluders make the bare function free
         assert row["scheme2"] > 0.0
+
+
+class TestAuditIntegration:
+    """``audit_path=`` runs write valid JSONL whose counts match the tables."""
+
+    def test_fig7_audit_breakdown_matches_table_counters(self, tmp_path):
+        from repro.experiments import run_fig5
+        from repro.obs import audit
+
+        path = tmp_path / "AUDIT_fig7.jsonl"
+        result = run_fig7(
+            attack_windows=(10, 40),
+            trials=20,
+            base_seed=7,
+            audit_path=str(path),
+        )
+        records = audit.read_audit_jsonl(path)
+        assert len(records) == 2 * 2 * 20  # windows x tests x trials
+        by_key = {}
+        for record in records:
+            key = (record["context"]["adversary"], record["test"])
+            entry = by_key.setdefault(key, [0, 0])
+            entry[0] += 1
+            entry[1] += not record["passed"]
+        rates = dict(zip(result.column("attack_window"), zip(
+            result.column("single_detection_rate"),
+            result.column("multi_detection_rate"),
+        )))
+        for window in (10, 40):
+            single_rate, multi_rate = rates[window]
+            tests, hits = by_key[(f"periodic-w{window}", "single")]
+            assert tests == 20 and hits / tests == single_rate
+            tests, hits = by_key[(f"periodic-w{window}", "multi")]
+            assert tests == 20 and hits / tests == multi_rate
+        # the notes carry the same breakdown
+        assert "audit[periodic-w10/single]" in result.notes
+
+    def test_fig5_audit_notes_and_valid_records(self, tmp_path):
+        from repro.experiments import run_fig5
+        from repro.obs import audit
+
+        path = tmp_path / "AUDIT_fig5.jsonl"
+        result = run_fig5(
+            prep_sizes=(100,), n_seeds=1, base_seed=7, audit_path=str(path)
+        )
+        records = audit.read_audit_jsonl(path)
+        assert records, "sampled look-ahead auditing produced no records"
+        schemes = {r["context"]["scheme"] for r in records}
+        assert schemes <= {"scheme1", "scheme2"}
+        assert "audit[" in result.notes

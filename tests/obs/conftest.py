@@ -4,12 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import runtime
+from repro.obs import audit, runtime
 
 
 @pytest.fixture(autouse=True)
 def _obs_disabled_after():
     """Guarantee test isolation: obs globals restored after every test."""
     saved = (runtime.enabled, runtime.registry, runtime.tracer)
+    saved_audit = (audit.enabled, audit.trail)
     yield
     runtime.enabled, runtime.registry, runtime.tracer = saved
+    audit.enabled, audit.trail = saved_audit

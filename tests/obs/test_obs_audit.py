@@ -1,0 +1,361 @@
+"""Decision-provenance audit layer: records, sampling, round trip, explain."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.adversary.hibernating import hibernating_attack_history
+from repro.core.collusion import CollusionResilientMultiTest, CollusionResilientTest
+from repro.core.config import BehaviorTestConfig
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.core.two_phase import TwoPhaseAssessor
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+from repro.feedback.windows import window_counts
+from repro.main import main
+from repro.obs import audit
+from repro.stats.binomial import binomial_pmf
+from repro.stats.distances import get_distance
+from repro.stats.empirical import empirical_pmf
+from repro.trust import AverageTrust
+
+CONFIG = BehaviorTestConfig()
+
+
+def _hibernating_history(server="attacker"):
+    outcomes = hibernating_attack_history(600, 40, seed=2008)
+    return TransactionHistory.from_outcomes(outcomes, server=server), outcomes
+
+
+class TestAuditTrailSampling:
+    def test_sample_every_one_records_everything(self):
+        trail = audit.AuditTrail()
+        assert all(trail.want_record() for _ in range(10))
+
+    def test_sample_every_n_records_one_in_n(self):
+        trail = audit.AuditTrail(sample_every=4)
+        hits = [trail.want_record() for _ in range(12)]
+        assert hits == [True, False, False, False] * 3
+        assert trail.decisions_seen == 12
+
+    def test_nested_scopes_share_one_decision(self):
+        trail = audit.AuditTrail(sample_every=2)
+        outcomes = []
+        for _ in range(4):
+            with trail.decision_scope(server="s") as sampled:
+                # inner scopes must not advance the sampling clock
+                with trail.decision_scope(step=1) as inner:
+                    assert inner == sampled
+                assert trail.want_record() == sampled
+                outcomes.append(sampled)
+        assert outcomes == [True, False, True, False]
+
+    def test_scope_context_merges_inner_wins(self):
+        trail = audit.AuditTrail()
+        with trail.decision_scope(server="a", step=1):
+            with trail.decision_scope(step=2, client="c"):
+                assert trail.scope_context() == {
+                    "server": "a",
+                    "step": 2,
+                    "client": "c",
+                }
+
+    def test_emit_lifts_server_and_keeps_context(self):
+        trail = audit.AuditTrail()
+        with trail.decision_scope(server="srv", step=7):
+            record = trail.emit({"kind": "behavior_test"})
+        assert record["server"] == "srv"
+        assert record["context"] == {"step": 7}
+
+    def test_emit_defaults_unknown_server(self):
+        trail = audit.AuditTrail()
+        assert trail.emit({})["server"] == "unknown"
+
+    def test_capacity_evicts_oldest_and_counts(self):
+        trail = audit.AuditTrail(capacity=3)
+        for i in range(5):
+            trail.emit({"i": i})
+        assert [r["i"] for r in trail.records] == [2, 3, 4]
+        assert trail.dropped == 2
+
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            audit.AuditTrail(sample_every=0)
+        with pytest.raises(ValueError):
+            audit.AuditTrail(capacity=0)
+
+
+class TestSessionLifecycle:
+    def test_session_restores_prior_state(self):
+        assert not audit.enabled
+        with audit.audit_session() as trail:
+            assert audit.enabled
+            assert audit.trail is trail
+        assert not audit.enabled
+
+    def test_enable_disable(self):
+        fresh = audit.AuditTrail()
+        assert audit.enable_audit(fresh) is fresh
+        assert audit.enabled and audit.trail is fresh
+        audit.disable_audit()
+        assert not audit.enabled
+
+
+class TestGoldenHibernatingAttack:
+    """The acceptance scenario: a seeded hibernating attack, explained."""
+
+    def test_failing_suffix_matches_independent_recomputation(self):
+        history, outcomes = _hibernating_history()
+        test = MultiBehaviorTest(CONFIG)
+        with audit.audit_session() as trail:
+            report = test.test(history)
+        assert not report.passed
+        (record,) = trail.records
+        audit.validate_audit_record(record)
+        assert record["test"] == "multi"
+        assert record["reason"] == audit.REASON_SUFFIX_DISTANCE
+
+        # recompute the failing round from scratch, straight off the
+        # stats primitives the test itself is built on
+        length = record["failing_suffix"]
+        fail_length, verdict = report.first_failure
+        assert length == fail_length
+        suffix = np.asarray(outcomes)[len(outcomes) - length :]
+        m = CONFIG.window_size
+        counts = window_counts(suffix, m, align="recent")
+        p_hat = float(counts.sum()) / (counts.size * m)
+        observed = empirical_pmf(counts, m + 1)
+        expected = binomial_pmf(m, p_hat)
+        distance = float(get_distance(CONFIG.distance)(observed, expected))
+
+        failing = next(
+            r for r in record["rounds"] if r["suffix_length"] == length
+        )
+        assert failing["p_hat"] == pytest.approx(p_hat, rel=1e-9)
+        assert failing["distance"] == pytest.approx(distance, rel=1e-9)
+        assert failing["distance"] == pytest.approx(verdict.distance, rel=1e-9)
+        assert failing["epsilon"] == pytest.approx(verdict.threshold, rel=1e-9)
+        assert not failing["passed"]
+        assert failing["distance"] > failing["epsilon"]
+        assert failing["observed_pmf"] == pytest.approx(list(observed), abs=1e-8)
+        assert failing["expected_pmf"] == pytest.approx(list(expected), abs=1e-8)
+
+    def test_jsonl_round_trip_and_explain_cli(self, tmp_path, capsys):
+        history, _ = _hibernating_history()
+        test = MultiBehaviorTest(CONFIG)
+        path = tmp_path / "run_audit.jsonl"
+        with audit.audit_session(path=path, run_meta={"seed": 2008}) as trail:
+            report = test.test(history)
+            (record,) = trail.records
+        records = audit.read_audit_jsonl(path)
+        assert records == [record]
+
+        assert main(["explain", "attacker", str(path)]) == 0
+        out = capsys.readouterr().out
+        length, verdict = report.first_failure
+        assert f"most recent {length} transactions" in out
+        assert f"{verdict.distance:.6f}" in out
+        assert f"{verdict.threshold:.6f}" in out
+        assert "REJECTED" in out
+
+    def test_explain_unknown_server_lists_known(self, tmp_path, capsys):
+        history, _ = _hibernating_history()
+        path = tmp_path / "run_audit.jsonl"
+        with audit.audit_session(path=path):
+            MultiBehaviorTest(CONFIG).test(history)
+        assert main(["explain", "nobody", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "nobody" in err and "attacker" in err
+
+
+class TestRecordShapes:
+    def test_single_test_record_honest_passes(self):
+        rng = np.random.default_rng(42)
+        outcomes = (rng.random(400) < 0.95).astype(np.int8)
+        test = SingleBehaviorTest(CONFIG)
+        with audit.audit_session() as trail:
+            verdict = test.test(outcomes)
+        (record,) = trail.records
+        audit.validate_audit_record(record)
+        assert verdict.passed
+        assert record["passed"] and record["reason"] is None
+        assert record["failing_suffix"] is None
+        assert record["inputs"]["n"] == 400
+
+    def test_insufficient_history_reason(self):
+        test = SingleBehaviorTest(CONFIG)
+        with audit.audit_session() as trail:
+            verdict = test.test(np.ones(5, dtype=np.int8))
+        (record,) = trail.records
+        audit.validate_audit_record(record)
+        assert verdict.insufficient
+        # on_insufficient="pass" (the default): passed, but flagged
+        assert record["passed"]
+        assert record["rounds"][0]["insufficient"]
+
+    def test_composite_tests_emit_exactly_one_record(self):
+        history, _ = _hibernating_history()
+        with audit.audit_session() as trail:
+            MultiBehaviorTest(CONFIG).test(history)
+            SingleBehaviorTest(CONFIG).test(history)
+        assert len(trail.records) == 2
+        assert [r["test"] for r in trail.records] == ["multi", "single"]
+
+    def test_naive_and_optimized_records_agree(self):
+        history, _ = _hibernating_history()
+        records = []
+        for strategy in ("optimized", "naive"):
+            with audit.audit_session() as trail:
+                # collect_all: early-stopping visits different rounds per
+                # strategy; with every round run the records must agree
+                MultiBehaviorTest(CONFIG, strategy=strategy, collect_all=True).test(
+                    history
+                )
+            records.append(trail.records[0])
+        fast, naive = records
+        assert fast["failing_suffix"] == naive["failing_suffix"]
+        assert fast["inputs"]["strategy"] == "optimized"
+        assert naive["inputs"]["strategy"] == "naive"
+        f = fast["rounds"][-1]
+        n = naive["rounds"][-1]
+        assert f["distance"] == pytest.approx(n["distance"], rel=1e-9)
+
+    def test_assessment_record_trusted_and_suspicious(self):
+        honest = TransactionHistory.from_outcomes(
+            (np.random.default_rng(1).random(400) < 0.95).astype(np.int8),
+            server="alice",
+        )
+        attacker, _ = _hibernating_history("mallory")
+        assessor = TwoPhaseAssessor(MultiBehaviorTest(CONFIG), AverageTrust())
+        with audit.audit_session() as trail:
+            good = assessor.assess(honest)
+            bad = assessor.assess(attacker)
+        for record in trail.records:
+            audit.validate_audit_record(record)
+        assessments = [r for r in trail.records if r["kind"] == "assessment"]
+        assert len(assessments) == 2
+        ok, flagged = assessments
+        assert good.status.value == "trusted"
+        assert ok["server"] == "alice"
+        assert ok["accepted"] and ok["reason"] is None
+        assert ok["trust"]["function"] == "average"
+        assert ok["trust"]["value"] == pytest.approx(good.trust_value)
+        assert bad.status.value == "suspicious"
+        assert flagged["server"] == "mallory"
+        assert not flagged["accepted"]
+        assert flagged["reason"] == audit.REASON_SUFFIX_DISTANCE
+        assert flagged["behavior"]["failing_suffix"] is not None
+        assert flagged["behavior"]["distance"] > flagged["behavior"]["epsilon"]
+
+    def test_collusion_record_carries_reorder_trace(self):
+        feedbacks = []
+        t = 0.0
+        rng = np.random.default_rng(3)
+        # 2 heavy issuers + a tail of one-off clients
+        for i in range(200):
+            t += 1.0
+            client = f"big{i % 2}" if i % 4 < 3 else f"small{i}"
+            feedbacks.append(
+                Feedback(
+                    time=t,
+                    server="srv",
+                    client=client,
+                    rating=Rating.POSITIVE
+                    if rng.random() < 0.95
+                    else Rating.NEGATIVE,
+                )
+            )
+        history = TransactionHistory.from_feedbacks(feedbacks)
+        for test in (
+            CollusionResilientTest(CONFIG),
+            CollusionResilientMultiTest(CONFIG),
+        ):
+            with audit.audit_session() as trail:
+                test.test(history)
+            (record,) = trail.records
+            audit.validate_audit_record(record)
+            reorder = record["reorder"]
+            assert reorder["n_feedbacks"] == 200
+            sizes = reorder["group_sizes"]
+            assert sizes == sorted(sizes, reverse=True)
+            assert reorder["issuers"][0] in ("big0", "big1")
+
+    def test_include_pmfs_false_strips_pmfs(self):
+        history, _ = _hibernating_history()
+        with audit.audit_session(include_pmfs=False) as trail:
+            MultiBehaviorTest(CONFIG).test(history)
+        (record,) = trail.records
+        audit.validate_audit_record(record)
+        assert all("observed_pmf" not in r for r in record["rounds"])
+
+
+class TestSummarize:
+    def _records(self):
+        honest = (np.random.default_rng(5).random(400) < 0.95).astype(np.int8)
+        attacker, _ = _hibernating_history()
+        with audit.audit_session() as trail:
+            test = MultiBehaviorTest(CONFIG)
+            with trail.decision_scope(server="alice", adversary="honest"):
+                test.test(honest)
+            with trail.decision_scope(adversary="hibernating"):
+                test.test(attacker)
+        return trail.records
+
+    def test_summary_counts_reasons_and_margins(self):
+        summary = audit.summarize_records(self._records())
+        assert summary["n_behavior_tests"] == 2
+        assert summary["reasons"] == {audit.REASON_SUFFIX_DISTANCE: 1}
+        assert summary["by_adversary_class"]["hibernating"]["detections"] == 1
+        assert summary["by_adversary_class"]["honest"]["detections"] == 0
+        assert summary["margins"]["negative"] == 1
+
+    def test_render_summary_mentions_reasons(self):
+        text = audit.render_audit_summary(audit.summarize_records(self._records()))
+        assert audit.REASON_SUFFIX_DISTANCE in text
+        assert "margin" in text
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            audit.validate_audit_record({"schema_version": 1, "kind": "nope"})
+        with pytest.raises(ValueError):
+            audit.validate_audit_record("not a dict")
+        good, *_ = self._records()
+        bad = dict(good)
+        bad["passed"] = not bad["passed"]  # reason now disagrees
+        with pytest.raises(ValueError):
+            audit.validate_audit_record(bad)
+
+
+class TestDisabledOverhead:
+    """Auditing off must cost one attribute read on the hot path."""
+
+    def test_disabled_single_test_allocates_nothing_in_audit(self):
+        outcomes = (np.random.default_rng(9).random(400) < 0.95).astype(np.int8)
+        test = SingleBehaviorTest(CONFIG)
+        test.test(outcomes)  # warm caches (calibration, pmf buffers)
+
+        import repro.obs.audit as audit_module
+
+        assert not audit_module.enabled
+        tracemalloc.start()
+        for _ in range(200):
+            test.test(outcomes)
+        snapshot = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        audit_allocs = [
+            stat
+            for stat in snapshot.statistics("filename")
+            if stat.traceback[0].filename.endswith("obs/audit.py")
+        ]
+        assert not audit_allocs, f"disabled audit path allocated: {audit_allocs}"
+
+    def test_sampled_auditing_bounds_record_count(self):
+        history, _ = _hibernating_history()
+        test = MultiBehaviorTest(CONFIG)
+        with audit.audit_session(sample_every=10) as trail:
+            for _ in range(30):
+                test.test(history)
+        assert len(trail.records) == 3
+        assert trail.decisions_seen == 30

@@ -110,3 +110,118 @@ class TestLogLevel:
     def test_package_logger_has_null_handler(self):
         logger = logging.getLogger("repro.obs")
         assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)
+
+
+@pytest.fixture()
+def audit_file(tmp_path):
+    import numpy as np
+
+    from repro.core.multi_testing import MultiBehaviorTest
+    from repro.obs import audit as audit_module
+
+    path = tmp_path / "run_audit.jsonl"
+    outcomes = np.concatenate(
+        [
+            (np.random.default_rng(0).random(600) < 0.95).astype(np.int8),
+            np.zeros(40, dtype=np.int8),
+        ]
+    )
+    with audit_module.audit_session(path=path) as trail:
+        with trail.decision_scope(server="mallory"):
+            MultiBehaviorTest().test(outcomes)
+    return path
+
+
+class TestObsReportDirectory:
+    def test_empty_directory_is_clear_error_not_traceback(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no observability artifacts" in err
+        assert "Traceback" not in err
+
+    def test_directory_with_artifacts_renders_all(self, tmp_path, capsys):
+        obs.write_bench_json(
+            tmp_path / "BENCH_fig9.json", "fig9", [GOOD_ROW], meta={"seed": 2008}
+        )
+        with obs.EventLog(tmp_path / "run.jsonl", run_meta=obs.run_metadata(seed=3)):
+            pass
+        assert main(["obs", "report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench: fig9" in out
+        assert "run_start" in out
+
+
+class TestObsDiff:
+    def _write(self, path, factor=1.0):
+        row = {
+            "name": "single",
+            "params": {"history_size": 1000},
+            "stats": {"mean_s": 0.25 * factor, "min_s": 0.2, "p95_s": 0.3 * factor, "repeats": 3},
+        }
+        obs.write_bench_json(path, "fig9", [row], meta={})
+        return path
+
+    def test_identical_artifacts_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json")
+        assert main(["obs", "diff", str(base), str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_two(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json")
+        slow = self._write(tmp_path / "slow.json", factor=1.5)
+        assert main(["obs", "diff", str(base), str(slow)]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "FAIL" in out
+
+    def test_max_regression_flag(self, tmp_path):
+        base = self._write(tmp_path / "base.json")
+        slow = self._write(tmp_path / "slow.json", factor=1.5)
+        assert (
+            main(["obs", "diff", str(base), str(slow), "--max-regression", "0.6"]) == 0
+        )
+
+    def test_missing_file_is_error(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json")
+        assert main(["obs", "diff", str(base), str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsValidate:
+    def test_valid_audit_log_passes(self, audit_file, capsys):
+        assert main(["obs", "validate", str(audit_file)]) == 0
+        assert "all valid" in capsys.readouterr().out
+
+    def test_log_without_audit_records_is_error(self, events_file, capsys):
+        assert main(["obs", "validate", str(events_file)]) == 1
+        assert "no audit records" in capsys.readouterr().err
+
+    def test_malformed_audit_record_is_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"event": "audit", "schema_version": 1, "kind": "nope"}) + "\n",
+            encoding="utf-8",
+        )
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplainCli:
+    def test_explain_renders_rejection(self, audit_file, capsys):
+        assert main(["explain", "mallory", str(audit_file)]) == 0
+        out = capsys.readouterr().out
+        assert "mallory" in out
+        assert "failing suffix" in out
+
+    def test_explain_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["explain", "x", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsReportAuditSummary:
+    def test_event_log_report_includes_audit_summary(self, audit_file, capsys):
+        assert main(["obs", "report", str(audit_file)]) == 0
+        out = capsys.readouterr().out
+        assert "audit summary" in out
+        assert "rejection reasons" in out
+        assert "suffix_distance_exceeds_epsilon" in out
