@@ -1,4 +1,10 @@
-"""Benchmark: regenerate Fig. 7 (detection rate vs. attack window size)."""
+"""Benchmark: regenerate Fig. 7 (detection rate vs. attack window size).
+
+Set ``BENCH_DIR`` to also emit a machine-readable ``BENCH_fig7.json``
+artifact (schema in ``repro.obs.bench``) from a quick fig7 run.
+"""
+
+import os
 
 from conftest import run_once
 
@@ -24,3 +30,27 @@ def test_fig7_regeneration(benchmark, attach_table):
     # binomial limit as the window grows — the paper's headline curve
     assert rates[10] > rates[40] > rates[80] - 0.05
     assert rates[80] < 0.5
+
+
+def test_fig7_bench_artifact(tmp_path):
+    """A quick fig7 run leaves a schema-valid BENCH_fig7.json behind.
+
+    Writes into ``$BENCH_DIR`` when set (CI uploads it as an artifact
+    and diffs it against the committed baseline), otherwise into the
+    test's tmp dir.
+    """
+    from repro import obs
+
+    bench_dir = os.environ.get("BENCH_DIR") or str(tmp_path)
+    bench_path = os.path.join(bench_dir, "BENCH_fig7.json")
+    run_fig7(
+        attack_windows=(10, 40),
+        trials=20,
+        base_seed=2008,
+        bench_path=bench_path,
+    )
+    payload = obs.read_bench_json(bench_path)  # raises if schema-invalid
+    assert payload["bench"] == "fig7"
+    for row in payload["results"]:
+        assert row["stats"]["min_s"] > 0
+        assert row["params"]["attack_window"] in (10, 40)

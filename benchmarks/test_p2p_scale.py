@@ -3,7 +3,12 @@
 Not figures from the paper — these quantify the substrate the paper's
 availability assumption rests on: O(log n) DHT lookups and exponential
 gossip convergence, so assessing a server stays cheap at P2P scale.
+
+Set ``BENCH_DIR`` to also emit a machine-readable ``BENCH_p2p_scale.json``
+artifact (schema in ``repro.obs.bench``) from a quick scaling run.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -66,3 +71,27 @@ def test_gossip_convergence_rounds(benchmark):
     rounds = benchmark.pedantic(converge, iterations=1, rounds=3)
     benchmark.extra_info["rounds_to_1pct"] = rounds
     assert rounds < 100
+
+
+def test_p2p_scale_bench_artifact(tmp_path):
+    """A quick scaling run leaves a schema-valid BENCH_p2p_scale.json behind.
+
+    Writes into ``$BENCH_DIR`` when set (CI uploads it as an artifact
+    and diffs it against the committed baseline), otherwise into the
+    test's tmp dir.
+    """
+    from repro import obs
+    from repro.experiments.p2p_scale import run_p2p_scale
+
+    bench_dir = os.environ.get("BENCH_DIR") or str(tmp_path)
+    bench_path = os.path.join(bench_dir, "BENCH_p2p_scale.json")
+    run_p2p_scale(quick=True, base_seed=2008, bench_path=bench_path)
+    payload = obs.read_bench_json(bench_path)  # raises if schema-invalid
+    assert payload["bench"] == "p2p_scale"
+    names = {(row["name"], row["params"]["n_nodes"]) for row in payload["results"]}
+    assert names == {
+        ("chord_lookup", 8),
+        ("chord_lookup", 16),
+        ("gossip_round", 8),
+        ("gossip_round", 16),
+    }

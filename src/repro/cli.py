@@ -16,6 +16,7 @@ the tool drops into shell pipelines and CI checks.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections import defaultdict
 from pathlib import Path
@@ -80,7 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level",
         type=str,
         default=None,
-        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+        help=(
+            "enable repro.* logging at this level (DEBUG, INFO, ...); "
+            "defaults to $REPRO_LOG_LEVEL"
+        ),
     )
     parser.add_argument(
         "--audit-out",
@@ -150,8 +154,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run(argv)
     except BrokenPipeError:
         # stdout went away (e.g. piped into `head`): exit quietly
-        import os
-
         try:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         except OSError:
@@ -161,10 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.log_level:
+    log_level = args.log_level or os.environ.get("REPRO_LOG_LEVEL")
+    if log_level:
         from . import obs
 
-        obs.configure_logging(args.log_level)
+        obs.configure_logging(log_level)
     try:
         feedbacks = _load(args.feedback_file)
     except (OSError, ValueError) as exc:

@@ -12,6 +12,7 @@ from .fig6_collusion_weighted import run_fig6
 from .fig7_detection_rate import run_fig7
 from .fig8_distance import run_fig8
 from .fig9_performance import run_fig9
+from .p2p_scale import run_p2p_scale
 from .report import EXPECTED_SHAPES, render_report, result_to_markdown
 from .svgplot import render_svg, write_svg
 
@@ -28,6 +29,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_p2p_scale",
     "EXPECTED_SHAPES",
     "render_report",
     "result_to_markdown",
@@ -49,4 +51,5 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-cheat-rate": run_ext_cheat_rate,
     "ext-sybil": run_ext_sybil,
     "ext-matrix": run_ext_matrix,
+    "p2p_scale": run_p2p_scale,
 }

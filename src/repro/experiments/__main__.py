@@ -80,19 +80,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--events-dir",
+        type=str,
+        default=None,
+        help=(
+            "write JSONL event logs with progress heartbeats into this "
+            "directory as EVENTS_<name>.jsonl (watch live with "
+            "`repro obs top <log>`)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-dir",
+        type=str,
+        default=None,
+        help=(
+            "write phase profiles into this directory as "
+            "PROFILE_<name>.json plus flamegraph-ready .folded "
+            "(experiments that support profiling, e.g. fig9)"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         type=str,
         default=None,
-        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+        help=(
+            "enable repro.* logging at this level (DEBUG, INFO, ...); "
+            "defaults to $REPRO_LOG_LEVEL"
+        ),
     )
     args = parser.parse_args(argv)
-    if args.log_level:
-        obs.configure_logging(args.log_level)
+    log_level = args.log_level or os.environ.get("REPRO_LOG_LEVEL")
+    if log_level:
+        obs.configure_logging(log_level)
 
     if args.bench_dir:
         os.makedirs(args.bench_dir, exist_ok=True)
     if args.audit_dir:
         os.makedirs(args.audit_dir, exist_ok=True)
+    if args.events_dir:
+        os.makedirs(args.events_dir, exist_ok=True)
+    if args.profile_dir:
+        os.makedirs(args.profile_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
@@ -100,10 +128,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         runner = RUNNERS[name]
         kwargs = {"quick": args.quick, "base_seed": args.seed}
-        if args.bench_dir and "bench_path" in inspect.signature(runner).parameters:
+        params = inspect.signature(runner).parameters
+        if args.bench_dir and "bench_path" in params:
             kwargs["bench_path"] = os.path.join(args.bench_dir, f"BENCH_{name}.json")
-        if args.audit_dir and "audit_path" in inspect.signature(runner).parameters:
+        if args.audit_dir and "audit_path" in params:
             kwargs["audit_path"] = os.path.join(args.audit_dir, f"AUDIT_{name}.jsonl")
+        if args.events_dir and "events_path" in params:
+            kwargs["events_path"] = os.path.join(
+                args.events_dir, f"EVENTS_{name}.jsonl"
+            )
+        if args.profile_dir and "profile_path" in params:
+            kwargs["profile_path"] = os.path.join(
+                args.profile_dir, f"PROFILE_{name}.json"
+            )
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -111,10 +148,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(block)
         rendered.append(block)
         results.append(result)
-        if "bench_path" in kwargs:
-            print(f"wrote {kwargs['bench_path']}")
-        if "audit_path" in kwargs:
-            print(f"wrote {kwargs['audit_path']}")
+        for key in ("bench_path", "audit_path", "events_path", "profile_path"):
+            if key in kwargs:
+                print(f"wrote {kwargs[key]}")
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))

@@ -13,6 +13,7 @@ from __future__ import annotations
 import contextlib
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import obs
 from ..adversary.collusion import ColludingStrategicAttacker
 from ..adversary.strategic import StrategicAttacker
 from ..core.calibration import ThresholdCalibrator
@@ -80,6 +81,42 @@ def _maybe_audit(experiment: str, audit_path: Optional[str], sample_every: int):
         yield trail
 
 
+@contextlib.contextmanager
+def _maybe_monitor(
+    experiment: str,
+    events_path: Optional[str],
+    *,
+    total: int,
+    base_seed: int,
+):
+    """A per-attack-run ProgressMonitor into ``events_path``, or ``None``.
+
+    One tick per (prep size, scheme, seed) attack run; tick-throttled so
+    quick sweeps still heartbeat deterministically.
+    """
+    if events_path is None:
+        yield None
+        return
+    log = obs.EventLog(
+        events_path,
+        run_meta=obs.run_metadata(seed=base_seed, experiment=experiment),
+    )
+    monitor = obs.ProgressMonitor(
+        log,
+        total=total,
+        label="attack_runs",
+        interval_seconds=None,
+        interval_ticks=max(total // 20, 1),
+    )
+    monitor.start(experiment=experiment)
+    try:
+        yield monitor
+    finally:
+        monitor.finish(experiment=experiment)
+        log.emit("run_end", experiment=experiment)
+        log.close()
+
+
 def _append_audit_notes(result: ExperimentResult, records) -> None:
     """Per-scheme rejection-reason breakdown from the sampled audit log."""
     by_scheme: Dict[str, Dict[str, object]] = {}
@@ -145,11 +182,16 @@ def attack_cost_sweep(
     max_steps: int = 20_000,
     audit_path: Optional[str] = None,
     audit_sample: int = AUDIT_SAMPLE_EVERY,
+    events_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Fill ``result`` with the Fig. 3/4 sweep for one trust function."""
     calibrator = make_shared_calibrator(config)
     schemes = standard_schemes()
-    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail:
+    total = len(tuple(prep_sizes)) * len(schemes) * n_seeds
+    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail, \
+            _maybe_monitor(
+                result.experiment, events_path, total=total, base_seed=base_seed
+            ) as monitor:
         for prep in prep_sizes:
             row: Dict[str, object] = {"prep_size": prep}
             for name, factory in schemes.items():
@@ -170,10 +212,12 @@ def attack_cost_sweep(
                     target_bads=target_bads,
                     max_steps=max_steps,
                 )
-                costs = [
-                    attacker.run(prep, seed=base_seed + 7919 * s).cost
-                    for s in range(n_seeds)
-                ]
+                costs = []
+                for s in range(n_seeds):
+                    run = attacker.run(prep, seed=base_seed + 7919 * s)
+                    costs.append(run.cost)
+                    if monitor is not None:
+                        monitor.tick(1, transactions=run.cost)
                 row[name] = mean_over_seeds(costs)
             result.add_row(**row)
         if trail is not None:
@@ -197,11 +241,16 @@ def collusion_cost_sweep(
     max_steps: int = 20_000,
     audit_path: Optional[str] = None,
     audit_sample: int = AUDIT_SAMPLE_EVERY,
+    events_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Fill ``result`` with the Fig. 5/6 collusion sweep."""
     calibrator = make_shared_calibrator(config)
     schemes = collusion_schemes()
-    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail:
+    total = len(tuple(prep_sizes)) * len(schemes) * n_seeds
+    with _maybe_audit(result.experiment, audit_path, audit_sample) as trail, \
+            _maybe_monitor(
+                result.experiment, events_path, total=total, base_seed=base_seed
+            ) as monitor:
         for prep in prep_sizes:
             row: Dict[str, object] = {"prep_size": prep}
             for name, factory in schemes.items():
@@ -224,10 +273,12 @@ def collusion_cost_sweep(
                     target_bads=target_bads,
                     max_steps=max_steps,
                 )
-                costs = [
-                    attacker.run(prep, seed=base_seed + 6007 * s).cost
-                    for s in range(n_seeds)
-                ]
+                costs = []
+                for s in range(n_seeds):
+                    run = attacker.run(prep, seed=base_seed + 6007 * s)
+                    costs.append(run.cost)
+                    if monitor is not None:
+                        monitor.tick(1, transactions=run.cost)
                 row[name] = mean_over_seeds(costs)
             result.add_row(**row)
         if trail is not None:

@@ -33,6 +33,7 @@ def run_fig5(
     base_seed: int = 2008,
     quick: bool = False,
     audit_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 5."""
     if prep_sizes is None:
@@ -55,4 +56,5 @@ def run_fig5(
         n_seeds=n_seeds,
         base_seed=base_seed,
         audit_path=audit_path,
+        events_path=events_path,
     )

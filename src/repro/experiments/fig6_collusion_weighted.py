@@ -29,6 +29,7 @@ def run_fig6(
     lam: float = PAPER_LAMBDA,
     quick: bool = False,
     audit_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 6."""
     if prep_sizes is None:
@@ -54,4 +55,5 @@ def run_fig6(
         n_seeds=n_seeds,
         base_seed=base_seed,
         audit_path=audit_path,
+        events_path=events_path,
     )

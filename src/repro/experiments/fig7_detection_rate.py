@@ -18,8 +18,9 @@ an honest player effectively *is* one.
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..adversary.periodic import periodic_attack_history
 from ..core.multi_testing import MultiBehaviorTest
 from ..core.testing import SingleBehaviorTest
@@ -31,6 +32,8 @@ __all__ = ["run_fig7", "ATTACK_WINDOWS"]
 
 ATTACK_WINDOWS = (10, 20, 30, 40, 50, 60, 70, 80)
 
+_TIMER_METRIC = "experiments.fig7.test_seconds"
+
 
 def run_fig7(
     *,
@@ -41,6 +44,8 @@ def run_fig7(
     base_seed: int = 2008,
     quick: bool = False,
     audit_path: Optional[str] = None,
+    bench_path: Optional[str] = None,
+    events_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Reproduce Fig. 7 (plus a multi-testing series as a bonus).
 
@@ -48,6 +53,12 @@ def run_fig7(
     JSONL log (no sampling: Fig. 7's point *is* the per-trial verdict)
     and appends an audit-derived detection breakdown to the notes — the
     two countings must agree, which the test suite asserts.
+
+    ``bench_path`` times every behavior test through the obs layer and
+    writes a schema-validated ``BENCH_fig7.json`` (test × attack window
+    → mean/min/p95 seconds plus the detection rate) so detection speed
+    joins fig9 in the regression gate.  ``events_path`` streams progress
+    heartbeats to a JSONL log; tail it live with ``repro obs top``.
     """
     if attack_windows is None:
         attack_windows = ATTACK_WINDOWS
@@ -78,24 +89,102 @@ def run_fig7(
             run_meta={"experiment": "fig7", "trials": trials},
             include_pmfs=False,
         )
-    with scope as trail:
-        for window in attack_windows:
-            single_hits = 0
-            multi_hits = 0
-            for _ in range(trials):
-                trace = periodic_attack_history(
-                    history_length, window, attack_rate=attack_rate, seed=rng
+    # Timings flow through the obs layer exactly like fig9: reuse the
+    # ambient session when the caller enabled collection, else activate
+    # a private one for this sweep.
+    if obs.is_enabled():
+        obs_scope = contextlib.nullcontext(
+            obs.ObsSession(obs.get_registry(), obs.get_tracer())
+        )
+    else:
+        obs_scope = obs.activate()
+    run_meta = obs.run_metadata(
+        seed=base_seed,
+        config=config,
+        experiment="fig7",
+        quick=quick,
+        trials=trials,
+        history_length=history_length,
+    )
+    log = (
+        obs.EventLog(events_path, run_meta=run_meta)
+        if events_path is not None
+        else None
+    )
+    monitor = None
+    if log is not None:
+        total = len(tuple(attack_windows)) * trials
+        # tick-based throttling keeps heartbeat counts deterministic
+        monitor = obs.ProgressMonitor(
+            log,
+            total=total,
+            label="trials",
+            interval_seconds=None,
+            interval_ticks=max(total // 20, 1),
+        )
+        monitor.start(experiment="fig7")
+    with scope as trail, obs_scope as session:
+        registry = session.registry
+        with obs.span("experiments.fig7.run", quick=quick):
+            bench_rows: List[Dict[str, object]] = []
+            for window in attack_windows:
+                single_hits = 0
+                multi_hits = 0
+                with obs.span("experiments.fig7.window", attack_window=window):
+                    for _ in range(trials):
+                        trace = periodic_attack_history(
+                            history_length, window, attack_rate=attack_rate, seed=rng
+                        )
+                        with obs.timer(
+                            _TIMER_METRIC, test="single", attack_window=window
+                        ):
+                            single_hits += not _tested(
+                                single, trace, window, trail
+                            ).passed
+                        with obs.timer(
+                            _TIMER_METRIC, test="multi", attack_window=window
+                        ):
+                            multi_hits += not _tested(
+                                multi, trace, window, trail
+                            ).passed
+                        if monitor is not None:
+                            monitor.tick(1, tests=2)
+                result.add_row(
+                    attack_window=window,
+                    single_detection_rate=single_hits / trials,
+                    multi_detection_rate=multi_hits / trials,
                 )
-                single_hits += not _tested(single, trace, window, trail).passed
-                multi_hits += not _tested(multi, trace, window, trail).passed
-            result.add_row(
-                attack_window=window,
-                single_detection_rate=single_hits / trials,
-                multi_detection_rate=multi_hits / trials,
-            )
+                for test, hits in (("single", single_hits), ("multi", multi_hits)):
+                    hist = registry.histogram(
+                        _TIMER_METRIC, test=test, attack_window=window
+                    )
+                    bench_rows.append(
+                        {
+                            "name": test,
+                            "params": {"attack_window": window},
+                            "stats": {
+                                "mean_s": hist.mean,
+                                "min_s": hist.min,
+                                # tail latency, preferred by `repro obs diff`
+                                "p95_s": hist.p95,
+                                "repeats": hist.count,
+                                "detection_rate": hits / trials,
+                            },
+                        }
+                    )
+            if bench_path is not None:
+                with obs.span("experiments.fig7.export"):
+                    obs.write_bench_json(bench_path, "fig7", bench_rows, meta=run_meta)
         if trail is not None:
             for line in _audit_breakdown(trail.records):
                 result.notes += "\n" + line
+        if log is not None:
+            log.emit_metrics(registry)
+    if monitor is not None:
+        monitor.finish(experiment="fig7")
+    if log is not None:
+        log.emit("run_end", experiment="fig7")
+        log.close()
     return result
 
 

@@ -49,12 +49,20 @@ def run_fig9(
     base_seed: int = 2008,
     quick: bool = False,
     bench_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+    profile_path: Optional[str] = None,
+    profile_sample_interval: int = 0,
+    profile_sample_hz: float = 97.0,
 ) -> ExperimentResult:
     """Reproduce Fig. 9 (seconds per behavior test).
 
     When ``bench_path`` is given, a schema-validated ``BENCH_fig9.json``
     (scheme → history size → mean/min seconds) is written there through
-    the :mod:`repro.obs.bench` layer.
+    the :mod:`repro.obs.bench` layer.  ``events_path`` streams progress
+    heartbeats (one per timed measurement) to a JSONL log for
+    ``repro obs top``; ``profile_path`` runs the sweep under a phase
+    profiler and writes both ``PROFILE_fig9.json`` and the sibling
+    flamegraph-ready ``.folded`` file.
     """
     if history_sizes is None:
         history_sizes = (10_000, 50_000, 100_000) if quick else HISTORY_SIZES
@@ -97,13 +105,53 @@ def run_fig9(
         )
     else:
         scope = obs.activate()
+    run_meta = obs.run_metadata(
+        seed=base_seed,
+        config=config,
+        experiment="fig9",
+        quick=quick,
+        multi_step=multi_step,
+        repeats=repeats,
+    )
+    log = (
+        obs.EventLog(events_path, run_meta=run_meta)
+        if events_path is not None
+        else None
+    )
+    if profile_path is not None:
+        # Out-of-band periodic sampling by default: the profiled thread
+        # pays nothing per call, so the <10% overhead bound asserted in
+        # benchmarks/ holds for exactly this configuration.  tracemalloc
+        # (and the per-call-event sys.setprofile sampler) would distort
+        # the very timings this figure exists to measure.
+        profile_scope = obs.profile_session(
+            sample_interval=profile_sample_interval,
+            sample_hz=profile_sample_hz,
+            track_memory=False,
+        )
+    else:
+        profile_scope = contextlib.nullcontext()
 
     bench_rows: List[Dict[str, object]] = []
     naive_set = set(naive_sizes)
-    with scope as session:
+    sizes = sorted(set(history_sizes) | naive_set)
+    monitor = None
+    if log is not None:
+        total = sum(
+            max(repeats, 1) * (3 if n in naive_set else 2) for n in sizes
+        )
+        monitor = obs.ProgressMonitor(
+            log,
+            total=total,
+            label="measurements",
+            interval_seconds=None,
+            interval_ticks=1,
+        )
+        monitor.start(experiment="fig9")
+    with scope as session, profile_scope as profiler:
         registry = session.registry
         with obs.span("experiments.fig9.run", quick=quick):
-            for n in sorted(set(history_sizes) | naive_set):
+            for n in sizes:
                 with obs.span("experiments.fig9.prepare", history_size=n):
                     outcomes = generate_honest_outcomes(n, 0.95, seed=base_seed)
                     # Warm the threshold cache so timings measure the
@@ -129,6 +177,8 @@ def run_fig9(
                                 _TIMER_METRIC, scheme=scheme, history_size=n
                             ):
                                 fn(outcomes)
+                            if monitor is not None:
+                                monitor.tick(1, tests=1)
                     hist = registry.histogram(
                         _TIMER_METRIC, scheme=scheme, history_size=n
                     )
@@ -149,16 +199,15 @@ def run_fig9(
                 result.add_row(**row)
             if bench_path is not None:
                 with obs.span("experiments.fig9.export"):
-                    obs.write_bench_json(
-                        bench_path,
-                        "fig9",
-                        bench_rows,
-                        meta=obs.run_metadata(
-                            seed=base_seed,
-                            config=config,
-                            quick=quick,
-                            multi_step=multi_step,
-                            repeats=repeats,
-                        ),
-                    )
+                    obs.write_bench_json(bench_path, "fig9", bench_rows, meta=run_meta)
+        if log is not None:
+            log.emit_metrics(registry)
+    if profile_path is not None and profiler is not None:
+        obs.write_profile_json(profile_path, "fig9", profiler, meta=run_meta)
+        obs.write_folded(obs.folded_path_for(profile_path), profiler)
+    if monitor is not None:
+        monitor.finish(experiment="fig9")
+    if log is not None:
+        log.emit("run_end", experiment="fig9")
+        log.close()
     return result

@@ -1,0 +1,188 @@
+"""P2P substrate scaling: Chord lookup cost and gossip convergence vs. size.
+
+Not a figure from the paper — the paper *assumes* all feedback about a
+server is retrievable ("special data organization schemes in P2P
+systems") and points at gossip aggregation for unstructured networks.
+This experiment quantifies that substrate at growing network sizes: mean
+lookup hop count and per-lookup latency on a Chord ring (O(log n)
+claim), and push-pull gossip rounds plus per-round latency to reach 1%
+agreement (O(log n) rounds claim).
+
+Like fig7/fig9, timings flow through the obs layer; ``bench_path``
+emits a schema-valid ``BENCH_p2p_scale.json`` so the substrate joins the
+regression gate, and ``events_path`` streams progress heartbeats for
+``repro obs top``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import obs
+from ..p2p.chord import ChordRing
+from ..p2p.gossip import GossipAggregator
+from ..stats.rng import make_rng
+from .common import ExperimentResult
+
+__all__ = ["run_p2p_scale", "NODE_COUNTS"]
+
+NODE_COUNTS = (16, 32, 64, 128)
+
+_LOOKUP_METRIC = "experiments.p2p_scale.lookup_seconds"
+_ROUND_METRIC = "experiments.p2p_scale.gossip_round_seconds"
+
+
+def run_p2p_scale(
+    *,
+    node_counts: Optional[Sequence[int]] = None,
+    lookups: int = 50,
+    gossip_tolerance: float = 0.01,
+    max_rounds: int = 500,
+    base_seed: int = 2008,
+    quick: bool = False,
+    bench_path: Optional[str] = None,
+    events_path: Optional[str] = None,
+) -> ExperimentResult:
+    """Scale the P2P substrate and measure lookup and gossip cost.
+
+    For every network size: build a Chord ring, time ``lookups`` random
+    key lookups (recording hop counts), then gossip a random value
+    vector of the same size to within ``gossip_tolerance`` of the mean,
+    timing every round.  ``bench_path`` writes the artifact through
+    :mod:`repro.obs.bench`; ``events_path`` a heartbeat JSONL log.
+    """
+    if node_counts is None:
+        node_counts = (8, 16) if quick else NODE_COUNTS
+    if lookups < 1:
+        raise ValueError(f"lookups must be >= 1, got {lookups}")
+    if quick:
+        lookups = min(lookups, 20)
+    node_counts = tuple(node_counts)
+
+    result = ExperimentResult(
+        experiment="p2p_scale",
+        title="P2P substrate scaling (Chord lookups, gossip convergence)",
+        columns=[
+            "n_nodes",
+            "chord_mean_hops",
+            "chord_lookup_s",
+            "gossip_rounds",
+            "gossip_round_s",
+        ],
+        notes=(
+            f"{lookups} lookups per ring size; gossip to "
+            f"{gossip_tolerance:.0%} agreement; lookup/round seconds are "
+            "per-call minima through the obs layer"
+        ),
+    )
+
+    if obs.is_enabled():
+        scope = contextlib.nullcontext(
+            obs.ObsSession(obs.get_registry(), obs.get_tracer())
+        )
+    else:
+        scope = obs.activate()
+    run_meta = obs.run_metadata(
+        seed=base_seed,
+        config={"lookups": lookups, "gossip_tolerance": gossip_tolerance},
+        experiment="p2p_scale",
+        quick=quick,
+    )
+    log = (
+        obs.EventLog(events_path, run_meta=run_meta)
+        if events_path is not None
+        else None
+    )
+    monitor = None
+    if log is not None:
+        monitor = obs.ProgressMonitor(
+            log,
+            total=len(node_counts) * lookups,
+            label="lookups",
+            interval_seconds=None,
+            interval_ticks=max(lookups // 4, 1),
+        )
+        monitor.start(experiment="p2p_scale")
+
+    bench_rows: List[Dict[str, object]] = []
+    with scope as session:
+        registry = session.registry
+        with obs.span("experiments.p2p_scale.run", quick=quick):
+            for n in node_counts:
+                with obs.span("experiments.p2p_scale.build", n_nodes=n):
+                    ring = ChordRing(seed=base_seed + n)
+                    for i in range(n):
+                        ring.add_node(f"node-{i}")
+                hops: List[int] = []
+                with obs.span("experiments.p2p_scale.lookups", n_nodes=n):
+                    for i in range(lookups):
+                        with obs.timer(_LOOKUP_METRIC, n_nodes=n):
+                            found = ring.lookup(f"server-{i}")
+                        hops.append(found.hops)
+                        if monitor is not None:
+                            monitor.tick(1, lookups=1)
+                mean_hops = float(np.mean(hops))
+                with obs.span("experiments.p2p_scale.gossip", n_nodes=n):
+                    values = make_rng(base_seed + n).random(n)
+                    agg = GossipAggregator(values, seed=base_seed + n)
+                    while agg.max_error() > gossip_tolerance:
+                        if agg.rounds >= max_rounds:
+                            raise RuntimeError(
+                                f"gossip did not reach {gossip_tolerance} "
+                                f"within {max_rounds} rounds at n={n}"
+                            )
+                        with obs.timer(_ROUND_METRIC, n_nodes=n):
+                            agg.run_round()
+                        if monitor is not None:
+                            monitor.tick(0, gossip_rounds=1)
+                lookup_hist = registry.histogram(_LOOKUP_METRIC, n_nodes=n)
+                round_hist = registry.histogram(_ROUND_METRIC, n_nodes=n)
+                result.add_row(
+                    n_nodes=n,
+                    chord_mean_hops=mean_hops,
+                    chord_lookup_s=lookup_hist.min,
+                    gossip_rounds=agg.rounds,
+                    gossip_round_s=round_hist.min,
+                )
+                bench_rows.append(
+                    {
+                        "name": "chord_lookup",
+                        "params": {"n_nodes": n},
+                        "stats": {
+                            "mean_s": lookup_hist.mean,
+                            "min_s": lookup_hist.min,
+                            "p95_s": lookup_hist.p95,
+                            "repeats": lookup_hist.count,
+                            "mean_hops": mean_hops,
+                        },
+                    }
+                )
+                bench_rows.append(
+                    {
+                        "name": "gossip_round",
+                        "params": {"n_nodes": n},
+                        "stats": {
+                            "mean_s": round_hist.mean,
+                            "min_s": round_hist.min,
+                            "p95_s": round_hist.p95,
+                            "repeats": round_hist.count,
+                            "rounds": agg.rounds,
+                        },
+                    }
+                )
+            if bench_path is not None:
+                with obs.span("experiments.p2p_scale.export"):
+                    obs.write_bench_json(
+                        bench_path, "p2p_scale", bench_rows, meta=run_meta
+                    )
+        if log is not None:
+            log.emit_metrics(registry)
+    if monitor is not None:
+        monitor.finish(experiment="p2p_scale")
+    if log is not None:
+        log.emit("run_end", experiment="p2p_scale")
+        log.close()
+    return result

@@ -55,6 +55,11 @@ EXPECTED_SHAPES: Dict[str, str] = {
         "Multi-testing flags every patterned attack at a modest extra "
         "false-alarm cost; only camouflage slips both schemes."
     ),
+    "p2p_scale": (
+        "Chord lookups stay at O(log n) hops as the ring grows and gossip "
+        "reaches 1% agreement in O(log n) rounds, so decentralized "
+        "feedback retrieval stays cheap at scale."
+    ),
 }
 
 

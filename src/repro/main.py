@@ -6,21 +6,29 @@ tooling::
     repro assess feedback.csv --test multi          # = repro-assess
     repro experiments fig9 --quick                  # = repro-experiments
     repro obs report BENCH_fig9.json                # render a bench artifact
+    repro obs report PROFILE_fig9.json              # render a phase profile
     repro obs report run_events.jsonl               # summarize an event log
     repro obs diff baseline.json candidate.json     # bench regression gate
+    repro obs diff candidate.json                   # vs committed BENCH_<bench>.json
+    repro obs top run_events.jsonl                  # live dashboard of a run
+    repro obs trend benchmarks/baselines            # multi-run bench time series
     repro obs validate run_audit.jsonl              # schema-check audit records
+    repro obs validate BENCH_fig7.json              # schema-check a bench artifact
     repro explain mallory run_audit.jsonl           # why was this server rejected?
     repro --log-level DEBUG assess feedback.csv     # opt into repro.* logging
 
 ``assess`` and ``experiments`` forward their remaining arguments
 verbatim to the dedicated parsers, so every flag documented there works
-here unchanged.
+here unchanged.  ``REPRO_LOG_LEVEL`` in the environment acts as the
+default for ``--log-level``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import obs
@@ -40,7 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level",
         type=str,
         default=None,
-        help="enable repro.* logging at this level (DEBUG, INFO, ...)",
+        help=(
+            "enable repro.* logging at this level (DEBUG, INFO, ...); "
+            "defaults to $REPRO_LOG_LEVEL"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -69,18 +80,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff = obs_sub.add_parser(
         "diff", help="compare two bench artifacts; exit 2 on regression"
     )
-    p_diff.add_argument("baseline", help="baseline BENCH_*.json")
-    p_diff.add_argument("candidate", help="candidate BENCH_*.json")
+    p_diff.add_argument("baseline", help="baseline BENCH_*.json (or the candidate)")
+    p_diff.add_argument(
+        "candidate",
+        nargs="?",
+        default=None,
+        help="candidate BENCH_*.json; omitted, the single path is the "
+        "candidate and the committed BENCH_<bench>.json in the current "
+        "directory is the baseline",
+    )
     p_diff.add_argument(
         "--max-regression",
         type=float,
         default=0.20,
         help="tolerated fractional slowdown per benchmark (default: 0.20)",
     )
-    p_validate = obs_sub.add_parser(
-        "validate", help="schema-validate every audit record in a JSONL log"
+    p_top = obs_sub.add_parser(
+        "top", help="tail a live run's JSONL event log as a text dashboard"
     )
-    p_validate.add_argument("artifact", help="path to a JSONL event log")
+    p_top.add_argument("events", help="path to the run's JSONL event log")
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="render one snapshot and exit"
+    )
+    p_trend = obs_sub.add_parser(
+        "trend",
+        help="per-metric time series across a directory of BENCH_*.json runs",
+    )
+    p_trend.add_argument("directory", help="directory holding BENCH_*.json files")
+    p_trend.add_argument(
+        "--bench", default=None, help="only consider artifacts for this bench name"
+    )
+    p_trend.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="flag (exit 2) when the latest point exceeds the median of "
+        "earlier points by this fraction (default: 0.20)",
+    )
+    p_validate = obs_sub.add_parser(
+        "validate",
+        help="schema-validate an artifact: JSONL audit log, BENCH_*.json, "
+        "or PROFILE_*.json",
+    )
+    p_validate.add_argument("artifact", help="path to the artifact")
 
     p_explain = sub.add_parser(
         "explain", help="explain a server's latest audit verdict from a JSONL log"
@@ -93,8 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_parser().parse_args(argv)
-    if args.log_level:
-        obs.configure_logging(args.log_level)
+    log_level = args.log_level or os.environ.get("REPRO_LOG_LEVEL")
+    if log_level:
+        obs.configure_logging(log_level)
     if args.command == "assess":
         return assess_main(args.rest)
     if args.command == "experiments":
@@ -103,6 +152,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _explain(args.server, args.audit_log)
     if args.obs_command == "diff":
         return _obs_diff(args.baseline, args.candidate, args.max_regression)
+    if args.obs_command == "top":
+        try:
+            return obs.tail_dashboard(
+                args.events, interval=args.interval, once=args.once
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.obs_command == "trend":
+        return _obs_trend(args.directory, args.bench, args.max_regression)
     if args.obs_command == "validate":
         return _obs_validate(args.artifact)
     # obs report
@@ -124,14 +183,24 @@ def _explain(server: str, audit_log: str) -> int:
     return 0
 
 
-def _obs_diff(baseline: str, candidate: str, max_regression: float) -> int:
-    import json
-
+def _obs_diff(baseline: str, candidate: Optional[str], max_regression: float) -> int:
     try:
-        with open(baseline, "r", encoding="utf-8") as fh:
-            base_payload = json.load(fh)
-        with open(candidate, "r", encoding="utf-8") as fh:
-            cand_payload = json.load(fh)
+        if candidate is None:
+            # single-path form: the argument is the candidate; diff it
+            # against the committed BENCH_<bench>.json baseline in cwd.
+            cand_payload = obs.read_bench_json(baseline)
+            default = Path(f"BENCH_{cand_payload['bench']}.json")
+            if not default.exists():
+                print(
+                    f"error: no committed baseline {default} for bench "
+                    f"{cand_payload['bench']!r}; pass an explicit baseline",
+                    file=sys.stderr,
+                )
+                return 1
+            base_payload = obs.read_bench_json(default)
+        else:
+            base_payload = obs.read_bench_json(baseline)
+            cand_payload = obs.read_bench_json(candidate)
         diff = obs.compare_bench_payloads(
             base_payload, cand_payload, max_regression=max_regression
         )
@@ -142,7 +211,43 @@ def _obs_diff(baseline: str, candidate: str, max_regression: float) -> int:
     return 0 if diff["ok"] else 2
 
 
+def _obs_trend(directory: str, bench: Optional[str], max_regression: float) -> int:
+    try:
+        history = obs.load_bench_history(directory, bench=bench)
+        trend = obs.bench_trend(history, max_regression=max_regression)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(obs.render_bench_trend(trend))
+    return 0 if trend["ok"] else 2
+
+
 def _obs_validate(artifact: str) -> int:
+    import json
+
+    path = Path(artifact)
+    if path.suffix.lower() == ".json":
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for kind, validate in (
+            ("bench", obs.validate_bench_payload),
+            ("profile", obs.validate_profile_payload),
+        ):
+            try:
+                validate(payload)
+            except ValueError:
+                continue
+            print(f"{artifact}: valid {kind} artifact")
+            return 0
+        print(
+            f"error: {artifact} is neither a valid bench nor profile artifact",
+            file=sys.stderr,
+        )
+        return 1
     try:
         records = obs.read_audit_jsonl(artifact)
     except (OSError, ValueError) as exc:

@@ -46,9 +46,12 @@ from .audit import (
 from .bench import (
     BENCH_SCHEMA_VERSION,
     bench_payload,
+    bench_trend,
     compare_bench_payloads,
+    load_bench_history,
     read_bench_json,
     render_bench_diff,
+    render_bench_trend,
     validate_bench_payload,
     write_bench_json,
 )
@@ -60,8 +63,22 @@ from .events import (
     run_metadata,
 )
 from .export import render_prometheus, render_text
+from .monitor import ProgressMonitor, render_dashboard, rss_bytes, tail_dashboard
+from .profile import (
+    PROFILE_SCHEMA_VERSION,
+    PhaseProfiler,
+    PhaseStat,
+    folded_path_for,
+    profile_payload,
+    profile_session,
+    read_profile_json,
+    render_folded,
+    validate_profile_payload,
+    write_folded,
+    write_profile_json,
+)
 from .registry import Counter, Gauge, MetricSample, MetricsRegistry, StreamingHistogram
-from .report import render_artifact, render_bench, render_event_log
+from .report import render_artifact, render_bench, render_event_log, render_profile
 from .runtime import (
     ObsSession,
     activate,
@@ -113,9 +130,12 @@ __all__ = [
     "validate_audit_record",
     "BENCH_SCHEMA_VERSION",
     "bench_payload",
+    "bench_trend",
     "compare_bench_payloads",
+    "load_bench_history",
     "read_bench_json",
     "render_bench_diff",
+    "render_bench_trend",
     "validate_bench_payload",
     "write_bench_json",
     "EventLog",
@@ -125,6 +145,21 @@ __all__ = [
     "run_metadata",
     "render_prometheus",
     "render_text",
+    "ProgressMonitor",
+    "render_dashboard",
+    "rss_bytes",
+    "tail_dashboard",
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseProfiler",
+    "PhaseStat",
+    "folded_path_for",
+    "profile_payload",
+    "profile_session",
+    "read_profile_json",
+    "render_folded",
+    "validate_profile_payload",
+    "write_folded",
+    "write_profile_json",
     "Counter",
     "Gauge",
     "MetricSample",
@@ -133,6 +168,7 @@ __all__ = [
     "render_artifact",
     "render_bench",
     "render_event_log",
+    "render_profile",
     "ObsSession",
     "activate",
     "disable",

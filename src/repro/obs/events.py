@@ -147,19 +147,30 @@ class EventLog:
         return False
 
 
-def read_events(path: PathLike) -> List[Dict[str, object]]:
-    """Load a JSONL event log back into a list of dicts."""
+def read_events(
+    path: PathLike, *, allow_partial: bool = False
+) -> List[Dict[str, object]]:
+    """Load a JSONL event log back into a list of dicts.
+
+    ``allow_partial=True`` forgives an unparsable *final* line — the
+    normal state of a log whose producer is mid-write — so live tailing
+    (``repro obs top``) can re-read a file the run is still appending to.
+    Corruption anywhere else still raises.
+    """
     events = []
     with open(path, encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"line {line_number}: invalid JSON ({exc})") from None
-            if not isinstance(record, dict) or "event" not in record:
-                raise ValueError(f"line {line_number}: not an event object")
-            events.append(record)
+        lines = handle.read().splitlines()
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if allow_partial and line_number == len(lines):
+                break
+            raise ValueError(f"line {line_number}: invalid JSON ({exc})") from None
+        if not isinstance(record, dict) or "event" not in record:
+            raise ValueError(f"line {line_number}: not an event object")
+        events.append(record)
     return events

@@ -3,8 +3,10 @@
 The text form is what ``repro obs report`` prints and humans read; the
 Prometheus form follows the text exposition conventions (sanitized
 ``snake_case`` names with a ``repro_`` prefix, ``_total`` on counters,
-``_count``/``_sum`` plus ``quantile``-labelled samples for histograms)
-so a scrape-style pipeline can ingest run output unchanged.
+``_count``/``_sum`` plus ``quantile``-labelled samples for histograms,
+``# HELP``/``# TYPE`` emitted once per metric family, label values
+escaped per the spec) so a scrape-style pipeline can ingest run output
+unchanged.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Tuple
 
-from .registry import MetricsRegistry
+from .registry import MetricSample, MetricsRegistry
 
 __all__ = ["render_text", "render_prometheus"]
 
@@ -24,8 +26,18 @@ def _prom_name(name: str) -> str:
     return "repro_" + _NAME_SANITIZER.sub("_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """HELP text allows quotes but needs backslash/newline escaped."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -58,35 +70,50 @@ def render_text(registry: MetricsRegistry) -> str:
     return "\n".join(f"{label:<{width}}  {value}" for label, value in rows)
 
 
+_PROM_KINDS = {"counter": "counter", "gauge": "gauge", "histogram": "summary"}
+
+
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text-exposition rendering of every metric."""
-    lines: List[str] = []
-    seen_types: Dict[str, str] = {}
+    """Prometheus text-exposition rendering of every metric.
+
+    Samples are grouped into metric families first, so ``# HELP`` and
+    ``# TYPE`` appear exactly once per family no matter how many label
+    sets (series) a metric has, and every series of a family is emitted
+    contiguously as the format requires.
+    """
+    families: Dict[str, Dict[str, object]] = {}
     for sample in registry.collect():
         base = _prom_name(sample.name)
-        if sample.kind == "counter":
-            name = base + "_total"
-            if name not in seen_types:
-                lines.append(f"# TYPE {name} counter")
-                seen_types[name] = "counter"
-            lines.append(f"{name}{_prom_labels(sample.labels)} {sample.value:.10g}")
-        elif sample.kind == "gauge":
-            if base not in seen_types:
-                lines.append(f"# TYPE {base} gauge")
-                seen_types[base] = "gauge"
-            lines.append(f"{base}{_prom_labels(sample.labels)} {sample.value:.10g}")
-        else:  # histogram -> summary exposition
-            if base not in seen_types:
-                lines.append(f"# TYPE {base} summary")
-                seen_types[base] = "summary"
-            s = sample.summary or {}
-            for quantile, key in _HISTOGRAM_QUANTILES:
-                extra = 'quantile="%s"' % quantile
+        family_name = base + "_total" if sample.kind == "counter" else base
+        family = families.setdefault(
+            family_name,
+            {"kind": _PROM_KINDS[sample.kind], "source": sample.name, "samples": []},
+        )
+        family["samples"].append(sample)  # type: ignore[union-attr]
+    lines: List[str] = []
+    for family_name, family in families.items():
+        help_text = _escape_help(f"repro metric '{family['source']}'")
+        lines.append(f"# HELP {family_name} {help_text}")
+        lines.append(f"# TYPE {family_name} {family['kind']}")
+        samples: List[MetricSample] = family["samples"]  # type: ignore[assignment]
+        for sample in samples:
+            if sample.kind in ("counter", "gauge"):
                 lines.append(
-                    f"{base}{_prom_labels(sample.labels, extra)} {s[key]:.10g}"
+                    f"{family_name}{_prom_labels(sample.labels)} {sample.value:.10g}"
                 )
-            lines.append(f"{base}_sum{_prom_labels(sample.labels)} {s['sum']:.10g}")
-            lines.append(
-                f"{base}_count{_prom_labels(sample.labels)} {s['count']:.10g}"
-            )
+            else:  # histogram -> summary exposition
+                s = sample.summary or {}
+                for quantile, key in _HISTOGRAM_QUANTILES:
+                    extra = 'quantile="%s"' % quantile
+                    lines.append(
+                        f"{family_name}{_prom_labels(sample.labels, extra)} "
+                        f"{s[key]:.10g}"
+                    )
+                lines.append(
+                    f"{family_name}_sum{_prom_labels(sample.labels)} {s['sum']:.10g}"
+                )
+                lines.append(
+                    f"{family_name}_count{_prom_labels(sample.labels)} "
+                    f"{s['count']:.10g}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,482 @@
+"""Phase-attributed profiling: where wall time and memory go inside a run.
+
+The regression gate (``repro obs diff``) can say *that* a bench got
+slower; this module says *where*.  A :class:`PhaseProfiler` rides the
+existing ``span()``/``timer()`` infrastructure: every span begin/finish
+(calibration, suffix rounds, distance evals, reorder, trust update, p2p
+gossip — whatever the pipeline opened) becomes a *phase*, keyed by the
+semicolon-joined span stack, and the profiler attributes to each phase
+
+* **wall time** — cumulative and *self* (cumulative minus child phases),
+  on the same ``perf_counter`` clock as the tracer;
+* **memory** — the tracemalloc high-water mark observed while the phase
+  was innermost (``track_memory=True``), peak-reset at every phase
+  boundary so a parent's allocations are not billed to its children;
+* **deterministic call samples** — with ``sample_interval=n`` a
+  ``sys.setprofile`` hook records, at every *n*-th python call event,
+  the current phase path plus the called function as a folded stack.
+  Sampling is keyed to call counts rather than a timer interrupt, so the
+  same run produces the same profile.  The hook costs a fixed amount per
+  call event (interpreter dispatch), so reserve it for tests and small
+  runs;
+* **periodic stack samples** — with ``sample_hz=h`` a daemon thread
+  wakes ``h`` times a second and reads the profiled thread's current
+  phase path and python frame out-of-band (``sys._current_frames()``,
+  the py-spy approach).  The profiled thread pays nothing beyond its
+  ordinary span bookkeeping, which is what keeps the enabled profiler
+  inside the <10% overhead budget asserted in ``benchmarks/`` — this is
+  the mode the experiment runners default to.
+
+Exports are flamegraph-compatible folded stacks (``a;b;c 1234`` — feed
+them to ``flamegraph.pl`` or speedscope) and a schema-versioned
+``PROFILE_*.json`` that ``repro obs report`` renders.
+
+The disabled path stays free: when no profiler is installed the span
+fast path performs one ``is None`` check and the behaviour-test hot
+loops are untouched (pinned by a tracemalloc test, like
+:mod:`repro.obs.audit`).  Use :func:`profile_session`::
+
+    from repro import obs
+
+    with obs.profile_session(sample_interval=127) as prof:
+        run_fig9(quick=True)
+    print(obs.render_folded(prof))
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import sys
+import threading
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from . import runtime as _runtime
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "PhaseStat",
+    "PhaseProfiler",
+    "profile_session",
+    "render_folded",
+    "profile_payload",
+    "validate_profile_payload",
+    "write_profile_json",
+    "read_profile_json",
+    "write_folded",
+    "folded_path_for",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+#: Folded-stack key used for samples taken outside any open span.
+UNTRACED = "(untraced)"
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated cost of one phase path across all its visits."""
+
+    path: str
+    calls: int = 0
+    wall_s: float = 0.0
+    self_s: float = 0.0
+    mem_peak_bytes: int = 0
+    samples: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """The JSON shape stored in ``PROFILE_*.json`` artifacts."""
+        return {
+            "path": self.path,
+            "calls": self.calls,
+            "wall_s": self.wall_s,
+            "self_s": self.self_s,
+            "mem_peak_bytes": self.mem_peak_bytes,
+            "samples": self.samples,
+        }
+
+
+class _Frame:
+    """One open phase on the profiler's stack."""
+
+    __slots__ = ("path", "start", "child_s", "mem_peak", "samples")
+
+    def __init__(self, path: str, start: float):
+        self.path = path
+        self.start = start
+        self.child_s = 0.0
+        self.mem_peak = 0
+        self.samples = 0
+
+
+class PhaseProfiler:
+    """Attributes wall time, memory high-water, and call samples to spans.
+
+    Passive until :meth:`install` puts it into
+    :data:`repro.obs.runtime.profiler` (done by :func:`profile_session`);
+    from then on every live span begin/finish notifies it.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_interval: int = 0,
+        sample_hz: float = 0.0,
+        track_memory: bool = False,
+    ):
+        if sample_interval < 0:
+            raise ValueError(
+                f"sample_interval must be non-negative, got {sample_interval}"
+            )
+        if sample_hz < 0:
+            raise ValueError(f"sample_hz must be non-negative, got {sample_hz}")
+        self._interval = int(sample_interval)
+        self._hz = float(sample_hz)
+        self._track_memory = bool(track_memory)
+        self._stats: Dict[str, PhaseStat] = {}
+        self._frames: List[_Frame] = []
+        self._folded: Dict[str, int] = {}
+        self._countdown = self._interval
+        self._installed = False
+        self._previous_hook = None
+        self._started_tracemalloc = False
+        self._sampler: Optional["_PeriodicSampler"] = None
+
+    # -- results -------------------------------------------------------- #
+
+    @property
+    def sample_interval(self) -> int:
+        """Call events between folded-stack samples (0 = sampling off)."""
+        return self._interval
+
+    @property
+    def sample_hz(self) -> float:
+        """Out-of-band samples per second (0 = periodic sampling off)."""
+        return self._hz
+
+    @property
+    def track_memory(self) -> bool:
+        """Whether tracemalloc high-water marks are being attributed."""
+        return self._track_memory
+
+    def phases(self) -> List[PhaseStat]:
+        """Every phase seen so far, most cumulative wall time first."""
+        return sorted(
+            self._stats.values(), key=lambda s: (-s.wall_s, s.path)
+        )
+
+    def phase(self, path: str) -> Optional[PhaseStat]:
+        """The stats for one exact phase path, or ``None``."""
+        return self._stats.get(path)
+
+    @property
+    def folded_samples(self) -> Dict[str, int]:
+        """Sampled folded call stacks (``phase;...;module:function`` → hits)."""
+        return dict(self._folded)
+
+    # -- span hooks (called from repro.obs.runtime._LiveSpan) ----------- #
+
+    def on_span_begin(self, name: str, now: float) -> None:
+        """A live span opened; push its phase frame."""
+        frames = self._frames
+        if self._track_memory:
+            if frames:
+                peak = tracemalloc.get_traced_memory()[1]
+                if peak > frames[-1].mem_peak:
+                    frames[-1].mem_peak = peak
+            tracemalloc.reset_peak()
+        path = f"{frames[-1].path};{name}" if frames else name
+        frames.append(_Frame(path, now))
+
+    def on_span_end(self, now: float) -> None:
+        """The innermost live span closed; fold its frame into the stats."""
+        if not self._frames:
+            return  # span opened before the profiler was installed
+        frame = self._frames.pop()
+        wall = now - frame.start
+        if self._track_memory:
+            peak = tracemalloc.get_traced_memory()[1]
+            if peak > frame.mem_peak:
+                frame.mem_peak = peak
+            tracemalloc.reset_peak()
+        stat = self._stats.get(frame.path)
+        if stat is None:
+            stat = self._stats[frame.path] = PhaseStat(frame.path)
+        stat.calls += 1
+        stat.wall_s += wall
+        stat.self_s += max(wall - frame.child_s, 0.0)
+        stat.samples += frame.samples
+        if frame.mem_peak > stat.mem_peak_bytes:
+            stat.mem_peak_bytes = frame.mem_peak
+        if self._frames:
+            parent = self._frames[-1]
+            parent.child_s += wall
+            if frame.mem_peak > parent.mem_peak:
+                parent.mem_peak = frame.mem_peak
+
+    # -- deterministic call-event sampling ------------------------------ #
+
+    def _hook(self, frame, event: str, arg) -> None:
+        if event != "call" and event != "c_call":
+            return
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = self._interval
+        frames = self._frames
+        if frames:
+            frames[-1].samples += 1
+            prefix = frames[-1].path
+        else:
+            prefix = UNTRACED
+        if event == "c_call":
+            module = getattr(arg, "__module__", None) or "c"
+            name = getattr(arg, "__qualname__", None) or getattr(
+                arg, "__name__", "?"
+            )
+        else:
+            module = frame.f_globals.get("__name__", "?")
+            name = frame.f_code.co_name
+        key = f"{prefix};{module}:{name}"
+        self._folded[key] = self._folded.get(key, 0) + 1
+
+    # -- periodic out-of-band sampling ---------------------------------- #
+
+    def _sample_remote(self, target_ident: int) -> None:
+        """One sample taken from the sampler thread, not the profiled one.
+
+        Reads the open phase stack and the profiled thread's current
+        python frame; every operation here runs on the daemon thread, so
+        the profiled thread's only cost is its ordinary span bookkeeping.
+        The reads race benignly with span push/pop under the GIL — a
+        sample landing exactly on a boundary may be attributed to the
+        neighbouring phase, which is noise a sampling profiler has anyway.
+        """
+        frames = self._frames
+        try:
+            top: Optional[_Frame] = frames[-1]
+        except IndexError:
+            top = None
+        if top is not None:
+            top.samples += 1
+            prefix = top.path
+        else:
+            prefix = UNTRACED
+        frame = sys._current_frames().get(target_ident)
+        if frame is None:
+            key = prefix
+        else:
+            module = frame.f_globals.get("__name__", "?")
+            key = f"{prefix};{module}:{frame.f_code.co_name}"
+        self._folded[key] = self._folded.get(key, 0) + 1
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def install(self) -> None:
+        """Start collecting: memory tracing and (optionally) call sampling."""
+        if self._installed:
+            raise RuntimeError("profiler is already installed")
+        self._installed = True
+        if self._track_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+            tracemalloc.reset_peak()
+        if self._interval:
+            self._countdown = self._interval
+            self._previous_hook = sys.getprofile()
+            sys.setprofile(self._hook)
+        if self._hz:
+            self._sampler = _PeriodicSampler(self, self._hz, threading.get_ident())
+            self._sampler.start()
+
+    def uninstall(self) -> None:
+        """Stop collecting and restore whatever hooks were there before."""
+        if not self._installed:
+            return
+        self._installed = False
+        if self._interval:
+            sys.setprofile(self._previous_hook)
+            self._previous_hook = None
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+
+class _PeriodicSampler(threading.Thread):
+    """Daemon thread driving :meth:`PhaseProfiler._sample_remote`."""
+
+    def __init__(self, profiler: PhaseProfiler, hz: float, target_ident: int):
+        super().__init__(name="repro-obs-sampler", daemon=True)
+        self._profiler = profiler
+        self._period = 1.0 / hz
+        self._target = target_ident
+        self._halt = threading.Event()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._period):
+            self._profiler._sample_remote(self._target)
+
+
+@contextlib.contextmanager
+def profile_session(
+    *,
+    sample_interval: int = 0,
+    sample_hz: float = 0.0,
+    track_memory: bool = False,
+) -> Iterator[PhaseProfiler]:
+    """Profile a block: obs collection on, profiler riding every span.
+
+    Reuses the ambient obs session when one is active (so the caller's
+    tracer still sees the spans), otherwise activates a fresh scoped
+    session exactly like the experiment runners do.  The profiler is
+    uninstalled and the previous runtime state restored on exit, even on
+    error.
+    """
+    profiler = PhaseProfiler(
+        sample_interval=sample_interval,
+        sample_hz=sample_hz,
+        track_memory=track_memory,
+    )
+    if _runtime.is_enabled():
+        scope = contextlib.nullcontext()
+    else:
+        scope = _runtime.activate()
+    with scope:
+        previous = _runtime.profiler
+        profiler.install()
+        _runtime.profiler = profiler
+        try:
+            yield profiler
+        finally:
+            _runtime.profiler = previous
+            profiler.uninstall()
+
+
+# ---------------------------------------------------------------------- #
+# exports
+
+
+def render_folded(profile: PhaseProfiler, *, source: str = "wall") -> str:
+    """Flamegraph-compatible folded stacks, one ``path count`` per line.
+
+    ``source="wall"`` emits one line per phase weighted by *self* time in
+    microseconds (the span tree as a flamegraph); ``source="samples"``
+    emits the sampled call stacks (phase path + called function) weighted
+    by hit count — empty unless the profiler ran with a sample interval.
+    """
+    if source == "wall":
+        lines = [
+            f"{stat.path} {max(int(round(stat.self_s * 1e6)), 0)}"
+            for stat in sorted(profile.phases(), key=lambda s: s.path)
+        ]
+    elif source == "samples":
+        folded = profile.folded_samples
+        lines = [f"{path} {folded[path]}" for path in sorted(folded)]
+    else:
+        raise ValueError(f"source must be 'wall' or 'samples', got {source!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profile_payload(
+    name: str,
+    profile: PhaseProfiler,
+    *,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble (and validate) a ``PROFILE_*.json`` artifact payload."""
+    payload: Dict[str, object] = {
+        "profile": name,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "meta": dict(meta or {}),
+        "sample_interval": profile.sample_interval,
+        "sample_hz": profile.sample_hz,
+        "track_memory": profile.track_memory,
+        "phases": [stat.as_dict() for stat in profile.phases()],
+        "folded_samples": profile.folded_samples,
+    }
+    validate_profile_payload(payload)
+    return payload
+
+
+def validate_profile_payload(payload: object) -> None:
+    """Raise ``ValueError`` unless ``payload`` is a valid profile artifact."""
+    if not isinstance(payload, dict):
+        raise ValueError("profile payload must be a JSON object")
+    for key in ("profile", "schema_version", "meta", "phases", "folded_samples"):
+        if key not in payload:
+            raise ValueError(f"profile payload missing key {key!r}")
+    if not isinstance(payload["profile"], str) or not payload["profile"]:
+        raise ValueError("'profile' must be a non-empty string")
+    if payload["schema_version"] != PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {payload['schema_version']!r}; "
+            f"expected {PROFILE_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload["meta"], dict):
+        raise ValueError("'meta' must be an object")
+    phases = payload["phases"]
+    if not isinstance(phases, list):
+        raise ValueError("'phases' must be a list")
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            raise ValueError(f"phases[{i}] must be an object")
+        if not isinstance(phase.get("path"), str) or not phase["path"]:
+            raise ValueError(f"phases[{i}].path must be a non-empty string")
+        for stat in ("calls", "wall_s", "self_s", "mem_peak_bytes", "samples"):
+            value = phase.get(stat)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(
+                    f"phases[{i}].{stat} must be a number, got {value!r}"
+                )
+    folded = payload["folded_samples"]
+    if not isinstance(folded, dict):
+        raise ValueError("'folded_samples' must be an object")
+
+
+def write_profile_json(
+    path: PathLike,
+    name: str,
+    profile: PhaseProfiler,
+    *,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Validate and write a ``PROFILE_<name>.json``; returns the payload."""
+    payload = profile_payload(name, profile, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=repr)
+        handle.write("\n")
+    return payload
+
+
+def read_profile_json(path: PathLike) -> Dict[str, object]:
+    """Load and validate a profile artifact."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    validate_profile_payload(payload)
+    return payload
+
+
+def folded_path_for(profile_path: PathLike) -> Path:
+    """The sibling ``.folded`` path of a ``PROFILE_*.json`` artifact."""
+    return Path(profile_path).with_suffix(".folded")
+
+
+def write_folded(
+    path: PathLike, profile: PhaseProfiler, *, source: str = "wall"
+) -> None:
+    """Write :func:`render_folded` output (default: phase self-times)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_folded(profile, source=source))

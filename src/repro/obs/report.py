@@ -14,8 +14,9 @@ from typing import Dict, List, Union
 from .audit import render_audit_summary, summarize_records, validate_audit_record
 from .bench import read_bench_json
 from .events import read_events
+from .profile import validate_profile_payload
 
-__all__ = ["render_bench", "render_event_log", "render_artifact"]
+__all__ = ["render_bench", "render_event_log", "render_profile", "render_artifact"]
 
 PathLike = Union[str, Path]
 
@@ -117,21 +118,81 @@ def render_event_log(events: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
-def render_artifact(path: PathLike) -> str:
-    """Render a bench JSON or JSONL event log, inferring which it is.
+def render_profile(payload: Dict[str, object]) -> str:
+    """A validated ``PROFILE_*.json`` payload as an aligned text table.
 
-    A directory is scanned for ``BENCH_*.json`` and ``*.jsonl`` /
-    ``*.ndjson`` artifacts; pointing at a directory holding none is a
-    clear error rather than a traceback.
+    Phases are listed by cumulative wall time (the artifact's order);
+    the ``self`` column is where optimization effort should go, and the
+    sampled folded stacks — when the profiler ran with sampling — are
+    summarized by their hottest leaves.
+    """
+    validate_profile_payload(payload)
+    phases: List[Dict[str, object]] = payload["phases"]  # type: ignore[assignment]
+    lines = [
+        f"profile: {payload['profile']}  (schema v{payload['schema_version']}, "
+        f"sample_interval={payload.get('sample_interval', 0)}, "
+        f"sample_hz={payload.get('sample_hz', 0)}, "
+        f"track_memory={payload.get('track_memory', False)})"
+    ]
+    meta = payload.get("meta") or {}
+    if meta:
+        rendered = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        lines.append(f"meta: {rendered}")
+    if not phases:
+        lines.append("(no phases recorded)")
+        return "\n".join(lines)
+    header = ["phase", "calls", "wall_s", "self_s", "mem_peak", "samples"]
+    table = [header]
+    for phase in phases:
+        depth = str(phase["path"]).count(";")
+        leaf = str(phase["path"]).rsplit(";", 1)[-1]
+        mem = float(phase["mem_peak_bytes"])
+        table.append(
+            [
+                "  " * depth + leaf,
+                f"{int(phase['calls'])}",
+                f"{float(phase['wall_s']):.6g}",
+                f"{float(phase['self_s']):.6g}",
+                f"{mem / 1024:.1f} KiB" if mem else "-",
+                f"{int(phase['samples'])}",
+            ]
+        )
+    widths = [max(len(line[i]) for line in table) for i in range(len(header))]
+    for j, line in enumerate(table):
+        cells = [
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(line)
+        ]
+        lines.append("  ".join(cells).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    folded: Dict[str, object] = payload.get("folded_samples") or {}  # type: ignore[assignment]
+    if folded:
+        top = sorted(folded.items(), key=lambda kv: (-int(kv[1]), kv[0]))[:10]
+        lines.append("hottest sampled stacks:")
+        for stack, count in top:
+            lines.append(f"  {count:>6} {stack}")
+    return "\n".join(lines)
+
+
+def render_artifact(path: PathLike) -> str:
+    """Render a bench/profile JSON or JSONL event log, inferring which.
+
+    A directory is scanned for ``BENCH_*.json``, ``PROFILE_*.json`` and
+    ``*.jsonl`` / ``*.ndjson`` artifacts; pointing at a directory
+    holding none is a clear error rather than a traceback.
     """
     path = Path(path)
     if path.is_dir():
-        artifacts = sorted(path.glob("BENCH_*.json")) + sorted(
-            p for ext in ("*.jsonl", "*.ndjson") for p in path.glob(ext)
+        artifacts = (
+            sorted(path.glob("BENCH_*.json"))
+            + sorted(path.glob("PROFILE_*.json"))
+            + sorted(p for ext in ("*.jsonl", "*.ndjson") for p in path.glob(ext))
         )
         if not artifacts:
             raise ValueError(
-                f"no observability artifacts (BENCH_*.json or *.jsonl) in {path}"
+                "no observability artifacts (BENCH_*.json, PROFILE_*.json "
+                f"or *.jsonl) in {path}"
             )
         return "\n\n".join(render_artifact(p) for p in artifacts)
     if path.suffix.lower() in (".jsonl", ".ndjson"):
@@ -139,5 +200,12 @@ def render_artifact(path: PathLike) -> str:
     try:
         return render_bench(read_bench_json(path))
     except (ValueError, json.JSONDecodeError):
-        # not a bench artifact; fall back to the event-log reader
+        pass
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        validate_profile_payload(payload)
+    except (ValueError, json.JSONDecodeError):
+        # neither bench nor profile; fall back to the event-log reader
         return render_event_log(read_events(path))
+    return render_profile(payload)

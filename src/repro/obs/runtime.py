@@ -55,6 +55,11 @@ registry: MetricsRegistry = MetricsRegistry()
 #: The active tracer every finished span lands in.
 tracer: Tracer = Tracer()
 
+#: The active phase profiler, installed by ``obs.profile_session`` —
+#: ``None`` (one ``is None`` check on the live-span path) otherwise.
+#: Deliberately untyped to avoid importing profile machinery here.
+profiler = None
+
 
 class ObsSession(NamedTuple):
     """The registry/tracer pair an :func:`activate` block writes into."""
@@ -146,11 +151,17 @@ class _LiveSpan:
         self._observe = observe
 
     def __enter__(self) -> "_LiveSpan":
-        tracer.begin(self._name, self._labels, time.perf_counter())
+        now = time.perf_counter()
+        tracer.begin(self._name, self._labels, now)
+        if profiler is not None:
+            profiler.on_span_begin(self._name, now)
         return self
 
     def __exit__(self, *exc_info) -> bool:
-        record = tracer.finish(time.perf_counter())
+        now = time.perf_counter()
+        record = tracer.finish(now)
+        if profiler is not None:
+            profiler.on_span_end(now)
         if self._observe:
             registry.histogram(self._name, **self._labels).observe(record.duration)
         return False

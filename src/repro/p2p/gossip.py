@@ -78,7 +78,8 @@ class GossipAggregator:
 
     def run_round(self) -> None:
         """One synchronous push-pull averaging round."""
-        self._values = push_pull_round(self._values, self._rng)
+        with _obs.timer("p2p.gossip.round_seconds", peers=self._values.size):
+            self._values = push_pull_round(self._values, self._rng)
         self._rounds += 1
 
     def run_until(self, tolerance: float, max_rounds: int = 1000) -> int:
@@ -152,15 +153,18 @@ class ReputationGossip:
         if rounds < 0:
             raise ValueError(f"rounds must be non-negative, got {rounds}")
         for _ in range(rounds):
-            for server in self._positives:
-                # one shared pairing per round keeps components consistent
-                order = self._rng.permutation(self._n)
-                self._positives[server] = _paired_average(
-                    self._positives[server], order
-                )
-                self._totals[server] = _paired_average(self._totals[server], order)
-                if _obs.enabled:
-                    _obs.registry.inc("p2p.gossip.messages", 2 * (self._n // 2))
+            with _obs.timer("p2p.gossip.round_seconds", peers=self._n):
+                for server in self._positives:
+                    # one shared pairing per round keeps components consistent
+                    order = self._rng.permutation(self._n)
+                    self._positives[server] = _paired_average(
+                        self._positives[server], order
+                    )
+                    self._totals[server] = _paired_average(
+                        self._totals[server], order
+                    )
+                    if _obs.enabled:
+                        _obs.registry.inc("p2p.gossip.messages", 2 * (self._n // 2))
             self._rounds += 1
             if _obs.enabled:
                 _obs.registry.inc("p2p.gossip.rounds")

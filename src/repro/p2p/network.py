@@ -85,12 +85,16 @@ class SimulatedNetwork:
         if node_id in self._handlers:
             raise ValueError(f"node {node_id!r} already registered")
         self._handlers[node_id] = handler
+        if _obs.enabled:
+            _obs.registry.set("p2p.network.nodes", len(self._handlers))
 
     def unregister(self, node_id: str) -> None:
         """Detach a node (crash/leave); later sends raise NodeUnreachable."""
         if node_id not in self._handlers:
             raise KeyError(f"node {node_id!r} not registered")
         del self._handlers[node_id]
+        if _obs.enabled:
+            _obs.registry.set("p2p.network.nodes", len(self._handlers))
 
     def send(
         self, dst: str, message_type: str, payload: Optional[Dict[str, Any]] = None

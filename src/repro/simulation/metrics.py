@@ -16,6 +16,7 @@ class ServerMetrics:
     transactions: int = 0
     good_transactions: int = 0
     requests: int = 0
+    assessments: int = 0  # two-phase assessments run against this server
     refusals_trust: int = 0  # client refused: trust below threshold
     refusals_suspicious: int = 0  # client refused: behavior test failed
 
@@ -59,6 +60,14 @@ class SimulationMetrics:
         return sum(m.good_transactions for m in self.per_server.values())
 
     @property
+    def total_requests(self) -> int:
+        return sum(m.requests for m in self.per_server.values())
+
+    @property
+    def total_assessments(self) -> int:
+        return sum(m.assessments for m in self.per_server.values())
+
+    @property
     def overall_satisfaction(self) -> float:
         total = self.total_transactions
         if total == 0:
@@ -70,6 +79,8 @@ class SimulationMetrics:
         return {
             "steps": float(self.steps),
             "transactions": float(self.total_transactions),
+            "requests": float(self.total_requests),
+            "assessments": float(self.total_assessments),
             "satisfaction": self.overall_satisfaction,
             "refusals_suspicious": float(
                 sum(m.refusals_suspicious for m in self.per_server.values())

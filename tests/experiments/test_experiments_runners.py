@@ -14,7 +14,7 @@ from repro.experiments import RUNNERS, run_fig3, run_fig4, run_fig7, run_fig8, r
 class TestRegistry:
     def test_all_figures_registered(self):
         figures = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
-        extensions = {"ext-roc", "ext-cheat-rate", "ext-sybil", "ext-matrix"}
+        extensions = {"ext-roc", "ext-cheat-rate", "ext-sybil", "ext-matrix", "p2p_scale"}
         assert set(RUNNERS) == figures | extensions
 
 
@@ -198,3 +198,163 @@ class TestAuditIntegration:
         schemes = {r["context"]["scheme"] for r in records}
         assert schemes <= {"scheme1", "scheme2"}
         assert "audit[" in result.notes
+
+
+class TestFig7Artifacts:
+    """``bench_path=``/``events_path=`` runs leave schema-valid artifacts."""
+
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        from repro import obs
+
+        tmp_path = tmp_path_factory.mktemp("fig7")
+        bench = tmp_path / "BENCH_fig7.json"
+        events = tmp_path / "EVENTS_fig7.jsonl"
+        result = run_fig7(
+            attack_windows=(10, 40),
+            trials=20,
+            base_seed=7,
+            bench_path=str(bench),
+            events_path=str(events),
+        )
+        return result, obs.read_bench_json(bench), obs.read_events(events)
+
+    def test_bench_is_schema_valid_with_timing_stats(self, artifacts):
+        _, payload, _ = artifacts
+        assert payload["bench"] == "fig7"
+        assert len(payload["results"]) == 4  # 2 windows x 2 tests
+        for row in payload["results"]:
+            assert row["name"] in ("single", "multi")
+            assert row["stats"]["repeats"] == 20
+            assert 0 < row["stats"]["min_s"] <= row["stats"]["p95_s"]
+
+    def test_bench_detection_rates_match_table(self, artifacts):
+        result, payload, _ = artifacts
+        table = {
+            (test, w): r
+            for w, r in zip(
+                result.column("attack_window"),
+                zip(
+                    result.column("single_detection_rate"),
+                    result.column("multi_detection_rate"),
+                ),
+            )
+            for test, r in zip(("single", "multi"), r)
+        }
+        for row in payload["results"]:
+            key = (row["name"], row["params"]["attack_window"])
+            assert row["stats"]["detection_rate"] == table[key]
+
+    def test_bench_meta_carries_provenance(self, artifacts):
+        _, payload, _ = artifacts
+        assert payload["meta"]["experiment"] == "fig7"
+        assert payload["meta"]["seed"] == 7
+
+    def test_events_stream_progress(self, artifacts):
+        _, _, events = artifacts
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "progress_start" in kinds and "progress_end" in kinds
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert beats, "no heartbeats emitted"
+        assert beats[-1]["done"] == 2 * 20
+        assert beats[-1]["pct"] == 100.0
+        assert beats[-1]["counts"]["tests"] == 2 * 2 * 20
+
+    def test_events_include_metrics_snapshot(self, artifacts):
+        _, _, events = artifacts
+        (metrics,) = [e for e in events if e["event"] == "metrics"]
+        assert "experiments.fig7.test_seconds" in metrics["metrics"]
+
+
+class TestP2pScale:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        from repro import obs
+        from repro.experiments import run_p2p_scale
+
+        tmp_path = tmp_path_factory.mktemp("p2p_scale")
+        bench = tmp_path / "BENCH_p2p_scale.json"
+        events = tmp_path / "EVENTS_p2p_scale.jsonl"
+        result = run_p2p_scale(
+            quick=True,
+            base_seed=7,
+            bench_path=str(bench),
+            events_path=str(events),
+        )
+        return result, obs.read_bench_json(bench), obs.read_events(events)
+
+    def test_columns_and_rows(self, artifacts):
+        result, _, _ = artifacts
+        assert result.columns == [
+            "n_nodes",
+            "chord_mean_hops",
+            "chord_lookup_s",
+            "gossip_rounds",
+            "gossip_round_s",
+        ]
+        assert result.column("n_nodes") == [8, 16]
+
+    def test_lookup_hops_logarithmic(self, artifacts):
+        result, _, _ = artifacts
+        for n, hops in zip(result.column("n_nodes"), result.column("chord_mean_hops")):
+            assert 0 <= hops <= 2 * np.log2(n) + 1
+
+    def test_gossip_converges(self, artifacts):
+        result, _, _ = artifacts
+        assert all(0 < r < 200 for r in result.column("gossip_rounds"))
+
+    def test_bench_is_schema_valid(self, artifacts):
+        _, payload, _ = artifacts
+        assert payload["bench"] == "p2p_scale"
+        names = {(r["name"], r["params"]["n_nodes"]) for r in payload["results"]}
+        assert names == {
+            ("chord_lookup", 8),
+            ("chord_lookup", 16),
+            ("gossip_round", 8),
+            ("gossip_round", 16),
+        }
+        for row in payload["results"]:
+            assert row["stats"]["min_s"] > 0
+            if row["name"] == "chord_lookup":
+                assert row["stats"]["mean_hops"] >= 0
+            else:
+                assert row["stats"]["rounds"] > 0
+
+    def test_events_stream_progress(self, artifacts):
+        _, _, events = artifacts
+        kinds = [e["event"] for e in events]
+        assert "progress_start" in kinds and "progress_end" in kinds
+        beats = [e for e in events if e["event"] == "heartbeat"]
+        assert beats[-1]["counts"]["gossip_rounds"] > 0
+
+    def test_registered_runner_accepts_quick(self):
+        from repro.experiments import RUNNERS
+
+        assert RUNNERS["p2p_scale"].__name__ == "run_p2p_scale"
+
+
+class TestFig9Profile:
+    def test_profile_artifact_and_folded_sibling(self, tmp_path):
+        from repro import obs
+
+        profile_path = tmp_path / "PROFILE_fig9.json"
+        run_fig9(
+            history_sizes=(5_000,),
+            naive_sizes=(),
+            repeats=1,
+            base_seed=7,
+            profile_path=str(profile_path),
+            profile_sample_interval=101,
+        )
+        payload = obs.read_profile_json(profile_path)
+        assert payload["profile"] == "fig9"
+        assert payload["meta"]["experiment"] == "fig9"
+        paths = [p["path"] for p in payload["phases"]]
+        assert "experiments.fig9.run" in paths
+        assert any(p.endswith("experiments.fig9.measure") for p in paths)
+        assert payload["folded_samples"], "sampling captured no stacks"
+        folded = obs.folded_path_for(profile_path)
+        assert folded.exists()
+        assert "experiments.fig9.run" in folded.read_text()

@@ -10,8 +10,8 @@ from repro.obs import audit, runtime
 @pytest.fixture(autouse=True)
 def _obs_disabled_after():
     """Guarantee test isolation: obs globals restored after every test."""
-    saved = (runtime.enabled, runtime.registry, runtime.tracer)
+    saved = (runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler)
     saved_audit = (audit.enabled, audit.trail)
     yield
-    runtime.enabled, runtime.registry, runtime.tracer = saved
+    runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler = saved
     audit.enabled, audit.trail = saved_audit

@@ -187,6 +187,124 @@ class TestObsDiff:
         assert "error:" in capsys.readouterr().err
 
 
+class TestObsDiffDefaultBaseline:
+    def _bench(self, path, factor=1.0):
+        row = {
+            "name": "single",
+            "params": {"history_size": 1000},
+            "stats": {"mean_s": 0.25 * factor, "min_s": 0.2, "p95_s": 0.3 * factor, "repeats": 3},
+        }
+        obs.write_bench_json(path, "fig9", [row], meta={})
+        return path
+
+    def test_single_path_diffs_against_committed_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        self._bench(tmp_path / "BENCH_fig9.json")  # the committed baseline
+        cand = self._bench(tmp_path / "candidate.json", factor=1.5)
+        monkeypatch.chdir(tmp_path)
+        assert main(["obs", "diff", str(cand)]) == 2
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_single_path_ok_when_within_gate(self, tmp_path, monkeypatch, capsys):
+        self._bench(tmp_path / "BENCH_fig9.json")
+        cand = self._bench(tmp_path / "candidate.json", factor=1.05)
+        monkeypatch.chdir(tmp_path)
+        assert main(["obs", "diff", str(cand)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_missing_committed_baseline_is_clear_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        cand = self._bench(tmp_path / "candidate.json")
+        monkeypatch.chdir(tmp_path)
+        assert main(["obs", "diff", str(cand)]) == 1
+        err = capsys.readouterr().err
+        assert "no committed baseline" in err
+        assert "BENCH_fig9.json" in err
+
+
+class TestObsTop:
+    def _progressing_log(self, path, *, finish):
+        from repro.obs.monitor import ProgressMonitor
+
+        with obs.EventLog(path, run_meta=obs.run_metadata(seed=1, experiment="fig7")) as log:
+            monitor = ProgressMonitor(
+                log, total=40, label="trials", interval_seconds=None, interval_ticks=10
+            )
+            monitor.start(experiment="fig7")
+            monitor.tick(10, tests=20)
+            if finish:
+                monitor.tick(30, tests=60)
+                monitor.finish()
+        return path
+
+    def test_once_renders_live_run_snapshot(self, tmp_path, capsys):
+        path = self._progressing_log(tmp_path / "run.jsonl", finish=False)
+        assert main(["obs", "top", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment=fig7" in out
+        assert "10/40 trials" in out
+        assert "status: running" in out
+
+    def test_partially_written_tail_line_is_tolerated(self, tmp_path, capsys):
+        path = self._progressing_log(tmp_path / "run.jsonl", finish=False)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "heartbe')  # producer mid-write
+        assert main(["obs", "top", str(path), "--once"]) == 0
+        assert "10/40 trials" in capsys.readouterr().out
+
+    def test_finished_run_exits_without_once(self, tmp_path, capsys):
+        path = self._progressing_log(tmp_path / "run.jsonl", finish=True)
+        assert main(["obs", "top", str(path), "--interval", "0.01"]) == 0
+        assert "status: finished" in capsys.readouterr().out
+
+    def test_missing_file_renders_empty_dashboard(self, tmp_path, capsys):
+        assert main(["obs", "top", str(tmp_path / "absent.jsonl"), "--once"]) == 0
+        assert "(no progress events yet" in capsys.readouterr().out
+
+
+class TestObsTrend:
+    def _history(self, tmp_path, p95s):
+        for i, p95 in enumerate(p95s):
+            row = {
+                "name": "single",
+                "params": {"history_size": 1000},
+                "stats": {"mean_s": p95 * 0.9, "min_s": 0.2, "p95_s": p95, "repeats": 3},
+            }
+            obs.write_bench_json(
+                tmp_path / f"BENCH_fig9_{i:03d}.json",
+                "fig9",
+                [row],
+                meta={"timestamp": 1000.0 + i},
+            )
+        return tmp_path
+
+    def test_stable_history_exits_zero(self, tmp_path, capsys):
+        directory = self._history(tmp_path, [0.30, 0.31, 0.30])
+        assert main(["obs", "trend", str(directory)]) == 0
+        assert "OK: no series regressed" in capsys.readouterr().out
+
+    def test_regression_exits_two(self, tmp_path, capsys):
+        directory = self._history(tmp_path, [0.30, 0.31, 0.30, 0.60])
+        assert main(["obs", "trend", str(directory)]) == 2
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "FAIL" in out
+
+    def test_max_regression_flag(self, tmp_path):
+        directory = self._history(tmp_path, [0.30, 0.31, 0.30, 0.60])
+        assert main(["obs", "trend", str(directory), "--max-regression", "1.5"]) == 0
+
+    def test_bench_filter_flag(self, tmp_path, capsys):
+        directory = self._history(tmp_path, [0.30, 0.60])
+        assert main(["obs", "trend", str(directory), "--bench", "other"]) == 0
+        assert "(no series found)" in capsys.readouterr().out
+
+    def test_missing_directory_is_error(self, tmp_path, capsys):
+        assert main(["obs", "trend", str(tmp_path / "absent")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestObsValidate:
     def test_valid_audit_log_passes(self, audit_file, capsys):
         assert main(["obs", "validate", str(audit_file)]) == 0
@@ -204,6 +322,81 @@ class TestObsValidate:
         )
         assert main(["obs", "validate", str(path)]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_bench_json_validates(self, bench_file, capsys):
+        assert main(["obs", "validate", str(bench_file)]) == 0
+        assert "valid bench artifact" in capsys.readouterr().out
+
+    def test_profile_json_validates(self, tmp_path, capsys):
+        from repro.obs.profile import PhaseProfiler
+
+        prof = PhaseProfiler()
+        prof.on_span_begin("phase", 0.0)
+        prof.on_span_end(1.0)
+        path = tmp_path / "PROFILE_x.json"
+        obs.write_profile_json(path, "x", prof)
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "valid profile artifact" in capsys.readouterr().out
+
+    def test_json_matching_neither_schema_is_error(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"bench": "x"}), encoding="utf-8")
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "neither a valid bench nor profile" in capsys.readouterr().err
+
+    def test_unparsable_json_is_error(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{broken", encoding="utf-8")
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestObsReportProfile:
+    def test_reports_profile_artifact(self, tmp_path, capsys):
+        from repro.obs.profile import PhaseProfiler
+
+        prof = PhaseProfiler()
+        prof.on_span_begin("calibrate", 0.0)
+        prof.on_span_end(2.0)
+        path = tmp_path / "PROFILE_fig9.json"
+        obs.write_profile_json(path, "fig9", prof, meta={"seed": 2008})
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "profile: fig9" in out
+        assert "calibrate" in out
+        assert "seed=2008" in out
+
+
+class TestReproLogLevelEnv:
+    def test_env_var_configures_logging(self, bench_file, monkeypatch):
+        logger = logging.getLogger("repro")
+        prior_level = logger.level
+        prior_handlers = list(logger.handlers)
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        try:
+            assert main(["obs", "report", str(bench_file)]) == 0
+            assert logger.level == logging.DEBUG
+        finally:
+            logger.setLevel(prior_level)
+            for handler in logger.handlers[:]:
+                if handler not in prior_handlers:
+                    logger.removeHandler(handler)
+
+    def test_flag_beats_env_var(self, bench_file, monkeypatch):
+        logger = logging.getLogger("repro")
+        prior_level = logger.level
+        prior_handlers = list(logger.handlers)
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        try:
+            assert (
+                main(["--log-level", "WARNING", "obs", "report", str(bench_file)]) == 0
+            )
+            assert logger.level == logging.WARNING
+        finally:
+            logger.setLevel(prior_level)
+            for handler in logger.handlers[:]:
+                if handler not in prior_handlers:
+                    logger.removeHandler(handler)
 
 
 class TestExplainCli:

@@ -173,6 +173,43 @@ class TestSimulationBridge:
         hist = reg.histogram("simulation.step_seconds")
         assert hist.count == summary["steps"]
 
+    def test_assessments_counter_mirrors_metrics(self):
+        with obs.activate() as session:
+            sim = self._run_simulation(steps=6)
+        assert sim.metrics.total_assessments > 0
+        assert (
+            session.registry.value("simulation.assessments")
+            == sim.metrics.total_assessments
+        )
+
+    def test_run_with_monitor_streams_heartbeats(self):
+        log = obs.EventLog()
+        monitor = obs.ProgressMonitor(
+            log, total=6, label="steps", interval_seconds=None, interval_ticks=2
+        )
+        assessor = TwoPhaseAssessor(None, AverageTrust(), trust_threshold=0.5)
+        sim = ReputationSimulation(
+            servers={"srv-a": HonestBehavior(0.95)},
+            clients=[f"c{i}" for i in range(6)],
+            assessor=assessor,
+            bootstrap_transactions=3,
+            seed=42,
+        )
+        sim.run(6, monitor=monitor)
+        monitor.finish()
+        assert monitor.done == 6
+        (end,) = [e for e in log.events if e["event"] == "progress_end"]
+        summary = sim.metrics.summary()
+        assert end["counts"]["transactions"] == summary["transactions"]
+        assert end["counts"]["assessments"] == summary["assessments"]
+        assert end["counts"]["requests"] == summary["requests"]
+        beats = [e for e in log.events if e["event"] == "heartbeat"]
+        assert len(beats) >= 3  # every 2 of 6 ticks, plus finish()
+
+    def test_run_without_monitor_unchanged(self):
+        sim = self._run_simulation(steps=3)
+        assert sim.metrics.steps == 3
+
     def test_publish_bridges_totals_as_gauges(self):
         sim = self._run_simulation(steps=4)  # obs disabled during the run
         reg = obs.MetricsRegistry()

@@ -1,0 +1,349 @@
+"""Phase-attributed profiler: attribution, sampling, exports, zero-cost path."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import runtime
+from repro.obs.profile import (
+    UNTRACED,
+    PhaseProfiler,
+    profile_payload,
+    validate_profile_payload,
+)
+
+
+def _visit(profiler, name, start, end, inner=None):
+    """Drive the span hooks directly with a synthetic clock."""
+    profiler.on_span_begin(name, start)
+    if inner is not None:
+        inner()
+    profiler.on_span_end(end)
+
+
+class TestPhaseAttribution:
+    def test_nested_spans_build_semicolon_paths(self):
+        prof = PhaseProfiler()
+        prof.on_span_begin("outer", 0.0)
+        prof.on_span_begin("inner", 1.0)
+        prof.on_span_end(3.0)
+        prof.on_span_end(10.0)
+        assert {s.path for s in prof.phases()} == {"outer", "outer;inner"}
+
+    def test_self_time_excludes_children(self):
+        prof = PhaseProfiler()
+        prof.on_span_begin("outer", 0.0)
+        prof.on_span_begin("inner", 1.0)
+        prof.on_span_end(3.0)
+        prof.on_span_end(10.0)
+        outer = prof.phase("outer")
+        inner = prof.phase("outer;inner")
+        assert outer.wall_s == pytest.approx(10.0)
+        assert outer.self_s == pytest.approx(8.0)  # 10 - 2s child
+        assert inner.wall_s == pytest.approx(2.0)
+        assert inner.self_s == pytest.approx(2.0)
+
+    def test_repeat_visits_accumulate_calls(self):
+        prof = PhaseProfiler()
+        for i in range(3):
+            _visit(prof, "phase", float(i), float(i) + 0.5)
+        stat = prof.phase("phase")
+        assert stat.calls == 3
+        assert stat.wall_s == pytest.approx(1.5)
+
+    def test_phases_sorted_by_cumulative_wall_time(self):
+        prof = PhaseProfiler()
+        _visit(prof, "cheap", 0.0, 1.0)
+        _visit(prof, "expensive", 1.0, 9.0)
+        assert [s.path for s in prof.phases()] == ["expensive", "cheap"]
+
+    def test_span_closed_before_install_is_ignored(self):
+        # on_span_end with no open frame: the span predates the profiler
+        prof = PhaseProfiler()
+        prof.on_span_end(1.0)  # must not raise
+        assert prof.phases() == []
+
+    def test_negative_sample_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(sample_interval=-1)
+
+
+class TestMemoryAttribution:
+    def test_child_peak_not_billed_to_parent_self_window(self):
+        prof = PhaseProfiler(track_memory=True)
+        prof.install()
+        try:
+            with runtime.activate():
+                runtime.profiler = prof
+                try:
+                    with runtime.span("outer"):
+                        with runtime.span("inner"):
+                            blob = bytearray(512 * 1024)
+                        del blob
+                finally:
+                    runtime.profiler = None
+        finally:
+            prof.uninstall()
+        inner = prof.phase("outer;inner")
+        outer = prof.phase("outer")
+        assert inner.mem_peak_bytes >= 512 * 1024
+        # child peaks propagate upward: the parent's high-water is >= child's
+        assert outer.mem_peak_bytes >= inner.mem_peak_bytes
+
+    def test_install_starts_and_uninstall_stops_tracemalloc(self):
+        if tracemalloc.is_tracing():  # pragma: no cover - env dependent
+            pytest.skip("tracemalloc already active in this interpreter")
+        prof = PhaseProfiler(track_memory=True)
+        prof.install()
+        assert tracemalloc.is_tracing()
+        prof.uninstall()
+        assert not tracemalloc.is_tracing()
+
+
+class TestSampling:
+    def _run_workload(self):
+        import gc
+
+        def leaf():
+            return sum(range(5))
+
+        # a GC pass mid-workload would fire finalizer/weakref callbacks,
+        # injecting call events that shift the deterministic countdown —
+        # collect up front and keep the collector off while sampling
+        gc.collect()
+        gc.disable()
+        try:
+            with obs.profile_session(sample_interval=7) as prof:
+                with runtime.span("work"):
+                    for _ in range(200):
+                        leaf()
+        finally:
+            gc.enable()
+        return prof
+
+    def test_samples_attributed_to_open_phase(self):
+        prof = self._run_workload()
+        folded = prof.folded_samples
+        assert folded, "sampling produced no stacks"
+        assert any(key.startswith("work;") for key in folded)
+        assert prof.phase("work").samples > 0
+
+    def test_sampling_is_deterministic(self):
+        first = self._run_workload().folded_samples
+        second = self._run_workload().folded_samples
+        in_phase = lambda d: {k: v for k, v in d.items() if k.startswith("work;")}
+        assert in_phase(first) == in_phase(second)
+
+    def test_samples_outside_spans_fall_into_untraced(self):
+        prof = PhaseProfiler(sample_interval=1)
+        prof.install()
+        try:
+            sum(range(10))
+        finally:
+            prof.uninstall()
+        assert any(key.startswith(UNTRACED) for key in prof.folded_samples)
+
+    def test_previous_profile_hook_restored(self):
+        import sys
+
+        sentinel = lambda frame, event, arg: None
+        sys.setprofile(sentinel)
+        try:
+            prof = PhaseProfiler(sample_interval=5)
+            prof.install()
+            prof.uninstall()
+            assert sys.getprofile() is sentinel
+        finally:
+            sys.setprofile(None)
+
+
+class TestPeriodicSampling:
+    """The out-of-band ``sample_hz`` mode (the fig9 runner default)."""
+
+    def test_negative_hz_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(sample_hz=-1.0)
+
+    def test_periodic_samples_land_in_open_phase(self):
+        import time
+
+        with obs.profile_session(sample_hz=500.0) as prof:
+            with runtime.span("work"):
+                deadline = time.perf_counter() + 0.08
+                while time.perf_counter() < deadline:
+                    sum(range(50))
+        folded = prof.folded_samples
+        assert folded, "periodic sampler captured no stacks"
+        assert any(key.startswith("work") for key in folded)
+        assert prof.phase("work").samples > 0
+
+    def test_sampler_thread_stopped_after_session(self):
+        import threading
+
+        with obs.profile_session(sample_hz=500.0):
+            names = {t.name for t in threading.enumerate()}
+            assert "repro-obs-sampler" in names
+        names = {t.name for t in threading.enumerate()}
+        assert "repro-obs-sampler" not in names
+
+    def test_payload_records_sample_hz(self):
+        prof = PhaseProfiler(sample_hz=97.0)
+        prof.install()
+        prof.uninstall()
+        payload = profile_payload("p", prof)
+        assert payload["sample_hz"] == 97.0
+        validate_profile_payload(payload)
+
+    def test_both_modes_can_coexist(self):
+        # interval mode stays deterministic; hz mode just adds extra
+        # statistical stacks on top — install/uninstall must manage both
+        with obs.profile_session(sample_interval=7, sample_hz=500.0) as prof:
+            with runtime.span("work"):
+                for _ in range(200):
+                    sum(range(5))
+        assert any(key.startswith("work") for key in prof.folded_samples)
+
+
+class TestLifecycle:
+    def test_double_install_rejected(self):
+        prof = PhaseProfiler()
+        prof.install()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.install()
+        finally:
+            prof.uninstall()
+
+    def test_uninstall_without_install_is_noop(self):
+        PhaseProfiler().uninstall()
+
+    def test_profile_session_restores_runtime_profiler(self):
+        assert runtime.profiler is None
+        with obs.profile_session() as prof:
+            assert runtime.profiler is prof
+            assert runtime.is_enabled()
+        assert runtime.profiler is None
+
+    def test_profile_session_rides_ambient_session(self):
+        with runtime.activate() as ambient:
+            with obs.profile_session() as prof:
+                with runtime.span("phase"):
+                    pass
+            assert runtime.is_enabled()  # ambient session not torn down
+            assert ambient is not None
+        assert prof.phase("phase") is not None
+
+    def test_profile_session_restores_on_error(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.profile_session():
+                raise RuntimeError("boom")
+        assert runtime.profiler is None
+        assert not runtime.is_enabled()
+
+
+class TestDisabledPathCost:
+    def test_disabled_spans_allocate_nothing(self):
+        """With obs off the span fast path must not allocate (profiler or not)."""
+        assert not runtime.is_enabled()
+
+        def burst(n):
+            for _ in range(n):
+                with runtime.span("hot.loop"):
+                    pass
+
+        burst(100)  # warm up caches outside the measurement window
+        tracemalloc.start()
+        try:
+            burst(10_000)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert peak < 16 * 1024, f"disabled span path allocated {peak} bytes"
+
+    def test_enabled_span_without_profiler_skips_hooks(self):
+        with runtime.activate():
+            assert runtime.profiler is None
+            with runtime.span("plain"):
+                pass  # must not raise despite profiler=None
+
+
+class TestFoldedRendering:
+    def _profiled(self):
+        prof = PhaseProfiler()
+        prof.on_span_begin("a", 0.0)
+        prof.on_span_begin("b", 1.0)
+        prof.on_span_end(2.0)
+        prof.on_span_end(3.0)
+        return prof
+
+    def test_wall_folded_lines(self):
+        text = obs.render_folded(self._profiled())
+        lines = text.strip().splitlines()
+        assert lines == ["a 2000000", "a;b 1000000"]
+
+    def test_samples_folded_empty_without_sampling(self):
+        assert obs.render_folded(self._profiled(), source="samples") == ""
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ValueError):
+            obs.render_folded(self._profiled(), source="flame")
+
+
+class TestArtifacts:
+    def _profiled(self):
+        prof = PhaseProfiler()
+        _visit(prof, "phase", 0.0, 1.0)
+        return prof
+
+    def test_payload_round_trip(self, tmp_path):
+        path = tmp_path / "PROFILE_x.json"
+        written = obs.write_profile_json(
+            path, "x", self._profiled(), meta={"seed": 1}
+        )
+        loaded = obs.read_profile_json(path)
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["profile"] == "x"
+        assert loaded["schema_version"] == obs.PROFILE_SCHEMA_VERSION
+        assert loaded["meta"]["seed"] == 1
+        assert loaded["phases"][0]["path"] == "phase"
+
+    def test_folded_path_and_write_folded(self, tmp_path):
+        path = tmp_path / "PROFILE_x.json"
+        folded = obs.folded_path_for(path)
+        assert folded == tmp_path / "PROFILE_x.folded"
+        obs.write_folded(folded, self._profiled())
+        assert folded.read_text().startswith("phase ")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("profile"),
+            lambda p: p.update(profile=""),
+            lambda p: p.update(schema_version=99),
+            lambda p: p.update(meta=[]),
+            lambda p: p.update(phases={}),
+            lambda p: p["phases"].append({"path": "x"}),
+            lambda p: p["phases"].append(
+                {
+                    "path": "",
+                    "calls": 1,
+                    "wall_s": 0.0,
+                    "self_s": 0.0,
+                    "mem_peak_bytes": 0,
+                    "samples": 0,
+                }
+            ),
+            lambda p: p["phases"][0].update(calls=True),
+            lambda p: p.update(folded_samples=[]),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutate):
+        payload = obs.profile_payload("x", self._profiled())
+        mutate(payload)
+        with pytest.raises(ValueError):
+            obs.validate_profile_payload(payload)
+
+    def test_validate_accepts_good_payload(self):
+        obs.validate_profile_payload(obs.profile_payload("x", self._profiled()))

@@ -141,6 +141,37 @@ class TestStreamingHistogram:
             "count", "sum", "min", "mean", "max", "p50", "p95", "p99",
         }
 
+    def test_empty_histogram_percentiles_are_nan(self):
+        h = StreamingHistogram()
+        assert h.count == 0
+        for value in (h.min, h.max, h.mean, h.p50, h.p95, h.p99):
+            assert math.isnan(value)
+
+    def test_single_sample_every_percentile_is_that_sample(self):
+        h = StreamingHistogram()
+        h.observe(0.125)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.125, rel=0.1)
+        assert h.min == h.max == 0.125
+        assert h.mean == 0.125
+
+    def test_all_identical_samples_collapse(self):
+        h = StreamingHistogram()
+        for _ in range(1000):
+            h.observe(3.5)
+        assert h.min == h.max == 3.5
+        assert h.mean == pytest.approx(3.5)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(3.5, rel=0.1)
+
+    def test_percentiles_monotone_p50_p95_p99(self):
+        rng = __import__("random").Random(7)
+        h = StreamingHistogram()
+        for _ in range(5000):
+            h.observe(rng.expovariate(10.0))
+        assert h.p50 <= h.p95 <= h.p99
+        assert h.min <= h.p50 and h.p99 <= h.max * 1.1
+
 
 class TestRegistryCollection:
     def test_collect_sorted_and_typed(self):

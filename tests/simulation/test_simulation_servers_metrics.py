@@ -93,6 +93,8 @@ class TestMetrics:
         assert set(summary) == {
             "steps",
             "transactions",
+            "requests",
+            "assessments",
             "satisfaction",
             "refusals_suspicious",
             "refusals_trust",
