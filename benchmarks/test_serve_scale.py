@@ -1,0 +1,127 @@
+"""Serving-layer acceptance: batched incremental sweeps beat per-call 5x.
+
+The serving contract (docs/SERVING.md): on a p2p_scale-style population
+of 10k servers in steady state — every sweep re-asks about all servers
+after ~1% received new feedback — ``AssessmentService.assess_many`` must
+be at least 5x faster than a per-call ``TwoPhaseAssessor.assess`` sweep
+while returning *identical* assessments for every server.
+
+Timing assertions live here rather than in ``tests/`` (tier-1) because
+they are load-sensitive; both sides are min-of-repeats so scheduler
+noise cancels out of the comparison.  Set ``BENCH_DIR`` to also emit the
+machine-readable ``BENCH_serve.json`` artifact from a quick run.
+"""
+
+import os
+import time
+
+from repro.core.config import AssessorConfig, BehaviorTestConfig
+from repro.core.two_phase import Assessor
+from repro.experiments.common import make_shared_calibrator
+from repro.experiments.serve_scale import _build_population
+from repro.serve import AssessmentService
+from repro.stats.rng import make_rng
+
+N_SERVERS = 10_000
+TOUCH_FRACTION = 0.01
+REPEATS = 3
+SEED = 2008
+
+
+def _make_assessor():
+    config = BehaviorTestConfig()
+    return Assessor.from_config(
+        AssessorConfig(
+            trust_function="average", behavior_test="multi", test_config=config
+        ),
+        calibrator=make_shared_calibrator(config),
+    )
+
+
+def _min_of(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_assess_many_5x_faster_than_percall_at_10k_servers(benchmark):
+    """The ISSUE's acceptance bar: >=5x at 10k servers, identical verdicts."""
+    assessor = _make_assessor()
+    histories = _build_population(N_SERVERS, base_seed=SEED)
+    service = AssessmentService(assessor)
+    for history in histories:
+        service.add_server(history)
+    for history in histories:  # warm the ε-threshold cache
+        assessor.assess(history)
+    service.assess_many()  # cold sweep fills the per-server caches
+
+    touch_rng = make_rng(SEED)
+    n_touch = max(int(N_SERVERS * TOUCH_FRACTION), 1)
+
+    def warm_sweep():
+        for idx in touch_rng.choice(N_SERVERS, size=n_touch, replace=False):
+            history = histories[int(idx)]
+            service.observe_outcome(
+                history.server, int(touch_rng.random() < 0.95)
+            )
+        return service.assess_many()
+
+    serve_s, batched = _min_of(warm_sweep)
+
+    def percall_sweep():
+        return {
+            history.server: assessor.assess(history) for history in histories
+        }
+
+    percall_s, percall = _min_of(percall_sweep)
+
+    mismatched = [
+        server
+        for server, assessment in percall.items()
+        if batched[server] != assessment
+    ]
+    assert not mismatched, (
+        f"engines disagree on {len(mismatched)} of {N_SERVERS} servers "
+        f"(first: {mismatched[0]})"
+    )
+
+    speedup = percall_s / serve_s
+    benchmark.extra_info["percall_s"] = percall_s
+    benchmark.extra_info["serve_warm_s"] = serve_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["serve_stats"] = service.stats()
+    benchmark.pedantic(warm_sweep, iterations=1, rounds=1)
+    assert speedup >= 5.0, (
+        f"assess_many sweep ({serve_s:.4f}s) not 5x faster than per-call "
+        f"sweep ({percall_s:.4f}s) at {N_SERVERS} servers: {speedup:.1f}x"
+    )
+
+
+def test_serve_bench_artifact(tmp_path):
+    """A quick serving run leaves a schema-valid BENCH_serve.json behind.
+
+    Writes into ``$BENCH_DIR`` when set (CI uploads it as an artifact
+    and diffs it against the committed baseline), otherwise into the
+    test's tmp dir.
+    """
+    from repro import obs
+    from repro.experiments.serve_scale import run_serve_scale
+
+    bench_dir = os.environ.get("BENCH_DIR") or str(tmp_path)
+    bench_path = os.path.join(bench_dir, "BENCH_serve.json")
+    result = run_serve_scale(quick=True, base_seed=SEED, bench_path=bench_path)
+    payload = obs.read_bench_json(bench_path)  # raises if schema-invalid
+    assert payload["bench"] == "serve"
+    names = {(row["name"], row["params"]["n_servers"]) for row in payload["results"]}
+    assert names == {
+        (mode, n)
+        for mode in ("percall", "serve_cold", "serve_warm")
+        for n in (200, 500)
+    }
+    # every warm sweep must beat its per-call sweep even in quick mode
+    for row in result.rows:
+        assert row["serve_warm_s"] < row["percall_s"]

@@ -64,7 +64,11 @@ def main() -> None:
     ring.remove_node(victim, graceful=False)
     print(f"crashed {victim}; replicas keep the data available\n")
 
-    assessor = TwoPhaseAssessor(MultiBehaviorTest(), AverageTrust(), trust_threshold=0.9)
+    assessor = TwoPhaseAssessor(
+        behavior_test=MultiBehaviorTest(),
+        trust_function=AverageTrust(),
+        trust_threshold=0.9,
+    )
     for server in traces:
         history = store.history(server)
         result = assessor.assess(history)

@@ -48,7 +48,9 @@ def main() -> None:
         ("single behavior test (Scheme 1)", SingleBehaviorTest()),
         ("multi behavior testing (Scheme 2)", MultiBehaviorTest()),
     ]:
-        assessor = TwoPhaseAssessor(test, trust, trust_threshold=0.9)
+        assessor = TwoPhaseAssessor(
+            behavior_test=test, trust_function=trust, trust_threshold=0.9
+        )
         print(f"Two-phase assessment with {name}:")
         for history in (honest, attacker):
             verdict = assessor.assess(history)

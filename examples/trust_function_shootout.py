@@ -28,8 +28,8 @@ SCREEN_CONFIG = BehaviorTestConfig(confidence=0.99, multi_step=200, min_windows=
 def run_ecosystem(trust_name: str, screened: bool, seed: int = 11) -> dict:
     trust_kwargs = {"lam": 0.5} if trust_name == "weighted" else {}
     assessor = TwoPhaseAssessor(
-        MultiBehaviorTest(SCREEN_CONFIG) if screened else None,
-        make_trust_function(trust_name, **trust_kwargs),
+        behavior_test=MultiBehaviorTest(SCREEN_CONFIG) if screened else None,
+        trust_function=make_trust_function(trust_name, **trust_kwargs),
         trust_threshold=0.9,
     )
     config = ScenarioConfig(

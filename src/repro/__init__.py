@@ -18,14 +18,27 @@ Quick start::
     history = TransactionHistory.from_outcomes(
         generate_honest_outcomes(500, 0.95, seed=42)
     )
-    assessor = TwoPhaseAssessor(MultiBehaviorTest(), AverageTrust(),
-                                trust_threshold=0.9)
+    assessor = TwoPhaseAssessor(
+        behavior_test=MultiBehaviorTest(),
+        trust_function=AverageTrust(),
+        trust_threshold=0.9,
+    )
     print(assessor.assess(history).status)
+
+or, declaratively through the registries::
+
+    from repro import Assessor, AssessorConfig
+
+    assessor = Assessor.from_config(
+        AssessorConfig(trust_function="average", behavior_test="multi")
+    )
 """
 
 from .core import (
     Assessment,
     AssessmentStatus,
+    Assessor,
+    AssessorConfig,
     BehaviorTestConfig,
     BehaviorVerdict,
     CategorizedBehaviorTest,
@@ -60,6 +73,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Assessment",
     "AssessmentStatus",
+    "Assessor",
+    "AssessorConfig",
     "BehaviorTestConfig",
     "BehaviorVerdict",
     "CategorizedBehaviorTest",

@@ -22,10 +22,8 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .core.collusion import CollusionResilientMultiTest, CollusionResilientTest
 from .core.config import BehaviorTestConfig
-from .core.multi_testing import MultiBehaviorTest
-from .core.testing import SingleBehaviorTest
+from .core.registry import make_behavior_test
 from .core.two_phase import TwoPhaseAssessor
 from .core.verdict import AssessmentStatus, BehaviorVerdict, MultiTestReport
 from .feedback.history import TransactionHistory
@@ -109,15 +107,10 @@ def _load(path: Path) -> List[Feedback]:
 
 
 def _make_test(name: str, config: BehaviorTestConfig):
-    if name == "none":
-        return None
-    if name == "single":
-        return SingleBehaviorTest(config)
-    if name == "multi":
-        return MultiBehaviorTest(config)
-    if name == "collusion":
-        return CollusionResilientTest(config)
-    return CollusionResilientMultiTest(config)
+    # The CLI's historical "collusion" means the single-test wrapper; the
+    # core registry's "collusion" alias points at the multi-test one.
+    registry_name = "collusion-single" if name == "collusion" else name
+    return make_behavior_test(registry_name, config=config)
 
 
 def _maybe_audit(args):
@@ -138,14 +131,15 @@ def _maybe_audit(args):
 
 
 def _failure_detail(behavior) -> str:
-    if isinstance(behavior, BehaviorVerdict):
-        return f"(distance {behavior.distance:.2f} > eps {behavior.threshold:.2f})"
+    # Most specific first: MultiTestReport is itself a BehaviorVerdict.
     if isinstance(behavior, MultiTestReport) and behavior.first_failure:
         length, verdict = behavior.first_failure
         return (
             f"(suffix {length}: distance {verdict.distance:.2f} > "
             f"eps {verdict.threshold:.2f})"
         )
+    if isinstance(behavior, BehaviorVerdict):
+        return f"(distance {behavior.distance:.2f} > eps {behavior.threshold:.2f})"
     return ""
 
 
@@ -188,8 +182,8 @@ def _run(argv: Optional[List[str]] = None) -> int:
 
     config = BehaviorTestConfig(window_size=args.window, confidence=args.confidence)
     assessor = TwoPhaseAssessor(
-        _make_test(args.test, config),
-        make_trust_function(args.trust),
+        behavior_test=_make_test(args.test, config),
+        trust_function=make_trust_function(args.trust),
         trust_threshold=args.threshold,
     )
 

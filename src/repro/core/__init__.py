@@ -8,10 +8,16 @@ from .collusion import (
     reorder_by_issuer,
     reordered_outcomes,
 )
-from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .config import DEFAULT_CONFIG, AssessorConfig, BehaviorTestConfig
+from .incremental import IncrementalBehaviorState
 from .model import FittedWindowModel, HonestPlayerModel, generate_honest_outcomes
 from .multi_testing import MultiBehaviorTest
 from .multinomial_testing import MultinomialBehaviorTest, MultinomialReport
+from .registry import (
+    available_behavior_tests,
+    make_behavior_test,
+    register_behavior_test,
+)
 from .segmented import SegmentedBehaviorTest, SegmentedReport
 from .temporal import (
     TemporalBehaviorTest,
@@ -20,8 +26,14 @@ from .temporal import (
     weekday_weekend_bucket,
 )
 from .testing import SingleBehaviorTest
-from .two_phase import BehaviorTestProtocol, TwoPhaseAssessor
-from .verdict import Assessment, AssessmentStatus, BehaviorVerdict, MultiTestReport
+from .two_phase import Assessor, BehaviorTestProtocol, TwoPhaseAssessor
+from .verdict import (
+    Assessment,
+    AssessmentStatus,
+    BehaviorVerdict,
+    MultiTestReport,
+    ReorderTrace,
+)
 
 __all__ = [
     "ThresholdCalibrator",
@@ -32,7 +44,12 @@ __all__ = [
     "reorder_by_issuer",
     "reordered_outcomes",
     "DEFAULT_CONFIG",
+    "AssessorConfig",
     "BehaviorTestConfig",
+    "available_behavior_tests",
+    "make_behavior_test",
+    "register_behavior_test",
+    "IncrementalBehaviorState",
     "FittedWindowModel",
     "HonestPlayerModel",
     "generate_honest_outcomes",
@@ -48,8 +65,10 @@ __all__ = [
     "SingleBehaviorTest",
     "BehaviorTestProtocol",
     "TwoPhaseAssessor",
+    "Assessor",
     "Assessment",
     "AssessmentStatus",
     "BehaviorVerdict",
     "MultiTestReport",
+    "ReorderTrace",
 ]

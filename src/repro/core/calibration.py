@@ -61,6 +61,7 @@ class ThresholdCalibrator:
         self._cache: Dict[_CacheKey, float] = {}
         self._hits = 0
         self._misses = 0
+        self._store = None
 
     # ------------------------------------------------------------------ #
 
@@ -76,6 +77,20 @@ class ThresholdCalibrator:
     def cache_stats(self) -> Tuple[int, int]:
         """``(hits, misses)`` of the threshold cache."""
         return (self._hits, self._misses)
+
+    def attach_store(self, store) -> None:
+        """Back the in-process memo with a shared threshold store.
+
+        ``store`` needs ``get(key) -> Optional[float]`` and
+        ``put(key, value)``; keys are the *full* calibration identity
+        ``(m, k, p_key, confidence, n_sets, distance)``, so one store
+        (e.g. :class:`repro.serve.CalibrationCache`) can safely serve
+        calibrators with different settings.  Pass ``None`` to detach.
+        """
+        self._store = store
+
+    def _store_key(self, m: int, k: int, p_key: float) -> Tuple:
+        return (m, k, p_key, self._confidence, self._n_sets, self._distance_name)
 
     def quantize_p(self, p: float) -> float:
         """``p`` snapped to the caching grid.
@@ -113,12 +128,22 @@ class ThresholdCalibrator:
             if _obs.enabled:
                 _obs.registry.inc("core.calibration.cache_hits")
             return cached
+        if self._store is not None:
+            stored = self._store.get(self._store_key(m, k, p_key))
+            if stored is not None:
+                self._hits += 1
+                self._cache[key] = stored
+                if _obs.enabled:
+                    _obs.registry.inc("core.calibration.store_hits")
+                return stored
         self._misses += 1
         if _obs.enabled:
             _obs.registry.inc("core.calibration.cache_misses")
         with _obs.timer("core.calibration.seconds"):
             value = self._calibrate(m, k, p_key)
         self._cache[key] = value
+        if self._store is not None:
+            self._store.put(self._store_key(m, k, p_key), value)
         return value
 
     def null_distances(

@@ -34,16 +34,22 @@ _UNCATEGORIZED = "<uncategorized>"
 
 
 @dataclass(frozen=True)
-class CategoryReport:
+class CategoryReport(BehaviorVerdict):
     """Per-category verdicts plus the aggregate decision.
 
     ``passed`` is True iff every *judged* category passed (categories too
     small to test follow the ``on_insufficient`` policy, like everywhere
-    else).
+    else).  As a :class:`BehaviorVerdict`, the per-category verdicts are
+    mirrored into ``rounds`` (keyed by category name) and the aggregate
+    numeric fields describe the decisive category.
     """
 
-    passed: bool
-    by_category: Tuple[Tuple[str, BehaviorVerdict], ...]
+    by_category: Tuple[Tuple[str, BehaviorVerdict], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.by_category and not self.rounds:
+            object.__setattr__(self, "rounds", tuple(self.by_category))
+        self._fill_aggregates_from_rounds()
 
     def verdict(self, category: str) -> BehaviorVerdict:
         """The verdict of one category (KeyError if absent)."""

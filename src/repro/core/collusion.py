@@ -24,6 +24,7 @@ Multi-testing composes the same way (Sec. 4): choose the most recent
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -34,7 +35,7 @@ from ..obs import audit as _audit
 from .calibration import ThresholdCalibrator
 from .config import DEFAULT_CONFIG, BehaviorTestConfig
 from .testing import SingleBehaviorTest
-from .verdict import BehaviorVerdict, MultiTestReport
+from .verdict import BehaviorVerdict, MultiTestReport, ReorderTrace
 
 __all__ = [
     "reorder_by_issuer",
@@ -100,10 +101,11 @@ class CollusionResilientTest:
         """``history`` must carry feedback metadata (issuer identities)."""
         feedbacks = _feedbacks_of(history)
         reordered = reordered_outcomes(feedbacks)
+        trace = ReorderTrace.from_feedbacks(feedbacks)
         if not _audit.enabled:
-            return self._single.test_outcomes(reordered)
+            return replace(self._single.test_outcomes(reordered), reorder=trace)
         with _audit.trail.decision_scope(server=getattr(history, "server", None)):
-            verdict = self._single.test_outcomes(reordered)
+            verdict = replace(self._single.test_outcomes(reordered), reorder=trace)
             trail = _audit.trail
             if trail.want_record():
                 trail.emit(
@@ -177,7 +179,9 @@ class CollusionResilientMultiTest:
                 n_considered=len(feedbacks),
             )
             report = MultiTestReport(
-                passed=verdict.passed, rounds=((len(feedbacks), verdict),)
+                passed=verdict.passed,
+                rounds=((len(feedbacks), verdict),),
+                reorder=ReorderTrace.from_feedbacks(feedbacks),
             )
             if audited:
                 self._emit_audit(feedbacks, report, [None])
@@ -194,7 +198,11 @@ class CollusionResilientMultiTest:
             if not verdict.passed and not self._collect_all:
                 break
         passed = all(v.passed for _, v in rounds)
-        report = MultiTestReport(passed=passed, rounds=tuple(rounds))
+        report = MultiTestReport(
+            passed=passed,
+            rounds=tuple(rounds),
+            reorder=ReorderTrace.from_feedbacks(feedbacks),
+        )
         if audited:
             self._emit_audit(feedbacks, report, round_outcomes)
         return report

@@ -8,10 +8,14 @@ paper's experimental defaults, so an experiment is fully described by
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
-__all__ = ["BehaviorTestConfig", "DEFAULT_CONFIG"]
+__all__ = ["BehaviorTestConfig", "DEFAULT_CONFIG", "AssessorConfig"]
 
 _INSUFFICIENT_POLICIES = ("pass", "fail")
+
+#: Constructor options as declared (any mapping) or as stored (sorted pairs).
+OptionsLike = Union[Mapping[str, Any], Tuple[Tuple[str, Any], ...]]
 
 
 @dataclass(frozen=True)
@@ -95,3 +99,71 @@ class BehaviorTestConfig:
 
 #: The paper's experimental settings.
 DEFAULT_CONFIG = BehaviorTestConfig()
+
+
+def _freeze_options(options: Optional[OptionsLike]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize constructor options to a sorted tuple of (name, value)."""
+    if options is None:
+        return ()
+    items = options.items() if isinstance(options, Mapping) else options
+    return tuple(sorted((str(name), value) for name, value in items))
+
+
+@dataclass(frozen=True)
+class AssessorConfig:
+    """Declarative description of a two-phase assessor.
+
+    Both phases are referred to *by registry name* (see
+    :func:`repro.core.registry.make_behavior_test` and
+    :func:`repro.trust.registry.make_trust_function`), so a full assessor
+    is serializable configuration rather than wired-up objects:
+    ``Assessor.from_config(AssessorConfig(trust_function="beta"))``.
+
+    Attributes
+    ----------
+    trust_function:
+        Registered phase-2 trust-function name (aliases accepted).
+    behavior_test:
+        Registered phase-1 test name (aliases accepted); ``None`` or
+        ``"none"`` disables screening, reducing the assessor to the bare
+        trust function.
+    trust_threshold:
+        Client acceptance threshold over trust values (paper: 0.9).
+    test_config:
+        Behavior-testing knobs shared by whichever phase-1 test is named.
+    behavior_options / trust_options:
+        Extra constructor keywords for the named test / trust function.
+        Accepts any mapping; stored as a sorted tuple of pairs so the
+        config stays hashable and frozen.
+    """
+
+    trust_function: str = "average"
+    behavior_test: Optional[str] = "multi"
+    trust_threshold: float = 0.9
+    test_config: BehaviorTestConfig = DEFAULT_CONFIG
+    behavior_options: OptionsLike = ()
+    trust_options: OptionsLike = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trust_threshold <= 1.0:
+            raise ValueError(
+                f"trust_threshold must lie in [0, 1], got {self.trust_threshold}"
+            )
+        object.__setattr__(
+            self, "behavior_options", _freeze_options(self.behavior_options)
+        )
+        object.__setattr__(self, "trust_options", _freeze_options(self.trust_options))
+
+    @property
+    def behavior_kwargs(self) -> Dict[str, Any]:
+        """``behavior_options`` as a constructor-ready dict."""
+        return dict(self.behavior_options)
+
+    @property
+    def trust_kwargs(self) -> Dict[str, Any]:
+        """``trust_options`` as a constructor-ready dict."""
+        return dict(self.trust_options)
+
+    def with_(self, **changes) -> "AssessorConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

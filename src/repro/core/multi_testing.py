@@ -37,9 +37,114 @@ from .config import DEFAULT_CONFIG, BehaviorTestConfig
 from .testing import HistoryInput, SingleBehaviorTest, _extract_outcomes
 from .verdict import BehaviorVerdict, MultiTestReport
 
-__all__ = ["MultiBehaviorTest"]
+__all__ = ["MultiBehaviorTest", "judge_window_histogram", "run_suffix_rounds"]
 
 _STRATEGIES = ("optimized", "naive")
+
+
+def judge_window_histogram(
+    histogram: IncrementalHistogram,
+    *,
+    window_size: int,
+    distance_name: str,
+    calibrator: ThresholdCalibrator,
+) -> BehaviorVerdict:
+    """Judge the window-count distribution held by ``histogram``.
+
+    The shared phase-1 comparison: empirical window-count PMF against
+    ``B(m, p_hat)`` under the configured distance, threshold from the
+    calibrator.  Both :class:`MultiBehaviorTest` and the incremental
+    serving engine call this, so their verdicts are bit-identical.
+    """
+    m = window_size
+    k = histogram.n_samples
+    p_hat = histogram.mean_rate(m)
+    expected = binomial_pmf(m, p_hat)
+    observed = histogram.pmf()
+    distance = float(np.abs(observed - expected).sum())
+    if distance_name != "l1":
+        from ..stats.distances import get_distance
+
+        distance = float(get_distance(distance_name)(observed, expected))
+    threshold = calibrator.threshold(m, k, p_hat)
+    return BehaviorVerdict(
+        passed=distance <= threshold,
+        distance=distance,
+        threshold=float(threshold),
+        p_hat=p_hat,
+        n_windows=k,
+        window_size=m,
+        n_considered=k * m,
+    )
+
+
+def run_suffix_rounds(
+    counts: np.ndarray,
+    lengths: List[int],
+    *,
+    window_size: int,
+    distance_name: str,
+    calibrator: ThresholdCalibrator,
+    collect_all: bool = False,
+    obs_prefix: str = "core.multi_testing",
+) -> List[Tuple[int, BehaviorVerdict]]:
+    """The paper's O(n) suffix walk over precomputed window counts.
+
+    ``counts`` is the recent-aligned window-count array of the full
+    history; each suffix's windows are a suffix of it, so walking from
+    the shortest suffix to the longest extends an incremental histogram
+    by only the windows that entered.  Early-stops on the first failing
+    round unless ``collect_all``.  Extracted from
+    :class:`MultiBehaviorTest` so the incremental serving engine can
+    reuse cached window counts through the exact same code path.
+    """
+    m = window_size
+    total_windows = counts.size
+    histogram = IncrementalHistogram(m + 1)
+    rounds: List[Tuple[int, BehaviorVerdict]] = []
+    windows_in = 0
+    last_verdict: Optional[BehaviorVerdict] = None
+    for length in reversed(lengths):  # shortest suffix first
+        want = length // m
+        if want > windows_in:
+            # the most recent `want` windows are counts[-want:];
+            # extend by the block that just entered consideration
+            new_block = counts[total_windows - want : total_windows - windows_in]
+            histogram.add_block(new_block)
+            if _obs.enabled:
+                # window stats carried over from the previous round vs.
+                # windows that actually had to be ingested this round
+                _obs.registry.inc(
+                    f"{obs_prefix}.suffix_reuse", windows_in, strategy="optimized"
+                )
+                _obs.registry.inc(
+                    f"{obs_prefix}.suffix_recomputed",
+                    want - windows_in,
+                    strategy="optimized",
+                )
+            windows_in = want
+            last_verdict = judge_window_histogram(
+                histogram,
+                window_size=m,
+                distance_name=distance_name,
+                calibrator=calibrator,
+            )
+        elif last_verdict is None:
+            last_verdict = judge_window_histogram(
+                histogram,
+                window_size=m,
+                distance_name=distance_name,
+                calibrator=calibrator,
+            )
+        elif _obs.enabled:
+            # identical window set => identical verdict; full reuse
+            _obs.registry.inc(
+                f"{obs_prefix}.suffix_reuse", windows_in, strategy="optimized"
+            )
+        rounds.append((length, last_verdict))
+        if not last_verdict.passed and not collect_all:
+            break
+    return rounds
 
 
 class MultiBehaviorTest:
@@ -85,6 +190,11 @@ class MultiBehaviorTest:
     @property
     def strategy(self) -> str:
         return self._strategy
+
+    @property
+    def collect_all(self) -> bool:
+        """Whether rounds after the first failure are still judged."""
+        return self._collect_all
 
     def suffix_lengths(self, n: int) -> List[int]:
         """Suffix lengths tested for a history of ``n`` transactions.
@@ -184,63 +294,11 @@ class MultiBehaviorTest:
     ) -> List[Tuple[int, BehaviorVerdict]]:
         m = self._config.window_size
         counts = window_counts(outcomes, m, align="recent")
-        total_windows = counts.size
-        histogram = IncrementalHistogram(m + 1)
-        rounds: List[Tuple[int, BehaviorVerdict]] = []
-        windows_in = 0
-        last_verdict: Optional[BehaviorVerdict] = None
-        for length in reversed(lengths):  # shortest suffix first
-            want = length // m
-            if want > windows_in:
-                # the most recent `want` windows are counts[-want:];
-                # extend by the block that just entered consideration
-                new_block = counts[total_windows - want : total_windows - windows_in]
-                histogram.add_block(new_block)
-                if _obs.enabled:
-                    # window stats carried over from the previous round vs.
-                    # windows that actually had to be ingested this round
-                    _obs.registry.inc(
-                        "core.multi_testing.suffix_reuse",
-                        windows_in,
-                        strategy="optimized",
-                    )
-                    _obs.registry.inc(
-                        "core.multi_testing.suffix_recomputed",
-                        want - windows_in,
-                        strategy="optimized",
-                    )
-                windows_in = want
-                last_verdict = self._judge(histogram, length)
-            elif last_verdict is None:
-                last_verdict = self._judge(histogram, length)
-            elif _obs.enabled:
-                # identical window set => identical verdict; full reuse
-                _obs.registry.inc(
-                    "core.multi_testing.suffix_reuse", windows_in, strategy="optimized"
-                )
-            rounds.append((length, last_verdict))
-            if not last_verdict.passed and not self._collect_all:
-                break
-        return rounds
-
-    def _judge(self, histogram: IncrementalHistogram, length: int) -> BehaviorVerdict:
-        m = self._config.window_size
-        k = histogram.n_samples
-        p_hat = histogram.mean_rate(m)
-        expected = binomial_pmf(m, p_hat)
-        observed = histogram.pmf()
-        distance = float(np.abs(observed - expected).sum())
-        if self._config.distance != "l1":
-            from ..stats.distances import get_distance
-
-            distance = float(get_distance(self._config.distance)(observed, expected))
-        threshold = self._calibrator.threshold(m, k, p_hat)
-        return BehaviorVerdict(
-            passed=distance <= threshold,
-            distance=distance,
-            threshold=float(threshold),
-            p_hat=p_hat,
-            n_windows=k,
+        return run_suffix_rounds(
+            counts,
+            lengths,
             window_size=m,
-            n_considered=k * m,
+            distance_name=self._config.distance,
+            calibrator=self._calibrator,
+            collect_all=self._collect_all,
         )

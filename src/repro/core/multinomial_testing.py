@@ -31,18 +31,23 @@ __all__ = ["MultinomialReport", "MultinomialBehaviorTest"]
 
 
 @dataclass(frozen=True)
-class MultinomialReport:
-    """Per-category marginal verdicts plus the aggregate decision."""
+class MultinomialReport(BehaviorVerdict):
+    """Per-category marginal verdicts plus the aggregate decision.
 
-    passed: bool
-    by_category: Tuple[BehaviorVerdict, ...]
-    n_categories: int
-    insufficient: bool = False
+    As a :class:`BehaviorVerdict`, the marginal verdicts are mirrored
+    into ``rounds`` (keyed by category index) and the aggregate numeric
+    fields describe the decisive marginal.
+    """
 
-    @property
-    def worst_margin(self) -> float:
-        margins = [v.margin for v in self.by_category if not v.insufficient]
-        return min(margins) if margins else float("inf")
+    by_category: Tuple[BehaviorVerdict, ...] = ()
+    n_categories: int = 0
+
+    def __post_init__(self) -> None:
+        if self.by_category and not self.rounds:
+            object.__setattr__(
+                self, "rounds", tuple(enumerate(self.by_category))
+            )
+        self._fill_aggregates_from_rounds()
 
 
 class MultinomialBehaviorTest:

@@ -1,0 +1,108 @@
+"""Registry of behavior tests, keyed by short name, with aliases.
+
+The trust side has had a name registry since the baselines landed
+(:mod:`repro.trust.registry`); this is its phase-1 counterpart, so an
+assessor is fully described by two names plus a config — the contract
+:meth:`repro.core.two_phase.TwoPhaseAssessor.from_config` builds on.
+
+Canonical names are each tester's ``name`` attribute; aliases cover the
+paper's scheme numbering (``scheme1``/``scheme2``) and the CLI's
+historical shorthands (``collusion`` for the multi-testing variant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from .calibration import ThresholdCalibrator
+from .categories import CategorizedBehaviorTest
+from .collusion import CollusionResilientMultiTest, CollusionResilientTest
+from .config import DEFAULT_CONFIG, BehaviorTestConfig
+from .multi_testing import MultiBehaviorTest
+from .multinomial_testing import MultinomialBehaviorTest
+from .segmented import SegmentedBehaviorTest
+from .temporal import TemporalBehaviorTest
+from .testing import SingleBehaviorTest
+
+__all__ = [
+    "make_behavior_test",
+    "register_behavior_test",
+    "available_behavior_tests",
+    "resolve_behavior_test_name",
+]
+
+_FACTORIES: Dict[str, Callable[..., object]] = {
+    SingleBehaviorTest.name: SingleBehaviorTest,
+    MultiBehaviorTest.name: MultiBehaviorTest,
+    CollusionResilientTest.name: CollusionResilientTest,
+    CollusionResilientMultiTest.name: CollusionResilientMultiTest,
+    CategorizedBehaviorTest.name: CategorizedBehaviorTest,
+    MultinomialBehaviorTest.name: MultinomialBehaviorTest,
+    SegmentedBehaviorTest.name: SegmentedBehaviorTest,
+    TemporalBehaviorTest.name: TemporalBehaviorTest,
+}
+
+_ALIASES: Dict[str, str] = {
+    "scheme1": "single",
+    "scheme2": "multi",
+    "collusion": "collusion-multi",
+    "category": "categorized",
+}
+
+#: Names that disable phase 1 entirely.
+_NONE_NAMES = ("none", "off", "disabled")
+
+
+def resolve_behavior_test_name(name: str) -> str:
+    """Canonical registered name for ``name`` (aliases resolved)."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _FACTORIES:
+        raise KeyError(
+            f"unknown behavior test {name!r}; available: "
+            f"{available_behavior_tests()} (aliases: {sorted(_ALIASES)})"
+        )
+    return canonical
+
+
+def make_behavior_test(
+    name: Optional[str],
+    *,
+    config: BehaviorTestConfig = DEFAULT_CONFIG,
+    calibrator: Optional[ThresholdCalibrator] = None,
+    **kwargs,
+):
+    """Instantiate a registered behavior test.
+
+    ``None`` (or the names ``"none"`` / ``"off"`` / ``"disabled"``)
+    returns ``None``, the assessor's "no phase-1 screening" marker.
+    Extra keyword arguments are forwarded to the tester's constructor,
+    e.g. ``make_behavior_test("multinomial", n_categories=3)``.
+    """
+    if name is None or name in _NONE_NAMES:
+        return None
+    factory = _FACTORIES[resolve_behavior_test_name(name)]
+    return factory(config=config, calibrator=calibrator, **kwargs)
+
+
+def register_behavior_test(
+    name: str,
+    factory: Callable[..., object],
+    *,
+    aliases: Sequence[str] = (),
+) -> None:
+    """Register a custom behavior test under ``name`` (plus ``aliases``).
+
+    Re-registering an existing name or alias is an error — shadowing a
+    scheme silently would corrupt experiment comparisons.
+    """
+    for candidate in (name, *aliases):
+        if candidate in _FACTORIES or candidate in _ALIASES:
+            raise ValueError(f"behavior test {candidate!r} is already registered")
+    _FACTORIES[name] = factory
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def available_behavior_tests() -> list:
+    """Sorted list of canonical registered names (aliases excluded)."""
+    return sorted(_FACTORIES)

@@ -36,12 +36,27 @@ __all__ = ["SegmentedReport", "SegmentedBehaviorTest"]
 
 
 @dataclass(frozen=True)
-class SegmentedReport:
-    """Per-segment verdicts plus the aggregate decision."""
+class SegmentedReport(BehaviorVerdict):
+    """Per-segment verdicts plus the aggregate decision.
 
-    passed: bool
-    segments: Tuple[Segment, ...]
-    verdicts: Tuple[BehaviorVerdict, ...]
+    As a :class:`BehaviorVerdict`, the per-segment verdicts are mirrored
+    into ``rounds`` (keyed by segment start index) and the aggregate
+    numeric fields describe the decisive segment.
+    """
+
+    segments: Tuple[Segment, ...] = ()
+    verdicts: Tuple[BehaviorVerdict, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.verdicts and not self.rounds:
+            object.__setattr__(
+                self,
+                "rounds",
+                tuple(
+                    (seg.start, v) for seg, v in zip(self.segments, self.verdicts)
+                ),
+            )
+        self._fill_aggregates_from_rounds()
 
     @property
     def n_segments(self) -> int:

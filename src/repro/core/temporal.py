@@ -61,11 +61,20 @@ def hour_of_day_bucket(time: float, *, start: int = 9, end: int = 17) -> str:
 
 
 @dataclass(frozen=True)
-class TemporalReport:
-    """Per-bucket verdicts plus the aggregate decision."""
+class TemporalReport(BehaviorVerdict):
+    """Per-bucket verdicts plus the aggregate decision.
 
-    passed: bool
-    by_bucket: Tuple[Tuple[str, BehaviorVerdict], ...]
+    As a :class:`BehaviorVerdict`, the per-bucket verdicts are mirrored
+    into ``rounds`` (keyed by bucket name) and the aggregate numeric
+    fields describe the decisive bucket.
+    """
+
+    by_bucket: Tuple[Tuple[str, BehaviorVerdict], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.by_bucket and not self.rounds:
+            object.__setattr__(self, "rounds", tuple(self.by_bucket))
+        self._fill_aggregates_from_rounds()
 
     @property
     def buckets(self) -> Tuple[str, ...]:

@@ -14,6 +14,7 @@ multinomial); any :class:`~repro.trust.base.TrustFunction` or
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Protocol, Union
 
 from ..feedback.history import TransactionHistory
@@ -21,21 +22,30 @@ from ..feedback.ledger import FeedbackLedger
 from ..obs import audit as _audit
 from ..obs import runtime as _obs
 from ..trust.base import LedgerTrustFunction, TrustFunction
-from .verdict import Assessment, AssessmentStatus
+from .config import AssessorConfig
+from .verdict import Assessment, AssessmentStatus, BehaviorVerdict
 
-__all__ = ["BehaviorTestProtocol", "TwoPhaseAssessor"]
+__all__ = ["BehaviorTestProtocol", "TwoPhaseAssessor", "Assessor"]
+
+_UNSET = object()
+_CTOR_PARAMS = ("behavior_test", "trust_function", "trust_threshold")
 
 
 class BehaviorTestProtocol(Protocol):
     """Anything usable as phase 1."""
 
-    def test(self, history):  # pragma: no cover - structural type only
-        """Judge a history; the result must expose a boolean ``passed``."""
+    def test(self, history) -> BehaviorVerdict:  # pragma: no cover - structural
+        """Judge a history, returning the unified phase-1 verdict."""
         ...
 
 
 class TwoPhaseAssessor:
     """Behavior screening composed with a trust function.
+
+    Parameters are keyword-only (``behavior_test=``, ``trust_function=``,
+    ``trust_threshold=``); positional construction still works for one
+    release behind a :class:`DeprecationWarning`.  Prefer
+    :meth:`from_config` when both phases are registry names.
 
     Parameters
     ----------
@@ -51,10 +61,42 @@ class TwoPhaseAssessor:
 
     def __init__(
         self,
-        behavior_test: Optional[BehaviorTestProtocol],
-        trust_function: Union[TrustFunction, LedgerTrustFunction],
-        trust_threshold: float = 0.9,
+        *args,
+        behavior_test: Optional[BehaviorTestProtocol] = _UNSET,
+        trust_function: Union[TrustFunction, LedgerTrustFunction] = _UNSET,
+        trust_threshold: float = _UNSET,
     ):
+        if args:
+            # One release of compatibility: map the legacy positional form
+            # onto the keyword parameters, warning exactly once per call.
+            warnings.warn(
+                "positional TwoPhaseAssessor(behavior_test, trust_function, "
+                "trust_threshold) construction is deprecated; pass keyword "
+                "arguments or use TwoPhaseAssessor.from_config(AssessorConfig(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_CTOR_PARAMS):
+                raise TypeError(
+                    f"TwoPhaseAssessor takes at most {len(_CTOR_PARAMS)} "
+                    f"positional arguments, got {len(args)}"
+                )
+            keyword_values = (behavior_test, trust_function, trust_threshold)
+            for name, positional, keyword in zip(_CTOR_PARAMS, args, keyword_values):
+                if keyword is not _UNSET:
+                    raise TypeError(
+                        f"TwoPhaseAssessor got multiple values for {name!r}"
+                    )
+            behavior_test, trust_function, trust_threshold = (
+                args[i] if i < len(args) else keyword_values[i]
+                for i in range(len(_CTOR_PARAMS))
+            )
+        if trust_function is _UNSET:
+            raise TypeError("TwoPhaseAssessor requires trust_function=...")
+        if behavior_test is _UNSET:
+            behavior_test = None
+        if trust_threshold is _UNSET:
+            trust_threshold = 0.9
         if not 0.0 <= trust_threshold <= 1.0:
             raise ValueError(
                 f"trust_threshold must lie in [0, 1], got {trust_threshold}"
@@ -62,6 +104,35 @@ class TwoPhaseAssessor:
         self._behavior_test = behavior_test
         self._trust_function = trust_function
         self._threshold = trust_threshold
+
+    @classmethod
+    def from_config(
+        cls,
+        config: AssessorConfig,
+        *,
+        calibrator=None,
+    ) -> "TwoPhaseAssessor":
+        """Build an assessor from a declarative :class:`AssessorConfig`.
+
+        Both phases are resolved through their registries (aliases
+        accepted); ``calibrator`` optionally shares one ε-threshold
+        calibrator across assessors built from related configs.
+        """
+        from ..trust.registry import make_trust_function
+        from .registry import make_behavior_test
+
+        behavior = make_behavior_test(
+            config.behavior_test,
+            config=config.test_config,
+            calibrator=calibrator,
+            **config.behavior_kwargs,
+        )
+        trust = make_trust_function(config.trust_function, **config.trust_kwargs)
+        return cls(
+            behavior_test=behavior,
+            trust_function=trust,
+            trust_threshold=config.trust_threshold,
+        )
 
     @property
     def trust_threshold(self) -> float:
@@ -163,6 +234,20 @@ class TwoPhaseAssessor:
             )
         )
 
+    def trust_value(
+        self,
+        history: TransactionHistory,
+        *,
+        ledger: Optional[FeedbackLedger] = None,
+    ) -> float:
+        """Phase 2 alone: the trust value without behavior screening.
+
+        The serving engine composes this with independently cached
+        phase-1 verdicts; ``ledger`` is required for ledger-based
+        schemes, exactly as in :meth:`assess`.
+        """
+        return self._trust_value(history, ledger)
+
     def _trust_value(
         self, history: TransactionHistory, ledger: Optional[FeedbackLedger]
     ) -> float:
@@ -174,3 +259,8 @@ class TwoPhaseAssessor:
                 )
             return self._trust_function.score_server(history.server, ledger)
         return self._trust_function.score(history)
+
+
+#: Short name for the unified assessment API; ``Assessor.from_config``
+#: is the preferred spelling in new code.
+Assessor = TwoPhaseAssessor

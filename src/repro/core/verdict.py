@@ -1,46 +1,138 @@
-"""Result objects returned by the behavior tests and the two-phase assessor."""
+"""Result objects returned by the behavior tests and the two-phase assessor.
+
+One frozen :class:`BehaviorVerdict` dataclass is the unified phase-1
+result type: every tester (single, multi, collusion-resilient,
+categorized, segmented, temporal, multinomial) returns a
+``BehaviorVerdict`` — composite testers return a subclass that carries
+its per-round verdicts in the shared ``rounds`` field while presenting
+the same aggregate surface (``passed``, ``distance``, ``epsilon``,
+``margin``) as a plain single-test verdict.  Collusion-resilient tests
+additionally attach a :class:`ReorderTrace` describing the
+issuer-grouped reordering their verdict was computed on.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple, Union
 
 __all__ = [
+    "ReorderTrace",
     "BehaviorVerdict",
     "MultiTestReport",
     "AssessmentStatus",
     "Assessment",
 ]
 
+#: Key of one composite-test round: a suffix length (multi-testing), a
+#: category / bucket name (categorized, temporal), or a segment start.
+RoundKey = Union[int, str]
+
+#: Largest number of issuer groups a ReorderTrace enumerates — supporter
+#: bases reach thousands of clients, the verdict must stay lightweight.
+_REORDER_TOP = 32
+
+
+@dataclass(frozen=True)
+class ReorderTrace:
+    """Provenance of the issuer-grouped reordering Q -> Q' (Sec. 4).
+
+    ``group_sizes`` lists feedback-group sizes in the reordered
+    (descending) order, truncated to the largest ``_REORDER_TOP`` groups
+    when the supporter base is large.
+    """
+
+    n_feedbacks: int
+    n_groups: int
+    group_sizes: Tuple[int, ...]
+    truncated: bool = False
+
+    @classmethod
+    def from_feedbacks(cls, feedbacks) -> "ReorderTrace":
+        """Summarize the issuer grouping of a feedback sequence."""
+        sizes = {}
+        for fb in feedbacks:
+            sizes[fb.client] = sizes.get(fb.client, 0) + 1
+        ordered = sorted(sizes.values(), reverse=True)
+        return cls(
+            n_feedbacks=len(feedbacks),
+            n_groups=len(ordered),
+            group_sizes=tuple(ordered[:_REORDER_TOP]),
+            truncated=len(ordered) > _REORDER_TOP,
+        )
+
 
 @dataclass(frozen=True)
 class BehaviorVerdict:
-    """Outcome of one distribution-distance behavior test.
+    """Outcome of one behavior test — the unified phase-1 result.
+
+    For a plain single test the numeric fields describe that one
+    distribution-distance comparison.  Composite testers populate
+    ``rounds`` with their per-round verdicts and surface the *decisive*
+    round's numbers (the first failing round, or the primary round when
+    all passed) in the aggregate fields, so ``verdict.distance`` and
+    ``verdict.epsilon`` always answer "which comparison decided this".
 
     ``insufficient`` marks histories too short to judge; in that case
     ``passed`` reflects the configured ``on_insufficient`` policy and the
-    numeric fields are zero.
+    numeric fields are zero.  ``reorder`` carries the issuer-grouped
+    reordering trace when the verdict was computed on a collusion-
+    resilient reordering of the history.
     """
 
     passed: bool
-    distance: float
-    threshold: float
-    p_hat: float
-    n_windows: int
-    window_size: int
-    n_considered: int
+    distance: float = 0.0
+    threshold: float = 0.0
+    p_hat: float = 0.0
+    n_windows: int = 0
+    window_size: int = 0
+    n_considered: int = 0
     insufficient: bool = False
+    rounds: Tuple[Tuple[RoundKey, "BehaviorVerdict"], ...] = ()
+    reorder: Optional[ReorderTrace] = None
 
     @property
     def margin(self) -> float:
         """``threshold - distance``; negative means the test failed."""
         return self.threshold - self.distance
 
+    @property
+    def epsilon(self) -> float:
+        """The calibrated distance threshold ε (alias of ``threshold``)."""
+        return self.threshold
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of composite rounds (0 for a plain single-test verdict)."""
+        return len(self.rounds)
+
+    @property
+    def first_failure(self) -> Optional[Tuple[RoundKey, "BehaviorVerdict"]]:
+        """The first failing round in report order, if any."""
+        for key, verdict in self.rounds:
+            if not verdict.passed:
+                return (key, verdict)
+        return None
+
+    @property
+    def worst_margin(self) -> float:
+        """Smallest ``threshold - distance`` across judged rounds.
+
+        For a plain verdict (no rounds) this is its own :attr:`margin`;
+        rounds marked insufficient are skipped, and a report whose every
+        round is insufficient has nothing to rank — ``inf``.
+        """
+        if not self.rounds:
+            return float("inf") if self.insufficient else self.margin
+        margins = [v.margin for _, v in self.rounds if not v.insufficient]
+        return min(margins) if margins else float("inf")
+
     @classmethod
     def insufficient_history(
         cls, *, passed: bool, window_size: int, n_considered: int
     ) -> "BehaviorVerdict":
+        """The verdict for a history too short to judge."""
         return cls(
             passed=passed,
             distance=0.0,
@@ -52,39 +144,60 @@ class BehaviorVerdict:
             insufficient=True,
         )
 
+    def _decisive_round(self) -> Optional["BehaviorVerdict"]:
+        """The round whose numbers summarize a composite verdict."""
+        if not self.rounds:
+            return None
+        failure = self.first_failure
+        if failure is not None:
+            return failure[1]
+        for _, verdict in self.rounds:
+            if not verdict.insufficient:
+                return verdict
+        return self.rounds[0][1]
+
+    def _fill_aggregates_from_rounds(self) -> None:
+        """Copy the decisive round's numbers into defaulted aggregate fields.
+
+        Called from composite-report ``__post_init__``; uses
+        ``object.__setattr__`` because the dataclass is frozen.
+        """
+        decisive = self._decisive_round()
+        if decisive is None:
+            return
+        untouched = (
+            self.distance == 0.0
+            and self.threshold == 0.0
+            and self.p_hat == 0.0
+            and self.n_windows == 0
+        )
+        if untouched:
+            for name in (
+                "distance",
+                "threshold",
+                "p_hat",
+                "n_windows",
+                "window_size",
+                "n_considered",
+            ):
+                object.__setattr__(self, name, getattr(decisive, name))
+        if not self.insufficient and all(v.insufficient for _, v in self.rounds):
+            object.__setattr__(self, "insufficient", True)
+
 
 @dataclass(frozen=True)
-class MultiTestReport:
+class MultiTestReport(BehaviorVerdict):
     """Outcome of multi-testing: one verdict per suffix length.
 
     ``rounds`` holds ``(suffix_length, verdict)`` pairs ordered from the
     longest suffix (the full history) to the shortest tested; ``passed``
     is True iff every round passed (any failure indicates a potentially
-    suspicious server, Sec. 3.3).
+    suspicious server, Sec. 3.3).  The aggregate fields inherited from
+    :class:`BehaviorVerdict` describe the decisive round.
     """
 
-    passed: bool
-    rounds: Tuple[Tuple[int, BehaviorVerdict], ...]
-
-    @property
-    def n_rounds(self) -> int:
-        return len(self.rounds)
-
-    @property
-    def first_failure(self) -> Optional[Tuple[int, BehaviorVerdict]]:
-        """The longest-suffix round that failed, if any."""
-        for length, verdict in self.rounds:
-            if not verdict.passed:
-                return (length, verdict)
-        return None
-
-    @property
-    def worst_margin(self) -> float:
-        """Smallest ``threshold - distance`` across judged rounds."""
-        margins = [
-            v.margin for _, v in self.rounds if not v.insufficient
-        ]
-        return min(margins) if margins else float("inf")
+    def __post_init__(self) -> None:
+        self._fill_aggregates_from_rounds()
 
 
 class AssessmentStatus(Enum):
@@ -104,7 +217,7 @@ class Assessment:
 
     status: AssessmentStatus
     trust_value: Optional[float]
-    behavior: object  # BehaviorVerdict or MultiTestReport
+    behavior: Optional[BehaviorVerdict]
     server: str = field(default="server")
 
     @property

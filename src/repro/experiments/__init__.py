@@ -14,6 +14,7 @@ from .fig8_distance import run_fig8
 from .fig9_performance import run_fig9
 from .p2p_scale import run_p2p_scale
 from .report import EXPECTED_SHAPES, render_report, result_to_markdown
+from .serve_scale import run_serve_scale
 from .svgplot import render_svg, write_svg
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_p2p_scale",
+    "run_serve_scale",
     "EXPECTED_SHAPES",
     "render_report",
     "result_to_markdown",
@@ -52,4 +54,5 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "ext-sybil": run_ext_sybil,
     "ext-matrix": run_ext_matrix,
     "p2p_scale": run_p2p_scale,
+    "serve": run_serve_scale,
 }

@@ -100,6 +100,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--engine",
+        type=str,
+        default=None,
+        help=(
+            "assessment engine mode for experiments that support it "
+            "(e.g. fig9/p2p_scale accept 'incremental' to also measure "
+            "the repro.serve incremental path and assert equivalence)"
+        ),
+    )
+    parser.add_argument(
         "--log-level",
         type=str,
         default=None,
@@ -129,6 +139,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         runner = RUNNERS[name]
         kwargs = {"quick": args.quick, "base_seed": args.seed}
         params = inspect.signature(runner).parameters
+        if args.engine and "engine" in params:
+            kwargs["engine"] = args.engine
         if args.bench_dir and "bench_path" in params:
             kwargs["bench_path"] = os.path.join(args.bench_dir, f"BENCH_{name}.json")
         if args.audit_dir and "audit_path" in params:

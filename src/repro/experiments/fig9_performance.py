@@ -27,9 +27,11 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from .. import obs
 from ..core.config import BehaviorTestConfig
+from ..core.incremental import IncrementalBehaviorState
 from ..core.model import generate_honest_outcomes
 from ..core.multi_testing import MultiBehaviorTest
 from ..core.testing import SingleBehaviorTest
+from ..feedback.history import TransactionHistory
 from .common import ExperimentResult, make_shared_calibrator
 
 __all__ = ["run_fig9", "HISTORY_SIZES", "NAIVE_HISTORY_SIZES"]
@@ -38,6 +40,7 @@ HISTORY_SIZES = (100_000, 200_000, 400_000, 800_000)
 NAIVE_HISTORY_SIZES = (10_000, 20_000, 40_000)
 
 _TIMER_METRIC = "experiments.fig9.test_seconds"
+_ENGINES = ("batch", "incremental")
 
 
 def run_fig9(
@@ -53,6 +56,7 @@ def run_fig9(
     profile_path: Optional[str] = None,
     profile_sample_interval: int = 0,
     profile_sample_hz: float = 97.0,
+    engine: str = "batch",
 ) -> ExperimentResult:
     """Reproduce Fig. 9 (seconds per behavior test).
 
@@ -63,7 +67,17 @@ def run_fig9(
     ``repro obs top``; ``profile_path`` runs the sweep under a phase
     profiler and writes both ``PROFILE_fig9.json`` and the sibling
     flamegraph-ready ``.folded`` file.
+
+    ``engine="incremental"`` additionally times the serving fast path
+    (:class:`~repro.core.incremental.IncrementalBehaviorState`): seconds
+    to re-judge after one new *window* of feedback arrived, the
+    amortized cost the batch schemes re-pay in full.  The extra
+    ``multi_incremental_s`` column only appears in this mode (the
+    default column list is pinned), and the incremental verdict is
+    asserted identical to ``multi_optimized``'s at every size.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     if history_sizes is None:
         history_sizes = (10_000, 50_000, 100_000) if quick else HISTORY_SIZES
     if naive_sizes is None:
@@ -86,14 +100,21 @@ def run_fig9(
         config, calibrator, strategy="naive", collect_all=True
     )
 
+    columns = ["history_size", "single_s", "multi_optimized_s", "multi_naive_s"]
+    notes = (
+        f"multi-testing step k={multi_step}; best of {repeats} runs; "
+        "naive multi-testing timed only at the sizes listed (O(n^2))"
+    )
+    if engine == "incremental":
+        # Engine-mode column is strictly additive: the default column
+        # list above is pinned by downstream consumers.
+        columns.append("multi_incremental_s")
+        notes += "; incremental column: re-judge after one new window"
     result = ExperimentResult(
         experiment="fig9",
         title="Behavior-testing running time vs. history size (seconds)",
-        columns=["history_size", "single_s", "multi_optimized_s", "multi_naive_s"],
-        notes=(
-            f"multi-testing step k={multi_step}; best of {repeats} runs; "
-            "naive multi-testing timed only at the sizes listed (O(n^2))"
-        ),
+        columns=columns,
+        notes=notes,
     )
 
     # Measure through the obs layer: reuse the ambient session when the
@@ -137,8 +158,10 @@ def run_fig9(
     sizes = sorted(set(history_sizes) | naive_set)
     monitor = None
     if log is not None:
+        per_size = (3 if engine == "incremental" else 2)
         total = sum(
-            max(repeats, 1) * (3 if n in naive_set else 2) for n in sizes
+            max(repeats, 1) * (per_size + (1 if n in naive_set else 0))
+            for n in sizes
         )
         monitor = obs.ProgressMonitor(
             log,
@@ -158,12 +181,42 @@ def run_fig9(
                     # algorithms, not one-off Monte-Carlo calibrations.
                     single.test(outcomes)
                     multi_fast.test(outcomes)
+                    state = None
+                    if engine == "incremental":
+                        # Dry-run the exact fold/judge sequence once so the
+                        # grown history lengths' ε-thresholds are calibrated
+                        # before timing, like the batch warm-up above.
+                        warm = IncrementalBehaviorState(
+                            multi_fast, TransactionHistory.from_outcomes(outcomes)
+                        )
+                        warm.verdict()
+                        for _ in range(max(repeats, 1)):
+                            for _ in range(config.window_size):
+                                warm.fold(1)
+                            warm.verdict()
+                        state = IncrementalBehaviorState(
+                            multi_fast, TransactionHistory.from_outcomes(outcomes)
+                        )
+                        state.verdict()  # warm the window-count cache
                 schemes = [
                     ("single", single.test),
                     ("multi_optimized", multi_fast.test),
                 ]
                 if n in naive_set:
                     schemes.append(("multi_naive", multi_naive.test))
+                if state is not None:
+
+                    def fold_window_and_judge(
+                        _ignored, _state=state, _m=config.window_size
+                    ):
+                        # One new window of feedback, then re-judge: the
+                        # cached counts extend O(m) and the suffix walk
+                        # re-runs over them — the serving amortized cost.
+                        for _ in range(_m):
+                            _state.fold(1)
+                        return _state.verdict()
+
+                    schemes.append(("multi_incremental", fold_window_and_judge))
                 row: Dict[str, Union[int, float]] = {
                     "history_size": n,
                     "multi_naive_s": float("nan"),
@@ -196,6 +249,15 @@ def run_fig9(
                             },
                         }
                     )
+                if state is not None:
+                    # The serving path must be bit-identical to the batch
+                    # scheme on the history it grew to.
+                    expected = multi_fast.test(state.history)
+                    if state.verdict() != expected:
+                        raise AssertionError(
+                            "incremental verdict diverged from batch "
+                            f"multi-testing at history_size={n}"
+                        )
                 result.add_row(**row)
             if bench_path is not None:
                 with obs.span("experiments.fig9.export"):

@@ -33,6 +33,8 @@ NODE_COUNTS = (16, 32, 64, 128)
 
 _LOOKUP_METRIC = "experiments.p2p_scale.lookup_seconds"
 _ROUND_METRIC = "experiments.p2p_scale.gossip_round_seconds"
+_ASSESS_METRIC = "experiments.p2p_scale.assess_sweep_seconds"
+_ENGINES = ("direct", "incremental")
 
 
 def run_p2p_scale(
@@ -45,6 +47,7 @@ def run_p2p_scale(
     quick: bool = False,
     bench_path: Optional[str] = None,
     events_path: Optional[str] = None,
+    engine: str = "direct",
 ) -> ExperimentResult:
     """Scale the P2P substrate and measure lookup and gossip cost.
 
@@ -53,7 +56,16 @@ def run_p2p_scale(
     vector of the same size to within ``gossip_tolerance`` of the mean,
     timing every round.  ``bench_path`` writes the artifact through
     :mod:`repro.obs.bench`; ``events_path`` a heartbeat JSONL log.
+
+    ``engine="incremental"`` additionally assesses one synthetic server
+    per node at every size, per-call and through
+    :class:`~repro.serve.AssessmentService` (verdicts asserted
+    identical); the extra ``assess_percall_s`` / ``assess_serve_s``
+    columns only appear in this mode — the default column list is
+    pinned.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
     if node_counts is None:
         node_counts = (8, 16) if quick else NODE_COUNTS
     if lookups < 1:
@@ -62,21 +74,35 @@ def run_p2p_scale(
         lookups = min(lookups, 20)
     node_counts = tuple(node_counts)
 
+    columns = [
+        "n_nodes",
+        "chord_mean_hops",
+        "chord_lookup_s",
+        "gossip_rounds",
+        "gossip_round_s",
+    ]
+    notes = (
+        f"{lookups} lookups per ring size; gossip to "
+        f"{gossip_tolerance:.0%} agreement; lookup/round seconds are "
+        "per-call minima through the obs layer"
+    )
+    assessor = None
+    if engine == "incremental":
+        # Engine-mode columns are strictly additive: the default column
+        # list above is pinned by downstream consumers.
+        columns += ["assess_percall_s", "assess_serve_s"]
+        notes += "; assess columns: full-population assessment sweep"
+        from ..core.config import AssessorConfig
+        from ..core.two_phase import Assessor
+
+        assessor = Assessor.from_config(
+            AssessorConfig(trust_function="average", behavior_test="multi")
+        )
     result = ExperimentResult(
         experiment="p2p_scale",
         title="P2P substrate scaling (Chord lookups, gossip convergence)",
-        columns=[
-            "n_nodes",
-            "chord_mean_hops",
-            "chord_lookup_s",
-            "gossip_rounds",
-            "gossip_round_s",
-        ],
-        notes=(
-            f"{lookups} lookups per ring size; gossip to "
-            f"{gossip_tolerance:.0%} agreement; lookup/round seconds are "
-            "per-call minima through the obs layer"
-        ),
+        columns=columns,
+        notes=notes,
     )
 
     if obs.is_enabled():
@@ -140,13 +166,61 @@ def run_p2p_scale(
                             monitor.tick(0, gossip_rounds=1)
                 lookup_hist = registry.histogram(_LOOKUP_METRIC, n_nodes=n)
                 round_hist = registry.histogram(_ROUND_METRIC, n_nodes=n)
-                result.add_row(
-                    n_nodes=n,
-                    chord_mean_hops=mean_hops,
-                    chord_lookup_s=lookup_hist.min,
-                    gossip_rounds=agg.rounds,
-                    gossip_round_s=round_hist.min,
-                )
+                row = {
+                    "n_nodes": n,
+                    "chord_mean_hops": mean_hops,
+                    "chord_lookup_s": lookup_hist.min,
+                    "gossip_rounds": agg.rounds,
+                    "gossip_round_s": round_hist.min,
+                }
+                if assessor is not None:
+                    with obs.span("experiments.p2p_scale.assess", n_nodes=n):
+                        from ..serve import AssessmentService
+                        from .serve_scale import _build_population
+
+                        histories = _build_population(n, base_seed=base_seed + n)
+                        for history in histories:
+                            assessor.assess(history)  # warm ε-calibration
+                        service = AssessmentService(assessor)
+                        for history in histories:
+                            service.add_server(history)
+                        service.assess_many()  # cold sweep fills the caches
+                        with obs.timer(_ASSESS_METRIC, mode="serve", n_nodes=n):
+                            batched = service.assess_many()
+                        with obs.timer(_ASSESS_METRIC, mode="percall", n_nodes=n):
+                            percall = {
+                                history.server: assessor.assess(history)
+                                for history in histories
+                            }
+                        if any(
+                            batched[s] != assessment
+                            for s, assessment in percall.items()
+                        ):
+                            raise AssertionError(
+                                "serving assessments diverged from per-call "
+                                f"assessment at n={n}"
+                            )
+                    for mode, column in (
+                        ("percall", "assess_percall_s"),
+                        ("serve", "assess_serve_s"),
+                    ):
+                        hist = registry.histogram(
+                            _ASSESS_METRIC, mode=mode, n_nodes=n
+                        )
+                        row[column] = hist.min
+                        bench_rows.append(
+                            {
+                                "name": f"assess_{mode}",
+                                "params": {"n_nodes": n},
+                                "stats": {
+                                    "mean_s": hist.mean,
+                                    "min_s": hist.min,
+                                    "p95_s": hist.p95,
+                                    "repeats": hist.count,
+                                },
+                            }
+                        )
+                result.add_row(**row)
                 bench_rows.append(
                     {
                         "name": "chord_lookup",

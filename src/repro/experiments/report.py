@@ -60,6 +60,11 @@ EXPECTED_SHAPES: Dict[str, str] = {
         "reaches 1% agreement in O(log n) rounds, so decentralized "
         "feedback retrieval stays cheap at scale."
     ),
+    "serve": (
+        "Steady-state assess_many sweeps run many times faster than "
+        "per-call assessment (memoized phase-1 verdicts; only touched "
+        "servers pay recomputation) while returning identical verdicts."
+    ),
 }
 
 

@@ -28,9 +28,24 @@ class FeedbackLedger:
         self._by_server: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._by_client: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._histories: Dict[EntityId, TransactionHistory] = {}
+        self._subscribers: List = []
 
     def __len__(self) -> int:
         return len(self._all)
+
+    def subscribe(self, callback) -> None:
+        """Call ``callback(feedback)`` after every successful :meth:`record`.
+
+        The hook lets downstream consumers (the serving engine's
+        per-server incremental states, monitoring) track the ledger
+        without polling.  Callbacks run synchronously in record order; a
+        raising callback propagates to the recorder.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        """Remove a previously subscribed callback (ValueError if absent)."""
+        self._subscribers.remove(callback)
 
     def record(self, feedback: Feedback) -> None:
         """Append one feedback; times per server must be non-decreasing."""
@@ -42,6 +57,8 @@ class FeedbackLedger:
         self._all.append(feedback)
         self._by_server[feedback.server].append(feedback)
         self._by_client[feedback.client].append(feedback)
+        for callback in self._subscribers:
+            callback(feedback)
 
     def record_many(self, feedbacks: Iterable[Feedback]) -> None:
         """Append a batch of feedback records in order."""

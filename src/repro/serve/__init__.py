@@ -1,0 +1,16 @@
+"""repro.serve — incremental, batched assessment serving.
+
+The serving layer amortizes the two-phase pipeline for continuous
+operation: per-server incremental phase-1 state
+(:class:`~repro.core.incremental.IncrementalBehaviorState`), a
+persistent ε-threshold cache (:class:`CalibrationCache`), and a batch
+facade (:class:`AssessmentService`) whose ``assess_many`` answers bulk
+trust queries with verdicts bit-identical to per-call
+``TwoPhaseAssessor.assess``.  See ``docs/SERVING.md`` for architecture
+and tuning knobs.
+"""
+
+from .cache import CalibrationCache
+from .service import AssessmentService
+
+__all__ = ["AssessmentService", "CalibrationCache"]

@@ -1,0 +1,152 @@
+"""Persistent LRU store of calibrated ε-thresholds.
+
+Calibration is the dominant cold-start cost of an assessment sweep: every
+new ``(m, k, p_hat-bucket)`` combination pays a Monte-Carlo pass.  The
+combinations are heavily shared across servers (histories of similar
+length and quality) and across runs (the paper's config rarely changes),
+so a process-wide LRU with JSON persistence makes repeated calibrations
+free — attach one :class:`CalibrationCache` to any number of
+:class:`~repro.core.calibration.ThresholdCalibrator` instances via
+``calibrator.attach_store(cache)``.
+
+Keys are the full calibration identity
+``(m, k, p_key, confidence, n_sets, distance)``, so calibrators with
+different settings can safely share one store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..obs import runtime as _obs
+
+__all__ = ["CalibrationCache"]
+
+#: (m, k, p_key, confidence, n_sets, distance_name)
+CacheKey = Tuple[int, int, float, float, int, str]
+
+_SCHEMA = "repro.serve.calibration_cache/v1"
+
+
+class CalibrationCache:
+    """LRU ε-threshold store with optional on-disk JSON persistence.
+
+    Parameters
+    ----------
+    maxsize:
+        Entry budget; least-recently-used entries are evicted beyond it.
+    path:
+        Default persistence location.  When given and the file exists,
+        the cache warm-starts from it immediately; :meth:`save` writes
+        back to the same place unless overridden.
+    """
+
+    def __init__(self, maxsize: int = 4096, path: Optional[str] = None):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self._maxsize = maxsize
+        self._path = path
+        self._entries: "OrderedDict[CacheKey, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        """The entry budget."""
+        return self._maxsize
+
+    def get(self, key: CacheKey) -> Optional[float]:
+        """The stored threshold for ``key``, refreshing its recency."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            if _obs.enabled:
+                _obs.registry.inc("serve.calibration_cache.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if _obs.enabled:
+            _obs.registry.inc("serve.calibration_cache.hits")
+        return value
+
+    def put(self, key: CacheKey, value: float) -> None:
+        """Store a threshold, evicting the least-recently-used overflow."""
+        self._entries[key] = float(value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if _obs.enabled:
+                _obs.registry.inc("serve.calibration_cache.evictions")
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus the current size."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self._maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------ #
+    # persistence
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the cache to JSON; returns the path written."""
+        target = path or self._path
+        if target is None:
+            raise ValueError("no path given and the cache has no default path")
+        payload = {
+            "schema": _SCHEMA,
+            "entries": [[list(key), value] for key, value in self._entries.items()],
+        }
+        directory = os.path.dirname(target)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        return target
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge entries from a JSON snapshot; returns how many loaded.
+
+        Loaded entries count as least-recently-used relative to entries
+        already present, and malformed files raise ``ValueError`` rather
+        than silently serving wrong thresholds.
+        """
+        source = path or self._path
+        if source is None:
+            raise ValueError("no path given and the cache has no default path")
+        with open(source, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+            raise ValueError(f"{source}: not a {_SCHEMA} snapshot")
+        loaded = 0
+        for raw_key, value in payload.get("entries", []):
+            m, k, p_key, confidence, n_sets, distance = raw_key
+            key = (
+                int(m),
+                int(k),
+                float(p_key),
+                float(confidence),
+                int(n_sets),
+                str(distance),
+            )
+            if key not in self._entries:
+                self._entries[key] = float(value)
+                self._entries.move_to_end(key, last=False)
+                loaded += 1
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return loaded

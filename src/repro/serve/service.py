@@ -1,0 +1,417 @@
+"""Batched incremental assessment service.
+
+:class:`AssessmentService` is the serving facade over the two-phase
+pipeline: it keeps one :class:`~repro.core.incremental.IncrementalBehaviorState`
+per server, folds feedback as it arrives (directly or via a subscribed
+:class:`~repro.feedback.ledger.FeedbackLedger`), memoizes phase-1
+verdicts and whole assessments, and answers bulk trust queries through
+:meth:`AssessmentService.assess_many`, sharding across a
+``concurrent.futures`` pool when that actually helps.
+
+Verdicts are bit-identical to per-call
+:meth:`~repro.core.two_phase.TwoPhaseAssessor.assess` — the service
+reuses the assessor's own phase logic — with one deliberate difference:
+the serving fast path does not emit per-decision audit records (auditing
+a bulk sweep would log every cached decision again; run the assessor
+directly when provenance of a specific decision is needed).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.config import AssessorConfig
+from ..core.incremental import IncrementalBehaviorState
+from ..core.two_phase import Assessor, TwoPhaseAssessor
+from ..core.verdict import Assessment, AssessmentStatus
+from ..feedback.history import TransactionHistory
+from ..feedback.ledger import FeedbackLedger
+from ..feedback.records import EntityId, Feedback
+from ..obs import runtime as _obs
+from ..trust.base import LedgerTrustFunction
+from .cache import CalibrationCache
+
+__all__ = ["AssessmentService"]
+
+_EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Below this many servers, pool startup outweighs any sharding gain.
+_MIN_PARALLEL_BATCH = 512
+
+# Per-process worker state for executor="process": the assessor is built
+# once per worker from the service's declarative config (initializer),
+# then reused for every shard the pool hands that worker.
+_PROCESS_STATE: dict = {}
+
+
+def _init_process_worker(config: AssessorConfig) -> None:
+    _PROCESS_STATE["assessor"] = Assessor.from_config(config)
+
+
+def _assess_shard_in_process(
+    histories: List[TransactionHistory],
+) -> List[Assessment]:
+    assessor = _PROCESS_STATE["assessor"]
+    return [assessor.assess(history) for history in histories]
+
+
+class AssessmentService:
+    """Incremental, batched serving of two-phase assessments.
+
+    Construct from exactly one of:
+
+    * ``assessor=`` — an existing :class:`TwoPhaseAssessor`; or
+    * ``config=`` — an :class:`~repro.core.config.AssessorConfig`, which
+      additionally enables ``executor="process"`` (workers rebuild the
+      assessor from the declarative config).
+
+    Parameters
+    ----------
+    ledger:
+        Attach to a system ledger: existing servers are registered, new
+        feedback auto-registers its server via the ledger's subscription
+        hook, and phase 2 receives the ledger (required by PeerTrust /
+        EigenTrust-style schemes).
+    calibration_cache:
+        A :class:`~repro.serve.cache.CalibrationCache` to back the
+        behavior test's ε-threshold calibrator (shared across services
+        and persisted across runs).
+    executor:
+        Default :meth:`assess_many` sharding mode — ``"auto"``,
+        ``"serial"``, ``"thread"`` or ``"process"``.  ``"auto"`` picks
+        serial unless the machine has spare cores, the batch is large,
+        and (for processes) a declarative config is available.
+    max_workers:
+        Pool size for the parallel modes (default: the CPU count).
+    """
+
+    def __init__(
+        self,
+        assessor: Optional[TwoPhaseAssessor] = None,
+        *,
+        config: Optional[AssessorConfig] = None,
+        ledger: Optional[FeedbackLedger] = None,
+        calibration_cache: Optional[CalibrationCache] = None,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
+    ):
+        if (assessor is None) == (config is None):
+            raise ValueError("pass exactly one of assessor= or config=")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+        self._config = config
+        self._assessor = assessor if assessor is not None else Assessor.from_config(config)
+        self._executor = executor
+        self._max_workers = max_workers
+        self._calibration_cache = calibration_cache
+        if calibration_cache is not None:
+            behavior = self._assessor.behavior_test
+            calibrator = getattr(behavior, "calibrator", None)
+            if calibrator is not None:
+                calibrator.attach_store(calibration_cache)
+        self._states: Dict[EntityId, IncrementalBehaviorState] = {}
+        # Whole-assessment memo (history length -> Assessment); only valid
+        # when phase 2 depends on nothing but the server's own history.
+        self._assessment_cache: Dict[EntityId, tuple] = {}
+        self._cacheable_trust = not isinstance(
+            self._assessor.trust_function, LedgerTrustFunction
+        )
+        self.n_assessments = 0
+        self.n_assessment_cache_hits = 0
+        self._ledger: Optional[FeedbackLedger] = None
+        self._ledger_callback = None
+        if ledger is not None:
+            self.attach_ledger(ledger)
+
+    # ------------------------------------------------------------------ #
+    # registration and ingest
+
+    @property
+    def assessor(self) -> TwoPhaseAssessor:
+        """The wrapped two-phase assessor."""
+        return self._assessor
+
+    @property
+    def config(self) -> Optional[AssessorConfig]:
+        """The declarative config, when the service was built from one."""
+        return self._config
+
+    @property
+    def ledger(self) -> Optional[FeedbackLedger]:
+        """The attached system ledger, if any."""
+        return self._ledger
+
+    def servers(self) -> List[EntityId]:
+        """Registered server ids, in registration order."""
+        return list(self._states)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def attach_ledger(self, ledger: FeedbackLedger) -> None:
+        """Track a system ledger: register its servers, follow new feedback."""
+        if self._ledger is not None:
+            raise ValueError("a ledger is already attached")
+        self._ledger = ledger
+        for server in sorted(ledger.servers()):
+            self._register(ledger.history(server))
+
+        def _on_feedback(feedback: Feedback) -> None:
+            if feedback.server not in self._states:
+                self._register(ledger.history(feedback.server))
+
+        self._ledger_callback = _on_feedback
+        ledger.subscribe(_on_feedback)
+
+    def add_server(self, server) -> EntityId:
+        """Register a server; returns its id.
+
+        ``server`` is either a :class:`TransactionHistory` (registered
+        as-is, sharing the live object) or a bare server id (registered
+        with a fresh empty history).  Registering an id twice is a no-op;
+        registering a *different* history under an existing id is an
+        error.
+        """
+        if isinstance(server, TransactionHistory):
+            return self._register(server)
+        existing = self._states.get(server)
+        if existing is not None:
+            return server
+        return self._register(TransactionHistory(server))
+
+    def _register(self, history: TransactionHistory) -> EntityId:
+        server = history.server
+        existing = self._states.get(server)
+        if existing is not None:
+            if existing.history is not history:
+                raise ValueError(
+                    f"server {server!r} is already registered with a "
+                    "different history"
+                )
+            return server
+        self._states[server] = IncrementalBehaviorState(
+            self._assessor.behavior_test
+            if self._assessor.behavior_test is not None
+            else _NullTester(),
+            history,
+        )
+        if _obs.enabled:
+            _obs.registry.inc("serve.service.servers_registered")
+        return server
+
+    def observe(self, feedback: Feedback) -> None:
+        """Ingest one feedback record.
+
+        With a ledger attached this records through the ledger (which
+        also notifies every other subscriber); standalone services fold
+        directly into the server's state, registering it on first sight.
+        """
+        if self._ledger is not None:
+            self._ledger.record(feedback)
+            return
+        state = self._states.get(feedback.server)
+        if state is None:
+            self.add_server(feedback.server)
+            state = self._states[feedback.server]
+        state.fold_feedback(feedback)
+
+    def observe_outcome(self, server: EntityId, outcome: int) -> None:
+        """Ingest one bare 0/1 outcome for ``server`` (standalone mode only)."""
+        if self._ledger is not None:
+            raise ValueError("ledger-attached services ingest via the ledger")
+        state = self._states.get(server)
+        if state is None:
+            self.add_server(server)
+            state = self._states[server]
+        state.fold(outcome)
+
+    def invalidate(self, server: EntityId) -> None:
+        """Drop every cache for ``server``; next assessment recomputes."""
+        self._states[server].invalidate()
+        self._assessment_cache.pop(server, None)
+
+    # ------------------------------------------------------------------ #
+    # assessment
+
+    def assess(self, server: EntityId) -> Assessment:
+        """Assess one server, reusing incremental state and memos."""
+        state = self._states.get(server)
+        if state is None:
+            raise KeyError(f"server {server!r} is not registered")
+        history = state.history
+        n = len(history)
+        if self._cacheable_trust:
+            cached = self._assessment_cache.get(server)
+            if cached is not None and cached[0] == n:
+                self.n_assessment_cache_hits += 1
+                if _obs.enabled:
+                    _obs.registry.inc("serve.service.assessment_cache_hits")
+                return cached[1]
+        assessment = self._assess_fresh(state, history)
+        self.n_assessments += 1
+        if self._cacheable_trust:
+            self._assessment_cache[server] = (n, assessment)
+        if _obs.enabled:
+            _obs.registry.inc("serve.service.assessments")
+        return assessment
+
+    def _assess_fresh(
+        self, state: IncrementalBehaviorState, history: TransactionHistory
+    ) -> Assessment:
+        behavior = None
+        if self._assessor.behavior_test is not None:
+            behavior = state.verdict()
+            if not behavior.passed:
+                return Assessment(
+                    status=AssessmentStatus.SUSPICIOUS,
+                    trust_value=None,
+                    behavior=behavior,
+                    server=history.server,
+                )
+        trust_value = self._assessor.trust_value(history, ledger=self._ledger)
+        status = (
+            AssessmentStatus.TRUSTED
+            if trust_value >= self._assessor.trust_threshold
+            else AssessmentStatus.UNTRUSTED
+        )
+        return Assessment(
+            status=status,
+            trust_value=trust_value,
+            behavior=behavior,
+            server=history.server,
+        )
+
+    def assess_many(
+        self,
+        server_ids: Optional[Iterable[EntityId]] = None,
+        *,
+        executor: Optional[str] = None,
+    ) -> Dict[EntityId, Assessment]:
+        """Assess a batch of servers (default: every registered server).
+
+        Sharding follows the service's executor mode unless overridden
+        per call.  Results come back as ``{server_id: Assessment}`` in
+        input order.
+        """
+        ids = list(server_ids) if server_ids is not None else list(self._states)
+        mode = executor if executor is not None else self._executor
+        if mode not in _EXECUTORS:
+            raise ValueError(f"executor must be one of {_EXECUTORS}, got {mode!r}")
+        if mode == "auto":
+            mode = self._choose_executor(len(ids))
+        from ..obs import span as _span
+
+        with _span("serve.assess_many", mode=mode, batch=len(ids)):
+            if mode == "serial":
+                return {sid: self.assess(sid) for sid in ids}
+            if mode == "thread":
+                return self._assess_many_threaded(ids)
+            return self._assess_many_process(ids)
+
+    def _choose_executor(self, batch_size: int) -> str:
+        cores = os.cpu_count() or 1
+        if cores <= 2 or batch_size < _MIN_PARALLEL_BATCH:
+            return "serial"
+        if self._config is not None and self._ledger is None:
+            return "process"
+        # threads keep the incremental caches but contend on the GIL;
+        # they only pay off for the pure-python fallback testers
+        return "serial"
+
+    def _workers(self) -> int:
+        return self._max_workers or (os.cpu_count() or 1)
+
+    def _shards(self, ids: Sequence[EntityId]) -> List[List[EntityId]]:
+        n_shards = min(self._workers(), max(1, len(ids)))
+        size = (len(ids) + n_shards - 1) // n_shards
+        return [list(ids[i : i + size]) for i in range(0, len(ids), size)]
+
+    def _assess_many_threaded(
+        self, ids: Sequence[EntityId]
+    ) -> Dict[EntityId, Assessment]:
+        results: Dict[EntityId, Assessment] = {}
+        with ThreadPoolExecutor(max_workers=self._workers()) as pool:
+            shard_results = pool.map(
+                lambda shard: [(sid, self.assess(sid)) for sid in shard],
+                self._shards(ids),
+            )
+            for shard in shard_results:
+                results.update(shard)
+        return {sid: results[sid] for sid in ids}
+
+    def _assess_many_process(
+        self, ids: Sequence[EntityId]
+    ) -> Dict[EntityId, Assessment]:
+        if self._config is None:
+            raise ValueError(
+                "executor='process' needs a service built from config= "
+                "(workers rebuild the assessor from the declarative config)"
+            )
+        if self._ledger is not None or not self._cacheable_trust:
+            raise ValueError(
+                "executor='process' supports history-based trust functions "
+                "only; ledger-backed schemes cannot be sharded across processes"
+            )
+        shards = self._shards(ids)
+        histories = [[self._states[sid].history for sid in shard] for shard in shards]
+        results: Dict[EntityId, Assessment] = {}
+        with ProcessPoolExecutor(
+            max_workers=self._workers(),
+            initializer=_init_process_worker,
+            initargs=(self._config,),
+        ) as pool:
+            for shard, assessed in zip(shards, pool.map(_assess_shard_in_process, histories)):
+                for sid, assessment in zip(shard, assessed):
+                    results[sid] = assessment
+        return {sid: results[sid] for sid in ids}
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: states, memo hits, calibration reuse."""
+        folds = sum(s.n_folds for s in self._states.values())
+        verdict_hits = sum(s.n_cache_hits for s in self._states.values())
+        extensions = sum(s.n_count_extensions for s in self._states.values())
+        recomputes = sum(s.n_count_recomputes for s in self._states.values())
+        calibrator = getattr(self._assessor.behavior_test, "calibrator", None)
+        payload: Dict[str, object] = {
+            "servers": len(self._states),
+            "assessments": self.n_assessments,
+            "assessment_cache_hits": self.n_assessment_cache_hits,
+            "folds": folds,
+            "verdict_cache_hits": verdict_hits,
+            "count_extensions": extensions,
+            "count_recomputes": recomputes,
+        }
+        if calibrator is not None:
+            hits, misses = calibrator.cache_stats
+            payload["calibration_hits"] = hits
+            payload["calibration_misses"] = misses
+        if self._calibration_cache is not None:
+            payload["calibration_cache"] = self._calibration_cache.stats()
+        return payload
+
+    def save_cache(self, path: Optional[str] = None) -> Optional[str]:
+        """Persist the calibration cache (no-op without one attached)."""
+        if self._calibration_cache is None:
+            return None
+        return self._calibration_cache.save(path)
+
+    def close(self) -> None:
+        """Detach from the ledger; the service can be garbage collected."""
+        if self._ledger is not None and self._ledger_callback is not None:
+            self._ledger.unsubscribe(self._ledger_callback)
+        self._ledger = None
+        self._ledger_callback = None
+
+
+class _NullTester:
+    """Stand-in tester for screening-disabled assessors (never consulted)."""
+
+    name = "null"
+
+    def test(self, history):
+        raise AssertionError("null tester must never be consulted")

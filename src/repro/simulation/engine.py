@@ -40,6 +40,8 @@ from .server import ServerBehavior
 
 __all__ = ["ReputationSimulation"]
 
+_ENGINES = ("direct", "incremental")
+
 
 class ReputationSimulation:
     """A closed ecosystem of servers, clients and one shared ledger."""
@@ -55,6 +57,7 @@ class ReputationSimulation:
         prior_histories: Optional[Dict[EntityId, "Sequence[int]"]] = None,
         feedback_store=None,
         seed: SeedLike = None,
+        engine: str = "direct",
     ):
         """``bootstrap_transactions`` seeds each server with that many
         transactions from unconditional clients (round-robin) before
@@ -77,7 +80,16 @@ class ReputationSimulation:
         ``DistributedFeedbackStore`` for a decentralized deployment).
         Ledger-based trust functions (PeerTrust, EigenTrust, HTrust) need
         the full per-client query surface and therefore require the
-        default central ledger."""
+        default central ledger.
+
+        ``engine`` selects how the hot loop assesses: ``"direct"`` calls
+        the assessor per decision (the historical behavior, required for
+        per-decision audit records); ``"incremental"`` routes through an
+        :class:`~repro.serve.AssessmentService` whose per-server state
+        memoizes phase-1 verdicts between feedback events — identical
+        decisions, much cheaper on workloads where assessments outnumber
+        transactions.  The incremental engine needs the central ledger's
+        subscription hook."""
         if not servers:
             raise ValueError("need at least one server")
         if not clients:
@@ -104,6 +116,19 @@ class ReputationSimulation:
         }
         self._metrics = SimulationMetrics()
         self._time = 0.0
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        self._engine = engine
+        self._service = None
+        if engine == "incremental":
+            if not isinstance(self._ledger, FeedbackLedger):
+                raise ValueError(
+                    "engine='incremental' needs the central FeedbackLedger's "
+                    "subscription hook; use the default feedback store"
+                )
+            from ..serve import AssessmentService
+
+            self._service = AssessmentService(assessor, ledger=self._ledger)
         if not 0.0 <= exploration <= 1.0:
             raise ValueError(f"exploration must lie in [0, 1], got {exploration}")
         self._exploration = exploration
@@ -127,6 +152,11 @@ class ReputationSimulation:
     def time(self) -> float:
         return self._time
 
+    @property
+    def engine(self) -> str:
+        """The assessment engine mode (``"direct"`` or ``"incremental"``)."""
+        return self._engine
+
     def reputation_of(self, server: EntityId) -> float:
         """The public (phase 2) reputation clients currently see."""
         trust_fn = self._assessor.trust_function
@@ -138,6 +168,8 @@ class ReputationSimulation:
 
     def assess(self, server: EntityId):
         """Run the configured two-phase assessment on a server."""
+        if self._service is not None and server in self._service.servers():
+            return self._service.assess(server)
         ledger = self._ledger if isinstance(self._ledger, FeedbackLedger) else None
         return self._assessor.assess(self._ledger.history(server), ledger=ledger)
 
@@ -221,7 +253,12 @@ class ReputationSimulation:
         stats.assessments += 1
         if _obs.enabled:
             _obs.registry.inc("simulation.assessments")
-        if _audit.enabled:
+        if self._service is not None and not _audit.enabled:
+            # the serving fast path: memoized phase-1 verdicts, identical
+            # decisions; audit runs fall through to the direct assessor so
+            # per-decision provenance records keep flowing
+            assessment = self._service.assess(server_id)
+        elif _audit.enabled:
             # Outermost decision scope: the assessor's nested scope joins
             # this one, so the per-tick routing context (who asked, when)
             # lands on every record and sampling counts one decision per

@@ -19,7 +19,12 @@ from .peertrust import PeerTrust
 from .trustguard import TrustGuardTrust
 from .weighted import WeightedTrust
 
-__all__ = ["make_trust_function", "register_trust_function", "available_trust_functions"]
+__all__ = [
+    "make_trust_function",
+    "register_trust_function",
+    "available_trust_functions",
+    "resolve_trust_name",
+]
 
 AnyTrust = Union[TrustFunction, LedgerTrustFunction]
 
@@ -34,6 +39,29 @@ _FACTORIES: Dict[str, Callable[..., AnyTrust]] = {
     HTrust.name: HTrust,
 }
 
+#: Historical / class-derived spellings, resolved to canonical names so
+#: configs written against either surface keep working.
+_ALIASES: Dict[str, str] = {
+    "avg": AverageTrust.name,
+    "mean": AverageTrust.name,
+    "beta-reputation": BetaReputationTrust.name,
+    "peer-trust": PeerTrust.name,
+    "trust-guard": TrustGuardTrust.name,
+    "eigen": EigenTrust.name,
+    "h-trust": HTrust.name,
+}
+
+
+def resolve_trust_name(name: str) -> str:
+    """Canonical registered name for ``name`` (aliases resolved)."""
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _FACTORIES:
+        raise KeyError(
+            f"unknown trust function {name!r}; available: {sorted(_FACTORIES)} "
+            f"(aliases: {sorted(_ALIASES)})"
+        )
+    return canonical
+
 
 def make_trust_function(name: str, **kwargs) -> AnyTrust:
     """Instantiate a registered trust function.
@@ -41,24 +69,23 @@ def make_trust_function(name: str, **kwargs) -> AnyTrust:
     Keyword arguments are forwarded to the constructor, e.g.
     ``make_trust_function("weighted", lam=0.5)``.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown trust function {name!r}; available: {sorted(_FACTORIES)}"
-        ) from None
-    return factory(**kwargs)
+    return _FACTORIES[resolve_trust_name(name)](**kwargs)
 
 
-def register_trust_function(name: str, factory: Callable[..., AnyTrust]) -> None:
-    """Register a custom trust function under ``name``.
+def register_trust_function(
+    name: str, factory: Callable[..., AnyTrust], *, aliases=()
+) -> None:
+    """Register a custom trust function under ``name`` (plus ``aliases``).
 
-    Re-registering an existing name is an error — shadowing a baseline
-    silently would corrupt experiment comparisons.
+    Re-registering an existing name or alias is an error — shadowing a
+    baseline silently would corrupt experiment comparisons.
     """
-    if name in _FACTORIES:
-        raise ValueError(f"trust function {name!r} is already registered")
+    for candidate in (name, *aliases):
+        if candidate in _FACTORIES or candidate in _ALIASES:
+            raise ValueError(f"trust function {candidate!r} is already registered")
     _FACTORIES[name] = factory
+    for alias in aliases:
+        _ALIASES[alias] = name
 
 
 def available_trust_functions() -> list:

@@ -186,8 +186,8 @@ class TestSegmentedBehaviorTest:
             ]
         )
         assessor = TwoPhaseAssessor(
-            SegmentedBehaviorTest(paper_config, shared_calibrator),
-            AverageTrust(),
+            behavior_test=SegmentedBehaviorTest(paper_config, shared_calibrator),
+            trust_function=AverageTrust(),
             trust_threshold=0.9,
         )
         history = TransactionHistory.from_outcomes(drift)

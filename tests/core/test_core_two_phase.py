@@ -17,8 +17,8 @@ from repro.trust.eigentrust import EigenTrust
 @pytest.fixture()
 def assessor(paper_config, shared_calibrator):
     return TwoPhaseAssessor(
-        SingleBehaviorTest(paper_config, shared_calibrator),
-        AverageTrust(),
+        behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+        trust_function=AverageTrust(),
         trust_threshold=0.9,
     )
 
@@ -58,7 +58,9 @@ class TestStatuses:
 
 class TestNoScreenBaseline:
     def test_none_behavior_test_reduces_to_trust_function(self):
-        assessor = TwoPhaseAssessor(None, AverageTrust(), trust_threshold=0.9)
+        assessor = TwoPhaseAssessor(
+            trust_function=AverageTrust(), trust_threshold=0.9
+        )
         trace = np.tile([0] + [1] * 9, 60)
         result = assessor.assess(_history(trace))
         # the bare trust function happily trusts the manipulator
@@ -69,7 +71,8 @@ class TestNoScreenBaseline:
 class TestLedgerTrustIntegration:
     def test_ledger_scheme_requires_ledger(self, paper_config, shared_calibrator):
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(paper_config, shared_calibrator), EigenTrust()
+            behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+            trust_function=EigenTrust(),
         )
         history = _history(generate_honest_outcomes(100, 0.95, seed=4))
         with pytest.raises(ValueError, match="ledger"):
@@ -88,8 +91,8 @@ class TestLedgerTrustIntegration:
                 )
             )
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(paper_config, shared_calibrator),
-            EigenTrust(),
+            behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+            trust_function=EigenTrust(),
             trust_threshold=0.5,
         )
         result = assessor.assess(ledger.history("s"), ledger=ledger)
@@ -100,7 +103,7 @@ class TestLedgerTrustIntegration:
 class TestValidation:
     def test_threshold_range(self):
         with pytest.raises(ValueError):
-            TwoPhaseAssessor(None, AverageTrust(), trust_threshold=1.5)
+            TwoPhaseAssessor(trust_function=AverageTrust(), trust_threshold=1.5)
 
     def test_properties(self, assessor):
         assert assessor.trust_threshold == 0.9

@@ -1,13 +1,17 @@
 """Tests for repro.core.verdict result objects."""
 
+import numpy as np
 import pytest
 
+from repro.core.registry import available_behavior_tests, make_behavior_test
 from repro.core.verdict import (
     Assessment,
     AssessmentStatus,
     BehaviorVerdict,
     MultiTestReport,
 )
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
 
 
 def _verdict(passed=True, distance=0.1, threshold=0.3):
@@ -84,6 +88,43 @@ class TestMultiTestReport:
     def test_n_rounds(self):
         report = MultiTestReport(passed=True, rounds=((1, _verdict()), (2, _verdict())))
         assert report.n_rounds == 2
+
+
+class TestVerdictUnification:
+    """Every registered tester returns a BehaviorVerdict."""
+
+    def _rich_history(self) -> TransactionHistory:
+        """Feedback-rich history: timestamps, cycling clients, categories."""
+        rng = np.random.default_rng(42)
+        return TransactionHistory.from_feedbacks(
+            Feedback(
+                time=float(t) * 3600.0,
+                server="srv",
+                client=f"client-{t % 5}",
+                rating=(
+                    Rating.POSITIVE if rng.random() < 0.95 else Rating.NEGATIVE
+                ),
+                category=("books", "tools")[t % 2],
+            )
+            for t in range(300)
+        )
+
+    @pytest.mark.parametrize("name", sorted(available_behavior_tests()))
+    def test_every_registry_tester_returns_a_verdict(
+        self, name, paper_config, shared_calibrator
+    ):
+        kwargs = {"n_categories": 3} if name == "multinomial" else {}
+        tester = make_behavior_test(
+            name, config=paper_config, calibrator=shared_calibrator, **kwargs
+        )
+        if name == "multinomial":
+            rng = np.random.default_rng(7)
+            verdict = tester.test(rng.integers(0, 3, size=300))
+        else:
+            verdict = tester.test(self._rich_history())
+        assert isinstance(verdict, BehaviorVerdict)
+        assert isinstance(verdict.passed, bool)
+        assert isinstance(verdict.margin, float)
 
 
 class TestAssessment:

@@ -14,7 +14,14 @@ from repro.experiments import RUNNERS, run_fig3, run_fig4, run_fig7, run_fig8, r
 class TestRegistry:
     def test_all_figures_registered(self):
         figures = {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
-        extensions = {"ext-roc", "ext-cheat-rate", "ext-sybil", "ext-matrix", "p2p_scale"}
+        extensions = {
+            "ext-roc",
+            "ext-cheat-rate",
+            "ext-sybil",
+            "ext-matrix",
+            "p2p_scale",
+            "serve",
+        }
         assert set(RUNNERS) == figures | extensions
 
 

@@ -228,7 +228,9 @@ class TestRecordShapes:
             server="alice",
         )
         attacker, _ = _hibernating_history("mallory")
-        assessor = TwoPhaseAssessor(MultiBehaviorTest(CONFIG), AverageTrust())
+        assessor = TwoPhaseAssessor(
+            behavior_test=MultiBehaviorTest(CONFIG), trust_function=AverageTrust()
+        )
         with audit.audit_session() as trail:
             good = assessor.assess(honest)
             bad = assessor.assess(attacker)

@@ -114,7 +114,9 @@ class TestTwoPhaseCounters:
             ]
         )
         assessor = TwoPhaseAssessor(
-            MultiBehaviorTest(config), AverageTrust(), trust_threshold=0.9
+            behavior_test=MultiBehaviorTest(config),
+            trust_function=AverageTrust(),
+            trust_threshold=0.9,
         )
         with obs.activate() as session:
             good = assessor.assess(self._history(honest))
@@ -139,7 +141,9 @@ class TestTwoPhaseCounters:
 
 class TestSimulationBridge:
     def _run_simulation(self, steps=5):
-        assessor = TwoPhaseAssessor(None, AverageTrust(), trust_threshold=0.5)
+        assessor = TwoPhaseAssessor(
+            trust_function=AverageTrust(), trust_threshold=0.5
+        )
         sim = ReputationSimulation(
             servers={"srv-a": HonestBehavior(0.95), "srv-b": HonestBehavior(0.6)},
             clients=[f"c{i}" for i in range(6)],
@@ -187,7 +191,9 @@ class TestSimulationBridge:
         monitor = obs.ProgressMonitor(
             log, total=6, label="steps", interval_seconds=None, interval_ticks=2
         )
-        assessor = TwoPhaseAssessor(None, AverageTrust(), trust_threshold=0.5)
+        assessor = TwoPhaseAssessor(
+            trust_function=AverageTrust(), trust_threshold=0.5
+        )
         sim = ReputationSimulation(
             servers={"srv-a": HonestBehavior(0.95)},
             clients=[f"c{i}" for i in range(6)],

@@ -112,8 +112,8 @@ class TestTwoPhaseOverDht:
         store.record_many(feedbacks)
 
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(paper_config, shared_calibrator),
-            AverageTrust(),
+            behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+            trust_function=AverageTrust(),
             trust_threshold=0.9,
         )
         from repro.feedback.history import TransactionHistory
@@ -130,7 +130,8 @@ class TestTwoPhaseOverDht:
             [_fb(t, good=bool(outcome)) for t, outcome in enumerate(trace)]
         )
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(paper_config, shared_calibrator), AverageTrust()
+            behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+            trust_function=AverageTrust(),
         )
         assert store.history("shop").p_hat == pytest.approx(0.9)
         assert assessor.assess(store.history("shop")).status is AssessmentStatus.SUSPICIOUS

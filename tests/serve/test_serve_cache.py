@@ -1,0 +1,101 @@
+"""CalibrationCache: LRU semantics and JSON persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.calibration import ThresholdCalibrator
+from repro.serve import CalibrationCache
+
+
+def _key(i: int):
+    return (10, 20 + i, 0.95, 0.95, 100, "l1")
+
+
+class TestLRU:
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            CalibrationCache(maxsize=0)
+
+    def test_get_put_and_counters(self):
+        cache = CalibrationCache(maxsize=4)
+        assert cache.get(_key(0)) is None
+        cache.put(_key(0), 0.5)
+        assert cache.get(_key(0)) == 0.5
+        assert cache.stats() == {
+            "size": 1,
+            "maxsize": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = CalibrationCache(maxsize=3)
+        for i in range(3):
+            cache.put(_key(i), float(i))
+        cache.get(_key(0))  # refresh 0: now 1 is the oldest
+        cache.put(_key(3), 3.0)
+        assert cache.get(_key(1)) is None
+        assert cache.get(_key(0)) == 0.0
+        assert cache.evictions == 1
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "thresholds.json")
+        cache = CalibrationCache(path=path)
+        for i in range(5):
+            cache.put(_key(i), float(i) / 10)
+        assert cache.save() == path
+        reloaded = CalibrationCache(path=path)  # warm-starts from disk
+        assert len(reloaded) == 5
+        for i in range(5):
+            assert reloaded.get(_key(i)) == pytest.approx(float(i) / 10)
+
+    def test_loaded_entries_rank_below_existing_ones(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        donor = CalibrationCache()
+        donor.put(_key(0), 0.1)
+        donor.save(path)
+        cache = CalibrationCache(maxsize=1)
+        cache.put(_key(1), 0.2)
+        cache.load(path)  # overflow evicts the loaded (least-recent) entry
+        assert cache.get(_key(1)) == 0.2
+        assert cache.get(_key(0)) is None
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "something/else", "entries": []}))
+        with pytest.raises(ValueError, match="snapshot"):
+            CalibrationCache().load(str(path))
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError, match="path"):
+            CalibrationCache().save()
+
+
+class TestCalibratorIntegration:
+    def test_attach_store_shares_thresholds_across_calibrators(self):
+        cache = CalibrationCache()
+        first = ThresholdCalibrator(n_sets=50)
+        first.attach_store(cache)
+        eps = first.threshold(m=10, k=12, p_hat=0.95)
+        assert len(cache) >= 1
+        second = ThresholdCalibrator(n_sets=50)
+        second.attach_store(cache)
+        misses_before = cache.misses
+        assert second.threshold(m=10, k=12, p_hat=0.95) == eps
+        assert cache.hits >= 1
+        # the second calibrator answered from the store, not Monte Carlo
+        assert cache.misses == misses_before
+
+    def test_detach_store(self):
+        cache = CalibrationCache()
+        calibrator = ThresholdCalibrator(n_sets=50)
+        calibrator.attach_store(cache)
+        calibrator.attach_store(None)
+        calibrator.threshold(m=10, k=5, p_hat=0.9)
+        assert len(cache) == 0

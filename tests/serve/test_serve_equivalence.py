@@ -1,0 +1,166 @@
+"""Seeded equivalence sweep: incremental state == batch recomputation.
+
+The serving layer's core contract is that
+:class:`~repro.core.incremental.IncrementalBehaviorState` returns the
+*same object-equal verdict* as calling ``tester.test(history)`` from
+scratch, at every point of an arbitrarily interleaved fold/verdict
+schedule.  This suite drives 200+ random histories — honest players,
+hibernating and periodic attackers, colluding issuer groups — through
+random cadences and compares verdict-for-verdict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.hibernating import hibernating_attack_history
+from repro.adversary.periodic import periodic_attack_history
+from repro.core.incremental import IncrementalBehaviorState
+from repro.core.collusion import CollusionResilientMultiTest
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.feedback.history import TransactionHistory
+from repro.feedback.records import Feedback, Rating
+
+N_HISTORIES = 210  # the ISSUE's acceptance bar is 200+
+
+
+def _random_history(rng: np.random.Generator) -> np.ndarray:
+    """One random history from a random family (honest or adversarial)."""
+    family = rng.integers(0, 3)
+    n = int(rng.integers(0, 600))
+    seed = int(rng.integers(0, 2**31))
+    if family == 0:
+        p = 0.80 + 0.19 * float(rng.random())
+        return generate_honest_outcomes(n, p, seed=seed)
+    if family == 1:
+        n_attacks = int(rng.integers(0, 60))
+        return hibernating_attack_history(n, n_attacks, seed=seed)
+    attack_window = int(rng.integers(5, 60))
+    return periodic_attack_history(n, attack_window, seed=seed)
+
+
+def _drive(state: IncrementalBehaviorState, outcomes, rng) -> int:
+    """Fold ``outcomes`` in random chunks, checking equivalence at each stop.
+
+    Returns how many checkpoints were compared.
+    """
+    checks = 0
+    i = 0
+    n = len(outcomes)
+    while i <= n:
+        expected = state.tester.test(state.history)
+        assert state.verdict() == expected, (
+            f"diverged at length {len(state.history)}"
+        )
+        # re-query must serve the memoized verdict and still match
+        assert state.verdict() == expected
+        checks += 1
+        if i == n:
+            break
+        chunk = int(rng.integers(1, 64))
+        for outcome in outcomes[i : i + chunk]:
+            state.fold(int(outcome))
+        i = min(i + chunk, n)
+    return checks
+
+
+class TestOptimizedMultiEquivalence:
+    """The incremental fast path against its own tester, 200+ histories."""
+
+    def test_random_histories_match_batch_verdicts(self, paper_config, shared_calibrator):
+        tester = MultiBehaviorTest(paper_config, shared_calibrator)
+        rng = np.random.default_rng(20080805)
+        total_checks = 0
+        for _ in range(N_HISTORIES):
+            outcomes = _random_history(rng)
+            state = IncrementalBehaviorState(tester)
+            assert state.incremental
+            total_checks += _drive(state, outcomes, rng)
+        assert total_checks >= N_HISTORIES
+
+    def test_collect_all_variant_matches(self, paper_config, shared_calibrator):
+        tester = MultiBehaviorTest(
+            paper_config, shared_calibrator, collect_all=True
+        )
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            state = IncrementalBehaviorState(tester)
+            _drive(state, _random_history(rng), rng)
+
+    def test_invalidate_forces_recompute_and_matches(
+        self, paper_config, shared_calibrator
+    ):
+        tester = MultiBehaviorTest(paper_config, shared_calibrator)
+        state = IncrementalBehaviorState(tester)
+        for outcome in generate_honest_outcomes(300, 0.95, seed=1):
+            state.fold(int(outcome))
+        before = state.verdict()
+        state.invalidate()
+        assert state.verdict() == before == tester.test(state.history)
+
+    def test_live_ledger_history_detected_by_length(
+        self, paper_config, shared_calibrator
+    ):
+        """Appends made by the owner (not via fold) are still picked up."""
+        tester = MultiBehaviorTest(paper_config, shared_calibrator)
+        history = TransactionHistory("srv")
+        state = IncrementalBehaviorState(tester, history)
+        for i in range(240):
+            history.append_outcome(1 if i % 10 else 0)
+        assert state.verdict() == tester.test(history)
+
+
+class TestFallbackEquivalence:
+    """Non-optimized testers take the exact-equivalence fallback path."""
+
+    @pytest.mark.parametrize("strategy", ["naive"])
+    def test_naive_multi(self, paper_config, shared_calibrator, strategy):
+        tester = MultiBehaviorTest(
+            paper_config, shared_calibrator, strategy=strategy
+        )
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            state = IncrementalBehaviorState(tester)
+            assert not state.incremental
+            _drive(state, _random_history(rng), rng)
+
+    def test_single(self, paper_config, shared_calibrator):
+        tester = SingleBehaviorTest(paper_config, shared_calibrator)
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            state = IncrementalBehaviorState(tester)
+            assert not state.incremental
+            _drive(state, _random_history(rng), rng)
+
+    def test_collusion_multi_with_issuer_groups(
+        self, paper_config, shared_calibrator
+    ):
+        """Colluding issuers: reordered verdicts still match batch exactly."""
+        tester = CollusionResilientMultiTest(paper_config, shared_calibrator)
+        rng = np.random.default_rng(13)
+        for trial in range(8):
+            outcomes = generate_honest_outcomes(
+                int(rng.integers(100, 400)), 0.93, seed=trial
+            )
+            state = IncrementalBehaviorState(
+                tester, TransactionHistory(f"srv-{trial}")
+            )
+            n_issuers = int(rng.integers(2, 6))
+            for t, outcome in enumerate(outcomes):
+                state.fold_feedback(
+                    Feedback(
+                        time=float(t),
+                        server=f"srv-{trial}",
+                        client=f"client-{t % n_issuers}",
+                        rating=Rating.POSITIVE if outcome else Rating.NEGATIVE,
+                    )
+                )
+                if t % 97 == 0:
+                    assert state.verdict() == tester.test(state.history)
+            verdict = state.verdict()
+            assert verdict == tester.test(state.history)
+            assert verdict.reorder is not None
+            assert verdict.reorder.n_groups == min(n_issuers, len(outcomes))

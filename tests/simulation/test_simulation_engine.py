@@ -14,7 +14,11 @@ from repro.trust.eigentrust import EigenTrust
 
 
 def _assessor(screen=None, threshold=0.9):
-    return TwoPhaseAssessor(screen, AverageTrust(), trust_threshold=threshold)
+    return TwoPhaseAssessor(
+        behavior_test=screen,
+        trust_function=AverageTrust(),
+        trust_threshold=threshold,
+    )
 
 
 def _simulation(**overrides):
@@ -122,7 +126,9 @@ class TestDynamics:
 
     def test_ledger_trust_function_integration(self):
         sim = _simulation(
-            assessor=TwoPhaseAssessor(None, EigenTrust(), trust_threshold=0.1)
+            assessor=TwoPhaseAssessor(
+                trust_function=EigenTrust(), trust_threshold=0.1
+            )
         )
         metrics = sim.run(5)
         assert metrics.server("srv").transactions > 0
@@ -185,7 +191,9 @@ class TestDhtBackedEcosystem:
     def test_ledger_trust_functions_require_central_store(self):
         with pytest.raises(ValueError, match="FeedbackLedger"):
             _simulation(
-                assessor=TwoPhaseAssessor(None, EigenTrust(), trust_threshold=0.5),
+                assessor=TwoPhaseAssessor(
+                    trust_function=EigenTrust(), trust_threshold=0.5
+                ),
                 feedback_store=self._dht_store(),
             )
 

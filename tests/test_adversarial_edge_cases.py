@@ -47,8 +47,8 @@ class TestSegmentationLaundering:
     ):
         trace = self._laundered_history()
         assessor = TwoPhaseAssessor(
-            SegmentedBehaviorTest(paper_config, shared_calibrator),
-            AverageTrust(),
+            behavior_test=SegmentedBehaviorTest(paper_config, shared_calibrator),
+            trust_function=AverageTrust(),
             trust_threshold=0.9,
         )
         result = assessor.assess(TransactionHistory.from_outcomes(trace))

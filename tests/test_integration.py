@@ -43,7 +43,9 @@ class TestPublicApi:
             generate_honest_outcomes(500, 0.95, seed=42)
         )
         assessor = TwoPhaseAssessor(
-            MultiBehaviorTest(), AverageTrust(), trust_threshold=0.9
+            behavior_test=MultiBehaviorTest(),
+            trust_function=AverageTrust(),
+            trust_threshold=0.9,
         )
         assert assessor.assess(history).status is AssessmentStatus.TRUSTED
 
@@ -123,7 +125,9 @@ class TestLedgerRoundTrip:
                 )
             )
         assessor = TwoPhaseAssessor(
-            CollusionResilientMultiTest(), AverageTrust(), trust_threshold=0.9
+            behavior_test=CollusionResilientMultiTest(),
+            trust_function=AverageTrust(),
+            trust_threshold=0.9,
         )
         result = assessor.assess(ledger.history("shop"), ledger=ledger)
         assert result.status is AssessmentStatus.TRUSTED
@@ -155,7 +159,9 @@ class TestUnstructuredOverlayAssessment:
     def test_flooding_gathers_enough_to_assess(self):
         overlay = self._populated_overlay()
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(), AverageTrust(), trust_threshold=0.9
+            behavior_test=SingleBehaviorTest(),
+            trust_function=AverageTrust(),
+            trust_threshold=0.9,
         )
         verdicts = {}
         for server in ("honest-srv", "cheat-srv"):
@@ -176,7 +182,9 @@ class TestUnstructuredOverlayAssessment:
         assert 40 <= len(result.feedbacks) < 600
         history = TransactionHistory.from_feedbacks(result.feedbacks)
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(), AverageTrust(), trust_threshold=0.9
+            behavior_test=SingleBehaviorTest(),
+            trust_function=AverageTrust(),
+            trust_threshold=0.9,
         )
         assert assessor.assess(history).status is AssessmentStatus.TRUSTED
 
@@ -185,7 +193,9 @@ class TestConfigPlumbing:
     def test_custom_config_flows_through_two_phase(self):
         config = BehaviorTestConfig(window_size=20, confidence=0.99)
         screen = SingleBehaviorTest(config)
-        assessor = TwoPhaseAssessor(screen, AverageTrust())
+        assessor = TwoPhaseAssessor(
+            behavior_test=screen, trust_function=AverageTrust()
+        )
         history = TransactionHistory.from_outcomes(
             generate_honest_outcomes(400, 0.95, seed=5)
         )

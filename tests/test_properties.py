@@ -161,7 +161,9 @@ class TestAssessorConsistency:
         self, paper_config, shared_calibrator, p, n, seed
     ):
         test_ = SingleBehaviorTest(paper_config, shared_calibrator)
-        assessor = TwoPhaseAssessor(test_, AverageTrust(), trust_threshold=0.9)
+        assessor = TwoPhaseAssessor(
+            behavior_test=test_, trust_function=AverageTrust(), trust_threshold=0.9
+        )
         history = TransactionHistory.from_outcomes(
             generate_honest_outcomes(n, p, seed=seed)
         )

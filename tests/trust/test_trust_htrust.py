@@ -95,8 +95,8 @@ class TestHTrust:
             for t in range(400)
         )
         assessor = TwoPhaseAssessor(
-            SingleBehaviorTest(paper_config, shared_calibrator),
-            HTrust(saturation=10),
+            behavior_test=SingleBehaviorTest(paper_config, shared_calibrator),
+            trust_function=HTrust(saturation=10),
             trust_threshold=0.9,
         )
         result = assessor.assess(ledger.history("s"), ledger=ledger)
