@@ -1,0 +1,134 @@
+"""Resilience layer cost: the disarmed path adds <5% to the serve sweep.
+
+Acceptance criterion for :mod:`repro.resilience` (see
+docs/RESILIENCE.md): every injection site compiles down to one
+module-attribute read (``if _res.armed``) when nothing is armed, so a
+fully disabled resilience layer must cost less than 5% wall time on the
+serve-scale ``assess_many`` path.  Two comparisons pin that down:
+
+* **armed=False** (the production default) versus the pre-resilience
+  behavior — measured against itself as min-of-repeats, the bound here
+  is that a scoped-but-empty plan (``activate(FaultPlan())`` with *no*
+  specs armed) stays within 5% of the disarmed sweep.  An empty plan
+  pays the ``plan.decide`` dict-miss per site, which bounds the armed
+  bookkeeping from above; the disarmed path is strictly cheaper.
+
+Timing assertions live here rather than in ``tests/`` (tier-1) because
+they are load-sensitive; both sides are min-of-repeats so scheduler
+noise cancels out of the comparison.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.config import AssessorConfig, BehaviorTestConfig
+from repro.feedback.records import Feedback, Rating
+from repro.resilience import FaultPlan
+from repro.resilience import runtime as res
+from repro.serve import AssessmentService
+
+REPEATS = 11
+N_SERVERS = 150
+N_FEEDBACKS = 60
+MAX_OVERHEAD = 1.05  # <5%
+
+CONFIG = AssessorConfig(
+    trust_function="average",
+    behavior_test="single",
+    trust_threshold=0.7,
+    test_config=BehaviorTestConfig(
+        window_size=10, min_windows=2, calibration_sets=100
+    ),
+)
+
+
+def _service() -> AssessmentService:
+    service = AssessmentService(config=CONFIG)
+    stream = random.Random(2024)
+    t = 0.0
+    for s in range(N_SERVERS):
+        sid = f"srv-{s:04d}"
+        service.add_server(sid)
+        p_good = 0.95 - 0.3 * (s % 5) / 5
+        for _ in range(N_FEEDBACKS):
+            t += 1.0
+            service.observe(
+                Feedback(
+                    time=t,
+                    server=sid,
+                    client=f"cli-{s % 7}",
+                    rating=(
+                        Rating.POSITIVE
+                        if stream.random() < p_good
+                        else Rating.NEGATIVE
+                    ),
+                )
+            )
+    return service
+
+
+def _min_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disarmed_resilience_layer_under_five_percent():
+    service = _service()
+
+    def sweep():
+        # invalidate the whole-assessment memo so every repeat walks the
+        # instrumented path instead of returning cached Assessments
+        for sid in service.servers():
+            service.invalidate(sid)
+        service.assess_many(executor="serial")
+
+    sweep()  # warm calibration thresholds outside the window
+    assert res.armed is False
+    disarmed = _min_of(sweep)
+
+    empty_plan = FaultPlan(seed=0)  # activated but nothing armed
+    with res.activate(empty_plan):
+        assert res.armed is True
+        armed_empty = _min_of(sweep)
+
+    ratio = armed_empty / disarmed
+    assert ratio < MAX_OVERHEAD, (
+        f"empty fault plan costs {ratio:.3f}x the disarmed sweep "
+        f"(budget {MAX_OVERHEAD}x); disarmed={disarmed:.4f}s "
+        f"armed_empty={armed_empty:.4f}s"
+    )
+    assert empty_plan.log == []  # nothing armed => nothing decided
+
+
+def test_retry_policy_wrapper_cost_is_negligible():
+    """The per-sweep RetryPolicy.call wrapper (one try/except frame) is
+    noise next to the work it wraps."""
+    service = _service()
+
+    def sweep():
+        for sid in service.servers():
+            service.invalidate(sid)
+        service.assess_many(executor="serial")
+
+    sweep()
+    wrapped = _min_of(sweep)
+
+    def bare():
+        for sid in service.servers():
+            service.invalidate(sid)
+        for sid in service.servers():
+            service.assess(sid)
+
+    bare_time = _min_of(bare)
+    # the ladder + retry + span machinery around the serial sweep stays
+    # within 10% of iterating assess() by hand
+    assert wrapped / bare_time < 1.10, (
+        f"assess_many wrapper costs {wrapped / bare_time:.3f}x the bare "
+        f"loop (wrapped={wrapped:.4f}s bare={bare_time:.4f}s)"
+    )

@@ -20,17 +20,22 @@ measures keep this cheap:
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..obs import runtime as _obs
+from ..resilience import runtime as _res
+from ..resilience.retry import RetryExhausted, RetryPolicy
 from ..stats.binomial import binomial_pmf
 from ..stats.bootstrap import percentile_threshold
 from ..stats.distances import get_distance
 from ..stats.rng import SeedLike, make_rng
 
 __all__ = ["ThresholdCalibrator"]
+
+_log = logging.getLogger(__name__)
 
 _CacheKey = Tuple[int, int, float]
 
@@ -45,6 +50,8 @@ class ThresholdCalibrator:
         distance: str = "l1",
         p_quantum: float = 0.01,
         seed: SeedLike = 12345,
+        retry_policy: Optional[RetryPolicy] = None,
+        stale_fallback: bool = True,
     ):
         if not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
@@ -62,6 +69,18 @@ class ThresholdCalibrator:
         self._hits = 0
         self._misses = 0
         self._store = None
+        # Recovery path for a failing Monte-Carlo pass: bounded retry
+        # (an injected or transient fault on attempt 1 leaves the rng
+        # untouched, so the retry reproduces the fault-free threshold
+        # bit-for-bit), then — retries exhausted — the nearest already-
+        # calibrated threshold for the same (m, k) as a *stale* answer,
+        # counted in ``degraded_calibrations`` so callers can flag the
+        # verdict instead of raising mid-assessment.
+        self._retry = retry_policy or RetryPolicy(
+            max_attempts=2, base_delay=0.0, name="core.calibration"
+        )
+        self._stale_fallback = stale_fallback
+        self.degraded_calibrations = 0
 
     # ------------------------------------------------------------------ #
 
@@ -139,12 +158,62 @@ class ThresholdCalibrator:
         self._misses += 1
         if _obs.enabled:
             _obs.registry.inc("core.calibration.cache_misses")
-        with _obs.timer("core.calibration.seconds"):
-            value = self._calibrate(m, k, p_key)
+        try:
+            with _obs.timer("core.calibration.seconds"):
+                value = self._retry.call(self._calibrate_once, m, k, p_key)
+        except RetryExhausted as exc:
+            stale = self._stale_threshold(m, k, p_key) if self._stale_fallback else None
+            if stale is None:
+                raise exc.last_error
+            stale_p, value = stale
+            self.degraded_calibrations += 1
+            _log.warning(
+                "calibration failed for (m=%d, k=%d, p=%.4f); serving stale "
+                "threshold from p=%.4f (%s)", m, k, p_key, stale_p, exc.last_error,
+            )
+            _res.emit(
+                "calibration_degraded",
+                site="core.calibration",
+                m=m,
+                k=k,
+                p_key=p_key,
+                stale_p=stale_p,
+                error=repr(exc.last_error),
+            )
+            if _obs.enabled:
+                _obs.registry.inc("core.calibration.degraded")
+            # deliberately NOT cached: the next consultation re-attempts
+            # a fresh calibration rather than pinning the stale value
+            return value
         self._cache[key] = value
         if self._store is not None:
             self._store.put(self._store_key(m, k, p_key), value)
         return value
+
+    def _calibrate_once(self, m: int, k: int, p_key: float) -> float:
+        """One (possibly fault-injected) calibration attempt."""
+        if _res.armed:
+            _res.inject("core.calibration")
+        return self._calibrate(m, k, p_key)
+
+    def _stale_threshold(
+        self, m: int, k: int, p_key: float
+    ) -> Optional[Tuple[float, float]]:
+        """The cached threshold for the nearest rate at the same (m, k).
+
+        Returns ``(stale_p, threshold)`` or ``None`` when nothing under
+        this (m, k) was ever calibrated — then there is no safe answer
+        and the failure must propagate.
+        """
+        candidates = [
+            (abs(cached_p - p_key), cached_p, value)
+            for (cm, ck, cached_p), value in self._cache.items()
+            if cm == m and ck == k
+        ]
+        if not candidates:
+            return None
+        _, stale_p, value = min(candidates)
+        return (stale_p, value)
 
     def null_distances(
         self, m: int, k: int, p: float, *, seed: Optional[SeedLike] = None

@@ -213,12 +213,19 @@ class AssessmentStatus(Enum):
 
 @dataclass(frozen=True)
 class Assessment:
-    """Full two-phase result handed back to the client."""
+    """Full two-phase result handed back to the client.
+
+    ``degraded`` marks an answer produced on a recovery path (e.g. a
+    stale calibration threshold after the Monte-Carlo pass failed
+    mid-assessment): still a usable verdict, but one the operator may
+    want to re-derive once the fault clears.
+    """
 
     status: AssessmentStatus
     trust_value: Optional[float]
     behavior: Optional[BehaviorVerdict]
     server: str = field(default="server")
+    degraded: bool = field(default=False, compare=True)
 
     @property
     def accepted(self) -> bool:

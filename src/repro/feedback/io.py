@@ -10,7 +10,12 @@ such data (and feed the ``repro-assess`` CLI).  Formats:
 * **JSONL**: one object per line with the same fields.
 
 Both readers validate eagerly and report the offending line number —
-silent row-skipping turns data bugs into wrong trust decisions.
+silent row-skipping turns data bugs into wrong trust decisions.  That
+strictness is the default; production streams that must survive one bad
+row opt into ``errors="collect"`` (bad rows returned as structured
+:class:`RowError` objects on the result) or ``errors="skip"`` (bad rows
+dropped with a summary warning).  In both lenient modes the good rows
+still load, so a single malformed line no longer aborts the file.
 """
 
 from __future__ import annotations
@@ -18,9 +23,11 @@ from __future__ import annotations
 import csv
 import json
 import logging
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, List, Optional, Union
 
+from ..resilience import runtime as _res
 from .records import Feedback, Rating
 
 # Module-level logger per library etiquette: never the root logger; the
@@ -28,6 +35,8 @@ from .records import Feedback, Rating
 _log = logging.getLogger(__name__)
 
 __all__ = [
+    "RowError",
+    "ReadResult",
     "read_feedback_csv",
     "write_feedback_csv",
     "read_feedback_jsonl",
@@ -40,6 +49,66 @@ PathLike = Union[str, Path]
 _POSITIVE_TOKENS = {"1", "positive", "pos", "good", "+", "true"}
 _NEGATIVE_TOKENS = {"0", "negative", "neg", "bad", "-", "false"}
 _REQUIRED_FIELDS = ("time", "server", "client", "rating")
+_ERROR_MODES = ("strict", "collect", "skip")
+
+
+@dataclass(frozen=True)
+class RowError:
+    """One unparseable row: where it was and why it failed."""
+
+    line: int
+    message: str
+    raw: object = None
+
+
+class ReadResult(List[Feedback]):
+    """The parsed feedbacks, plus any collected row errors.
+
+    A ``list`` subclass so every existing caller (and the strict mode)
+    keeps working unchanged; lenient readers attach the rows they could
+    not parse as :attr:`errors`.
+    """
+
+    def __init__(self, feedbacks: Iterable[Feedback] = (), errors: Optional[List[RowError]] = None):
+        super().__init__(feedbacks)
+        self.errors: List[RowError] = list(errors or ())
+
+
+class _RowSink:
+    """Shared row-error handling for the two readers."""
+
+    def __init__(self, mode: str, path: PathLike):
+        if mode not in _ERROR_MODES:
+            raise ValueError(
+                f"errors must be one of {_ERROR_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.path = path
+        self.errors: List[RowError] = []
+        self.n_skipped = 0
+
+    def bad_row(self, line: int, message: str, raw: object) -> None:
+        if self.mode == "strict":
+            raise ValueError(message)
+        self.n_skipped += 1
+        if self.mode == "collect":
+            self.errors.append(RowError(line=line, message=message, raw=raw))
+        _res.emit(
+            "quarantined",
+            quarantine="feedback.io",
+            site="feedback.io.row",
+            reason=message,
+        )
+
+    def finish(self, feedbacks: List[Feedback]) -> ReadResult:
+        if self.n_skipped:
+            _log.warning(
+                "%s: skipped %d malformed row(s) (errors=%r)",
+                self.path,
+                self.n_skipped,
+                self.mode,
+            )
+        return ReadResult(feedbacks, self.errors)
 
 
 def parse_rating(token: object) -> Rating:
@@ -83,8 +152,18 @@ def _row_to_feedback(row: dict, line: int) -> Feedback:
     )
 
 
-def read_feedback_csv(path: PathLike) -> List[Feedback]:
-    """Load feedback records from a CSV file (see module docs for schema)."""
+def read_feedback_csv(path: PathLike, *, errors: str = "strict") -> ReadResult:
+    """Load feedback records from a CSV file (see module docs for schema).
+
+    ``errors`` selects what a malformed *row* does: ``"strict"``
+    (default) raises with the offending line number, ``"collect"``
+    loads every good row and returns the bad ones on the result's
+    ``.errors``, ``"skip"`` drops bad rows with one summary warning.
+    Header problems always raise — a wrong header means a wrong file,
+    not a bad row.
+    """
+    sink = _RowSink(errors, path)
+    feedbacks: List[Feedback] = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None:
@@ -92,12 +171,15 @@ def read_feedback_csv(path: PathLike) -> List[Feedback]:
         missing = [f for f in _REQUIRED_FIELDS if f not in reader.fieldnames]
         if missing:
             raise ValueError(f"{path}: header missing columns {missing}")
-        feedbacks = [
-            _row_to_feedback(row, line)
-            for line, row in enumerate(reader, start=2)
-        ]
+        for line, row in enumerate(reader, start=2):
+            if _res.armed:
+                row = _res.inject("feedback.io.row", value=row)
+            try:
+                feedbacks.append(_row_to_feedback(row, line))
+            except ValueError as exc:
+                sink.bad_row(line, str(exc), row)
     _log.debug("read %d feedback records from %s (csv)", len(feedbacks), path)
-    return feedbacks
+    return sink.finish(feedbacks)
 
 
 def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
@@ -122,23 +204,35 @@ def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
     return count
 
 
-def read_feedback_jsonl(path: PathLike) -> List[Feedback]:
-    """Load feedback records from a JSON-lines file."""
-    feedbacks = []
+def read_feedback_jsonl(path: PathLike, *, errors: str = "strict") -> ReadResult:
+    """Load feedback records from a JSON-lines file.
+
+    ``errors`` behaves as in :func:`read_feedback_csv`; in the lenient
+    modes an unparseable JSON line counts as a bad row too.
+    """
+    sink = _RowSink(errors, path)
+    feedbacks: List[Feedback] = []
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                row = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"line {line_number}: invalid JSON ({exc})") from None
-            if not isinstance(row, dict):
-                raise ValueError(f"line {line_number}: expected an object")
-            feedbacks.append(_row_to_feedback(row, line_number))
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"line {line_number}: invalid JSON ({exc})"
+                    ) from None
+                if not isinstance(row, dict):
+                    raise ValueError(f"line {line_number}: expected an object")
+                if _res.armed:
+                    row = _res.inject("feedback.io.row", value=row)
+                feedbacks.append(_row_to_feedback(row, line_number))
+            except ValueError as exc:
+                sink.bad_row(line_number, str(exc), line)
     _log.debug("read %d feedback records from %s (jsonl)", len(feedbacks), path)
-    return feedbacks
+    return sink.finish(feedbacks)
 
 
 def write_feedback_jsonl(path: PathLike, feedbacks: Iterable[Feedback]) -> int:

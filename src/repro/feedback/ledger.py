@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..resilience import runtime as _res
+from ..resilience.quarantine import Quarantine
 from .history import TransactionHistory
 from .records import EntityId, Feedback, Rating
 
@@ -21,14 +23,28 @@ __all__ = ["FeedbackLedger"]
 
 
 class FeedbackLedger:
-    """Append-only store of every feedback issued in the system."""
+    """Append-only store of every feedback issued in the system.
 
-    def __init__(self) -> None:
+    ``quarantine`` (optional) changes what an un-foldable event does:
+    without one, :meth:`record` raises on the first bad feedback (a
+    time-ordering violation, an injected fold fault) and the stream
+    aborts; with one, the offending record is quarantined with a
+    structured event and the stream keeps flowing — the behavior a
+    production ingest path needs.
+    """
+
+    def __init__(self, quarantine: Optional[Quarantine] = None) -> None:
         self._all: List[Feedback] = []
         self._by_server: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._by_client: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._histories: Dict[EntityId, TransactionHistory] = {}
         self._subscribers: List = []
+        self._quarantine = quarantine
+
+    @property
+    def quarantine(self) -> Optional[Quarantine]:
+        """The attached quarantine for un-foldable events, if any."""
+        return self._quarantine
 
     def __len__(self) -> int:
         return len(self._all)
@@ -47,23 +63,46 @@ class FeedbackLedger:
         """Remove a previously subscribed callback (ValueError if absent)."""
         self._subscribers.remove(callback)
 
-    def record(self, feedback: Feedback) -> None:
-        """Append one feedback; times per server must be non-decreasing."""
+    def record(self, feedback: Feedback) -> bool:
+        """Append one feedback; times per server must be non-decreasing.
+
+        Returns ``True`` when the feedback was folded, ``False`` when it
+        was quarantined (only possible with a quarantine attached).
+        """
         history = self._histories.get(feedback.server)
-        if history is None:
+        fresh = history is None
+        if fresh:
             history = TransactionHistory(feedback.server)
+        try:
+            if _res.armed:
+                _res.inject("feedback.ledger.fold")
+            history.append_feedback(feedback)  # validates ordering & server id
+        except (ValueError, _res.InjectedFault) as exc:
+            if self._quarantine is None:
+                raise
+            self._quarantine.add(
+                feedback, site="feedback.ledger.fold", reason=str(exc)
+            )
+            return False
+        if fresh:
             self._histories[feedback.server] = history
-        history.append_feedback(feedback)  # validates ordering & server id
         self._all.append(feedback)
         self._by_server[feedback.server].append(feedback)
         self._by_client[feedback.client].append(feedback)
         for callback in self._subscribers:
             callback(feedback)
+        return True
 
-    def record_many(self, feedbacks: Iterable[Feedback]) -> None:
-        """Append a batch of feedback records in order."""
+    def record_many(self, feedbacks: Iterable[Feedback]) -> int:
+        """Append a batch of feedback records in order.
+
+        Returns how many were folded (quarantined records don't count).
+        """
+        recorded = 0
         for fb in feedbacks:
-            self.record(fb)
+            if self.record(fb):
+                recorded += 1
+        return recorded
 
     # ------------------------------------------------------------------ #
     # queries

@@ -15,6 +15,8 @@ tooling::
     repro obs validate run_audit.jsonl              # schema-check audit records
     repro obs validate BENCH_fig7.json              # schema-check a bench artifact
     repro explain mallory run_audit.jsonl           # why was this server rejected?
+    repro health                                    # live breaker/quarantine/retry state
+    repro health run_events.jsonl                   # resilience events of a finished run
     repro --log-level DEBUG assess feedback.csv     # opt into repro.* logging
 
 ``assess`` and ``experiments`` forward their remaining arguments
@@ -135,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_explain.add_argument("server", help="server id to explain")
     p_explain.add_argument("audit_log", help="JSONL event log containing audit records")
+
+    p_health = sub.add_parser(
+        "health",
+        help="resilience health: breaker states, quarantine depth, retry counters",
+    )
+    p_health.add_argument(
+        "events",
+        nargs="?",
+        default=None,
+        help="optional JSONL event log to summarize instead of the live "
+        "in-process registry (which is empty unless this process built "
+        "serving components)",
+    )
     return parser
 
 
@@ -150,6 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return experiments_main(args.rest)
     if args.command == "explain":
         return _explain(args.server, args.audit_log)
+    if args.command == "health":
+        return _health(args.events)
     if args.obs_command == "diff":
         return _obs_diff(args.baseline, args.candidate, args.max_regression)
     if args.obs_command == "top":
@@ -180,6 +197,22 @@ def _explain(server: str, audit_log: str) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _health(events: Optional[str]) -> int:
+    from . import resilience
+
+    if events is None:
+        print(resilience.render_health(resilience.health_report()))
+        return 0
+    try:
+        records = obs.read_events(events)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = resilience.summarize_events(records)
+    print(resilience.render_event_summary(summary))
     return 0
 
 

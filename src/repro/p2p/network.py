@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..obs import runtime as _obs
+from ..resilience import runtime as _res
 from ..stats.rng import SeedLike, make_rng
 
 __all__ = ["NetworkStats", "NodeUnreachable", "SimulatedNetwork"]
@@ -39,6 +40,7 @@ class NetworkStats:
 
     messages: int = 0
     drops: int = 0
+    retries: int = 0
     by_type: Dict[str, int] = field(default_factory=dict)
 
     def record(self, message_type: str, dropped: bool) -> None:
@@ -109,10 +111,48 @@ class SimulatedNetwork:
         if handler is None:
             raise NodeUnreachable(dst)
         dropped = self._drop_rate > 0 and self._rng.random() < self._drop_rate
+        if _res.armed and not dropped:
+            # an armed network fault forces a loss (corrupt/crash modes)
+            # or an explicit transport error (exception mode)
+            spec = _res.check("p2p.network.send")
+            if spec is not None:
+                if spec.mode == "exception":
+                    raise _res.InjectedFault("p2p.network.send", spec.mode, 0)
+                dropped = True
         self._stats.record(message_type, dropped)
         if dropped:
             return None
         return handler(message_type, payload or {})
+
+    def send_reliable(
+        self,
+        dst: str,
+        message_type: str,
+        payload: Optional[Dict[str, Any]] = None,
+        *,
+        max_attempts: int = 3,
+    ) -> Any:
+        """Send with bounded retry on loss: re-send up to ``max_attempts``
+        times while delivery keeps timing out (``None``).
+
+        Returns the first reply, or ``None`` when every attempt was
+        dropped — the caller still owns the giving-up decision, the
+        wrapper just bounds how much lossiness it absorbs.  Retries are
+        counted in :attr:`NetworkStats.retries`.  ``NodeUnreachable``
+        propagates immediately: a missing node will not come back
+        because we ask again.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        reply = self.send(dst, message_type, payload)
+        attempts = 1
+        while reply is None and attempts < max_attempts:
+            attempts += 1
+            self._stats.retries += 1
+            if _obs.enabled:
+                _obs.registry.inc("p2p.network.retries", type=message_type)
+            reply = self.send(dst, message_type, payload)
+        return reply
 
     def is_alive(self, node_id: str) -> bool:
         """Is a handler currently registered under ``node_id``?"""

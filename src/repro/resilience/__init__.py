@@ -1,0 +1,72 @@
+"""repro.resilience — fault injection and recovery for the pipeline.
+
+Production-scale serving of trust assessments has to survive lossy,
+partially-failing infrastructure: corrupted cache files, malformed
+feedback rows, crashed pool workers, dropped messages.  This package
+provides both halves of that story:
+
+* **Fault injection** — a seeded, replayable
+  :class:`~repro.resilience.faults.FaultPlan` arming named sites
+  (``serve.executor.worker``, ``serve.cache.load``, ``feedback.io.row``,
+  ``feedback.ledger.fold``, ``p2p.network.send``, ``core.calibration``)
+  with crash/corrupt/delay/exception faults, scoped with
+  :func:`~repro.resilience.runtime.activate`;
+* **Recovery policies** — :class:`RetryPolicy` (exponential backoff,
+  deterministic jitter, per-attempt deadline), :class:`CircuitBreaker`
+  (per-executor), and a bounded :class:`Quarantine` for bad input;
+* **Health** — every policy registers into a process-wide registry;
+  :func:`health_report` / ``repro health`` report breaker states,
+  quarantine depth, and retry counters.
+
+Fault checking is **off by default** and costs one module-attribute
+read per site when disarmed — the same zero-overhead discipline as
+:mod:`repro.obs`.  See ``docs/RESILIENCE.md`` for the degradation
+ladder and how to replay a chaos seed.
+"""
+
+from __future__ import annotations
+
+from .breaker import CircuitBreaker
+from .faults import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+)
+from .health import (
+    GLOBAL_HEALTH,
+    HealthRegistry,
+    health_report,
+    render_event_summary,
+    render_health,
+    summarize_events,
+)
+from .quarantine import Quarantine, QuarantinedItem
+from .retry import RetryExhausted, RetryPolicy
+from .runtime import activate, check, emit, inject
+
+__all__ = [
+    "FAULT_MODES",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceError",
+    "CircuitBreaker",
+    "Quarantine",
+    "QuarantinedItem",
+    "RetryExhausted",
+    "RetryPolicy",
+    "GLOBAL_HEALTH",
+    "HealthRegistry",
+    "health_report",
+    "render_event_summary",
+    "render_health",
+    "summarize_events",
+    "activate",
+    "check",
+    "emit",
+    "inject",
+]

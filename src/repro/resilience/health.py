@@ -1,0 +1,188 @@
+"""Process-wide resilience health: breakers, quarantines, retries.
+
+Every :class:`~repro.resilience.breaker.CircuitBreaker`,
+:class:`~repro.resilience.quarantine.Quarantine`, and
+:class:`~repro.resilience.retry.RetryPolicy` registers itself (by weak
+reference — the registry never keeps serving objects alive) into
+:data:`GLOBAL_HEALTH`; :func:`health_report` aggregates their live
+state and ``repro health`` renders it.  For post-hoc analysis,
+:func:`summarize_events` folds a structured-event stream (the
+``resilience.*`` events a chaos run wrote to JSONL) into the same
+shape.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import Counter
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "HealthRegistry",
+    "GLOBAL_HEALTH",
+    "health_report",
+    "render_health",
+    "summarize_events",
+    "render_event_summary",
+]
+
+#: Event names the resilience layer emits (see runtime.emit call sites).
+RESILIENCE_EVENTS = (
+    "fault_injected",
+    "executor_degraded",
+    "quarantined",
+    "retry",
+    "retry_exhausted",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_closed",
+    "cache_load_failed",
+    "calibration_degraded",
+)
+
+
+class HealthRegistry:
+    """Weak registry of the process's live resilience components."""
+
+    def __init__(self) -> None:
+        self._breakers: List[weakref.ref] = []
+        self._quarantines: List[weakref.ref] = []
+        self._retries: List[weakref.ref] = []
+
+    def register_breaker(self, breaker) -> None:
+        """Track a :class:`~repro.resilience.breaker.CircuitBreaker`."""
+        self._breakers.append(weakref.ref(breaker))
+
+    def register_quarantine(self, quarantine) -> None:
+        """Track a :class:`~repro.resilience.quarantine.Quarantine`."""
+        self._quarantines.append(weakref.ref(quarantine))
+
+    def register_retry(self, policy) -> None:
+        """Track a :class:`~repro.resilience.retry.RetryPolicy`."""
+        self._retries.append(weakref.ref(policy))
+
+    @staticmethod
+    def _alive(refs: List[weakref.ref]) -> Iterable:
+        live = []
+        for ref in refs:
+            obj = ref()
+            if obj is not None:
+                live.append(obj)
+        refs[:] = [weakref.ref(obj) for obj in live]
+        return live
+
+    def report(self) -> Dict[str, object]:
+        """Aggregate live state of every registered component."""
+        breakers = [b.stats() for b in self._alive(self._breakers)]
+        quarantines = [q.stats() for q in self._alive(self._quarantines)]
+        retries = [r.stats() for r in self._alive(self._retries)]
+        return {
+            "breakers": breakers,
+            "quarantines": quarantines,
+            "retries": retries,
+            "open_breakers": sum(1 for b in breakers if b["state"] != "closed"),
+            "quarantine_depth": sum(q["depth"] for q in quarantines),
+            "total_retries": sum(r["retries"] for r in retries),
+        }
+
+    def clear(self) -> None:
+        """Drop every registration (test isolation)."""
+        self._breakers.clear()
+        self._quarantines.clear()
+        self._retries.clear()
+
+
+#: The process-wide registry ``repro health`` reports on.
+GLOBAL_HEALTH = HealthRegistry()
+
+
+def health_report(registry: Optional[HealthRegistry] = None) -> Dict[str, object]:
+    """The live health report (of ``registry`` or the global one)."""
+    return (registry or GLOBAL_HEALTH).report()
+
+
+def render_health(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a health report."""
+    lines = ["resilience health"]
+    lines.append(
+        f"  breakers: {len(report['breakers'])} "
+        f"({report['open_breakers']} not closed)"
+    )
+    for stats in report["breakers"]:
+        lines.append(
+            f"    {stats['name']:<28s} {stats['state']:<9s} "
+            f"failures={stats['failures']} rejections={stats['rejections']} "
+            f"opens={stats['opens']}"
+        )
+    lines.append(
+        f"  quarantines: {len(report['quarantines'])} "
+        f"(depth {report['quarantine_depth']})"
+    )
+    for stats in report["quarantines"]:
+        lines.append(
+            f"    {stats['name']:<28s} depth={stats['depth']}/{stats['capacity']} "
+            f"quarantined={stats['quarantined']} dropped={stats['dropped']}"
+        )
+    lines.append(
+        f"  retry policies: {len(report['retries'])} "
+        f"(total retries {report['total_retries']})"
+    )
+    for stats in report["retries"]:
+        lines.append(
+            f"    {stats['name']:<28s} calls={stats['calls']} "
+            f"retries={stats['retries']} exhausted={stats['exhausted']}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_events(events: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Fold a structured-event stream into a resilience summary.
+
+    Accepts the dict records of :func:`repro.obs.read_events`; events
+    outside the resilience vocabulary are ignored, so a full run log
+    can be passed as-is.
+    """
+    counts: Counter = Counter()
+    by_site: Counter = Counter()
+    degradations: List[Dict[str, object]] = []
+    for record in events:
+        name = record.get("event")
+        if name not in RESILIENCE_EVENTS:
+            continue
+        counts[str(name)] += 1
+        site = record.get("site")
+        if site:
+            by_site[str(site)] += 1
+        if name == "executor_degraded":
+            degradations.append(
+                {
+                    "from": record.get("from"),
+                    "to": record.get("to"),
+                    "error": record.get("error"),
+                }
+            )
+    return {
+        "events": dict(counts),
+        "by_site": dict(by_site),
+        "degradations": degradations,
+    }
+
+
+def render_event_summary(summary: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`summarize_events` output."""
+    lines = ["resilience events"]
+    if not summary["events"]:
+        lines.append("  (no resilience events in this log)")
+        return "\n".join(lines)
+    for name, count in sorted(summary["events"].items()):
+        lines.append(f"  {name:<24s} {count}")
+    if summary["by_site"]:
+        lines.append("  by site:")
+        for site, count in sorted(summary["by_site"].items()):
+            lines.append(f"    {site:<24s} {count}")
+    for degradation in summary["degradations"]:
+        lines.append(
+            f"  degraded: {degradation['from']} -> {degradation['to']} "
+            f"({degradation['error']})"
+        )
+    return "\n".join(lines)

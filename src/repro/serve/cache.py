@@ -17,11 +17,16 @@ different settings can safely share one store.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import tempfile
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
 from ..obs import runtime as _obs
+from ..resilience import runtime as _res
+
+_log = logging.getLogger(__name__)
 
 __all__ = ["CalibrationCache"]
 
@@ -102,7 +107,12 @@ class CalibrationCache:
     # persistence
 
     def save(self, path: Optional[str] = None) -> str:
-        """Write the cache to JSON; returns the path written."""
+        """Write the cache to JSON atomically; returns the path written.
+
+        The snapshot lands in a temp file in the target directory and is
+        moved into place with :func:`os.replace`, so a crash mid-write
+        leaves the previous snapshot intact instead of a truncated file.
+        """
         target = path or self._path
         if target is None:
             raise ValueError("no path given and the cache has no default path")
@@ -113,40 +123,81 @@ class CalibrationCache:
         directory = os.path.dirname(target)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        with open(target, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory or "."
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp_path, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
         return target
 
     def load(self, path: Optional[str] = None) -> int:
         """Merge entries from a JSON snapshot; returns how many loaded.
 
         Loaded entries count as least-recently-used relative to entries
-        already present, and malformed files raise ``ValueError`` rather
-        than silently serving wrong thresholds.
+        already present.  A truncated or otherwise corrupt snapshot (a
+        crashed writer, a bad disk) yields **0 entries and a warning
+        event** — a cold cache recalibrates correctly, whereas aborting
+        the service start turns one bad file into an outage.  A file
+        that parses but carries a *different schema* still raises
+        ``ValueError``: that is a wrong path, not corruption, and
+        silently ignoring it would hide a configuration bug.
         """
         source = path or self._path
         if source is None:
             raise ValueError("no path given and the cache has no default path")
-        with open(source, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
-        if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
-            raise ValueError(f"{source}: not a {_SCHEMA} snapshot")
+        try:
+            with open(source, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+            if _res.armed:
+                raw = _res.inject("serve.cache.load", value=raw)
+            payload = json.loads(raw)
+            if not isinstance(payload, dict) or payload.get("schema") != _SCHEMA:
+                raise _SchemaMismatch(f"{source}: not a {_SCHEMA} snapshot")
+            entries = []
+            for raw_key, value in payload.get("entries", []):
+                m, k, p_key, confidence, n_sets, distance = raw_key
+                entries.append(
+                    (
+                        (
+                            int(m),
+                            int(k),
+                            float(p_key),
+                            float(confidence),
+                            int(n_sets),
+                            str(distance),
+                        ),
+                        float(value),
+                    )
+                )
+        except FileNotFoundError:
+            raise
+        except _SchemaMismatch as exc:
+            raise ValueError(str(exc)) from None
+        except (json.JSONDecodeError, ValueError, TypeError, OSError, _res.InjectedFault) as exc:
+            _log.warning("calibration cache %s unreadable (%s); starting cold", source, exc)
+            _res.emit("cache_load_failed", site="serve.cache.load", path=str(source), error=repr(exc))
+            if _obs.enabled:
+                _obs.registry.inc("serve.calibration_cache.load_failures")
+            return 0
         loaded = 0
-        for raw_key, value in payload.get("entries", []):
-            m, k, p_key, confidence, n_sets, distance = raw_key
-            key = (
-                int(m),
-                int(k),
-                float(p_key),
-                float(confidence),
-                int(n_sets),
-                str(distance),
-            )
+        for key, value in entries:
             if key not in self._entries:
-                self._entries[key] = float(value)
+                self._entries[key] = value
                 self._entries.move_to_end(key, last=False)
                 loaded += 1
         while len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
         return loaded
+
+
+class _SchemaMismatch(Exception):
+    """Internal marker: parsed fine but is not our snapshot format."""

@@ -18,9 +18,11 @@ directly when provenance of a specific decision is needed).
 
 from __future__ import annotations
 
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, TimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import AssessorConfig
 from ..core.incremental import IncrementalBehaviorState
@@ -30,12 +32,32 @@ from ..feedback.history import TransactionHistory
 from ..feedback.ledger import FeedbackLedger
 from ..feedback.records import EntityId, Feedback
 from ..obs import runtime as _obs
+from ..resilience import runtime as _res
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.faults import InjectedFault, ResilienceError
+from ..resilience.retry import RetryExhausted, RetryPolicy
 from ..trust.base import LedgerTrustFunction
 from .cache import CalibrationCache
 
 __all__ = ["AssessmentService"]
 
+_log = logging.getLogger(__name__)
+
 _EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Fallback order of the degradation ladder, per starting executor: a
+#: broken pool (or a shard past its deadline) steps down, never up, and
+#: ends at serial — which shares no pool and cannot "break".
+_LADDER = {
+    "process": ("process", "thread", "serial"),
+    "thread": ("thread", "serial"),
+    "serial": ("serial",),
+}
+
+#: Failures a ladder step may recover from by stepping down.  Anything
+#: outside this set (KeyError for an unknown server, ValueError for a
+#: misconfigured call) is a caller error and propagates untouched.
+_RECOVERABLE = (BrokenProcessPool, TimeoutError, InjectedFault, OSError)
 
 #: Below this many servers, pool startup outweighs any sharding gain.
 _MIN_PARALLEL_BATCH = 512
@@ -85,6 +107,26 @@ class AssessmentService:
         and (for processes) a declarative config is available.
     max_workers:
         Pool size for the parallel modes (default: the CPU count).
+    retry_policy:
+        Retry contract for the pool-backed executors: each ladder step
+        is attempted this many times (its ``deadline_s``, when set, is
+        the per-shard-sweep deadline passed to the pool) before the
+        service degrades to the next step.  Default: 2 attempts, no
+        sleeping, no deadline.
+
+    **Degradation ladder.**  When a pool-backed ``assess_many`` sweep
+    fails recoverably (``BrokenProcessPool``, a pool deadline, an
+    injected worker fault), the service steps down process → thread →
+    serial, records the fallback (``last_degradation``, an
+    ``executor_degraded`` event, the ``serve.resilience.degradations``
+    counter), and returns verdicts **bit-identical** to the healthy
+    sweep — serial shares no pool and reuses the same incremental
+    states.  A per-executor :class:`CircuitBreaker` remembers repeated
+    pool failures so later sweeps skip the known-broken step without
+    paying pool startup again.  Only when *every* step fails does the
+    sweep raise — a single structured
+    :class:`~repro.resilience.faults.ResilienceError` naming the
+    originating site, never a bare worker traceback.
     """
 
     def __init__(
@@ -96,12 +138,27 @@ class AssessmentService:
         calibration_cache: Optional[CalibrationCache] = None,
         executor: str = "auto",
         max_workers: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if (assessor is None) == (config is None):
             raise ValueError("pass exactly one of assessor= or config=")
         if executor not in _EXECUTORS:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
         self._config = config
+        self._retry_policy = retry_policy or RetryPolicy(
+            max_attempts=2,
+            base_delay=0.0,
+            retry_on=_RECOVERABLE,
+            name="serve.executor",
+        )
+        self._breakers = {
+            mode: CircuitBreaker(name=f"serve.executor.{mode}")
+            for mode in ("process", "thread")
+        }
+        self.n_degradations = 0
+        #: ``{"from", "to", "error"}`` of the most recent executor
+        #: fallback, ``None`` while everything is healthy.
+        self.last_degradation: Optional[Dict[str, str]] = None
         self._assessor = assessor if assessor is not None else Assessor.from_config(config)
         self._executor = executor
         self._max_workers = max_workers
@@ -251,7 +308,9 @@ class AssessmentService:
                 return cached[1]
         assessment = self._assess_fresh(state, history)
         self.n_assessments += 1
-        if self._cacheable_trust:
+        # degraded answers (stale calibration threshold) are served but
+        # never memoized: the next query retries the real computation
+        if self._cacheable_trust and not assessment.degraded:
             self._assessment_cache[server] = (n, assessment)
         if _obs.enabled:
             _obs.registry.inc("serve.service.assessments")
@@ -261,14 +320,24 @@ class AssessmentService:
         self, state: IncrementalBehaviorState, history: TransactionHistory
     ) -> Assessment:
         behavior = None
+        degraded = False
+        calibrator = getattr(self._assessor.behavior_test, "calibrator", None)
+        stale_before = (
+            calibrator.degraded_calibrations if calibrator is not None else 0
+        )
         if self._assessor.behavior_test is not None:
             behavior = state.verdict()
+            if calibrator is not None:
+                # phase 1 answered off a stale calibration threshold —
+                # usable, but flagged so the caller can re-derive later
+                degraded = calibrator.degraded_calibrations > stale_before
             if not behavior.passed:
                 return Assessment(
                     status=AssessmentStatus.SUSPICIOUS,
                     trust_value=None,
                     behavior=behavior,
                     server=history.server,
+                    degraded=degraded,
                 )
         trust_value = self._assessor.trust_value(history, ledger=self._ledger)
         status = (
@@ -281,6 +350,7 @@ class AssessmentService:
             trust_value=trust_value,
             behavior=behavior,
             server=history.server,
+            degraded=degraded,
         )
 
     def assess_many(
@@ -301,14 +371,77 @@ class AssessmentService:
             raise ValueError(f"executor must be one of {_EXECUTORS}, got {mode!r}")
         if mode == "auto":
             mode = self._choose_executor(len(ids))
+        # surface caller errors before any pool is paid for — these are
+        # not faults and must not enter the degradation ladder
+        if mode == "process":
+            self._check_process_preconditions()
         from ..obs import span as _span
 
         with _span("serve.assess_many", mode=mode, batch=len(ids)):
-            if mode == "serial":
-                return {sid: self.assess(sid) for sid in ids}
-            if mode == "thread":
-                return self._assess_many_threaded(ids)
-            return self._assess_many_process(ids)
+            return self._assess_with_ladder(ids, mode)
+
+    def _run_step(self, step: str, ids: Sequence[EntityId]) -> Dict[EntityId, Assessment]:
+        if step == "serial":
+            return {sid: self.assess(sid) for sid in ids}
+        if step == "thread":
+            return self._assess_many_threaded(ids)
+        return self._assess_many_process(ids)
+
+    def _assess_with_ladder(
+        self, ids: Sequence[EntityId], mode: str
+    ) -> Dict[EntityId, Assessment]:
+        """Walk the degradation ladder from ``mode`` down to serial."""
+        attempts: List[Tuple[str, str]] = []
+        origin_site = "serve.executor.worker"
+        for step in _LADDER[mode]:
+            breaker = self._breakers.get(step)
+            if breaker is not None and not breaker.allow():
+                attempts.append((step, "circuit breaker open"))
+                _res.emit("breaker_rejection", breaker=breaker.name, step=step)
+                continue
+            try:
+                result = self._retry_policy.call(self._run_step, step, ids)
+            except RetryExhausted as exc:
+                cause = exc.last_error
+                if not isinstance(cause, _RECOVERABLE):
+                    raise cause from exc
+                if breaker is not None:
+                    breaker.record_failure()
+                attempts.append((step, repr(cause)))
+                if isinstance(cause, InjectedFault):
+                    origin_site = cause.site
+                _log.warning("assess_many %s step failed (%r); degrading", step, cause)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            if step != mode:
+                self._record_degradation(mode, step, attempts)
+            return result
+        raise ResilienceError(origin_site, attempts)
+
+    def _record_degradation(
+        self, requested: str, served: str, attempts: List[Tuple[str, str]]
+    ) -> None:
+        self.n_degradations += 1
+        error = attempts[-1][1] if attempts else ""
+        self.last_degradation = {"from": requested, "to": served, "error": error}
+        _res.emit("executor_degraded", **self.last_degradation)
+        if _obs.enabled:
+            _obs.registry.inc(
+                "serve.resilience.degradations", requested=requested, served=served
+            )
+
+    def _check_process_preconditions(self) -> None:
+        if self._config is None:
+            raise ValueError(
+                "executor='process' needs a service built from config= "
+                "(workers rebuild the assessor from the declarative config)"
+            )
+        if self._ledger is not None or not self._cacheable_trust:
+            raise ValueError(
+                "executor='process' supports history-based trust functions "
+                "only; ledger-backed schemes cannot be sharded across processes"
+            )
 
     def _choose_executor(self, batch_size: int) -> str:
         cores = os.cpu_count() or 1
@@ -328,14 +461,39 @@ class AssessmentService:
         size = (len(ids) + n_shards - 1) // n_shards
         return [list(ids[i : i + size]) for i in range(0, len(ids), size)]
 
+    @staticmethod
+    def _inject_worker_fault() -> None:
+        """Consult the plan at the pool-worker site (pool-parent side).
+
+        Worker processes do not inherit the parent's armed plan, so the
+        chaos framework models worker death here, where the pool's
+        native failures (``BrokenProcessPool``) surface anyway: a
+        ``crash`` fault becomes a broken pool, anything else an
+        :class:`InjectedFault`.
+        """
+        spec = _res.check("serve.executor.worker")
+        if spec is None:
+            return
+        if spec.mode == "crash":
+            raise BrokenProcessPool(
+                "injected worker crash at serve.executor.worker"
+            )
+        raise InjectedFault("serve.executor.worker", spec.mode, 0)
+
     def _assess_many_threaded(
         self, ids: Sequence[EntityId]
     ) -> Dict[EntityId, Assessment]:
+        # injection happens pool-parent-side (not inside the shard
+        # lambda) so the per-site fault sequence never depends on thread
+        # interleaving — chaos runs must replay bit-identically
+        if _res.armed:
+            self._inject_worker_fault()
         results: Dict[EntityId, Assessment] = {}
         with ThreadPoolExecutor(max_workers=self._workers()) as pool:
             shard_results = pool.map(
                 lambda shard: [(sid, self.assess(sid)) for sid in shard],
                 self._shards(ids),
+                timeout=self._retry_policy.deadline_s,
             )
             for shard in shard_results:
                 results.update(shard)
@@ -344,16 +502,9 @@ class AssessmentService:
     def _assess_many_process(
         self, ids: Sequence[EntityId]
     ) -> Dict[EntityId, Assessment]:
-        if self._config is None:
-            raise ValueError(
-                "executor='process' needs a service built from config= "
-                "(workers rebuild the assessor from the declarative config)"
-            )
-        if self._ledger is not None or not self._cacheable_trust:
-            raise ValueError(
-                "executor='process' supports history-based trust functions "
-                "only; ledger-backed schemes cannot be sharded across processes"
-            )
+        self._check_process_preconditions()
+        if _res.armed:
+            self._inject_worker_fault()
         shards = self._shards(ids)
         histories = [[self._states[sid].history for sid in shard] for shard in shards]
         results: Dict[EntityId, Assessment] = {}
@@ -362,7 +513,12 @@ class AssessmentService:
             initializer=_init_process_worker,
             initargs=(self._config,),
         ) as pool:
-            for shard, assessed in zip(shards, pool.map(_assess_shard_in_process, histories)):
+            assessed_shards = pool.map(
+                _assess_shard_in_process,
+                histories,
+                timeout=self._retry_policy.deadline_s,
+            )
+            for shard, assessed in zip(shards, assessed_shards):
                 for sid, assessment in zip(shard, assessed):
                     results[sid] = assessment
         return {sid: results[sid] for sid in ids}
@@ -390,8 +546,15 @@ class AssessmentService:
             hits, misses = calibrator.cache_stats
             payload["calibration_hits"] = hits
             payload["calibration_misses"] = misses
+            payload["degraded_calibrations"] = calibrator.degraded_calibrations
         if self._calibration_cache is not None:
             payload["calibration_cache"] = self._calibration_cache.stats()
+        payload["degradations"] = self.n_degradations
+        payload["last_degradation"] = self.last_degradation
+        payload["breakers"] = {
+            mode: breaker.state for mode, breaker in self._breakers.items()
+        }
+        payload["executor_retries"] = self._retry_policy.stats()
         return payload
 
     def save_cache(self, path: Optional[str] = None) -> Optional[str]:

@@ -117,3 +117,75 @@ class TestJsonlRoundTrip:
         path.write_text("[1, 2, 3]\n")
         with pytest.raises(ValueError, match="expected an object"):
             read_feedback_jsonl(path)
+
+
+class TestErrorModes:
+    def _csv_with_bad_rows(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "time,server,client,rating\n"
+            "1.0,s1,c1,1\n"
+            "oops,s1,c2,1\n"
+            "3.0,s1,c3,maybe\n"
+            "4.0,s1,c4,0\n"
+        )
+        return path
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = self._csv_with_bad_rows(tmp_path)
+        with pytest.raises(ValueError, match="errors"):
+            read_feedback_csv(path, errors="ignore")
+
+    def test_strict_is_the_default(self, tmp_path):
+        path = self._csv_with_bad_rows(tmp_path)
+        with pytest.raises(ValueError, match="line 3"):
+            read_feedback_csv(path)
+
+    def test_collect_returns_good_rows_and_structured_errors(self, tmp_path):
+        path = self._csv_with_bad_rows(tmp_path)
+        result = read_feedback_csv(path, errors="collect")
+        assert [fb.time for fb in result] == [1.0, 4.0]
+        assert [err.line for err in result.errors] == [3, 4]
+        assert "not a number" in result.errors[0].message
+        assert "rating" in result.errors[1].message
+        assert result.errors[0].raw["time"] == "oops"
+
+    def test_skip_drops_bad_rows_without_collecting(self, tmp_path):
+        path = self._csv_with_bad_rows(tmp_path)
+        result = read_feedback_csv(path, errors="skip")
+        assert [fb.time for fb in result] == [1.0, 4.0]
+        assert result.errors == []
+
+    def test_header_problems_always_raise(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("time,server,rating\n1.0,s1,1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_feedback_csv(path, errors="collect")
+
+    def test_jsonl_collect_counts_undecodable_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"time": 1.0, "server": "s1", "client": "c1", "rating": 1}\n'
+            "{not json}\n"
+            '["not", "an", "object"]\n'
+            '{"time": 4.0, "server": "s1", "client": "c2", "rating": 0}\n'
+        )
+        result = read_feedback_jsonl(path, errors="collect")
+        assert [fb.time for fb in result] == [1.0, 4.0]
+        assert [err.line for err in result.errors] == [2, 3]
+        assert "invalid JSON" in result.errors[0].message
+        assert "expected an object" in result.errors[1].message
+
+    def test_jsonl_strict_still_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_feedback_jsonl(path)
+
+    def test_result_is_a_plain_list_to_existing_callers(self, tmp_path):
+        path = tmp_path / "ok.csv"
+        write_feedback_csv(path, _sample_feedbacks())
+        result = read_feedback_csv(path)
+        assert isinstance(result, list)
+        assert list(result) == _sample_feedbacks()
+        assert result.errors == []

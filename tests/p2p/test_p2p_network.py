@@ -86,3 +86,41 @@ class TestStats:
         net.send("a", "store")
         assert net.stats.messages == 3
         assert net.stats.by_type == {"ping": 2, "store": 1}
+
+
+class TestSendReliable:
+    def test_lossless_network_sends_once(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        reply = net.send_reliable("a", "ping")
+        assert reply["node"] == "a"
+        assert net.stats.messages == 1
+        assert net.stats.retries == 0
+
+    def test_retries_absorb_drops(self):
+        net = SimulatedNetwork(drop_rate=0.4, seed=3)
+        net.register("a", _echo_handler("a"))
+        replies = [net.send_reliable("a", "ping", max_attempts=5) for _ in range(200)]
+        delivered = sum(r is not None for r in replies)
+        # per-attempt loss 0.4 => per-call loss 0.4^5 ~ 1%
+        assert delivered >= 190
+        assert net.stats.retries > 0
+        assert net.stats.messages == 200 + net.stats.retries
+
+    def test_exhausted_retries_return_none(self):
+        net = SimulatedNetwork(drop_rate=0.99, seed=4)
+        net.register("a", _echo_handler("a"))
+        assert net.send_reliable("a", "ping", max_attempts=2) is None
+        assert net.stats.retries == 1
+
+    def test_unreachable_node_propagates_without_retrying(self):
+        net = SimulatedNetwork(drop_rate=0.5, seed=5)
+        with pytest.raises(NodeUnreachable):
+            net.send_reliable("ghost", "ping", max_attempts=5)
+        assert net.stats.retries == 0
+
+    def test_max_attempts_validated(self):
+        net = SimulatedNetwork()
+        net.register("a", _echo_handler("a"))
+        with pytest.raises(ValueError, match="max_attempts"):
+            net.send_reliable("a", "ping", max_attempts=0)

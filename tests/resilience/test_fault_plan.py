@@ -1,0 +1,180 @@
+"""FaultPlan / FaultSpec semantics and replay determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.resilience import (
+    FAULT_MODES,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.resilience import runtime as res
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec(site="serve.made.up")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultSpec(site="core.calibration", mode="meltdown")
+
+    def test_rejects_bad_numbers(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="core.calibration", probability=1.5)
+        with pytest.raises(ValueError, match="max_fires"):
+            FaultSpec(site="core.calibration", max_fires=-1)
+        with pytest.raises(ValueError, match="after"):
+            FaultSpec(site="core.calibration", after=-2)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec(site="core.calibration", mode="delay", delay_s=-0.1)
+
+    def test_every_declared_site_and_mode_is_armable(self):
+        for site in FAULT_SITES:
+            for mode in FAULT_MODES:
+                FaultSpec(site=site, mode=mode)
+
+
+class TestFaultPlan:
+    def test_unarmed_site_never_fires_and_logs_nothing(self):
+        plan = FaultPlan(seed=0)
+        assert plan.decide("core.calibration") is None
+        assert plan.log == []
+
+    def test_always_on_fault_fires_every_invocation(self):
+        plan = FaultPlan(seed=0)
+        plan.arm("core.calibration")
+        for index in range(5):
+            assert plan.decide("core.calibration") is not None
+        assert [entry[1] for entry in plan.log] == list(range(5))
+        assert all(fired for _, _, fired, _ in plan.log)
+
+    def test_arm_accepts_prebuilt_spec(self):
+        plan = FaultPlan()
+        spec = FaultSpec(site="p2p.network.send", mode="delay", delay_s=0.5)
+        assert plan.arm(spec) is spec
+        assert plan.specs["p2p.network.send"] is spec
+        with pytest.raises(TypeError, match="not both"):
+            plan.arm(spec, "crash")
+
+    def test_max_fires_bounds_the_damage(self):
+        plan = FaultPlan()
+        plan.arm("core.calibration", max_fires=2)
+        fired = [plan.decide("core.calibration") is not None for _ in range(6)]
+        assert fired == [True, True, False, False, False, False]
+        assert plan.counts()["core.calibration"] == {
+            "invocations": 6,
+            "fires": 2,
+        }
+
+    def test_after_skips_a_warmup_prefix(self):
+        plan = FaultPlan()
+        plan.arm("core.calibration", after=3)
+        fired = [plan.decide("core.calibration") is not None for _ in range(5)]
+        assert fired == [False, False, False, True, True]
+
+    def test_disarm_and_reset(self):
+        plan = FaultPlan()
+        plan.arm("core.calibration", max_fires=1)
+        assert plan.decide("core.calibration") is not None
+        plan.disarm("core.calibration")
+        assert plan.decide("core.calibration") is None
+        plan.arm("core.calibration", max_fires=1)
+        plan.reset()
+        assert plan.log == []
+        assert plan.decide("core.calibration") is not None  # counters rewound
+
+    def test_probabilistic_faults_fire_sometimes(self):
+        plan = FaultPlan(seed=5)
+        plan.arm("p2p.network.send", probability=0.5)
+        fires = sum(
+            plan.decide("p2p.network.send") is not None for _ in range(200)
+        )
+        assert 60 < fires < 140
+
+
+class TestDeterminism:
+    """The acceptance criterion: same seed => identical fault sequence."""
+
+    def _run(self, seed: int):
+        plan = FaultPlan(seed=seed)
+        plan.arm("core.calibration", probability=0.4)
+        plan.arm("p2p.network.send", probability=0.7)
+        log = EventLog()
+        with res.activate(plan, log):
+            for _ in range(50):
+                res.check("core.calibration")
+                res.check("p2p.network.send")
+        return plan.log, log.events
+
+    @staticmethod
+    def _strip_time(events):
+        return [{k: v for k, v in e.items() if k != "time"} for e in events]
+
+    def test_same_seed_same_decision_log_and_event_log(self, chaos_seed):
+        log_a, events_a = self._run(chaos_seed)
+        log_b, events_b = self._run(chaos_seed)
+        assert log_a == log_b
+        assert self._strip_time(events_a) == self._strip_time(events_b)
+
+    def test_per_site_stream_independent_of_interleaving(self, chaos_seed):
+        """Reordering *other* sites cannot perturb a site's decisions."""
+
+        def decisions(order):
+            plan = FaultPlan(seed=chaos_seed)
+            plan.arm("core.calibration", probability=0.4)
+            plan.arm("p2p.network.send", probability=0.7)
+            for site in order:
+                plan.decide(site)
+            return [e for e in plan.log if e[0] == "core.calibration"]
+
+        interleaved = decisions(
+            ["core.calibration", "p2p.network.send"] * 25
+        )
+        batched = decisions(
+            ["p2p.network.send"] * 25 + ["core.calibration"] * 25
+        )
+        assert interleaved == batched[: len(interleaved)]
+
+    def test_different_seeds_differ(self):
+        log_a, _ = self._run(0)
+        log_b, _ = self._run(1)
+        assert log_a != log_b
+
+
+class TestRuntimeInjection:
+    def test_exception_mode_raises_injected_fault(self):
+        plan = FaultPlan()
+        plan.arm("core.calibration", "exception")
+        with res.activate(plan):
+            with pytest.raises(InjectedFault) as excinfo:
+                res.inject("core.calibration")
+        assert excinfo.value.site == "core.calibration"
+        assert excinfo.value.mode == "exception"
+
+    def test_corrupt_mode_damages_text_and_rows(self):
+        plan = FaultPlan()
+        plan.arm("feedback.io.row", "corrupt")
+        with res.activate(plan):
+            row = res.inject("feedback.io.row", value={"rating": "1"})
+            assert row["rating"] == "<injected-corruption>"
+            text = res.inject("feedback.io.row", value="0123456789")
+            assert text == "01234"
+
+    def test_activate_restores_previous_state(self):
+        assert res.armed is False
+        with res.activate(FaultPlan()):
+            assert res.armed is True
+        assert res.armed is False
+        assert res.plan is None
+
+    def test_event_log_only_activation_does_not_arm(self):
+        with res.activate(event_log=EventLog()):
+            assert res.armed is False
+            res.emit("quarantined", site="feedback.io.row")
+            assert len(res.events.events) == 1

@@ -1,0 +1,110 @@
+"""Quarantine semantics end to end: io rows and ledger folds.
+
+The contract: malformed feedback rows and un-foldable ledger events go
+to a bounded quarantine with structured events — the stream never
+aborts, and the good records still land.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback.io import read_feedback_csv, read_feedback_jsonl
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+from repro.obs.events import EventLog
+from repro.resilience import FaultPlan, InjectedFault, Quarantine
+from repro.resilience import runtime as res
+
+
+def _feedback(time, server="s", client="c", rating=Rating.POSITIVE):
+    return Feedback(time=time, server=server, client=client, rating=rating)
+
+
+class TestLedgerQuarantine:
+    def test_out_of_order_feedback_is_quarantined_not_fatal(self):
+        quarantine = Quarantine(name="ledger")
+        ledger = FeedbackLedger(quarantine=quarantine)
+        assert ledger.record(_feedback(10.0))
+        assert not ledger.record(_feedback(5.0))  # time went backwards
+        assert ledger.record(_feedback(11.0))
+        assert len(ledger) == 2
+        assert quarantine.depth == 1
+        (item,) = quarantine.items()
+        assert item.site == "feedback.ledger.fold"
+        assert item.item.time == 5.0
+
+    def test_without_quarantine_the_stream_aborts(self):
+        ledger = FeedbackLedger()
+        ledger.record(_feedback(10.0))
+        with pytest.raises(ValueError):
+            ledger.record(_feedback(5.0))
+
+    def test_injected_fold_fault_is_quarantined(self, chaos_seed):
+        quarantine = Quarantine(name="ledger")
+        ledger = FeedbackLedger(quarantine=quarantine)
+        plan = FaultPlan(seed=chaos_seed)
+        plan.arm("feedback.ledger.fold", "exception", max_fires=1)
+        log = EventLog()
+        with res.activate(plan, log):
+            folded = ledger.record_many(
+                [_feedback(float(t)) for t in range(5)]
+            )
+        assert folded == 4
+        assert quarantine.depth == 1
+        assert any(e["event"] == "quarantined" for e in log.events)
+
+    def test_injected_fold_fault_without_quarantine_raises(self, chaos_seed):
+        ledger = FeedbackLedger()
+        plan = FaultPlan(seed=chaos_seed)
+        plan.arm("feedback.ledger.fold", "exception", max_fires=1)
+        with res.activate(plan):
+            with pytest.raises(InjectedFault):
+                ledger.record(_feedback(1.0))
+
+    def test_quarantined_first_sight_does_not_register_server(self):
+        """A server whose first-ever feedback fails to fold must not
+        leave a half-registered empty history behind."""
+        quarantine = Quarantine(name="ledger")
+        ledger = FeedbackLedger(quarantine=quarantine)
+        plan = FaultPlan()
+        plan.arm("feedback.ledger.fold", "exception", max_fires=1)
+        with res.activate(plan):
+            assert not ledger.record(_feedback(1.0, server="fresh"))
+        assert "fresh" not in ledger.servers()
+        with pytest.raises(KeyError):
+            ledger.history("fresh")
+        # and a later fold registers it cleanly
+        assert ledger.record(_feedback(2.0, server="fresh"))
+        assert len(ledger.history("fresh")) == 1
+
+
+class TestIoRowQuarantine:
+    def test_injected_row_corruption_collected_csv(self, tmp_path, chaos_seed):
+        path = tmp_path / "rows.csv"
+        path.write_text(
+            "time,server,client,rating\n"
+            + "".join(f"{t},s,c,1\n" for t in range(6))
+        )
+        plan = FaultPlan(seed=chaos_seed)
+        plan.arm("feedback.io.row", "corrupt", max_fires=2)
+        with res.activate(plan):
+            result = read_feedback_csv(path, errors="collect")
+        assert len(result) == 4
+        assert len(result.errors) == 2
+        assert all("rating" in e.message for e in result.errors)
+
+    def test_injected_row_corruption_strict_raises(self, tmp_path, chaos_seed):
+        path = tmp_path / "rows.jsonl"
+        path.write_text(
+            "".join(
+                '{"time": %d, "server": "s", "client": "c", "rating": 1}\n'
+                % t
+                for t in range(3)
+            )
+        )
+        plan = FaultPlan(seed=chaos_seed)
+        plan.arm("feedback.io.row", "corrupt", max_fires=1)
+        with res.activate(plan):
+            with pytest.raises(ValueError, match="rating"):
+                read_feedback_jsonl(path)  # errors="strict" is the default

@@ -99,3 +99,56 @@ class TestCalibratorIntegration:
         calibrator.attach_store(None)
         calibrator.threshold(m=10, k=5, p_hat=0.9)
         assert len(cache) == 0
+
+
+class TestAtomicityAndCorruption:
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        cache = CalibrationCache()
+        cache.put(_key(0), 0.25)
+        target = tmp_path / "nested" / "cache.json"
+        cache.save(str(target))
+        assert target.exists()
+        siblings = [p.name for p in target.parent.iterdir()]
+        assert siblings == ["cache.json"]
+
+    def test_save_replaces_previous_snapshot_atomically(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        first = CalibrationCache()
+        first.put(_key(0), 0.25)
+        first.save(path)
+        second = CalibrationCache()
+        second.put(_key(1), 0.5)
+        second.put(_key(2), 0.75)
+        second.save(path)
+        reloaded = CalibrationCache()
+        assert reloaded.load(path) == 2
+        assert reloaded.get(_key(1)) == 0.5
+
+    def test_truncated_snapshot_loads_zero_entries(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = CalibrationCache()
+        cache.put(_key(0), 0.25)
+        cache.save(path)
+        raw = open(path, encoding="utf-8").read()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(raw[: len(raw) // 2])
+        fresh = CalibrationCache()
+        assert fresh.load(path) == 0
+        assert len(fresh) == 0
+
+    def test_garbage_snapshot_loads_zero_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("not json at all")
+        fresh = CalibrationCache()
+        assert fresh.load(str(path)) == 0
+
+    def test_constructor_warm_start_survives_corruption(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text('{"schema": "repro.serve.calibration_cache/v1", "entries": [[')
+        cache = CalibrationCache(path=str(path))  # no raise
+        assert len(cache) == 0
+
+    def test_missing_file_still_raises(self, tmp_path):
+        cache = CalibrationCache()
+        with pytest.raises(FileNotFoundError):
+            cache.load(str(tmp_path / "absent.json"))

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.obs",
+    "repro.resilience",
 ]
 
 
