@@ -1,0 +1,99 @@
+"""Tracing cost: context propagation + span sink stay under 10%.
+
+Acceptance criteria for the causal-tracing layer (see
+docs/OBSERVABILITY.md "Tracing & SLOs"):
+
+* with tracing *inactive* (obs enabled, no trace context, no sink) the
+  span path must behave exactly as before this layer existed — one
+  contextvar read is the only addition;
+* a fully traced workload — root context attached, every span deriving
+  a child context and writing a JSONL line to the span sink — must add
+  less than 10% wall time to a fig9-smoke-like workload.
+
+Timing assertions live here rather than in ``tests/`` (tier-1) because
+they are load-sensitive; both sides are measured as a min-of-repeats so
+scheduler noise cancels out of the comparison.
+"""
+
+import time
+
+from repro import obs
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.experiments.common import make_shared_calibrator
+from repro.obs import context as trace_ctx
+from repro.obs import runtime
+
+CONFIG = BehaviorTestConfig(multi_step=1000)
+CALIBRATOR = make_shared_calibrator(CONFIG)
+HISTORY = 100_000
+REPEATS = 15
+
+
+def _workload():
+    """One fig9-smoke-like measurement: an optimized multi test."""
+    test_ = MultiBehaviorTest(
+        CONFIG, CALIBRATOR, strategy="optimized", collect_all=True
+    )
+    outcomes = generate_honest_outcomes(HISTORY, 0.95, seed=2008)
+    test_.test(outcomes)  # warm the threshold cache
+    return test_, outcomes
+
+
+def _min_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_traced_workload_overhead_under_ten_percent(tmp_path):
+    """Context + sink on every span stays inside the <10% budget."""
+    test_, outcomes = _workload()
+
+    def run():
+        with runtime.span("bench.trace_overhead"):
+            test_.test(outcomes)
+
+    with obs.activate():
+        baseline = _min_of(run)
+
+    spans_path = tmp_path / "spans.jsonl"
+    with obs.activate(), trace_ctx.tracing_session(spans_path):
+        with trace_ctx.use(trace_ctx.new_root(bench="trace_overhead")):
+            traced = _min_of(run)
+
+    # the traced run really did trace: one line per span per repeat
+    spans = trace_ctx.read_span_jsonl(spans_path)
+    assert len(spans) >= REPEATS
+    assert len({s["trace_id"] for s in spans}) == 1
+
+    ratio = traced / baseline
+    assert ratio < 1.10, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% "
+        f"(baseline {baseline * 1e3:.3f}ms, traced {traced * 1e3:.3f}ms)"
+    )
+
+
+def test_untraced_span_path_unchanged():
+    """Without a context or sink, span cost is one contextvar read.
+
+    Measured against the pure span loop: attaching the tracing layer
+    must not regress the *untraced* enabled path beyond noise (the
+    disabled path stays pinned allocation-free by the tracing tests).
+    """
+    def burst(n):
+        for _ in range(n):
+            with runtime.span("hot.loop"):
+                pass
+
+    with obs.activate():
+        burst(1_000)  # warm
+        untraced = _min_of(lambda: burst(5_000), repeats=7)
+    # sanity bound, generous against CI noise: ~tens of µs per span
+    # would indicate an accidental serialization on the untraced path
+    per_span = untraced / 5_000
+    assert per_span < 50e-6, f"untraced span cost {per_span * 1e6:.1f}µs"

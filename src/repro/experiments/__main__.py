@@ -100,6 +100,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-dir",
+        type=str,
+        default=None,
+        help=(
+            "write causal span logs into this directory as "
+            "TRACE_<name>.jsonl (experiments that support tracing, e.g. "
+            "serve); inspect with `repro obs trace <log>`"
+        ),
+    )
+    parser.add_argument(
+        "--slo-dir",
+        type=str,
+        default=None,
+        help=(
+            "write SLO error-budget artifacts into this directory as "
+            "BENCH_slo.json (experiments that support it, e.g. serve); "
+            "inspect with `repro obs slo <artifact>`"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         type=str,
         default=None,
@@ -131,6 +151,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.makedirs(args.events_dir, exist_ok=True)
     if args.profile_dir:
         os.makedirs(args.profile_dir, exist_ok=True)
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    if args.slo_dir:
+        os.makedirs(args.slo_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
@@ -153,6 +177,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["profile_path"] = os.path.join(
                 args.profile_dir, f"PROFILE_{name}.json"
             )
+        if args.trace_dir and "trace_path" in params:
+            kwargs["trace_path"] = os.path.join(
+                args.trace_dir, f"TRACE_{name}.jsonl"
+            )
+        if args.slo_dir and "slo_path" in params:
+            kwargs["slo_path"] = os.path.join(args.slo_dir, "BENCH_slo.json")
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -160,7 +190,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(block)
         rendered.append(block)
         results.append(result)
-        for key in ("bench_path", "audit_path", "events_path", "profile_path"):
+        for key in (
+            "bench_path",
+            "audit_path",
+            "events_path",
+            "profile_path",
+            "trace_path",
+            "slo_path",
+        ):
             if key in kwargs:
                 print(f"wrote {kwargs[key]}")
     if args.out:

@@ -13,7 +13,10 @@ identical assessments.
 Like fig9/p2p_scale, timings flow through the obs layer; ``bench_path``
 emits a schema-valid ``BENCH_serve.json`` so the serving layer joins the
 regression gate, and ``events_path`` streams progress heartbeats for
-``repro obs top``.
+``repro obs top``.  ``trace_path`` records the run's spans as JSONL
+(inspect with ``repro obs trace``) and ``slo_path`` evaluates the
+default serve SLOs against the run's metrics, writing a
+``BENCH_slo.json`` budget artifact for the CI gate.
 """
 
 from __future__ import annotations
@@ -68,6 +71,8 @@ def run_serve_scale(
     quick: bool = False,
     bench_path: Optional[str] = None,
     events_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    slo_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Measure per-call vs. batched-incremental assessment sweeps.
 
@@ -77,7 +82,10 @@ def run_serve_scale(
     feedback since the last sweep.  The two engines' assessments are
     compared server-for-server; any mismatch raises.  ``bench_path``
     writes ``BENCH_serve.json`` through :mod:`repro.obs.bench`;
-    ``events_path`` a heartbeat JSONL log.
+    ``events_path`` a heartbeat JSONL log; ``trace_path`` a span-sink
+    JSONL (the whole run becomes one trace rooted at
+    ``experiments.serve.run``); ``slo_path`` a ``BENCH_slo.json``
+    error-budget artifact from the run's own metrics.
     """
     if server_counts is None:
         server_counts = (200, 500) if quick else SERVER_COUNTS
@@ -142,8 +150,22 @@ def run_serve_scale(
         )
         monitor.start(experiment="serve")
 
+    # A trace_path turns the whole run into one causal trace: the span
+    # sink is installed for the scope, and a root context is minted so
+    # every experiment span, service request, and executor shard nests
+    # under the same trace_id.
+    trace_scope = (
+        obs.tracing_session(trace_path)
+        if trace_path is not None
+        else contextlib.nullcontext()
+    )
+    root_scope = (
+        obs.use(obs.new_root(experiment="serve"))
+        if trace_path is not None
+        else contextlib.nullcontext()
+    )
     bench_rows: List[Dict[str, object]] = []
-    with scope as session:
+    with scope as session, trace_scope, root_scope:
         registry = session.registry
         with obs.span("experiments.serve.run", quick=quick):
             for n in server_counts:
@@ -228,6 +250,14 @@ def run_serve_scale(
             if bench_path is not None:
                 with obs.span("experiments.serve.export"):
                     obs.write_bench_json(bench_path, "serve", bench_rows, meta=run_meta)
+        if slo_path is not None:
+            evaluation = obs.SloEngine(obs.default_serve_slos()).evaluate(registry)
+            obs.write_bench_json(
+                slo_path,
+                "slo",
+                obs.evaluation_to_bench_rows(evaluation),
+                meta=run_meta,
+            )
         if log is not None:
             log.emit_metrics(registry)
     if monitor is not None:

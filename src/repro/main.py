@@ -14,6 +14,9 @@ tooling::
     repro obs trend benchmarks/baselines            # multi-run bench time series
     repro obs validate run_audit.jsonl              # schema-check audit records
     repro obs validate BENCH_fig7.json              # schema-check a bench artifact
+    repro obs trace run_spans.jsonl                 # list trace ids in a span log
+    repro obs trace run_spans.jsonl 3f2a            # render one trace's span tree
+    repro obs slo run_events.jsonl --out BENCH_slo.json  # error-budget report/gate
     repro explain mallory run_audit.jsonl           # why was this server rejected?
     repro health                                    # live breaker/quarantine/retry state
     repro health run_events.jsonl                   # resilience events of a finished run
@@ -131,6 +134,52 @@ def build_parser() -> argparse.ArgumentParser:
         "or PROFILE_*.json",
     )
     p_validate.add_argument("artifact", help="path to the artifact")
+    p_trace = obs_sub.add_parser(
+        "trace",
+        help="render one trace's span tree from a JSONL span log "
+        "(or list the trace ids it holds)",
+    )
+    p_trace.add_argument("spans", help="path to a span JSONL file (tracing_session)")
+    p_trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id (a unique prefix suffices); omitted, lists all trace ids",
+    )
+    p_trace.add_argument(
+        "--otlp",
+        default=None,
+        metavar="PATH",
+        help="additionally write the spans as OTLP/JSON to PATH",
+    )
+    p_slo = obs_sub.add_parser(
+        "slo",
+        help="error-budget/burn-rate report from a run's metric snapshots; "
+        "exit 2 when any budget is burning",
+    )
+    p_slo.add_argument(
+        "source",
+        help="JSONL event log with metric snapshots, or an existing BENCH_slo.json",
+    )
+    p_slo.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the evaluation as a BENCH_slo.json artifact to PATH",
+    )
+    p_slo.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=0.050,
+        metavar="SECONDS",
+        help="latency SLO bound for serve.assess.seconds (default: 0.050)",
+    )
+    p_slo.add_argument(
+        "--latency-objective",
+        type=float,
+        default=0.99,
+        help="fraction of assessments that must meet the bound (default: 0.99)",
+    )
 
     p_explain = sub.add_parser(
         "explain", help="explain a server's latest audit verdict from a JSONL log"
@@ -181,6 +230,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _obs_trend(args.directory, args.bench, args.max_regression)
     if args.obs_command == "validate":
         return _obs_validate(args.artifact)
+    if args.obs_command == "trace":
+        return _obs_trace(args.spans, args.trace_id, args.otlp)
+    if args.obs_command == "slo":
+        return _obs_slo(
+            args.source, args.out, args.latency_threshold, args.latency_objective
+        )
     # obs report
     try:
         print(obs.render_artifact(args.artifact))
@@ -253,6 +308,89 @@ def _obs_trend(directory: str, bench: Optional[str], max_regression: float) -> i
         return 1
     print(obs.render_bench_trend(trend))
     return 0 if trend["ok"] else 2
+
+
+def _obs_trace(spans_path: str, trace_id: Optional[str], otlp: Optional[str]) -> int:
+    import json
+
+    try:
+        spans = obs.read_span_jsonl(spans_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if otlp is not None:
+        with open(otlp, "w", encoding="utf-8") as handle:
+            json.dump(obs.spans_to_otlp(spans), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote OTLP JSON export to {otlp}")
+    if trace_id is None:
+        ids = obs.trace_ids(spans)
+        if not ids:
+            print(f"error: no spans in {spans_path}", file=sys.stderr)
+            return 1
+        counts: dict = {}
+        for span in spans:
+            counts[span["trace_id"]] = counts.get(span["trace_id"], 0) + 1
+        print(f"{len(ids)} trace(s) in {spans_path}:")
+        for tid in ids:
+            print(f"  {tid}  ({counts[tid]} spans)")
+        return 0
+    try:
+        print(obs.render_trace_tree(spans, trace_id))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _obs_slo(
+    source: str,
+    out: Optional[str],
+    latency_threshold: float,
+    latency_objective: float,
+) -> int:
+    from .obs import slo as _slo
+
+    path = Path(source)
+    if path.suffix.lower() == ".json":
+        # an already-written BENCH_slo.json: validate and re-report burn
+        try:
+            payload = obs.read_bench_json(path)
+            obs.validate_slo_payload(payload)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        burning = [
+            str(row["name"])
+            for row in payload["results"]
+            if row["slo"].get("burning")
+        ]
+        total = len(payload["results"])
+        if burning:
+            print(f"{source}: {len(burning)}/{total} budgets burning: " + ", ".join(burning))
+            return 2
+        print(f"{source}: all {total} SLOs within budget")
+        return 0
+    specs = _slo.default_serve_slos(
+        latency_threshold_s=latency_threshold,
+        latency_objective=latency_objective,
+    )
+    try:
+        evaluation = _slo.evaluate_events(source, specs)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(obs.render_slo_report(evaluation))
+    if out is not None:
+        payload = obs.write_bench_json(
+            out,
+            "slo",
+            obs.evaluation_to_bench_rows(evaluation),
+            meta=obs.run_metadata(source=str(source)),
+        )
+        obs.validate_slo_payload(payload)
+        print(f"wrote {out}")
+    return 0 if evaluation.ok else 2
 
 
 def _obs_validate(artifact: str) -> int:

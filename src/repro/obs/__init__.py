@@ -55,6 +55,19 @@ from .bench import (
     validate_bench_payload,
     write_bench_json,
 )
+from .context import (
+    SpanLog,
+    TraceContext,
+    child_of,
+    current,
+    explicit_span,
+    new_root,
+    read_span_jsonl,
+    span_to_dict,
+    tracing_session,
+    use,
+    wall_clock_of,
+)
 from .events import (
     EventLog,
     config_fingerprint,
@@ -62,7 +75,13 @@ from .events import (
     read_events,
     run_metadata,
 )
-from .export import render_prometheus, render_text
+from .export import (
+    render_prometheus,
+    render_text,
+    render_trace_tree,
+    spans_to_otlp,
+    trace_ids,
+)
 from .monitor import ProgressMonitor, render_dashboard, rss_bytes, tail_dashboard
 from .profile import (
     PROFILE_SCHEMA_VERSION,
@@ -88,7 +107,19 @@ from .runtime import (
     get_tracer,
     is_enabled,
     span,
+    span_event,
     timer,
+)
+from .slo import (
+    SloEngine,
+    SloEvaluation,
+    SloResult,
+    SloSpec,
+    default_serve_slos,
+    evaluate_events,
+    evaluation_to_bench_rows,
+    render_slo_report,
+    validate_slo_payload,
 )
 from .tracing import SpanRecord, Tracer
 
@@ -138,6 +169,17 @@ __all__ = [
     "render_bench_trend",
     "validate_bench_payload",
     "write_bench_json",
+    "SpanLog",
+    "TraceContext",
+    "child_of",
+    "current",
+    "explicit_span",
+    "new_root",
+    "read_span_jsonl",
+    "span_to_dict",
+    "tracing_session",
+    "use",
+    "wall_clock_of",
     "EventLog",
     "config_fingerprint",
     "git_revision",
@@ -145,6 +187,9 @@ __all__ = [
     "run_metadata",
     "render_prometheus",
     "render_text",
+    "render_trace_tree",
+    "spans_to_otlp",
+    "trace_ids",
     "ProgressMonitor",
     "render_dashboard",
     "rss_bytes",
@@ -177,7 +222,17 @@ __all__ = [
     "get_tracer",
     "is_enabled",
     "span",
+    "span_event",
     "timer",
+    "SloEngine",
+    "SloEvaluation",
+    "SloResult",
+    "SloSpec",
+    "default_serve_slos",
+    "evaluate_events",
+    "evaluation_to_bench_rows",
+    "render_slo_report",
+    "validate_slo_payload",
     "SpanRecord",
     "Tracer",
     "configure_logging",

@@ -39,6 +39,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from . import context as _trace_context
 from .events import EventLog, read_events, run_metadata
 
 __all__ = [
@@ -184,7 +185,16 @@ class AuditTrail:
     # emission and retrieval
 
     def emit(self, record: Dict[str, object]) -> Dict[str, object]:
-        """Stamp scope context onto ``record``, store and sink it."""
+        """Stamp scope context onto ``record``, store and sink it.
+
+        Records emitted under an active
+        :class:`~repro.obs.context.TraceContext` additionally carry its
+        ``trace_id``, closing the causal chain from request root span to
+        the audited verdict (``repro obs trace`` / ``repro explain``).
+        """
+        ctx = _trace_context.current()
+        if ctx is not None and record.get("trace_id") is None:
+            record["trace_id"] = ctx.trace_id
         context = self.scope_context()
         server = context.pop("server", None)
         if record.get("server") in (None, "") and server is not None:

@@ -300,17 +300,42 @@ def bench_trend(
     compared against the *median* of all earlier points — robust to one
     noisy historical run — and flagged when it exceeds the median by
     more than ``max_regression``.
+
+    Tolerant by design: schemas evolve, so older artifacts missing
+    newly-added metric families (or carrying malformed rows) must stay
+    comparable rather than abort the whole report.  Invalid payloads and
+    unusable rows are skipped and *counted* (``invalid_payloads``,
+    ``malformed_rows``); a series absent from the newest valid run is
+    flagged **stale** (``stale=True`` with ``missing_runs``) and excluded
+    from regression gating — its "latest" point is old data, and gating
+    old data against older data mis-fires both ways.
     """
     if max_regression < 0:
         raise ValueError(f"max_regression must be non-negative, got {max_regression}")
     series: Dict[str, Dict[str, object]] = {}
+    invalid_payloads = 0
+    malformed_rows = 0
+    run_index = -1
     for payload in payloads:
-        validate_bench_payload(payload)
+        try:
+            validate_bench_payload(payload)
+        except ValueError:
+            invalid_payloads += 1
+            continue
+        run_index += 1
         meta = payload.get("meta") or {}
         for row in payload["results"]:  # type: ignore[union-attr]
-            stats = row["stats"]
+            stats = row.get("stats") if isinstance(row, dict) else None
+            if not isinstance(stats, dict):
+                malformed_rows += 1
+                continue
             stat = next((s for s in _GATE_STATS if s in stats), None)
             if stat is None:
+                continue
+            try:
+                value = float(stats[stat])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                malformed_rows += 1
                 continue
             key = json.dumps(
                 {"bench": payload["bench"], "name": row["name"], "params": row["params"]},
@@ -330,27 +355,35 @@ def bench_trend(
             entry["stat"] = stat  # the latest payload's stat labels the series
             entry["points"].append(  # type: ignore[union-attr]
                 {
-                    "value": float(stats[stat]),
+                    "value": value,
                     "stat": stat,
                     "timestamp": meta.get("timestamp"),
                     "git_rev": meta.get("git_rev"),
                     "source": payload.get("_source"),
+                    "run_index": run_index,
                 }
             )
+    n_valid_runs = run_index + 1
     rows: List[Dict[str, object]] = []
     regressions: List[Dict[str, object]] = []
+    stale_series: List[Dict[str, object]] = []
     for key in sorted(series):
         entry = series[key]
         points: List[Dict[str, object]] = entry["points"]  # type: ignore[assignment]
         values = [p["value"] for p in points]
         latest = values[-1]
         earlier = values[:-1]
+        last_seen = int(points[-1]["run_index"])  # type: ignore[arg-type]
+        entry["stale"] = last_seen < n_valid_runs - 1
+        entry["missing_runs"] = n_valid_runs - 1 - last_seen
         if earlier:
             baseline = float(statistics.median(earlier))
             ratio = latest / baseline if baseline > 0 else float("inf")
             entry["baseline_median"] = baseline
             entry["ratio"] = ratio
-            entry["regressed"] = ratio > 1.0 + max_regression
+            # a stale series has no point in the newest run — nothing
+            # current to gate; it is surfaced, not failed
+            entry["regressed"] = not entry["stale"] and ratio > 1.0 + max_regression
         else:
             entry["baseline_median"] = None
             entry["ratio"] = None
@@ -359,12 +392,17 @@ def bench_trend(
         rows.append(entry)
         if entry["regressed"]:
             regressions.append(entry)
+        if entry["stale"]:
+            stale_series.append(entry)
     return {
         "max_regression": max_regression,
         "runs": len(payloads),
         "skipped": int(payloads[0].get("_skipped", 0)) if payloads else 0,
+        "invalid_payloads": invalid_payloads,
+        "malformed_rows": malformed_rows,
         "series": rows,
         "regressions": regressions,
+        "stale": stale_series,
         "ok": not regressions,
     }
 
@@ -395,6 +433,15 @@ def render_bench_trend(trend: Dict[str, object]) -> str:
     ]
     if trend.get("skipped"):
         lines.append(f"warning: {trend['skipped']} invalid artifact(s) skipped")
+    if trend.get("invalid_payloads"):
+        lines.append(
+            f"warning: {trend['invalid_payloads']} payload(s) failed validation "
+            "and were excluded"
+        )
+    if trend.get("malformed_rows"):
+        lines.append(
+            f"warning: {trend['malformed_rows']} malformed row(s) skipped"
+        )
     if not series:
         lines.append("(no series found)")
         return "\n".join(lines)
@@ -419,7 +466,13 @@ def render_bench_trend(trend: Dict[str, object]) -> str:
                 f"{float(median):.6g}" if median is not None else "-",
                 f"{values[-1]:.6g}",
                 f"{float(ratio):.3f}x" if ratio is not None else "-",
-                "REGRESSED" if entry["regressed"] else "ok",
+                "REGRESSED"
+                if entry["regressed"]
+                else (
+                    f"STALE(-{entry.get('missing_runs', 0)})"
+                    if entry.get("stale")
+                    else "ok"
+                ),
             ]
         )
     widths = [max(len(line[i]) for line in table) for i in range(len(header))]
@@ -429,6 +482,12 @@ def render_bench_trend(trend: Dict[str, object]) -> str:
         )
         if j == 0:
             lines.append("  ".join("-" * w for w in widths))
+    stale: List[Dict[str, object]] = trend.get("stale") or []  # type: ignore[assignment]
+    if stale:
+        lines.append(
+            f"note: {len(stale)} series missing from the latest run(s) "
+            "(flagged STALE, not gated)"
+        )
     regressions: List[Dict[str, object]] = trend["regressions"]  # type: ignore[assignment]
     if regressions:
         lines.append(

@@ -75,7 +75,7 @@ class ProgressMonitor:
         label: str = "ticks",
         interval_seconds: Optional[float] = 1.0,
         interval_ticks: Optional[int] = None,
-        clock=time.monotonic,
+        clock=time.perf_counter,
     ):
         if total is not None and total < 0:
             raise ValueError(f"total must be non-negative, got {total}")

@@ -169,6 +169,35 @@ class StreamingHistogram:
         """Approximate 99th percentile."""
         return self.quantile(0.99)
 
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of observations ≤ ``threshold`` (the SLO "good" rate).
+
+        Exact when ``threshold`` falls outside the observed range;
+        otherwise resolved on the bucket grid — a bucket wholly below
+        the threshold counts in full, the bucket straddling it counts
+        in full iff its geometric midpoint is below (≤ one bucket width,
+        ~19%, of resolution — the same error bound as ``quantile``).
+        ``nan`` when empty.
+        """
+        if self._count == 0:
+            return math.nan
+        if threshold >= self._max:
+            return 1.0
+        if threshold < self._min:
+            return 0.0
+        boundary = self._bucket_index(threshold)
+        good = 0
+        for index, count in self._buckets.items():
+            if index < boundary:
+                good += count
+            elif index == boundary and self._representative(index) <= threshold:
+                good += count
+        return good / self._count
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Per-bucket counts keyed by stringified index (JSON-safe)."""
+        return {str(index): count for index, count in sorted(self._buckets.items())}
+
     def summary(self) -> Dict[str, float]:
         """count/sum/min/mean/max/p50/p95/p99 as one flat dict."""
         return {
@@ -298,16 +327,19 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, List[Dict[str, object]]]:
         """A JSON-serializable dump of every metric (for event logs)."""
         out: Dict[str, List[Dict[str, object]]] = {}
-        for sample in self.collect():
+        for (name, labels), metric in sorted(self._metrics.items()):
             entry: Dict[str, object] = {
-                "labels": dict(sample.labels),
-                "kind": sample.kind,
+                "labels": dict(labels),
+                "kind": metric.kind,
             }
-            if sample.kind == "histogram":
-                entry["summary"] = sample.summary
+            if isinstance(metric, StreamingHistogram):
+                entry["summary"] = metric.summary()
+                # bucket counts let offline consumers (the SLO engine)
+                # recompute fraction_below from a serialized snapshot
+                entry["buckets"] = metric.bucket_counts()
             else:
-                entry["value"] = sample.value
-            out.setdefault(sample.name, []).append(entry)
+                entry["value"] = metric.value
+            out.setdefault(name, []).append(entry)
         return out
 
     def reset(self) -> None:

@@ -35,6 +35,7 @@ __all__ = [
     "enabled",
     "registry",
     "tracer",
+    "span_sink",
     "is_enabled",
     "get_registry",
     "get_tracer",
@@ -43,6 +44,7 @@ __all__ = [
     "activate",
     "span",
     "timer",
+    "span_event",
     "ObsSession",
 ]
 
@@ -59,6 +61,12 @@ tracer: Tracer = Tracer()
 #: ``None`` (one ``is None`` check on the live-span path) otherwise.
 #: Deliberately untyped to avoid importing profile machinery here.
 profiler = None
+
+#: The active span sink (a :class:`~repro.obs.context.SpanLog`), installed
+#: by ``obs.tracing_session`` — ``None`` otherwise.  Only spans that carry
+#: a trace context are written, so the sink never sees untraced noise.
+#: Untyped for the same layering reason as ``profiler``.
+span_sink = None
 
 
 class ObsSession(NamedTuple):
@@ -141,18 +149,30 @@ _NOOP = _NoopSpan()
 
 
 class _LiveSpan:
-    """An open span; optionally doubles as a histogram timer."""
+    """An open span; optionally doubles as a histogram timer.
 
-    __slots__ = ("_name", "_labels", "_observe")
+    When a :class:`~repro.obs.context.TraceContext` is attached to the
+    calling flow, the span runs under a fresh *child* context (stamped
+    onto its record and visible to nested spans and resilience events);
+    with no ambient context, no trace identity is minted — keeping the
+    common untraced path free of uuid cost.
+    """
+
+    __slots__ = ("_name", "_labels", "_observe", "_token")
 
     def __init__(self, name: str, labels: Dict[str, str], observe: bool):
         self._name = name
         self._labels = labels
         self._observe = observe
+        self._token = None
 
     def __enter__(self) -> "_LiveSpan":
+        ctx = _context.current()
+        if ctx is not None:
+            ctx = _context.child_of(ctx)
+            self._token = _context._CURRENT.set(ctx)
         now = time.perf_counter()
-        tracer.begin(self._name, self._labels, now)
+        tracer.begin(self._name, self._labels, now, ctx)
         if profiler is not None:
             profiler.on_span_begin(self._name, now)
         return self
@@ -160,10 +180,14 @@ class _LiveSpan:
     def __exit__(self, *exc_info) -> bool:
         now = time.perf_counter()
         record = tracer.finish(now)
+        if self._token is not None:
+            _context._CURRENT.reset(self._token)
         if profiler is not None:
             profiler.on_span_end(now)
         if self._observe:
             registry.histogram(self._name, **self._labels).observe(record.duration)
+        if span_sink is not None and record.trace_id is not None:
+            span_sink.write(record)
         return False
 
 
@@ -180,3 +204,23 @@ def timer(name: str, **labels: object):
     if not enabled:
         return _NOOP
     return _LiveSpan(name, {k: str(v) for k, v in labels.items()}, observe=True)
+
+
+def span_event(name: str, **attrs: object) -> None:
+    """Annotate the innermost open span with a timestamped event.
+
+    Resolution order matches how spans nest at runtime: an explicit
+    (pool-worker) span on this thread wins over the shared tracer stack,
+    so events fired inside worker shards land on the shard span, not on
+    whatever the request thread happens to have open.  A no-op when
+    nothing is open or collection is off.
+    """
+    explicit = _context.innermost_explicit()
+    if explicit is not None:
+        explicit.add_event(name, **attrs)
+        return
+    if enabled:
+        tracer.add_event(name, time.perf_counter(), **attrs)
+
+
+from . import context as _context  # noqa: E402  (cycle: context lazily imports us)

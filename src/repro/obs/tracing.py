@@ -13,6 +13,7 @@ live in :mod:`repro.obs.runtime`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -21,7 +22,15 @@ __all__ = ["SpanRecord", "Tracer"]
 
 @dataclass
 class SpanRecord:
-    """One finished span: identity, position in the tree, and timing."""
+    """One finished span: identity, position in the tree, and timing.
+
+    ``span_id``/``parent_id`` are process-local integers assigned by the
+    tracer stack; the optional ``trace_*`` hex ids are the *causal*
+    identity that survives serialization across thread, process, and
+    network boundaries (see :mod:`repro.obs.context`).  Spans opened
+    outside any trace context leave them ``None`` — the local tree still
+    works, it just isn't part of a distributed trace.
+    """
 
     span_id: int
     parent_id: Optional[int]
@@ -30,6 +39,10 @@ class SpanRecord:
     start: float
     duration: float
     depth: int = 0
+    trace_id: Optional[str] = None
+    trace_span_id: Optional[str] = None
+    trace_parent_id: Optional[str] = None
+    events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def end(self) -> float:
@@ -45,6 +58,10 @@ class _OpenSpan:
     labels: Dict[str, str]
     start: float
     depth: int
+    trace_id: Optional[str] = None
+    trace_span_id: Optional[str] = None
+    trace_parent_id: Optional[str] = None
+    events: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass
@@ -54,24 +71,52 @@ class Tracer:
     _records: List[SpanRecord] = field(default_factory=list)
     _stack: List[_OpenSpan] = field(default_factory=list)
     _next_id: int = 0
+    # Guards _records only: the begin/finish stack stays single-threaded
+    # by design, but record() accepts appends from pool-worker threads.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def finished(self) -> List[SpanRecord]:
         """Finished spans, in completion order."""
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     @property
     def depth(self) -> int:
         """How many spans are currently open."""
         return len(self._stack)
 
-    def begin(self, name: str, labels: Dict[str, str], start: float) -> None:
-        """Open a span as a child of whatever is currently innermost."""
+    def begin(
+        self, name: str, labels: Dict[str, str], start: float, ctx=None
+    ) -> None:
+        """Open a span as a child of whatever is currently innermost.
+
+        ``ctx`` (a :class:`~repro.obs.context.TraceContext`, duck-typed)
+        stamps the span with its distributed identity.
+        """
         parent = self._stack[-1].span_id if self._stack else None
         self._stack.append(
-            _OpenSpan(self._next_id, parent, name, labels, start, len(self._stack))
+            _OpenSpan(
+                self._next_id,
+                parent,
+                name,
+                labels,
+                start,
+                len(self._stack),
+                trace_id=ctx.trace_id if ctx is not None else None,
+                trace_span_id=ctx.span_id if ctx is not None else None,
+                trace_parent_id=ctx.parent_span_id if ctx is not None else None,
+            )
         )
         self._next_id += 1
+
+    def add_event(self, name: str, time: float, **attrs: object) -> None:
+        """Annotate the innermost open span with a timestamped event."""
+        if not self._stack:
+            return
+        event: Dict[str, object] = {"name": name, "time": time}
+        event.update({k: str(v) for k, v in attrs.items()})
+        self._stack[-1].events.append(event)
 
     def finish(self, end: float) -> SpanRecord:
         """Close the innermost span and store its record."""
@@ -86,9 +131,23 @@ class Tracer:
             start=open_span.start,
             duration=end - open_span.start,
             depth=open_span.depth,
+            trace_id=open_span.trace_id,
+            trace_span_id=open_span.trace_span_id,
+            trace_parent_id=open_span.trace_parent_id,
+            events=open_span.events,
         )
-        self._records.append(record)
+        with self._lock:
+            self._records.append(record)
         return record
+
+    def record(self, span: SpanRecord) -> None:
+        """Append an externally-built finished span (thread-safe).
+
+        Pool-worker threads use this for stack-free explicit spans —
+        they must never push onto the shared begin/finish stack.
+        """
+        with self._lock:
+            self._records.append(span)
 
     def reset(self) -> None:
         """Drop all records and abandon any open spans."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from ..obs import context as _ctx
 from ..obs import runtime as _obs
 from ..resilience import runtime as _res
 from ..stats.rng import SeedLike, make_rng
@@ -120,9 +121,24 @@ class SimulatedNetwork:
                     raise _res.InjectedFault("p2p.network.send", spec.mode, 0)
                 dropped = True
         self._stats.record(message_type, dropped)
+        ctx = _ctx.current()
+        if ctx is None:
+            # untraced hop: zero envelope/serialization overhead — this
+            # path carries the million-message overlay benches
+            if dropped:
+                return None
+            return handler(message_type, payload or {})
+        # traced hop: the context crosses as serialized headers on the
+        # message envelope — exactly what a real wire would carry — and
+        # is rebuilt on the delivery side before the handler runs
+        envelope = ctx.to_headers()
         if dropped:
+            _obs.span_event("p2p.message_dropped", dst=dst, type=message_type)
             return None
-        return handler(message_type, payload or {})
+        remote_ctx = _ctx.TraceContext.from_headers(envelope)
+        with _ctx.use(remote_ctx):
+            with _obs.span("p2p.network.deliver", dst=dst, type=message_type):
+                return handler(message_type, payload or {})
 
     def send_reliable(
         self,
@@ -151,6 +167,10 @@ class SimulatedNetwork:
             self._stats.retries += 1
             if _obs.enabled:
                 _obs.registry.inc("p2p.network.retries", type=message_type)
+            if _ctx.current() is not None:
+                _obs.span_event(
+                    "p2p.retry", dst=dst, type=message_type, attempt=attempts
+                )
             reply = self.send(dst, message_type, payload)
         return reply
 

@@ -33,7 +33,7 @@ class CircuitBreaker:
         *,
         failure_threshold: int = 3,
         reset_after_s: float = 30.0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = time.perf_counter,
     ):
         if failure_threshold < 1:
             raise ValueError(

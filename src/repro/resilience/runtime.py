@@ -22,6 +22,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional
 
+from ..obs import context as _ctx
 from ..obs import runtime as _obs
 from ..obs.events import EventLog
 from .faults import FaultPlan, FaultSpec, InjectedFault
@@ -128,7 +129,19 @@ def emit(event: str, **fields: object) -> None:
     the obs counter ``resilience.events`` (labelled by event name)
     whenever obs collection is on — so ``repro health`` and the chaos
     determinism suite see the same stream.
+
+    When the calling flow carries a
+    :class:`~repro.obs.context.TraceContext`, the event is additionally
+    stamped with its ``trace_id`` and attached to the innermost open
+    span as an annotated span event — this one funnel is what turns
+    retry attempts, breaker flips, degradations, and calibration
+    fallbacks into trace-visible annotations.
     """
+    ctx = _ctx.current()
+    if ctx is not None and "trace_id" not in fields:
+        fields = dict(fields, trace_id=ctx.trace_id)
+    if ctx is not None or _obs.enabled:
+        _obs.span_event(event, **fields)
     if events is not None:
         events.emit(event, **fields)
     if _obs.enabled:

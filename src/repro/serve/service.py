@@ -11,15 +11,22 @@ verdicts and whole assessments, and answers bulk trust queries through
 Verdicts are bit-identical to per-call
 :meth:`~repro.core.two_phase.TwoPhaseAssessor.assess` — the service
 reuses the assessor's own phase logic — with one deliberate difference:
-the serving fast path does not emit per-decision audit records (auditing
-a bulk sweep would log every cached decision again; run the assessor
-directly when provenance of a specific decision is needed).
+the serving fast path only emits per-decision audit records for *fresh*
+assessments while auditing is on (memo hits never re-log; run the
+assessor directly when full phase-1 round provenance is needed).
+
+Every ``assess_many`` request runs under a root
+:class:`~repro.obs.context.TraceContext` (minted unless the caller
+already attached one), serialized across the thread/process executor
+boundary so worker shard spans, resilience events, and audit records
+all carry the request's trace_id.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, TimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -31,6 +38,8 @@ from ..core.verdict import Assessment, AssessmentStatus
 from ..feedback.history import TransactionHistory
 from ..feedback.ledger import FeedbackLedger
 from ..feedback.records import EntityId, Feedback
+from ..obs import audit as _audit
+from ..obs import context as _ctx
 from ..obs import runtime as _obs
 from ..resilience import runtime as _res
 from ..resilience.breaker import CircuitBreaker
@@ -68,15 +77,68 @@ _MIN_PARALLEL_BATCH = 512
 _PROCESS_STATE: dict = {}
 
 
-def _init_process_worker(config: AssessorConfig) -> None:
+def _worker_env() -> Dict[str, object]:
+    """Snapshot the parent's observability settings for worker initargs.
+
+    Spawned workers inherit nothing: without this, worker-side events
+    and spans are silently dropped and ``REPRO_LOG_LEVEL`` only governs
+    the parent.  Only serializable settings travel — the event-log and
+    span-sink *paths*, never the open handles (JSONL appends from many
+    processes interleave whole lines safely).
+    """
+    event_log = _res.events
+    return {
+        "log_level": os.environ.get("REPRO_LOG_LEVEL"),
+        "obs_enabled": _obs.enabled,
+        "span_sink_path": (
+            str(_obs.span_sink.path) if _obs.span_sink is not None else None
+        ),
+        "event_log_path": (
+            str(event_log.path)
+            if event_log is not None and event_log.path is not None
+            else None
+        ),
+    }
+
+
+def _init_process_worker(
+    config: AssessorConfig, worker_env: Optional[Dict[str, object]] = None
+) -> None:
     _PROCESS_STATE["assessor"] = Assessor.from_config(config)
+    if not worker_env:
+        return
+    level = worker_env.get("log_level")
+    if level:
+        from ..obs import configure_logging
+
+        configure_logging(str(level))
+    if worker_env.get("obs_enabled"):
+        _obs.enable()  # fresh per-worker registry/tracer
+    sink_path = worker_env.get("span_sink_path")
+    if sink_path:
+        _obs.span_sink = _ctx.SpanLog(str(sink_path))
+    event_path = worker_env.get("event_log_path")
+    if event_path:
+        from ..obs.events import EventLog
+
+        _res.events = EventLog(str(event_path))
 
 
 def _assess_shard_in_process(
-    histories: List[TransactionHistory],
+    task: Tuple[List[TransactionHistory], Optional[Dict[str, str]], int],
 ) -> List[Assessment]:
+    histories, headers, shard_index = task
     assessor = _PROCESS_STATE["assessor"]
-    return [assessor.assess(history) for history in histories]
+    if headers is None:
+        return [assessor.assess(history) for history in histories]
+    # rebuild the request context from its serialized headers; the
+    # explicit span writes to this worker's own sink/tracer and never
+    # touches a (parent-process) tracer stack
+    shard_ctx = _ctx.TraceContext.from_headers(headers)
+    with _ctx.explicit_span(
+        "serve.executor.shard", ctx=shard_ctx, shard=shard_index, executor="process"
+    ):
+        return [assessor.assess(history) for history in histories]
 
 
 class AssessmentService:
@@ -306,6 +368,7 @@ class AssessmentService:
                 if _obs.enabled:
                     _obs.registry.inc("serve.service.assessment_cache_hits")
                 return cached[1]
+        start = time.perf_counter() if _obs.enabled else 0.0
         assessment = self._assess_fresh(state, history)
         self.n_assessments += 1
         # degraded answers (stale calibration threshold) are served but
@@ -314,9 +377,44 @@ class AssessmentService:
             self._assessment_cache[server] = (n, assessment)
         if _obs.enabled:
             _obs.registry.inc("serve.service.assessments")
+            # a plain histogram observation, not a span: the latency SLO
+            # needs the distribution, a span per assessment would not
+            # stay bounded across 100k-server sweeps
+            _obs.registry.observe(
+                "serve.assess.seconds", time.perf_counter() - start
+            )
         return assessment
 
     def _assess_fresh(
+        self, state: IncrementalBehaviorState, history: TransactionHistory
+    ) -> Assessment:
+        if _audit.enabled:
+            with _audit.trail.decision_scope(server=history.server):
+                assessment = self._assess_fresh_inner(state, history)
+                if _audit.trail.want_record():
+                    self._emit_serve_audit(assessment)
+                return assessment
+        return self._assess_fresh_inner(state, history)
+
+    def _emit_serve_audit(self, assessment: Assessment) -> None:
+        """Serve-path decision provenance (summary only, no phase-1 rounds)."""
+        provenance = getattr(self._assessor.trust_function, "provenance", None)
+        trust_name = (
+            provenance()["name"]
+            if callable(provenance)
+            else type(self._assessor.trust_function).__name__
+        )
+        _audit.trail.emit(
+            _audit.assessment_record(
+                server=assessment.server,
+                status=assessment.status.value,
+                trust_value=assessment.trust_value,
+                trust_threshold=self._assessor.trust_threshold,
+                trust_function=trust_name,
+            )
+        )
+
+    def _assess_fresh_inner(
         self, state: IncrementalBehaviorState, history: TransactionHistory
     ) -> Assessment:
         behavior = None
@@ -377,8 +475,17 @@ class AssessmentService:
             self._check_process_preconditions()
         from ..obs import span as _span
 
-        with _span("serve.assess_many", mode=mode, batch=len(ids)):
-            return self._assess_with_ladder(ids, mode)
+        # every request runs under a trace context when collection is on:
+        # the caller's, or a freshly minted root — spans, resilience
+        # events, and audit records downstream all inherit its trace_id
+        ctx = _ctx.current()
+        if ctx is None and _obs.enabled:
+            ctx = _ctx.new_root(op="assess_many")
+        with _ctx.use(ctx):
+            if _obs.enabled:
+                _obs.registry.inc("serve.requests")
+            with _span("serve.assess_many", mode=mode, batch=len(ids)):
+                return self._assess_with_ladder(ids, mode)
 
     def _run_step(self, step: str, ids: Sequence[EntityId]) -> Dict[EntityId, Assessment]:
         if step == "serial":
@@ -488,11 +595,27 @@ class AssessmentService:
         # interleaving — chaos runs must replay bit-identically
         if _res.armed:
             self._inject_worker_fault()
+        # contextvars do not flow into pool threads: serialize the
+        # request context here and re-attach it per shard, exactly as
+        # the process executor does across its harder boundary
+        parent_ctx = _ctx.current()
+        headers = parent_ctx.to_headers() if parent_ctx is not None else None
+
+        def _run_shard(task: Tuple[int, List[EntityId]]):
+            index, shard = task
+            if headers is None:
+                return [(sid, self.assess(sid)) for sid in shard]
+            shard_ctx = _ctx.TraceContext.from_headers(headers)
+            with _ctx.explicit_span(
+                "serve.executor.shard", ctx=shard_ctx, shard=index, executor="thread"
+            ):
+                return [(sid, self.assess(sid)) for sid in shard]
+
         results: Dict[EntityId, Assessment] = {}
         with ThreadPoolExecutor(max_workers=self._workers()) as pool:
             shard_results = pool.map(
-                lambda shard: [(sid, self.assess(sid)) for sid in shard],
-                self._shards(ids),
+                _run_shard,
+                list(enumerate(self._shards(ids))),
                 timeout=self._retry_policy.deadline_s,
             )
             for shard in shard_results:
@@ -506,16 +629,21 @@ class AssessmentService:
         if _res.armed:
             self._inject_worker_fault()
         shards = self._shards(ids)
-        histories = [[self._states[sid].history for sid in shard] for shard in shards]
+        parent_ctx = _ctx.current()
+        headers = parent_ctx.to_headers() if parent_ctx is not None else None
+        tasks = [
+            ([self._states[sid].history for sid in shard], headers, index)
+            for index, shard in enumerate(shards)
+        ]
         results: Dict[EntityId, Assessment] = {}
         with ProcessPoolExecutor(
             max_workers=self._workers(),
             initializer=_init_process_worker,
-            initargs=(self._config,),
+            initargs=(self._config, _worker_env()),
         ) as pool:
             assessed_shards = pool.map(
                 _assess_shard_in_process,
-                histories,
+                tasks,
                 timeout=self._retry_policy.deadline_s,
             )
             for shard, assessed in zip(shards, assessed_shards):

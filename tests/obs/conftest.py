@@ -11,7 +11,9 @@ from repro.obs import audit, runtime
 def _obs_disabled_after():
     """Guarantee test isolation: obs globals restored after every test."""
     saved = (runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler)
+    saved_sink = runtime.span_sink
     saved_audit = (audit.enabled, audit.trail)
     yield
     runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler = saved
+    runtime.span_sink = saved_sink
     audit.enabled, audit.trail = saved_audit

@@ -411,6 +411,137 @@ class TestExplainCli:
         assert "error:" in capsys.readouterr().err
 
 
+@pytest.fixture()
+def spans_file(tmp_path):
+    from repro.obs import context as trace_ctx
+
+    path = tmp_path / "spans.jsonl"
+    with obs.activate(), trace_ctx.tracing_session(path):
+        with trace_ctx.use(trace_ctx.new_root(test="cli")):
+            with obs.span("request"):
+                with obs.span("request.child"):
+                    pass
+    return path
+
+
+class TestObsTrace:
+    def _trace_id(self, spans_file):
+        from repro.obs.context import read_span_jsonl
+
+        return read_span_jsonl(spans_file)[0]["trace_id"]
+
+    def test_lists_trace_ids_without_argument(self, spans_file, capsys):
+        assert main(["obs", "trace", str(spans_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace(s)" in out
+        assert self._trace_id(spans_file) in out
+        assert "(2 spans)" in out
+
+    def test_renders_tree_from_unique_prefix(self, spans_file, capsys):
+        tid = self._trace_id(spans_file)
+        assert main(["obs", "trace", str(spans_file), tid[:10]]) == 0
+        out = capsys.readouterr().out
+        assert f"trace {tid}" in out
+        assert "request" in out
+        assert "request.child" in out
+
+    def test_unknown_trace_id_is_error(self, spans_file, capsys):
+        assert main(["obs", "trace", str(spans_file), "feedbeef"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_span_log_is_error(self, tmp_path, capsys):
+        assert main(["obs", "trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_span_log_is_error(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert main(["obs", "trace", str(path)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_otlp_export_writes_resource_spans(self, spans_file, tmp_path, capsys):
+        out_path = tmp_path / "spans_otlp.json"
+        assert main(["obs", "trace", str(spans_file), "--otlp", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert "resourceSpans" in payload
+        assert "wrote OTLP JSON export" in capsys.readouterr().out
+
+
+class TestObsSlo:
+    def _events(self, tmp_path, *, degradations):
+        path = tmp_path / "run_events.jsonl"
+        registry = obs.MetricsRegistry()
+        registry.inc("serve.requests", 100)
+        if degradations:
+            registry.inc("serve.resilience.degradations", degradations)
+        with obs.EventLog(path) as log:
+            log.emit_metrics(registry)
+        return path
+
+    def test_healthy_run_exits_zero(self, tmp_path, capsys):
+        path = self._events(tmp_path, degradations=0)
+        assert main(["obs", "slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.degraded_verdicts" in out
+        assert "within budget" in out
+
+    def test_burning_budget_exits_two(self, tmp_path, capsys):
+        # 5% degraded against a 1% budget: the ratio SLO burns
+        path = self._events(tmp_path, degradations=5)
+        assert main(["obs", "slo", str(path)]) == 2
+        assert "BURN" in capsys.readouterr().out
+
+    def test_out_writes_validated_bench_artifact(self, tmp_path, capsys):
+        path = self._events(tmp_path, degradations=0)
+        artifact = tmp_path / "BENCH_slo.json"
+        assert main(["obs", "slo", str(path), "--out", str(artifact)]) == 0
+        payload = obs.read_bench_json(artifact)
+        obs.validate_slo_payload(payload)  # schema round-trips
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rereports_burn_from_written_artifact(self, tmp_path, capsys):
+        path = self._events(tmp_path, degradations=5)
+        artifact = tmp_path / "BENCH_slo.json"
+        assert main(["obs", "slo", str(path), "--out", str(artifact)]) == 2
+        capsys.readouterr()
+        assert main(["obs", "slo", str(artifact)]) == 2
+        assert "budgets burning" in capsys.readouterr().out
+
+    def test_ok_artifact_exits_zero(self, tmp_path, capsys):
+        path = self._events(tmp_path, degradations=0)
+        artifact = tmp_path / "BENCH_slo.json"
+        main(["obs", "slo", str(path), "--out", str(artifact)])
+        capsys.readouterr()
+        assert main(["obs", "slo", str(artifact)]) == 0
+        assert "within budget" in capsys.readouterr().out
+
+    def test_latency_flags_reach_the_specs(self, tmp_path, capsys):
+        # every assessment takes ~100ms: burning against the default
+        # 50ms bound, healthy once --latency-threshold raises it
+        path = tmp_path / "run_events.jsonl"
+        registry = obs.MetricsRegistry()
+        for _ in range(100):
+            registry.observe("serve.assess.seconds", 0.1)
+        with obs.EventLog(path) as log:
+            log.emit_metrics(registry)
+        assert main(["obs", "slo", str(path)]) == 2
+        capsys.readouterr()
+        assert main(["obs", "slo", str(path), "--latency-threshold", "0.2"]) == 0
+
+    def test_event_log_without_snapshots_is_error(self, tmp_path, capsys):
+        path = tmp_path / "run_events.jsonl"
+        with obs.EventLog(path) as log:
+            log.emit("run_start")
+        assert main(["obs", "slo", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json_artifact_is_error(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_slo.json"
+        path.write_text(json.dumps({"bench": "slo"}), encoding="utf-8")
+        assert main(["obs", "slo", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestObsReportAuditSummary:
     def test_event_log_report_includes_audit_summary(self, audit_file, capsys):
         assert main(["obs", "report", str(audit_file)]) == 0

@@ -136,6 +136,106 @@ class TestBenchTrend:
         assert all(len(s["points"]) == 2 for s in trend["series"])
 
 
+class TestTrendTolerance:
+    """Schema drift must degrade to flags and counts, never KeyError."""
+
+    def test_invalid_payload_in_list_is_skipped_and_counted(self, tmp_path):
+        history = load_bench_history(_history_dir(tmp_path, [0.30, 0.31]))
+        history.insert(1, {"bench": "fig9"})  # fails schema validation
+        trend = bench_trend(history)
+        assert trend["invalid_payloads"] == 1
+        assert trend["ok"]
+        (series,) = trend["series"]
+        assert len(series["points"]) == 2
+
+    def test_malformed_rows_are_skipped_and_counted(self, tmp_path):
+        history = load_bench_history(_history_dir(tmp_path, [0.30, 0.31]))
+        # passes base validation (mean_s/min_s/repeats numeric) but the
+        # preferred gate stat p95_s is junk
+        history[0]["results"].append(
+            {
+                "name": "weird",
+                "params": {},
+                "stats": {"mean_s": 0.1, "min_s": 0.1, "repeats": 1, "p95_s": "oops"},
+            }
+        )
+        trend = bench_trend(history)
+        assert trend["malformed_rows"] == 1
+        assert trend["ok"]
+
+    def test_series_missing_from_latest_run_is_stale_not_gating(self, tmp_path):
+        """A metric family dropped (or newly added) mid-history is flagged.
+
+        The retired series' last point is 4x its median — under the old
+        behavior that gated as a regression even though the latest run
+        no longer measures it at all.
+        """
+        write_bench_json(
+            tmp_path / "BENCH_run0.json",
+            "fig9",
+            [_row(0.30), _row(0.10, name="retired")],
+            meta={"timestamp": 100.0},
+        )
+        write_bench_json(
+            tmp_path / "BENCH_run1.json",
+            "fig9",
+            [_row(0.31), _row(0.40, name="retired")],
+            meta={"timestamp": 101.0},
+        )
+        write_bench_json(
+            tmp_path / "BENCH_run2.json",
+            "fig9",
+            [_row(0.30)],  # 'retired' family gone
+            meta={"timestamp": 102.0},
+        )
+        trend = bench_trend(load_bench_history(tmp_path))
+        by_name = {s["name"]: s for s in trend["series"]}
+        assert by_name["retired"]["stale"]
+        assert by_name["retired"]["missing_runs"] == 1
+        assert not by_name["retired"]["regressed"]
+        assert not by_name["multi_optimized"]["stale"]
+        assert trend["ok"]
+        assert [s["name"] for s in trend["stale"]] == ["retired"]
+
+    def test_new_family_joining_late_is_fresh(self, tmp_path):
+        """A family that first appears in the newest run is not stale."""
+        write_bench_json(
+            tmp_path / "BENCH_run0.json",
+            "fig9",
+            [_row(0.30)],
+            meta={"timestamp": 100.0},
+        )
+        write_bench_json(
+            tmp_path / "BENCH_run1.json",
+            "slo",
+            [_row(0.1, name="slo.serve.latency.assess")],
+            meta={"timestamp": 101.0},
+        )
+        trend = bench_trend(load_bench_history(tmp_path))
+        by_name = {s["name"]: s for s in trend["series"]}
+        assert not by_name["slo.serve.latency.assess"]["stale"]
+        # the fig9 series is absent from the newest (slo) run — stale
+        assert by_name["multi_optimized"]["stale"]
+
+    def test_stale_rendering(self, tmp_path):
+        write_bench_json(
+            tmp_path / "BENCH_run0.json",
+            "fig9",
+            [_row(0.30), _row(0.10, name="retired")],
+            meta={"timestamp": 100.0},
+        )
+        write_bench_json(
+            tmp_path / "BENCH_run1.json",
+            "fig9",
+            [_row(0.31)],
+            meta={"timestamp": 101.0},
+        )
+        text = render_bench_trend(bench_trend(load_bench_history(tmp_path)))
+        assert "STALE(-1)" in text
+        assert "1 series missing from the latest run(s)" in text
+        assert "OK: no series regressed past the gate" in text
+
+
 class TestRenderBenchTrend:
     def test_report_shape(self, tmp_path):
         history = load_bench_history(_history_dir(tmp_path, [0.30, 0.31, 0.60]))

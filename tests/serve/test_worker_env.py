@@ -1,0 +1,134 @@
+"""Parent observability settings must reach process-pool workers.
+
+Spawned workers inherit nothing from the parent interpreter, so the
+pool initializer receives a serializable snapshot (``_worker_env``) and
+reconstructs the observability plumbing worker-side
+(``_init_process_worker``): ``REPRO_LOG_LEVEL``, the enabled flag, the
+span-sink path, and the resilience event-log path.  Without this,
+worker-side spans and events are silently dropped.
+"""
+
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import context as trace_ctx
+from repro.obs import runtime as obs_runtime
+from repro.obs.events import EventLog
+from repro.resilience import runtime as res_runtime
+from repro.serve.service import _init_process_worker, _worker_env
+from repro.core.config import AssessorConfig
+
+
+@pytest.fixture(autouse=True)
+def _restore_globals():
+    """These tests run the worker initializer *in this* process."""
+    saved_obs = (obs_runtime.enabled, obs_runtime.registry, obs_runtime.tracer)
+    saved_sink = obs_runtime.span_sink
+    saved_events = res_runtime.events
+    logger = logging.getLogger("repro")
+    saved_level = logger.level
+    saved_handlers = list(logger.handlers)
+    yield
+    obs_runtime.enabled, obs_runtime.registry, obs_runtime.tracer = saved_obs
+    obs_runtime.span_sink = saved_sink
+    res_runtime.events = saved_events
+    logger.setLevel(saved_level)
+    for handler in logger.handlers[:]:
+        if handler not in saved_handlers:
+            logger.removeHandler(handler)
+
+
+class TestWorkerEnvSnapshot:
+    def test_dark_parent_snapshots_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        env = _worker_env()
+        assert env == {
+            "log_level": None,
+            "obs_enabled": False,
+            "span_sink_path": None,
+            "event_log_path": None,
+        }
+
+    def test_active_parent_snapshot_is_serializable_paths(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "DEBUG")
+        spans_path = tmp_path / "spans.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        log = EventLog(events_path)
+        try:
+            with obs.activate(), trace_ctx.tracing_session(spans_path):
+                with res_runtime.activate(event_log=log):
+                    env = _worker_env()
+        finally:
+            log.close()
+        assert env["log_level"] == "DEBUG"
+        assert env["obs_enabled"] is True
+        assert env["span_sink_path"] == str(spans_path)
+        assert env["event_log_path"] == str(events_path)
+        # paths, not handles: everything in the snapshot pickles
+        import pickle
+
+        pickle.dumps(env)
+
+    def test_in_memory_event_log_is_not_propagated(self):
+        """A path-less EventLog cannot cross the process boundary."""
+        log = EventLog()  # in-memory only
+        with res_runtime.activate(event_log=log):
+            env = _worker_env()
+        assert env["event_log_path"] is None
+
+
+class TestInitProcessWorker:
+    CONFIG = AssessorConfig()
+
+    def test_empty_env_leaves_worker_dark(self):
+        obs_runtime.disable()
+        obs_runtime.span_sink = None
+        _init_process_worker(self.CONFIG, None)
+        assert not obs_runtime.enabled
+        assert obs_runtime.span_sink is None
+
+    def test_env_reconstructs_observability(self, tmp_path):
+        obs_runtime.disable()
+        obs_runtime.span_sink = None
+        res_runtime.events = None
+        spans_path = tmp_path / "spans.jsonl"
+        events_path = tmp_path / "events.jsonl"
+        _init_process_worker(
+            self.CONFIG,
+            {
+                "log_level": "DEBUG",
+                "obs_enabled": True,
+                "span_sink_path": str(spans_path),
+                "event_log_path": str(events_path),
+            },
+        )
+        try:
+            assert obs_runtime.enabled
+            assert str(obs_runtime.span_sink.path) == str(spans_path)
+            assert str(res_runtime.events.path) == str(events_path)
+            assert logging.getLogger("repro").level == logging.DEBUG
+            # the reconstructed sinks actually write
+            res_runtime.events.emit("worker_probe", ok=True)
+            assert events_path.exists()
+        finally:
+            obs_runtime.span_sink.close()
+            res_runtime.events.close()
+
+    def test_round_trip_snapshot_to_worker(self, tmp_path, monkeypatch):
+        """_worker_env output is exactly what the initializer accepts."""
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "INFO")
+        spans_path = tmp_path / "spans.jsonl"
+        with obs.activate(), trace_ctx.tracing_session(spans_path):
+            env = _worker_env()
+        obs_runtime.span_sink = None
+        obs_runtime.disable()
+        _init_process_worker(self.CONFIG, env)
+        try:
+            assert obs_runtime.enabled
+            assert str(obs_runtime.span_sink.path) == str(spans_path)
+        finally:
+            obs_runtime.span_sink.close()

@@ -92,3 +92,39 @@ class TestPublicMethodDocs:
                 if not _documented_somewhere(obj, method_name):
                     undocumented.append(f"{name}.{method_name}")
         assert not undocumented, f"{package_name}: undocumented {sorted(set(undocumented))}"
+
+
+class TestTimingHygiene:
+    """Span/heartbeat *durations* must come from ``time.perf_counter()``.
+
+    ``time.time()`` jumps under NTP slews and has coarse resolution on
+    some platforms, so it is banned from duration math. The allowlist
+    below names the only legitimate wall-clock reads left in the tree —
+    each is a *timestamp* (when did this happen), never a delta.
+    """
+
+    # relative path under src/repro -> max permitted time.time() reads
+    WALL_CLOCK_ALLOWLIST = {
+        "obs/context.py": 1,  # _ANCHOR_WALL: per-process anchor pairing
+        "obs/events.py": 2,  # run_metadata + event record timestamps
+        "obs/monitor.py": 1,  # dashboard staleness vs. "now"
+    }
+
+    def test_wall_clock_reads_confined_to_timestamp_allowlist(self):
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = {}
+        for path in sorted(src.rglob("*.py")):
+            count = path.read_text(encoding="utf-8").count("time.time()")
+            if count:
+                offenders[str(path.relative_to(src))] = count
+        unexpected = {
+            name: count
+            for name, count in offenders.items()
+            if count > self.WALL_CLOCK_ALLOWLIST.get(name, 0)
+        }
+        assert not unexpected, (
+            f"new time.time() reads in {unexpected}: use time.perf_counter() "
+            "for durations; extend the allowlist only for pure timestamps"
+        )
