@@ -120,6 +120,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--tsdb-dir",
+        type=str,
+        default=None,
+        help=(
+            "write scraped metric history into this directory as "
+            "TSDB_<name>.jsonl (experiments that support it, e.g. serve); "
+            "inspect with `repro obs tsdb <file>`"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         type=str,
         default=None,
@@ -155,6 +165,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.makedirs(args.trace_dir, exist_ok=True)
     if args.slo_dir:
         os.makedirs(args.slo_dir, exist_ok=True)
+    if args.tsdb_dir:
+        os.makedirs(args.tsdb_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
@@ -183,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         if args.slo_dir and "slo_path" in params:
             kwargs["slo_path"] = os.path.join(args.slo_dir, "BENCH_slo.json")
+        if args.tsdb_dir and "tsdb_path" in params:
+            kwargs["tsdb_path"] = os.path.join(args.tsdb_dir, f"TSDB_{name}.jsonl")
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -197,6 +211,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "profile_path",
             "trace_path",
             "slo_path",
+            "tsdb_path",
         ):
             if key in kwargs:
                 print(f"wrote {kwargs[key]}")

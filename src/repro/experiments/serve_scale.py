@@ -22,6 +22,7 @@ default serve SLOs against the run's metrics, writing a
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Dict, List, Optional, Sequence
 
 from .. import obs
@@ -73,6 +74,7 @@ def run_serve_scale(
     events_path: Optional[str] = None,
     trace_path: Optional[str] = None,
     slo_path: Optional[str] = None,
+    tsdb_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Measure per-call vs. batched-incremental assessment sweeps.
 
@@ -85,7 +87,11 @@ def run_serve_scale(
     ``events_path`` a heartbeat JSONL log; ``trace_path`` a span-sink
     JSONL (the whole run becomes one trace rooted at
     ``experiments.serve.run``); ``slo_path`` a ``BENCH_slo.json``
-    error-budget artifact from the run's own metrics.
+    error-budget artifact from the run's own metrics; ``tsdb_path`` a
+    TSDB JSONL of the run's scraped metric history (a
+    :class:`~repro.obs.tsdb.MetricsScraper` with an anomaly detector and
+    wall-clock SLO windows runs for the duration, driven by the serving
+    loop — inspect with ``repro obs tsdb``).
     """
     if server_counts is None:
         server_counts = (200, 500) if quick else SERVER_COUNTS
@@ -165,8 +171,27 @@ def run_serve_scale(
         else contextlib.nullcontext()
     )
     bench_rows: List[Dict[str, object]] = []
-    with scope as session, trace_scope, root_scope:
+    with scope as session, trace_scope, root_scope, contextlib.ExitStack() as stack:
         registry = session.registry
+        scraper = None
+        if tsdb_path is not None:
+            # the serving loop (assess_many) drives maybe_scrape(); a
+            # sub-second cadence gives quick runs real history too
+            scraper = obs.MetricsScraper(
+                registry,
+                interval_s=0.25,
+                detector=obs.AnomalyDetector(event_log=log),
+                slo_engine=obs.SloEngine(obs.default_serve_slos()),
+            )
+            stack.enter_context(obs.scraping_session(scraper))
+            # and a flight recorder next to the store: an escaping
+            # ResilienceError, a breaker opening, or an SLO burn leaves
+            # a POSTMORTEM_*.json bundle beside TSDB_serve.jsonl
+            stack.enter_context(
+                obs.flight_recording(
+                    os.path.dirname(tsdb_path) or ".", scraper=scraper
+                )
+            )
         with obs.span("experiments.serve.run", quick=quick):
             for n in server_counts:
                 with obs.span("experiments.serve.prepare", n_servers=n):
@@ -260,6 +285,11 @@ def run_serve_scale(
             )
         if log is not None:
             log.emit_metrics(registry)
+        if scraper is not None:
+            # a final unconditional scrape so runs shorter than one slot
+            # still persist history, then the store itself
+            scraper.scrape()
+            scraper.store.dump(tsdb_path)
     if monitor is not None:
         monitor.finish(experiment="serve")
     if log is not None:

@@ -181,6 +181,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of assessments that must meet the bound (default: 0.99)",
     )
 
+    p_tsdb = obs_sub.add_parser(
+        "tsdb",
+        help="inspect a dumped metric time-series store: list series, "
+        "query one with downsampling, or export as Prometheus text",
+    )
+    p_tsdb.add_argument("store", help="path to a TSDB JSONL dump (e.g. --tsdb-dir)")
+    p_tsdb.add_argument(
+        "series",
+        nargs="?",
+        default=None,
+        help="series to query, as name or name.field (e.g. "
+        "serve.assess.seconds.p95); omitted, lists every series",
+    )
+    p_tsdb.add_argument(
+        "--start", type=float, default=None, help="window start (unix seconds)"
+    )
+    p_tsdb.add_argument(
+        "--end", type=float, default=None, help="window end (unix seconds)"
+    )
+    p_tsdb.add_argument(
+        "--step",
+        type=float,
+        default=None,
+        help="downsample onto this epoch-aligned bucket width (seconds)",
+    )
+    p_tsdb.add_argument(
+        "--agg",
+        default="last",
+        choices=("last", "mean", "min", "max", "sum"),
+        help="bucket reducer used with --step (default: last)",
+    )
+    p_tsdb.add_argument(
+        "--export-prom",
+        default=None,
+        metavar="PATH",
+        help="write the newest retained snapshot as Prometheus exposition "
+        "text (timestamped with the snapshot instant); '-' for stdout",
+    )
+    p_postmortem = obs_sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder post-mortem bundle (POSTMORTEM_*.json)",
+    )
+    p_postmortem.add_argument("bundle", help="path to the bundle")
+    p_postmortem.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        help="events to show from the end of the ring (default: 20)",
+    )
+
     p_explain = sub.add_parser(
         "explain", help="explain a server's latest audit verdict from a JSONL log"
     )
@@ -236,6 +286,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _obs_slo(
             args.source, args.out, args.latency_threshold, args.latency_objective
         )
+    if args.obs_command == "tsdb":
+        return _obs_tsdb(
+            args.store,
+            args.series,
+            start=args.start,
+            end=args.end,
+            step=args.step,
+            agg=args.agg,
+            export_prom=args.export_prom,
+        )
+    if args.obs_command == "postmortem":
+        return _obs_postmortem(args.bundle, args.tail)
     # obs report
     try:
         print(obs.render_artifact(args.artifact))
@@ -393,6 +455,106 @@ def _obs_slo(
     return 0 if evaluation.ok else 2
 
 
+def _obs_tsdb(
+    store_path: str,
+    series: Optional[str],
+    *,
+    start: Optional[float],
+    end: Optional[float],
+    step: Optional[float],
+    agg: str,
+    export_prom: Optional[str],
+) -> int:
+    from .obs import tsdb as _tsdb
+
+    try:
+        store = _tsdb.TimeSeriesStore.load(store_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if export_prom is not None:
+        latest = store.latest_time()
+        snapshot = store.snapshot_at(latest)
+        stamp = None if latest is None else int(latest * 1000)
+        text = obs.render_prometheus(
+            _SnapshotRegistry(snapshot), timestamp_ms=stamp
+        )
+        if export_prom == "-":
+            sys.stdout.write(text)
+        else:
+            with open(export_prom, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {export_prom}")
+        return 0
+    if series is None:
+        print(_tsdb.render_series_table(store))
+        return 0
+    # a bare family name selects every series under it (all fields and
+    # label sets); a fully rendered key selects exactly one
+    matches = [
+        key for key in store.series() if key.render() == series or key.name == series
+    ]
+    if not matches:
+        known = ", ".join(k.render() for k in store.series()[:8])
+        print(
+            f"error: no series {series!r} in {store_path} (known: {known}, ...)",
+            file=sys.stderr,
+        )
+        return 1
+    for key in matches:
+        samples = store.query(
+            key.name,
+            labels=dict(key.labels),
+            field=key.field,
+            start=start,
+            end=end,
+            step=step,
+            agg=agg,
+        )
+        print(f"{key.render()}  ({len(samples)} samples)")
+        for t, value in samples:
+            print(f"  {t:.3f}  {value:.6g}")
+    return 0
+
+
+class _SnapshotRegistry:
+    """A snapshot-shaped mapping wearing the registry's ``collect()``
+    face, so the Prometheus renderer works on reconstructed history."""
+
+    def __init__(self, snapshot):
+        self._snapshot = snapshot
+
+    def collect(self):
+        samples = []
+        for name in sorted(self._snapshot):
+            for entry in self._snapshot[name]:
+                labels = tuple(sorted(
+                    (str(k), str(v)) for k, v in (entry.get("labels") or {}).items()
+                ))
+                kind = str(entry.get("kind", "gauge"))
+                if kind == "histogram":
+                    samples.append(
+                        obs.MetricSample(
+                            name, labels, kind, None, dict(entry.get("summary") or {})
+                        )
+                    )
+                else:
+                    samples.append(
+                        obs.MetricSample(name, labels, kind, entry.get("value"))
+                    )
+        return samples
+
+
+def _obs_postmortem(bundle_path: str, tail: int) -> int:
+    try:
+        bundle = obs.read_postmortem(bundle_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(obs.render_postmortem(bundle, tail=tail))
+    return 0
+
+
 def _obs_validate(artifact: str) -> int:
     import json
 
@@ -432,4 +594,11 @@ def _obs_validate(artifact: str) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro obs tsdb ... | head` closed the pipe mid-print: point
+        # stdout at devnull so the interpreter's exit flush stays quiet,
+        # and exit with the conventional SIGPIPE status
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(141)

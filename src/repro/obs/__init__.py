@@ -82,7 +82,21 @@ from .export import (
     spans_to_otlp,
     trace_ids,
 )
-from .monitor import ProgressMonitor, render_dashboard, rss_bytes, tail_dashboard
+from .flightrec import (
+    POSTMORTEM_SCHEMA_VERSION,
+    FlightRecorder,
+    flight_recording,
+    read_postmortem,
+    render_postmortem,
+    validate_postmortem_bundle,
+)
+from .monitor import (
+    ProgressMonitor,
+    read_events_lenient,
+    render_dashboard,
+    rss_bytes,
+    tail_dashboard,
+)
 from .profile import (
     PROFILE_SCHEMA_VERSION,
     PhaseProfiler,
@@ -122,6 +136,16 @@ from .slo import (
     validate_slo_payload,
 )
 from .tracing import SpanRecord, Tracer
+from .tsdb import (
+    TSDB_SCHEMA_VERSION,
+    AnomalyDetector,
+    MetricsScraper,
+    SeriesKey,
+    TimeSeriesStore,
+    render_series_table,
+    render_sparkline,
+    scraping_session,
+)
 
 # Library logging etiquette: the package never configures the root
 # logger; a NullHandler keeps "no handler" warnings away from users who
@@ -191,9 +215,24 @@ __all__ = [
     "spans_to_otlp",
     "trace_ids",
     "ProgressMonitor",
+    "read_events_lenient",
     "render_dashboard",
     "rss_bytes",
     "tail_dashboard",
+    "POSTMORTEM_SCHEMA_VERSION",
+    "FlightRecorder",
+    "flight_recording",
+    "read_postmortem",
+    "render_postmortem",
+    "validate_postmortem_bundle",
+    "TSDB_SCHEMA_VERSION",
+    "AnomalyDetector",
+    "MetricsScraper",
+    "SeriesKey",
+    "TimeSeriesStore",
+    "render_series_table",
+    "render_sparkline",
+    "scraping_session",
     "PROFILE_SCHEMA_VERSION",
     "PhaseProfiler",
     "PhaseStat",

@@ -278,6 +278,8 @@ class _ExplicitSpan:
             _rt.tracer.record(record)
         if _rt.span_sink is not None:
             _rt.span_sink.write(record)
+        if _rt.flight_recorder is not None:
+            _rt.flight_recorder.record_span(span_to_dict(record))
         return False
 
 

@@ -18,16 +18,19 @@ place until the run ends.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, TextIO, Union
+from typing import Dict, List, Optional, TextIO, Tuple, Union
 
-from .events import EventLog, read_events
+from .events import EventLog
+from .tsdb import render_sparkline
 
 __all__ = [
     "rss_bytes",
     "ProgressMonitor",
+    "read_events_lenient",
     "render_dashboard",
     "tail_dashboard",
 ]
@@ -55,6 +58,34 @@ def rss_bytes() -> Optional[int]:
         return None
     # ru_maxrss is kilobytes on linux, bytes on macOS
     return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+def read_events_lenient(path: Union[str, Path]):
+    """Load an event JSONL file, skipping rows a strict read would reject.
+
+    A live dashboard must not die because the producer wrote half a line,
+    a log rotated mid-row, or an experiment crashed while flushing — so
+    unparsable lines and non-event objects are *skipped and counted*
+    (the same policy ``obs trend`` applies to result files) instead of
+    raising.  Returns ``(events, skipped)``.
+    """
+    events: List[Dict[str, object]] = []
+    skipped = 0
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or "event" not in record:
+                skipped += 1
+                continue
+            events.append(record)
+    return events, skipped
 
 
 class ProgressMonitor:
@@ -98,6 +129,7 @@ class ProgressMonitor:
         self._last_done = 0
         self._last_counts: Dict[str, float] = {}
         self._heartbeats = 0
+        self._finished = False
 
     @property
     def done(self) -> int:
@@ -192,6 +224,7 @@ class ProgressMonitor:
         if self._started is None:
             self.start()
         self.heartbeat()
+        self._finished = True
         return self._log.emit(
             "progress_end",
             done=self._done,
@@ -202,6 +235,25 @@ class ProgressMonitor:
             rss_bytes=rss_bytes(),
             **fields,
         )
+
+    def close(self, **fields: object) -> Optional[Dict[str, object]]:
+        """Finish the stream unless already finished (then a no-op).
+
+        The safe teardown call for ``finally`` blocks: ticks recorded
+        since the last heartbeat still reach the log (via the final
+        heartbeat :meth:`finish` emits), a monitor that never started
+        emits nothing, and closing twice emits nothing twice.
+        """
+        if self._finished or self._started is None:
+            return None
+        return self.finish(**fields)
+
+    def __enter__(self) -> "ProgressMonitor":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
 
 
 # ---------------------------------------------------------------------- #
@@ -239,21 +291,32 @@ def _fmt_rate(value: Optional[object]) -> str:
 
 
 def render_dashboard(
-    events: List[Dict[str, object]], *, now: Optional[float] = None, width: int = 40
+    events: List[Dict[str, object]],
+    *,
+    now: Optional[float] = None,
+    width: int = 40,
+    skipped: int = 0,
+    history: bool = True,
 ) -> str:
     """A run's event stream as a compact text dashboard.
 
     Works on *partial* logs (a run still in flight): renders the latest
-    heartbeat, the progress bar, throughput, ETA, and RSS, plus how
-    stale the last event is.  ``now`` is injectable for tests.
+    heartbeat, the progress bar, throughput (with sparkline history over
+    the recorded heartbeats when ``history`` is on), ETA, and RSS, plus
+    how stale the last event is.  ``skipped`` (from
+    :func:`read_events_lenient`) is surfaced as a notice, never an
+    error.  ``now`` is injectable for tests.
     """
     now = time.time() if now is None else now
+    events = [e for e in events if isinstance(e, dict)]
     run_start = next((e for e in events if e.get("event") == "run_start"), None)
     start = next((e for e in events if e.get("event") == "progress_start"), None)
     beats = [e for e in events if e.get("event") == "heartbeat"]
     end = next((e for e in events if e.get("event") == "progress_end"), None)
 
     lines: List[str] = []
+    if skipped:
+        lines.append(f"(skipped {skipped} malformed log line(s))")
     if run_start is not None:
         interesting = {
             k: run_start[k]
@@ -295,6 +358,9 @@ def render_dashboard(
             f"  rss: {_fmt_bytes(last.get('rss_bytes'))}"
         )
 
+    if history and len(beats) >= 2:
+        lines.extend(_render_history(beats))
+
     if end is not None:
         lines.append(
             f"status: finished ({end.get('done')} {label} in "
@@ -312,6 +378,47 @@ def render_dashboard(
     return "\n".join(lines)
 
 
+def _render_history(beats: List[Dict[str, object]]) -> List[str]:
+    """Sparkline columns over the heartbeat history (newest-right).
+
+    One row per throughput key (the per-window ``recent`` rates, the
+    honest shape of a run speeding up or stalling) plus an RSS row;
+    malformed beats contribute nothing to a row rather than killing it.
+    """
+    rate_keys: List[str] = []
+    for beat in beats:
+        recent = beat.get("recent")
+        if isinstance(recent, dict):
+            for key in recent:
+                if key not in rate_keys:
+                    rate_keys.append(key)
+    rows: List[Tuple[str, List[float]]] = []
+    for key in rate_keys:
+        values = []
+        for beat in beats:
+            recent = beat.get("recent")
+            value = recent.get(key) if isinstance(recent, dict) else None
+            if isinstance(value, (int, float)):
+                values.append(float(value))
+        if values:
+            rows.append((key, values))
+    rss = [
+        float(beat["rss_bytes"])
+        for beat in beats
+        if isinstance(beat.get("rss_bytes"), (int, float))
+    ]
+    if rss:
+        rows.append(("rss", rss))
+    if not rows:
+        return []
+    label_width = max(len(label) for label, _ in rows)
+    lines = [f"history ({len(beats)} heartbeats):"]
+    for label, values in rows:
+        spark = render_sparkline(values)
+        lines.append(f"  {label:<{label_width}}  {spark}  {_fmt_rate(values[-1])}")
+    return lines
+
+
 def tail_dashboard(
     path: Union[str, Path],
     *,
@@ -322,8 +429,9 @@ def tail_dashboard(
 ) -> int:
     """Follow a live run's JSONL event file, re-rendering the dashboard.
 
-    Re-reads ``path`` every ``interval`` seconds (tolerating a partially
-    written trailing line) and redraws; returns once the run emits
+    Re-reads ``path`` every ``interval`` seconds (skipping malformed
+    lines rather than dying on them — a live producer is mid-write by
+    definition) and redraws; returns once the run emits
     ``progress_end``/``run_end``, after ``max_updates`` redraws, or after
     a single render with ``once=True``.  Backs ``repro obs top``.
     """
@@ -331,10 +439,10 @@ def tail_dashboard(
     updates = 0
     while True:
         try:
-            events = read_events(path, allow_partial=True)
+            events, skipped = read_events_lenient(path)
         except FileNotFoundError:
-            events = []
-        text = render_dashboard(events)
+            events, skipped = [], 0
+        text = render_dashboard(events, skipped=skipped)
         if not once and updates and out.isatty():  # pragma: no cover - tty only
             out.write("\x1b[2J\x1b[H")
         out.write(text + "\n")

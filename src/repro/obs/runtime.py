@@ -36,6 +36,8 @@ __all__ = [
     "registry",
     "tracer",
     "span_sink",
+    "scraper",
+    "flight_recorder",
     "is_enabled",
     "get_registry",
     "get_tracer",
@@ -67,6 +69,16 @@ profiler = None
 #: a trace context are written, so the sink never sees untraced noise.
 #: Untyped for the same layering reason as ``profiler``.
 span_sink = None
+
+#: The active :class:`~repro.obs.tsdb.MetricsScraper` — ``None`` unless a
+#: runner installed one.  Serving loops call ``maybe_scrape()`` on it to
+#: drive the wall-anchored cadence without a background thread.
+scraper = None
+
+#: The active :class:`~repro.obs.flightrec.FlightRecorder` — ``None``
+#: unless installed (``obs.flight_recording``).  Traced span exits, the
+#: resilience emit funnel, and opted-in event logs feed its rings.
+flight_recorder = None
 
 
 class ObsSession(NamedTuple):
@@ -186,8 +198,11 @@ class _LiveSpan:
             profiler.on_span_end(now)
         if self._observe:
             registry.histogram(self._name, **self._labels).observe(record.duration)
-        if span_sink is not None and record.trace_id is not None:
-            span_sink.write(record)
+        if record.trace_id is not None:
+            if span_sink is not None:
+                span_sink.write(record)
+            if flight_recorder is not None:
+                flight_recorder.record_span(_context.span_to_dict(record))
         return False
 
 

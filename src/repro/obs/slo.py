@@ -204,12 +204,54 @@ class SloEngine:
         multi-window burn rates: window ``w1`` is the delta from the
         most recent history point to ``source``, ``w2`` from the one
         before it, and so on (wider windows looking further back).
+
+        This snapshot-delta form is the *fallback* path (callers that
+        only hold serialized snapshots); when a
+        :class:`~repro.obs.tsdb.TimeSeriesStore` of scraped history is
+        available, :meth:`evaluate_windows` computes the same burn math
+        over real wall-clock windows.
         """
         snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
         results = [self._evaluate_one(spec, snapshot) for spec in self.specs]
         if history:
             for result in results:
                 result.burn_rates = self._burn_rates(result.spec, snapshot, history)
+        return SloEvaluation(results)
+
+    def evaluate_windows(
+        self,
+        store,
+        windows_s: Sequence[float],
+        *,
+        now: Optional[float] = None,
+    ) -> SloEvaluation:
+        """Evaluate specs with burn rates over real wall-clock windows.
+
+        ``store`` is a :class:`~repro.obs.tsdb.TimeSeriesStore` of
+        scraped cumulative snapshots.  The point-in-time state is the
+        store's reconstruction at ``now`` (default: its newest sample),
+        and each window ``w`` in ``windows_s`` contributes a burn rate
+        labelled ``"{w:g}s"`` computed between the reconstructed
+        snapshots at ``now - w`` and ``now`` — **the same
+        snapshot-delta math** as :meth:`evaluate`, with the store
+        supplying the snapshots instead of the caller.  A window that
+        predates all retained history sees an empty older snapshot
+        (zero counters), which matches a counter's life-to-date delta.
+        """
+        if now is None:
+            now = store.latest_time()
+        if now is None:
+            raise ValueError("the time-series store holds no samples")
+        latest = store.snapshot_at(now)
+        results = [self._evaluate_one(spec, latest) for spec in self.specs]
+        for result in results:
+            rates: Dict[str, float] = {}
+            for window in windows_s:
+                if window <= 0:
+                    raise ValueError(f"window must be positive, got {window}")
+                older = store.snapshot_at(now - window)
+                rates[f"{window:g}s"] = self._window_burn(result.spec, older, latest)
+            result.burn_rates = rates
         return SloEvaluation(results)
 
     def _evaluate_one(self, spec: SloSpec, snapshot: Snapshot) -> SloResult:

@@ -1,0 +1,807 @@
+"""Embedded bounded time-series store over the metrics registry.
+
+PR 6's :class:`~repro.obs.slo.SloEngine` fakes time windows from
+caller-supplied cumulative snapshots and ``repro obs top`` shows only
+the latest heartbeat; nothing in the stack retains *windowed metric
+history*.  This module closes that gap with three pieces, all stdlib:
+
+* :class:`TimeSeriesStore` — per-series ring buffers keyed by metric
+  family + label set.  Counters and gauges store scalar samples;
+  histograms store both derived scalar series (``count``/``sum``/
+  ``p50``/``p95``/``p99``/…) for cheap querying *and* a bounded ring of
+  cumulative **digests** (summary + bucket counts), so the store can
+  reconstruct a full registry snapshot at any retained instant
+  (:meth:`TimeSeriesStore.snapshot_at`) — which is exactly what
+  wall-clock SLO burn windows need.  Queries downsample on the fly
+  (``step``/``agg``), and the whole store round-trips through JSONL
+  (:meth:`TimeSeriesStore.dump` / :meth:`TimeSeriesStore.load`).
+* :class:`MetricsScraper` — samples a
+  :class:`~repro.obs.registry.MetricsRegistry` into the store on a
+  wall-anchored cadence: scrape slots are multiples of ``interval_s``
+  on the epoch grid, so two processes (or a restart) sampling the same
+  cadence land in the same slots.  ``maybe_scrape()`` costs one clock
+  read + compare when the slot hasn't rolled over, so serving hot paths
+  can call it per request.
+* :class:`AnomalyDetector` — a robust z-score detector (median/MAD over
+  a trailing window, EWMA-smoothed) over the scraped series.  Counter
+  series are differentiated into rates first (a monotone counter's raw
+  values would always "anomalize"); detected anomalies become
+  trace-stamped ``metric_anomaly`` structured events, the kind of
+  bounded-window behavior monitoring PAPERS.md's manipulation-resistance
+  line frames — applied to the serving stack's own vital signs.
+
+The scraper's wall anchor is also what the Prometheus exporter can
+stamp onto sample lines (``render_prometheus(..., timestamp_ms=...)``),
+so externally scraped series align with TSDB samples.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "TSDB_SCHEMA_VERSION",
+    "SeriesKey",
+    "Sample",
+    "TimeSeriesStore",
+    "MetricsScraper",
+    "AnomalyDetector",
+    "scraping_session",
+    "render_series_table",
+    "render_sparkline",
+]
+
+TSDB_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+LabelSet = Tuple[Tuple[str, str], ...]
+Sample = Tuple[float, float]
+
+#: Histogram summary fields materialized as scalar series.
+_HIST_FIELDS = ("count", "sum", "min", "mean", "max", "p50", "p95", "p99")
+
+_AGGS = ("last", "mean", "min", "max", "sum")
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _labels_key(labels: Optional[Mapping[str, object]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class SeriesKey:
+    """Identity of one series: metric family + labels + optional field.
+
+    ``field`` is empty for counter/gauge value series and one of
+    ``count``/``sum``/``min``/``mean``/``max``/``p50``/``p95``/``p99``
+    for the scalar series derived from a histogram family.
+    """
+
+    __slots__ = ("name", "labels", "field")
+
+    def __init__(self, name: str, labels: LabelSet = (), field: str = ""):
+        self.name = name
+        self.labels = labels
+        self.field = field
+
+    def _tuple(self) -> Tuple[str, LabelSet, str]:
+        return (self.name, self.labels, self.field)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SeriesKey) and self._tuple() == other._tuple()
+
+    def __hash__(self) -> int:
+        return hash(self._tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SeriesKey({self.render()!r})"
+
+    def render(self) -> str:
+        """Human/CLI form: ``name{k=v,...}.field``."""
+        text = self.name
+        if self.labels:
+            text += "{" + ",".join(f"{k}={v}" for k, v in self.labels) + "}"
+        if self.field:
+            text += f".{self.field}"
+        return text
+
+
+class _Series:
+    """One bounded scalar series (ring buffer of ``(t, value)``)."""
+
+    __slots__ = ("key", "kind", "samples")
+
+    def __init__(self, key: SeriesKey, kind: str, maxlen: int):
+        self.key = key
+        self.kind = kind
+        self.samples: deque = deque(maxlen=maxlen)
+
+
+class _DigestSeries:
+    """Cumulative histogram digests for snapshot reconstruction."""
+
+    __slots__ = ("name", "labels", "samples")
+
+    def __init__(self, name: str, labels: LabelSet, maxlen: int):
+        self.name = name
+        self.labels = labels
+        self.samples: deque = deque(maxlen=maxlen)
+
+
+class TimeSeriesStore:
+    """Bounded in-memory metric history with query-time downsampling.
+
+    ``max_samples`` bounds every ring (scalar and digest alike);
+    ``max_series`` caps how many distinct series the store will track —
+    past the cap, new series are silently dropped and counted in
+    :attr:`dropped_series` (a bounded store must not grow without bound
+    under a label-cardinality explosion).
+    """
+
+    def __init__(self, *, max_samples: int = 512, max_series: int = 4096):
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        if max_series < 1:
+            raise ValueError(f"max_series must be >= 1, got {max_series}")
+        self.max_samples = max_samples
+        self.max_series = max_series
+        self._series: Dict[SeriesKey, _Series] = {}
+        self._digests: Dict[Tuple[str, LabelSet], _DigestSeries] = {}
+        self.dropped_series = 0
+        self.n_scrapes = 0
+
+    # -- writing -------------------------------------------------------- #
+
+    def append(
+        self,
+        name: str,
+        t: float,
+        value: float,
+        *,
+        labels: Optional[Mapping[str, object]] = None,
+        field: str = "",
+        kind: str = "gauge",
+    ) -> None:
+        """Append one scalar sample (out-of-order timestamps rejected)."""
+        key = SeriesKey(name, _labels_key(labels), field)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= self.max_series:
+                self.dropped_series += 1
+                return
+            series = self._series[key] = _Series(key, kind, self.max_samples)
+        if series.samples and t < series.samples[-1][0]:
+            raise ValueError(
+                f"sample for {key.render()} at t={t} precedes the newest "
+                f"retained sample (t={series.samples[-1][0]})"
+            )
+        series.samples.append((float(t), float(value)))
+
+    def record_snapshot(
+        self, snapshot: Mapping[str, List[Dict[str, object]]], t: float
+    ) -> List[Tuple[SeriesKey, float, float, str]]:
+        """Ingest one :meth:`MetricsRegistry.snapshot` at time ``t``.
+
+        Returns the scalar samples appended as
+        ``(key, t, value, kind)`` — the scraper hands these straight to
+        the anomaly detector.
+        """
+        appended: List[Tuple[SeriesKey, float, float, str]] = []
+        for name, entries in snapshot.items():
+            for entry in entries:
+                labels = entry.get("labels") or {}
+                kind = str(entry.get("kind", "gauge"))
+                if kind == "histogram":
+                    summary = entry.get("summary") or {}
+                    for field in _HIST_FIELDS:
+                        value = summary.get(field)
+                        if not isinstance(value, (int, float)) or math.isnan(value):
+                            continue
+                        self.append(
+                            name, t, value, labels=labels, field=field, kind=kind
+                        )
+                        appended.append(
+                            (SeriesKey(name, _labels_key(labels), field), t, float(value), kind)
+                        )
+                    self._record_digest(name, _labels_key(labels), t, entry)
+                else:
+                    value = entry.get("value")
+                    if not isinstance(value, (int, float)):
+                        continue
+                    self.append(name, t, value, labels=labels, kind=kind)
+                    appended.append(
+                        (SeriesKey(name, _labels_key(labels)), t, float(value), kind)
+                    )
+        self.n_scrapes += 1
+        return appended
+
+    def _record_digest(
+        self, name: str, labels: LabelSet, t: float, entry: Dict[str, object]
+    ) -> None:
+        key = (name, labels)
+        digest = self._digests.get(key)
+        if digest is None:
+            if len(self._digests) >= self.max_series:
+                self.dropped_series += 1
+                return
+            digest = self._digests[key] = _DigestSeries(name, labels, self.max_samples)
+        digest.samples.append(
+            (
+                float(t),
+                {
+                    "summary": dict(entry.get("summary") or {}),
+                    "buckets": dict(entry.get("buckets") or {}),
+                },
+            )
+        )
+
+    # -- reading -------------------------------------------------------- #
+
+    def series(self) -> List[SeriesKey]:
+        """Every scalar series key, sorted by rendered name."""
+        return sorted(self._series, key=lambda k: k.render())
+
+    def kind_of(self, key: SeriesKey) -> Optional[str]:
+        """The metric kind behind ``key`` (``None`` for unknown series)."""
+        series = self._series.get(key)
+        return series.kind if series is not None else None
+
+    def samples(self, key: SeriesKey) -> List[Sample]:
+        """The retained raw samples of one series, oldest first."""
+        series = self._series.get(key)
+        return list(series.samples) if series is not None else []
+
+    def latest_time(self) -> Optional[float]:
+        """The newest sample timestamp across all series (``None`` empty)."""
+        newest = None
+        for series in self._series.values():
+            if series.samples:
+                t = series.samples[-1][0]
+                newest = t if newest is None else max(newest, t)
+        for digest in self._digests.values():
+            if digest.samples:
+                t = digest.samples[-1][0]
+                newest = t if newest is None else max(newest, t)
+        return newest
+
+    def query(
+        self,
+        name: str,
+        *,
+        labels: Optional[Mapping[str, object]] = None,
+        field: str = "",
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        step: Optional[float] = None,
+        agg: str = "last",
+    ) -> List[Sample]:
+        """Samples of one series in ``[start, end]``, optionally downsampled.
+
+        With ``step``, samples are bucketed onto the epoch-aligned grid
+        ``floor(t / step) * step`` and each bucket is reduced with
+        ``agg`` (``last``/``mean``/``min``/``max``/``sum``); the
+        returned timestamps are the bucket starts.
+        """
+        if agg not in _AGGS:
+            raise ValueError(f"agg must be one of {_AGGS}, got {agg!r}")
+        if step is not None and step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        key = SeriesKey(name, _labels_key(labels), field)
+        series = self._series.get(key)
+        if series is None:
+            return []
+        out = [
+            (t, v)
+            for t, v in series.samples
+            if (start is None or t >= start) and (end is None or t <= end)
+        ]
+        if step is None or not out:
+            return out
+        buckets: Dict[float, List[float]] = {}
+        for t, v in out:
+            buckets.setdefault(math.floor(t / step) * step, []).append(v)
+        reduced: List[Sample] = []
+        for bucket_t in sorted(buckets):
+            values = buckets[bucket_t]
+            if agg == "last":
+                value = values[-1]
+            elif agg == "mean":
+                value = sum(values) / len(values)
+            elif agg == "min":
+                value = min(values)
+            elif agg == "max":
+                value = max(values)
+            else:  # sum
+                value = sum(values)
+            reduced.append((bucket_t, value))
+        return reduced
+
+    def snapshot_at(
+        self, t: Optional[float] = None
+    ) -> Dict[str, List[Dict[str, object]]]:
+        """Reconstruct a registry-snapshot-shaped mapping as of time ``t``.
+
+        For every series the newest retained sample with timestamp
+        ``<= t`` contributes; series with nothing that old are absent —
+        callers (the SLO engine) treat absence as zero, matching how
+        cumulative counters start.  ``t=None`` means "now" (the newest
+        retained state).  Output shape matches
+        :meth:`~repro.obs.registry.MetricsRegistry.snapshot`, so
+        everything written against snapshots (the SLO engine, the
+        Prometheus/text renderers' inputs) consumes it unchanged.
+        """
+        out: Dict[str, List[Dict[str, object]]] = {}
+        for key, series in self._series.items():
+            if key.field:
+                continue  # histogram scalars rebuild from digests instead
+            sample = _last_at_or_before(series.samples, t)
+            if sample is None:
+                continue
+            out.setdefault(key.name, []).append(
+                {
+                    "labels": dict(key.labels),
+                    "kind": series.kind,
+                    "value": sample[1],
+                }
+            )
+        for (name, labels), digest in self._digests.items():
+            sample = _last_at_or_before(digest.samples, t)
+            if sample is None:
+                continue
+            payload = sample[1]
+            out.setdefault(name, []).append(
+                {
+                    "labels": dict(labels),
+                    "kind": "histogram",
+                    "summary": dict(payload.get("summary") or {}),
+                    "buckets": dict(payload.get("buckets") or {}),
+                }
+            )
+        return out
+
+    def tails(self, n: int = 32) -> Dict[str, List[Sample]]:
+        """The last ``n`` samples of every scalar series, by rendered key."""
+        return {
+            key.render(): list(series.samples)[-n:]
+            for key, series in sorted(
+                self._series.items(), key=lambda item: item[0].render()
+            )
+        }
+
+    # -- persistence ---------------------------------------------------- #
+
+    def dump(self, path: PathLike) -> None:
+        """Write the store as JSONL: a header line, then one line per series."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "tsdb": TSDB_SCHEMA_VERSION,
+                        "max_samples": self.max_samples,
+                        "max_series": self.max_series,
+                        "n_scrapes": self.n_scrapes,
+                        "dropped_series": self.dropped_series,
+                    }
+                )
+                + "\n"
+            )
+            for key, series in sorted(
+                self._series.items(), key=lambda item: item[0].render()
+            ):
+                handle.write(
+                    json.dumps(
+                        {
+                            "series": key.name,
+                            "labels": dict(key.labels),
+                            "field": key.field,
+                            "kind": series.kind,
+                            "samples": [[t, v] for t, v in series.samples],
+                        }
+                    )
+                    + "\n"
+                )
+            for (name, labels), digest in sorted(self._digests.items()):
+                handle.write(
+                    json.dumps(
+                        {
+                            "digest": name,
+                            "labels": dict(labels),
+                            "samples": [[t, payload] for t, payload in digest.samples],
+                        }
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "TimeSeriesStore":
+        """Rebuild a store from :meth:`dump` output (strict on schema)."""
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line.strip()]
+        if not lines:
+            raise ValueError(f"{path}: empty TSDB file")
+        header = _parse_json_line(path, 1, lines[0])
+        if header.get("tsdb") != TSDB_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: not a TSDB v{TSDB_SCHEMA_VERSION} file "
+                f"(header {header.get('tsdb')!r})"
+            )
+        store = cls(
+            max_samples=int(header.get("max_samples", 512)),
+            max_series=int(header.get("max_series", 4096)),
+        )
+        store.n_scrapes = int(header.get("n_scrapes", 0))
+        store.dropped_series = int(header.get("dropped_series", 0))
+        for line_number, line in enumerate(lines[1:], start=2):
+            record = _parse_json_line(path, line_number, line)
+            if "series" in record:
+                key = SeriesKey(
+                    str(record["series"]),
+                    _labels_key(record.get("labels") or {}),
+                    str(record.get("field", "")),
+                )
+                series = store._series[key] = _Series(
+                    key, str(record.get("kind", "gauge")), store.max_samples
+                )
+                for t, v in record.get("samples", []):
+                    series.samples.append((float(t), float(v)))
+            elif "digest" in record:
+                labels = _labels_key(record.get("labels") or {})
+                digest = store._digests[(str(record["digest"]), labels)] = (
+                    _DigestSeries(str(record["digest"]), labels, store.max_samples)
+                )
+                for t, payload in record.get("samples", []):
+                    digest.samples.append((float(t), dict(payload)))
+            else:
+                raise ValueError(
+                    f"{path}: line {line_number} is neither a series nor a digest"
+                )
+        return store
+
+
+def _parse_json_line(path: PathLike, line_number: int, line: str) -> Dict[str, object]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: line {line_number}: invalid JSON ({exc})") from None
+    if not isinstance(record, dict):
+        raise ValueError(f"{path}: line {line_number}: expected an object")
+    return record
+
+
+def _last_at_or_before(samples: Sequence, t: Optional[float]):
+    if not samples:
+        return None
+    if t is None:
+        return samples[-1]
+    found = None
+    for sample in samples:
+        if sample[0] <= t:
+            found = sample
+        else:
+            break
+    return found
+
+
+# ---------------------------------------------------------------------- #
+# the scraper
+
+
+class MetricsScraper:
+    """Samples a registry into a store on a wall-anchored cadence.
+
+    Scrape slots are multiples of ``interval_s`` on the epoch grid
+    (``floor(now / interval_s)``): the first call in a new slot scrapes,
+    every other call costs a clock read and a compare — cheap enough
+    for the serving hot path to call :meth:`maybe_scrape` per request.
+    ``clock`` is injectable for tests (wall time, seconds).
+
+    Optional attachments:
+
+    * ``detector`` — every appended scalar sample is fed to an
+      :class:`AnomalyDetector` (counters pre-differentiated to rates);
+    * ``slo_engine`` + ``slo_windows_s`` — after each scrape the SLOs
+      are evaluated over real wall-clock windows
+      (:meth:`~repro.obs.slo.SloEngine.evaluate_windows`); the latest
+      evaluation is kept on :attr:`last_slo_evaluation`, and a burning
+      budget notifies the installed flight recorder (if any).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        store: Optional[TimeSeriesStore] = None,
+        *,
+        interval_s: float = 5.0,
+        clock: Callable[[], float] = time.time,
+        detector: Optional["AnomalyDetector"] = None,
+        slo_engine=None,
+        slo_windows_s: Sequence[float] = (60.0, 300.0),
+    ):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        self.registry = registry
+        self.store = store if store is not None else TimeSeriesStore()
+        self.interval_s = interval_s
+        self._clock = clock
+        self.detector = detector
+        self.slo_engine = slo_engine
+        self.slo_windows_s = tuple(slo_windows_s)
+        self.last_slo_evaluation = None
+        self._last_slot: Optional[int] = None
+        #: Wall-clock time of the most recent scrape (the exporter's
+        #: timestamp anchor); ``None`` before the first scrape.
+        self.last_scrape_wall: Optional[float] = None
+        # previous counter values for rate differentiation
+        self._prev: Dict[SeriesKey, Sample] = {}
+
+    def maybe_scrape(self, now: Optional[float] = None) -> bool:
+        """Scrape iff the wall-anchored slot rolled over; True if scraped."""
+        now = self._clock() if now is None else now
+        slot = int(math.floor(now / self.interval_s))
+        if slot == self._last_slot:
+            return False
+        self.scrape(now)
+        return True
+
+    def scrape(self, now: Optional[float] = None) -> int:
+        """Scrape unconditionally; returns the number of samples appended."""
+        now = self._clock() if now is None else now
+        self._last_slot = int(math.floor(now / self.interval_s))
+        appended = self.store.record_snapshot(self.registry.snapshot(), now)
+        self.last_scrape_wall = now
+        if self.detector is not None:
+            for key, t, value, kind in appended:
+                if kind == "counter" or (kind == "histogram" and key.field in ("count", "sum")):
+                    prev = self._prev.get(key)
+                    self._prev[key] = (t, value)
+                    if prev is None or t <= prev[0]:
+                        continue
+                    # cumulative series: detect on the rate, clamping
+                    # counter resets to zero rather than a huge negative
+                    rate = max(value - prev[1], 0.0) / (t - prev[0])
+                    self.detector.observe(key, t, rate, stat="rate")
+                else:
+                    self.detector.observe(key, t, value)
+        if self.slo_engine is not None:
+            self._evaluate_slos(now)
+        return len(appended)
+
+    def _evaluate_slos(self, now: float) -> None:
+        evaluation = self.slo_engine.evaluate_windows(
+            self.store, self.slo_windows_s, now=now
+        )
+        self.last_slo_evaluation = evaluation
+        if evaluation.burning:
+            from . import runtime as _rt
+
+            recorder = _rt.flight_recorder
+            if recorder is not None:
+                recorder.on_slo_burn(evaluation, now=now)
+
+
+@contextmanager
+def scraping_session(scraper: Optional[MetricsScraper]):
+    """Install ``scraper`` as the process-global scraper for a block.
+
+    Hot paths that call ``runtime.scraper.maybe_scrape()`` (the serving
+    loop) drive it while the block is open; the previous scraper is
+    restored on exit.  ``None`` passes through unchanged, so callers can
+    build the context unconditionally.
+    """
+    from . import runtime as _rt
+
+    saved = _rt.scraper
+    if scraper is not None:
+        _rt.scraper = scraper
+    try:
+        yield scraper
+    finally:
+        _rt.scraper = saved
+
+
+# ---------------------------------------------------------------------- #
+# anomaly detection
+
+
+class AnomalyDetector:
+    """Robust z-score anomaly detection over scraped series.
+
+    Per series, a trailing window of recent values yields a median and
+    MAD (median absolute deviation); the robust z-score of a new value
+    is ``0.6745 * (x - median) / MAD`` (the 0.6745 scales MAD to the
+    standard deviation of a normal).  An EWMA over successive z-scores
+    (``ewma_alpha``) suppresses one-sample blips when smoothing is
+    wanted; with ``ewma_alpha=1`` the raw score is used.  A series must
+    accumulate ``min_samples`` values before it can alarm, and each
+    series re-alarms at most once per ``cooldown_samples`` values.
+
+    Anomalies are returned from :meth:`observe`, appended to
+    :attr:`anomalies` (bounded), counted into the obs registry
+    (``obs.anomaly.events``), emitted as structured ``metric_anomaly``
+    events into ``event_log`` when one is attached — stamped with the
+    calling flow's trace id, like resilience events — and fed to the
+    installed flight recorder's event ring.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 32,
+        threshold: float = 4.0,
+        min_samples: int = 8,
+        ewma_alpha: float = 0.4,
+        cooldown_samples: int = 4,
+        event_log=None,
+        max_anomalies: int = 256,
+    ):
+        if window < 4:
+            raise ValueError(f"window must be >= 4, got {window}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if not 4 <= min_samples:
+            raise ValueError(f"min_samples must be >= 4, got {min_samples}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must lie in (0, 1], got {ewma_alpha}")
+        if cooldown_samples < 1:
+            raise ValueError(f"cooldown_samples must be >= 1, got {cooldown_samples}")
+        self.window = window
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.ewma_alpha = ewma_alpha
+        self.cooldown_samples = cooldown_samples
+        self.event_log = event_log
+        self._history: Dict[SeriesKey, deque] = {}
+        self._ewma: Dict[SeriesKey, float] = {}
+        self._cooldown: Dict[SeriesKey, int] = {}
+        self.anomalies: deque = deque(maxlen=max_anomalies)
+        self.n_observed = 0
+        self.n_anomalies = 0
+
+    def observe(
+        self, key: SeriesKey, t: float, value: float, *, stat: str = "value"
+    ) -> Optional[Dict[str, object]]:
+        """Feed one sample; returns the anomaly record when one fires."""
+        self.n_observed += 1
+        history = self._history.get(key)
+        if history is None:
+            history = self._history[key] = deque(maxlen=self.window)
+        cooldown = self._cooldown.get(key, 0)
+        if cooldown > 0:
+            self._cooldown[key] = cooldown - 1
+        anomaly = None
+        if len(history) >= self.min_samples:
+            zscore = self._zscore(key, history, value)
+            if abs(zscore) >= self.threshold and self._cooldown.get(key, 0) == 0:
+                anomaly = self._fire(key, t, value, zscore, stat)
+        # the anomalous value still enters the window: a genuine level
+        # shift stops alarming once the window re-centers on it
+        history.append(value)
+        return anomaly
+
+    def _zscore(self, key: SeriesKey, history: deque, value: float) -> float:
+        values = sorted(history)
+        median = _median(values)
+        mad = _median(sorted(abs(v - median) for v in values))
+        if mad <= 0:
+            # a flat window: any deviation is infinitely surprising, but
+            # use a floor so tiny float jitter doesn't alarm
+            spread = max(abs(median) * 1e-9, 1e-12)
+            raw = 0.0 if abs(value - median) <= spread else math.copysign(
+                self.threshold * 2, value - median
+            )
+        else:
+            raw = 0.6745 * (value - median) / mad
+        if self.ewma_alpha >= 1.0:
+            return raw
+        smoothed = self._ewma.get(key)
+        smoothed = (
+            raw
+            if smoothed is None
+            else self.ewma_alpha * raw + (1.0 - self.ewma_alpha) * smoothed
+        )
+        self._ewma[key] = smoothed
+        return smoothed
+
+    def _fire(
+        self, key: SeriesKey, t: float, value: float, zscore: float, stat: str
+    ) -> Dict[str, object]:
+        self.n_anomalies += 1
+        self._cooldown[key] = self.cooldown_samples
+        record: Dict[str, object] = {
+            "event": "metric_anomaly",
+            "series": key.render(),
+            "stat": stat,
+            "time": t,
+            "value": value,
+            "zscore": round(zscore, 3),
+            "threshold": self.threshold,
+        }
+        from . import context as _ctx
+        from . import runtime as _rt
+
+        ctx = _ctx.current()
+        if ctx is not None:
+            record["trace_id"] = ctx.trace_id
+        self.anomalies.append(record)
+        if _rt.enabled:
+            _rt.registry.inc("obs.anomaly.events", series=key.render())
+            _rt.span_event("metric_anomaly", series=key.render(), zscore=record["zscore"])
+        if self.event_log is not None:
+            fields = {k: v for k, v in record.items() if k != "event"}
+            self.event_log.emit("metric_anomaly", **fields)
+        recorder = _rt.flight_recorder
+        if recorder is not None:
+            recorder.record_event(dict(record))
+        return record
+
+
+def _median(ordered: Sequence[float]) -> float:
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+# ---------------------------------------------------------------------- #
+# rendering helpers (the CLI and the dashboard share these)
+
+
+def render_sparkline(values: Sequence[float], width: int = 24) -> str:
+    """A unicode sparkline of ``values`` (newest-last), width-bounded."""
+    values = [v for v in values if isinstance(v, (int, float)) and not math.isnan(v)]
+    if not values:
+        return ""
+    values = values[-width:]
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(_SPARK_CHARS[int((v - lo) * scale)] for v in values)
+
+
+def render_series_table(store: TimeSeriesStore, *, tail: int = 24) -> str:
+    """The store's series as an aligned listing with sparkline tails."""
+    keys = store.series()
+    if not keys:
+        return "(no series recorded)"
+    rows = []
+    for key in keys:
+        samples = store.samples(key)
+        values = [v for _, v in samples]
+        rows.append(
+            (
+                key.render(),
+                str(store.kind_of(key)),
+                f"{len(samples)}",
+                f"{values[-1]:.6g}" if values else "-",
+                render_sparkline(values, width=tail),
+            )
+        )
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    lines = [
+        f"{'series':<{name_w}}  {'kind':<{kind_w}}  {'n':>4}  {'last':>12}  tail"
+    ]
+    for name, kind, n, last, spark in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {n:>4}  {last:>12}  {spark}")
+    span = None
+    times = [s[0] for key in keys for s in store.samples(key)]
+    if times:
+        span = max(times) - min(times)
+    lines.append(
+        f"{len(keys)} series, {store.n_scrapes} scrape(s)"
+        + (f", {span:.1f}s retained" if span is not None else "")
+        + (f", {store.dropped_series} series dropped" if store.dropped_series else "")
+    )
+    return "\n".join(lines)

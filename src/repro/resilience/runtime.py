@@ -136,13 +136,24 @@ def emit(event: str, **fields: object) -> None:
     span as an annotated span event — this one funnel is what turns
     retry attempts, breaker flips, degradations, and calibration
     fallbacks into trace-visible annotations.
+
+    When a flight recorder is installed (:data:`repro.obs.runtime.flight_recorder`),
+    every event additionally lands in its ring — and trigger events like
+    ``breaker_open`` cause it to dump a post-mortem bundle.
     """
     ctx = _ctx.current()
     if ctx is not None and "trace_id" not in fields:
         fields = dict(fields, trace_id=ctx.trace_id)
     if ctx is not None or _obs.enabled:
         _obs.span_event(event, **fields)
+    record: Optional[Dict[str, object]] = None
     if events is not None:
-        events.emit(event, **fields)
+        record = events.emit(event, **fields)
     if _obs.enabled:
         _obs.registry.inc("resilience.events", event=event)
+    recorder = _obs.flight_recorder
+    if recorder is not None:
+        if record is None:
+            record = {"event": event, "time": time.time()}
+            record.update(fields)
+        recorder.record_event(dict(record))

@@ -485,7 +485,14 @@ class AssessmentService:
             if _obs.enabled:
                 _obs.registry.inc("serve.requests")
             with _span("serve.assess_many", mode=mode, batch=len(ids)):
-                return self._assess_with_ladder(ids, mode)
+                result = self._assess_with_ladder(ids, mode)
+            # drive the metrics scraper from the serving loop itself —
+            # one wall-clock slot check per request, no background
+            # thread; still inside the request context so anomaly
+            # events are stamped with the triggering request's trace_id
+            if _obs.scraper is not None:
+                _obs.scraper.maybe_scrape()
+        return result
 
     def _run_step(self, step: str, ids: Sequence[EntityId]) -> Dict[EntityId, Assessment]:
         if step == "serial":
@@ -524,6 +531,14 @@ class AssessmentService:
             if step != mode:
                 self._record_degradation(mode, step, attempts)
             return result
+        # the ladder is exhausted: capture the system's last moments
+        # before the structured error unwinds the caller's stack
+        if _obs.flight_recorder is not None:
+            _obs.flight_recorder.dump(
+                reason="resilience_error",
+                site=origin_site,
+                attempts="; ".join(f"{step}: {err}" for step, err in attempts),
+            )
         raise ResilienceError(origin_site, attempts)
 
     def _record_degradation(

@@ -12,8 +12,10 @@ def _obs_disabled_after():
     """Guarantee test isolation: obs globals restored after every test."""
     saved = (runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler)
     saved_sink = runtime.span_sink
+    saved_scrape = (runtime.scraper, runtime.flight_recorder)
     saved_audit = (audit.enabled, audit.trail)
     yield
     runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler = saved
     runtime.span_sink = saved_sink
+    runtime.scraper, runtime.flight_recorder = saved_scrape
     audit.enabled, audit.trail = saved_audit

@@ -248,3 +248,204 @@ class TestTailDashboard:
         rc = obs.tail_dashboard(path, interval=0.0, max_updates=3, stream=stream)
         assert rc == 0
         assert stream.getvalue().count("run:") == 3
+
+
+class TestProgressMonitorEdges:
+    """Satellite: heartbeat throttling and teardown boundary behavior."""
+
+    def test_interval_ticks_exact_boundary(self, clock):
+        log = EventLog()
+        monitor = ProgressMonitor(
+            log, total=30, interval_seconds=None, interval_ticks=10, clock=clock
+        )
+        for _ in range(9):
+            monitor.tick()
+        assert monitor.heartbeats == 0  # 9 < 10: not yet due
+        monitor.tick()
+        assert monitor.heartbeats == 1  # exactly 10 since the last beat
+        # one oversized tick crossing several boundaries beats once
+        monitor.tick(25)
+        assert monitor.heartbeats == 2
+
+    def test_close_flushes_pending_ticks(self, clock):
+        log = EventLog()
+        monitor = ProgressMonitor(
+            log, total=100, interval_seconds=None, interval_ticks=50, clock=clock
+        )
+        monitor.start()
+        monitor.tick(7)  # below the throttle: no heartbeat yet
+        assert monitor.heartbeats == 0
+        monitor.close(experiment="demo")
+        # the final flush carried the un-heartbeaten progress out
+        (beat,) = _events(log, "heartbeat")
+        assert beat["done"] == 7
+        (end,) = _events(log, "progress_end")
+        assert end["done"] == 7
+        assert end["experiment"] == "demo"
+
+    def test_close_after_finish_is_a_no_op(self, clock):
+        log = EventLog()
+        monitor = ProgressMonitor(log, total=2, clock=clock)
+        monitor.start()
+        monitor.tick(2)
+        monitor.finish()
+        events_before = len(log.events)
+        assert monitor.close() is None
+        assert monitor.close() is None  # idempotent
+        assert len(log.events) == events_before
+
+    def test_close_without_start_emits_nothing(self, clock):
+        log = EventLog()
+        monitor = ProgressMonitor(log, total=5, clock=clock)
+        assert monitor.close() is None
+        assert log.events == []
+
+    def test_context_manager_closes_on_exit(self, clock):
+        log = EventLog()
+        with ProgressMonitor(
+            log, total=10, interval_seconds=None, interval_ticks=100, clock=clock
+        ) as monitor:
+            monitor.tick(3)
+        assert len(_events(log, "progress_end")) == 1
+        # an exception still flushes, and is not swallowed
+        log2 = EventLog()
+        with pytest.raises(RuntimeError):
+            with ProgressMonitor(log2, total=10, clock=clock) as monitor:
+                monitor.tick()
+                raise RuntimeError("boom")
+        assert len(_events(log2, "progress_end")) == 1
+
+    def test_zero_progress_run_heartbeat_counts(self, clock):
+        log = EventLog()
+        monitor = ProgressMonitor(
+            log, total=10, interval_seconds=None, interval_ticks=1, clock=clock
+        )
+        monitor.start()
+        clock.advance(3.0)
+        monitor.finish()  # run produced nothing, then shut down
+        assert monitor.done == 0
+        assert monitor.heartbeats == 1  # only finish()'s final beat
+        (beat,) = _events(log, "heartbeat")
+        assert beat["done"] == 0
+        assert beat["pct"] == pytest.approx(0.0)
+        assert beat["eta_s"] is None  # zero throughput: no ETA claim
+        (end,) = _events(log, "progress_end")
+        assert end["done"] == 0
+
+
+class TestReadEventsLenient:
+    def test_skips_and_counts_bad_lines(self, tmp_path):
+        from repro.obs.monitor import read_events_lenient
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps({"event": "run_start"}),
+                    "not json at all",
+                    json.dumps(["a", "list"]),
+                    json.dumps({"no_event_key": 1}),
+                    "",  # blank lines are not an error
+                    json.dumps({"event": "heartbeat", "done": 3}),
+                ]
+            )
+            + "\n"
+        )
+        events, skipped = read_events_lenient(path)
+        assert [e["event"] for e in events] == ["run_start", "heartbeat"]
+        assert skipped == 3
+
+    def test_empty_file(self, tmp_path):
+        from repro.obs.monitor import read_events_lenient
+
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_events_lenient(path) == ([], 0)
+
+
+class TestDashboardDegradation:
+    """Satellite: empty/malformed logs render a notice, never a crash."""
+
+    def test_skipped_notice_rendered(self):
+        text = render_dashboard([{"event": "run_start"}], skipped=4)
+        assert text.startswith("(skipped 4 malformed log line(s))")
+
+    def test_empty_event_list_renders(self):
+        text = render_dashboard([])
+        assert "(no progress events yet; 0 event(s) in log)" in text
+
+    def test_non_dict_events_filtered(self):
+        text = render_dashboard(["garbage", {"event": "run_start"}, None])
+        assert "run:" in text
+
+    def test_malformed_heartbeat_rows_tolerated(self):
+        events = [
+            {"event": "progress_start", "total": 10, "label": "steps"},
+            {"event": "heartbeat"},  # no done/pct/rates at all
+            {"event": "heartbeat", "rates": "not-a-dict", "recent": 7},
+        ]
+        text = render_dashboard(events)
+        assert "progress: 0 ticks (total unknown)" in text
+        assert "status: running" in text
+
+    def test_tail_empty_log_exits_zero_with_notice(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        stream = io.StringIO()
+        assert obs.tail_dashboard(path, once=True, stream=stream) == 0
+        assert "(no progress events yet" in stream.getvalue()
+
+    def test_tail_fully_malformed_log_exits_zero_and_counts(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("complete\ngarbage\n{{{\n")
+        stream = io.StringIO()
+        assert obs.tail_dashboard(path, once=True, stream=stream) == 0
+        out = stream.getvalue()
+        assert "(skipped 3 malformed log line(s))" in out
+        assert "(no progress events yet" in out
+
+
+class TestDashboardHistory:
+    """Satellite: sparkline history columns over the heartbeat trail."""
+
+    def _beating_run(self, n_beats=6):
+        clock = FakeClock()
+        log = EventLog()
+        monitor = ProgressMonitor(
+            log,
+            total=100,
+            label="steps",
+            interval_seconds=None,
+            interval_ticks=10**6,
+            clock=clock,
+        )
+        monitor.start()
+        for i in range(n_beats):
+            clock.advance(1.0)
+            monitor.tick(2 * (i + 1), widgets=i + 1)
+            monitor.heartbeat()
+        return log.events
+
+    def test_history_rows_present(self):
+        text = render_dashboard(self._beating_run())
+        assert "history (6 heartbeats):" in text
+        assert "steps_per_s" in text
+        assert "widgets_per_s" in text
+        # at least one sparkline character made it out
+        assert any(c in text for c in "▁▂▃▄▅▆▇█")
+
+    def test_history_off_switch(self):
+        text = render_dashboard(self._beating_run(), history=False)
+        assert "history (" not in text
+
+    def test_single_heartbeat_skips_history(self):
+        text = render_dashboard(self._beating_run(n_beats=1))
+        assert "history (" not in text
+
+    def test_malformed_beats_contribute_nothing(self):
+        events = self._beating_run(n_beats=3)
+        events.insert(3, {"event": "heartbeat", "recent": "corrupt"})
+        text = render_dashboard(events)
+        # 4 heartbeats seen, rows built from the 3 sane ones
+        assert "history (4 heartbeats):" in text
+        assert "steps_per_s" in text

@@ -1,0 +1,505 @@
+"""The embedded time-series store, scraper, and anomaly detector."""
+
+import math
+
+import pytest
+
+from repro.obs import context as trace_ctx
+from repro.obs.events import EventLog
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SloEngine, SloSpec
+from repro.obs.tsdb import (
+    AnomalyDetector,
+    MetricsScraper,
+    SeriesKey,
+    TimeSeriesStore,
+    render_series_table,
+    render_sparkline,
+    scraping_session,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestSeriesKey:
+    def test_render_forms(self):
+        assert SeriesKey("a.b").render() == "a.b"
+        assert SeriesKey("a.b", (("k", "v"),)).render() == "a.b{k=v}"
+        assert SeriesKey("a.b", (("k", "v"),), "p95").render() == "a.b{k=v}.p95"
+
+    def test_equality_and_hash(self):
+        a = SeriesKey("x", (("k", "v"),), "sum")
+        b = SeriesKey("x", (("k", "v"),), "sum")
+        assert a == b and hash(a) == hash(b)
+        assert a != SeriesKey("x", (("k", "v"),), "count")
+
+
+class TestTimeSeriesStore:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(max_samples=1)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(max_series=0)
+
+    def test_append_and_read(self):
+        store = TimeSeriesStore()
+        store.append("m", 1.0, 10.0, labels={"k": "v"}, kind="counter")
+        store.append("m", 2.0, 11.0, labels={"k": "v"}, kind="counter")
+        (key,) = store.series()
+        assert key.render() == "m{k=v}"
+        assert store.kind_of(key) == "counter"
+        assert store.samples(key) == [(1.0, 10.0), (2.0, 11.0)]
+        assert store.latest_time() == 2.0
+
+    def test_out_of_order_rejected(self):
+        store = TimeSeriesStore()
+        store.append("m", 5.0, 1.0)
+        with pytest.raises(ValueError, match="precedes"):
+            store.append("m", 4.0, 2.0)
+        # equal timestamps are fine (a fast scraper in one slot)
+        store.append("m", 5.0, 3.0)
+
+    def test_ring_bound(self):
+        store = TimeSeriesStore(max_samples=4)
+        for i in range(10):
+            store.append("m", float(i), float(i))
+        (key,) = store.series()
+        assert store.samples(key) == [(t, t) for t in (6.0, 7.0, 8.0, 9.0)]
+
+    def test_max_series_drops_and_counts(self):
+        store = TimeSeriesStore(max_series=2)
+        store.append("a", 1.0, 1.0)
+        store.append("b", 1.0, 1.0)
+        store.append("c", 1.0, 1.0)  # silently dropped
+        assert len(store.series()) == 2
+        assert store.dropped_series == 1
+        # existing series still accept samples past the cap
+        store.append("a", 2.0, 2.0)
+        assert len(store.samples(SeriesKey("a"))) == 2
+
+    def test_query_range_filter(self):
+        store = TimeSeriesStore()
+        for i in range(10):
+            store.append("m", float(i), float(i * i))
+        assert store.query("m", start=3.0, end=5.0) == [
+            (3.0, 9.0),
+            (4.0, 16.0),
+            (5.0, 25.0),
+        ]
+        assert store.query("absent") == []
+
+    def test_query_downsampling_aggs(self):
+        store = TimeSeriesStore()
+        # two samples per 10s bucket: (0,1), (5,3) | (10,5), (15,7)
+        for t, v in ((0.0, 1.0), (5.0, 3.0), (10.0, 5.0), (15.0, 7.0)):
+            store.append("m", t, v)
+        assert store.query("m", step=10.0, agg="last") == [(0.0, 3.0), (10.0, 7.0)]
+        assert store.query("m", step=10.0, agg="mean") == [(0.0, 2.0), (10.0, 6.0)]
+        assert store.query("m", step=10.0, agg="min") == [(0.0, 1.0), (10.0, 5.0)]
+        assert store.query("m", step=10.0, agg="max") == [(0.0, 3.0), (10.0, 7.0)]
+        assert store.query("m", step=10.0, agg="sum") == [(0.0, 4.0), (10.0, 12.0)]
+
+    def test_query_validation(self):
+        store = TimeSeriesStore()
+        with pytest.raises(ValueError, match="agg"):
+            store.query("m", agg="median")
+        with pytest.raises(ValueError, match="step"):
+            store.query("m", step=0.0)
+
+    def test_record_snapshot_scalars_and_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("req.total", 3, path="a")
+        registry.observe("lat.seconds", 0.01)
+        registry.observe("lat.seconds", 0.03)
+        store = TimeSeriesStore()
+        appended = store.record_snapshot(registry.snapshot(), t=100.0)
+        rendered = {key.render() for key, _, _, _ in appended}
+        assert "req.total{path=a}" in rendered
+        assert "lat.seconds.count" in rendered
+        assert "lat.seconds.p95" in rendered
+        assert store.n_scrapes == 1
+        # the histogram count series carries the real observation count
+        assert store.samples(SeriesKey("lat.seconds", (), "count")) == [(100.0, 2.0)]
+
+    def test_snapshot_at_reconstruction(self):
+        registry = MetricsRegistry()
+        registry.inc("req.total", 5)
+        registry.observe("lat.seconds", 0.02)
+        store = TimeSeriesStore()
+        store.record_snapshot(registry.snapshot(), t=100.0)
+        registry.inc("req.total", 5)
+        registry.observe("lat.seconds", 0.04)
+        store.record_snapshot(registry.snapshot(), t=200.0)
+
+        early = store.snapshot_at(150.0)
+        assert early["req.total"][0]["value"] == 5.0
+        assert early["lat.seconds"][0]["summary"]["count"] == 1
+        late = store.snapshot_at(None)
+        assert late["req.total"][0]["value"] == 10.0
+        assert late["lat.seconds"][0]["summary"]["count"] == 2
+        # nothing retained that far back: absent, not zero-filled
+        assert store.snapshot_at(50.0) == {}
+
+    def test_dump_load_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.inc("req.total", 2, path="a")
+        registry.observe("lat.seconds", 0.02)
+        store = TimeSeriesStore(max_samples=16, max_series=99)
+        store.record_snapshot(registry.snapshot(), t=10.0)
+        registry.inc("req.total", 1, path="a")
+        store.record_snapshot(registry.snapshot(), t=20.0)
+        path = tmp_path / "TSDB.jsonl"
+        store.dump(path)
+
+        loaded = TimeSeriesStore.load(path)
+        assert loaded.max_samples == 16 and loaded.max_series == 99
+        assert loaded.n_scrapes == 2
+        assert [k.render() for k in loaded.series()] == [
+            k.render() for k in store.series()
+        ]
+        for key in store.series():
+            assert loaded.samples(key) == store.samples(key)
+        # digests survived: snapshot reconstruction matches
+        assert loaded.snapshot_at(None) == store.snapshot_at(None)
+
+    def test_load_rejects_garbage(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            TimeSeriesStore.load(empty)
+        bad_header = tmp_path / "bad.jsonl"
+        bad_header.write_text('{"not": "a tsdb"}\n')
+        with pytest.raises(ValueError, match="TSDB"):
+            TimeSeriesStore.load(bad_header)
+        bad_line = tmp_path / "line.jsonl"
+        bad_line.write_text('{"tsdb": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            TimeSeriesStore.load(bad_line)
+
+
+class TestMetricsScraper:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsScraper(MetricsRegistry(), interval_s=0)
+
+    def test_wall_anchored_slots(self):
+        clock = FakeClock(1000.0)
+        registry = MetricsRegistry()
+        registry.inc("req.total")
+        scraper = MetricsScraper(registry, interval_s=5.0, clock=clock)
+        assert scraper.maybe_scrape() is True  # first call always scrapes
+        assert scraper.maybe_scrape() is False  # same slot
+        clock.advance(4.9)
+        assert scraper.maybe_scrape() is False  # still slot 200
+        clock.advance(0.2)
+        assert scraper.maybe_scrape() is True  # slot rolled over
+        assert scraper.store.n_scrapes == 2
+        assert scraper.last_scrape_wall == clock.now
+
+    def test_scrape_is_unconditional(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        registry.inc("req.total")
+        scraper = MetricsScraper(registry, interval_s=5.0, clock=clock)
+        assert scraper.scrape() == 1
+        assert scraper.scrape() == 1  # same slot, still scrapes
+        assert scraper.store.n_scrapes == 2
+
+    def test_counters_differentiated_to_rates(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        observed = []
+
+        class SpyDetector:
+            def observe(self, key, t, value, stat="value"):
+                observed.append((key.render(), t, value, stat))
+
+        scraper = MetricsScraper(
+            registry, interval_s=1.0, clock=clock, detector=SpyDetector()
+        )
+        registry.inc("req.total", 10)
+        registry.inc("depth.gauge", 3)  # counter kind via inc
+        registry.gauge("queue.depth").set(7)
+        scraper.scrape()
+        # first scrape: counters have no previous point -> no rate yet,
+        # gauges observed at face value
+        assert ("queue.depth", clock.now, 7.0, "value") in observed
+        assert not any(stat == "rate" for _, _, _, stat in observed)
+
+        observed.clear()
+        clock.advance(2.0)
+        registry.inc("req.total", 6)
+        scraper.scrape()
+        assert ("req.total", clock.now, 3.0, "rate") in observed  # 6 / 2s
+
+    def test_counter_reset_clamped_to_zero_rate(self):
+        clock = FakeClock()
+        observed = []
+
+        class SpyDetector:
+            def observe(self, key, t, value, stat="value"):
+                observed.append((key.render(), value, stat))
+
+        registry = MetricsRegistry()
+        registry.inc("req.total", 100)
+        scraper = MetricsScraper(
+            registry, interval_s=1.0, clock=clock, detector=SpyDetector()
+        )
+        scraper.scrape()
+        clock.advance(1.0)
+        fresh = MetricsRegistry()  # "restarted process": counter reset
+        fresh.inc("req.total", 1)
+        scraper.registry = fresh
+        observed.clear()
+        scraper.scrape()
+        assert ("req.total", 0.0, "rate") in observed
+
+    def test_scraping_session_installs_and_restores(self):
+        from repro.obs import runtime
+
+        scraper = MetricsScraper(MetricsRegistry(), interval_s=1.0)
+        assert runtime.scraper is None
+        with scraping_session(scraper) as active:
+            assert active is scraper
+            assert runtime.scraper is scraper
+        assert runtime.scraper is None
+        with scraping_session(None):
+            assert runtime.scraper is None
+
+
+class TestAnomalyDetector:
+    def test_validation(self):
+        for kwargs in (
+            {"window": 3},
+            {"threshold": 0.0},
+            {"min_samples": 2},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"cooldown_samples": 0},
+        ):
+            with pytest.raises(ValueError):
+                AnomalyDetector(**kwargs)
+
+    @staticmethod
+    def _feed_steady(detector, key, n, value=10.0, t0=0.0):
+        for i in range(n):
+            assert detector.observe(key, t0 + i, value + 0.01 * (i % 3)) is None
+
+    def test_spike_fires_after_warmup(self):
+        detector = AnomalyDetector(min_samples=8, threshold=4.0, ewma_alpha=1.0)
+        key = SeriesKey("m")
+        self._feed_steady(detector, key, 8)
+        anomaly = detector.observe(key, 100.0, 1000.0)
+        assert anomaly is not None
+        assert anomaly["event"] == "metric_anomaly"
+        assert anomaly["series"] == "m"
+        assert abs(anomaly["zscore"]) >= 4.0
+        assert detector.n_anomalies == 1
+        assert list(detector.anomalies) == [anomaly]
+
+    def test_too_few_samples_never_fire(self):
+        detector = AnomalyDetector(min_samples=8, ewma_alpha=1.0)
+        key = SeriesKey("m")
+        for i in range(7):
+            assert detector.observe(key, float(i), 10.0) is None
+        # 8th value is wild but the window only holds 7 -> still silent
+        assert detector.observe(key, 7.0, 1e9) is None
+
+    def test_cooldown_suppresses_re_alarms(self):
+        detector = AnomalyDetector(
+            min_samples=8, threshold=4.0, ewma_alpha=1.0, cooldown_samples=4
+        )
+        key = SeriesKey("m")
+        self._feed_steady(detector, key, 8)
+        assert detector.observe(key, 10.0, 1000.0) is not None
+        # spikes inside the cooldown are counted into the window but
+        # fire nothing
+        assert detector.observe(key, 11.0, 2000.0) is None
+        assert detector.n_anomalies == 1
+
+    def test_level_shift_stops_alarming(self):
+        detector = AnomalyDetector(
+            min_samples=8,
+            threshold=4.0,
+            ewma_alpha=1.0,
+            cooldown_samples=1,
+            window=8,
+        )
+        key = SeriesKey("m")
+        self._feed_steady(detector, key, 8)
+        fired = sum(
+            detector.observe(key, 100.0 + i, 1000.0 + 0.01 * (i % 3)) is not None
+            for i in range(20)
+        )
+        assert fired >= 1
+        # after the window re-centers, the new level is the baseline
+        assert detector.observe(key, 200.0, 1000.0) is None
+
+    def test_anomaly_event_is_trace_stamped_and_logged(self):
+        log = EventLog()
+        detector = AnomalyDetector(min_samples=8, ewma_alpha=1.0, event_log=log)
+        key = SeriesKey("m")
+        self._feed_steady(detector, key, 8)
+        ctx = trace_ctx.new_root(test="anomaly")
+        with trace_ctx.use(ctx):
+            anomaly = detector.observe(key, 50.0, 1e6)
+        assert anomaly is not None
+        assert anomaly["trace_id"] == ctx.trace_id
+        (event,) = [e for e in log.events if e["event"] == "metric_anomaly"]
+        assert event["series"] == "m"
+        assert event["trace_id"] == ctx.trace_id
+
+    def test_anomaly_feeds_flight_recorder(self, tmp_path):
+        from repro.obs.flightrec import flight_recording
+
+        detector = AnomalyDetector(min_samples=8, ewma_alpha=1.0)
+        key = SeriesKey("m")
+        self._feed_steady(detector, key, 8)
+        with flight_recording(tmp_path) as recorder:
+            detector.observe(key, 50.0, 1e6)
+        assert any(
+            e.get("event") == "metric_anomaly" for e in recorder._events
+        )
+
+
+class TestSloWindowEquivalence:
+    """Acceptance: TSDB-backed burn == snapshot-delta burn on same data."""
+
+    SPECS = [
+        SloSpec(
+            name="req.errors",
+            kind="ratio",
+            objective=0.99,
+            bad_metric="req.errors",
+            total_metric="req.total",
+        ),
+        SloSpec(
+            name="lat",
+            kind="latency",
+            objective=0.95,
+            metric="lat.seconds",
+            threshold_s=0.05,
+        ),
+    ]
+
+    @staticmethod
+    def _drive(registry, errors, total, slow, fast):
+        registry.inc("req.errors", errors)
+        registry.inc("req.total", total)
+        for _ in range(slow):
+            registry.observe("lat.seconds", 0.2)
+        for _ in range(fast):
+            registry.observe("lat.seconds", 0.001)
+
+    def test_evaluate_windows_matches_snapshot_delta_math(self):
+        registry = MetricsRegistry()
+        store = TimeSeriesStore()
+        snapshots = []
+        # synthetic load: error/latency mix changes scrape to scrape
+        traffic = [(0, 100, 1, 99), (3, 100, 10, 90), (9, 100, 30, 70)]
+        times = [100.0, 160.0, 220.0]
+        for (errors, total, slow, fast), t in zip(traffic, times):
+            self._drive(registry, errors, total, slow, fast)
+            snapshot = registry.snapshot()
+            snapshots.append((t, snapshot))
+            store.record_snapshot(snapshot, t)
+
+        engine = SloEngine(self.SPECS)
+        now = times[-1]
+        windows = (60.0, 120.0, 600.0)
+        windowed = engine.evaluate_windows(store, windows, now=now)
+
+        # the reference: the documented snapshot-delta math applied to
+        # the raw snapshots the store ingested
+        latest = snapshots[-1][1]
+        for result in windowed.results:
+            point = engine.evaluate(latest).results
+            reference = next(r for r in point if r.spec.name == result.spec.name)
+            assert result.total == reference.total
+            assert result.bad == pytest.approx(reference.bad)
+            for window in windows:
+                older = {}
+                for t, snapshot in snapshots:
+                    if t <= now - window:
+                        older = snapshot
+                expected = engine._window_burn(result.spec, older, latest)
+                got = result.burn_rates[f"{window:g}s"]
+                if math.isnan(expected):
+                    assert math.isnan(got)
+                else:
+                    assert got == pytest.approx(expected)
+
+    def test_window_predating_history_sees_life_to_date_burn(self):
+        registry = MetricsRegistry()
+        registry.inc("req.errors", 5)
+        registry.inc("req.total", 100)
+        registry.observe("lat.seconds", 0.001)
+        store = TimeSeriesStore()
+        store.record_snapshot(registry.snapshot(), 100.0)
+        engine = SloEngine(self.SPECS[:1])
+        evaluation = engine.evaluate_windows(store, (3600.0,), now=100.0)
+        (result,) = evaluation.results
+        # empty older snapshot == zero counters: burn over the window is
+        # the life-to-date bad fraction over the budget
+        assert result.burn_rates["3600s"] == pytest.approx(0.05 / 0.01)
+        assert result.burning
+
+    def test_empty_store_raises(self):
+        engine = SloEngine(self.SPECS[:1])
+        with pytest.raises(ValueError, match="no samples"):
+            engine.evaluate_windows(TimeSeriesStore(), (60.0,))
+
+    def test_scraper_keeps_last_evaluation_and_notifies_recorder(self, tmp_path):
+        from repro.obs.flightrec import flight_recording
+
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        registry.inc("req.errors", 50)
+        registry.inc("req.total", 100)
+        scraper = MetricsScraper(
+            registry,
+            interval_s=1.0,
+            clock=clock,
+            slo_engine=SloEngine(self.SPECS[:1]),
+            slo_windows_s=(60.0,),
+        )
+        with flight_recording(
+            tmp_path, scraper=scraper, min_dump_interval_s=0.0, clock=clock
+        ) as recorder:
+            scraper.scrape()
+        assert scraper.last_slo_evaluation is not None
+        assert scraper.last_slo_evaluation.burning
+        assert len(recorder.dumps) == 1
+        assert "slo_burn" in recorder.dumps[0].name
+
+
+class TestRendering:
+    def test_sparkline_shapes(self):
+        assert render_sparkline([]) == ""
+        assert render_sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+        line = render_sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(render_sparkline(list(range(100)), width=24)) == 24
+        assert render_sparkline([float("nan"), 1.0, 2.0]) == render_sparkline(
+            [1.0, 2.0]
+        )
+
+    def test_series_table(self):
+        store = TimeSeriesStore()
+        assert "no series" in render_series_table(store)
+        for i in range(5):
+            store.append("req.total", float(i), float(i), kind="counter")
+        store.n_scrapes = 5
+        table = render_series_table(store)
+        assert "req.total" in table
+        assert "counter" in table
+        assert "5 scrape(s)" in table

@@ -108,6 +108,7 @@ class TestTimingHygiene:
         "obs/context.py": 1,  # _ANCHOR_WALL: per-process anchor pairing
         "obs/events.py": 2,  # run_metadata + event record timestamps
         "obs/monitor.py": 1,  # dashboard staleness vs. "now"
+        "resilience/runtime.py": 1,  # flight-recorder record timestamp
     }
 
     def test_wall_clock_reads_confined_to_timestamp_allowlist(self):
