@@ -1,0 +1,88 @@
+"""Node-scope attribution cost: the p2p hot path stays under 5%.
+
+Acceptance criteria for fleet-scope observability (see
+docs/OBSERVABILITY.md "Fleet view"):
+
+* with obs enabled, running the Chord lookup hot path inside
+  ``node_scope`` must stay within 5% of the same workload run without
+  any scope — the per-metric cost is one module-attr read plus, only
+  when a scope is open, one contextvar get and a set lookup;
+* with obs disabled, the registry is never touched, so scoping costs
+  nothing and ``scope.active`` stays exactly where the workload left
+  it — the disabled path is one attribute read, same as every other
+  obs guard.
+
+Timing assertions live here rather than in ``tests/`` (tier-1) because
+they are load-sensitive; both sides are measured as a min-of-repeats so
+scheduler noise cancels out of the comparison.
+"""
+
+import time
+
+from repro import obs
+from repro.obs import scope
+from repro.p2p.chord import ChordRing
+from repro.p2p.network import SimulatedNetwork
+
+N_NODES = 32
+LOOKUPS = 200
+REPEATS = 15
+
+
+def _build_ring(seed=2008):
+    ring = ChordRing(network=SimulatedNetwork(seed=seed), seed=seed)
+    for i in range(N_NODES):
+        ring.add_node(f"node-{i}")
+    return ring
+
+
+def _min_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_node_scope_overhead_under_five_percent():
+    """Scoped lookups stay within 5% of unscoped lookups, obs on."""
+    ring = _build_ring()
+    node = ring.nodes["node-0"]
+
+    def unscoped():
+        for i in range(LOOKUPS):
+            node.find_successor(i * 7919 % (1 << ring._m))
+
+    def scoped():
+        with scope.node_scope("bench-node"):
+            for i in range(LOOKUPS):
+                node.find_successor(i * 7919 % (1 << ring._m))
+
+    with obs.activate():
+        unscoped()  # warm caches and metric families on both sides
+        scoped()
+        base = _min_of(unscoped)
+        overhead = _min_of(scoped)
+    scope.reset()
+    ratio = overhead / base
+    assert ratio < 1.05, (
+        f"node-scoped lookups cost {ratio:.3f}x the unscoped path "
+        f"({overhead:.6f}s vs {base:.6f}s) — over the 5% budget"
+    )
+
+
+def test_obs_disabled_scope_costs_nothing_and_stays_clean():
+    """Obs off: the hot path never consults the scope or the registry."""
+    ring = _build_ring(seed=7)
+    node = ring.nodes["node-0"]
+    assert not obs.is_enabled()
+    before = len(obs.get_registry())
+    with scope.node_scope("idle-node"):
+        for i in range(50):
+            node.find_successor(i * 104729 % (1 << ring._m))
+        # nothing created a registry metric: attribution never ran
+        assert len(obs.get_registry()) == before
+    assert scope.active is False
+    assert scope.dropped_nodes == 0
+    scope.reset()

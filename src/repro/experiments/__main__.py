@@ -130,6 +130,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--fleet-dir",
+        type=str,
+        default=None,
+        help=(
+            "write fleet-scope observability artifacts into this directory "
+            "(experiments that support it, e.g. p2p_scale): FLEET_*.json "
+            "per-node snapshots + ring consistency, TSDB_fleet.jsonl "
+            "history, and node-scoped POSTMORTEM_fleet_*.json bundles; "
+            "render with `repro obs fleet <dir>`"
+        ),
+    )
+    parser.add_argument(
         "--engine",
         type=str,
         default=None,
@@ -167,6 +179,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.makedirs(args.slo_dir, exist_ok=True)
     if args.tsdb_dir:
         os.makedirs(args.tsdb_dir, exist_ok=True)
+    if args.fleet_dir:
+        os.makedirs(args.fleet_dir, exist_ok=True)
 
     names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
     rendered = []
@@ -197,6 +211,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             kwargs["slo_path"] = os.path.join(args.slo_dir, "BENCH_slo.json")
         if args.tsdb_dir and "tsdb_path" in params:
             kwargs["tsdb_path"] = os.path.join(args.tsdb_dir, f"TSDB_{name}.jsonl")
+        if args.fleet_dir and "fleet_dir" in params:
+            kwargs["fleet_dir"] = args.fleet_dir
         started = time.perf_counter()
         result = runner(**kwargs)
         elapsed = time.perf_counter() - started
@@ -215,6 +231,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         ):
             if key in kwargs:
                 print(f"wrote {kwargs[key]}")
+        if "fleet_dir" in kwargs:
+            print(f"wrote fleet artifacts to {kwargs['fleet_dir']}")
     if args.out:
         with open(args.out, "a", encoding="utf-8") as handle:
             handle.write("\n".join(rendered))

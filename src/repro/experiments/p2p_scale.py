@@ -17,6 +17,9 @@ regression gate, and ``events_path`` streams progress heartbeats for
 from __future__ import annotations
 
 import contextlib
+import json
+import os
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -24,6 +27,7 @@ import numpy as np
 from .. import obs
 from ..p2p.chord import ChordRing
 from ..p2p.gossip import GossipAggregator
+from ..p2p.network import SimulatedNetwork
 from ..stats.rng import make_rng
 from .common import ExperimentResult
 
@@ -37,6 +41,50 @@ _ASSESS_METRIC = "experiments.p2p_scale.assess_sweep_seconds"
 _ENGINES = ("direct", "incremental")
 
 
+def _write_fleet_artifacts(
+    fleet_dir: str,
+    registry,
+    ring: ChordRing,
+    store,
+    recorder,
+    run_meta: Dict[str, object],
+) -> None:
+    """Write FLEET/TSDB/POSTMORTEM artifacts for ``--fleet-dir`` runs.
+
+    Per-node metrics accumulate across every ring size in the sweep
+    (node names are reused between sizes); the topology and the
+    consistency report reflect the final — largest — ring.
+    """
+    per_node, _unscoped = obs.split_snapshot(registry.snapshot())
+    aggregate = obs.aggregate_snapshots(per_node)
+    topology = obs.topology_snapshot(ring)
+    consistency = obs.check_ring(ring)
+    slo_rows = obs.evaluation_rows(obs.evaluate_fleet_slos(aggregate))
+    payload = obs.fleet_payload(
+        topology=topology,
+        per_node=per_node,
+        consistency=consistency,
+        aggregate=aggregate,
+        slo=slo_rows,
+        meta=run_meta,
+    )
+    obs.write_fleet_json(
+        os.path.join(fleet_dir, "FLEET_p2p_scale.json"), payload
+    )
+    if store is not None:
+        store.dump(os.path.join(fleet_dir, "TSDB_fleet.jsonl"))
+    if recorder is not None:
+        for entry in topology["nodes"][:2]:
+            node = str(entry["name"])
+            bundle = obs.node_bundle(
+                recorder, node, topology=topology, reason="fleet_export"
+            )
+            path = os.path.join(fleet_dir, f"POSTMORTEM_fleet_{node}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(bundle, handle, indent=2, sort_keys=True, default=repr)
+                handle.write("\n")
+
+
 def run_p2p_scale(
     *,
     node_counts: Optional[Sequence[int]] = None,
@@ -47,6 +95,7 @@ def run_p2p_scale(
     quick: bool = False,
     bench_path: Optional[str] = None,
     events_path: Optional[str] = None,
+    fleet_dir: Optional[str] = None,
     engine: str = "direct",
 ) -> ExperimentResult:
     """Scale the P2P substrate and measure lookup and gossip cost.
@@ -63,6 +112,14 @@ def run_p2p_scale(
     identical); the extra ``assess_percall_s`` / ``assess_serve_s``
     columns only appear in this mode — the default column list is
     pinned.
+
+    ``fleet_dir`` turns on fleet-scope observability: rings run on a
+    named :class:`~repro.p2p.network.SimulatedNetwork` with per-link
+    metrics, a flight recorder plus metric-history store capture the
+    whole sweep, and the directory receives ``FLEET_p2p_scale.json``
+    (per-node snapshots, topology, ring consistency, fleet SLOs),
+    ``TSDB_fleet.jsonl``, and node-scoped ``POSTMORTEM_fleet_*.json``
+    bundles — render with ``repro obs fleet <dir>``.
     """
     if engine not in _ENGINES:
         raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
@@ -134,14 +191,31 @@ def run_p2p_scale(
         monitor.start(experiment="p2p_scale")
 
     bench_rows: List[Dict[str, object]] = []
-    with scope as session:
+    fleet_store: Optional[obs.TimeSeriesStore] = None
+    recorder = None
+    with contextlib.ExitStack() as stack:
+        session = stack.enter_context(scope)
         registry = session.registry
+        if fleet_dir is not None:
+            fleet_store = obs.TimeSeriesStore(max_samples=512, max_series=16384)
+            recorder = stack.enter_context(
+                obs.flight_recording(fleet_dir, store=fleet_store)
+            )
         with obs.span("experiments.p2p_scale.run", quick=quick):
             for n in node_counts:
                 with obs.span("experiments.p2p_scale.build", n_nodes=n):
-                    ring = ChordRing(seed=base_seed + n)
+                    network = (
+                        SimulatedNetwork(
+                            name=f"p2p_scale_n{n}", link_metrics=True
+                        )
+                        if fleet_dir is not None
+                        else None
+                    )
+                    ring = ChordRing(network=network, seed=base_seed + n)
                     for i in range(n):
                         ring.add_node(f"node-{i}")
+                if fleet_store is not None:
+                    fleet_store.record_snapshot(registry.snapshot(), time.time())
                 hops: List[int] = []
                 with obs.span("experiments.p2p_scale.lookups", n_nodes=n):
                     for i in range(lookups):
@@ -150,6 +224,8 @@ def run_p2p_scale(
                         hops.append(found.hops)
                         if monitor is not None:
                             monitor.tick(1, lookups=1)
+                if fleet_store is not None:
+                    fleet_store.record_snapshot(registry.snapshot(), time.time())
                 mean_hops = float(np.mean(hops))
                 with obs.span("experiments.p2p_scale.gossip", n_nodes=n):
                     values = make_rng(base_seed + n).random(n)
@@ -164,6 +240,8 @@ def run_p2p_scale(
                             agg.run_round()
                         if monitor is not None:
                             monitor.tick(0, gossip_rounds=1)
+                if fleet_store is not None:
+                    fleet_store.record_snapshot(registry.snapshot(), time.time())
                 lookup_hist = registry.histogram(_LOOKUP_METRIC, n_nodes=n)
                 round_hist = registry.histogram(_ROUND_METRIC, n_nodes=n)
                 row = {
@@ -251,6 +329,11 @@ def run_p2p_scale(
                 with obs.span("experiments.p2p_scale.export"):
                     obs.write_bench_json(
                         bench_path, "p2p_scale", bench_rows, meta=run_meta
+                    )
+            if fleet_dir is not None:
+                with obs.span("experiments.p2p_scale.fleet_export"):
+                    _write_fleet_artifacts(
+                        fleet_dir, registry, ring, fleet_store, recorder, run_meta
                     )
         if log is not None:
             log.emit_metrics(registry)

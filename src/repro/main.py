@@ -17,6 +17,7 @@ tooling::
     repro obs trace run_spans.jsonl                 # list trace ids in a span log
     repro obs trace run_spans.jsonl 3f2a            # render one trace's span tree
     repro obs slo run_events.jsonl --out BENCH_slo.json  # error-budget report/gate
+    repro obs fleet fleet-out/                      # per-node metrics + ring consistency
     repro explain mallory run_audit.jsonl           # why was this server rejected?
     repro health                                    # live breaker/quarantine/retry state
     repro health run_events.jsonl                   # resilience events of a finished run
@@ -219,6 +220,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the newest retained snapshot as Prometheus exposition "
         "text (timestamped with the snapshot instant); '-' for stdout",
     )
+    p_fleet = obs_sub.add_parser(
+        "fleet",
+        help="fleet view of a p2p run: topology table, per-node metrics "
+        "with sparklines, ring-consistency report; exit 2 when the ring "
+        "is inconsistent",
+    )
+    p_fleet.add_argument(
+        "source",
+        help="FLEET_*.json artifact, or a directory holding one "
+        "(e.g. the --fleet-dir of a p2p_scale run; a TSDB_fleet.jsonl "
+        "sibling feeds the sparklines)",
+    )
+    p_fleet.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a schema-validated BENCH_fleet.json to PATH",
+    )
     p_postmortem = obs_sub.add_parser(
         "postmortem",
         help="render a flight-recorder post-mortem bundle (POSTMORTEM_*.json)",
@@ -253,7 +272,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point for the ``repro`` console script."""
+    """Entry point for the ``repro`` console script.
+
+    Wraps the dispatcher in the BrokenPipeError guard so *every*
+    subcommand — ``obs report | head`` included, however it was
+    launched — exits quietly with the conventional SIGPIPE status
+    instead of a traceback.
+    """
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # the reader closed the pipe mid-print: point stdout at devnull
+        # so the interpreter's exit flush stays quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+
+
+def _run(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     log_level = args.log_level or os.environ.get("REPRO_LOG_LEVEL")
     if log_level:
@@ -273,6 +308,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return obs.tail_dashboard(
                 args.events, interval=args.interval, once=args.once
             )
+        except BrokenPipeError:
+            raise
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -296,11 +333,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             agg=args.agg,
             export_prom=args.export_prom,
         )
+    if args.obs_command == "fleet":
+        return _obs_fleet(args.source, args.out)
     if args.obs_command == "postmortem":
         return _obs_postmortem(args.bundle, args.tail)
     # obs report
     try:
         print(obs.render_artifact(args.artifact))
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -311,6 +352,8 @@ def _explain(server: str, audit_log: str) -> int:
     try:
         records = obs.read_audit_jsonl(audit_log)
         print(obs.explain_server(records, server))
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -325,6 +368,8 @@ def _health(events: Optional[str]) -> int:
         return 0
     try:
         records = obs.read_events(events)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -354,6 +399,8 @@ def _obs_diff(baseline: str, candidate: Optional[str], max_regression: float) ->
         diff = obs.compare_bench_payloads(
             base_payload, cand_payload, max_regression=max_regression
         )
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -365,6 +412,8 @@ def _obs_trend(directory: str, bench: Optional[str], max_regression: float) -> i
     try:
         history = obs.load_bench_history(directory, bench=bench)
         trend = obs.bench_trend(history, max_regression=max_regression)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -377,6 +426,8 @@ def _obs_trace(spans_path: str, trace_id: Optional[str], otlp: Optional[str]) ->
 
     try:
         spans = obs.read_span_jsonl(spans_path)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -419,6 +470,8 @@ def _obs_slo(
         try:
             payload = obs.read_bench_json(path)
             obs.validate_slo_payload(payload)
+        except BrokenPipeError:
+            raise
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -439,6 +492,8 @@ def _obs_slo(
     )
     try:
         evaluation = _slo.evaluate_events(source, specs)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -469,6 +524,8 @@ def _obs_tsdb(
 
     try:
         store = _tsdb.TimeSeriesStore.load(store_path)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -545,9 +602,55 @@ class _SnapshotRegistry:
         return samples
 
 
+def _obs_fleet(source: str, out: Optional[str]) -> int:
+    from .obs import tsdb as _tsdb
+
+    path = Path(source)
+    store_path = None
+    try:
+        if path.is_dir():
+            candidates = sorted(path.glob("FLEET_*.json"))
+            if not candidates:
+                print(f"error: no FLEET_*.json in {source}", file=sys.stderr)
+                return 1
+            fleet_path = candidates[0]
+        else:
+            fleet_path = path
+        sibling = fleet_path.parent / "TSDB_fleet.jsonl"
+        if sibling.exists():
+            store_path = sibling
+        payload = obs.read_fleet_json(fleet_path)
+    except BrokenPipeError:
+        raise
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store = None
+    if store_path is not None:
+        try:
+            store = _tsdb.TimeSeriesStore.load(store_path)
+        except BrokenPipeError:
+            raise
+        except (OSError, ValueError) as exc:
+            print(f"notice: ignoring {store_path}: {exc}", file=sys.stderr)
+    print(obs.render_fleet(payload, store=store))
+    if out is not None:
+        bench = obs.write_bench_json(
+            out,
+            "fleet",
+            obs.fleet_to_bench_rows(payload),
+            meta=payload.get("meta") or obs.run_metadata(source=str(fleet_path)),
+        )
+        obs.validate_fleet_bench_payload(bench)
+        print(f"wrote {out}")
+    return 0 if payload["consistency"].get("ok") else 2
+
+
 def _obs_postmortem(bundle_path: str, tail: int) -> int:
     try:
         bundle = obs.read_postmortem(bundle_path)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -563,12 +666,16 @@ def _obs_validate(artifact: str) -> int:
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except BrokenPipeError:
+            raise
         except (OSError, json.JSONDecodeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         for kind, validate in (
             ("bench", obs.validate_bench_payload),
             ("profile", obs.validate_profile_payload),
+            ("fleet", obs.validate_fleet_payload),
+            ("postmortem", obs.validate_postmortem_bundle),
         ):
             try:
                 validate(payload)
@@ -577,12 +684,15 @@ def _obs_validate(artifact: str) -> int:
             print(f"{artifact}: valid {kind} artifact")
             return 0
         print(
-            f"error: {artifact} is neither a valid bench nor profile artifact",
+            f"error: {artifact} is not a valid bench, profile, fleet, "
+            f"or postmortem artifact",
             file=sys.stderr,
         )
         return 1
     try:
         records = obs.read_audit_jsonl(artifact)
+    except BrokenPipeError:
+        raise
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -594,11 +704,4 @@ def _obs_validate(artifact: str) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via console script
-    try:
-        sys.exit(main())
-    except BrokenPipeError:
-        # `repro obs tsdb ... | head` closed the pipe mid-print: point
-        # stdout at devnull so the interpreter's exit flush stays quiet,
-        # and exit with the conventional SIGPIPE status
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
-        sys.exit(141)
+    sys.exit(main())

@@ -90,6 +90,24 @@ from .flightrec import (
     render_postmortem,
     validate_postmortem_bundle,
 )
+from .fleet import (
+    FLEET_SCHEMA_VERSION,
+    aggregate_snapshots,
+    check_ring,
+    default_fleet_slos,
+    evaluate_fleet_slos,
+    evaluation_rows,
+    fleet_payload,
+    fleet_to_bench_rows,
+    gauge_table,
+    node_bundle,
+    read_fleet_json,
+    render_fleet,
+    topology_snapshot,
+    validate_fleet_bench_payload,
+    validate_fleet_payload,
+    write_fleet_json,
+)
 from .monitor import (
     ProgressMonitor,
     read_events_lenient,
@@ -111,6 +129,13 @@ from .profile import (
     write_profile_json,
 )
 from .registry import Counter, Gauge, MetricSample, MetricsRegistry, StreamingHistogram
+from .scope import (
+    current_node,
+    node_scope,
+    node_snapshot,
+    nodes_in,
+    split_snapshot,
+)
 from .report import render_artifact, render_bench, render_event_log, render_profile
 from .runtime import (
     ObsSession,
@@ -225,6 +250,27 @@ __all__ = [
     "read_postmortem",
     "render_postmortem",
     "validate_postmortem_bundle",
+    "FLEET_SCHEMA_VERSION",
+    "aggregate_snapshots",
+    "check_ring",
+    "default_fleet_slos",
+    "evaluate_fleet_slos",
+    "evaluation_rows",
+    "fleet_payload",
+    "fleet_to_bench_rows",
+    "gauge_table",
+    "node_bundle",
+    "read_fleet_json",
+    "render_fleet",
+    "topology_snapshot",
+    "validate_fleet_bench_payload",
+    "validate_fleet_payload",
+    "write_fleet_json",
+    "current_node",
+    "node_scope",
+    "node_snapshot",
+    "nodes_in",
+    "split_snapshot",
     "TSDB_SCHEMA_VERSION",
     "AnomalyDetector",
     "MetricsScraper",

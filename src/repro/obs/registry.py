@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from . import scope as _scope
+
 __all__ = ["Counter", "Gauge", "StreamingHistogram", "MetricSample", "MetricsRegistry"]
 
 LabelSet = Tuple[Tuple[str, str], ...]
@@ -194,6 +196,50 @@ class StreamingHistogram:
                 good += count
         return good / self._count
 
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other``'s state into this histogram, exactly.
+
+        count/sum/min/max add (resp. extremize) and per-bucket counts
+        sum, so merging per-node histograms is indistinguishable from
+        having observed every sample in one histogram — the algebra the
+        fleet aggregator depends on.  Returns ``self`` for chaining.
+        """
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        return self
+
+    def merge_serialized(
+        self, summary: Dict[str, float], buckets: Dict[str, int]
+    ) -> "StreamingHistogram":
+        """Fold one snapshot-serialized histogram (summary + buckets) in.
+
+        The inverse of ``summary()``/``bucket_counts()`` for merge
+        purposes; same exact algebra as :meth:`merge`.
+        """
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return self
+        self._count += count
+        self._sum += float(summary.get("sum", 0.0))
+        other_min = float(summary.get("min", math.inf))
+        other_max = float(summary.get("max", -math.inf))
+        if other_min < self._min:
+            self._min = other_min
+        if other_max > self._max:
+            self._max = other_max
+        for index, bucket_count in (buckets or {}).items():
+            index = int(index)
+            self._buckets[index] = self._buckets.get(index, 0) + int(bucket_count)
+        return self
+
     def bucket_counts(self) -> Dict[str, int]:
         """Per-bucket counts keyed by stringified index (JSON-safe)."""
         return {str(index): count for index, count in sorted(self._buckets.items())}
@@ -356,6 +402,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
 
     def _get_or_create(self, name: str, cls, labels: Dict[str, object]):
+        if _scope.active:
+            # Node-scoped attribution: stamp the ambient node id as a
+            # label so existing call sites report per-node without any
+            # rewrite.  ``labels`` is the per-call ``**labels`` dict, so
+            # mutating it in place is safe and allocation-free.
+            node = _scope.attribution_node()
+            if node is not None and _scope.NODE_LABEL not in labels:
+                labels[_scope.NODE_LABEL] = node
         key = (name, _labels_key(labels))
         metric = self._metrics.get(key)
         if metric is not None:

@@ -173,12 +173,7 @@ def _merge_histogram_family(
         if not isinstance(buckets, dict):
             continue
         seen = True
-        merged._count += int(summary.get("count", 0))
-        merged._sum += float(summary.get("sum", 0.0))
-        merged._min = min(merged._min, float(summary.get("min", math.inf)))
-        merged._max = max(merged._max, float(summary.get("max", -math.inf)))
-        for index, count in buckets.items():
-            merged._buckets[int(index)] = merged._buckets.get(int(index), 0) + int(count)
+        merged.merge_serialized(summary, buckets)
     return merged if seen else None
 
 

@@ -24,6 +24,9 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import runtime as _obs
+from ..obs import scope as _scope
+from ..resilience import runtime as _res
 from ..stats.rng import SeedLike, make_rng
 from .network import NodeUnreachable, SimulatedNetwork
 
@@ -86,6 +89,17 @@ class ChordNode:
     # ------------------------------------------------------------------ #
     # public queries
 
+    def _scoped(self):
+        """Node-attribution scope for work done *as* this node.
+
+        A shared no-op when obs collection is off, so the overlay hot
+        path pays one flag read — the same discipline as every other
+        ``_obs.enabled`` site.
+        """
+        if _obs.enabled:
+            return _scope.node_scope(self.name)
+        return _scope.NOOP
+
     @property
     def successor(self) -> str:
         return self.successors[0]
@@ -99,6 +113,18 @@ class ChordNode:
 
     def find_successor(self, key: int, *, max_hops: int = 64) -> LookupResult:
         """Iterative lookup: walk fingers until the owner is found."""
+        with self._scoped():
+            result = self._find_successor(key, max_hops=max_hops)
+            if _obs.enabled:
+                # hops are message counts (iterative lookup), so this
+                # histogram *is* the O(log n) routing claim, per node
+                _obs.registry.observe("p2p.chord.lookup_hops", result.hops)
+                _res.emit(
+                    "chord_lookup", key=key, hops=result.hops, owner=result.node
+                )
+        return result
+
+    def _find_successor(self, key: int, *, max_hops: int) -> LookupResult:
         current = self.name
         hops = 0
         while hops <= max_hops:
@@ -121,48 +147,85 @@ class ChordNode:
 
     def join(self, bootstrap: str, *, attempts: int = 5) -> None:
         """Join the ring known to ``bootstrap`` (retrying dropped RPCs)."""
-        result = None
-        for _ in range(attempts):
-            result = self._rpc(bootstrap, "find_successor_rpc", {"key": self.node_id})
-            if result is not None:
-                break
-            if not self._network.is_alive(bootstrap):
-                break
-        if result is None:
-            raise NodeUnreachable(bootstrap)
-        self.successors = [result["node"]]
-        self.predecessor = None
+        with self._scoped():
+            result = None
+            for _ in range(attempts):
+                result = self._rpc(
+                    bootstrap, "find_successor_rpc", {"key": self.node_id}
+                )
+                if result is not None:
+                    break
+                if not self._network.is_alive(bootstrap):
+                    break
+            if result is None:
+                raise NodeUnreachable(bootstrap)
+            self.successors = [result["node"]]
+            self.predecessor = None
+            # claim the keys we now own straight away: notify-driven
+            # hand-over cannot fire when the successor's stale
+            # predecessor pointer already carries our name (a rejoin)
+            if self.successor != self.name:
+                self._rpc_retry(
+                    self.successor, "request_handover", {"node": self.name}
+                )
 
     def stabilize(self) -> None:
         """Verify the successor, adopt a closer one, and notify it."""
-        successor = self._first_alive_successor()
-        pred_of_succ = self._rpc(successor, "get_predecessor", {})
-        if pred_of_succ and pred_of_succ.get("node"):
-            candidate = pred_of_succ["node"]
-            if candidate != self.name and self._network.is_alive(candidate):
-                cid = key_of(candidate, self._m)
-                sid = key_of(successor, self._m)
-                if in_interval(cid, self.node_id, sid):
-                    successor = candidate
-        self._rebuild_successor_list(successor)
-        self._rpc(successor, "notify", {"node": self.name})
+        with self._scoped():
+            if _obs.enabled:
+                _obs.registry.inc("p2p.chord.stabilize_runs")
+            successor = self._first_alive_successor()
+            pred_of_succ = self._rpc(successor, "get_predecessor", {})
+            if pred_of_succ and pred_of_succ.get("node"):
+                candidate = pred_of_succ["node"]
+                if candidate != self.name and self._network.is_alive(candidate):
+                    cid = key_of(candidate, self._m)
+                    sid = key_of(successor, self._m)
+                    if in_interval(cid, self.node_id, sid):
+                        successor = candidate
+            before = self.successor
+            self._rebuild_successor_list(successor)
+            if self.successor != before and self.successor != self.name:
+                # adopting a closer successor moves our ownership
+                # boundary: pull the keys it holds in our range
+                self._rpc_retry(
+                    self.successor, "request_handover", {"node": self.name}
+                )
+            self._rpc(successor, "notify", {"node": self.name})
 
     def fix_fingers(self) -> None:
         """Recompute the finger table with fresh lookups."""
-        for i in range(self._m):
-            target = (self.node_id + (1 << i)) % (1 << self._m)
-            try:
-                self.fingers[i] = self.find_successor(target).node
-            except (RuntimeError, NodeUnreachable):
-                self.fingers[i] = self.successor
+        with self._scoped():
+            repaired = 0
+            for i in range(self._m):
+                target = (self.node_id + (1 << i)) % (1 << self._m)
+                try:
+                    finger = self.find_successor(target).node
+                except (RuntimeError, NodeUnreachable):
+                    finger = self.successor
+                if finger != self.fingers[i]:
+                    repaired += 1
+                self.fingers[i] = finger
+            if repaired and _obs.enabled:
+                _obs.registry.inc("p2p.chord.finger_repairs", repaired)
 
     def leave(self) -> None:
         """Graceful departure: hand storage to the successor, detach."""
-        if self.successor != self.name and self._network.is_alive(self.successor):
-            for key, values in self.storage.items():
-                for value in values:
-                    self._rpc(self.successor, "store", {"key": key, "value": value})
-        self._network.unregister(self.name)
+        with self._scoped():
+            if self.successor != self.name and self._network.is_alive(self.successor):
+                for key, values in self.storage.items():
+                    for value in values:
+                        self._rpc(
+                            self.successor, "store", {"key": key, "value": value}
+                        )
+            if _obs.enabled or _res.events is not None:
+                _res.emit(
+                    "chord_node_leave",
+                    node=self.name,
+                    keys=len(self.storage),
+                    successor=self.successor,
+                )
+            self._network.unregister(self.name)
 
     # ------------------------------------------------------------------ #
     # data operations
@@ -170,26 +233,34 @@ class ChordNode:
     def put(self, key: int, value: Any) -> str:
         """Store ``value`` under ``key`` on its owner + replicas; returns owner."""
         owner = self.find_successor(key).node
-        self._rpc_retry(owner, "store_replicated", {"key": key, "value": value})
+        with self._scoped():
+            self._rpc_retry(owner, "store_replicated", {"key": key, "value": value})
         return owner
 
     def get(self, key: int) -> List[Any]:
         """Fetch all values under ``key`` from its owner (replica fallback)."""
         owner = self.find_successor(key).node
-        reply = self._rpc_retry(owner, "fetch", {"key": key})
-        if reply is not None:
-            return list(reply["values"])
-        # owner unreachable/dropped: try the owner's replica set via ours
-        for replica in self.successors[: self._replicas]:
-            reply = self._rpc(replica, "fetch", {"key": key})
-            if reply is not None and reply["values"]:
+        with self._scoped():
+            reply = self._rpc_retry(owner, "fetch", {"key": key})
+            if reply is not None:
                 return list(reply["values"])
-        return []
+            # owner unreachable/dropped: try the owner's replica set via ours
+            for replica in self.successors[: self._replicas]:
+                reply = self._rpc(replica, "fetch", {"key": key})
+                if reply is not None and reply["values"]:
+                    return list(reply["values"])
+            return []
 
     # ------------------------------------------------------------------ #
     # RPC handling
 
     def _handle(self, message_type: str, payload: Dict[str, Any]) -> Any:
+        with self._scoped():
+            # delivery-side attribution: whatever this RPC makes the node
+            # do (forward stores, cascade hand-overs) is *its* work
+            return self._dispatch(message_type, payload)
+
+    def _dispatch(self, message_type: str, payload: Dict[str, Any]) -> Any:
         if message_type == "lookup_step":
             return self._lookup_step(payload["key"])
         if message_type == "find_successor_rpc":
@@ -201,6 +272,10 @@ class ChordNode:
             return {"node": self.successor}
         if message_type == "notify":
             self._notify(payload["node"])
+            return {}
+        if message_type == "request_handover":
+            if payload["node"] != self.name:
+                self._hand_over_upstream_keys(payload["node"])
             return {}
         if message_type == "store":
             bucket = self.storage.setdefault(payload["key"], [])
@@ -257,7 +332,7 @@ class ChordNode:
         if adopted:
             self._hand_over_upstream_keys()
 
-    def _hand_over_upstream_keys(self) -> None:
+    def _hand_over_upstream_keys(self, target: Optional[str] = None) -> None:
         """Copy keys this node no longer owns to the new predecessor.
 
         When a node joins between P and S, the keys in (old-P, new-P]
@@ -266,16 +341,36 @@ class ChordNode:
         copy cascades — if the predecessor does not own a key either, its
         own next notify pushes it further upstream.  The local copy is
         kept as a replica; readers deduplicate.
+
+        ``target`` serves ``request_handover``: a joining node claims
+        its range explicitly, which notify-driven hand-over cannot cover
+        when the joiner reuses the name of a crashed predecessor (the
+        stale pointer masks the rejoin).  Transfers ride ``_rpc_retry``:
+        a dropped hand-over message would strand the key at its replicas
+        (the owner answers lookups with nothing), and ``store`` is an
+        idempotent append.
         """
-        predecessor = self.predecessor
+        predecessor = target if target is not None else self.predecessor
         if predecessor is None or not self._network.is_alive(predecessor):
             return
         pid = key_of(predecessor, self._m)
+        handed = 0
         for key, values in list(self.storage.items()):
             if in_interval(key, pid, self.node_id, inclusive_right=True):
                 continue  # still ours
             for value in values:
-                self._rpc(predecessor, "store", {"key": key, "value": value})
+                self._rpc_retry(predecessor, "store", {"key": key, "value": value})
+                handed += 1
+        if handed:
+            if _obs.enabled:
+                _obs.registry.inc("p2p.chord.key_handovers", handed)
+            if _obs.enabled or _res.events is not None:
+                _res.emit(
+                    "chord_key_handover",
+                    node=self.name,
+                    to=predecessor,
+                    values=handed,
+                )
 
     def _first_alive_successor(self) -> str:
         for succ in self.successors:
@@ -301,7 +396,18 @@ class ChordNode:
                 break
             chain.append(nxt)
             current = nxt
+        changed = chain != self.successors
         self.successors = chain
+        if changed:
+            if _obs.enabled:
+                _obs.registry.inc("p2p.chord.successor_rebuilds")
+            if _obs.enabled or _res.events is not None:
+                _res.emit(
+                    "chord_successor_rebuild",
+                    node=self.name,
+                    first=first,
+                    size=len(chain),
+                )
 
     def _rpc_retry(
         self, dst: str, message_type: str, payload: Dict[str, Any], attempts: int = 4

@@ -81,6 +81,11 @@ class GossipAggregator:
         with _obs.timer("p2p.gossip.round_seconds", peers=self._values.size):
             self._values = push_pull_round(self._values, self._rng)
         self._rounds += 1
+        if _obs.enabled:
+            # convergence gauges: dashboards watch the worst-case error
+            # shrink geometrically round over round
+            _obs.registry.set("p2p.gossip.peers", self._values.size)
+            _obs.registry.set("p2p.gossip.convergence_error", self.max_error())
 
     def run_until(self, tolerance: float, max_rounds: int = 1000) -> int:
         """Gossip until every peer is within ``tolerance`` of the mean."""
@@ -168,6 +173,9 @@ class ReputationGossip:
             self._rounds += 1
             if _obs.enabled:
                 _obs.registry.inc("p2p.gossip.rounds")
+        if rounds and _obs.enabled:
+            _obs.registry.set("p2p.gossip.peers", self._n)
+            _obs.registry.set("p2p.gossip.tracked_servers", len(self._positives))
 
     def estimate(self, peer: int, server: str) -> float:
         """Peer ``peer``'s current estimate of ``server``'s reputation."""

@@ -18,12 +18,15 @@ changing what the paper needs from the substrate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..obs import context as _ctx
 from ..obs import runtime as _obs
+from ..obs import scope as _scope
 from ..resilience import runtime as _res
+from ..resilience.health import GLOBAL_HEALTH
 from ..stats.rng import SeedLike, make_rng
 
 __all__ = ["NetworkStats", "NodeUnreachable", "SimulatedNetwork"]
@@ -55,6 +58,15 @@ class NetworkStats:
             if dropped:
                 _obs.registry.inc("p2p.network.drops", type=message_type)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe view of the accounting (health report / exports)."""
+        return {
+            "messages": self.messages,
+            "drops": self.drops,
+            "retries": self.retries,
+            "by_type": dict(self.by_type),
+        }
+
 
 class SimulatedNetwork:
     """Registry of node handlers with lossy synchronous delivery.
@@ -65,17 +77,37 @@ class SimulatedNetwork:
     from a lost request at this abstraction level.
     """
 
-    def __init__(self, drop_rate: float = 0.0, seed: SeedLike = None):
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        seed: SeedLike = None,
+        *,
+        name: str = "simnet",
+        link_metrics: bool = False,
+    ):
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate must lie in [0, 1), got {drop_rate}")
         self._drop_rate = drop_rate
         self._rng = make_rng(seed)
         self._handlers: Dict[str, Handler] = {}
         self._stats = NetworkStats()
+        self.name = name
+        # Per-link series are quadratic in fleet size (src × dst), so
+        # they are opt-in: fleet captures and e2e tests turn them on,
+        # ambient benches keep the type-only families.
+        self.link_metrics = link_metrics
+        GLOBAL_HEALTH.register_network(self)
 
     @property
     def stats(self) -> NetworkStats:
         return self._stats
+
+    def stats_report(self) -> Dict[str, Any]:
+        """One row for the resilience health report (``repro health``)."""
+        report = self._stats.as_dict()
+        report["name"] = self.name
+        report["nodes"] = len(self._handlers)
+        return report
 
     @property
     def node_ids(self):
@@ -121,13 +153,26 @@ class SimulatedNetwork:
                     raise _res.InjectedFault("p2p.network.send", spec.mode, 0)
                 dropped = True
         self._stats.record(message_type, dropped)
+        if self.link_metrics and _obs.enabled and _scope.active:
+            # src comes from the ambient node scope (the sender), dst is
+            # explicit; stamping node=src keeps the series attributed to
+            # the sending node when the snapshot is split per node.
+            src = _scope.attribution_node()
+            if src is not None:
+                _obs.registry.inc(
+                    "p2p.network.link.messages", src=src, dst=dst, node=src
+                )
+                if dropped:
+                    _obs.registry.inc(
+                        "p2p.network.link.drops", src=src, dst=dst, node=src
+                    )
         ctx = _ctx.current()
         if ctx is None:
             # untraced hop: zero envelope/serialization overhead — this
             # path carries the million-message overlay benches
             if dropped:
                 return None
-            return handler(message_type, payload or {})
+            return self._deliver(handler, message_type, payload or {})
         # traced hop: the context crosses as serialized headers on the
         # message envelope — exactly what a real wire would carry — and
         # is rebuilt on the delivery side before the handler runs
@@ -138,7 +183,22 @@ class SimulatedNetwork:
         remote_ctx = _ctx.TraceContext.from_headers(envelope)
         with _ctx.use(remote_ctx):
             with _obs.span("p2p.network.deliver", dst=dst, type=message_type):
-                return handler(message_type, payload or {})
+                return self._deliver(handler, message_type, payload or {})
+
+    def _deliver(
+        self, handler: Handler, message_type: str, payload: Dict[str, Any]
+    ) -> Any:
+        """Run a handler, timing delivery per message type when obs is on."""
+        if not _obs.enabled:
+            return handler(message_type, payload)
+        start = time.perf_counter()
+        reply = handler(message_type, payload)
+        _obs.registry.observe(
+            "p2p.network.send_seconds",
+            time.perf_counter() - start,
+            type=message_type,
+        )
+        return reply
 
     def send_reliable(
         self,

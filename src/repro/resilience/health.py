@@ -40,6 +40,16 @@ RESILIENCE_EVENTS = (
     "calibration_degraded",
 )
 
+#: Event names the P2P overlay emits through the same funnel (see
+#: repro.p2p.chord) — counted by :func:`summarize_events` so chaos/fleet
+#: event logs summarize ring repair alongside resilience activity.
+P2P_EVENTS = (
+    "chord_lookup",
+    "chord_successor_rebuild",
+    "chord_key_handover",
+    "chord_node_leave",
+)
+
 
 class HealthRegistry:
     """Weak registry of the process's live resilience components."""
@@ -48,6 +58,7 @@ class HealthRegistry:
         self._breakers: List[weakref.ref] = []
         self._quarantines: List[weakref.ref] = []
         self._retries: List[weakref.ref] = []
+        self._networks: List[weakref.ref] = []
 
     def register_breaker(self, breaker) -> None:
         """Track a :class:`~repro.resilience.breaker.CircuitBreaker`."""
@@ -60,6 +71,10 @@ class HealthRegistry:
     def register_retry(self, policy) -> None:
         """Track a :class:`~repro.resilience.retry.RetryPolicy`."""
         self._retries.append(weakref.ref(policy))
+
+    def register_network(self, network) -> None:
+        """Track a :class:`~repro.p2p.network.SimulatedNetwork`."""
+        self._networks.append(weakref.ref(network))
 
     @staticmethod
     def _alive(refs: List[weakref.ref]) -> Iterable:
@@ -76,13 +91,18 @@ class HealthRegistry:
         breakers = [b.stats() for b in self._alive(self._breakers)]
         quarantines = [q.stats() for q in self._alive(self._quarantines)]
         retries = [r.stats() for r in self._alive(self._retries)]
+        networks = [n.stats_report() for n in self._alive(self._networks)]
         return {
             "breakers": breakers,
             "quarantines": quarantines,
             "retries": retries,
+            "networks": networks,
             "open_breakers": sum(1 for b in breakers if b["state"] != "closed"),
             "quarantine_depth": sum(q["depth"] for q in quarantines),
             "total_retries": sum(r["retries"] for r in retries),
+            "network_messages": sum(n["messages"] for n in networks),
+            "network_drops": sum(n["drops"] for n in networks),
+            "network_retries": sum(n["retries"] for n in networks),
         }
 
     def clear(self) -> None:
@@ -90,6 +110,7 @@ class HealthRegistry:
         self._breakers.clear()
         self._quarantines.clear()
         self._retries.clear()
+        self._networks.clear()
 
 
 #: The process-wide registry ``repro health`` reports on.
@@ -132,6 +153,24 @@ def render_health(report: Dict[str, object]) -> str:
             f"    {stats['name']:<28s} calls={stats['calls']} "
             f"retries={stats['retries']} exhausted={stats['exhausted']}"
         )
+    networks = report.get("networks", [])
+    lines.append(
+        f"  networks: {len(networks)} "
+        f"(messages {report.get('network_messages', 0)}, "
+        f"drops {report.get('network_drops', 0)}, "
+        f"retries {report.get('network_retries', 0)})"
+    )
+    for stats in networks:
+        lines.append(
+            f"    {stats['name']:<28s} nodes={stats['nodes']} "
+            f"messages={stats['messages']} drops={stats['drops']} "
+            f"retries={stats['retries']}"
+        )
+        by_type = stats.get("by_type") or {}
+        if by_type:
+            ranked = sorted(by_type.items(), key=lambda kv: (-kv[1], kv[0]))
+            rendered = " ".join(f"{name}={count}" for name, count in ranked)
+            lines.append(f"      by type: {rendered}")
     return "\n".join(lines)
 
 
@@ -147,7 +186,7 @@ def summarize_events(events: Iterable[Dict[str, object]]) -> Dict[str, object]:
     degradations: List[Dict[str, object]] = []
     for record in events:
         name = record.get("event")
-        if name not in RESILIENCE_EVENTS:
+        if name not in RESILIENCE_EVENTS and name not in P2P_EVENTS:
             continue
         counts[str(name)] += 1
         site = record.get("site")

@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterator, Optional
 
 from ..obs import context as _ctx
 from ..obs import runtime as _obs
+from ..obs import scope as _scope
 from ..obs.events import EventLog
 from .faults import FaultPlan, FaultSpec, InjectedFault
 
@@ -144,6 +145,13 @@ def emit(event: str, **fields: object) -> None:
     ctx = _ctx.current()
     if ctx is not None and "trace_id" not in fields:
         fields = dict(fields, trace_id=ctx.trace_id)
+    if _scope.active and "node" not in fields:
+        # node-scoped attribution mirrors the trace_id stamp: events
+        # emitted while a node scope is open are attributable per node
+        # (fleet bundles filter the recorder ring on this field)
+        node = _scope.current_node()
+        if node is not None:
+            fields = dict(fields, node=node)
     if ctx is not None or _obs.enabled:
         _obs.span_event(event, **fields)
     record: Optional[Dict[str, object]] = None

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import audit, runtime
+from repro.obs import audit, runtime, scope
 
 
 @pytest.fixture(autouse=True)
@@ -14,8 +14,12 @@ def _obs_disabled_after():
     saved_sink = runtime.span_sink
     saved_scrape = (runtime.scraper, runtime.flight_recorder)
     saved_audit = (audit.enabled, audit.trail)
+    saved_scope_cap = scope.max_nodes
     yield
     runtime.enabled, runtime.registry, runtime.tracer, runtime.profiler = saved
     runtime.span_sink = saved_sink
     runtime.scraper, runtime.flight_recorder = saved_scrape
     audit.enabled, audit.trail = saved_audit
+    # node-scope attribution state (seen-node set, overflow counter, and
+    # the active flag itself) is process-global like the runtime flags
+    scope.reset(max_nodes_cap=saved_scope_cap)

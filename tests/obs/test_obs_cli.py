@@ -342,7 +342,10 @@ class TestObsValidate:
         path = tmp_path / "BENCH_x.json"
         path.write_text(json.dumps({"bench": "x"}), encoding="utf-8")
         assert main(["obs", "validate", str(path)]) == 1
-        assert "neither a valid bench nor profile" in capsys.readouterr().err
+        assert (
+            "not a valid bench, profile, fleet, or postmortem"
+            in capsys.readouterr().err
+        )
 
     def test_unparsable_json_is_error(self, tmp_path, capsys):
         path = tmp_path / "BENCH_x.json"

@@ -1,0 +1,290 @@
+"""Fleet view: histogram merge algebra, aggregation, ring checks, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.main import main
+from repro.obs import scope
+from repro.obs.registry import MetricsRegistry, StreamingHistogram
+
+
+@pytest.fixture(autouse=True)
+def _clean_scope():
+    scope.reset()
+    yield
+    scope.reset()
+
+
+# ---------------------------------------------------------------------- #
+# fakes: duck-typed ring structures for check_ring / topology_snapshot
+
+
+class _FakeNode:
+    def __init__(self, name, node_id, successor, predecessor, storage=None):
+        self.name = name
+        self.node_id = node_id
+        self.successor = successor
+        self.successors = [successor]
+        self.predecessor = predecessor
+        self.storage = storage if storage is not None else {}
+
+
+class _FakeRing:
+    def __init__(self, nodes, m_bits=16, replicas=1):
+        self.nodes = {node.name: node for node in nodes}
+        self._m = m_bits
+        self._replicas = replicas
+
+
+def _healthy_ring(replicas=1):
+    # ids 10 < 20 < 30, successors clockwise, key 15 owned by b (id 20)
+    a = _FakeNode("a", 10, "b", "c")
+    b = _FakeNode("b", 20, "c", "a", storage={15: ["v"]})
+    c = _FakeNode("c", 30, "a", "b")
+    return _FakeRing([a, b, c], replicas=replicas)
+
+
+# ---------------------------------------------------------------------- #
+# satellite: histogram merge algebra
+
+
+class TestHistogramMerge:
+    def _sample(self, values):
+        hist = StreamingHistogram()
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_merge_preserves_algebra_exactly(self):
+        left = self._sample([0.001, 0.5, 2.0, 2.0])
+        right = self._sample([0.01, 7.5])
+        expected = self._sample([0.001, 0.5, 2.0, 2.0, 0.01, 7.5])
+        left.merge(right)
+        assert left.count == expected.count
+        assert left.sum == expected.sum
+        assert left.min == expected.min
+        assert left.max == expected.max
+        assert left.bucket_counts() == expected.bucket_counts()
+
+    def test_merge_into_empty_and_with_empty(self):
+        empty = StreamingHistogram()
+        filled = self._sample([1.0, 2.0])
+        empty.merge(filled)
+        assert empty.count == 2
+        assert empty.min == 1.0
+        before = filled.bucket_counts()
+        filled.merge(StreamingHistogram())
+        assert filled.count == 2
+        assert filled.bucket_counts() == before
+        assert filled.min == 1.0  # empty's +inf min must not leak in
+
+    def test_merge_serialized_round_trip(self):
+        source = self._sample([0.25, 4.0, 4.0, 100.0])
+        target = self._sample([0.125])
+        expected = self._sample([0.25, 4.0, 4.0, 100.0, 0.125])
+        target.merge_serialized(source.summary(), source.bucket_counts())
+        assert target.count == expected.count
+        assert target.sum == expected.sum
+        assert target.min == expected.min
+        assert target.max == expected.max
+        assert target.bucket_counts() == expected.bucket_counts()
+
+    def test_merge_serialized_ignores_empty_summary(self):
+        hist = self._sample([1.0])
+        hist.merge_serialized({"count": 0}, {})
+        assert hist.count == 1
+        assert hist.min == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# cross-node aggregation
+
+
+class TestAggregation:
+    def _per_node(self):
+        registry = MetricsRegistry()
+        registry.set("queue.depth", 7.0)  # unscoped gauge stays out
+        for node, hops in (("a", (1.0, 2.0)), ("b", (3.0,))):
+            with scope.node_scope(node):
+                registry.inc("p2p.network.messages", 10)
+                registry.set("p2p.gossip.peers", 4.0)
+                for value in hops:
+                    registry.observe("p2p.chord.lookup_hops", value)
+        per_node, _ = obs.split_snapshot(registry.snapshot())
+        return per_node
+
+    def test_counters_sum(self):
+        aggregate = obs.aggregate_snapshots(self._per_node())
+        assert aggregate["p2p.network.messages"][0]["value"] == 20
+
+    def test_histograms_merge_exactly(self):
+        aggregate = obs.aggregate_snapshots(self._per_node())
+        summary = aggregate["p2p.chord.lookup_hops"][0]["summary"]
+        assert summary["count"] == 3
+        assert summary["sum"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_gauges_keep_node_label(self):
+        aggregate = obs.aggregate_snapshots(self._per_node())
+        gauge_nodes = {
+            entry["labels"]["node"] for entry in aggregate["p2p.gossip.peers"]
+        }
+        assert gauge_nodes == {"a", "b"}
+
+    def test_gauge_table(self):
+        table = obs.gauge_table(self._per_node())
+        assert table["p2p.gossip.peers"] == {"a": 4.0, "b": 4.0}
+
+
+# ---------------------------------------------------------------------- #
+# ring consistency
+
+
+class TestCheckRing:
+    def test_healthy_ring_ok(self):
+        report = obs.check_ring(_healthy_ring())
+        assert report["ok"] is True
+        assert report["n_nodes"] == 3
+        assert report["n_keys"] == 1
+        assert report["successor_errors"] == []
+        assert report["orphaned_keys"] == []
+
+    def test_broken_successor_detected(self):
+        ring = _healthy_ring()
+        ring.nodes["a"].successor = "c"  # should be b
+        report = obs.check_ring(ring)
+        assert report["ok"] is False
+        assert report["successor_errors"] == [
+            {"node": "a", "expected": "b", "actual": "c"}
+        ]
+
+    def test_broken_predecessor_detected(self):
+        ring = _healthy_ring()
+        ring.nodes["b"].predecessor = None
+        report = obs.check_ring(ring)
+        assert report["ok"] is False
+        assert report["predecessor_errors"][0]["node"] == "b"
+
+    def test_orphaned_key_detected(self):
+        ring = _healthy_ring()
+        # key 15 belongs at b (id 20); strand it at c only
+        ring.nodes["b"].storage = {}
+        ring.nodes["c"].storage = {15: ["v"]}
+        report = obs.check_ring(ring)
+        assert report["ok"] is False
+        assert report["orphaned_keys"] == [
+            {"key": 15, "owner": "b", "holders": ["c"]}
+        ]
+
+    def test_under_replication_detected(self):
+        ring = _healthy_ring(replicas=3)
+        report = obs.check_ring(ring)
+        assert report["ok"] is False
+        assert report["under_replicated"] == [
+            {"key": 15, "copies": 1, "expected": 3}
+        ]
+
+    def test_single_node_ring_tolerates_none_predecessor(self):
+        lone = _FakeNode("a", 10, "a", None)
+        report = obs.check_ring(_FakeRing([lone]))
+        assert report["ok"] is True
+
+    def test_topology_snapshot_sorted_by_id(self):
+        topology = obs.topology_snapshot(_healthy_ring())
+        assert [entry["name"] for entry in topology["nodes"]] == ["a", "b", "c"]
+        assert topology["n_nodes"] == 3
+        assert topology["nodes"][1]["n_keys"] == 1
+
+
+# ---------------------------------------------------------------------- #
+# payload assembly, validation, render, CLI
+
+
+def _payload(consistent=True):
+    registry = MetricsRegistry()
+    for node in ("a", "b", "c"):
+        with scope.node_scope(node):
+            registry.inc("p2p.network.messages", 5)
+            registry.observe("p2p.chord.lookup_hops", 2.0)
+    per_node, _ = obs.split_snapshot(registry.snapshot())
+    ring = _healthy_ring()
+    if not consistent:
+        ring.nodes["a"].successor = "c"
+    aggregate = obs.aggregate_snapshots(per_node)
+    return obs.fleet_payload(
+        topology=obs.topology_snapshot(ring),
+        per_node=per_node,
+        consistency=obs.check_ring(ring),
+        aggregate=aggregate,
+        slo=obs.evaluation_rows(obs.evaluate_fleet_slos(aggregate)),
+        meta={"experiment": "test"},
+    )
+
+
+class TestFleetPayload:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "FLEET_test.json"
+        obs.write_fleet_json(path, _payload())
+        loaded = obs.read_fleet_json(path)
+        assert loaded["consistency"]["ok"] is True
+        assert set(loaded["nodes"]) == {"a", "b", "c"}
+
+    def test_validation_rejects_drift(self):
+        payload = _payload()
+        payload["consistency"] = {"broken": True}
+        with pytest.raises(ValueError, match="consistency"):
+            obs.validate_fleet_payload(payload)
+
+    def test_bench_rows_validate(self):
+        rows = obs.fleet_to_bench_rows(_payload())
+        bench = obs.bench_payload("fleet", rows, meta={})
+        obs.validate_fleet_bench_payload(bench)
+        names = {row["name"] for row in rows}
+        assert "fleet.consistency" in names
+        assert any(name.startswith("fleet.node") for name in names)
+
+    def test_render_mentions_nodes_and_consistency(self):
+        text = obs.render_fleet(_payload())
+        assert "ring consistency: OK" in text
+        for node in ("a", "b", "c"):
+            assert node in text
+        broken = obs.render_fleet(_payload(consistent=False))
+        assert "ring consistency:" in broken
+        assert "OK" not in broken.split("ring consistency:")[1].split("\n")[0]
+
+
+class TestFleetCli:
+    def test_renders_file_and_writes_bench(self, tmp_path, capsys):
+        path = tmp_path / "FLEET_test.json"
+        obs.write_fleet_json(path, _payload())
+        out = tmp_path / "BENCH_fleet.json"
+        assert main(["obs", "fleet", str(path), "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "ring consistency: OK" in captured
+        bench = json.loads(out.read_text())
+        obs.validate_fleet_bench_payload(bench)
+
+    def test_directory_source(self, tmp_path, capsys):
+        obs.write_fleet_json(tmp_path / "FLEET_p2p.json", _payload())
+        assert main(["obs", "fleet", str(tmp_path)]) == 0
+        assert "per-node metrics" in capsys.readouterr().out
+
+    def test_inconsistent_ring_exits_2(self, tmp_path):
+        path = tmp_path / "FLEET_bad.json"
+        obs.write_fleet_json(path, _payload(consistent=False))
+        assert main(["obs", "fleet", str(path)]) == 2
+
+    def test_missing_artifact_exits_1(self, tmp_path, capsys):
+        assert main(["obs", "fleet", str(tmp_path)]) == 1
+        assert main(["obs", "fleet", str(tmp_path / "nope.json")]) == 1
+
+    def test_validate_subcommand_recognizes_fleet(self, tmp_path, capsys):
+        path = tmp_path / "FLEET_test.json"
+        obs.write_fleet_json(path, _payload())
+        assert main(["obs", "validate", str(path)]) == 0
+        assert "valid fleet artifact" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Acceptance e2e: one trace_id links a lookup's overlay telemetry.
+
+The ISSUE's acceptance criterion: a single Chord lookup, run under a
+node scope with a live trace context, must leave ONE trace_id visible
+across (a) the per-link network metrics it drove, (b) the lookup
+hop-count histogram, and (c) a node-scoped flight-recorder bundle whose
+events carry that trace_id.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import context as ctx_mod
+from repro.obs import scope
+from repro.p2p.chord import ChordRing
+from repro.p2p.network import SimulatedNetwork
+
+
+@pytest.fixture(autouse=True)
+def _clean_scope():
+    scope.reset()
+    yield
+    scope.reset()
+
+
+class TestFleetTraceE2E:
+    def test_one_trace_id_spans_links_hops_and_bundle(self, tmp_path):
+        network = SimulatedNetwork(seed=3, link_metrics=True)
+        ring = ChordRing(network=network, seed=3)
+        for i in range(8):
+            ring.add_node(f"node-{i}")
+
+        root = ctx_mod.new_root()
+        with obs.activate() as session, obs.flight_recording(
+            tmp_path
+        ) as recorder:
+            registry = session.registry
+            before = registry.snapshot()
+            with ctx_mod.use(root):
+                result = ring.lookup("server-42")
+            after = registry.snapshot()
+
+            origin = result.node  # owner answered; scope covered the walk
+            topology = obs.topology_snapshot(ring)
+            per_node, _ = obs.split_snapshot(after)
+
+            # (a) per-link network metrics grew under node attribution
+            link_entries = [
+                entry
+                for view in per_node.values()
+                for entry in view.get("p2p.network.link.messages", [])
+            ]
+            assert link_entries, "lookup produced no per-link metrics"
+            for entry in link_entries:
+                assert set(entry["labels"]) == {"src", "dst"}
+
+            # (b) the hop histogram recorded this lookup, on the node
+            # that initiated the traced walk
+            def _hops_count(snapshot):
+                return sum(
+                    entry["summary"]["count"]
+                    for view in obs.split_snapshot(snapshot)[0].values()
+                    for entry in view.get("p2p.chord.lookup_hops", [])
+                )
+
+            assert _hops_count(after) > _hops_count(before)
+
+            # (c) the chord_lookup event carries the root's trace_id and
+            # survives into the node-scoped bundle
+            lookup_events = [
+                event
+                for event in recorder.bundle(reason="probe")["events"]
+                if event["event"] == "chord_lookup"
+                and event.get("trace_id") == root.trace_id
+            ]
+            assert len(lookup_events) == 1
+            origin_node = lookup_events[0]["node"]
+
+            bundle = obs.node_bundle(
+                recorder, origin_node, topology=topology, reason="e2e"
+            )
+            obs.validate_postmortem_bundle(bundle)
+            bundled = [
+                event
+                for event in bundle["events"]
+                if event["event"] == "chord_lookup"
+            ]
+            assert len(bundled) == 1
+            assert bundled[0]["trace_id"] == root.trace_id
+            assert bundled[0]["node"] == origin_node
+            assert bundled[0]["owner"] == origin
+
+            # the bundle is node-scoped: every event it kept belongs to
+            # the origin node, and the topology snapshot rides along
+            assert all(
+                event.get("node") == origin_node for event in bundle["events"]
+            )
+            assert bundle["info"]["topology"]["n_nodes"] == 8
+            assert bundle["info"]["node"] == origin_node
+
+    def test_bundle_excludes_other_nodes_events(self, tmp_path):
+        network = SimulatedNetwork(seed=7, link_metrics=True)
+        ring = ChordRing(network=network, seed=7)
+        for i in range(6):
+            ring.add_node(f"node-{i}")
+        with obs.activate(), obs.flight_recording(tmp_path) as recorder:
+            for i in range(10):
+                ring.lookup(f"server-{i}")
+            events = recorder.bundle(reason="probe")["events"]
+            nodes = {event.get("node") for event in events}
+            assert len(nodes) > 1, "expected lookups from several nodes"
+            one = sorted(str(n) for n in nodes)[0]
+            bundle = obs.node_bundle(recorder, one)
+            assert bundle["events"], "node bundle lost its own events"
+            assert {event.get("node") for event in bundle["events"]} == {one}

@@ -109,6 +109,7 @@ class TestTimingHygiene:
         "obs/events.py": 2,  # run_metadata + event record timestamps
         "obs/monitor.py": 1,  # dashboard staleness vs. "now"
         "resilience/runtime.py": 1,  # flight-recorder record timestamp
+        "experiments/p2p_scale.py": 3,  # fleet TSDB snapshot timestamps
     }
 
     def test_wall_clock_reads_confined_to_timestamp_allowlist(self):
