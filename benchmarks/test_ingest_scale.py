@@ -1,0 +1,59 @@
+"""Feedback-plane acceptance: columnar ingest and vectorized cold starts.
+
+The feedback-plane contract (docs/LEDGER.md): batched columnar ingest
+must beat the per-object fold comfortably, and a cold service start from
+a persisted binary ledger must be multiples faster through the mmap +
+vectorized-kernel path than through object materialization — while both
+paths return identical assessments (asserted inside the experiment).
+
+Timing assertions live here rather than in ``tests/`` (tier-1) because
+they are load-sensitive; the floors below are far under the measured
+headroom (14x cold speedup, 3-6x ingest at the full sweep point) so
+noisy CI runners do not flake.  Set ``BENCH_DIR`` to also emit the
+machine-readable ``BENCH_ingest.json`` artifact from a quick run.
+"""
+
+import os
+
+from repro import obs
+from repro.experiments.ingest_scale import QUICK_POINTS, run_ingest_scale
+
+SEED = 2008
+
+#: conservative quick-size floors (measured: ~2.9x cold, ~5x ingest)
+MIN_COLD_SPEEDUP = 1.5
+MIN_INGEST_RATIO = 2.0
+
+
+def test_ingest_bench_artifact_and_floors(tmp_path):
+    """A quick ingest run leaves a schema-valid BENCH_ingest.json behind
+    and clears the (deliberately loose) quick-size performance floors."""
+    bench_dir = os.environ.get("BENCH_DIR") or str(tmp_path)
+    bench_path = os.path.join(bench_dir, "BENCH_ingest.json")
+    result = run_ingest_scale(quick=True, base_seed=SEED, bench_path=bench_path)
+
+    payload = obs.read_bench_json(bench_path)  # raises if schema-invalid
+    assert payload["bench"] == "ingest"
+    names = {row["name"] for row in payload["results"]}
+    assert names == {
+        "ingest_object",
+        "ingest_columnar",
+        "ingest_mmap",
+        "assess_cold_vector",
+        "assess_cold_object",
+    }
+    for row in payload["results"]:
+        assert row["stats"]["min_s"] > 0
+
+    assert [row["n_servers"] for row in result.rows] == [n for n, _ in QUICK_POINTS]
+    for row in result.rows:
+        assert row["cold_speedup"] >= MIN_COLD_SPEEDUP, (
+            f"cold vectorized start only {row['cold_speedup']}x faster at "
+            f"{row['n_servers']} servers (floor {MIN_COLD_SPEEDUP}x)"
+        )
+        for backend in ("columnar", "mmap"):
+            ratio = row[f"{backend}_evps"] / row["object_evps"]
+            assert ratio >= MIN_INGEST_RATIO, (
+                f"{backend} ingest only {ratio:.1f}x the per-object fold at "
+                f"{row['n_events']} events (floor {MIN_INGEST_RATIO}x)"
+            )

@@ -27,7 +27,7 @@ from .core.registry import make_behavior_test
 from .core.two_phase import TwoPhaseAssessor
 from .core.verdict import AssessmentStatus, BehaviorVerdict, MultiTestReport
 from .feedback.history import TransactionHistory
-from .feedback.io import read_feedback_csv, read_feedback_jsonl
+from .feedback.io import read
 from .feedback.records import Feedback
 from .trust.registry import available_trust_functions, make_trust_function
 
@@ -101,9 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load(path: Path) -> List[Feedback]:
-    if path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
-        return read_feedback_jsonl(path)
-    return read_feedback_csv(path)
+    return read(path)  # format resolved by extension, then content
 
 
 def _make_test(name: str, config: BehaviorTestConfig):

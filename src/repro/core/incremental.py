@@ -124,6 +124,51 @@ class IncrementalBehaviorState:
         self._dirty = True
 
     # ------------------------------------------------------------------ #
+    # external seeding (the vectorized cold-path kernel)
+
+    def needs_phase1(self) -> bool:
+        """True when the next :meth:`verdict` would recompute phase 1.
+
+        The batched cold-path kernel
+        (:func:`~repro.core.vectorized.fold_cold_batch`) uses this to
+        collect the states worth folding in one vectorized pass.  Only
+        fast-path testers qualify — fallback testers cannot consume a
+        kernel seed.
+        """
+        if not self._fast_multi:
+            return False
+        if self._dirty:
+            return True
+        n = len(self._history)
+        return self._cached is None or self._cached[0] != n
+
+    def seed_phase1(
+        self,
+        verdict: BehaviorVerdict,
+        counts: Optional[np.ndarray] = None,
+    ) -> None:
+        """Install an externally computed phase-1 verdict for the
+        *current* history length.
+
+        ``verdict`` must equal what :meth:`verdict` would have computed
+        (the vectorized kernel guarantees bit-parity); ``counts``, when
+        given, seeds the recent-aligned window-count cache so later
+        incremental folds extend instead of recomputing.
+        """
+        if self._dirty:
+            self._counts = None
+            self._counts_n = 0
+            self._cached = None
+            self._dirty = False
+        n = len(self._history)
+        if counts is not None:
+            self._counts = counts
+            self._counts_n = n
+        self._cached = (n, verdict)
+        if _obs.enabled:
+            _obs.registry.inc("core.incremental.seeded_verdicts")
+
+    # ------------------------------------------------------------------ #
     # verdicts
 
     def verdict(self) -> BehaviorVerdict:

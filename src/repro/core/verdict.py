@@ -197,6 +197,11 @@ class MultiTestReport(BehaviorVerdict):
     """
 
     def __post_init__(self) -> None:
+        if self.n_windows or self.distance or self.threshold or self.p_hat:
+            # The constructor supplied the decisive round's aggregates
+            # directly (the vectorized cold-path kernel does, to avoid
+            # re-deriving them per report); nothing to fill.
+            return
         self._fill_aggregates_from_rounds()
 
 

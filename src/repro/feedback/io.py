@@ -1,4 +1,4 @@
-"""Feedback serialization: CSV and JSON-lines.
+"""Feedback serialization: CSV, JSON-lines, and the binary ledger.
 
 Real deployments have feedback in flat files long before they have a
 reputation service; these readers/writers make the library usable on
@@ -8,14 +8,32 @@ such data (and feed the ``repro-assess`` CLI).  Formats:
   ``rating`` accepts ``1/0``, ``positive/negative``, ``pos/neg``,
   ``good/bad``, ``+/-`` (case-insensitive).
 * **JSONL**: one object per line with the same fields.
+* **binary**: the append-only ledger file of
+  :mod:`repro.feedback.binlog` (fixed-width records + id sidecars).
 
-Both readers validate eagerly and report the offending line number —
+The single entry point is :func:`read`, which dispatches through a
+format *registry* — by explicit name, by file extension, or by content
+sniffing (``format="auto"``, the default)::
+
+    result = read("events.csv")                      # extension
+    result = read("dump.bin", format="binary")       # explicit
+    result = read(path, errors="collect")            # lenient rows
+
+The legacy per-format functions (``read_feedback_csv``,
+``read_feedback_jsonl``) still work but are deprecated: each call
+delegates to :func:`read` after emitting exactly one
+:class:`DeprecationWarning`.
+
+All readers validate eagerly and report the offending line number —
 silent row-skipping turns data bugs into wrong trust decisions.  That
 strictness is the default; production streams that must survive one bad
 row opt into ``errors="collect"`` (bad rows returned as structured
 :class:`RowError` objects on the result) or ``errors="skip"`` (bad rows
 dropped with a summary warning).  In both lenient modes the good rows
-still load, so a single malformed line no longer aborts the file.
+still load, so a single malformed line no longer aborts the file.  For
+the binary format a "bad row" is a damaged crash tail: strict raises,
+the lenient modes trim it (``collect`` reports the trim as a
+:class:`RowError`).
 """
 
 from __future__ import annotations
@@ -23,11 +41,13 @@ from __future__ import annotations
 import csv
 import json
 import logging
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..resilience import runtime as _res
+from . import binlog
 from .records import Feedback, Rating
 
 # Module-level logger per library etiquette: never the root logger; the
@@ -37,10 +57,15 @@ _log = logging.getLogger(__name__)
 __all__ = [
     "RowError",
     "ReadResult",
+    "read",
+    "register_reader",
+    "available_formats",
+    "detect_format",
     "read_feedback_csv",
     "write_feedback_csv",
     "read_feedback_jsonl",
     "write_feedback_jsonl",
+    "write_feedback_binary",
     "parse_rating",
 ]
 
@@ -72,6 +97,8 @@ class ReadResult(List[Feedback]):
     def __init__(self, feedbacks: Iterable[Feedback] = (), errors: Optional[List[RowError]] = None):
         super().__init__(feedbacks)
         self.errors: List[RowError] = list(errors or ())
+        #: the format the file was parsed as (set by :func:`read`)
+        self.format: Optional[str] = None
 
 
 class _RowSink:
@@ -152,16 +179,7 @@ def _row_to_feedback(row: dict, line: int) -> Feedback:
     )
 
 
-def read_feedback_csv(path: PathLike, *, errors: str = "strict") -> ReadResult:
-    """Load feedback records from a CSV file (see module docs for schema).
-
-    ``errors`` selects what a malformed *row* does: ``"strict"``
-    (default) raises with the offending line number, ``"collect"``
-    loads every good row and returns the bad ones on the result's
-    ``.errors``, ``"skip"`` drops bad rows with one summary warning.
-    Header problems always raise — a wrong header means a wrong file,
-    not a bad row.
-    """
+def _read_csv(path: PathLike, *, errors: str = "strict") -> ReadResult:
     sink = _RowSink(errors, path)
     feedbacks: List[Feedback] = []
     with open(path, newline="", encoding="utf-8") as handle:
@@ -204,12 +222,7 @@ def write_feedback_csv(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
     return count
 
 
-def read_feedback_jsonl(path: PathLike, *, errors: str = "strict") -> ReadResult:
-    """Load feedback records from a JSON-lines file.
-
-    ``errors`` behaves as in :func:`read_feedback_csv`; in the lenient
-    modes an unparseable JSON line counts as a bad row too.
-    """
+def _read_jsonl(path: PathLike, *, errors: str = "strict") -> ReadResult:
     sink = _RowSink(errors, path)
     feedbacks: List[Feedback] = []
     with open(path, encoding="utf-8") as handle:
@@ -233,6 +246,147 @@ def read_feedback_jsonl(path: PathLike, *, errors: str = "strict") -> ReadResult
                 sink.bad_row(line_number, str(exc), line)
     _log.debug("read %d feedback records from %s (jsonl)", len(feedbacks), path)
     return sink.finish(feedbacks)
+
+
+def _read_binary(path: PathLike, *, errors: str = "strict") -> ReadResult:
+    sink = _RowSink(errors, path)  # validates the errors mode
+    data = binlog.load_binary_ledger(path, recover=(errors != "strict"))
+    if data.damaged:
+        sink.bad_row(
+            int(data.records.size) + 1,
+            f"damaged crash tail trimmed: {data.dropped_records} record(s), "
+            f"{data.dropped_bytes} byte(s)",
+            None,
+        )
+    records = data.records
+    feedbacks = [
+        Feedback(
+            time=float(records["time"][i]),
+            server=data.servers[int(records["server"][i])],
+            client=data.clients[int(records["client"][i])],
+            rating=Rating.POSITIVE if records["rating"][i] else Rating.NEGATIVE,
+            category=(
+                None
+                if records["category"][i] == binlog.CATEGORY_NONE
+                else data.categories[int(records["category"][i])]
+            ),
+            authentic=bool(records["authentic"][i]),
+        )
+        for i in range(records.size)
+    ]
+    _log.debug("read %d feedback records from %s (binary)", len(feedbacks), path)
+    return sink.finish(feedbacks)
+
+
+# --------------------------------------------------------------------- #
+# the unified reader: format registry + dispatch
+
+#: format name -> reader(path, *, errors) -> ReadResult
+_READERS: Dict[str, Callable[..., ReadResult]] = {}
+
+#: lowercased file extension -> format name
+_EXTENSIONS: Dict[str, str] = {}
+
+
+def register_reader(
+    name: str,
+    reader: Callable[..., ReadResult],
+    *,
+    extensions: Iterable[str] = (),
+) -> None:
+    """Register a feedback file format with :func:`read`.
+
+    ``reader(path, *, errors)`` must return a :class:`ReadResult`;
+    ``extensions`` (e.g. ``(".csv",)``) map file suffixes to the format
+    during ``format="auto"`` detection.  Re-registering a name replaces
+    the old reader.
+    """
+    _READERS[name] = reader
+    for ext in extensions:
+        _EXTENSIONS[ext.lower()] = name
+
+
+register_reader("csv", _read_csv, extensions=(".csv",))
+register_reader("jsonl", _read_jsonl, extensions=(".jsonl", ".ndjson", ".json"))
+register_reader("binary", _read_binary, extensions=(".ledger", ".bin"))
+
+
+def available_formats() -> List[str]:
+    """Names of every registered feedback file format, sorted."""
+    return sorted(_READERS)
+
+
+def detect_format(path: PathLike) -> str:
+    """Resolve the format of ``path``: by extension, then by content.
+
+    A registered extension wins; otherwise the first bytes decide —
+    the binary ledger magic, a ``{`` (JSONL), anything else is CSV.
+    """
+    by_ext = _EXTENSIONS.get(Path(path).suffix.lower())
+    if by_ext is not None:
+        return by_ext
+    with open(path, "rb") as handle:
+        head = handle.read(len(binlog.MAGIC))
+    if head == binlog.MAGIC:
+        return "binary"
+    if head.lstrip()[:1] == b"{":
+        return "jsonl"
+    return "csv"
+
+
+def read(
+    path: PathLike, *, format: str = "auto", errors: str = "strict"
+) -> ReadResult:
+    """Load feedback records from ``path`` — the one reader entry point.
+
+    ``format`` names a registered format (:func:`available_formats`) or
+    ``"auto"`` (default) to resolve via :func:`detect_format`.
+    ``errors`` selects what a malformed *row* does: ``"strict"``
+    (default) raises with the offending line number, ``"collect"``
+    loads every good row and returns the bad ones on the result's
+    ``.errors``, ``"skip"`` drops bad rows with one summary warning.
+    File-level problems (wrong header, bad magic) always raise — a
+    wrong header means a wrong file, not a bad row.  The result's
+    ``.format`` records which reader actually parsed the file.
+    """
+    resolved = detect_format(path) if format == "auto" else format
+    reader = _READERS.get(resolved)
+    if reader is None:
+        known = ", ".join(available_formats())
+        raise ValueError(f"unknown feedback format {resolved!r}; registered: {known}")
+    result = reader(path, errors=errors)
+    result.format = resolved
+    return result
+
+
+# --------------------------------------------------------------------- #
+# deprecated per-format entry points (delegate to read())
+
+def read_feedback_csv(path: PathLike, *, errors: str = "strict") -> ReadResult:
+    """Deprecated: use ``read(path, format="csv", errors=...)``."""
+    warnings.warn(
+        'read_feedback_csv() is deprecated; use read(path, format="csv")',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return read(path, format="csv", errors=errors)
+
+
+def read_feedback_jsonl(path: PathLike, *, errors: str = "strict") -> ReadResult:
+    """Deprecated: use ``read(path, format="jsonl", errors=...)``."""
+    warnings.warn(
+        'read_feedback_jsonl() is deprecated; use read(path, format="jsonl")',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return read(path, format="jsonl", errors=errors)
+
+
+def write_feedback_binary(path: PathLike, feedbacks: Iterable[Feedback]) -> int:
+    """Write feedback records as a fresh binary ledger; returns the count."""
+    count = binlog.write_binary_ledger(path, feedbacks)
+    _log.debug("wrote %d feedback records to %s (binary)", count, path)
+    return count
 
 
 def write_feedback_jsonl(path: PathLike, feedbacks: Iterable[Feedback]) -> int:

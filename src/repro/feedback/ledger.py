@@ -3,42 +3,105 @@
 The paper assumes "all the transaction feedbacks are available for trust
 assessment (e.g., through a central server as in online auction
 communities, or through special data organization schemes in P2P
-systems)".  :class:`FeedbackLedger` plays that role for the simulation:
-a logically centralized, append-only store indexed by server and by
-client, from which per-server :class:`TransactionHistory` objects and the
-feedback graph (used by the EigenTrust baseline) are derived.
+systems)".  :class:`FeedbackLedger` plays that role: a logically
+centralized, append-only store indexed by server and by client, from
+which per-server :class:`TransactionHistory` objects and the feedback
+graph (used by the EigenTrust baseline) are derived.
+
+The ledger is now a *facade* over pluggable storage backends, selected
+by name through a registry:
+
+* ``"memory"`` (default) — the original per-object store, one Python
+  ``Feedback`` at a time;
+* ``"columnar"`` — structure-of-arrays numpy columns
+  (:mod:`repro.feedback.store`), with a vectorized bulk-ingest path;
+* ``"mmap"`` — columnar plus the append-only binary ledger file
+  (:mod:`repro.feedback.binlog`), recovered on open.
+
+All backends keep identical query semantics — ``history()`` returns the
+same live object, ``feedback_graph()`` the same dict byte-for-byte,
+``subscribe()`` fires per folded record — enforced by the shared
+conformance suite in ``tests/feedback/test_ledger_backends.py``.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..resilience import runtime as _res
 from ..resilience.quarantine import Quarantine
 from .history import TransactionHistory
 from .records import EntityId, Feedback, Rating
 
-__all__ = ["FeedbackLedger"]
+__all__ = [
+    "FeedbackLedger",
+    "MemoryLedgerBackend",
+    "register_ledger_backend",
+    "make_ledger_backend",
+    "available_ledger_backends",
+]
+
+_FOLD_SITE = "feedback.ledger.fold"
+
+#: backend name -> factory(**options) -> backend instance
+_LEDGER_BACKENDS: Dict[str, Callable[..., object]] = {}
 
 
-class FeedbackLedger:
-    """Append-only store of every feedback issued in the system.
+def register_ledger_backend(name: str, factory: Callable[..., object]) -> None:
+    """Register a ledger storage backend under ``name``.
 
-    ``quarantine`` (optional) changes what an un-foldable event does:
-    without one, :meth:`record` raises on the first bad feedback (a
-    time-ordering violation, an injected fold fault) and the stream
-    aborts; with one, the offending record is quarantined with a
-    structured event and the stream keeps flowing — the behavior a
-    production ingest path needs.
+    ``factory(**options)`` must return an object implementing the
+    backend surface (``record``, ``history``, ``feedback_graph``, the
+    query methods — see :class:`MemoryLedgerBackend` for the reference
+    implementation).  Re-registering a name replaces the old factory.
+    """
+    _LEDGER_BACKENDS[name] = factory
+
+
+def make_ledger_backend(name: str, **options) -> object:
+    """Instantiate the backend registered under ``name``.
+
+    The columnar backends live in :mod:`repro.feedback.store`, imported
+    lazily on the first miss so the registry never forces numpy-heavy
+    modules on users of the plain object path.
+    """
+    factory = _LEDGER_BACKENDS.get(name)
+    if factory is None and name not in _LEDGER_BACKENDS:
+        from . import store as _store  # noqa: F401  (registers its backends)
+
+        factory = _LEDGER_BACKENDS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(_LEDGER_BACKENDS))
+        raise ValueError(f"unknown ledger backend {name!r}; registered: {known}")
+    return factory(**options)
+
+
+def available_ledger_backends() -> List[str]:
+    """Names of every registered ledger backend, sorted."""
+    from . import store as _store  # noqa: F401  (ensure built-ins registered)
+
+    return sorted(_LEDGER_BACKENDS)
+
+
+class MemoryLedgerBackend:
+    """The original per-object ledger storage (``backend="memory"``).
+
+    Folds one Python :class:`Feedback` at a time into per-server
+    :class:`TransactionHistory` objects plus by-server/by-client lists,
+    and maintains a ``(server, client) -> last feedback`` index so
+    :meth:`last_interaction` is O(1) instead of a reverse scan.
     """
 
-    def __init__(self, quarantine: Optional[Quarantine] = None) -> None:
+    name = "memory"
+
+    def __init__(self, quarantine: Optional[Quarantine] = None):
         self._all: List[Feedback] = []
         self._by_server: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._by_client: Dict[EntityId, List[Feedback]] = defaultdict(list)
         self._histories: Dict[EntityId, TransactionHistory] = {}
-        self._subscribers: List = []
+        self._pair_last: Dict[Tuple[EntityId, EntityId], Feedback] = {}
         self._quarantine = quarantine
 
     @property
@@ -48,6 +111,153 @@ class FeedbackLedger:
 
     def __len__(self) -> int:
         return len(self._all)
+
+    def record(self, feedback: Feedback) -> bool:
+        """Fold one feedback; ``False`` means it was quarantined."""
+        history = self._histories.get(feedback.server)
+        fresh = history is None
+        if fresh:
+            history = TransactionHistory(feedback.server)
+        try:
+            if _res.armed:
+                _res.inject(_FOLD_SITE)
+            history.append_feedback(feedback)  # validates ordering & server id
+        except (ValueError, _res.InjectedFault) as exc:
+            if self._quarantine is None:
+                raise
+            self._quarantine.add(feedback, site=_FOLD_SITE, reason=str(exc))
+            return False
+        if fresh:
+            self._histories[feedback.server] = history
+        self._all.append(feedback)
+        self._by_server[feedback.server].append(feedback)
+        self._by_client[feedback.client].append(feedback)
+        # quarantined events never reach this line, so the index only
+        # ever sees folded records — matching the query's contract
+        self._pair_last[(feedback.server, feedback.client)] = feedback
+        return True
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    def servers(self) -> Set[EntityId]:
+        """All servers with at least one folded feedback."""
+        return set(self._by_server)
+
+    def clients(self) -> Set[EntityId]:
+        """All clients that issued at least one folded feedback."""
+        return set(self._by_client)
+
+    def feedbacks_for_server(self, server: EntityId) -> List[Feedback]:
+        """All feedbacks issued about ``server``, in time order."""
+        return list(self._by_server.get(server, ()))
+
+    def feedbacks_by_client(self, client: EntityId) -> List[Feedback]:
+        """All feedbacks issued *by* ``client``, in time order."""
+        return list(self._by_client.get(client, ()))
+
+    def history(self, server: EntityId) -> TransactionHistory:
+        """The live :class:`TransactionHistory` of ``server``."""
+        try:
+            return self._histories[server]
+        except KeyError:
+            raise KeyError(f"no feedback recorded for server {server!r}") from None
+
+    def last_interaction(
+        self, server: EntityId, client: EntityId
+    ) -> Optional[Feedback]:
+        """Most recent feedback from ``client`` about ``server``, if any."""
+        return self._pair_last.get((server, client))
+
+    def interaction_counts(self, server: EntityId) -> Dict[EntityId, int]:
+        """Number of feedbacks per issuing client for ``server``."""
+        counts: Dict[EntityId, int] = defaultdict(int)
+        for fb in self._by_server.get(server, ()):
+            counts[fb.client] += 1
+        return dict(counts)
+
+    def feedback_graph(self) -> Dict[Tuple[EntityId, EntityId], Tuple[int, int]]:
+        """Aggregate ``(client, server) -> (n_positive, n_negative)`` edges."""
+        edges: Dict[Tuple[EntityId, EntityId], List[int]] = defaultdict(lambda: [0, 0])
+        for fb in self._all:
+            cell = edges[(fb.client, fb.server)]
+            if fb.rating is Rating.POSITIVE:
+                cell[0] += 1
+            else:
+                cell[1] += 1
+        return {pair: (pos, neg) for pair, (pos, neg) in edges.items()}
+
+
+register_ledger_backend("memory", MemoryLedgerBackend)
+
+
+class FeedbackLedger:
+    """Append-only store of every feedback issued in the system.
+
+    A facade over a named storage backend::
+
+        FeedbackLedger()                      # in-memory object store
+        FeedbackLedger(backend="columnar")    # structure-of-arrays numpy
+        FeedbackLedger(backend="mmap", path="run.ledger")  # + binary file
+
+    ``quarantine`` (optional) changes what an un-foldable event does:
+    without one, :meth:`record` raises on the first bad feedback (a
+    time-ordering violation, an injected fold fault) and the stream
+    aborts; with one, the offending record is quarantined with a
+    structured event and the stream keeps flowing — the behavior a
+    production ingest path needs.  Extra keyword ``options`` are passed
+    to the backend factory.
+
+    Passing the quarantine *positionally* (the pre-registry signature)
+    is deprecated: it still works, but emits a :class:`DeprecationWarning`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        backend: str = "memory",
+        quarantine: Optional[Quarantine] = None,
+        **options,
+    ) -> None:
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"FeedbackLedger() takes at most 1 positional argument "
+                    f"({len(args)} given)"
+                )
+            warnings.warn(
+                "passing quarantine positionally to FeedbackLedger() is "
+                "deprecated; use FeedbackLedger(quarantine=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if quarantine is not None:
+                raise TypeError(
+                    "quarantine passed both positionally and as a keyword"
+                )
+            quarantine = args[0]
+        self._backend = make_ledger_backend(
+            backend, quarantine=quarantine, **options
+        )
+        self._subscribers: List[Callable[[Feedback], None]] = []
+
+    @property
+    def backend(self):
+        """The storage backend instance behind this ledger."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The registry name of the active backend."""
+        return self._backend.name
+
+    @property
+    def quarantine(self) -> Optional[Quarantine]:
+        """The attached quarantine for un-foldable events, if any."""
+        return self._backend.quarantine
+
+    def __len__(self) -> int:
+        return len(self._backend)
 
     def subscribe(self, callback) -> None:
         """Call ``callback(feedback)`` after every successful :meth:`record`.
@@ -69,29 +279,11 @@ class FeedbackLedger:
         Returns ``True`` when the feedback was folded, ``False`` when it
         was quarantined (only possible with a quarantine attached).
         """
-        history = self._histories.get(feedback.server)
-        fresh = history is None
-        if fresh:
-            history = TransactionHistory(feedback.server)
-        try:
-            if _res.armed:
-                _res.inject("feedback.ledger.fold")
-            history.append_feedback(feedback)  # validates ordering & server id
-        except (ValueError, _res.InjectedFault) as exc:
-            if self._quarantine is None:
-                raise
-            self._quarantine.add(
-                feedback, site="feedback.ledger.fold", reason=str(exc)
-            )
-            return False
-        if fresh:
-            self._histories[feedback.server] = history
-        self._all.append(feedback)
-        self._by_server[feedback.server].append(feedback)
-        self._by_client[feedback.client].append(feedback)
-        for callback in self._subscribers:
-            callback(feedback)
-        return True
+        folded = self._backend.record(feedback)
+        if folded:
+            for callback in self._subscribers:
+                callback(feedback)
+        return folded
 
     def record_many(self, feedbacks: Iterable[Feedback]) -> int:
         """Append a batch of feedback records in order.
@@ -104,24 +296,45 @@ class FeedbackLedger:
                 recorded += 1
         return recorded
 
+    def record_batch(self, batch) -> int:
+        """Bulk-ingest a :class:`~repro.feedback.store.FeedbackBatch`.
+
+        Columnar backends fold the whole batch in one vectorized pass
+        when nothing demands per-event sequencing (no subscribers, no
+        armed fault plan, clean ordering); otherwise — and always on the
+        object backend — this degrades to the per-event path with
+        identical semantics.  Returns how many events were folded.
+        """
+        if not self._subscribers:
+            bulk = getattr(self._backend, "record_batch", None)
+            if bulk is not None:
+                folded = bulk(batch)
+                if folded is not None:
+                    return folded
+        recorded = 0
+        for fb in batch.iter_feedbacks():
+            if self.record(fb):
+                recorded += 1
+        return recorded
+
     # ------------------------------------------------------------------ #
-    # queries
+    # queries (delegated to the backend)
 
     def servers(self) -> Set[EntityId]:
-        """All servers with at least one feedback."""
-        return set(self._by_server)
+        """All servers with at least one folded feedback."""
+        return self._backend.servers()
 
     def clients(self) -> Set[EntityId]:
-        """All clients that issued at least one feedback."""
-        return set(self._by_client)
+        """All clients that issued at least one folded feedback."""
+        return self._backend.clients()
 
     def feedbacks_for_server(self, server: EntityId) -> List[Feedback]:
         """All feedbacks issued about ``server``, in time order."""
-        return list(self._by_server.get(server, ()))
+        return self._backend.feedbacks_for_server(server)
 
     def feedbacks_by_client(self, client: EntityId) -> List[Feedback]:
         """All feedbacks issued *by* ``client``, in time order."""
-        return list(self._by_client.get(client, ()))
+        return self._backend.feedbacks_by_client(client)
 
     def history(self, server: EntityId) -> TransactionHistory:
         """The live :class:`TransactionHistory` of ``server``.
@@ -130,26 +343,17 @@ class FeedbackLedger:
         trust assessment reads it in place, which is how a central
         reputation server would serve queries.
         """
-        try:
-            return self._histories[server]
-        except KeyError:
-            raise KeyError(f"no feedback recorded for server {server!r}") from None
+        return self._backend.history(server)
 
     def last_interaction(
         self, server: EntityId, client: EntityId
     ) -> Optional[Feedback]:
         """Most recent feedback from ``client`` about ``server``, if any."""
-        for fb in reversed(self._by_server.get(server, ())):
-            if fb.client == client:
-                return fb
-        return None
+        return self._backend.last_interaction(server, client)
 
     def interaction_counts(self, server: EntityId) -> Dict[EntityId, int]:
         """Number of feedbacks per issuing client for ``server``."""
-        counts: Dict[EntityId, int] = defaultdict(int)
-        for fb in self._by_server.get(server, ()):
-            counts[fb.client] += 1
-        return dict(counts)
+        return self._backend.interaction_counts(server)
 
     def feedback_graph(self) -> Dict[Tuple[EntityId, EntityId], Tuple[int, int]]:
         """Aggregate ``(client, server) -> (n_positive, n_negative)`` edges.
@@ -157,11 +361,25 @@ class FeedbackLedger:
         This is the local-trust matrix input of graph-based reputation
         schemes such as EigenTrust.
         """
-        edges: Dict[Tuple[EntityId, EntityId], List[int]] = defaultdict(lambda: [0, 0])
-        for fb in self._all:
-            cell = edges[(fb.client, fb.server)]
-            if fb.rating is Rating.POSITIVE:
-                cell[0] += 1
-            else:
-                cell[1] += 1
-        return {pair: (pos, neg) for pair, (pos, neg) in edges.items()}
+        return self._backend.feedback_graph()
+
+    # ------------------------------------------------------------------ #
+    # persistence lifecycle (no-ops on non-persistent backends)
+
+    def flush(self) -> None:
+        """Force any buffered writes to durable storage (``"mmap"``)."""
+        flush = getattr(self._backend, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Flush and release backend resources (file handles, maps)."""
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "FeedbackLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.config import AssessorConfig
 from ..core.incremental import IncrementalBehaviorState
 from ..core.two_phase import Assessor, TwoPhaseAssessor
+from ..core.vectorized import fold_cold_batch, supports_vectorized
 from ..core.verdict import Assessment, AssessmentStatus
 from ..feedback.history import TransactionHistory
 from ..feedback.ledger import FeedbackLedger
@@ -175,6 +176,18 @@ class AssessmentService:
         the per-shard-sweep deadline passed to the pool) before the
         service degrades to the next step.  Default: 2 attempts, no
         sleeping, no deadline.
+    vectorized:
+        Use the batched cold-path kernel
+        (:func:`~repro.core.vectorized.fold_cold_batch`): when an
+        ``assess_many`` sweep finds at least ``vector_min_batch`` cold
+        states and the tester qualifies, their phase-1 verdicts are
+        folded in one vectorized pass and seeded into the incremental
+        states before the per-server walk (which then hits the verdict
+        cache).  Verdicts are bit-identical either way; PR 4's warm
+        incremental path is untouched.
+    vector_min_batch:
+        Minimum number of cold states before the vectorized pre-fold
+        pays for itself; smaller sweeps stay on the scalar path.
 
     **Degradation ladder.**  When a pool-backed ``assess_many`` sweep
     fails recoverably (``BrokenProcessPool``, a pool deadline, an
@@ -201,6 +214,8 @@ class AssessmentService:
         executor: str = "auto",
         max_workers: Optional[int] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        vectorized: bool = True,
+        vector_min_batch: int = 32,
     ):
         if (assessor is None) == (config is None):
             raise ValueError("pass exactly one of assessor= or config=")
@@ -239,6 +254,10 @@ class AssessmentService:
         )
         self.n_assessments = 0
         self.n_assessment_cache_hits = 0
+        self._vectorized = vectorized
+        self._vector_min_batch = vector_min_batch
+        self.n_vector_prefolds = 0
+        self.n_vector_seeded = 0
         self._ledger: Optional[FeedbackLedger] = None
         self._ledger_callback = None
         if ledger is not None:
@@ -485,6 +504,10 @@ class AssessmentService:
             if _obs.enabled:
                 _obs.registry.inc("serve.requests")
             with _span("serve.assess_many", mode=mode, batch=len(ids)):
+                if mode in ("serial", "thread"):
+                    # process workers rebuild their own states; seeds
+                    # would never reach them
+                    self._prefold_cold(ids)
                 result = self._assess_with_ladder(ids, mode)
             # drive the metrics scraper from the serving loop itself —
             # one wall-clock slot check per request, no background
@@ -493,6 +516,55 @@ class AssessmentService:
             if _obs.scraper is not None:
                 _obs.scraper.maybe_scrape()
         return result
+
+    def _prefold_cold(self, ids: Sequence[EntityId]) -> None:
+        """Batch-fold every cold state's phase 1 through the vectorized
+        kernel and seed the results, so the per-server walk below turns
+        into verdict-cache hits.
+
+        Skipped entirely when faults are armed: the kernel computes
+        thresholds for *all* suffix rounds up front, which would consume
+        injected calibration faults in a different order than the scalar
+        walk — chaos runs must replay bit-identically.  Likewise, seeds
+        are discarded when the kernel answered off a stale calibration
+        threshold, so the scalar path can re-derive and flag the
+        assessment as degraded.
+        """
+        if not self._vectorized or _res.armed:
+            return
+        tester = self._assessor.behavior_test
+        if tester is None or not supports_vectorized(tester):
+            return
+        cold: List[IncrementalBehaviorState] = []
+        seen = set()
+        for sid in ids:
+            state = self._states.get(sid)
+            if state is None or sid in seen:
+                continue  # unknown ids fail in assess(), with context
+            seen.add(sid)
+            if state.needs_phase1():
+                cold.append(state)
+        if len(cold) < self._vector_min_batch:
+            return
+        calibrator = getattr(tester, "calibrator", None)
+        stale_before = (
+            calibrator.degraded_calibrations if calibrator is not None else 0
+        )
+        folded = fold_cold_batch(
+            [state.history.outcomes() for state in cold], tester
+        )
+        if (
+            calibrator is not None
+            and calibrator.degraded_calibrations > stale_before
+        ):
+            return
+        for state, (report, counts) in zip(cold, folded):
+            state.seed_phase1(report, counts)
+        self.n_vector_prefolds += 1
+        self.n_vector_seeded += len(cold)
+        if _obs.enabled:
+            _obs.registry.inc("serve.service.vector_prefolds")
+            _obs.registry.inc("serve.service.vector_seeded", len(cold))
 
     def _run_step(self, step: str, ids: Sequence[EntityId]) -> Dict[EntityId, Assessment]:
         if step == "serial":

@@ -23,6 +23,7 @@ from .rng import SeedLike, make_rng
 __all__ = [
     "BinomialDistribution",
     "binomial_pmf",
+    "binomial_pmf_many",
     "binomial_cdf",
     "sample_window_counts",
     "estimate_p",
@@ -59,6 +60,41 @@ def binomial_pmf(m: int, p: float) -> np.ndarray:
     log_pmf = log_comb + support * np.log(p) + (m - support) * np.log1p(-p)
     pmf = np.exp(log_pmf)
     return pmf / pmf.sum()
+
+
+def binomial_pmf_many(m: int, ps: np.ndarray) -> np.ndarray:
+    """Pmf vectors of ``B(m, p)`` for many ``p`` at once; shape ``(len(ps), m+1)``.
+
+    Row ``i`` is bit-identical to ``binomial_pmf(m, ps[i])`` — the same
+    elementwise log-space expression evaluated in the same order, just
+    broadcast over a batch — so vectorized callers (the cold-path fold
+    kernel) agree with scalar callers to the last ulp.  For ``m`` beyond
+    the scipy threshold it defers to per-``p`` scalar calls.
+    """
+    _validate_m(m)
+    ps = np.asarray(ps, dtype=np.float64)
+    for p in ps:
+        _validate_p(float(p))
+    if m > _SCIPY_THRESHOLD:
+        return np.stack([binomial_pmf(m, float(p)) for p in ps])
+    out = np.empty((ps.size, m + 1), dtype=np.float64)
+    degenerate = (ps == 0.0) | (ps == 1.0)
+    for i in np.nonzero(degenerate)[0]:
+        out[i] = binomial_pmf(m, float(ps[i]))
+    interior = ~degenerate
+    if interior.any():
+        p_in = ps[interior][:, None]
+        support = np.arange(m + 1)
+        log_fact = np.concatenate(([0.0], np.cumsum(np.log(np.arange(1, m + 1)))))
+        log_comb = log_fact[m] - log_fact[support] - log_fact[m - support]
+        log_pmf = (
+            log_comb[None, :]
+            + support[None, :] * np.log(p_in)
+            + (m - support)[None, :] * np.log1p(-p_in)
+        )
+        pmf = np.exp(log_pmf)
+        out[interior] = pmf / pmf.sum(axis=1, keepdims=True)
+    return out
 
 
 def binomial_cdf(m: int, p: float) -> np.ndarray:

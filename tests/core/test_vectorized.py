@@ -1,0 +1,123 @@
+"""Bit-parity of the vectorized cold-path kernel with the scalar tester.
+
+:func:`repro.core.vectorized.fold_cold_batch` must reproduce
+``tester.test(history)`` *exactly* — same distances, same thresholds,
+same decisive rounds — including the calibration side effects: the
+calibrator draws Monte-Carlo sets from one shared rng stream, so the
+kernel must consult it in the scalar path's miss order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ThresholdCalibrator
+from repro.core.config import BehaviorTestConfig
+from repro.core.model import generate_honest_outcomes
+from repro.core.multi_testing import MultiBehaviorTest
+from repro.core.testing import SingleBehaviorTest
+from repro.core.vectorized import fold_cold_batch, supports_vectorized
+from repro.feedback.windows import window_counts
+
+CONFIG = BehaviorTestConfig(calibration_sets=50)
+
+
+def _histories(seed=0, n=40):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        kind = i % 4
+        if kind == 0:  # honest
+            length = int(rng.integers(40, 200))
+            out.append(generate_honest_outcomes(length, 0.9, seed=seed + i))
+        elif kind == 1:  # failing rate drift
+            length = int(rng.integers(40, 200))
+            out.append((rng.random(length) < 0.5).astype(np.int64))
+        elif kind == 2:  # short / insufficient
+            out.append(np.ones(int(rng.integers(0, CONFIG.min_transactions)), dtype=np.int64))
+        else:  # regime switch: honest then cheating
+            half = int(rng.integers(20, 100))
+            out.append(
+                np.concatenate(
+                    [
+                        generate_honest_outcomes(half, 0.95, seed=seed + i),
+                        (rng.random(half) < 0.4).astype(np.int64),
+                    ]
+                )
+            )
+    return out
+
+
+def _calibrator():
+    return ThresholdCalibrator(
+        confidence=CONFIG.confidence,
+        n_sets=CONFIG.calibration_sets,
+        distance=CONFIG.distance,
+        p_quantum=CONFIG.p_quantum,
+        seed=777,
+    )
+
+
+class TestSupport:
+    def test_supported_configuration(self):
+        assert supports_vectorized(MultiBehaviorTest(CONFIG, _calibrator()))
+
+    def test_naive_strategy_unsupported(self):
+        tester = MultiBehaviorTest(CONFIG, _calibrator(), strategy="naive")
+        assert not supports_vectorized(tester)
+        with pytest.raises(ValueError, match="requires an optimized"):
+            fold_cold_batch([np.ones(50, dtype=np.int64)], tester)
+
+    def test_single_test_unsupported(self):
+        assert not supports_vectorized(SingleBehaviorTest(CONFIG, _calibrator()))
+
+
+@pytest.mark.parametrize("collect_all", [False, True])
+class TestParity:
+    def test_verdict_for_verdict_shared_calibrator(self, collect_all):
+        tester = MultiBehaviorTest(CONFIG, _calibrator(), collect_all=collect_all)
+        histories = _histories()
+        folded = fold_cold_batch(histories, tester)
+        for history, (report, _) in zip(histories, folded):
+            assert report == tester.test(history)
+
+    def test_order_parity_with_fresh_calibrators(self, collect_all):
+        """Two *independent* same-seed calibrators must end up with the
+        same thresholds: the kernel consults calibration cache misses in
+        exactly the scalar walk's order, so the shared rng streams stay
+        in lockstep."""
+        histories = _histories(seed=3)
+        vec_tester = MultiBehaviorTest(CONFIG, _calibrator(), collect_all=collect_all)
+        scalar_tester = MultiBehaviorTest(CONFIG, _calibrator(), collect_all=collect_all)
+        folded = fold_cold_batch(histories, vec_tester)
+        for history, (report, _) in zip(histories, folded):
+            assert report == scalar_tester.test(history)
+
+
+class TestSeeds:
+    def test_counts_match_recent_aligned_window_counts(self):
+        tester = MultiBehaviorTest(CONFIG, _calibrator())
+        histories = _histories(seed=5)
+        folded = fold_cold_batch(histories, tester)
+        m = CONFIG.window_size
+        for history, (_, counts) in zip(histories, folded):
+            if len(history) < CONFIG.min_transactions:
+                assert counts is None
+            else:
+                assert np.array_equal(
+                    counts, window_counts(np.asarray(history), m, align="recent")
+                )
+
+    def test_insufficient_histories_report_like_scalar(self):
+        tester = MultiBehaviorTest(CONFIG, _calibrator())
+        short = [np.array([], dtype=np.int64), np.ones(5, dtype=np.int64)]
+        folded = fold_cold_batch(short, tester)
+        for history, (report, counts) in zip(short, folded):
+            assert counts is None
+            assert report == tester.test(history)
+            assert report.insufficient
+
+    def test_empty_batch(self):
+        tester = MultiBehaviorTest(CONFIG, _calibrator())
+        assert fold_cold_batch([], tester) == []

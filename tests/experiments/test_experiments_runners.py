@@ -21,6 +21,7 @@ class TestRegistry:
             "ext-matrix",
             "p2p_scale",
             "serve",
+            "ingest",
         }
         assert set(RUNNERS) == figures | extensions
 

@@ -1,11 +1,18 @@
-"""Tests for repro.feedback.io (CSV / JSONL serialization)."""
+"""Tests for repro.feedback.io (CSV / JSONL / binary serialization)."""
+
+import warnings
 
 import pytest
 
 from repro.feedback.io import (
+    available_formats,
+    detect_format,
     parse_rating,
+    read,
     read_feedback_csv,
     read_feedback_jsonl,
+    register_reader,
+    write_feedback_binary,
     write_feedback_csv,
     write_feedback_jsonl,
 )
@@ -48,13 +55,13 @@ class TestCsvRoundTrip:
         path = tmp_path / "fb.csv"
         originals = _sample_feedbacks()
         assert write_feedback_csv(path, originals) == 3
-        loaded = read_feedback_csv(path)
+        loaded = read(path, format="csv")
         assert loaded == originals
 
     def test_minimal_header_accepted(self, tmp_path):
         path = tmp_path / "fb.csv"
         path.write_text("time,server,client,rating\n1,s,c,positive\n")
-        loaded = read_feedback_csv(path)
+        loaded = read(path, format="csv")
         assert len(loaded) == 1
         assert loaded[0].authentic  # defaults applied
         assert loaded[0].category is None
@@ -63,31 +70,31 @@ class TestCsvRoundTrip:
         path = tmp_path / "fb.csv"
         path.write_text("time,server,rating\n1,s,1\n")
         with pytest.raises(ValueError, match="client"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
     def test_bad_time_reports_line(self, tmp_path):
         path = tmp_path / "fb.csv"
         path.write_text("time,server,client,rating\nnope,s,c,1\n")
         with pytest.raises(ValueError, match="line 2"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
     def test_bad_rating_reports_line(self, tmp_path):
         path = tmp_path / "fb.csv"
         path.write_text("time,server,client,rating\n1,s,c,1\n2,s,c,maybe\n")
         with pytest.raises(ValueError, match="line 3"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
     def test_empty_file_rejected(self, tmp_path):
         path = tmp_path / "fb.csv"
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
     def test_missing_value_rejected(self, tmp_path):
         path = tmp_path / "fb.csv"
         path.write_text("time,server,client,rating\n1,,c,1\n")
         with pytest.raises(ValueError, match="server"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
 
 class TestJsonlRoundTrip:
@@ -95,7 +102,7 @@ class TestJsonlRoundTrip:
         path = tmp_path / "fb.jsonl"
         originals = _sample_feedbacks()
         assert write_feedback_jsonl(path, originals) == 3
-        assert read_feedback_jsonl(path) == originals
+        assert read(path, format="jsonl") == originals
 
     def test_blank_lines_skipped(self, tmp_path):
         path = tmp_path / "fb.jsonl"
@@ -104,19 +111,146 @@ class TestJsonlRoundTrip:
             "\n"
             '{"time": 2, "server": "s", "client": "c", "rating": 0}\n'
         )
-        assert len(read_feedback_jsonl(path)) == 2
+        assert len(read(path, format="jsonl")) == 2
 
     def test_invalid_json_reports_line(self, tmp_path):
         path = tmp_path / "fb.jsonl"
         path.write_text('{"time": 1, "server": "s", "client": "c", "rating": 1}\n{oops\n')
         with pytest.raises(ValueError, match="line 2"):
-            read_feedback_jsonl(path)
+            read(path, format="jsonl")
 
     def test_non_object_line_rejected(self, tmp_path):
         path = tmp_path / "fb.jsonl"
         path.write_text("[1, 2, 3]\n")
         with pytest.raises(ValueError, match="expected an object"):
-            read_feedback_jsonl(path)
+            read(path, format="jsonl")
+
+
+class TestBinaryRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "fb.ledger"
+        originals = _sample_feedbacks()
+        assert write_feedback_binary(path, originals) == 3
+        loaded = read(path, format="binary")
+        assert loaded == originals
+        assert loaded.format == "binary"
+
+    def test_strict_raises_on_damaged_tail(self, tmp_path):
+        path = tmp_path / "fb.ledger"
+        write_feedback_binary(path, _sample_feedbacks())
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)  # mid-record
+        with pytest.raises(ValueError, match="damaged"):
+            read(path, format="binary")
+
+    def test_collect_trims_and_reports_the_tail(self, tmp_path):
+        path = tmp_path / "fb.ledger"
+        write_feedback_binary(path, _sample_feedbacks())
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)
+        result = read(path, format="binary", errors="collect")
+        assert result == _sample_feedbacks()[:2]
+        assert len(result.errors) == 1
+        assert "crash tail" in result.errors[0].message
+
+    def test_skip_trims_silently(self, tmp_path):
+        path = tmp_path / "fb.ledger"
+        write_feedback_binary(path, _sample_feedbacks())
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size - 5)
+        result = read(path, format="binary", errors="skip")
+        assert result == _sample_feedbacks()[:2]
+        assert result.errors == []
+
+
+class TestUnifiedRead:
+    def test_auto_by_extension(self, tmp_path):
+        csv_path = tmp_path / "fb.csv"
+        jsonl_path = tmp_path / "fb.jsonl"
+        bin_path = tmp_path / "fb.ledger"
+        originals = _sample_feedbacks()
+        write_feedback_csv(csv_path, originals)
+        write_feedback_jsonl(jsonl_path, originals)
+        write_feedback_binary(bin_path, originals)
+        for path, fmt in ((csv_path, "csv"), (jsonl_path, "jsonl"), (bin_path, "binary")):
+            result = read(path)
+            assert result == originals
+            assert result.format == fmt
+
+    def test_auto_by_content_sniffing(self, tmp_path):
+        originals = _sample_feedbacks()
+        for fmt, writer in (
+            ("csv", write_feedback_csv),
+            ("jsonl", write_feedback_jsonl),
+            ("binary", write_feedback_binary),
+        ):
+            path = tmp_path / f"no-extension-{fmt}"
+            writer(path, originals)
+            assert detect_format(path) == fmt
+            assert read(path) == originals
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        write_feedback_csv(path, _sample_feedbacks())
+        with pytest.raises(ValueError, match="unknown feedback format"):
+            read(path, format="parquet")
+
+    def test_registry_is_extensible(self, tmp_path):
+        from repro.feedback.io import ReadResult, _EXTENSIONS, _READERS
+
+        def read_nothing(path, *, errors="strict"):
+            return ReadResult([])
+
+        register_reader("nothing", read_nothing, extensions=(".nil",))
+        try:
+            assert "nothing" in available_formats()
+            path = tmp_path / "x.csv"
+            write_feedback_csv(path, [])
+            # explicit format dispatches through the registered reader
+            path.write_text("time,server,client,rating\n")
+            assert read(path, format="nothing") == []
+        finally:
+            _READERS.pop("nothing", None)
+            _EXTENSIONS.pop(".nil", None)
+
+    def test_available_formats_has_builtins(self):
+        assert {"csv", "jsonl", "binary"} <= set(available_formats())
+
+
+class TestDeprecatedReaders:
+    def test_read_feedback_csv_warns_once_and_delegates(self, tmp_path):
+        path = tmp_path / "fb.csv"
+        originals = _sample_feedbacks()
+        write_feedback_csv(path, originals)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = read_feedback_csv(path)
+        assert loaded == originals
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "read_feedback_csv" in str(deprecations[0].message)
+
+    def test_read_feedback_jsonl_warns_once_and_delegates(self, tmp_path):
+        path = tmp_path / "fb.jsonl"
+        originals = _sample_feedbacks()
+        write_feedback_jsonl(path, originals)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = read_feedback_jsonl(path)
+        assert loaded == originals
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "read_feedback_jsonl" in str(deprecations[0].message)
+
+    def test_deprecated_error_modes_still_flow_through(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text(
+            "time,server,client,rating\n1.0,s1,c1,1\noops,s1,c2,1\n"
+        )
+        with pytest.deprecated_call():
+            result = read_feedback_csv(path, errors="collect")
+        assert [fb.time for fb in result] == [1.0]
+        assert [err.line for err in result.errors] == [3]
 
 
 class TestErrorModes:
@@ -134,16 +268,16 @@ class TestErrorModes:
     def test_unknown_mode_rejected(self, tmp_path):
         path = self._csv_with_bad_rows(tmp_path)
         with pytest.raises(ValueError, match="errors"):
-            read_feedback_csv(path, errors="ignore")
+            read(path, format="csv", errors="ignore")
 
     def test_strict_is_the_default(self, tmp_path):
         path = self._csv_with_bad_rows(tmp_path)
         with pytest.raises(ValueError, match="line 3"):
-            read_feedback_csv(path)
+            read(path, format="csv")
 
     def test_collect_returns_good_rows_and_structured_errors(self, tmp_path):
         path = self._csv_with_bad_rows(tmp_path)
-        result = read_feedback_csv(path, errors="collect")
+        result = read(path, format="csv", errors="collect")
         assert [fb.time for fb in result] == [1.0, 4.0]
         assert [err.line for err in result.errors] == [3, 4]
         assert "not a number" in result.errors[0].message
@@ -152,7 +286,7 @@ class TestErrorModes:
 
     def test_skip_drops_bad_rows_without_collecting(self, tmp_path):
         path = self._csv_with_bad_rows(tmp_path)
-        result = read_feedback_csv(path, errors="skip")
+        result = read(path, format="csv", errors="skip")
         assert [fb.time for fb in result] == [1.0, 4.0]
         assert result.errors == []
 
@@ -160,7 +294,7 @@ class TestErrorModes:
         path = tmp_path / "broken.csv"
         path.write_text("time,server,rating\n1.0,s1,1\n")
         with pytest.raises(ValueError, match="header"):
-            read_feedback_csv(path, errors="collect")
+            read(path, format="csv", errors="collect")
 
     def test_jsonl_collect_counts_undecodable_lines(self, tmp_path):
         path = tmp_path / "mixed.jsonl"
@@ -170,7 +304,7 @@ class TestErrorModes:
             '["not", "an", "object"]\n'
             '{"time": 4.0, "server": "s1", "client": "c2", "rating": 0}\n'
         )
-        result = read_feedback_jsonl(path, errors="collect")
+        result = read(path, format="jsonl", errors="collect")
         assert [fb.time for fb in result] == [1.0, 4.0]
         assert [err.line for err in result.errors] == [2, 3]
         assert "invalid JSON" in result.errors[0].message
@@ -180,12 +314,12 @@ class TestErrorModes:
         path = tmp_path / "bad.jsonl"
         path.write_text("{not json}\n")
         with pytest.raises(ValueError, match="line 1"):
-            read_feedback_jsonl(path)
+            read(path, format="jsonl")
 
     def test_result_is_a_plain_list_to_existing_callers(self, tmp_path):
         path = tmp_path / "ok.csv"
         write_feedback_csv(path, _sample_feedbacks())
-        result = read_feedback_csv(path)
+        result = read(path, format="csv")
         assert isinstance(result, list)
         assert list(result) == _sample_feedbacks()
         assert result.errors == []

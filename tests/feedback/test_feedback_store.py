@@ -1,0 +1,223 @@
+"""Units for the columnar feedback plane: store, batch, binlog, lazy history.
+
+The backend conformance suite (test_ledger_backends.py) checks the
+contract through the :class:`FeedbackLedger` facade; these tests pin the
+columnar internals — string interning, batch validation, the SoA store's
+indexes, the binary ledger's crash recovery, and the lazily-materialized
+feedback metadata of columnar histories.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.feedback import binlog
+from repro.feedback.history import TransactionHistory
+from repro.feedback.ledger import FeedbackLedger
+from repro.feedback.records import Feedback, Rating
+from repro.feedback.store import (
+    ColumnarStore,
+    FeedbackBatch,
+    StringTable,
+    _ColumnarHistory,
+)
+
+
+def _fb(t, server="s1", client="c1", rating=Rating.POSITIVE, category=None):
+    return Feedback(
+        time=float(t), server=server, client=client, rating=rating, category=category
+    )
+
+
+class TestStringTable:
+    def test_intern_is_idempotent(self):
+        table = StringTable()
+        assert table.intern("a") == 0
+        assert table.intern("b") == 1
+        assert table.intern("a") == 0
+        assert len(table) == 2
+        assert table.value(1) == "b"
+        assert table.lookup("b") == 1
+        assert table.lookup("missing") is None
+
+    def test_intern_many_amortizes_and_reports_fresh(self):
+        table = StringTable()
+        table.intern("x")
+        values = np.array(["y", "x", "y", "z"], dtype=object)
+        codes, fresh = table.intern_many(values)
+        assert codes.tolist() == [table.lookup("y"), 0, table.lookup("y"), table.lookup("z")]
+        assert sorted(fresh) == ["y", "z"]
+
+    def test_intern_many_unicode_array(self):
+        table = StringTable()
+        codes, fresh = table.intern_many(np.array(["a", "b", "a"]))
+        assert codes.tolist() == [0, 1, 0]
+        assert fresh == ["a", "b"]
+
+
+class TestFeedbackBatch:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            FeedbackBatch(
+                times=[1.0, 2.0],
+                servers=["s1"],
+                clients=["c1", "c2"],
+                ratings=[1, 0],
+            )
+        with pytest.raises(ValueError, match="binary"):
+            FeedbackBatch(
+                times=[1.0], servers=["s1"], clients=["c1"], ratings=[2]
+            )
+
+    def test_round_trip_through_feedbacks(self):
+        stream = [_fb(1), _fb(2, rating=Rating.NEGATIVE, category="na"), _fb(3, "s2")]
+        batch = FeedbackBatch.from_feedbacks(stream)
+        assert len(batch) == 3
+        assert list(batch.iter_feedbacks()) == stream
+        assert batch.feedback_at(1).category == "na"
+
+
+class TestColumnarStore:
+    def test_append_row_and_indexes(self):
+        store = ColumnarStore()
+        s = store.server_table.intern("s1")
+        c1 = store.client_table.intern("c1")
+        c2 = store.client_table.intern("c2")
+        store.append_row(1.0, s, c1, 1, binlog.CATEGORY_NONE, 1)
+        store.append_row(2.0, s, c2, 0, binlog.CATEGORY_NONE, 1)
+        store.append_row(3.0, s, c1, 1, binlog.CATEGORY_NONE, 1)
+        assert store.rows_for_server(s).tolist() == [0, 1, 2]
+        assert store.last_time(s) == 3.0
+        assert store.last_row_for_pair(s, c1) == 2
+        assert store.last_row_for_pair(s, c2) == 1
+        fb = store.feedback_at(1)
+        assert fb.client == "c2" and fb.rating is Rating.NEGATIVE
+
+    def test_growth_beyond_initial_capacity(self):
+        store = ColumnarStore()
+        s = store.server_table.intern("s")
+        c = store.client_table.intern("c")
+        for i in range(3000):
+            store.append_row(float(i), s, c, i % 2, binlog.CATEGORY_NONE, 1)
+        assert len(store) == 3000
+        assert store.ratings[:4].tolist() == [0, 1, 0, 1]
+        assert store.rows_for_server(s).size == 3000
+
+
+class TestLazyColumnarHistory:
+    def _ledger(self, stream):
+        led = FeedbackLedger(backend="columnar")
+        led.record_many(stream)
+        return led
+
+    def test_is_a_transaction_history(self):
+        led = self._ledger([_fb(1), _fb(2)])
+        history = led.history("s1")
+        assert isinstance(history, _ColumnarHistory)
+        assert isinstance(history, TransactionHistory)
+
+    def test_outcomes_available_without_materialization(self):
+        led = self._ledger([_fb(1), _fb(2, rating=Rating.NEGATIVE)])
+        history = led.history("s1")
+        assert np.array_equal(history.outcomes(), [1, 0])
+        assert history.p_hat == 0.5
+        assert history.last_time() == 2.0
+        # nothing above touched the feedback metadata
+        assert history._lazy_list is None
+
+    def test_metadata_materializes_on_demand(self):
+        led = self._ledger([_fb(1, client="a"), _fb(2, client="b")])
+        history = led.history("s1")
+        assert [f.client for f in history.feedbacks()] == ["a", "b"]
+        assert history._lazy_list is not None
+
+    def test_append_before_materialization_is_consistent(self):
+        led = self._ledger([_fb(1), _fb(2)])
+        history = led.history("s1")
+        led.record(_fb(3, client="late"))
+        assert history._lazy_list is None  # still lazy after a live fold
+        assert len(history) == 3
+        feedbacks = history.feedbacks()
+        assert len(feedbacks) == 3
+        assert feedbacks[-1].client == "late"
+
+    def test_ordering_enforced_while_lazy(self):
+        led = self._ledger([_fb(5)])
+        history = led.history("s1")
+        with pytest.raises(ValueError, match="non-decreasing"):
+            history.append_feedback(_fb(1))
+
+    def test_speculate_feedback_rolls_back(self):
+        led = self._ledger([_fb(1), _fb(2)])
+        history = led.history("s1")
+        spec = _fb(9, client="spec")
+        with history.speculate_feedback(spec) as h:
+            assert len(h) == 3
+            assert h.feedbacks()[-1].client == "spec"
+        assert len(history) == 2
+        assert history.feedbacks()[-1].client == "c1"
+
+    def test_group_by_client_matches_memory_backend(self):
+        stream = [_fb(t, client=f"c{t % 3}") for t in range(1, 10)]
+        lazy = self._ledger(stream).history("s1")
+        eager = TransactionHistory.from_feedbacks(stream)
+        assert {
+            client: np.asarray(idx).tolist()
+            for client, idx in lazy.group_by_client().items()
+        } == {
+            client: np.asarray(idx).tolist()
+            for client, idx in eager.group_by_client().items()
+        }
+
+
+class TestBinlogCrashRecovery:
+    def _write(self, path, stream):
+        return binlog.write_binary_ledger(path, stream)
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "led.bin")
+        stream = [_fb(1), _fb(2, "s2", "c2", Rating.NEGATIVE, category="na")]
+        assert self._write(path, stream) == 2
+        data = binlog.load_binary_ledger(path)
+        assert not data.damaged
+        assert data.records.size == 2
+        assert data.servers == ["s1", "s2"]
+        assert data.categories == ["na"]
+
+    def test_truncated_record_tail_is_dropped(self, tmp_path):
+        path = str(tmp_path / "led.bin")
+        self._write(path, [_fb(1), _fb(2), _fb(3)])
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)  # tear the last record mid-write
+        data = binlog.load_binary_ledger(path, recover=True)
+        assert data.damaged
+        assert data.records.size == 2
+        with pytest.raises(ValueError):
+            binlog.load_binary_ledger(path, recover=False)
+
+    def test_mmap_backend_recovers_and_appends(self, tmp_path):
+        path = str(tmp_path / "led.bin")
+        led = FeedbackLedger(backend="mmap", path=path)
+        led.record_many([_fb(1), _fb(2), _fb(3)])
+        led.close()
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        with FeedbackLedger(backend="mmap", path=path) as led2:
+            assert len(led2) == 2  # torn tail dropped
+            led2.record(_fb(9))
+            assert len(led2) == 3
+        with FeedbackLedger(backend="mmap", path=path) as led3:
+            assert not binlog.load_binary_ledger(path).damaged
+            assert [f.time for f in led3.feedbacks_for_server("s1")] == [1.0, 2.0, 9.0]
+
+    def test_header_magic_checked(self, tmp_path):
+        path = str(tmp_path / "led.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTALEDGERFILE" + b"\0" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            binlog.load_binary_ledger(path)

@@ -1,0 +1,250 @@
+"""Backend conformance: every ledger backend honors the same contract.
+
+The ledger API redesign demands that ``backend="memory"``, ``"columnar"``
+and ``"mmap"`` are interchangeable: identical query results, identical
+live-history semantics, identical fold-fault behavior at the
+``feedback.ledger.fold`` site.  One shared test class runs against all
+three so a new backend cannot drift from the contract silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.feedback.ledger import (
+    FeedbackLedger,
+    available_ledger_backends,
+    make_ledger_backend,
+    register_ledger_backend,
+)
+from repro.feedback.store import FeedbackBatch
+from repro.feedback.records import Feedback, Rating
+from repro.resilience import FaultPlan, Quarantine
+from repro.resilience import runtime as res
+
+BACKENDS = ("memory", "columnar", "mmap")
+
+
+def _fb(t, server="s1", client="c1", rating=Rating.POSITIVE, category=None):
+    return Feedback(
+        time=float(t), server=server, client=client, rating=rating, category=category
+    )
+
+
+@pytest.fixture(params=BACKENDS)
+def make_ledger(request, tmp_path):
+    """Factory producing a fresh ledger of the parametrized backend."""
+    counter = {"n": 0}
+
+    def factory(**kwargs):
+        if request.param == "mmap":
+            counter["n"] += 1
+            kwargs.setdefault("path", str(tmp_path / f"led{counter['n']}.bin"))
+        return FeedbackLedger(backend=request.param, **kwargs)
+
+    factory.backend = request.param
+    return factory
+
+
+STREAM = [
+    _fb(1, "s1", "c1"),
+    _fb(2, "s1", "c2", Rating.NEGATIVE),
+    _fb(3, "s2", "c1"),
+    _fb(4, "s1", "c1"),
+    _fb(5, "s2", "c3", Rating.NEGATIVE, category="na"),
+    _fb(6, "s3", "c1"),
+]
+
+
+@pytest.fixture()
+def ledger(make_ledger):
+    led = make_ledger()
+    led.record_many(STREAM)
+    return led
+
+
+class TestConformance:
+    def test_backend_name(self, ledger, make_ledger):
+        assert ledger.backend_name == make_ledger.backend
+
+    def test_len_servers_clients(self, ledger):
+        assert len(ledger) == len(STREAM)
+        assert ledger.servers() == {"s1", "s2", "s3"}
+        assert ledger.clients() == {"c1", "c2", "c3"}
+
+    def test_feedbacks_for_server(self, ledger):
+        assert [f.time for f in ledger.feedbacks_for_server("s1")] == [1.0, 2.0, 4.0]
+        assert ledger.feedbacks_for_server("nope") == []
+
+    def test_feedbacks_by_client(self, ledger):
+        assert [f.server for f in ledger.feedbacks_by_client("c1")] == [
+            "s1",
+            "s2",
+            "s1",
+            "s3",
+        ]
+
+    def test_feedback_metadata_round_trip(self, ledger):
+        (fb,) = [f for f in ledger.feedbacks_for_server("s2") if f.time == 5.0]
+        assert fb.client == "c3"
+        assert fb.rating is Rating.NEGATIVE
+        assert fb.category == "na"
+        assert fb.authentic is True
+
+    def test_history_outcomes_and_metadata(self, ledger):
+        history = ledger.history("s1")
+        assert np.array_equal(history.outcomes(), [1, 0, 1])
+        assert history.has_feedback_metadata
+        assert [f.client for f in history.feedbacks()] == ["c1", "c2", "c1"]
+        assert history.last_time() == 4.0
+
+    def test_history_is_live(self, ledger):
+        history = ledger.history("s1")
+        ledger.record(_fb(9, "s1", "c9"))
+        assert len(history) == 4
+        assert history.last_time() == 9.0
+        assert history.feedbacks()[-1].client == "c9"
+
+    def test_history_unknown_server_raises(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.history("nope")
+
+    def test_per_server_time_order_enforced(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.record(_fb(0, "s1"))
+        # other servers may interleave freely (s2 last saw t=5)
+        assert ledger.record(_fb(5.5, "s2"))
+
+    def test_last_interaction(self, ledger):
+        last = ledger.last_interaction("s1", "c1")
+        assert last is not None and last.time == 4.0
+        assert ledger.last_interaction("s1", "c3") is None
+        assert ledger.last_interaction("nope", "c1") is None
+
+    def test_last_interaction_tracks_new_folds(self, ledger):
+        ledger.record(_fb(9, "s1", "c1"))
+        assert ledger.last_interaction("s1", "c1").time == 9.0
+
+    def test_interaction_counts(self, ledger):
+        assert ledger.interaction_counts("s1") == {"c1": 2, "c2": 1}
+        assert ledger.interaction_counts("nope") == {}
+
+    def test_feedback_graph(self, ledger):
+        graph = ledger.feedback_graph()
+        assert graph[("c1", "s1")] == (2, 0)
+        assert graph[("c2", "s1")] == (0, 1)
+        assert graph[("c3", "s2")] == (0, 1)
+
+    def test_subscribe_sees_every_fold(self, make_ledger):
+        led = make_ledger()
+        seen = []
+        led.subscribe(lambda fb: seen.append(fb.time))
+        led.record_many(STREAM)
+        assert seen == [f.time for f in STREAM]
+
+    def test_record_batch_matches_per_event(self, make_ledger):
+        batch = FeedbackBatch.from_feedbacks(STREAM)
+        bulk = make_ledger()
+        bulk.record_batch(batch)
+        per_event = make_ledger()
+        per_event.record_many(STREAM)
+        assert bulk.feedback_graph() == per_event.feedback_graph()
+        for server in per_event.servers():
+            assert np.array_equal(
+                bulk.history(server).outcomes(),
+                per_event.history(server).outcomes(),
+            )
+            assert bulk.feedbacks_for_server(server) == per_event.feedbacks_for_server(
+                server
+            )
+
+    def test_quarantine_captures_out_of_order(self, make_ledger):
+        quarantine = Quarantine(name="ledger")
+        led = make_ledger(quarantine=quarantine)
+        assert led.record(_fb(10))
+        assert not led.record(_fb(5))
+        assert led.record(_fb(11))
+        assert len(led) == 2
+        (item,) = quarantine.items()
+        assert item.site == "feedback.ledger.fold"
+        assert item.item.time == 5.0
+
+    @pytest.mark.parametrize("chaos_seed", [0, 1337, 90210])
+    def test_injected_fold_fault_fires_identically(self, make_ledger, chaos_seed):
+        """The ``feedback.ledger.fold`` site fires on every backend with
+        the same plan-driven decisions — same events folded, same
+        quarantine depth."""
+        quarantine = Quarantine(name="ledger")
+        led = make_ledger(quarantine=quarantine)
+        plan = FaultPlan(seed=chaos_seed)
+        plan.arm("feedback.ledger.fold", "exception", probability=0.5)
+        with res.activate(plan):
+            folded = led.record_many(STREAM)
+        assert folded + quarantine.depth == len(STREAM)
+        assert len(led) == folded
+        # the surviving folds are still fully queryable
+        for server in led.servers():
+            assert len(led.history(server)) > 0
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        names = available_ledger_backends()
+        for name in BACKENDS:
+            assert name in names
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown ledger backend"):
+            FeedbackLedger(backend="nope")
+
+    def test_custom_backend_registers(self):
+        class _Stub:
+            def __init__(self, quarantine=None):
+                self.quarantine = quarantine
+
+        register_ledger_backend("stub-test", _Stub)
+        try:
+            backend = make_ledger_backend("stub-test")
+            assert isinstance(backend, _Stub)
+        finally:
+            # keep the registry clean for other tests
+            from repro.feedback import ledger as ledger_mod
+
+            ledger_mod._LEDGER_BACKENDS.pop("stub-test", None)
+
+
+class TestLastInteractionIndex:
+    """Regression: ``last_interaction`` must be an index lookup, not a scan.
+
+    The old implementation walked every feedback of the server per call
+    (O(n)); the maintained ``(server, client) -> last feedback`` index
+    answers without touching the per-server feedback list.
+    """
+
+    def test_no_scan_through_feedbacks(self, make_ledger, monkeypatch):
+        led = make_ledger()
+        led.record_many(STREAM)
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("last_interaction fell back to a scan")
+
+        monkeypatch.setattr(led.backend, "feedbacks_for_server", _boom)
+        monkeypatch.setattr(led.backend, "feedbacks_by_client", _boom)
+        last = led.last_interaction("s1", "c1")
+        assert last is not None and last.time == 4.0
+
+    def test_index_correct_under_interleaving(self, make_ledger):
+        led = make_ledger()
+        rng = np.random.default_rng(5)
+        latest = {}
+        t = 0.0
+        for _ in range(300):
+            t += 1.0
+            server = f"s{rng.integers(0, 7)}"
+            client = f"c{rng.integers(0, 5)}"
+            fb = _fb(t, server, client)
+            led.record(fb)
+            latest[(server, client)] = fb.time
+        for (server, client), expected in latest.items():
+            assert led.last_interaction(server, client).time == expected

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.feedback.io import read_feedback_csv, read_feedback_jsonl
+from repro.feedback.io import read
 from repro.feedback.ledger import FeedbackLedger
 from repro.feedback.records import Feedback, Rating
 from repro.obs.events import EventLog
@@ -89,7 +89,7 @@ class TestIoRowQuarantine:
         plan = FaultPlan(seed=chaos_seed)
         plan.arm("feedback.io.row", "corrupt", max_fires=2)
         with res.activate(plan):
-            result = read_feedback_csv(path, errors="collect")
+            result = read(path, format="csv", errors="collect")
         assert len(result) == 4
         assert len(result.errors) == 2
         assert all("rating" in e.message for e in result.errors)
@@ -107,4 +107,4 @@ class TestIoRowQuarantine:
         plan.arm("feedback.io.row", "corrupt", max_fires=1)
         with res.activate(plan):
             with pytest.raises(ValueError, match="rating"):
-                read_feedback_jsonl(path)  # errors="strict" is the default
+                read(path, format="jsonl")  # errors="strict" is the default

@@ -1,12 +1,16 @@
-"""API-hygiene meta-tests: documentation and export consistency.
+"""API-hygiene meta-tests: documentation, exports, and deprecations.
 
 A library deliverable is its public surface; these tests keep it honest:
-every public item is documented, every ``__all__`` name resolves, and
-the subpackages export what their ``__init__`` promises.
+every public item is documented, every ``__all__`` name resolves, the
+subpackages export what their ``__init__`` promises, and deprecated
+entry points warn exactly once while no in-repo code still uses them.
 """
 
 import importlib
 import inspect
+import pathlib
+import re
+import warnings
 
 import pytest
 
@@ -129,4 +133,113 @@ class TestTimingHygiene:
         assert not unexpected, (
             f"new time.time() reads in {unexpected}: use time.perf_counter() "
             "for durations; extend the allowlist only for pure timestamps"
+        )
+
+
+class TestDeprecations:
+    """Deprecated entry points warn exactly once and are internally unused.
+
+    The reader/ledger API redesign left compatibility shims behind
+    (``read_feedback_csv``/``read_feedback_jsonl``, positional-quarantine
+    ``FeedbackLedger``).  Each must emit exactly one
+    :class:`DeprecationWarning` per call and still delegate correctly —
+    and no in-repo code may call them, so a clean checkout runs
+    warning-free.
+    """
+
+    @staticmethod
+    def _deprecations(caught):
+        return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def _csv(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text(
+            "time,server,client,rating\n1.0,s1,c1,1\n2.0,s1,c2,0\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_read_feedback_csv_warns_exactly_once(self, tmp_path):
+        from repro.feedback import io
+
+        path = self._csv(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = io.read_feedback_csv(path)
+        (warning,) = self._deprecations(caught)
+        assert 'read(path, format="csv")' in str(warning.message)
+        assert result == io.read(path, format="csv")
+
+    def test_read_feedback_jsonl_warns_exactly_once(self, tmp_path):
+        from repro.feedback import io
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"time": 1.0, "server": "s1", "client": "c1", "rating": 1}\n',
+            encoding="utf-8",
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = io.read_feedback_jsonl(str(path))
+        (warning,) = self._deprecations(caught)
+        assert 'read(path, format="jsonl")' in str(warning.message)
+        assert result == io.read(str(path), format="jsonl")
+
+    def test_positional_quarantine_warns_exactly_once(self):
+        from repro.feedback.ledger import FeedbackLedger
+        from repro.resilience import Quarantine
+
+        quarantine = Quarantine(name="legacy")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ledger = FeedbackLedger(quarantine)
+        (warning,) = self._deprecations(caught)
+        assert "positionally" in str(warning.message)
+        assert ledger.quarantine is quarantine
+
+    def test_keyword_paths_do_not_warn(self, tmp_path):
+        from repro.feedback import io
+        from repro.feedback.ledger import FeedbackLedger
+        from repro.resilience import Quarantine
+
+        path = self._csv(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            io.read(path, format="csv")
+            io.read(path)  # auto-detection
+            FeedbackLedger(quarantine=Quarantine(name="kw"))
+            FeedbackLedger(backend="columnar")
+        assert not self._deprecations(caught)
+
+    # a call looks like ``name(`` — definitions, docstrings, and the
+    # ``read(path, format=...)`` replacements they recommend do not match
+    _DEPRECATED_CALLS = re.compile(
+        r"(?<!def )\b(read_feedback_csv|read_feedback_jsonl)\s*\("
+    )
+    _POSITIONAL_LEDGER = re.compile(
+        r"\bFeedbackLedger\s*\(\s*(?!\s*\)|\s*\*|\s*\w+\s*=)"
+    )
+
+    def test_no_in_repo_callers_of_deprecated_readers(self):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            if path.relative_to(src) == pathlib.Path("feedback/io.py"):
+                continue  # the shims (and their warning text) live here
+            text = path.read_text(encoding="utf-8")
+            for match in self._DEPRECATED_CALLS.finditer(text):
+                offenders.append(f"{path.relative_to(src)}: {match.group(0)}")
+        assert not offenders, f"in-repo deprecated reader calls: {offenders}"
+
+    def test_no_in_repo_positional_ledger_construction(self):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            for i, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if self._POSITIONAL_LEDGER.search(line):
+                    offenders.append(f"{path.relative_to(src)}:{i}: {line.strip()}")
+        assert not offenders, (
+            f"positional FeedbackLedger(...) construction in repo: {offenders}"
         )

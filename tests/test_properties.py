@@ -18,8 +18,7 @@ from repro.core.two_phase import TwoPhaseAssessor
 from repro.core.verdict import AssessmentStatus
 from repro.feedback.history import TransactionHistory
 from repro.feedback.io import (
-    read_feedback_csv,
-    read_feedback_jsonl,
+    read,
     write_feedback_csv,
     write_feedback_jsonl,
 )
@@ -86,13 +85,13 @@ class TestSerializationRoundTrips:
     def test_csv_roundtrip(self, tmp_path_factory, feedbacks):
         path = tmp_path_factory.mktemp("io") / "fb.csv"
         write_feedback_csv(path, feedbacks)
-        assert read_feedback_csv(path) == feedbacks
+        assert read(path, format="csv") == feedbacks
 
     @given(feedbacks=feedback_lists)
     def test_jsonl_roundtrip(self, tmp_path_factory, feedbacks):
         path = tmp_path_factory.mktemp("io") / "fb.jsonl"
         write_feedback_jsonl(path, feedbacks)
-        assert read_feedback_jsonl(path) == feedbacks
+        assert read(path, format="jsonl") == feedbacks
 
 
 class TestReorderInvariants:
