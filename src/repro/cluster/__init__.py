@@ -1,0 +1,36 @@
+"""Replicated sharded assessment over the P2P substrate.
+
+The paper's assessment algebra is a pure fold over per-server feedback
+streams, which makes it shard-friendly: partition servers across nodes
+by consistent hashing, replicate each server's ledger on its owner's
+successor set, and any replica can answer for its servers.  This
+package supplies that deployment shape:
+
+* :class:`~repro.cluster.partition.HashRingView` — preference lists by
+  consistent hashing on the Chord identifier circle;
+* :class:`~repro.cluster.node.ClusterNode` — one member: Chord overlay
+  node + private ledger + incremental assessment shard + hint store;
+* :class:`~repro.cluster.antientropy.MerkleTree` — replica comparison
+  in O(log n) exchanged hashes;
+* :class:`~repro.cluster.service.ClusterAssessmentService` — the
+  facade: quorum reads with read-repair, hinted handoff, anti-entropy,
+  and snapshot-shipping membership changes.
+
+See ``docs/CLUSTER.md`` for the full protocol walk-through and the
+degradation matrix.
+"""
+
+from .antientropy import MerkleTree
+from .node import ClusterNode, ShardState, event_digest
+from .partition import HashRingView
+from .service import ClusterAssessmentService, PeerUnavailable
+
+__all__ = [
+    "ClusterAssessmentService",
+    "ClusterNode",
+    "HashRingView",
+    "MerkleTree",
+    "PeerUnavailable",
+    "ShardState",
+    "event_digest",
+]

@@ -1,0 +1,109 @@
+"""Merkle trees over per-server ledger digests for anti-entropy.
+
+Replica reconciliation must not ship whole ledgers to discover that
+nothing diverged.  Each replica summarizes its copy of a server group as
+a binary hash tree: leaves bucket ``leaf_size`` consecutive servers (in
+sorted server order) and hash their ``server=digest`` lines, inner nodes
+hash their children's hashes.  Two replicas holding identical data have
+identical roots — one RPC settles the whole group; when roots differ the
+coordinator descends only into mismatching children, reaching the
+divergent servers in O(log n) exchanged hashes.
+
+The tree's *shape* depends only on the sorted server list and
+``leaf_size``, never on the digests, so two replicas asked about the
+same group always agree on which path is a leaf — the descent protocol
+needs no shape negotiation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["MerkleTree"]
+
+
+def _hash_lines(lines: Sequence[str]) -> str:
+    return hashlib.sha1("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+class MerkleTree:
+    """Binary hash tree over sorted ``(server, digest)`` items."""
+
+    def __init__(
+        self, items: Sequence[Tuple[str, str]], *, leaf_size: int = 8
+    ):
+        if leaf_size <= 0:
+            raise ValueError(f"leaf_size must be positive, got {leaf_size}")
+        self._items = sorted(items)
+        self._leaf_size = leaf_size
+        buckets = [
+            self._items[i : i + leaf_size]
+            for i in range(0, len(self._items), leaf_size)
+        ] or [[]]  # an empty group still has one (empty) leaf
+        # level 0 = leaves; each node is (hash, bucket_start, bucket_stop)
+        leaves = []
+        for index, bucket in enumerate(buckets):
+            digest = _hash_lines([f"{server}={value}" for server, value in bucket])
+            leaves.append((digest, index, index + 1))
+        levels: List[List[Tuple[str, int, int]]] = [leaves]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            above: List[Tuple[str, int, int]] = []
+            for i in range(0, len(below), 2):
+                pair = below[i : i + 2]
+                if len(pair) == 1:
+                    above.append(pair[0])  # odd node promoted unchanged
+                else:
+                    digest = _hash_lines([pair[0][0], pair[1][0]])
+                    above.append((digest, pair[0][1], pair[1][2]))
+            levels.append(above)
+        self._levels = levels  # [leaves, ..., [root]]
+        self._buckets = buckets
+
+    @property
+    def root(self) -> str:
+        """The tree's root hash (equal iff the item sets are equal)."""
+        return self._levels[-1][0][0]
+
+    def node(self, path: Sequence[int]) -> Dict[str, object]:
+        """Describe the tree node at ``path`` (child indices from the root).
+
+        Returns ``{"hash": ..., "leaf": False, "children": [h, ...]}``
+        for inner nodes and ``{"hash": ..., "leaf": True, "items":
+        [[server, digest], ...]}`` for leaves — exactly the reply shape
+        of the ``cluster_merkle`` RPC.  Raises :class:`KeyError` for a
+        path that does not exist (shape mismatch means the two sides
+        disagree on the server list itself).
+        """
+        level = len(self._levels) - 1
+        index = 0
+        for step in path:
+            if level == 0:
+                raise KeyError(f"path {list(path)!r} descends below a leaf")
+            if step not in (0, 1):
+                raise KeyError(f"path step must be 0 or 1, got {step!r}")
+            child = 2 * index + step
+            level -= 1
+            if child >= len(self._levels[level]):
+                # odd promoted node: child 0 is the promoted node itself
+                if step == 0 and 2 * index < len(self._levels[level]):
+                    child = 2 * index
+                else:
+                    raise KeyError(f"path {list(path)!r} not in tree")
+            index = child
+        digest, start, stop = self._levels[level][index]
+        if level == 0:
+            items = [list(item) for bucket in self._buckets[start:stop] for item in bucket]
+            return {"hash": digest, "leaf": True, "items": items}
+        below = self._levels[level - 1]
+        children = []
+        for step in (0, 1):
+            child = 2 * index + step
+            if child < len(below):
+                children.append(below[child][0])
+        if len(children) == 1:
+            # promoted node: report it as its own single child so the
+            # descent re-converges on the same node one level down
+            pass
+        return {"hash": digest, "leaf": False, "children": children}

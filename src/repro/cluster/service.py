@@ -1,0 +1,746 @@
+"""Replicated sharded assessment: the cluster facade.
+
+:class:`ClusterAssessmentService` presents the single-node
+:class:`~repro.serve.AssessmentService` surface (``record_batch`` /
+``assess_many``) over a fleet of :class:`~repro.cluster.node.ClusterNode`
+shards.  Servers are consistent-hashed onto a Chord identifier circle
+(:class:`~repro.cluster.partition.HashRingView`) and replicated on the
+K-member successor set of their owner; the facade is the coordinator:
+
+* **writes** go to all K replicas of a server's preference list; an
+  unreachable replica's share is parked on a *hint holder* (the first
+  alive member past the preference list) and replayed when the replica
+  recovers — hinted handoff;
+* **reads** are quorum reads: replicas are asked in successor order
+  until R of K answer; divergent replica digests trigger *read-repair*
+  (pull, merge by event digest, reset the stragglers) before the
+  verdict is returned; fewer than R answers degrade the verdict
+  (``Assessment.degraded=True``), zero answers yield the fail-safe
+  UNTRUSTED verdict rather than an exception;
+* **anti-entropy** compares replicas pairwise through Merkle trees over
+  per-server content digests and repairs exactly the divergent servers;
+* **membership changes** ship binlog-packed ledger snapshots to the
+  new replica set, then replay the log tail recorded after the
+  snapshot cut.
+
+Every inter-shard RPC runs under the resilience stack: a shared
+:class:`~repro.resilience.retry.RetryPolicy` absorbs message loss, a
+per-peer :class:`~repro.resilience.breaker.CircuitBreaker` stops
+hammering dead members, and every hop carries the ambient
+:class:`~repro.obs.context.TraceContext` so cluster traffic lands in
+the fleet view alongside single-node serving.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.calibration import ThresholdCalibrator
+from ..core.config import AssessorConfig
+from ..core.verdict import Assessment, AssessmentStatus
+from ..feedback.records import Feedback
+from ..obs import context as _ctx
+from ..obs import runtime as _obs
+from ..p2p.network import NodeUnreachable, SimulatedNetwork
+from ..resilience import runtime as _res
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.health import GLOBAL_HEALTH
+from ..resilience.retry import RetryExhausted, RetryPolicy
+from .node import ClusterNode, ShardState, event_digest
+from .partition import HashRingView
+
+__all__ = ["ClusterAssessmentService", "PeerUnavailable"]
+
+
+class PeerUnavailable(RuntimeError):
+    """A request to a cluster peer timed out (retryable)."""
+
+
+class _RingAdapter:
+    """Duck-typed ring view for :mod:`repro.obs.fleet` topology capture."""
+
+    def __init__(self, cluster: "ClusterAssessmentService"):
+        self._cluster = cluster
+
+    @property
+    def nodes(self) -> Dict[str, Any]:
+        return {
+            name: member.chord
+            for name, member in self._cluster._members.items()
+            if name not in self._cluster._dead
+        }
+
+    @property
+    def _m(self) -> int:
+        return self._cluster._m_bits
+
+    @property
+    def _replicas(self) -> int:
+        return self._cluster._replicas
+
+
+class ClusterAssessmentService:
+    """Assessment over N shards with K-way replication and R-quorum reads."""
+
+    def __init__(
+        self,
+        config: AssessorConfig,
+        *,
+        calibrator: Optional[ThresholdCalibrator] = None,
+        n_nodes: int = 4,
+        replicas: int = 3,
+        read_quorum: int = 2,
+        network: Optional[SimulatedNetwork] = None,
+        m_bits: int = 32,
+        node_prefix: str = "shard",
+        name: str = "cluster",
+        retry_policy: Optional[RetryPolicy] = None,
+        stabilize_rounds: int = 3,
+    ):
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if not 1 <= read_quorum <= replicas:
+            raise ValueError(
+                f"read_quorum must lie in [1, {replicas}], got {read_quorum}"
+            )
+        self.name = name
+        self._config = config
+        # ONE calibrator across every shard (and any single-node
+        # reference built with it): the ε-threshold Monte-Carlo draws
+        # from a shared stream, so sharing the calibrator's cache is
+        # what makes cluster and single-node verdicts bit-identical.
+        self._calibrator = calibrator or ThresholdCalibrator(
+            confidence=config.test_config.confidence,
+            n_sets=config.test_config.calibration_sets,
+            distance=config.test_config.distance,
+            p_quantum=config.test_config.p_quantum,
+        )
+        self._network = network or SimulatedNetwork(name=f"{name}-net")
+        self._m_bits = m_bits
+        self._replicas = replicas
+        self.read_quorum = read_quorum
+        self._retry = retry_policy or RetryPolicy(
+            max_attempts=3,
+            base_delay=0.0,
+            retry_on=(PeerUnavailable,),
+            name=f"{name}.rpc",
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._members: Dict[str, ClusterNode] = {}
+        self._dead: set = set()
+        #: every server ever recorded, in first-appearance order (the
+        #: default assess_many batch, and the anti-entropy sweep domain)
+        self._servers: Dict[str, None] = {}
+        for i in range(n_nodes):
+            self._spawn(f"{node_prefix}-{i:02d}")
+            # stabilize per join (as ChordRing does) — one sweep at the
+            # end does not converge pointers for every join order
+            self._stabilize(rounds=stabilize_rounds)
+        self._ring = self._build_ring()
+        GLOBAL_HEALTH.register_cluster(self)
+
+    # ------------------------------------------------------------------ #
+    # membership plumbing
+
+    def _spawn(self, name: str) -> ClusterNode:
+        node = ClusterNode(
+            name,
+            self._network,
+            m_bits=self._m_bits,
+            replicas=self._replicas,
+            config=self._config,
+            calibrator=self._calibrator,
+        )
+        bootstrap = self._any_alive(exclude=name)
+        if bootstrap is not None:
+            node.chord.join(bootstrap)
+        self._members[name] = node
+        return node
+
+    def _build_ring(self) -> HashRingView:
+        return HashRingView(
+            self._members, m_bits=self._m_bits, replicas=self._replicas
+        )
+
+    def _alive_members(self) -> List[str]:
+        return [
+            name
+            for name in self._members
+            if name not in self._dead and self._network.is_alive(name)
+        ]
+
+    def _any_alive(self, *, exclude: Optional[str] = None) -> Optional[str]:
+        for name in self._members:
+            if name != exclude and name not in self._dead and self._network.is_alive(name):
+                return name
+        return None
+
+    def _stabilize(self, rounds: int = 3) -> None:
+        for _ in range(rounds):
+            alive = self._alive_members()
+            for name in alive:
+                self._members[name].chord.stabilize()
+            for name in alive:
+                self._members[name].chord.fix_fingers()
+
+    @property
+    def ring(self) -> _RingAdapter:
+        """Duck-typed view for ``topology_snapshot`` / ``check_ring``."""
+        return _RingAdapter(self)
+
+    @property
+    def network(self) -> SimulatedNetwork:
+        return self._network
+
+    @property
+    def members(self) -> List[str]:
+        return list(self._members)
+
+    @property
+    def servers(self) -> List[str]:
+        return list(self._servers)
+
+    # ------------------------------------------------------------------ #
+    # the RPC layer: retry + per-peer breaker + timeout semantics
+
+    def _breaker(self, peer: str) -> CircuitBreaker:
+        breaker = self._breakers.get(peer)
+        if breaker is None:
+            breaker = self._breakers[peer] = CircuitBreaker(
+                name=f"{self.name}.peer.{peer}"
+            )
+        return breaker
+
+    def _send_once(self, dst: str, message_type: str, payload: Dict[str, Any]):
+        reply = self._network.send(dst, message_type, payload)
+        if reply is None:
+            # dropped request or reply: retryable timeout.
+            # NodeUnreachable propagates — a dead peer does not come
+            # back because we ask again; the breaker handles it.
+            raise PeerUnavailable(dst)
+        return reply
+
+    def _call(
+        self, dst: str, message_type: str, payload: Dict[str, Any]
+    ) -> Optional[Any]:
+        """One guarded RPC; ``None`` means the peer could not serve it."""
+        breaker = self._breaker(dst)
+        if not breaker.allow():
+            _res.emit(
+                "cluster_rpc_failed",
+                node=dst,
+                type=message_type,
+                reason="breaker_open",
+            )
+            return None
+        try:
+            reply = self._retry.call(self._send_once, dst, message_type, payload)
+        except (RetryExhausted, NodeUnreachable) as exc:
+            breaker.record_failure()
+            _res.emit(
+                "cluster_rpc_failed",
+                node=dst,
+                type=message_type,
+                reason=type(exc).__name__,
+            )
+            if _obs.enabled:
+                _obs.registry.inc("cluster.rpc.failed", type=message_type)
+            return None
+        breaker.record_success()
+        return reply
+
+    # ------------------------------------------------------------------ #
+    # write path
+
+    def record_batch(self, feedbacks: Iterable[Feedback]) -> Dict[str, int]:
+        """Route a feedback batch to every replica of each server.
+
+        Returns ``{"events", "servers", "replica_writes", "hinted"}``.
+        An unreachable replica never loses its share: the events park on
+        a hint holder and replay on recovery (or, failing even that, the
+        loss is emitted as ``cluster_hint_lost`` — surviving replicas
+        still hold the data, anti-entropy restores the factor later).
+        """
+        by_server: Dict[str, List[Feedback]] = {}
+        for feedback in feedbacks:
+            by_server.setdefault(feedback.server, []).append(feedback)
+            self._servers.setdefault(feedback.server, None)
+        ctx = _ctx.current()
+        if ctx is None and _obs.enabled:
+            ctx = _ctx.new_root(op="cluster_record_batch")
+        writes = hinted = 0
+        with _ctx.use(ctx):
+            with _obs.span("cluster.record_batch", servers=len(by_server)):
+                groups = self._ring.partition(list(by_server))
+                for pref, servers in groups.items():
+                    events = [fb for s in servers for fb in by_server[s]]
+                    for member in pref:
+                        reply = self._call(
+                            member, "cluster_record", {"events": events}
+                        )
+                        if reply is None:
+                            hinted += self._hint(member, pref, events)
+                        else:
+                            writes += 1
+        return {
+            "events": sum(len(v) for v in by_server.values()),
+            "servers": len(by_server),
+            "replica_writes": writes,
+            "hinted": hinted,
+        }
+
+    def _hint(
+        self, target: str, pref: Tuple[str, ...], events: List[Feedback]
+    ) -> int:
+        """Park a failed replica write on the first member past ``pref``."""
+        holder = self._hint_holder(pref)
+        reply = None
+        if holder is not None:
+            reply = self._call(
+                holder, "cluster_hint_store", {"target": target, "events": events}
+            )
+        if reply is None:
+            _res.emit(
+                "cluster_hint_lost", target=target, events=len(events)
+            )
+            return 0
+        _res.emit(
+            "cluster_hint_stored",
+            holder=holder,
+            target=target,
+            events=len(events),
+        )
+        return len(events)
+
+    def _hint_holder(self, pref: Tuple[str, ...]) -> Optional[str]:
+        members = self._ring.members  # ring order
+        start = members.index(pref[0])
+        n = len(members)
+        for i in range(1, n):
+            candidate = members[(start + i) % n]
+            if candidate in pref or candidate in self._dead:
+                continue
+            if self._network.is_alive(candidate):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------ #
+    # read path
+
+    def assess_many(
+        self, server_ids: Optional[Iterable[str]] = None
+    ) -> Dict[str, Assessment]:
+        """Quorum-read assessments for a batch (default: every server).
+
+        Healthy cluster: verdicts are bit-identical to a single-node
+        service sharing this cluster's calibrator.  Replicas lost below
+        the read quorum degrade the verdict; a server with *no* reachable
+        replica gets the fail-safe UNTRUSTED verdict — never an
+        exception.  Unknown servers raise :class:`KeyError`.
+        """
+        ids = list(server_ids) if server_ids is not None else list(self._servers)
+        unknown = [s for s in ids if s not in self._servers]
+        if unknown:
+            raise KeyError(f"unknown servers {unknown[:3]!r}")
+        ctx = _ctx.current()
+        if ctx is None and _obs.enabled:
+            ctx = _ctx.new_root(op="cluster_assess_many")
+        results: Dict[str, Assessment] = {}
+        with _ctx.use(ctx):
+            if _obs.enabled:
+                _obs.registry.inc("cluster.requests")
+            with _obs.span("cluster.assess_many", batch=len(ids)):
+                for pref, group in self._ring.partition(ids).items():
+                    results.update(self._assess_group(pref, group))
+        return {s: results[s] for s in ids}
+
+    def _assess_group(
+        self, pref: Tuple[str, ...], servers: List[str]
+    ) -> Dict[str, Assessment]:
+        answers: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {
+            s: [] for s in servers
+        }
+        # pass 1 — the preference list in successor order, asking each
+        # replica only about the servers still short of quorum
+        for member in pref:
+            needed = [s for s in servers if len(answers[s]) < self.read_quorum]
+            if not needed:
+                break
+            reply = self._call(member, "cluster_assess", {"servers": needed})
+            if reply is None:
+                continue
+            for server, result in reply["results"].items():
+                if result["n"] > 0:
+                    answers[server].append((member, result))
+        # pass 2 — servers with no answer at all: scan members outside
+        # the preference list (stale copies from an older ring layout
+        # beat a fail-safe verdict)
+        orphans = [s for s in servers if not answers[s]]
+        if orphans:
+            for member in self._ring.members:
+                if member in pref or member in self._dead:
+                    continue
+                still = [s for s in orphans if not answers[s]]
+                if not still:
+                    break
+                reply = self._call(member, "cluster_assess", {"servers": still})
+                if reply is None:
+                    continue
+                for server, result in reply["results"].items():
+                    if result["n"] > 0:
+                        answers[server].append((member, result))
+        return {
+            s: self._finalize(s, pref, answers[s]) for s in servers
+        }
+
+    def _finalize(
+        self,
+        server: str,
+        pref: Tuple[str, ...],
+        answers: List[Tuple[str, Dict[str, Any]]],
+    ) -> Assessment:
+        if not answers:
+            _res.emit("cluster_quorum_lost", server=server)
+            if _obs.enabled:
+                _obs.registry.inc("cluster.quorum_lost")
+            return Assessment(
+                status=AssessmentStatus.UNTRUSTED,
+                trust_value=None,
+                behavior=None,
+                server=server,
+                degraded=True,
+            )
+        digests = {result["digest"] for _, result in answers}
+        assessment: Optional[Assessment] = answers[0][1]["assessment"]
+        if len(digests) > 1:
+            repaired = self._read_repair(server, pref)
+            if repaired is not None:
+                assessment = repaired
+        if assessment is None:
+            # divergence we could not reconcile — fall back to the
+            # first respondent's answer, degraded below
+            assessment = answers[0][1]["assessment"]
+        if len(answers) < self.read_quorum:
+            _res.emit(
+                "cluster_degraded_verdict", server=server, answers=len(answers)
+            )
+            if _obs.enabled:
+                _obs.registry.inc("cluster.degraded_verdicts")
+            assessment = replace(assessment, degraded=True)
+        return assessment
+
+    def _read_repair(
+        self, server: str, pref: Sequence[str]
+    ) -> Optional[Assessment]:
+        """Merge divergent replicas of ``server`` and reset stragglers.
+
+        Pulls every reachable preference-list replica, unions the event
+        streams by content digest, resets each replica whose digest
+        differs from the merged stream's, and returns the re-assessment
+        from the first repaired replica (``None`` if nothing reachable).
+        """
+        pulls: List[Tuple[str, Dict[str, Any]]] = []
+        for member in pref:
+            if member in self._dead:
+                continue
+            reply = self._call(member, "cluster_pull", {"server": server})
+            if reply is not None:
+                pulls.append((member, reply))
+        if not pulls:
+            return None
+        merged: Dict[str, Feedback] = {}
+        for _, reply in pulls:
+            for feedback in reply["events"]:
+                merged[event_digest(feedback)] = feedback
+        ordered = sorted(
+            merged.values(), key=lambda fb: (fb.time, event_digest(fb))
+        )
+        state = ShardState()
+        for feedback in ordered:
+            state.applied(feedback, event_digest(feedback))
+        expected = state.content_hash
+        reset = 0
+        for member, reply in pulls:
+            if reply["digest"] != expected:
+                if self._call(
+                    member,
+                    "cluster_reset",
+                    {"server": server, "events": ordered},
+                ) is not None:
+                    reset += 1
+        _res.emit(
+            "cluster_read_repair",
+            server=server,
+            replicas=len(pulls),
+            reset=reset,
+            events=len(ordered),
+        )
+        if _obs.enabled:
+            _obs.registry.inc("cluster.read_repairs")
+        reply = self._call(
+            pulls[0][0], "cluster_assess", {"servers": [server]}
+        )
+        if reply is None:
+            return None
+        result = reply["results"][server]
+        return result["assessment"] if result["n"] > 0 else None
+
+    # ------------------------------------------------------------------ #
+    # anti-entropy
+
+    def anti_entropy(self) -> Dict[str, int]:
+        """Merkle-sweep every replica group; repair divergent servers.
+
+        Each preference group with at least two reachable replicas is
+        compared pairwise against its first reachable replica: equal
+        roots settle the whole group in one RPC each; mismatches descend
+        the tree and read-repair exactly the divergent servers.
+        """
+        ctx = _ctx.current()
+        if ctx is None and _obs.enabled:
+            ctx = _ctx.new_root(op="cluster_anti_entropy")
+        summary = {"groups": 0, "synced": 0, "diverged": 0, "repaired": 0, "skipped": 0}
+        with _ctx.use(ctx):
+            with _obs.span("cluster.anti_entropy"):
+                for pref, group in self._ring.partition(list(self._servers)).items():
+                    summary["groups"] += 1
+                    alive = [
+                        m
+                        for m in pref
+                        if m not in self._dead and self._network.is_alive(m)
+                    ]
+                    if len(alive) < 2:
+                        summary["skipped"] += 1
+                        continue
+                    divergent: set = set()
+                    reference = alive[0]
+                    clean = True
+                    for other in alive[1:]:
+                        diff = self._merkle_diff(reference, other, group)
+                        if diff is None:
+                            clean = False
+                            continue
+                        divergent.update(diff)
+                    if not divergent:
+                        summary["synced" if clean else "skipped"] += 1
+                        continue
+                    summary["diverged"] += 1
+                    for server in sorted(divergent):
+                        if self._read_repair(server, pref) is not None:
+                            summary["repaired"] += 1
+        _res.emit("cluster_anti_entropy", **summary)
+        return summary
+
+    def _merkle_diff(
+        self, a: str, b: str, servers: List[str]
+    ) -> Optional[List[str]]:
+        """Servers whose digests differ between replicas ``a`` and ``b``.
+
+        ``None`` when either side stopped answering mid-descent.
+        """
+        divergent: List[str] = []
+        queue: List[Tuple[int, ...]] = [()]
+        while queue:
+            path = queue.pop(0)
+            payload = {"servers": servers, "path": list(path)}
+            node_a = self._call(a, "cluster_merkle", payload)
+            node_b = self._call(b, "cluster_merkle", payload)
+            if node_a is None or node_b is None:
+                return None
+            if node_a["hash"] == node_b["hash"]:
+                continue
+            if node_a["leaf"]:
+                items_a = {s: d for s, d in node_a["items"]}
+                items_b = {s: d for s, d in node_b["items"]}
+                for server in set(items_a) | set(items_b):
+                    if items_a.get(server) != items_b.get(server):
+                        divergent.append(server)
+                continue
+            for step, (ha, hb) in enumerate(
+                zip(node_a["children"], node_b["children"])
+            ):
+                if ha != hb:
+                    queue.append(path + (step,))
+        return divergent
+
+    # ------------------------------------------------------------------ #
+    # membership operations
+
+    def add_node(self, name: str, *, stabilize_rounds: int = 3) -> None:
+        """Join a node and ship it the shards it now replicates.
+
+        Transfer is snapshot + tail: the source packs the moving
+        servers' ledgers in the binlog wire format, the new node
+        installs the snapshot, then replays whatever the source recorded
+        after the snapshot cut — the same recovery contract as a real
+        log-shipping system, collapsed by the synchronous simulator.
+        """
+        if name in self._members:
+            raise ValueError(f"node {name!r} already in the cluster")
+        old_ring = self._ring
+        self._spawn(name)
+        self._stabilize(rounds=stabilize_rounds)
+        self._ring = self._build_ring()
+        by_source: Dict[str, List[str]] = {}
+        for server in self._servers:
+            if name not in self._ring.preference_list(server):
+                continue
+            source = next(
+                (
+                    m
+                    for m in old_ring.preference_list(server)
+                    if m not in self._dead and self._network.is_alive(m)
+                ),
+                None,
+            )
+            if source is not None:
+                by_source.setdefault(source, []).append(server)
+        for source, servers in by_source.items():
+            self._ship(source, name, servers)
+
+    def remove_node(
+        self, name: str, *, graceful: bool = True, stabilize_rounds: int = 3
+    ) -> None:
+        """Retire a member; graceful removal re-homes its shards first."""
+        if name not in self._members:
+            raise KeyError(f"node {name!r} not in the cluster")
+        old_ring = self._ring
+        leaving_alive = (
+            name not in self._dead and self._network.is_alive(name)
+        )
+        new_members = [m for m in self._members if m != name]
+        if not new_members:
+            raise ValueError("cannot remove the last cluster member")
+        new_ring = HashRingView(
+            new_members, m_bits=self._m_bits, replicas=self._replicas
+        )
+        if graceful and leaving_alive:
+            by_target: Dict[str, List[str]] = {}
+            for server in self._servers:
+                old_pref = old_ring.preference_list(server)
+                if name not in old_pref:
+                    continue
+                for target in new_ring.preference_list(server):
+                    if target not in old_pref:
+                        by_target.setdefault(target, []).append(server)
+            for target, servers in by_target.items():
+                self._ship(name, target, servers)
+        if self._network.is_alive(name):
+            self._network.unregister(name)
+        del self._members[name]
+        self._dead.discard(name)
+        self._breakers.pop(name, None)
+        self._ring = new_ring
+        self._stabilize(rounds=stabilize_rounds)
+
+    def _ship(self, source: str, target: str, servers: List[str]) -> None:
+        snapshot = self._call(source, "cluster_snapshot", {"servers": servers})
+        if snapshot is None:
+            _res.emit(
+                "cluster_rpc_failed",
+                node=source,
+                type="cluster_snapshot",
+                reason="unreachable",
+            )
+            return
+        self._call(target, "cluster_install", {"payload": snapshot["payload"]})
+        tailed = 0
+        for server in servers:
+            cut = snapshot["counts"].get(server, 0)
+            tail = self._call(
+                source, "cluster_tail", {"server": server, "after": cut}
+            )
+            if tail and tail["events"]:
+                self._call(target, "cluster_record", {"events": tail["events"]})
+                tailed += len(tail["events"])
+        _res.emit(
+            "cluster_snapshot_shipped",
+            source=source,
+            target=target,
+            servers=len(servers),
+            events=int(snapshot["payload"]["n"]),
+            tail_events=tailed,
+        )
+        if _obs.enabled:
+            _obs.registry.inc("cluster.snapshots_shipped")
+
+    # ------------------------------------------------------------------ #
+    # failure and recovery
+
+    def kill(self, name: str, *, stabilize_rounds: int = 2) -> None:
+        """Crash a member (keeps its ring position; hints will queue)."""
+        if name not in self._members:
+            raise KeyError(f"node {name!r} not in the cluster")
+        if self._network.is_alive(name):
+            self._network.unregister(name)
+            _res.emit("node_killed", node=name, site="cluster.kill")
+        self._dead.add(name)
+        self._stabilize(rounds=stabilize_rounds)
+
+    def recover(self, name: str, *, stabilize_rounds: int = 3) -> int:
+        """Bring a crashed member back and replay its queued hints.
+
+        Returns the number of hinted events replayed onto the node.
+        """
+        if name not in self._members:
+            raise KeyError(f"node {name!r} not in the cluster")
+        node = self._members[name]
+        self._dead.discard(name)
+        if not self._network.is_alive(name):
+            node.rejoin(self._any_alive(exclude=name))
+        self._breaker(name).reset()
+        self._stabilize(rounds=stabilize_rounds)
+        replayed = 0
+        for member in self._alive_members():
+            if member == name:
+                continue
+            if not self._members[member].hints.get(name):
+                continue
+            reply = self._call(member, "cluster_hint_replay", {"target": name})
+            if reply is not None:
+                replayed += reply["replayed"]
+        if replayed:
+            _res.emit("cluster_hint_replayed", node=name, events=replayed)
+        _res.emit("cluster_node_recovered", node=name, replayed=replayed)
+        return replayed
+
+    # ------------------------------------------------------------------ #
+    # health
+
+    def open_hints(self) -> int:
+        """Hinted events currently parked anywhere in the cluster."""
+        return sum(node.open_hints() for node in self._members.values())
+
+    def stats_report(self) -> Dict[str, Any]:
+        """One row for ``repro health`` (shard ownership, replication)."""
+        alive = set(self._alive_members())
+        ownership: Counter = Counter()
+        satisfied = violated = 0
+        required = min(self._replicas, len(alive)) if alive else 0
+        for server in self._servers:
+            pref = self._ring.preference_list(server)
+            ownership[pref[0]] += 1
+            holders = sum(
+                1
+                for m in pref
+                if m in alive and server in self._members[m].shards
+            )
+            if holders >= required and required > 0:
+                satisfied += 1
+            else:
+                violated += 1
+        return {
+            "name": self.name,
+            "nodes": len(self._members),
+            "alive": len(alive),
+            "replicas": self._replicas,
+            "read_quorum": self.read_quorum,
+            "servers": len(self._servers),
+            "open_hints": self.open_hints(),
+            "ownership": dict(ownership),
+            "replication": {"satisfied": satisfied, "violated": violated},
+        }

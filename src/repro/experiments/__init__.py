@@ -12,6 +12,7 @@ from .fig6_collusion_weighted import run_fig6
 from .fig7_detection_rate import run_fig7
 from .fig8_distance import run_fig8
 from .fig9_performance import run_fig9
+from .cluster_scale import run_cluster_scale
 from .ingest_scale import run_ingest_scale
 from .p2p_scale import run_p2p_scale
 from .report import EXPECTED_SHAPES, render_report, result_to_markdown
@@ -31,6 +32,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_cluster_scale",
     "run_ingest_scale",
     "run_p2p_scale",
     "run_serve_scale",
@@ -58,4 +60,5 @@ RUNNERS: Dict[str, Callable[..., ExperimentResult]] = {
     "p2p_scale": run_p2p_scale,
     "serve": run_serve_scale,
     "ingest": run_ingest_scale,
+    "cluster": run_cluster_scale,
 }

@@ -71,6 +71,11 @@ EXPECTED_SHAPES: Dict[str, str] = {
         "cold start from a persisted ledger beats object materialization "
         "by an order of magnitude with identical assessments."
     ),
+    "cluster": (
+        "Quorum-read assessment over replicated shards returns verdicts "
+        "bit-identical to a single node; ingest pays the K-way replication "
+        "write amplification and warm reads stay flat as shards grow."
+    ),
 }
 
 

@@ -137,6 +137,36 @@ class MemoryLedgerBackend:
         self._pair_last[(feedback.server, feedback.client)] = feedback
         return True
 
+    def reset_server(self, server: EntityId, feedbacks: List[Feedback]) -> int:
+        """Replace every record for ``server`` with a reconciled stream.
+
+        The anti-entropy/read-repair entry point: a replica whose copy of
+        one server's history diverged installs the merged, time-ordered
+        stream in one shot.  Every index (by-server, by-client, pair
+        cache, the global event list, and the live history) is rebuilt
+        for that server; other servers are untouched.  Returns how many
+        events were installed.  An empty ``feedbacks`` removes the server
+        entirely.
+        """
+        had = server in self._by_server
+        if had:
+            self._all = [fb for fb in self._all if fb.server != server]
+            for client_events in self._by_client.values():
+                client_events[:] = [fb for fb in client_events if fb.server != server]
+            for pair in [p for p in self._pair_last if p[0] == server]:
+                del self._pair_last[pair]
+            del self._by_server[server]
+            self._histories.pop(server, None)
+        installed = 0
+        for fb in feedbacks:
+            if fb.server != server:
+                raise ValueError(
+                    f"reset_server({server!r}) got feedback for {fb.server!r}"
+                )
+            if self.record(fb):
+                installed += 1
+        return installed
+
     # ------------------------------------------------------------------ #
     # queries
 
@@ -316,6 +346,24 @@ class FeedbackLedger:
             if self.record(fb):
                 recorded += 1
         return recorded
+
+    def reset_server(self, server: EntityId, feedbacks: Iterable[Feedback]) -> int:
+        """Replace every record for ``server`` with a reconciled stream.
+
+        Only backends with rebuildable per-server indexes support this
+        (currently ``memory``); others raise :class:`NotImplementedError`.
+        Subscribers are *not* notified — a reset is a repair of existing
+        state, not new feedback — so serving layers that cache per-server
+        state must re-register the rebuilt history themselves (see
+        :meth:`repro.serve.AssessmentService.replace_server`).
+        """
+        reset = getattr(self._backend, "reset_server", None)
+        if reset is None:
+            raise NotImplementedError(
+                f"ledger backend {self.backend_name!r} does not support "
+                "reset_server"
+            )
+        return reset(server, list(feedbacks))
 
     # ------------------------------------------------------------------ #
     # queries (delegated to the backend)

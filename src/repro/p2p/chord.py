@@ -22,7 +22,8 @@ claim is assertable in tests.  Ring maintenance follows Chord's
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, List, Optional, Tuple
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..obs import runtime as _obs
 from ..obs import scope as _scope
@@ -30,7 +31,14 @@ from ..resilience import runtime as _res
 from ..stats.rng import SeedLike, make_rng
 from .network import NodeUnreachable, SimulatedNetwork
 
-__all__ = ["key_of", "in_interval", "ChordNode", "ChordRing", "LookupResult"]
+__all__ = [
+    "key_of",
+    "in_interval",
+    "value_digest",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+]
 
 DEFAULT_M_BITS = 16
 
@@ -39,6 +47,22 @@ def key_of(name: str, m_bits: int = DEFAULT_M_BITS) -> int:
     """Hash an arbitrary name onto the identifier circle."""
     digest = hashlib.sha1(name.encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big") % (1 << m_bits)
+
+
+def value_digest(value: Any) -> str:
+    """Content digest of a stored value — the store's idempotency key.
+
+    At-least-once delivery (``_rpc_retry``, hand-over cascades, replica
+    repair) may present the same value to a node many times; stores keyed
+    by this digest collapse every re-delivery into one copy at the write
+    side.  JSON canonicalization (sorted keys) makes the digest stable
+    across payload dict orderings; non-JSON values fall back to ``repr``.
+    """
+    try:
+        canonical = json.dumps(value, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        canonical = repr(value)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()
 
 
 def in_interval(x: int, left: int, right: int, *, inclusive_right: bool = False) -> bool:
@@ -84,6 +108,9 @@ class ChordNode:
         self.predecessor: Optional[str] = None
         self.fingers: List[str] = [name] * m_bits
         self.storage: Dict[int, List[Any]] = {}
+        # write-side idempotency: content digests of everything stored,
+        # so at-least-once re-deliveries never duplicate a value
+        self._store_digests: Dict[int, Set[str]] = {}
         network.register(name, self._handle)
 
     # ------------------------------------------------------------------ #
@@ -174,6 +201,13 @@ class ChordNode:
         with self._scoped():
             if _obs.enabled:
                 _obs.registry.inc("p2p.chord.stabilize_runs")
+            # check_predecessor (Chord §E.1): a dead predecessor must be
+            # cleared, or responsible_for keeps honoring its stale
+            # interval — a ring collapsed to one node would own nothing
+            if self.predecessor is not None and not self._network.is_alive(
+                self.predecessor
+            ):
+                self.predecessor = None
             successor = self._first_alive_successor()
             pred_of_succ = self._rpc(successor, "get_predecessor", {})
             if pred_of_succ and pred_of_succ.get("node"):
@@ -231,25 +265,86 @@ class ChordNode:
     # data operations
 
     def put(self, key: int, value: Any) -> str:
-        """Store ``value`` under ``key`` on its owner + replicas; returns owner."""
+        """Store ``value`` under ``key`` on its owner + replicas; returns owner.
+
+        The value's content digest travels with every store message, so
+        ``_rpc_retry`` re-sends and replica forwards are idempotent at the
+        write side — no reader-side deduplication needed.
+        """
         owner = self.find_successor(key).node
         with self._scoped():
-            self._rpc_retry(owner, "store_replicated", {"key": key, "value": value})
+            self._rpc_retry(
+                owner,
+                "store_replicated",
+                {"key": key, "value": value, "digest": value_digest(value)},
+            )
         return owner
 
     def get(self, key: int) -> List[Any]:
-        """Fetch all values under ``key`` from its owner (replica fallback)."""
+        """Fetch all values under ``key`` (owner first, replica fallback)."""
+        return self.fetch(key)["values"]
+
+    def fetch(self, key: int) -> Dict[str, Any]:
+        """Fetch values under ``key`` with read-path metadata.
+
+        Returns ``{"values", "owner", "replica", "attempts"}`` where
+        ``owner`` is the lookup's answer, ``replica`` is the node that
+        actually answered (``None`` when nobody did), and ``attempts``
+        lists every node tried, in order.  The fallback is deterministic:
+        when the owner does not answer, its replica set — the nodes
+        succeeding it on the ring, derived by fresh lookups, *not* this
+        node's own successor list — is tried in successor order, so the
+        same failure state always reads from the same replica and
+        quorum/read-repair decisions are reproducible under chaos seeds.
+        """
         owner = self.find_successor(key).node
         with self._scoped():
+            attempts = [owner]
             reply = self._rpc_retry(owner, "fetch", {"key": key})
             if reply is not None:
-                return list(reply["values"])
-            # owner unreachable/dropped: try the owner's replica set via ours
-            for replica in self.successors[: self._replicas]:
+                return {
+                    "values": list(reply["values"]),
+                    "owner": owner,
+                    "replica": owner,
+                    "attempts": attempts,
+                }
+            for replica in self._replica_chain(owner)[1:]:
+                if replica in attempts:
+                    continue
+                attempts.append(replica)
                 reply = self._rpc(replica, "fetch", {"key": key})
                 if reply is not None and reply["values"]:
-                    return list(reply["values"])
-            return []
+                    return {
+                        "values": list(reply["values"]),
+                        "owner": owner,
+                        "replica": replica,
+                        "attempts": attempts,
+                    }
+            return {
+                "values": [],
+                "owner": owner,
+                "replica": None,
+                "attempts": attempts,
+            }
+
+    def _replica_chain(self, owner: str) -> List[str]:
+        """The nodes succeeding ``owner`` clockwise — its replica set.
+
+        Derived by fresh lookups from the owner's ring position rather
+        than this node's successor list, which describes *our* replicas,
+        not the owner's.
+        """
+        chain = [owner]
+        for _ in range(self._replicas - 1):
+            probe = (key_of(chain[-1], self._m) + 1) % (1 << self._m)
+            try:
+                nxt = self._find_successor(probe, max_hops=4 * self._m).node
+            except RuntimeError:
+                break
+            if nxt in chain:
+                break
+            chain.append(nxt)
+        return chain
 
     # ------------------------------------------------------------------ #
     # RPC handling
@@ -278,20 +373,21 @@ class ChordNode:
                 self._hand_over_upstream_keys(payload["node"])
             return {}
         if message_type == "store":
-            bucket = self.storage.setdefault(payload["key"], [])
-            # idempotent append: hand-overs and at-least-once retries may
-            # deliver the same value more than once
-            if payload["value"] not in bucket:
-                bucket.append(payload["value"])
+            self._store_value(
+                payload["key"], payload["value"], payload.get("digest")
+            )
             return {}
         if message_type == "store_replicated":
             key, value = payload["key"], payload["value"]
-            bucket = self.storage.setdefault(key, [])
-            if value not in bucket:
-                bucket.append(value)
+            digest = payload.get("digest") or value_digest(value)
+            self._store_value(key, value, digest)
             for replica in self.successors[: self._replicas - 1]:
                 if replica != self.name:
-                    self._rpc(replica, "store", {"key": key, "value": value})
+                    self._rpc(
+                        replica,
+                        "store",
+                        {"key": key, "value": value, "digest": digest},
+                    )
             return {}
         if message_type == "fetch":
             return {"values": list(self.storage.get(payload["key"], []))}
@@ -299,6 +395,34 @@ class ChordNode:
 
     # ------------------------------------------------------------------ #
     # internals
+
+    def _store_value(
+        self, key: int, value: Any, digest: Optional[str] = None
+    ) -> bool:
+        """Idempotent store keyed by the value's content digest.
+
+        Returns ``True`` when the value was new.  The equality check on
+        the bucket stays as a second guard for values written into
+        ``storage`` directly (test setup, external repair tooling) whose
+        digests this node never saw.
+        """
+        bucket = self.storage.setdefault(key, [])
+        digests = self._store_digests.setdefault(key, set())
+        if digest is None:
+            digest = value_digest(value)
+        if digest in digests:
+            if value in bucket:
+                return False  # confirmed duplicate delivery
+            # a known digest whose value is *not* in the bucket means the
+            # bucket was rewound externally (repair tooling, test setup);
+            # the bucket is authoritative, so store again
+        elif value in bucket:
+            # direct bucket write this node never digested
+            digests.add(digest)
+            return False
+        bucket.append(value)
+        digests.add(digest)
+        return True
 
     def _lookup_step(self, key: int) -> Dict[str, Any]:
         successor = self._first_alive_successor()
@@ -412,11 +536,12 @@ class ChordNode:
     def _rpc_retry(
         self, dst: str, message_type: str, payload: Dict[str, Any], attempts: int = 4
     ) -> Any:
-        """Retry an idempotent-enough RPC across message drops.
+        """Retry an idempotent RPC across message drops.
 
-        ``store_replicated`` retries can duplicate a value on a replica;
-        readers deduplicate (see DistributedFeedbackStore), which is the
-        usual at-least-once trade-off.
+        Store messages carry the value's content digest, so a retried
+        ``store_replicated`` whose first delivery landed (only the reply
+        was lost) collapses into the already-stored copy at the write
+        side — at-least-once delivery without duplicates.
         """
         for _ in range(attempts):
             reply = self._rpc(dst, message_type, payload)
@@ -476,6 +601,11 @@ class ChordRing:
             node.join(bootstrap)
         self.nodes[name] = node
         self.stabilize_all(rounds=stabilize_rounds)
+        if len(self.nodes) > 1:
+            # the join hand-over moves owned keys but the newcomer joins
+            # every replica set empty-handed — push current owners' keys
+            # so the factor holds for the *next* failure, not just this one
+            self.repair_replication()
         return node
 
     def remove_node(self, name: str, *, graceful: bool = True, stabilize_rounds: int = 3) -> None:
@@ -488,9 +618,11 @@ class ChordRing:
         else:
             self.network.unregister(name)
         self.stabilize_all(rounds=stabilize_rounds)
-        if not graceful and self.nodes:
-            # a crash dropped one copy of everything the victim held;
-            # restore the replication factor while the ring is healthy
+        if self.nodes:
+            # any removal erodes the replication factor: a crash drops
+            # one copy of everything the victim held, and a graceful
+            # leave concentrates its storage on a single successor —
+            # restore the factor while the ring is healthy
             self.repair_replication()
 
     def stabilize_all(self, rounds: int = 1) -> None:

@@ -144,6 +144,18 @@ class SimulatedNetwork:
         if handler is None:
             raise NodeUnreachable(dst)
         dropped = self._drop_rate > 0 and self._rng.random() < self._drop_rate
+        if _res.armed:
+            # node-kill fault: the destination dies before this request
+            # lands — its handler is dropped, so this send *and every
+            # later one* sees NodeUnreachable until the node re-registers.
+            # Checked only for live destinations so each fire kills a
+            # distinct node (deterministic under the plan seed).
+            spec = _res.check("p2p.network.kill")
+            if spec is not None:
+                self._stats.record(message_type, True)
+                self.unregister(dst)
+                _res.emit("node_killed", node=dst, site="p2p.network.kill")
+                raise NodeUnreachable(dst)
         if _res.armed and not dropped:
             # an armed network fault forces a loss (corrupt/crash modes)
             # or an explicit transport error (exception mode)

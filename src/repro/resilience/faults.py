@@ -18,6 +18,7 @@ Sites are dotted names chosen where production failures actually land:
 ``feedback.io.row``        one row of a feedback file is malformed
 ``feedback.ledger.fold``   a ledger event cannot be folded
 ``p2p.network.send``       a network request is lost or errors out
+``p2p.network.kill``       the destination node dies mid-request
 ``core.calibration``       the Monte-Carlo calibration pass fails
 ========================  ==============================================
 
@@ -50,6 +51,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "feedback.io.row",
     "feedback.ledger.fold",
     "p2p.network.send",
+    "p2p.network.kill",
     "core.calibration",
 )
 

@@ -24,6 +24,9 @@ __all__ = [
     "render_health",
     "summarize_events",
     "render_event_summary",
+    "RESILIENCE_EVENTS",
+    "P2P_EVENTS",
+    "CLUSTER_EVENTS",
 ]
 
 #: Event names the resilience layer emits (see runtime.emit call sites).
@@ -50,6 +53,23 @@ P2P_EVENTS = (
     "chord_node_leave",
 )
 
+#: Event names the sharded assessment cluster emits (see repro.cluster)
+#: — quorum reads, read-repair, hinted handoff, anti-entropy, and the
+#: node-kill fault site all land in the same event funnel.
+CLUSTER_EVENTS = (
+    "node_killed",
+    "cluster_rpc_failed",
+    "cluster_hint_stored",
+    "cluster_hint_replayed",
+    "cluster_hint_lost",
+    "cluster_read_repair",
+    "cluster_quorum_lost",
+    "cluster_degraded_verdict",
+    "cluster_anti_entropy",
+    "cluster_snapshot_shipped",
+    "cluster_node_recovered",
+)
+
 
 class HealthRegistry:
     """Weak registry of the process's live resilience components."""
@@ -59,6 +79,7 @@ class HealthRegistry:
         self._quarantines: List[weakref.ref] = []
         self._retries: List[weakref.ref] = []
         self._networks: List[weakref.ref] = []
+        self._clusters: List[weakref.ref] = []
 
     def register_breaker(self, breaker) -> None:
         """Track a :class:`~repro.resilience.breaker.CircuitBreaker`."""
@@ -76,6 +97,10 @@ class HealthRegistry:
         """Track a :class:`~repro.p2p.network.SimulatedNetwork`."""
         self._networks.append(weakref.ref(network))
 
+    def register_cluster(self, cluster) -> None:
+        """Track a :class:`~repro.cluster.ClusterAssessmentService`."""
+        self._clusters.append(weakref.ref(cluster))
+
     @staticmethod
     def _alive(refs: List[weakref.ref]) -> Iterable:
         live = []
@@ -92,17 +117,20 @@ class HealthRegistry:
         quarantines = [q.stats() for q in self._alive(self._quarantines)]
         retries = [r.stats() for r in self._alive(self._retries)]
         networks = [n.stats_report() for n in self._alive(self._networks)]
+        clusters = [c.stats_report() for c in self._alive(self._clusters)]
         return {
             "breakers": breakers,
             "quarantines": quarantines,
             "retries": retries,
             "networks": networks,
+            "clusters": clusters,
             "open_breakers": sum(1 for b in breakers if b["state"] != "closed"),
             "quarantine_depth": sum(q["depth"] for q in quarantines),
             "total_retries": sum(r["retries"] for r in retries),
             "network_messages": sum(n["messages"] for n in networks),
             "network_drops": sum(n["drops"] for n in networks),
             "network_retries": sum(n["retries"] for n in networks),
+            "open_hints": sum(c["open_hints"] for c in clusters),
         }
 
     def clear(self) -> None:
@@ -111,6 +139,7 @@ class HealthRegistry:
         self._quarantines.clear()
         self._retries.clear()
         self._networks.clear()
+        self._clusters.clear()
 
 
 #: The process-wide registry ``repro health`` reports on.
@@ -171,6 +200,29 @@ def render_health(report: Dict[str, object]) -> str:
             ranked = sorted(by_type.items(), key=lambda kv: (-kv[1], kv[0]))
             rendered = " ".join(f"{name}={count}" for name, count in ranked)
             lines.append(f"      by type: {rendered}")
+    clusters = report.get("clusters", [])
+    if clusters:
+        lines.append(
+            f"  clusters: {len(clusters)} "
+            f"(open hints {report.get('open_hints', 0)})"
+        )
+    for stats in clusters:
+        replication = stats.get("replication", {})
+        lines.append(
+            f"    {stats['name']:<28s} nodes={stats['alive']}/{stats['nodes']} "
+            f"rf={stats['replicas']} quorum={stats['read_quorum']} "
+            f"servers={stats['servers']} hints={stats['open_hints']}"
+        )
+        lines.append(
+            f"      replication: satisfied={replication.get('satisfied', 0)} "
+            f"violated={replication.get('violated', 0)}"
+        )
+        ownership = stats.get("ownership") or {}
+        if ownership:
+            rendered = " ".join(
+                f"{node}={count}" for node, count in sorted(ownership.items())
+            )
+            lines.append(f"      ownership: {rendered}")
     return "\n".join(lines)
 
 
@@ -186,7 +238,11 @@ def summarize_events(events: Iterable[Dict[str, object]]) -> Dict[str, object]:
     degradations: List[Dict[str, object]] = []
     for record in events:
         name = record.get("event")
-        if name not in RESILIENCE_EVENTS and name not in P2P_EVENTS:
+        if (
+            name not in RESILIENCE_EVENTS
+            and name not in P2P_EVENTS
+            and name not in CLUSTER_EVENTS
+        ):
             continue
         counts[str(name)] += 1
         site = record.get("site")

@@ -370,6 +370,23 @@ class AssessmentService:
         self._states[server].invalidate()
         self._assessment_cache.pop(server, None)
 
+    def replace_server(self, history: TransactionHistory) -> EntityId:
+        """Swap in a rebuilt history for an existing (or new) server.
+
+        The repair counterpart of :meth:`add_server`: anti-entropy and
+        read-repair replace a server's ledger history wholesale (see
+        :meth:`~repro.feedback.ledger.FeedbackLedger.reset_server`), which
+        invalidates the incremental state and memoized assessment built
+        over the old object.  Both are dropped and the replacement is
+        registered fresh; the next assessment recomputes from scratch.
+        """
+        server = history.server
+        self._states.pop(server, None)
+        self._assessment_cache.pop(server, None)
+        if _obs.enabled:
+            _obs.registry.inc("serve.service.server_replacements")
+        return self._register(history)
+
     # ------------------------------------------------------------------ #
     # assessment
 

@@ -1,0 +1,104 @@
+"""Chaos suite: node kills mid-flight, deterministic under the seed.
+
+The contract: killing a minority of nodes at the ``p2p.network.kill``
+fault site — mid-``assess_many`` or mid-``record_batch`` — still
+returns a verdict for every server (degraded where the read quorum was
+lost, fail-safe where every replica died), and never an unhandled
+exception.  Replaying the same ``REPRO_CHAOS_SEED`` reproduces the
+same kills and the same verdicts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.obs.events import EventLog
+from repro.resilience import FaultPlan
+from repro.resilience import runtime as res
+
+from .conftest import corpus, make_cluster, make_reference
+
+
+def _kill_plan(seed: int, max_kills: int = 2) -> FaultPlan:
+    plan = FaultPlan(seed=seed)
+    plan.arm("p2p.network.kill", "crash", probability=0.02, max_fires=max_kills)
+    return plan
+
+
+class TestKillMidAssess:
+    def test_every_server_gets_a_verdict(self, chaos_seed):
+        events = corpus()
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        reference = make_reference(events, cluster._calibrator)
+        expected = reference.assess_many(cluster.servers)
+        log = EventLog()
+        with res.activate(_kill_plan(chaos_seed), log):
+            got = cluster.assess_many()
+        assert sorted(got) == sorted(cluster.servers)
+        for server, verdict in got.items():
+            if not verdict.degraded:
+                # full quorum: bit-identical to the single-node truth
+                assert verdict == expected[server]
+            else:
+                # degraded: either the surviving replica's (correct)
+                # verdict flagged, or the fail-safe when none survived
+                assert (
+                    verdict == replace(expected[server], degraded=True)
+                    or verdict.trust_value is None
+                )
+
+    def test_kills_are_visible_in_the_event_stream(self, chaos_seed):
+        events = corpus()
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        log = EventLog()
+        plan = _kill_plan(chaos_seed)
+        with res.activate(plan, log):
+            cluster.assess_many()
+        fires = plan.counts()["p2p.network.kill"]["fires"]
+        killed = [e for e in log.events if e["event"] == "node_killed"]
+        assert len(killed) == fires
+        assert all(e["site"] == "p2p.network.kill" for e in killed)
+
+    def test_replay_is_deterministic(self, chaos_seed):
+        runs = []
+        for _ in range(2):
+            events = corpus()
+            cluster = make_cluster()
+            cluster.record_batch(events)
+            plan = _kill_plan(chaos_seed)
+            with res.activate(plan):
+                verdicts = cluster.assess_many()
+            runs.append((verdicts, plan.counts()))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+
+class TestKillMidRecord:
+    def test_writes_survive_as_hints_or_replicas(self, chaos_seed):
+        events = corpus()
+        cluster = make_cluster()
+        with res.activate(_kill_plan(chaos_seed)):
+            summary = cluster.record_batch(events)
+        assert summary["events"] == len(events)
+        # whatever was killed, reads still answer for every server
+        got = cluster.assess_many()
+        assert sorted(got) == sorted(cluster.servers)
+
+    def test_recovery_after_chaos_restores_equivalence(self, chaos_seed):
+        events = corpus()
+        cluster = make_cluster()
+        plan = _kill_plan(chaos_seed)
+        with res.activate(plan):
+            cluster.record_batch(events)
+        # recover everything the chaos run killed, replay hints, repair
+        for member in list(cluster.members):
+            if not cluster.network.is_alive(member):
+                cluster.recover(member)
+        cluster.anti_entropy()
+        reference = make_reference(events, cluster._calibrator)
+        got = cluster.assess_many()
+        assert got == reference.assess_many(cluster.servers)
+        assert not any(a.degraded for a in got.values())
+        assert cluster.stats_report()["replication"]["violated"] == 0

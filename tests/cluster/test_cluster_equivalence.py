@@ -1,0 +1,98 @@
+"""Cluster vs single node: bit-identical verdicts while healthy.
+
+The acceptance bar for the sharded deployment: for the full corpus of
+honest / hibernating / periodic / collusive servers, a healthy cluster
+and a single-node service sharing its calibrator return identical
+:class:`~repro.core.verdict.Assessment` objects — across shard counts,
+incremental ingest, and membership changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.feedback.records import Feedback
+
+from .conftest import corpus, make_cluster, make_reference
+
+
+class TestHealthyEquivalence:
+    @pytest.mark.parametrize("n_nodes", [2, 4, 5])
+    def test_verdicts_identical_across_shard_counts(self, n_nodes):
+        events = corpus()
+        cluster = make_cluster(n_nodes=n_nodes)
+        cluster.record_batch(events)
+        reference = make_reference(events, cluster._calibrator)
+        expected = reference.assess_many(cluster.servers)
+        got = cluster.assess_many()
+        assert got == expected
+        assert not any(a.degraded for a in got.values())
+
+    def test_single_node_cluster_degenerates_cleanly(self):
+        events = corpus(n_per_kind=1)
+        cluster = make_cluster(n_nodes=1, replicas=1, read_quorum=1)
+        cluster.record_batch(events)
+        reference = make_reference(events, cluster._calibrator)
+        assert cluster.assess_many() == reference.assess_many(cluster.servers)
+
+    def test_incremental_batches_match_one_shot(self):
+        events = corpus()
+        cut = len(events) // 3
+        incremental = make_cluster()
+        incremental.record_batch(events[:cut])
+        incremental.assess_many()  # interleaved reads must not disturb state
+        incremental.record_batch(events[cut:])
+        reference = make_reference(events, incremental._calibrator)
+        assert incremental.assess_many() == reference.assess_many(
+            incremental.servers
+        )
+
+    def test_duplicate_delivery_is_idempotent(self):
+        events = corpus(n_per_kind=2)
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        before = cluster.assess_many()
+        cluster.record_batch(events)  # exact redelivery of the whole batch
+        assert cluster.assess_many() == before
+
+    def test_assess_subset_and_unknown_server(self):
+        events = corpus(n_per_kind=1)
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        subset = cluster.servers[:3]
+        got = cluster.assess_many(subset)
+        assert list(got) == subset
+        with pytest.raises(KeyError):
+            cluster.assess_many(["no-such-server"])
+
+
+class TestMembershipEquivalence:
+    def test_join_ships_snapshots_and_preserves_verdicts(self):
+        events = corpus()
+        cluster = make_cluster(n_nodes=3)
+        cluster.record_batch(events)
+        baseline = cluster.assess_many()
+        cluster.add_node("shard-93")
+        assert cluster.assess_many() == baseline
+        report = cluster.stats_report()
+        assert report["nodes"] == 4
+        assert report["replication"]["violated"] == 0
+
+    def test_graceful_leave_rehomes_shards(self):
+        events = corpus()
+        cluster = make_cluster(n_nodes=4)
+        cluster.record_batch(events)
+        baseline = cluster.assess_many()
+        cluster.remove_node(cluster.members[0], graceful=True)
+        assert cluster.assess_many() == baseline
+        assert cluster.stats_report()["replication"]["violated"] == 0
+
+    def test_join_after_more_writes_replays_the_tail(self):
+        events = corpus()
+        cut = len(events) - 40
+        cluster = make_cluster(n_nodes=3)
+        cluster.record_batch(events[:cut])
+        cluster.add_node("shard-94")
+        cluster.record_batch(events[cut:])
+        reference = make_reference(events, cluster._calibrator)
+        assert cluster.assess_many() == reference.assess_many(cluster.servers)

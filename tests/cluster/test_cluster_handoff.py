@@ -1,0 +1,92 @@
+"""Hinted handoff: writes survive dead replicas and replay on recovery."""
+
+from __future__ import annotations
+
+from repro.feedback.records import Feedback
+from repro.obs.events import EventLog
+from repro.resilience import runtime as res
+
+from .conftest import corpus, make_cluster, make_reference
+
+
+def _later(events, more):
+    """Shift ``more`` strictly after ``events`` on the time axis."""
+    base = max(fb.time for fb in events) + 1.0
+    return [
+        Feedback(
+            time=base + i * 0.001,
+            server=fb.server,
+            client=fb.client,
+            rating=fb.rating,
+        )
+        for i, fb in enumerate(more)
+    ]
+
+
+class TestHintedHandoff:
+    def test_writes_to_a_dead_replica_are_hinted(self):
+        events = corpus()
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        victim = cluster.members[0]
+        log = EventLog()
+        with res.activate(None, log):
+            cluster.kill(victim)
+            more = _later(events, corpus(n_events=4, seed=99))
+            summary = cluster.record_batch(more)
+        assert summary["hinted"] > 0
+        assert cluster.open_hints() == summary["hinted"]
+        assert "cluster_hint_stored" in [e["event"] for e in log.events]
+        # the victim holds none of the hinted events yet
+        assert all(
+            name != victim for name in cluster._members[victim].hints
+        )
+
+    def test_recovery_replays_hints_and_restores_equivalence(self):
+        events = corpus()
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        victim = cluster.members[0]
+        cluster.kill(victim)
+        more = _later(events, corpus(n_events=4, seed=99))
+        cluster.record_batch(more)
+        held = cluster.open_hints()
+        assert held > 0
+        log = EventLog()
+        with res.activate(None, log):
+            replayed = cluster.recover(victim)
+        assert replayed == held
+        assert cluster.open_hints() == 0
+        names = [e["event"] for e in log.events]
+        assert "cluster_hint_replayed" in names
+        assert "cluster_node_recovered" in names
+        # after replay every replica agrees with the single-node truth
+        reference = make_reference(events + more, cluster._calibrator)
+        got = cluster.assess_many()
+        assert got == reference.assess_many(cluster.servers)
+        assert not any(a.degraded for a in got.values())
+
+    def test_hint_is_lost_loudly_when_no_holder_exists(self):
+        """K = N: the preference list covers everyone, nobody can hold."""
+        events = corpus(n_per_kind=1)
+        cluster = make_cluster(n_nodes=3, replicas=3, read_quorum=1)
+        cluster.record_batch(events)
+        cluster.kill(cluster.members[0])
+        log = EventLog()
+        with res.activate(None, log):
+            more = _later(events, corpus(n_per_kind=1, n_events=2, seed=31))
+            summary = cluster.record_batch(more)
+        assert summary["hinted"] == 0
+        assert cluster.open_hints() == 0
+        assert "cluster_hint_lost" in [e["event"] for e in log.events]
+        # surviving replicas still answer for every server
+        got = cluster.assess_many()
+        assert sorted(got) == sorted(cluster.servers)
+
+    def test_recover_without_hints_is_a_no_op_replay(self):
+        events = corpus(n_per_kind=1)
+        cluster = make_cluster()
+        cluster.record_batch(events)
+        victim = cluster.members[0]
+        cluster.kill(victim)
+        assert cluster.recover(victim) == 0

@@ -22,6 +22,7 @@ class TestRegistry:
             "p2p_scale",
             "serve",
             "ingest",
+            "cluster",
         }
         assert set(RUNNERS) == figures | extensions
 

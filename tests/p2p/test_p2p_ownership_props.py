@@ -1,0 +1,128 @@
+"""Property-based chord invariants under randomized membership churn.
+
+Hypothesis drives interleavings of join / graceful-leave / crash over a
+small ring and asserts, after every step, the ownership invariants the
+cluster layer (``repro.cluster``) builds on:
+
+* **agreement** — every live node's iterative lookup for a key names the
+  same owner, and that owner matches the centrally computed ground truth;
+* **partition** — exactly one live node considers itself responsible for
+  each key (ownership intervals tile the ring, no gaps, no overlaps);
+* **durability** — a value written before the churn stays readable (and
+  unduplicated) as long as at least one of its replicas survived each
+  individual failure.
+
+``m_bits=32`` keeps name-hash collisions out of the picture (the ring
+refuses colliding ids loudly; at 2^32 positions a ten-name pool never
+collides).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.p2p.chord import ChordRing, key_of
+from repro.p2p.network import SimulatedNetwork
+
+M_BITS = 32
+NODE_POOL = tuple(f"prop-node-{i:02d}" for i in range(10))
+KEYS = tuple(f"prop-key-{i}" for i in range(6))
+
+# an op is (kind, pick): `pick` indexes into whatever candidate list the
+# kind admits at apply time, so every generated sequence is applicable
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["join", "leave", "crash"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=8,
+)
+
+
+def _build_ring() -> ChordRing:
+    ring = ChordRing(SimulatedNetwork(), m_bits=M_BITS, replicas=3, seed=17)
+    for name in NODE_POOL[:4]:
+        ring.add_node(name)
+    for key in KEYS:
+        ring.put(key, f"value-of-{key}")
+    return ring
+
+
+def _apply(ring: ChordRing, kind: str, pick: int) -> bool:
+    """Apply one membership op; returns False when inapplicable."""
+    if kind == "join":
+        candidates = [n for n in NODE_POOL if n not in ring.nodes]
+        if not candidates:
+            return False
+        ring.add_node(candidates[pick % len(candidates)])
+        return True
+    members = sorted(ring.nodes)
+    if len(members) <= 1:  # never empty the ring
+        return False
+    victim = members[pick % len(members)]
+    ring.remove_node(victim, graceful=(kind == "leave"))
+    return True
+
+
+def _assert_invariants(ring: ChordRing) -> None:
+    for key_name in KEYS:
+        key = key_of(key_name, M_BITS)
+        truth = ring.responsible_node(key_name)
+        # agreement: every vantage point's lookup lands on the truth
+        for node in ring.nodes.values():
+            assert node.find_successor(key).node == truth, (
+                f"{node.name} resolves {key_name} to "
+                f"{node.find_successor(key).node}, truth is {truth}"
+            )
+        # partition: exactly one live node claims the key
+        claimants = [
+            n.name for n in ring.nodes.values() if n.responsible_for(key)
+        ]
+        assert claimants == [truth], (
+            f"{key_name} claimed by {claimants}, truth is {truth}"
+        )
+        # durability: the pre-churn value survived, exactly once
+        values = ring.get(key_name)
+        assert values.count(f"value-of-{key_name}") == 1, (
+            f"{key_name} -> {values}"
+        )
+
+
+class TestOwnershipUnderChurn:
+    @given(ops=ops_strategy)
+    def test_invariants_hold_after_every_step(self, ops):
+        ring = _build_ring()
+        _assert_invariants(ring)
+        for kind, pick in ops:
+            if _apply(ring, kind, pick):
+                _assert_invariants(ring)
+
+    @given(
+        picks=st.lists(
+            st.integers(min_value=0, max_value=9), min_size=3, max_size=3
+        )
+    )
+    def test_crash_only_churn_down_to_a_single_survivor(self, picks):
+        """Three crashes from four nodes: the last node standing still
+        owns everything and serves every pre-crash value."""
+        ring = _build_ring()
+        for pick in picks:
+            members = sorted(ring.nodes)
+            if len(members) <= 1:
+                break
+            ring.remove_node(members[pick % len(members)], graceful=False)
+        _assert_invariants(ring)
+
+    @given(ops=ops_strategy)
+    def test_churn_never_loses_late_writes_either(self, ops):
+        """A write landed mid-churn obeys the same durability bar."""
+        ring = _build_ring()
+        wrote_at = len(ops) // 2
+        for step, (kind, pick) in enumerate(ops):
+            _apply(ring, kind, pick)
+            if step == wrote_at:
+                ring.put("late-key", "late-value")
+        if not ops:
+            ring.put("late-key", "late-value")
+        assert ring.get("late-key").count("late-value") == 1
